@@ -1,0 +1,33 @@
+.PHONY: all build test bench examples check clean doc
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# Every experiment table (E1-E15); see EXPERIMENTS.md.
+bench:
+	dune exec bench/main.exe
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/chatroom.exe
+	dune exec examples/workqueue.exe
+	dune exec examples/termination.exe
+	dune exec examples/cycles.exe
+
+# Exhaustive model check of the collector (slow worlds included).
+check:
+	dune exec bin/netobj_sim.exe -- check -p 2 -b 3
+	dune exec bin/netobj_sim.exe -- check -p 3 -b 2
+	dune exec bin/netobj_sim.exe -- fifo -p 3 -b 2
+
+doc:
+	# requires odoc (opam install odoc)
+	dune build @doc
+
+clean:
+	dune clean
