@@ -1,0 +1,262 @@
+(* netobj-sim: command-line driver for the formal machinery.
+
+     netobj_sim check  --procs 3 --budget 2        exhaustive model check
+     netobj_sim walk   --procs 4 --steps 500 -n 50 random invariant walks
+     netobj_sim run    --algo birrell --workload chain -n 100
+     netobj_sim fifo   --procs 3 --budget 2        model-check the §5.1 variant
+     netobj_sim trace  --seed 7 --steps 40         print a random execution *)
+
+open Cmdliner
+module M = Netobj_dgc.Machine
+module T = Netobj_dgc.Types
+module Invariants = Netobj_dgc.Invariants
+module Explore = Netobj_dgc.Explore
+module F = Netobj_dgc.Fifo_machine
+module Workload = Netobj_dgc.Workload
+module Algo = Netobj_dgc.Algo
+
+let r0 : T.rref = { T.owner = 0; index = 0 }
+
+let alloc procs = M.apply (M.init ~procs ~refs:[ r0 ]) (M.Allocate (0, r0))
+
+(* --- common args ---------------------------------------------------------- *)
+
+let procs_arg =
+  Arg.(value & opt int 3 & info [ "p"; "procs" ] ~docv:"N" ~doc:"Number of processes.")
+
+let budget_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "b"; "budget" ] ~docv:"B" ~doc:"Mutator copy budget (bounds the state space).")
+
+let seeds_arg =
+  Arg.(value & opt int 50 & info [ "n"; "seeds" ] ~docv:"N" ~doc:"Number of seeds.")
+
+let steps_arg =
+  Arg.(value & opt int 500 & info [ "steps" ] ~docv:"S" ~doc:"Steps per walk.")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S" ~doc:"Random seed.")
+
+(* --- check ----------------------------------------------------------------- *)
+
+let check procs budget =
+  Fmt.pr "model-checking Birrell's machine: %d processes, copy budget %d@."
+    procs budget;
+  let res = Explore.bfs ~copy_budget:budget (alloc procs) in
+  Fmt.pr "states: %d, transitions: %d, truncated: %b@." res.Explore.states
+    res.Explore.edges res.Explore.truncated;
+  match res.Explore.violation with
+  | None ->
+      Fmt.pr "all invariants hold in every reachable configuration@.";
+      0
+  | Some v ->
+      Fmt.pr "VIOLATION:@.%a@.trace:@.%a@."
+        Fmt.(list Invariants.pp_violation)
+        v.Explore.violations
+        Fmt.(list M.pp_transition)
+        v.Explore.trace;
+      1
+
+let check_cmd =
+  Cmd.v
+    (Cmd.info "check" ~doc:"Exhaustively model-check the abstract machine.")
+    Term.(const check $ procs_arg $ budget_arg)
+
+(* --- walk ------------------------------------------------------------------ *)
+
+let walk procs steps seeds budget =
+  Fmt.pr "random walks: %d procs, %d steps, %d seeds, budget %d@." procs steps
+    seeds budget;
+  let bad = ref 0 in
+  for seed = 1 to seeds do
+    let res =
+      Explore.random_walk ~seed:(Int64.of_int seed) ~steps ~copy_budget:budget
+        (alloc procs)
+    in
+    match res.Explore.walk_violation with
+    | None -> ()
+    | Some v ->
+        incr bad;
+        Fmt.pr "seed %d: %a@." seed
+          Fmt.(list Invariants.pp_violation)
+          v.Explore.violations
+  done;
+  Fmt.pr "violations: %d / %d walks@." !bad seeds;
+  if !bad = 0 then 0 else 1
+
+let walk_cmd =
+  Cmd.v
+    (Cmd.info "walk" ~doc:"Random-walk invariant checking.")
+    Term.(const walk $ procs_arg $ steps_arg $ seeds_arg $ budget_arg)
+
+(* --- run -------------------------------------------------------------------- *)
+
+let algos =
+  [
+    ( "birrell",
+      fun ~procs ~seed -> Netobj_dgc.Birrell_view.create ~procs ~seed );
+    ( "naive-count",
+      fun ~procs ~seed ->
+        Netobj_dgc.Naive.create ~mode:Netobj_dgc.Naive.Counting ~procs ~seed );
+    ( "naive-list",
+      fun ~procs ~seed ->
+        Netobj_dgc.Naive.create ~mode:Netobj_dgc.Naive.Listing ~procs ~seed );
+    ( "lermen-maurer",
+      fun ~procs ~seed -> Netobj_dgc.Lermen_maurer.create ~procs ~seed );
+    ("weighted", fun ~procs ~seed -> Netobj_dgc.Weighted.create ~procs ~seed ());
+    ("indirect", fun ~procs ~seed -> Netobj_dgc.Indirect.create ~procs ~seed);
+    ("inc-dec", fun ~procs ~seed -> Netobj_dgc.Inc_dec.create ~procs ~seed);
+    ("ssp", fun ~procs ~seed -> Netobj_dgc.Ssp.create ~procs ~seed);
+    ("mancini", fun ~procs ~seed -> Netobj_dgc.Mancini.create ~procs ~seed);
+    ( "birrell-fifo",
+      fun ~procs ~seed -> Netobj_dgc.Fifo_view.create ~procs ~seed );
+    ( "fault",
+      fun ~procs ~seed ->
+        fst
+          (Netobj_dgc.Fault.create ~drop_budget:4 ~dup_budget:4
+             ~timeout_prob:0.05 ~procs ~seed ()) );
+  ]
+
+let workload_of procs = function
+  | "figure1" -> Workload.figure1
+  | "chain" -> Workload.chain ~procs
+  | "fanout" -> Workload.fanout ~procs
+  | "pingpong" -> Workload.pingpong ~rounds:8
+  | "churn" -> Workload.churn ~procs ~events:100 ~seed:42L
+  | w -> Fmt.failwith "unknown workload %s" w
+
+let run_harness algo workload procs seeds =
+  match List.assoc_opt algo algos with
+  | None ->
+      Fmt.epr "unknown algorithm %s (have: %s)@." algo
+        (String.concat ", " (List.map fst algos));
+      1
+  | Some make ->
+      let premature = ref 0 and leaked = ref 0 and msgs = ref 0 in
+      let sends = ref 0 in
+      for seed = 1 to seeds do
+        let v = make ~procs ~seed:(Int64.of_int seed) in
+        let o = Workload.run v (workload_of procs workload) in
+        if o.Workload.premature_at <> None then incr premature;
+        if o.Workload.leaked then incr leaked;
+        msgs := !msgs + o.Workload.total_control;
+        sends := !sends + o.Workload.sends_executed
+      done;
+      Fmt.pr
+        "%s on %s (%d procs, %d seeds): premature=%d leaked=%d ctrl-msgs/copy=%.2f@."
+        algo workload procs seeds !premature !leaked
+        (float_of_int !msgs /. float_of_int (max 1 !sends));
+      if !premature > 0 then 1 else 0
+
+let algo_arg =
+  Arg.(
+    value
+    & opt string "birrell"
+    & info [ "a"; "algo" ] ~docv:"ALGO"
+        ~doc:"Algorithm: birrell, naive-count, naive-list, lermen-maurer, weighted, indirect, inc-dec, ssp, mancini, birrell-fifo, fault.")
+
+let workload_arg =
+  Arg.(
+    value
+    & opt string "chain"
+    & info [ "w"; "workload" ] ~docv:"W"
+        ~doc:"Workload: figure1, chain, fanout, pingpong, churn.")
+
+let run_cmd =
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run an algorithm against a workload with the safety oracle.")
+    Term.(const run_harness $ algo_arg $ workload_arg $ procs_arg $ seeds_arg)
+
+(* --- fifo -------------------------------------------------------------------- *)
+
+let fifo_check procs budget =
+  Fmt.pr "model-checking the FIFO variant: %d processes, copy budget %d@."
+    procs budget;
+  let init = F.apply (F.init ~procs ~refs:[ r0 ]) (F.Allocate (0, r0)) in
+  let module Cfgset = Set.Make (struct
+    type t = F.config
+
+    let compare = F.compare_config
+  end) in
+  let seen = ref (Cfgset.singleton init) in
+  let q = Queue.create () in
+  Queue.push (init, 0) q;
+  let states = ref 1 in
+  let bad = ref None in
+  while (not (Queue.is_empty q)) && !bad = None do
+    let c, spent = Queue.pop q in
+    (match F.check c with
+    | [] -> ()
+    | vs -> bad := Some vs);
+    let env =
+      List.filter
+        (fun t -> match t with F.Make_copy _ -> spent < budget | _ -> true)
+        (F.enabled_environment c)
+    in
+    List.iter
+      (fun t ->
+        let cost = match t with F.Make_copy _ -> 1 | _ -> 0 in
+        let c' = F.apply c t in
+        if not (Cfgset.mem c' !seen) then begin
+          seen := Cfgset.add c' !seen;
+          incr states;
+          Queue.push (c', spent + cost) q
+        end)
+      (env @ F.enabled_protocol c)
+  done;
+  Fmt.pr "states: %d@." !states;
+  match !bad with
+  | None ->
+      Fmt.pr "all FIFO-variant invariants hold@.";
+      0
+  | Some vs ->
+      Fmt.pr "VIOLATION: %a@." Fmt.(list Invariants.pp_violation) vs;
+      1
+
+let fifo_cmd =
+  Cmd.v
+    (Cmd.info "fifo" ~doc:"Model-check the §5.1 FIFO variant.")
+    Term.(const fifo_check $ procs_arg $ budget_arg)
+
+(* --- trace ------------------------------------------------------------------- *)
+
+let trace seed steps procs =
+  let rng = Netobj_util.Rng.create (Int64.of_int seed) in
+  let c = ref (alloc procs) in
+  let spent = ref 0 in
+  Fmt.pr "random execution (seed %d):@." seed;
+  (try
+     for i = 1 to steps do
+       let env =
+         List.filter
+           (fun t -> match t with M.Make_copy _ -> !spent < 6 | _ -> true)
+           (M.enabled_environment !c)
+       in
+       match M.enabled_protocol !c @ env with
+       | [] -> raise Exit
+       | all ->
+           let t = Netobj_util.Rng.pick rng all in
+           (match t with M.Make_copy _ -> incr spent | _ -> ());
+           c := M.apply !c t;
+           Fmt.pr "%3d  %-45s measure=%d@." i
+             (Fmt.str "%a" M.pp_transition t)
+             (Invariants.termination_measure !c)
+     done
+   with Exit -> ());
+  Fmt.pr "@.final configuration:@.%a@." M.pp_config !c;
+  0
+
+let trace_cmd =
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Print a random execution with the termination measure.")
+    Term.(const trace $ seed_arg $ steps_arg $ procs_arg)
+
+(* --- main -------------------------------------------------------------------- *)
+
+let () =
+  let doc = "Network Objects distributed-GC simulator and model checker" in
+  let info = Cmd.info "netobj_sim" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info [ check_cmd; walk_cmd; run_cmd; fifo_cmd; trace_cmd ]))

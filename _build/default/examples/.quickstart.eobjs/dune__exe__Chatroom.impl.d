@@ -1,0 +1,1 @@
+examples/chatroom.ml: Array Dump Fmt Lazy List Netobj_core Netobj_pickle Printf

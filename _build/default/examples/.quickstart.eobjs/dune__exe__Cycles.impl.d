@@ -1,0 +1,1 @@
+examples/cycles.ml: Dump Fmt Lazy Netobj_core Netobj_pickle

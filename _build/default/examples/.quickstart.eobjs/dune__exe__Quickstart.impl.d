@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dump Fmt Netobj_core Netobj_pickle

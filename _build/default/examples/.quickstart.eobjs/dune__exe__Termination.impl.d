@@ -1,0 +1,1 @@
+examples/termination.ml: Dump Fmt Netobj_dgc

@@ -1,0 +1,1 @@
+examples/workqueue.ml: Array Fmt Lazy List Netobj_core Netobj_pickle Queue

@@ -1,0 +1,116 @@
+(* Chat room with callbacks: bidirectional network objects.
+
+   The room (space 0) owns a Room object.  Each client owns a Listener
+   object of its own and registers it with the room — so the room holds
+   surrogates for objects owned by its clients, the reverse of the usual
+   direction.  Broadcasting a message means invoking every listener's
+   [deliver] method remotely.  When a client leaves, the room drops its
+   listener reference and the client's local collector reclaims the
+   listener once the room's clean call arrives — demonstrating the
+   distributed collector running in both directions at once.
+
+   Run with:  dune exec examples/chatroom.exe *)
+
+module R = Netobj_core.Runtime
+module Stub = Netobj_core.Stub
+module P = Netobj_pickle.Pickle
+
+(* Listener interface (implemented by clients). *)
+let m_deliver = Stub.declare "deliver" (P.pair P.string P.string) P.unit
+
+(* Room interface (implemented by the server). *)
+let m_join = Stub.declare "join" (P.pair P.string R.handle_codec) P.unit
+
+let m_leave = Stub.declare "leave" P.string P.unit
+
+let m_say = Stub.declare "say" (P.pair P.string P.string) P.int
+(* returns how many listeners got the message *)
+
+let make_room sp =
+  let members : (string * R.handle) list ref = ref [] in
+  let rec room =
+    lazy
+      (R.allocate sp
+         ~meths:
+           [
+             Stub.implement m_join (fun sp' (name, listener) ->
+                 R.retain sp' listener;
+                 R.link sp' ~parent:(Lazy.force room) ~child:listener;
+                 members := (name, listener) :: !members;
+                 Fmt.pr "[room]   %s joined (%d members)@." name
+                   (List.length !members));
+             Stub.implement m_leave (fun sp' name ->
+                 (match List.assoc_opt name !members with
+                 | Some listener ->
+                     R.unlink sp' ~parent:(Lazy.force room) ~child:listener;
+                     R.release sp' listener;
+                     members := List.remove_assoc name !members
+                 | None -> ());
+                 Fmt.pr "[room]   %s left (%d members)@." name
+                   (List.length !members));
+             Stub.implement m_say (fun sp' (from, text) ->
+                 (* Nested remote calls from inside a method handler. *)
+                 List.iter
+                   (fun (name, listener) ->
+                     if name <> from then
+                       Stub.call sp' listener m_deliver (from, text))
+                   !members;
+                 List.length !members - 1);
+           ])
+  in
+  Lazy.force room
+
+let make_listener sp ~name ~log =
+  R.allocate sp
+    ~meths:
+      [
+        Stub.implement m_deliver (fun _ (from, text) ->
+            log := Printf.sprintf "%s heard %s: %s" name from text :: !log);
+      ]
+
+let () =
+  let rt = R.create (R.default_config ~nspaces:3) in
+  let server = R.space rt 0 in
+  let room = make_room server in
+  R.publish server "room" room;
+
+  let logs = Array.init 3 (fun _ -> ref []) in
+  let client i name =
+    R.spawn rt (fun () ->
+        let sp = R.space rt i in
+        let h = R.lookup sp ~at:0 "room" in
+        let me = make_listener sp ~name ~log:logs.(i) in
+        Stub.call sp h m_join (name, me);
+        let n = Stub.call sp h m_say (name, "hello from " ^ name) in
+        Fmt.pr "[%s]  my hello reached %d listener(s)@." name n;
+        (* Our own root on the listener can go: the room keeps it alive
+           remotely until we leave. *)
+        R.release sp h;
+        R.release sp me)
+  in
+  client 1 "ana";
+  client 2 "bob";
+  ignore (R.run rt);
+
+  (* Everyone spoke; check the cross-space deliveries. *)
+  Fmt.pr "[logs]   ana: %a@." Fmt.(Dump.list string) !(logs.(1));
+  Fmt.pr "[logs]   bob: %a@." Fmt.(Dump.list string) !(logs.(2));
+
+  (* The room holds surrogates for the two listeners. *)
+  Fmt.pr "[room]   surrogates at room: %d@." (R.surrogate_count server);
+
+  (* ana leaves: the room drops her listener; after GC at the room and
+     the clean call, ana's listener object is reclaimed at ana's space. *)
+  R.spawn rt (fun () ->
+      let sp = R.space rt 1 in
+      let h = R.lookup sp ~at:0 "room" in
+      Stub.call sp h m_leave "ana";
+      R.release sp h);
+  ignore (R.run rt);
+  R.collect server;
+  ignore (R.run rt);
+  R.collect (R.space rt 1);
+  Fmt.pr "[gc]     room surrogates after ana left + GC: %d@."
+    (R.surrogate_count server);
+  Fmt.pr "[gc]     objects reclaimed at ana's space: %d@."
+    (R.reclaimed (R.space rt 1))

@@ -1,0 +1,87 @@
+(* Quickstart: a remote bank account.
+
+   One space owns an Account network object; a client on another space
+   imports it by name and invokes its methods through a surrogate.  When
+   the client drops its reference, the distributed collector removes it
+   from the owner's dirty set, and once nothing refers to the account it
+   is reclaimed.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+module R = Netobj_core.Runtime
+module Stub = Netobj_core.Stub
+module P = Netobj_pickle.Pickle
+
+(* The shared interface: typed method declarations play the role of the
+   Modula-3 stub generator's input. *)
+let m_deposit = Stub.declare "deposit" P.int P.int
+
+let m_withdraw = Stub.declare "withdraw" P.int (P.result P.int P.string)
+
+let m_balance = Stub.declare "balance" P.unit P.int
+
+(* Owner side: implement the interface and allocate the concrete object. *)
+let make_account sp ~initial =
+  let balance = ref initial in
+  R.allocate sp
+    ~meths:
+      [
+        Stub.implement m_deposit (fun _ n ->
+            balance := !balance + n;
+            !balance);
+        Stub.implement m_withdraw (fun _ n ->
+            if n > !balance then Error "insufficient funds"
+            else begin
+              balance := !balance - n;
+              Ok !balance
+            end);
+        Stub.implement m_balance (fun _ () -> !balance);
+      ]
+
+let () =
+  let rt = R.create (R.default_config ~nspaces:2) in
+  let bank = R.space rt 0 in
+  let client = R.space rt 1 in
+
+  (* The bank allocates an account and publishes it under a name. *)
+  let account = make_account bank ~initial:100 in
+  R.publish bank "alice" account;
+  Fmt.pr "[bank]   account 'alice' created with balance 100@.";
+
+  (* Client-side application code runs in a fiber (calls block). *)
+  R.spawn rt (fun () ->
+      let acc = R.lookup client ~at:0 "alice" in
+      Fmt.pr "[client] imported 'alice' as a surrogate@.";
+      let b = Stub.call client acc m_deposit 42 in
+      Fmt.pr "[client] deposit 42 -> balance %d@." b;
+      (match Stub.call client acc m_withdraw 1000 with
+      | Ok _ -> assert false
+      | Error e -> Fmt.pr "[client] withdraw 1000 -> rejected: %s@." e);
+      (match Stub.call client acc m_withdraw 100 with
+      | Ok b -> Fmt.pr "[client] withdraw 100 -> balance %d@." b
+      | Error _ -> assert false);
+      Fmt.pr "[client] final balance: %d@." (Stub.call client acc m_balance ());
+      Fmt.pr "[bank]   dirty set while client holds the account: %a@."
+        Fmt.(Dump.list int)
+        (R.dirty_set bank account);
+      (* Done with the account: drop the reference. *)
+      R.release client acc);
+  ignore (R.run rt);
+
+  (* The client's local collector notices the dead surrogate and sends a
+     clean call; the owner's dirty set drains. *)
+  R.collect client;
+  ignore (R.run rt);
+  Fmt.pr "[bank]   dirty set after client released + GC: %a@."
+    Fmt.(Dump.list int)
+    (R.dirty_set bank account);
+
+  let wr = R.wirerep account in
+  R.publish bank "alice" (make_account bank ~initial:0);
+  R.release bank account;
+  R.collect bank;
+  Fmt.pr "[bank]   account object reclaimed once unreferenced: %b@."
+    (not (R.resident bank wr));
+  let stats = R.gc_stats client in
+  Fmt.pr "[stats]  client dirty calls: %d, clean calls: %d@."
+    stats.R.dirty_calls stats.R.clean_calls

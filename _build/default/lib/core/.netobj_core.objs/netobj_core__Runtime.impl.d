@@ -1,0 +1,1 @@
+lib/core/runtime.ml: Array Fmt Fun Hashtbl List Logs Netobj_net Netobj_pickle Netobj_sched Netobj_util Option Printexc Printf Proto Wirerep

@@ -1,0 +1,1 @@
+lib/core/runtime.mli: Fmt Netobj_net Netobj_pickle Netobj_sched Wirerep

@@ -1,0 +1,1 @@
+lib/core/stub.ml: Netobj_pickle Runtime

@@ -1,0 +1,1 @@
+lib/core/stub.mli: Netobj_pickle Runtime

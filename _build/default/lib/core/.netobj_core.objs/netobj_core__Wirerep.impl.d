@@ -1,0 +1,1 @@
+lib/core/wirerep.ml: Fmt Hashtbl Int Map Netobj_pickle Set

@@ -1,0 +1,1 @@
+lib/core/wirerep.mli: Fmt Hashtbl Map Netobj_pickle Set

@@ -1,0 +1,125 @@
+module P = Netobj_pickle.Pickle
+
+type msg_id = { origin : int; seq : int }
+
+let msg_id_codec =
+  P.map ~name:"msg_id"
+    (fun (origin, seq) -> { origin; seq })
+    (fun { origin; seq } -> (origin, seq))
+    (P.pair P.int P.int)
+
+let pp_msg_id ppf { origin; seq } = Fmt.pf ppf "#%d.%d" origin seq
+
+type envelope =
+  | Call of {
+      call_id : int;
+      msg_id : msg_id;
+      needs_ack : bool;
+      target : Wirerep.t;
+      meth : string;
+      args : string;
+    }
+  | Reply of {
+      call_id : int;
+      msg_id : msg_id;
+      needs_ack : bool;
+      ack : msg_id option;
+      result : (string, string) result;
+    }
+  | Copy_ack of { msg_id : msg_id }
+  | Dirty of { wr : Wirerep.t; seq : int }
+  | Dirty_ack of { wr : Wirerep.t; ok : bool }
+  | Clean of { wr : Wirerep.t; seq : int; strong : bool }
+  | Clean_ack of { wr : Wirerep.t }
+  | Clean_batch of { items : (Wirerep.t * int) list }
+  | Clean_batch_ack of { wrs : Wirerep.t list }
+  | Ping of { nonce : int }
+  | Ping_ack of { nonce : int }
+
+let codec =
+  P.sum "envelope"
+    [
+      P.case 0 "call"
+        (P.quad P.int msg_id_codec
+           (P.pair P.bool Wirerep.codec)
+           (P.pair P.string P.string))
+        (fun (call_id, msg_id, (needs_ack, target), (meth, args)) ->
+          Call { call_id; msg_id; needs_ack; target; meth; args })
+        (function
+          | Call { call_id; msg_id; needs_ack; target; meth; args } ->
+              Some (call_id, msg_id, (needs_ack, target), (meth, args))
+          | _ -> None);
+      P.case 1 "reply"
+        (P.quad P.int msg_id_codec
+           (P.pair P.bool (P.option msg_id_codec))
+           (P.result P.string P.string))
+        (fun (call_id, msg_id, (needs_ack, ack), result) ->
+          Reply { call_id; msg_id; needs_ack; ack; result })
+        (function
+          | Reply { call_id; msg_id; needs_ack; ack; result } ->
+              Some (call_id, msg_id, (needs_ack, ack), result)
+          | _ -> None);
+      P.case 2 "copy_ack" msg_id_codec
+        (fun msg_id -> Copy_ack { msg_id })
+        (function Copy_ack { msg_id } -> Some msg_id | _ -> None);
+      P.case 3 "dirty"
+        (P.pair Wirerep.codec P.int)
+        (fun (wr, seq) -> Dirty { wr; seq })
+        (function Dirty { wr; seq } -> Some (wr, seq) | _ -> None);
+      P.case 4 "dirty_ack"
+        (P.pair Wirerep.codec P.bool)
+        (fun (wr, ok) -> Dirty_ack { wr; ok })
+        (function Dirty_ack { wr; ok } -> Some (wr, ok) | _ -> None);
+      P.case 5 "clean"
+        (P.triple Wirerep.codec P.int P.bool)
+        (fun (wr, seq, strong) -> Clean { wr; seq; strong })
+        (function
+          | Clean { wr; seq; strong } -> Some (wr, seq, strong) | _ -> None);
+      P.case 6 "clean_ack" Wirerep.codec
+        (fun wr -> Clean_ack { wr })
+        (function Clean_ack { wr } -> Some wr | _ -> None);
+      P.case 7 "ping" P.int
+        (fun nonce -> Ping { nonce })
+        (function Ping { nonce } -> Some nonce | _ -> None);
+      P.case 8 "ping_ack" P.int
+        (fun nonce -> Ping_ack { nonce })
+        (function Ping_ack { nonce } -> Some nonce | _ -> None);
+      P.case 9 "clean_batch"
+        (P.list (P.pair Wirerep.codec P.int))
+        (fun items -> Clean_batch { items })
+        (function Clean_batch { items } -> Some items | _ -> None);
+      P.case 10 "clean_batch_ack" (P.list Wirerep.codec)
+        (fun wrs -> Clean_batch_ack { wrs })
+        (function Clean_batch_ack { wrs } -> Some wrs | _ -> None);
+    ]
+
+let kind = function
+  | Call _ -> "call"
+  | Reply _ -> "reply"
+  | Copy_ack _ -> "copy_ack"
+  | Dirty _ -> "dirty"
+  | Dirty_ack _ -> "dirty_ack"
+  | Clean _ -> "clean"
+  | Clean_ack _ -> "clean_ack"
+  | Clean_batch _ -> "clean_batch"
+  | Clean_batch_ack _ -> "clean_batch_ack"
+  | Ping _ -> "ping"
+  | Ping_ack _ -> "ping_ack"
+
+let pp ppf = function
+  | Call { call_id; target; meth; _ } ->
+      Fmt.pf ppf "call#%d %a.%s" call_id Wirerep.pp target meth
+  | Reply { call_id; result; _ } ->
+      Fmt.pf ppf "reply#%d %s" call_id
+        (match result with Ok _ -> "ok" | Error e -> "error: " ^ e)
+  | Copy_ack { msg_id } -> Fmt.pf ppf "copy_ack %a" pp_msg_id msg_id
+  | Dirty { wr; seq } -> Fmt.pf ppf "dirty %a seq=%d" Wirerep.pp wr seq
+  | Dirty_ack { wr; ok } -> Fmt.pf ppf "dirty_ack %a ok=%b" Wirerep.pp wr ok
+  | Clean { wr; seq; strong } ->
+      Fmt.pf ppf "clean %a seq=%d strong=%b" Wirerep.pp wr seq strong
+  | Clean_ack { wr } -> Fmt.pf ppf "clean_ack %a" Wirerep.pp wr
+  | Clean_batch { items } -> Fmt.pf ppf "clean_batch(%d)" (List.length items)
+  | Clean_batch_ack { wrs } ->
+      Fmt.pf ppf "clean_batch_ack(%d)" (List.length wrs)
+  | Ping { nonce } -> Fmt.pf ppf "ping %d" nonce
+  | Ping_ack { nonce } -> Fmt.pf ppf "ping_ack %d" nonce

@@ -1,0 +1,62 @@
+(** The runtime's wire protocol: one envelope per network message.
+
+    Remote invocations are a [Call]/[Reply] pair; both may embed
+    wireReps in their payloads, so each carries a message identifier
+    that the receiver acknowledges with [Copy_ack] once unmarshalling
+    (including any dirty calls it triggered) has completed — releasing
+    the sender's transient dirty entries for that message.
+
+    [Dirty]/[Clean] calls carry the client's per-object sequence number
+    (TR 116 §2: "an incoming operation will be performed only if its
+    sequence number exceeds this value"), making retries and reordered
+    duplicates idempotent; [strong] cleans additionally cancel a dirty
+    call presumed lost (TR §2.3).  [Ping]/[Ping_ack] implement the
+    owner-driven liveness probe of TR §2.4. *)
+
+(** Message identifier for transient-dirty accounting: minting space and
+    a per-space sequence number. *)
+type msg_id = { origin : int; seq : int }
+
+val msg_id_codec : msg_id Netobj_pickle.Pickle.t
+
+val pp_msg_id : msg_id Fmt.t
+
+type envelope =
+  | Call of {
+      call_id : int;
+      msg_id : msg_id;
+      needs_ack : bool;
+          (** false when the arguments carried no references: the
+              receiver then sends no copy_ack at all (ack elision) *)
+      target : Wirerep.t;
+      meth : string;
+      args : string;  (** pickled under the caller's marshal context *)
+    }
+  | Reply of {
+      call_id : int;
+      msg_id : msg_id;
+      needs_ack : bool;  (** as for calls, but for the result payload *)
+      ack : msg_id option;
+          (** piggybacked acknowledgement of the call's references —
+              the "piggy-back GC messages onto mutator messages"
+              optimisation *)
+      result : (string, string) result;  (** pickled result or error text *)
+    }
+  | Copy_ack of { msg_id : msg_id }
+  | Dirty of { wr : Wirerep.t; seq : int }
+  | Dirty_ack of { wr : Wirerep.t; ok : bool }
+  | Clean of { wr : Wirerep.t; seq : int; strong : bool }
+  | Clean_ack of { wr : Wirerep.t }
+  | Clean_batch of { items : (Wirerep.t * int) list }
+      (** several clean calls to the same owner in one message — the
+          batching optimisation the TR's cleaning demon enables *)
+  | Clean_batch_ack of { wrs : Wirerep.t list }
+  | Ping of { nonce : int }
+  | Ping_ack of { nonce : int }
+
+val codec : envelope Netobj_pickle.Pickle.t
+
+(** Accounting label for {!Netobj_net.Net.send}. *)
+val kind : envelope -> string
+
+val pp : envelope Fmt.t

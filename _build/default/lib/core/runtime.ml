@@ -1,0 +1,1159 @@
+module Sched = Netobj_sched.Sched
+module Net = Netobj_net.Net
+module Wire = Netobj_pickle.Wire
+module Pickle = Netobj_pickle.Pickle
+module Rng = Netobj_util.Rng
+
+let src_log = Logs.Src.create "netobj.runtime" ~doc:"Network Objects runtime"
+
+module Log = (val Logs.src_log src_log)
+
+exception Remote_error of string
+
+exception Timeout of string
+
+let () =
+  Printexc.register_printer (function
+    | Remote_error m -> Some (Printf.sprintf "Remote_error(%s)" m)
+    | Timeout m -> Some (Printf.sprintf "Timeout(%s)" m)
+    | _ -> None)
+
+type handle = { wr : Wirerep.t }
+
+type config = {
+  nspaces : int;
+  seed : int64;
+  policy : Sched.policy;
+  edge : Net.edge_config;
+  gc_period : float option;
+  ping_period : float option;
+  lease_misses : int;
+  call_timeout : float option;
+  dirty_timeout : float option;
+  clean_retry : float option;
+  clean_batch : float option;
+  piggyback_acks : bool;
+}
+
+let default_config ~nspaces =
+  {
+    nspaces;
+    seed = 1L;
+    policy = Sched.Fifo;
+    edge = Net.bag_edge ();
+    gc_period = None;
+    ping_period = None;
+    lease_misses = 3;
+    call_timeout = None;
+    dirty_timeout = None;
+    clean_retry = None;
+    clean_batch = None;
+    piggyback_acks = false;
+  }
+
+type gc_stats = {
+  dirty_calls : int;
+  clean_calls : int;
+  copy_acks : int;
+  pings : int;
+  evictions : int;
+}
+
+(* Surrogate life cycle, mirroring the formal rec_T states:
+   absent = ⊥, Creating = nil, Usable = OK, Cleaning with [resurrect =
+   None] = ccit, with [Some _] = ccitnil. *)
+type sentry =
+  | Creating of bool Sched.Ivar.var  (* filled with registration success *)
+  | Usable of { mutable clean_scheduled : bool }
+  | Cleaning of { mutable resurrect : bool Sched.Ivar.var option }
+
+type meth = {
+  m_name : string;
+  (* phase 1 (marshal context): decode args; returns the compute thunk;
+     phase 2 (no context, may block): compute; returns the encoder to run
+     under the reply's marshal context. *)
+  m_run : space -> Wire.Reader.t -> unit -> Wire.Writer.t -> unit;
+}
+
+and cobj = {
+  c_wr : Wirerep.t;
+  c_meths : (string * meth) list;
+  mutable c_slots : Wirerep.t list;  (* heap edges for the local GC *)
+  c_dirty : (int, unit) Hashtbl.t;  (* the dirty set: client spaces *)
+  c_last_seq : (int, int) Hashtbl.t;  (* per-client op sequence numbers *)
+}
+
+and entry = Concrete of cobj | Surrogate of sentry ref
+
+and space = {
+  id : int;
+  rt : t;
+  table : entry Wirerep.Tbl.t;
+  mutable next_index : int;
+  mutable next_msg : int;
+  mutable next_call : int;
+  roots : (Wirerep.t, int ref) Hashtbl.t;
+  pins : (Wirerep.t, int ref) Hashtbl.t;
+  (* outgoing messages whose embedded references are transiently pinned
+     until the receiver's copy_ack *)
+  tdirty : (Proto.msg_id, Wirerep.t list) Hashtbl.t;
+  pending_calls :
+    (int, (Proto.msg_id * bool * (string, string) result) Sched.Ivar.var)
+    Hashtbl.t;
+  clean_mb : Wirerep.t Sched.Mailbox.mb;
+  seqno : int Wirerep.Tbl.t;  (* client-side dirty/clean sequence numbers *)
+  bindings : (string, Wirerep.t) Hashtbl.t;  (* agent name table *)
+  ping_misses : (int, int) Hashtbl.t;  (* client -> consecutive missed pings *)
+  mutable crashed : bool;
+  mutable n_collections : int;
+  mutable n_reclaimed : int;
+  mutable s_dirty : int;
+  mutable s_clean : int;
+  mutable s_copy_ack : int;
+  mutable s_ping : int;
+  mutable s_evict : int;
+}
+
+and t = {
+  config : config;
+  sched : Sched.t;
+  network : Net.t;
+  mutable space_arr : space array;
+}
+
+(* --- marshal contexts ---------------------------------------------------
+
+   Contexts are only live during non-yielding encode/decode extents, so a
+   module-global stack is safe under the cooperative scheduler. *)
+
+type ctx =
+  | Enc of { esp : space; e_pinned : Wirerep.t list ref }
+  | Dec of {
+      dsp : space;
+      d_acquired : Wirerep.t list ref;
+      d_pending : bool Sched.Ivar.var list ref;
+    }
+
+let ctx_stack : ctx list ref = ref []
+
+let with_ctx c f =
+  ctx_stack := c :: !ctx_stack;
+  Fun.protect ~finally:(fun () -> ctx_stack := List.tl !ctx_stack) f
+
+(* --- pin / root bookkeeping --------------------------------------------- *)
+
+let bump tbl wr =
+  match Hashtbl.find_opt tbl wr with
+  | Some r -> incr r
+  | None -> Hashtbl.add tbl wr (ref 1)
+
+let unbump tbl wr =
+  match Hashtbl.find_opt tbl wr with
+  | Some r ->
+      decr r;
+      if !r <= 0 then Hashtbl.remove tbl wr
+  | None -> ()
+
+let pin sp wr = bump sp.pins wr
+
+let unpin sp wr = unbump sp.pins wr
+
+let root sp wr = bump sp.roots wr
+
+let unroot sp wr = unbump sp.roots wr
+
+(* --- basics -------------------------------------------------------------- *)
+
+let space rt i = rt.space_arr.(i)
+
+let spaces rt = Array.to_list rt.space_arr
+
+let space_id sp = sp.id
+
+let sched rt = rt.sched
+
+let net rt = rt.network
+
+let run ?max_steps ?until rt = Sched.run ?max_steps ?until rt.sched
+
+let spawn rt ?name f = Sched.spawn rt.sched ?name f
+
+let wirerep h = h.wr
+
+let pp_handle ppf h = Wirerep.pp ppf h.wr
+
+let meth m_name f = { m_name; m_run = f }
+
+let fresh_msg_id sp =
+  let seq = sp.next_msg in
+  sp.next_msg <- sp.next_msg + 1;
+  { Proto.origin = sp.id; seq }
+
+let next_seqno sp wr =
+  let n = (try Wirerep.Tbl.find sp.seqno wr with Not_found -> 0) + 1 in
+  Wirerep.Tbl.replace sp.seqno wr n;
+  n
+
+let send_env sp ~dst env =
+  Net.send sp.rt.network ~src:sp.id ~dst ~kind:(Proto.kind env)
+    (Pickle.encode Proto.codec env)
+
+(* --- surrogate registration (the dirty protocol, client side) ----------- *)
+
+let send_dirty sp wr =
+  sp.s_dirty <- sp.s_dirty + 1;
+  send_env sp ~dst:wr.Wirerep.space (Proto.Dirty { wr; seq = next_seqno sp wr })
+
+let send_clean sp wr ~strong =
+  sp.s_clean <- sp.s_clean + 1;
+  send_env sp ~dst:wr.Wirerep.space
+    (Proto.Clean { wr; seq = next_seqno sp wr; strong })
+
+(* Ensure a table entry exists for a reference just read from a message,
+   returning the registration event to await (if any).  Mirrors the
+   receive_copy rule: ⊥ -> nil (dirty call), OK cancels a scheduled
+   clean, ccit -> ccitnil. *)
+let acquire_surrogate sp wr =
+  match Wirerep.Tbl.find_opt sp.table wr with
+  | Some (Concrete _) -> None
+  | Some (Surrogate st) -> (
+      match !st with
+      | Creating iv -> Some iv
+      | Usable u ->
+          u.clean_scheduled <- false;
+          None
+      | Cleaning cl -> (
+          match cl.resurrect with
+          | Some iv -> Some iv
+          | None ->
+              let iv = Sched.Ivar.create () in
+              cl.resurrect <- Some iv;
+              Some iv))
+  | None ->
+      let iv = Sched.Ivar.create () in
+      Wirerep.Tbl.add sp.table wr (Surrogate (ref (Creating iv)));
+      send_dirty sp wr;
+      Some iv
+
+(* --- the handle codec ---------------------------------------------------- *)
+
+let handle_codec =
+  let write w h =
+    (match !ctx_stack with
+    | Enc { esp; e_pinned } :: _ ->
+        pin esp h.wr;
+        e_pinned := h.wr :: !e_pinned
+    | Dec _ :: _ | [] ->
+        failwith "handle_codec: no enclosing marshal (encode) context");
+    Pickle.write Wirerep.codec w h.wr
+  in
+  let read r =
+    let wr = Pickle.read Wirerep.codec r in
+    (match !ctx_stack with
+    | Dec { dsp; d_acquired; d_pending } :: _ ->
+        (* Pin immediately so an interleaved local GC cannot sweep the
+           entry while registration completes. *)
+        pin dsp wr;
+        d_acquired := wr :: !d_acquired;
+        (match acquire_surrogate dsp wr with
+        | Some iv -> d_pending := iv :: !d_pending
+        | None -> ())
+    | Enc _ :: _ | [] ->
+        failwith "handle_codec: no enclosing marshal (decode) context");
+    { wr }
+  in
+  Pickle.custom ~name:"handle"
+    ~write:(fun w h -> write w h)
+    ~read:(fun r -> read r)
+
+(* Encode a payload under a fresh message id; embedded handles become
+   transient pins attached to that id.  Returns whether any reference was
+   embedded (an ack-free message needs no transient entry at all). *)
+let encode_with_pins sp f =
+  let msg_id = fresh_msg_id sp in
+  let pinned = ref [] in
+  let w = Wire.Writer.create () in
+  with_ctx (Enc { esp = sp; e_pinned = pinned }) (fun () -> f w);
+  let has_refs = !pinned <> [] in
+  if has_refs then Hashtbl.replace sp.tdirty msg_id !pinned;
+  (msg_id, has_refs, Wire.Writer.contents w)
+
+let release_pins_for sp msg_id =
+  match Hashtbl.find_opt sp.tdirty msg_id with
+  | None -> ()
+  | Some wrs ->
+      Hashtbl.remove sp.tdirty msg_id;
+      List.iter (unpin sp) wrs
+
+(* Decode a payload; returns the value, the acquired references (already
+   pinned once each) and the registrations to await. *)
+let decode_with_acquire sp payload f =
+  let acquired = ref [] in
+  let pending = ref [] in
+  let r = Wire.Reader.of_string payload in
+  let v =
+    with_ctx (Dec { dsp = sp; d_acquired = acquired; d_pending = pending })
+      (fun () -> f r)
+  in
+  (v, !acquired, !pending)
+
+(* Block until every registration triggered by a decode has completed.
+   This is the spec's suspended deserialisation; with a configured
+   dirty_timeout it raises [Timeout] instead of waiting forever. *)
+let await_registrations sp pending =
+  List.iter
+    (fun iv ->
+      let ok =
+        match sp.rt.config.dirty_timeout with
+        | None -> Sched.Ivar.read iv
+        | Some dt -> (
+            match Sched.read_timeout sp.rt.sched iv ~timeout:dt with
+            | Some ok -> ok
+            | None -> raise (Timeout "dirty call"))
+      in
+      if not ok then raise (Remote_error "object no longer available at owner"))
+    pending
+
+(* --- local GC ------------------------------------------------------------ *)
+
+let mark_from sp =
+  let marked = Wirerep.Tbl.create 64 in
+  let rec visit wr =
+    if not (Wirerep.Tbl.mem marked wr) then begin
+      Wirerep.Tbl.add marked wr ();
+      match Wirerep.Tbl.find_opt sp.table wr with
+      | Some (Concrete c) -> List.iter visit c.c_slots
+      | Some (Surrogate _) | None -> ()
+    end
+  in
+  Hashtbl.iter (fun wr _ -> visit wr) sp.roots;
+  Hashtbl.iter (fun wr _ -> visit wr) sp.pins;
+  (* Concrete objects held remotely are roots: their dirty set or a
+     transient pin elsewhere keeps them and everything they reference
+     alive. *)
+  Wirerep.Tbl.iter
+    (fun wr entry ->
+      match entry with
+      | Concrete c -> if Hashtbl.length c.c_dirty > 0 then visit wr
+      | Surrogate _ -> ())
+    sp.table;
+  marked
+
+let collect sp =
+  if not sp.crashed then begin
+    sp.n_collections <- sp.n_collections + 1;
+    let marked = mark_from sp in
+    let dead_concrete = ref [] in
+    Wirerep.Tbl.iter
+      (fun wr entry ->
+        let live = Wirerep.Tbl.mem marked wr in
+        match entry with
+        | Concrete c ->
+            if (not live) && Hashtbl.length c.c_dirty = 0 then
+              dead_concrete := wr :: !dead_concrete
+        | Surrogate st -> (
+            match !st with
+            | Usable u ->
+                if live then u.clean_scheduled <- false
+                else if not u.clean_scheduled then begin
+                  (* finalize: schedule a clean call with the demon *)
+                  u.clean_scheduled <- true;
+                  Sched.Mailbox.send sp.clean_mb wr
+                end
+            | Creating _ | Cleaning _ -> ()))
+      sp.table;
+    List.iter
+      (fun wr ->
+        Wirerep.Tbl.remove sp.table wr;
+        sp.n_reclaimed <- sp.n_reclaimed + 1;
+        Log.debug (fun m -> m "space %d reclaimed %a" sp.id Wirerep.pp wr))
+      !dead_concrete
+  end
+
+let collect_all rt = Array.iter collect rt.space_arr
+
+(* Global (complete) collection: trace across every space at once.  The
+   key difference from the local collector is that dirty sets are NOT
+   roots — remote reachability is established by actually following the
+   inter-space edges, so an isolated distributed cycle is not retained. *)
+let global_collect rt =
+  let marked = Wirerep.Tbl.create 256 in
+  let rec visit wr =
+    if not (Wirerep.Tbl.mem marked wr) then begin
+      Wirerep.Tbl.add marked wr ();
+      (* Follow heap edges at the owner. *)
+      let owner_sp = rt.space_arr.(wr.Wirerep.space) in
+      match Wirerep.Tbl.find_opt owner_sp.table wr with
+      | Some (Concrete c) -> List.iter visit c.c_slots
+      | Some (Surrogate _) | None -> ()
+    end
+  in
+  Array.iter
+    (fun sp ->
+      if not sp.crashed then begin
+        Hashtbl.iter (fun wr _ -> visit wr) sp.roots;
+        Hashtbl.iter (fun wr _ -> visit wr) sp.pins
+      end)
+    rt.space_arr;
+  (* Sweep: remove unreached concretes, and every table entry (surrogate
+     or otherwise) that refers to them. *)
+  let reclaimed = ref 0 in
+  Array.iter
+    (fun sp ->
+      let dead = ref [] in
+      Wirerep.Tbl.iter
+        (fun wr entry ->
+          if not (Wirerep.Tbl.mem marked wr) then
+            match entry with
+            | Concrete _ ->
+                incr reclaimed;
+                dead := wr :: !dead
+            | Surrogate _ -> dead := wr :: !dead)
+        sp.table;
+      List.iter
+        (fun wr ->
+          Wirerep.Tbl.remove sp.table wr;
+          sp.n_reclaimed <- sp.n_reclaimed + 1)
+        !dead)
+    rt.space_arr;
+  !reclaimed
+
+(* --- cleaning demon ------------------------------------------------------ *)
+
+(* Transition a scheduled surrogate to Cleaning and return its fresh
+   sequence number, unless a fresh copy cancelled the clean meanwhile
+   (the Note 4 cancellation). *)
+let begin_clean sp wr =
+  match Wirerep.Tbl.find_opt sp.table wr with
+  | Some (Surrogate st) -> (
+      match !st with
+      | Usable u when u.clean_scheduled ->
+          st := Cleaning { resurrect = None };
+          Some (next_seqno sp wr)
+      | Usable _ | Creating _ | Cleaning _ -> None)
+  | Some (Concrete _) | None -> None
+
+(* Batched cleaning demon: gather everything scheduled within the window
+   and send one clean_batch per owner. *)
+let cleaning_demon_batched sp window () =
+  let rec loop () =
+    let wr0 = Sched.Mailbox.recv sp.clean_mb in
+    Sched.sleep sp.rt.sched window;
+    let rec drain acc =
+      match Sched.Mailbox.try_recv sp.clean_mb with
+      | Some wr -> drain (wr :: acc)
+      | None -> List.rev acc
+    in
+    let wrs = wr0 :: drain [] in
+    if not sp.crashed then begin
+      let by_owner = Hashtbl.create 4 in
+      List.iter
+        (fun wr ->
+          match begin_clean sp wr with
+          | None -> ()
+          | Some seq ->
+              sp.s_clean <- sp.s_clean + 1;
+              let owner = wr.Wirerep.space in
+              let prev =
+                Option.value ~default:[] (Hashtbl.find_opt by_owner owner)
+              in
+              Hashtbl.replace by_owner owner ((wr, seq) :: prev))
+        wrs;
+      Hashtbl.iter
+        (fun owner items ->
+          send_env sp ~dst:owner (Proto.Clean_batch { items }))
+        by_owner
+    end;
+    loop ()
+  in
+  loop ()
+
+(* Sends the clean call for a surrogate the collector found unreachable,
+   unless a fresh copy arrived meanwhile (the Note 4 cancellation). *)
+let cleaning_demon sp () =
+  let rec loop () =
+    let wr = Sched.Mailbox.recv sp.clean_mb in
+    (if not sp.crashed then
+       match Wirerep.Tbl.find_opt sp.table wr with
+       | Some (Surrogate st) -> (
+           match !st with
+           | Usable u when u.clean_scheduled ->
+               st := Cleaning { resurrect = None };
+               send_clean sp wr ~strong:false;
+               schedule_clean_retry sp wr
+           | Usable _ | Creating _ | Cleaning _ -> ())
+       | Some (Concrete _) | None -> ());
+    loop ()
+  and schedule_clean_retry sp wr =
+    match sp.rt.config.clean_retry with
+    | None -> ()
+    | Some dt ->
+        (* TR §2.3: an unacknowledged clean is repeated until it succeeds
+           (sequence numbers make the repeats idempotent). *)
+        let rec arm () =
+          Sched.timer sp.rt.sched dt (fun () ->
+              if not sp.crashed then
+                match Wirerep.Tbl.find_opt sp.table wr with
+                | Some (Surrogate st) -> (
+                    match !st with
+                    | Cleaning _ ->
+                        sp.s_clean <- sp.s_clean + 1;
+                        send_env sp ~dst:wr.Wirerep.space
+                          (Proto.Clean
+                             {
+                               wr;
+                               seq = Wirerep.Tbl.find sp.seqno wr;
+                               strong = false;
+                             });
+                        arm ()
+                    | Creating _ | Usable _ -> ())
+                | Some (Concrete _) | None -> ())
+        in
+        arm ()
+  in
+  loop ()
+
+(* --- message handling ----------------------------------------------------- *)
+
+let lookup_meth c name =
+  match List.assoc_opt name c.c_meths with
+  | Some m -> m
+  | None -> raise (Remote_error (Printf.sprintf "no method %s" name))
+
+let find_concrete sp wr =
+  match Wirerep.Tbl.find_opt sp.table wr with
+  | Some (Concrete c) -> Some c
+  | Some (Surrogate _) | None -> None
+
+(* Serve a call at the owner: decode (phase 1), await registrations, ack
+   the copy, compute (phase 2), reply under a fresh encode context.
+
+   Acknowledgement strategy (configurable):
+   - base (spec-faithful): a standalone copy_ack goes back as soon as the
+     arguments' registrations complete, when the call carried refs;
+   - piggyback: the ack rides in the reply (the reply is necessarily
+     later than registration completion, so the pins are merely held a
+     little longer — safe);
+   - elision: calls flagged [needs_ack:false] carried no references and
+     are not acknowledged at all. *)
+let serve_call sp ~src ~call_id ~msg_id ~needs_ack ~target ~meth_name ~args =
+  let piggyback = sp.rt.config.piggyback_acks in
+  (* immediate, standalone acknowledgement (base mode) *)
+  let ack_now () =
+    if needs_ack && not piggyback then begin
+      sp.s_copy_ack <- sp.s_copy_ack + 1;
+      send_env sp ~dst:src (Proto.Copy_ack { msg_id })
+    end
+  in
+  let piggy_ack = if needs_ack && piggyback then Some msg_id else None in
+  let reply result =
+    let rmsg_id, rneeds_ack, payload_or_err =
+      match result with
+      | Ok fill ->
+          let id, has_refs, s = encode_with_pins sp fill in
+          (id, has_refs, Ok s)
+      | Error e -> (fresh_msg_id sp, false, Error e)
+    in
+    send_env sp ~dst:src
+      (Proto.Reply
+         {
+           call_id;
+           msg_id = rmsg_id;
+           needs_ack = rneeds_ack;
+           ack = piggy_ack;
+           result = payload_or_err;
+         })
+  in
+  match find_concrete sp target with
+  | None ->
+      ack_now ();
+      reply (Error (Fmt.str "no such object %a" Wirerep.pp target))
+  | Some c -> (
+      match
+        let m = lookup_meth c meth_name in
+        decode_with_acquire sp args (fun r -> m.m_run sp r)
+      with
+      | exception e ->
+          ack_now ();
+          reply (Error (Printexc.to_string e))
+      | compute, acquired, pending -> (
+          match await_registrations sp pending with
+          | exception e ->
+              List.iter (unpin sp) acquired;
+              ack_now ();
+              reply (Error (Printexc.to_string e))
+          | () -> (
+              ack_now ();
+              (* Phase 2: run the implementation (it may itself block). *)
+              match compute () with
+              | fill ->
+                  reply (Ok fill);
+                  List.iter (unpin sp) acquired
+              | exception e ->
+                  reply (Error (Printexc.to_string e));
+                  List.iter (unpin sp) acquired)))
+
+let handle_dirty sp ~src ~wr ~seq =
+  match find_concrete sp wr with
+  | None ->
+      send_env sp ~dst:src (Proto.Dirty_ack { wr; ok = false })
+  | Some c ->
+      let last = Option.value ~default:0 (Hashtbl.find_opt c.c_last_seq src) in
+      if seq > last then begin
+        Hashtbl.replace c.c_last_seq src seq;
+        Hashtbl.replace c.c_dirty src ()
+      end;
+      send_env sp ~dst:src (Proto.Dirty_ack { wr; ok = true })
+
+let apply_clean sp ~src ~wr ~seq =
+  match find_concrete sp wr with
+  | None -> ()
+  | Some c ->
+      let last = Option.value ~default:0 (Hashtbl.find_opt c.c_last_seq src) in
+      if seq > last then begin
+        Hashtbl.replace c.c_last_seq src seq;
+        Hashtbl.remove c.c_dirty src
+      end
+
+let handle_clean sp ~src ~wr ~seq ~strong =
+  ignore strong;
+  apply_clean sp ~src ~wr ~seq;
+  send_env sp ~dst:src (Proto.Clean_ack { wr })
+
+let handle_dirty_ack sp ~wr ~ok =
+  match Wirerep.Tbl.find_opt sp.table wr with
+  | Some (Surrogate st) -> (
+      match !st with
+      | Creating iv ->
+          if ok then st := Usable { clean_scheduled = false }
+          else Wirerep.Tbl.remove sp.table wr;
+          Sched.Ivar.fill iv ok
+      | Usable _ | Cleaning _ -> () (* stale (e.g. duplicated) ack *))
+  | Some (Concrete _) | None -> ()
+
+let handle_clean_ack sp ~wr =
+  match Wirerep.Tbl.find_opt sp.table wr with
+  | Some (Surrogate st) -> (
+      match !st with
+      | Cleaning { resurrect = None } -> Wirerep.Tbl.remove sp.table wr
+      | Cleaning { resurrect = Some iv } ->
+          (* ccitnil -> nil: a fresh copy arrived during cleanup; start a
+             new registration cycle. *)
+          st := Creating iv;
+          send_dirty sp wr
+      | Creating _ | Usable _ -> () (* stale ack *))
+  | Some (Concrete _) | None -> ()
+
+let handle_reply sp ~call_id ~msg_id ~needs_ack ~ack ~result =
+  (* A piggybacked ack releases the call's transient pins right away. *)
+  (match ack with Some id -> release_pins_for sp id | None -> ());
+  match Hashtbl.find_opt sp.pending_calls call_id with
+  | None -> () (* timed out and forgotten *)
+  | Some iv ->
+      Hashtbl.remove sp.pending_calls call_id;
+      Sched.Ivar.fill iv (msg_id, needs_ack, result)
+
+let handle_ping_ack sp ~src ~nonce =
+  ignore nonce;
+  Hashtbl.replace sp.ping_misses src 0
+
+let handle_envelope sp ~src env =
+  if not sp.crashed then
+    match env with
+    | Proto.Call { call_id; msg_id; needs_ack; target; meth; args } ->
+        serve_call sp ~src ~call_id ~msg_id ~needs_ack ~target
+          ~meth_name:meth ~args
+    | Proto.Reply { call_id; msg_id; needs_ack; ack; result } ->
+        handle_reply sp ~call_id ~msg_id ~needs_ack ~ack ~result
+    | Proto.Copy_ack { msg_id } -> release_pins_for sp msg_id
+    | Proto.Dirty { wr; seq } -> handle_dirty sp ~src ~wr ~seq
+    | Proto.Dirty_ack { wr; ok } -> handle_dirty_ack sp ~wr ~ok
+    | Proto.Clean { wr; seq; strong } -> handle_clean sp ~src ~wr ~seq ~strong
+    | Proto.Clean_ack { wr } -> handle_clean_ack sp ~wr
+    | Proto.Clean_batch { items } ->
+        List.iter (fun (wr, seq) -> apply_clean sp ~src ~wr ~seq) items;
+        send_env sp ~dst:src
+          (Proto.Clean_batch_ack { wrs = List.map fst items })
+    | Proto.Clean_batch_ack { wrs } ->
+        List.iter (fun wr -> handle_clean_ack sp ~wr) wrs
+    | Proto.Ping { nonce } -> send_env sp ~dst:src (Proto.Ping_ack { nonce })
+    | Proto.Ping_ack { nonce } -> handle_ping_ack sp ~src ~nonce
+
+let clients_with_surrogates sp =
+  let clients = Hashtbl.create 8 in
+  Wirerep.Tbl.iter
+    (fun _ entry ->
+      match entry with
+      | Concrete c -> Hashtbl.iter (fun cl () -> Hashtbl.replace clients cl ()) c.c_dirty
+      | Surrogate _ -> ())
+    sp.table;
+  Hashtbl.fold (fun cl () acc -> cl :: acc) clients []
+
+let evict_client sp client =
+  Wirerep.Tbl.iter
+    (fun _ entry ->
+      match entry with
+      | Concrete c ->
+          if Hashtbl.mem c.c_dirty client then begin
+            Hashtbl.remove c.c_dirty client;
+            sp.s_evict <- sp.s_evict + 1
+          end
+      | Surrogate _ -> ())
+    sp.table
+
+let ping_demon sp period () =
+  let misses = sp.ping_misses in
+  let rec loop nonce =
+    Sched.sleep sp.rt.sched period;
+    if not sp.crashed then begin
+      let clients = clients_with_surrogates sp in
+      List.iter
+        (fun cl ->
+          let missed =
+            Option.value ~default:0 (Hashtbl.find_opt misses cl) + 1
+          in
+          Hashtbl.replace misses cl missed;
+          if missed > sp.rt.config.lease_misses then begin
+            Log.info (fun m -> m "space %d: evicting client %d" sp.id cl);
+            evict_client sp cl;
+            Hashtbl.remove misses cl
+          end
+          else begin
+            sp.s_ping <- sp.s_ping + 1;
+            send_env sp ~dst:cl (Proto.Ping { nonce })
+          end)
+        clients;
+      loop (nonce + 1)
+    end
+  in
+  loop 0
+
+let gc_demon sp period () =
+  let rec loop () =
+    Sched.sleep sp.rt.sched period;
+    if not sp.crashed then begin
+      collect sp;
+      loop ()
+    end
+  in
+  loop ()
+
+(* --- allocation, roots, heap edges ---------------------------------------- *)
+
+let allocate sp ~meths =
+  let index = sp.next_index in
+  sp.next_index <- sp.next_index + 1;
+  let wr = Wirerep.v ~space:sp.id ~index in
+  let c =
+    {
+      c_wr = wr;
+      c_meths = List.map (fun m -> (m.m_name, m)) meths;
+      c_slots = [];
+      c_dirty = Hashtbl.create 4;
+      c_last_seq = Hashtbl.create 4;
+    }
+  in
+  Wirerep.Tbl.add sp.table wr (Concrete c);
+  root sp wr;
+  { wr }
+
+let retain sp h = root sp h.wr
+
+let release sp h = unroot sp h.wr
+
+let link sp ~parent ~child =
+  match Wirerep.Tbl.find_opt sp.table parent.wr with
+  | Some (Concrete c) -> c.c_slots <- child.wr :: c.c_slots
+  | Some (Surrogate _) | None ->
+      invalid_arg "Runtime.link: parent is not a local concrete object"
+
+let unlink sp ~parent ~child =
+  match Wirerep.Tbl.find_opt sp.table parent.wr with
+  | Some (Concrete c) ->
+      let rec remove_one = function
+        | [] -> []
+        | wr :: rest ->
+            if Wirerep.equal wr child.wr then rest else wr :: remove_one rest
+      in
+      c.c_slots <- remove_one c.c_slots
+  | Some (Surrogate _) | None ->
+      invalid_arg "Runtime.unlink: parent is not a local concrete object"
+
+(* --- invocation ------------------------------------------------------------ *)
+
+let fresh_call_id sp =
+  let id = sp.next_call in
+  sp.next_call <- sp.next_call + 1;
+  id
+
+(* Wait until a surrogate is usable (it may be mid-resurrection). *)
+let await_usable sp h =
+  match Wirerep.Tbl.find_opt sp.table h.wr with
+  | Some (Concrete _) -> ()
+  | Some (Surrogate st) -> (
+      match !st with
+      | Usable _ -> ()
+      | Creating iv | Cleaning { resurrect = Some iv } ->
+          if not (Sched.Ivar.read iv) then
+            raise (Remote_error "surrogate registration failed")
+      | Cleaning { resurrect = None } ->
+          raise (Remote_error "surrogate is being cleaned up"))
+  | None -> raise (Remote_error "dangling handle (surrogate collected)")
+
+(* Local invocation: the owner calls one of its own objects.  Runs the
+   same three phases without touching the network. *)
+let invoke_local sp c ~meth:meth_name ~encode ~decode =
+  let m = lookup_meth c meth_name in
+  let msg_id, _, payload = encode_with_pins sp encode in
+  let compute, acquired, pending =
+    decode_with_acquire sp payload (fun r -> m.m_run sp r)
+  in
+  await_registrations sp pending;
+  release_pins_for sp msg_id;
+  let fill = compute () in
+  let rmsg_id, _, rpayload = encode_with_pins sp fill in
+  let (v, racq, rpend) = decode_with_acquire sp rpayload decode in
+  await_registrations sp rpend;
+  release_pins_for sp rmsg_id;
+  List.iter (unpin sp) acquired;
+  (* The caller owns the result's references. *)
+  List.iter
+    (fun wr ->
+      root sp wr;
+      unpin sp wr)
+    racq;
+  v
+
+let invoke_raw sp h ~meth:meth_name ~encode ~decode =
+  if sp.crashed then raise (Remote_error "calling space has crashed");
+  match Wirerep.Tbl.find_opt sp.table h.wr with
+  | Some (Concrete c) -> invoke_local sp c ~meth:meth_name ~encode ~decode
+  | Some (Surrogate _) | None -> (
+      await_usable sp h;
+      let call_id = fresh_call_id sp in
+      let iv = Sched.Ivar.create () in
+      Hashtbl.add sp.pending_calls call_id iv;
+      let msg_id, has_refs, args = encode_with_pins sp encode in
+      send_env sp ~dst:h.wr.Wirerep.space
+        (Proto.Call
+           {
+             call_id;
+             msg_id;
+             needs_ack = has_refs;
+             target = h.wr;
+             meth = meth_name;
+             args;
+           });
+      let rmsg_id, rneeds_ack, result =
+        match sp.rt.config.call_timeout with
+        | None -> Sched.Ivar.read iv
+        | Some dt -> (
+            match Sched.read_timeout sp.rt.sched iv ~timeout:dt with
+            | Some r -> r
+            | None ->
+                Hashtbl.remove sp.pending_calls call_id;
+                raise (Timeout (Printf.sprintf "call %s" meth_name)))
+      in
+      let ack_reply () =
+        if rneeds_ack then begin
+          sp.s_copy_ack <- sp.s_copy_ack + 1;
+          send_env sp ~dst:h.wr.Wirerep.space
+            (Proto.Copy_ack { msg_id = rmsg_id })
+        end
+      in
+      match result with
+      | Error e -> raise (Remote_error e)
+      | Ok payload ->
+          let v, acquired, pending = decode_with_acquire sp payload decode in
+          (match await_registrations sp pending with
+          | () -> ()
+          | exception e ->
+              ack_reply ();
+              List.iter (unpin sp) acquired;
+              raise e);
+          ack_reply ();
+          (* Transfer: pins become caller-owned roots. *)
+          List.iter
+            (fun wr ->
+              root sp wr;
+              unpin sp wr)
+            acquired;
+          v)
+
+(* --- agent (name service) -------------------------------------------------- *)
+
+let agent_table sp = sp.bindings
+
+(* The agent's own heap slots keep published objects locally reachable;
+   rebinding a name unlinks the object it previously kept alive. *)
+let agent_bind sp name wr =
+  let agent_wr = Wirerep.v ~space:sp.id ~index:0 in
+  (match Wirerep.Tbl.find_opt sp.table agent_wr with
+  | Some (Concrete agent) ->
+      (match Hashtbl.find_opt sp.bindings name with
+      | Some old ->
+          let rec remove_one = function
+            | [] -> []
+            | x :: rest -> if Wirerep.equal x old then rest else x :: remove_one rest
+          in
+          agent.c_slots <- remove_one agent.c_slots
+      | None -> ());
+      agent.c_slots <- wr :: agent.c_slots
+  | Some (Surrogate _) | None -> ());
+  Hashtbl.replace sp.bindings name wr
+
+let agent_publish_meth =
+  meth "publish" (fun sp r ->
+      let name = Pickle.read Pickle.string r in
+      let h = Pickle.read handle_codec r in
+      fun () ->
+        agent_bind sp name h.wr;
+        fun _w -> ())
+
+let agent_lookup_meth =
+  meth "lookup" (fun sp r ->
+      let name = Pickle.read Pickle.string r in
+      fun () ->
+        match Hashtbl.find_opt (agent_table sp) name with
+        | Some wr ->
+            fun w ->
+              Pickle.write Pickle.bool w true;
+              Pickle.write handle_codec w { wr }
+        | None -> fun w -> Pickle.write Pickle.bool w false)
+
+let publish sp name h = agent_bind sp name h.wr
+
+let unpublish sp name =
+  match Hashtbl.find_opt sp.bindings name with
+  | None -> ()
+  | Some old ->
+      let agent_wr = Wirerep.v ~space:sp.id ~index:0 in
+      (match Wirerep.Tbl.find_opt sp.table agent_wr with
+      | Some (Concrete agent) ->
+          let rec remove_one = function
+            | [] -> []
+            | x :: rest ->
+                if Wirerep.equal x old then rest else x :: remove_one rest
+          in
+          agent.c_slots <- remove_one agent.c_slots
+      | Some (Surrogate _) | None -> ());
+      Hashtbl.remove sp.bindings name
+
+(* Import a well-known wireRep (the remote agent) by running the normal
+   registration protocol on it. *)
+let import_wr sp wr =
+  if wr.Wirerep.space = sp.id then begin
+    (* Owned-handle semantics: callers release what import returns, so
+       take a root even on the local fast path. *)
+    root sp wr;
+    { wr }
+  end
+  else begin
+    pin sp wr;
+    (match acquire_surrogate sp wr with
+    | None -> ()
+    | Some iv ->
+        let ok =
+          match sp.rt.config.dirty_timeout with
+          | None -> Sched.Ivar.read iv
+          | Some dt -> (
+              match Sched.read_timeout sp.rt.sched iv ~timeout:dt with
+              | Some ok -> ok
+              | None ->
+                  unpin sp wr;
+                  raise (Timeout "dirty call (import)"))
+        in
+        if not ok then begin
+          unpin sp wr;
+          raise (Remote_error "import failed")
+        end);
+    root sp wr;
+    unpin sp wr;
+    { wr }
+  end
+
+let lookup sp ~at name =
+  let agent = import_wr sp (Wirerep.v ~space:at ~index:0) in
+  let result =
+    invoke_raw sp agent ~meth:"lookup"
+      ~encode:(fun w -> Pickle.write Pickle.string w name)
+      ~decode:(fun r ->
+        if Pickle.read Pickle.bool r then Some (Pickle.read handle_codec r)
+        else None)
+  in
+  release sp agent;
+  match result with
+  | Some h -> h
+  | None -> raise (Remote_error (Printf.sprintf "lookup: no binding for %s" name))
+
+(* --- system construction ---------------------------------------------------- *)
+
+let crash rt i =
+  let sp = space rt i in
+  sp.crashed <- true;
+  Net.crash rt.network i
+
+let make_space rt id =
+  {
+    id;
+    rt;
+    table = Wirerep.Tbl.create 64;
+    next_index = 0;
+    next_msg = 0;
+    next_call = 0;
+    roots = Hashtbl.create 16;
+    pins = Hashtbl.create 16;
+    tdirty = Hashtbl.create 16;
+    pending_calls = Hashtbl.create 16;
+    clean_mb = Sched.Mailbox.create ();
+    seqno = Wirerep.Tbl.create 16;
+    bindings = Hashtbl.create 8;
+    ping_misses = Hashtbl.create 8;
+    crashed = false;
+    n_collections = 0;
+    n_reclaimed = 0;
+    s_dirty = 0;
+    s_clean = 0;
+    s_copy_ack = 0;
+    s_ping = 0;
+    s_evict = 0;
+  }
+
+let create config =
+  let sched = Sched.create ~policy:config.policy () in
+  let network = Net.create ~sched ~seed:config.seed () in
+  Net.set_all_edges network config.edge;
+  let rt = { config; sched; network; space_arr = [||] } in
+  rt.space_arr <- Array.init config.nspaces (make_space rt);
+  Array.iter
+    (fun sp ->
+      (* The agent object occupies the well-known index 0 of each space
+         and is permanently rooted. *)
+      let agent = allocate sp ~meths:[ agent_publish_meth; agent_lookup_meth ] in
+      assert (agent.wr.Wirerep.index = 0);
+      Net.set_handler network sp.id (fun ~src ~kind:_ ~payload ->
+          match Pickle.decode Proto.codec payload with
+          | env -> handle_envelope sp ~src env
+          | exception e ->
+              Log.err (fun m ->
+                  m "space %d: malformed envelope from %d: %s" sp.id src
+                    (Printexc.to_string e)));
+      (match config.clean_batch with
+      | Some window ->
+          Sched.spawn sched
+            ~name:(Printf.sprintf "clean-demon-%d" sp.id)
+            (cleaning_demon_batched sp window)
+      | None ->
+          Sched.spawn sched
+            ~name:(Printf.sprintf "clean-demon-%d" sp.id)
+            (cleaning_demon sp));
+      (match config.gc_period with
+      | Some p ->
+          Sched.spawn sched
+            ~name:(Printf.sprintf "gc-demon-%d" sp.id)
+            (gc_demon sp p)
+      | None -> ());
+      match config.ping_period with
+      | Some p ->
+          Sched.spawn sched
+            ~name:(Printf.sprintf "ping-demon-%d" sp.id)
+            (ping_demon sp p)
+      | None -> ())
+    rt.space_arr;
+  rt
+
+(* --- introspection ----------------------------------------------------------- *)
+
+let resident sp wr = Wirerep.Tbl.mem sp.table wr
+
+let dirty_set sp h =
+  match Wirerep.Tbl.find_opt sp.table h.wr with
+  | Some (Concrete c) ->
+      Hashtbl.fold (fun cl () acc -> cl :: acc) c.c_dirty [] |> List.sort compare
+  | Some (Surrogate _) | None ->
+      invalid_arg "Runtime.dirty_set: not a resident concrete object"
+
+let surrogate_count sp =
+  Wirerep.Tbl.fold
+    (fun _ e acc -> match e with Surrogate _ -> acc + 1 | Concrete _ -> acc)
+    sp.table 0
+
+let collections sp = sp.n_collections
+
+let reclaimed sp = sp.n_reclaimed
+
+let gc_stats sp =
+  {
+    dirty_calls = sp.s_dirty;
+    clean_calls = sp.s_clean;
+    copy_acks = sp.s_copy_ack;
+    pings = sp.s_ping;
+    evictions = sp.s_evict;
+  }
+
+let check_consistency rt =
+  let problems = ref [] in
+  let report fmt = Fmt.kstr (fun s -> problems := s :: !problems) fmt in
+  let owner_of wr =
+    let osp = rt.space_arr.(wr.Wirerep.space) in
+    match Wirerep.Tbl.find_opt osp.table wr with
+    | Some (Concrete c) -> Some c
+    | Some (Surrogate _) | None -> None
+  in
+  Array.iter
+    (fun sp ->
+      if not sp.crashed then begin
+        (* No transient pins survive quiescence. *)
+        if Hashtbl.length sp.tdirty > 0 then
+          report "space %d: %d unacknowledged transmissions at quiescence"
+            sp.id (Hashtbl.length sp.tdirty);
+        if Hashtbl.length sp.pending_calls > 0 then
+          report "space %d: %d calls still pending at quiescence" sp.id
+            (Hashtbl.length sp.pending_calls);
+        Wirerep.Tbl.iter
+          (fun wr entry ->
+            match entry with
+            | Surrogate st -> (
+                let c = owner_of wr in
+                (* Definition 12: any surrogate implies residency. *)
+                (if c = None then
+                   report "space %d: surrogate %a for a vanished object"
+                     sp.id Wirerep.pp wr);
+                match !st with
+                | Usable _ -> (
+                    (* Lemma 9: usable implies registered. *)
+                    match c with
+                    | Some c ->
+                        if not (Hashtbl.mem c.c_dirty sp.id) then
+                          report
+                            "space %d: usable surrogate %a absent from dirty set"
+                            sp.id Wirerep.pp wr
+                    | None -> ())
+                | Creating _ ->
+                    report "space %d: surrogate %a stuck in Creating" sp.id
+                      Wirerep.pp wr
+                | Cleaning _ ->
+                    report "space %d: surrogate %a stuck in Cleaning" sp.id
+                      Wirerep.pp wr)
+            | Concrete c ->
+                (* Liveness at quiescence: every dirty entry has a
+                   matching surrogate at the (live) client. *)
+                Hashtbl.iter
+                  (fun client () ->
+                    let csp = rt.space_arr.(client) in
+                    if not csp.crashed then
+                      match Wirerep.Tbl.find_opt csp.table wr with
+                      | Some (Surrogate _) -> ()
+                      | Some (Concrete _) ->
+                          report
+                            "object %a: dirty entry for its own owner %d"
+                            Wirerep.pp wr client
+                      | None ->
+                          report
+                            "object %a: dirty entry for %d with no surrogate"
+                            Wirerep.pp wr client)
+                  c.c_dirty)
+          sp.table
+      end)
+    rt.space_arr;
+  List.rev !problems

@@ -1,0 +1,226 @@
+(** The Network Objects runtime: spaces, surrogates, object tables,
+    remote invocation, and the integrated distributed garbage collector.
+
+    A {e space} is a simulated process: it has an object table mapping
+    wireReps to local {e concrete objects} (it owns) or {e surrogates}
+    (client-side proxies), a set of application roots, a local
+    mark-and-sweep collector, a cleaning demon, and — optionally — GC and
+    ping demons driven by the virtual clock.
+
+    The distributed collector is Birrell's: the owner keeps a {e dirty
+    set} per concrete object, maintained by sequence-numbered
+    dirty/clean calls; marshalling a reference creates {e transient
+    dirty} pins at the sender until the receiver acknowledges the whole
+    message; unmarshalling an unknown reference blocks the receiving
+    fiber on a dirty call before the surrogate becomes usable.  A
+    concrete object is reclaimed only when it is locally unreachable and
+    both its dirty set and the transient pins referencing it are empty.
+
+    All blocking operations ({!invoke_raw}, {!Stub.call}, {!lookup})
+    must run inside a fiber of the runtime's scheduler. *)
+
+module Sched = Netobj_sched.Sched
+module Net = Netobj_net.Net
+module Wire = Netobj_pickle.Wire
+module Pickle = Netobj_pickle.Pickle
+
+type t
+
+type space
+
+(** A local reference to a network object (concrete or surrogate),
+    valid within the space that produced it. *)
+type handle
+
+(** Raised when a remote invocation fails: unknown object, method, a
+    marshalling error, or an exception escaping the implementation. *)
+exception Remote_error of string
+
+(** Raised when a call or dirty call exceeds its configured timeout. *)
+exception Timeout of string
+
+type config = {
+  nspaces : int;
+  seed : int64;
+  policy : Sched.policy;
+  edge : Net.edge_config;
+  gc_period : float option;  (** run each space's local GC periodically *)
+  ping_period : float option;  (** owner pings clients in its dirty sets *)
+  lease_misses : int;  (** missed pings before a client is presumed dead *)
+  call_timeout : float option;
+  dirty_timeout : float option;  (** give up on surrogate creation *)
+  clean_retry : float option;  (** re-send unacknowledged clean calls *)
+  clean_batch : float option;
+      (** gather clean calls for this long and send one batched message
+          per owner (the TR's cleaning-demon batching optimisation) *)
+  piggyback_acks : bool;
+      (** elide copy_acks for messages that carried no references, and
+          ride the ack of a call's references on its reply — the paper's
+          "piggy-back GC messages onto mutator messages" *)
+}
+
+(** Fault-free defaults: reliable reordering network, no demons, no
+    timeouts. *)
+val default_config : nspaces:int -> config
+
+val create : config -> t
+
+val sched : t -> Sched.t
+
+val net : t -> Net.t
+
+val space : t -> int -> space
+
+val space_id : space -> int
+
+val spaces : t -> space list
+
+(** Drive the system (see {!Sched.run}). *)
+val run : ?max_steps:int -> ?until:float -> t -> int
+
+(** Spawn a fiber (application code) — blocking calls are only legal
+    inside one. *)
+val spawn : t -> ?name:string -> (unit -> unit) -> unit
+
+(** {1 Objects and the local heap} *)
+
+(** An untyped method implementation (see {!Stub} for the typed layer).
+
+    A method runs in three phases: (1) decode the arguments from the
+    reader — this runs under the receiving marshal context and must not
+    block; (2) compute — the [unit ->] stage, free to block and make
+    nested remote calls; (3) encode the result into the writer — under
+    the reply's marshal context, must not block.  The runtime awaits the
+    dirty registrations triggered by phase 1 before running phase 2, so
+    the implementation only ever sees usable references. *)
+type meth
+
+val meth :
+  string -> (space -> Wire.Reader.t -> unit -> Wire.Writer.t -> unit) -> meth
+
+(** Allocate a concrete network object owned by this space.  The handle
+    is rooted; {!release} it when the application no longer needs it
+    locally. *)
+val allocate : space -> meths:meth list -> handle
+
+(** Root an additional reference to the handle (reference-counted). *)
+val retain : space -> handle -> unit
+
+(** Drop one application root.  The object may become collectable. *)
+val release : space -> handle -> unit
+
+(** [link parent child] records a heap edge: [child] is reachable from
+    [parent] for the local collector. *)
+val link : space -> parent:handle -> child:handle -> unit
+
+val unlink : space -> parent:handle -> child:handle -> unit
+
+val wirerep : handle -> Wirerep.t
+
+val pp_handle : handle Fmt.t
+
+(** {1 Invocation} *)
+
+(** [invoke_raw sp h ~meth ~encode ~decode] performs a remote (or local,
+    if [sp] owns [h]) method invocation.  [encode] writes the pickled
+    arguments under the sending marshal context (handles written through
+    {!handle_codec} are pinned transiently); [decode] reads the reply
+    under the receiving context (handles read are dirty-registered and
+    become rooted — {!release} them when done). *)
+val invoke_raw :
+  space ->
+  handle ->
+  meth:string ->
+  encode:(Wire.Writer.t -> unit) ->
+  decode:(Wire.Reader.t -> 'r) ->
+  'r
+
+(** Codec for handles embedded in arguments/results.  Only usable inside
+    an {!invoke_raw} encode/decode callback (or a method handler); using
+    it elsewhere raises [Failure]. *)
+val handle_codec : handle Pickle.t
+
+(** {1 Garbage collection} *)
+
+(** Run this space's local mark-and-sweep now. *)
+val collect : space -> unit
+
+(** Run every space's collector. *)
+val collect_all : t -> unit
+
+(** Stop-the-world {e complete} collection — the hybrid complement the
+    paper calls for, since reference listing alone cannot reclaim
+    distributed cycles.  Traces the whole system from every space's
+    application roots and transmission pins (ignoring dirty sets, which
+    is exactly what lets it cross cycles), then reclaims every unreached
+    concrete object and drops the now-dangling surrogate entries and
+    dirty-set state everywhere.  Returns the number of concrete objects
+    reclaimed.  Must run on a quiescent system (no calls in progress);
+    in a real deployment this corresponds to a coordinated global
+    tracing phase. *)
+val global_collect : t -> int
+
+(** Does this space's table still hold an entry for the wireRep? *)
+val resident : space -> Wirerep.t -> bool
+
+(** The dirty set of a concrete object owned by this space.  Raises if
+    not the owner or not resident. *)
+val dirty_set : space -> handle -> int list
+
+(** Surrogate count in this space's table. *)
+val surrogate_count : space -> int
+
+(** Number of local collections this space has run. *)
+val collections : space -> int
+
+(** Objects reclaimed by this space's collector so far. *)
+val reclaimed : space -> int
+
+(** {1 Name service (agent)} *)
+
+(** Publish a handle under a name at this space's agent. *)
+val publish : space -> string -> handle -> unit
+
+(** Remove a binding; the object loses the agent's heap reference (it may
+    become collectable if nothing else holds it). *)
+val unpublish : space -> string -> unit
+
+(** [lookup sp ~at name] imports the named object from space [at]'s
+    agent.  The returned handle is rooted; {!release} it when done.
+    Raises [Not_found] (as [Remote_error]) if the name is unknown. *)
+val lookup : space -> at:int -> string -> handle
+
+(** {1 Failure injection} *)
+
+(** Crash a space: it stops sending, receiving and running demons. *)
+val crash : t -> int -> unit
+
+(** {1 Introspection} *)
+
+type gc_stats = {
+  dirty_calls : int;
+  clean_calls : int;
+  copy_acks : int;
+  pings : int;
+  evictions : int;  (** dirty-set entries dropped by lease expiry *)
+}
+
+val gc_stats : space -> gc_stats
+
+(** Cross-validation against the formal specification: on a {e quiescent}
+    system (no messages in flight, no fibers mid-call) check the runtime
+    analogues of the paper's safety lemmas and report violations:
+
+    - Lemma 9: a [Usable] surrogate at space [p] implies [p] is in the
+      owner's dirty set for that object;
+    - Definition 12: a surrogate in any state implies the concrete object
+      is still resident at its owner;
+    - conversely (liveness at quiescence): every dirty-set entry is
+      matched by a surrogate entry at that client;
+    - no transient pins survive quiescence (every message was acked);
+    - registration/cleanup states ([Creating]/[Cleaning]) do not exist at
+      quiescence.
+
+    Call it only after {!run} returned with no runnable work; results are
+    meaningless mid-protocol. *)
+val check_consistency : t -> string list

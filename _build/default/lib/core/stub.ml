@@ -1,0 +1,20 @@
+module Pickle = Netobj_pickle.Pickle
+
+type ('a, 'b) rmeth = { name : string; arg : 'a Pickle.t; res : 'b Pickle.t }
+
+let declare name arg res = { name; arg; res }
+
+let implement m f =
+  Runtime.meth m.name (fun sp reader ->
+      (* Phase 1: decode under the marshal context. *)
+      let arg = Pickle.read m.arg reader in
+      fun () ->
+        (* Phase 2: compute. *)
+        let res = f sp arg in
+        (* Phase 3: encode under the reply context. *)
+        fun writer -> Pickle.write m.res writer res)
+
+let call sp h m arg =
+  Runtime.invoke_raw sp h ~meth:m.name
+    ~encode:(fun w -> Pickle.write m.arg w arg)
+    ~decode:(fun r -> Pickle.read m.res r)

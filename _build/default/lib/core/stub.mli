@@ -1,0 +1,47 @@
+(** Typed stubs and skeletons for network objects.
+
+    Modula-3 Network Objects generates stub code from interface
+    declarations; OCaml has no runtime reflection, so an interface is
+    declared as first-class typed method descriptors instead.  The same
+    descriptor drives both sides:
+
+    {[
+      (* shared interface *)
+      let deposit = Stub.declare "deposit" Pickle.int Pickle.unit
+      let balance = Stub.declare "balance" Pickle.unit Pickle.int
+
+      (* owner: implement and allocate *)
+      let account =
+        Runtime.allocate owner_space
+          ~meths:
+            [
+              Stub.implement deposit (fun _sp n -> ...);
+              Stub.implement balance (fun _sp () -> ...);
+            ]
+
+      (* client: invoke through a surrogate *)
+      let bal = Stub.call client_space surrogate balance ()
+    ]}
+
+    Argument and result codecs may embed {!Runtime.handle_codec} to pass
+    network object references — marshalling then performs the transient
+    dirty / dirty-call protocol automatically. *)
+
+module Pickle = Netobj_pickle.Pickle
+
+type ('a, 'b) rmeth = private {
+  name : string;
+  arg : 'a Pickle.t;
+  res : 'b Pickle.t;
+}
+
+val declare : string -> 'a Pickle.t -> 'b Pickle.t -> ('a, 'b) rmeth
+
+(** Build a server-side method from an implementation function.  The
+    implementation runs in the compute phase: it may block, make nested
+    remote calls, and every handle in its argument is already usable. *)
+val implement :
+  ('a, 'b) rmeth -> (Runtime.space -> 'a -> 'b) -> Runtime.meth
+
+(** Blocking remote (or local) invocation.  Must run inside a fiber. *)
+val call : Runtime.space -> Runtime.handle -> ('a, 'b) rmeth -> 'a -> 'b

@@ -1,0 +1,39 @@
+module Pickle = Netobj_pickle.Pickle
+
+type t = { space : int; index : int }
+
+let v ~space ~index = { space; index }
+
+let equal a b = a.space = b.space && a.index = b.index
+
+let compare a b =
+  match Int.compare a.space b.space with
+  | 0 -> Int.compare a.index b.index
+  | c -> c
+
+let hash a = (a.space * 1_000_003) + a.index
+
+let codec =
+  Pickle.map ~name:"wirerep"
+    (fun (space, index) -> { space; index })
+    (fun { space; index } -> (space, index))
+    (Pickle.pair Pickle.int Pickle.int)
+
+let pp ppf t = Fmt.pf ppf "wr(%d.%d)" t.space t.index
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Map = Map.Make (Ord)
+module Set = Set.Make (Ord)
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+
+  let hash = hash
+end)

@@ -1,0 +1,25 @@
+(** Wire representation of a network object (TR 115 §2): the unique
+    identifier of the owner space plus the index of the object at the
+    owner.  A wireRep is what actually travels in messages; each space's
+    object table maps it back to a local concrete object or surrogate. *)
+
+type t = { space : int; index : int }
+
+val v : space:int -> index:int -> t
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val hash : t -> int
+
+val codec : t Netobj_pickle.Pickle.t
+
+val pp : t Fmt.t
+
+module Map : Map.S with type key = t
+
+module Set : Set.S with type elt = t
+
+(** Mutable hash table keyed by wireReps. *)
+module Tbl : Hashtbl.S with type key = t

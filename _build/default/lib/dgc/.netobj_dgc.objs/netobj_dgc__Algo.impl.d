@@ -1,0 +1,1 @@
+lib/dgc/algo.ml: Fun Hashtbl List Netobj_util Queue String Types

@@ -1,0 +1,1 @@
+lib/dgc/algo.mli: Netobj_util Types

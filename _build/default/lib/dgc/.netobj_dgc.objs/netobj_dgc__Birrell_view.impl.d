@@ -1,0 +1,1 @@
+lib/dgc/birrell_view.ml: Algo Invariants List Machine Netobj_util Types

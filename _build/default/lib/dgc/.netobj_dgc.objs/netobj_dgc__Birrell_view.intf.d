@@ -1,0 +1,1 @@
+lib/dgc/birrell_view.mli: Algo Invariants

@@ -1,0 +1,1 @@
+lib/dgc/explore.ml: Invariants List Machine Map Netobj_util Queue

@@ -1,0 +1,1 @@
+lib/dgc/explore.mli: Invariants Machine

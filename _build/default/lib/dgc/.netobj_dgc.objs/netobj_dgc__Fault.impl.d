@@ -1,0 +1,1 @@
+lib/dgc/fault.ml: Algo Array Hashtbl List Netobj_util Option

@@ -1,0 +1,1 @@
+lib/dgc/fault.mli: Algo

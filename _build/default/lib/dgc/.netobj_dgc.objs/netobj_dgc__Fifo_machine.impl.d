@@ -1,0 +1,1 @@
+lib/dgc/fifo_machine.ml: Fmt Fun Int List Map Netobj_util Option Set Stdlib Types

@@ -1,0 +1,1 @@
+lib/dgc/fifo_machine.mli: Fmt Invariants Set Types

@@ -1,0 +1,1 @@
+lib/dgc/fifo_view.ml: Algo Fifo_machine List Netobj_util Types

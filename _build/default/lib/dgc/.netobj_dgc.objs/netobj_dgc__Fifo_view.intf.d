@@ -1,0 +1,1 @@
+lib/dgc/fifo_view.mli: Algo

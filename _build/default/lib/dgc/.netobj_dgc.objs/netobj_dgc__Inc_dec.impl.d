@@ -1,0 +1,1 @@
+lib/dgc/inc_dec.ml: Algo Array Netobj_util

@@ -1,0 +1,1 @@
+lib/dgc/inc_dec.mli: Algo

@@ -1,0 +1,1 @@
+lib/dgc/indirect.ml: Algo Array Hashtbl Netobj_util

@@ -1,0 +1,1 @@
+lib/dgc/indirect.mli: Algo

@@ -1,0 +1,1 @@
+lib/dgc/invariants.ml: Fmt List Machine Types

@@ -1,0 +1,1 @@
+lib/dgc/invariants.mli: Fmt Machine

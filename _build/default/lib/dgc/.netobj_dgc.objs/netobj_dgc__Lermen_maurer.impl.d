@@ -1,0 +1,1 @@
+lib/dgc/lermen_maurer.ml: Algo Array Netobj_util

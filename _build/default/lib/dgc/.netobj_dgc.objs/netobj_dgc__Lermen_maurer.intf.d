@@ -1,0 +1,1 @@
+lib/dgc/lermen_maurer.mli: Algo

@@ -1,0 +1,1 @@
+lib/dgc/machine.ml: Fmt Fun Int List Map Netobj_util Option Set Types

@@ -1,0 +1,1 @@
+lib/dgc/machine.mli: Fmt Netobj_util Set Types

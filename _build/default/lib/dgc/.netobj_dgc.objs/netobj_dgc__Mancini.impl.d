@@ -1,0 +1,1 @@
+lib/dgc/mancini.ml: Algo Array Hashtbl Netobj_util

@@ -1,0 +1,1 @@
+lib/dgc/mancini.mli: Algo

@@ -1,0 +1,1 @@
+lib/dgc/naive.ml: Algo Array Hashtbl Netobj_util

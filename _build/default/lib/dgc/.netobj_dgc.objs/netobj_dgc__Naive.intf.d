@@ -1,0 +1,1 @@
+lib/dgc/naive.mli: Algo

@@ -1,0 +1,1 @@
+lib/dgc/owner_opt.ml: Algo Array Hashtbl List Netobj_util Printf

@@ -1,0 +1,1 @@
+lib/dgc/owner_opt.mli: Algo

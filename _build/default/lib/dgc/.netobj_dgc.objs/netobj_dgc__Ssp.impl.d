@@ -1,0 +1,1 @@
+lib/dgc/ssp.ml: Algo Array Netobj_util

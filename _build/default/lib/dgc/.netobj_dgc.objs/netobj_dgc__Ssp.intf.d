@@ -1,0 +1,1 @@
+lib/dgc/ssp.mli: Algo

@@ -1,0 +1,1 @@
+lib/dgc/termination.ml: Explore Machine Types

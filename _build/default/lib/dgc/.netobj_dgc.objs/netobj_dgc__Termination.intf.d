@@ -1,0 +1,1 @@
+lib/dgc/termination.mli:

@@ -1,0 +1,1 @@
+lib/dgc/types.mli: Fmt

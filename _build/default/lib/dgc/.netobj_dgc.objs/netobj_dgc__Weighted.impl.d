@@ -1,0 +1,1 @@
+lib/dgc/weighted.ml: Algo Array Hashtbl Netobj_util

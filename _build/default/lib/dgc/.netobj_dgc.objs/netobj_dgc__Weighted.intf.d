@@ -1,0 +1,1 @@
+lib/dgc/weighted.mli: Algo

@@ -1,0 +1,1 @@
+lib/dgc/workload.ml: Algo Array Fun List Netobj_util Types

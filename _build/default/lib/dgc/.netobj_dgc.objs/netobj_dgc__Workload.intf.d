@@ -1,0 +1,1 @@
+lib/dgc/workload.mli: Algo Types

@@ -1,0 +1,112 @@
+module Rng = Netobj_util.Rng
+
+type proc = Types.proc
+
+type view = {
+  name : string;
+  procs : int;
+  can_send : proc -> bool;
+  send : src:proc -> dst:proc -> unit;
+  drop : proc -> unit;
+  holds : proc -> bool;
+  step : unit -> bool;
+  try_collect : unit -> unit;
+  collected : unit -> bool;
+  copies_in_flight : unit -> int;
+  control_messages : unit -> (string * int) list;
+  zombies : unit -> int;
+}
+
+let needed v =
+  let client_holds =
+    List.exists (fun p -> p <> 0 && v.holds p) (List.init v.procs Fun.id)
+  in
+  client_holds || v.copies_in_flight () > 0
+
+let premature v = v.collected () && needed v
+
+let total_control v =
+  List.fold_left (fun acc (_, n) -> acc + n) 0 (v.control_messages ())
+
+module Pool = struct
+  type 'm t = {
+    ordered : bool;
+    rng : Rng.t;
+    (* bag mode: flat list; fifo mode: per-edge queues *)
+    mutable bag : (proc * proc * 'm) list;
+    fifo : (proc * proc, 'm Queue.t) Hashtbl.t;
+    mutable n : int;
+  }
+
+  let create ~ordered ~rng = { ordered; rng; bag = []; fifo = Hashtbl.create 16; n = 0 }
+
+  let post t ~src ~dst m =
+    t.n <- t.n + 1;
+    if t.ordered then begin
+      let q =
+        match Hashtbl.find_opt t.fifo (src, dst) with
+        | Some q -> q
+        | None ->
+            let q = Queue.create () in
+            Hashtbl.add t.fifo (src, dst) q;
+            q
+      in
+      Queue.push m q
+    end
+    else t.bag <- (src, dst, m) :: t.bag
+
+  let size t = t.n
+
+  let is_empty t = t.n = 0
+
+  let take_random t =
+    if t.n = 0 then None
+    else begin
+      t.n <- t.n - 1;
+      if t.ordered then begin
+        let edges =
+          Hashtbl.fold
+            (fun k q acc -> if Queue.is_empty q then acc else k :: acc)
+            t.fifo []
+          |> List.sort compare
+        in
+        let src, dst = List.nth edges (Rng.int t.rng (List.length edges)) in
+        let q = Hashtbl.find t.fifo (src, dst) in
+        Some (src, dst, Queue.pop q)
+      end
+      else begin
+        let i = Rng.int t.rng (List.length t.bag) in
+        let picked = List.nth t.bag i in
+        t.bag <- List.filteri (fun j _ -> j <> i) t.bag;
+        Some picked
+      end
+    end
+
+  let count_full t pred =
+    if t.ordered then
+      Hashtbl.fold
+        (fun (src, dst) q acc ->
+          Queue.fold (fun acc m -> if pred src dst m then acc + 1 else acc) acc q)
+        t.fifo 0
+    else
+      List.fold_left
+        (fun acc (src, dst, m) -> if pred src dst m then acc + 1 else acc)
+        0 t.bag
+
+  let count t pred = count_full t (fun _ _ m -> pred m)
+end
+
+module Counter = struct
+  type t = (string, int ref) Hashtbl.t
+
+  let create () : t = Hashtbl.create 8
+
+  let incr t kind =
+    match Hashtbl.find_opt t kind with
+    | Some r -> incr r
+    | None -> Hashtbl.add t kind (ref 1)
+
+  let to_list t =
+    Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+end

@@ -1,0 +1,102 @@
+(** A uniform harness interface over the distributed reference
+    counting/listing family (the algorithms surveyed in the paper's §7.1 /
+    Figure 14), so one workload driver and one safety oracle can exercise
+    them all:
+
+    - Birrell's reference listing (adapter over {!Machine});
+    - naive distributed reference counting and listing (§2.2 — unsafe,
+      reproduced for the Figure 1 race experiment);
+    - Lermen–Maurer's acknowledgement scheme;
+    - Weighted Reference Counting (Bevan; Watson & Watson);
+    - Piquer's Indirect Reference Counting (diffusion tree, zombies);
+    - Moreau's INC_DEC algorithm;
+    - the §5.2 owner optimisations (with and without channel ordering).
+
+    Each instance manages {e one} shared object (owned by process 0 by
+    convention) among [procs] processes; multi-object workloads
+    instantiate several views.  Application-level events ([send], [drop])
+    come from the workload; [step] advances the algorithm's own machinery
+    (message delivery, demons) one randomly chosen step at a time, under
+    the instance's seeded RNG — so races are explored reproducibly.
+
+    The ground truth used by the oracle is deliberately algorithm-
+    independent: the object is {e needed} while some non-owner application
+    holds it or a copy is in flight towards one. *)
+
+type proc = Types.proc
+
+(** First-class algorithm instance. *)
+type view = {
+  name : string;
+  procs : int;
+  (* application events *)
+  can_send : proc -> bool;
+      (** does this process hold a usable reference it could transmit? *)
+  send : src:proc -> dst:proc -> unit;
+      (** copy the reference; requires [can_send src] and [src <> dst] *)
+  drop : proc -> unit;  (** the application at [proc] discards the object *)
+  holds : proc -> bool;  (** application-level possession *)
+  (* machinery *)
+  step : unit -> bool;
+      (** deliver one message / run one demon action; [false] if idle *)
+  try_collect : unit -> unit;
+      (** give the owner's local collector a chance to reclaim *)
+  collected : unit -> bool;
+  (* observation *)
+  copies_in_flight : unit -> int;
+  control_messages : unit -> (string * int) list;
+      (** per-kind control-message counts (mutator copies excluded) *)
+  zombies : unit -> int;
+      (** diffusion-tree artefacts kept alive for third parties (IRC);
+          0 for algorithms without them *)
+}
+
+(** Object is needed: some client application holds it, a copy is in
+    flight, or a copy awaits delivery. *)
+val needed : view -> bool
+
+(** [premature v] — collected while needed: the safety violation. *)
+val premature : view -> bool
+
+(** Total control messages across kinds. *)
+val total_control : view -> int
+
+(** {1 In-flight message pool}
+
+    Shared by the concrete algorithms: a pool of posted messages with
+    either random-order (bag) or per-edge FIFO delivery. *)
+module Pool : sig
+  type 'm t
+
+  (** [create ~ordered ~rng] — [ordered] gives per-(src,dst) FIFO
+      delivery; otherwise any in-flight message may be delivered next. *)
+  val create : ordered:bool -> rng:Netobj_util.Rng.t -> 'm t
+
+  val post : 'm t -> src:proc -> dst:proc -> 'm -> unit
+
+  val size : 'm t -> int
+
+  val is_empty : 'm t -> bool
+
+  (** Remove and return a deliverable message chosen by the pool's RNG
+      (uniform over messages for bags; uniform over non-empty edges,
+      taking the head, for FIFO). *)
+  val take_random : 'm t -> (proc * proc * 'm) option
+
+  (** Count in-flight messages satisfying a predicate. *)
+  val count : 'm t -> ('m -> bool) -> int
+
+  (** Like {!count}, with access to the endpoints. *)
+  val count_full : 'm t -> (proc -> proc -> 'm -> bool) -> int
+end
+
+(** Mutable control-message counter keyed by kind. *)
+module Counter : sig
+  type t
+
+  val create : unit -> t
+
+  val incr : t -> string -> unit
+
+  val to_list : t -> (string * int) list
+end

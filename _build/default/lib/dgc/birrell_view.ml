@@ -1,0 +1,82 @@
+module Rng = Netobj_util.Rng
+module M = Machine
+
+let r0 : Types.rref = { owner = 0; index = 0 }
+
+let create_checked ~procs ~seed =
+  let rng = Rng.create seed in
+  let counters = Algo.Counter.create () in
+  let state = ref (M.apply (M.init ~procs ~refs:[ r0 ]) (M.Allocate (0, r0))) in
+  let count_control = function
+    | M.Do_dirty_call _ -> Algo.Counter.incr counters "dirty"
+    | M.Do_dirty_ack _ -> Algo.Counter.incr counters "dirty_ack"
+    | M.Do_clean_call _ -> Algo.Counter.incr counters "clean"
+    | M.Do_clean_ack _ -> Algo.Counter.incr counters "clean_ack"
+    | M.Do_copy_ack _ -> Algo.Counter.incr counters "copy_ack"
+    | M.Allocate _ | M.Make_copy _ | M.Drop_root _ | M.Finalize _
+    | M.Collect _ | M.Receive_copy _ | M.Receive_copy_ack _
+    | M.Receive_dirty _ | M.Receive_dirty_ack _ | M.Receive_clean _
+    | M.Receive_clean_ack _ ->
+        ()
+  in
+  let step () =
+    let finalizes =
+      List.filter
+        (fun t -> match t with M.Finalize _ -> true | _ -> false)
+        (M.enabled_environment !state)
+    in
+    match M.enabled_protocol !state @ finalizes with
+    | [] -> false
+    | ts ->
+        let t = Rng.pick rng ts in
+        count_control t;
+        state := M.apply !state t;
+        true
+  in
+  let copies_in_flight () =
+    let in_transit =
+      List.length
+        (List.filter
+           (fun (_, _, m) ->
+             match m with Types.Copy _ -> true | _ -> false)
+           (M.messages !state))
+    in
+    (* Copies received but still blocked awaiting registration count as
+       undelivered. *)
+    let blocked =
+      List.fold_left
+        (fun acc p -> acc + M.Blk.cardinal (M.blocked !state p r0))
+        0 (M.procs !state)
+    in
+    in_transit + blocked
+  in
+  let view =
+    {
+      Algo.name = "birrell";
+      procs;
+      can_send =
+        (fun p ->
+          M.rooted !state p r0
+          && M.rec_state !state p r0 = Types.Ok
+          && not (M.is_collected !state r0));
+      send =
+        (fun ~src ~dst -> state := M.apply !state (M.Make_copy (src, dst, r0)));
+      drop =
+        (fun p ->
+          if M.rooted !state p r0 then
+            state := M.apply !state (M.Drop_root (p, r0)));
+      holds = (fun p -> M.rooted !state p r0);
+      step;
+      try_collect =
+        (fun () ->
+          if M.guard !state (M.Collect r0) then
+            state := M.apply !state (M.Collect r0));
+      collected = (fun () -> M.is_collected !state r0);
+      copies_in_flight;
+      control_messages = (fun () -> Algo.Counter.to_list counters);
+      zombies = (fun () -> 0);
+    }
+  in
+  (view, fun () -> Invariants.check_all !state)
+
+let create ~procs ~seed = fst (create_checked ~procs ~seed)

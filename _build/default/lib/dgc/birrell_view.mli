@@ -1,0 +1,13 @@
+(** Birrell's algorithm adapted to the {!Algo} harness, by wrapping the
+    formal {!Machine} in mutable state and firing uniformly random
+    enabled transitions on [step].  Because the view is the abstract
+    machine itself, every workload the harness runs over it doubles as an
+    invariant test: [check ()] evaluates {!Invariants.check_all} on the
+    current configuration. *)
+
+val create : procs:int -> seed:int64 -> Algo.view
+
+(** Like {!create} but also exposing the invariant checker for the
+    current configuration. *)
+val create_checked :
+  procs:int -> seed:int64 -> Algo.view * (unit -> Invariants.violation list)

@@ -1,0 +1,149 @@
+module M = Machine
+module Rng = Netobj_util.Rng
+
+type violation_trace = {
+  trace : M.transition list;
+  config : M.config;
+  violations : Invariants.violation list;
+}
+
+type bfs_result = {
+  states : int;
+  edges : int;
+  truncated : bool;
+  violation : violation_trace option;
+}
+
+module Cfgmap = Map.Make (struct
+  type t = M.config
+
+  let compare = M.compare_config
+end)
+
+(* The copy budget is tracked alongside each configuration.  Two paths
+   reaching the same configuration necessarily minted the same number of
+   ids (the per-process id counters are part of the configuration), so the
+   budget annotation is a function of the state and memoising on the
+   configuration alone is sound. *)
+let successors ~copy_budget ~spent c =
+  let env =
+    List.filter_map
+      (fun t ->
+        match t with
+        | M.Make_copy _ ->
+            if spent < copy_budget then Some (t, 1) else None
+        | _ -> Some (t, 0))
+      (M.enabled_environment c)
+  in
+  let proto = List.map (fun t -> (t, 0)) (M.enabled_protocol c) in
+  env @ proto
+
+let bfs ?(max_states = 2_000_000) ?(check = Invariants.check_all) ~copy_budget
+    init =
+  let seen = ref (Cfgmap.singleton init []) in
+  let queue = Queue.create () in
+  Queue.push (init, [], 0) queue;
+  let states = ref 1 in
+  let edges = ref 0 in
+  let truncated = ref false in
+  let violation = ref None in
+  (match check init with
+  | [] -> ()
+  | vs -> violation := Some { trace = []; config = init; violations = vs });
+  while (not (Queue.is_empty queue)) && !violation = None && not !truncated do
+    let c, rtrace, spent = Queue.pop queue in
+    List.iter
+      (fun (t, cost) ->
+        if !violation = None && not !truncated then begin
+          incr edges;
+          let c' = M.apply c t in
+          if not (Cfgmap.mem c' !seen) then begin
+            let rtrace' = t :: rtrace in
+            seen := Cfgmap.add c' rtrace' !seen;
+            incr states;
+            if !states > max_states then truncated := true
+            else begin
+              (match check c' with
+              | [] -> ()
+              | vs ->
+                  violation :=
+                    Some
+                      {
+                        trace = List.rev rtrace';
+                        config = c';
+                        violations = vs;
+                      });
+              Queue.push (c', rtrace', spent + cost) queue
+            end
+          end
+        end)
+      (successors ~copy_budget ~spent c)
+  done;
+  { states = !states; edges = !edges; truncated = !truncated; violation = !violation }
+
+type walk_result = {
+  final : M.config;
+  steps_taken : int;
+  walk_violation : violation_trace option;
+}
+
+let random_walk ?(check = Invariants.check_all) ?(env_weight = 1.0) ~seed
+    ~steps ~copy_budget init =
+  let rng = Rng.create seed in
+  let rec go c spent n rtrace =
+    if n >= steps then { final = c; steps_taken = n; walk_violation = None }
+    else
+      let env =
+        List.filter
+          (fun t ->
+            match t with M.Make_copy _ -> spent < copy_budget | _ -> true)
+          (M.enabled_environment c)
+      in
+      let proto = M.enabled_protocol c in
+      if env = [] && proto = [] then
+        { final = c; steps_taken = n; walk_violation = None }
+      else
+        (* Weighted choice between the two pools, then uniform within. *)
+        let pick_env =
+          match (env, proto) with
+          | [], _ -> false
+          | _, [] -> true
+          | _ ->
+              let we = env_weight *. float_of_int (List.length env) in
+              let wp = float_of_int (List.length proto) in
+              Rng.float rng < we /. (we +. wp)
+        in
+        let t = Rng.pick rng (if pick_env then env else proto) in
+        let spent =
+          match t with M.Make_copy _ -> spent + 1 | _ -> spent
+        in
+        let c' = M.apply c t in
+        let rtrace = t :: rtrace in
+        match check c' with
+        | [] -> go c' spent (n + 1) rtrace
+        | vs ->
+            {
+              final = c';
+              steps_taken = n + 1;
+              walk_violation =
+                Some
+                  { trace = List.rev rtrace; config = c'; violations = vs };
+            }
+  in
+  go init 0 0 []
+
+let drain ~include_finalize c =
+  let rec go c n =
+    if n > 10_000_000 then failwith "Explore.drain: machine does not quiesce";
+    let candidates =
+      M.enabled_protocol c
+      @
+      if include_finalize then
+        List.filter
+          (fun t -> match t with M.Finalize _ -> true | _ -> false)
+          (M.enabled_environment c)
+      else []
+    in
+    match candidates with [] -> (c, n) | t :: _ -> go (M.apply c t) (n + 1)
+  in
+  go c 0

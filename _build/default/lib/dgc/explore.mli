@@ -1,0 +1,66 @@
+(** State-space exploration of the abstract machine.
+
+    Two modes back the paper's proof claims with machine evidence:
+
+    - {!bfs} exhaustively enumerates every configuration reachable from an
+      initial one (for small worlds: 2–3 processes, 1–2 references, a
+      bounded number of [make_copy] moves) and evaluates a checker on each
+      — an executable analogue of "the invariant holds in all reachable
+      configurations".
+    - {!random_walk} drives long random executions for bigger worlds,
+      checking invariants at every step; reproducible from the seed.
+
+    The mutator is bounded through the copy budget: [make_copy] mints a
+    fresh message identifier, so the number of ids minted (part of the
+    configuration) measures how many copies a path has performed. *)
+
+type violation_trace = {
+  trace : Machine.transition list;  (** from the initial config, in order *)
+  config : Machine.config;  (** the violating configuration *)
+  violations : Invariants.violation list;
+}
+
+type bfs_result = {
+  states : int;  (** distinct configurations reached *)
+  edges : int;  (** transitions explored *)
+  truncated : bool;  (** hit [max_states] before exhausting *)
+  violation : violation_trace option;  (** first violation found, if any *)
+}
+
+(** [bfs ~copy_budget ~check init] explores exhaustively.  [check]
+    defaults to {!Invariants.check_all}.  Environment transitions are
+    included, with [Make_copy] allowed only while fewer than
+    [copy_budget] ids have been minted.  Stops at the first violation. *)
+val bfs :
+  ?max_states:int ->
+  ?check:(Machine.config -> Invariants.violation list) ->
+  copy_budget:int ->
+  Machine.config ->
+  bfs_result
+
+type walk_result = {
+  final : Machine.config;
+  steps_taken : int;
+  walk_violation : violation_trace option;
+}
+
+(** [random_walk ~seed ~steps ~copy_budget ~env_weight init] fires
+    uniformly random enabled transitions ([env_weight] scales how often
+    environment moves are picked vs protocol moves), checking invariants
+    ([check], default all) after each step.  Stops at the first violation
+    or when nothing is enabled. *)
+val random_walk :
+  ?check:(Machine.config -> Invariants.violation list) ->
+  ?env_weight:float ->
+  seed:int64 ->
+  steps:int ->
+  copy_budget:int ->
+  Machine.config ->
+  walk_result
+
+(** [drain ~include_finalize c] fires protocol transitions (and
+    [Finalize] when asked) in deterministic order until none is enabled.
+    Returns the quiescent configuration and the number of transitions
+    fired.  Termination is guaranteed by the measure (Definition 15);
+    raises [Failure] after an implausibly large number of steps. *)
+val drain : include_finalize:bool -> Machine.config -> Machine.config * int

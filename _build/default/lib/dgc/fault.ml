@@ -1,0 +1,328 @@
+module Rng = Netobj_util.Rng
+
+type fstate = Bot | Nil | Ok | Ccit | Ccitnil | NilF | CcitF | CcitnilF
+
+type msg =
+  | Copy of int  (** message id *)
+  | Copy_ack of int
+  | Dirty of int  (** sequence number *)
+  | Dirty_ack of int * bool  (** echoed seq, object alive? *)
+  | Clean of int  (** sequence number; "strength" is purely the seq *)
+  | Clean_ack of int
+
+let is_control = function
+  | Dirty _ | Dirty_ack _ | Clean _ | Clean_ack _ -> true
+  | Copy _ | Copy_ack _ -> false
+
+type controls = {
+  crash : Algo.proc -> unit;
+  state_of : Algo.proc -> fstate;
+  owner_knows : Algo.proc -> bool;
+  outer_visits : unit -> int;
+  strong_cleans : unit -> int;
+  drops_done : unit -> int;
+  dups_done : unit -> int;
+}
+
+let create ?(drop_budget = 0) ?(dup_budget = 0) ?(timeout_prob = 0.0) ~procs
+    ~seed () =
+  let rng = Rng.create seed in
+  let pool = Algo.Pool.create ~ordered:false ~rng in
+  let counters = Algo.Counter.create () in
+  let owner = 0 in
+  let state = Array.make procs Bot in
+  let instances = Array.make procs 0 in
+  instances.(owner) <- 1;
+  let blocked : (int * Algo.proc) list array = Array.make procs [] in
+  let dirty_todo = Array.make procs false in
+  let clean_todo = Array.make procs false in
+  let cur_seq = Array.make procs 0 in
+  let tdirty = Array.make procs 0 in
+  let crashed = Array.make procs false in
+  let pdirty : (Algo.proc, unit) Hashtbl.t = Hashtbl.create 8 in
+  let last_seq : (Algo.proc, int) Hashtbl.t = Hashtbl.create 8 in
+  let collected = ref false in
+  let next_id = ref 0 in
+  let drops = ref 0 and dups = ref 0 in
+  let outer = ref 0 and strong = ref 0 in
+  let post kind ~src ~dst m =
+    (* The network adversary: lose or duplicate control messages within
+       the configured budgets. *)
+    if is_control m then Algo.Counter.incr counters kind;
+    if is_control m && !drops < drop_budget && Rng.chance rng 0.25 then
+      incr drops
+    else begin
+      Algo.Pool.post pool ~src ~dst m;
+      if is_control m && !dups < dup_budget && Rng.chance rng 0.25 then begin
+        incr dups;
+        Algo.Pool.post pool ~src ~dst m
+      end
+    end
+  in
+  let enter_outer p s =
+    incr outer;
+    state.(p) <- s
+  in
+  let send ~src ~dst =
+    if instances.(src) = 0 then invalid_arg "fault send: not held";
+    let id = !next_id in
+    incr next_id;
+    tdirty.(src) <- tdirty.(src) + 1;
+    post "copy" ~src ~dst (Copy id)
+  in
+  let schedule_clean p =
+    if
+      p <> owner && instances.(p) = 0 && state.(p) = Ok
+      && tdirty.(p) = 0
+      && not clean_todo.(p)
+    then clean_todo.(p) <- true
+  in
+  let drop p =
+    if instances.(p) > 0 then begin
+      instances.(p) <- instances.(p) - 1;
+      schedule_clean p
+    end
+  in
+  let flush_blocked p ok =
+    let acks = blocked.(p) in
+    blocked.(p) <- [];
+    List.iter
+      (fun (id, sender) ->
+        if ok then instances.(p) <- instances.(p) + 1;
+        (* Acknowledge in both cases so the sender's pin is released. *)
+        post "copy_ack" ~src:p ~dst:sender (Copy_ack id))
+      acks
+  in
+  let deliver_copy src dst id =
+    if dst = owner then begin
+      instances.(dst) <- instances.(dst) + 1;
+      post "copy_ack" ~src:dst ~dst:src (Copy_ack id)
+    end
+    else
+      match state.(dst) with
+      | Ok ->
+          instances.(dst) <- instances.(dst) + 1;
+          clean_todo.(dst) <- false;
+          post "copy_ack" ~src:dst ~dst:src (Copy_ack id)
+      | Bot ->
+          state.(dst) <- Nil;
+          dirty_todo.(dst) <- true;
+          blocked.(dst) <- (id, src) :: blocked.(dst)
+      | Ccit ->
+          state.(dst) <- Ccitnil;
+          dirty_todo.(dst) <- true;
+          blocked.(dst) <- (id, src) :: blocked.(dst)
+      | CcitF ->
+          (* The new transition the paper's graphical analysis adds:
+             without it a copy landing on a failed cleaner deadlocks. *)
+          state.(dst) <- CcitnilF;
+          blocked.(dst) <- (id, src) :: blocked.(dst)
+      | Nil | Ccitnil | NilF | CcitnilF ->
+          blocked.(dst) <- (id, src) :: blocked.(dst)
+  in
+  let owner_apply_dirty src seq =
+    let last = Option.value ~default:0 (Hashtbl.find_opt last_seq src) in
+    if seq > last then begin
+      Hashtbl.replace last_seq src seq;
+      Hashtbl.replace pdirty src ()
+    end;
+    post "dirty_ack" ~src:owner ~dst:src (Dirty_ack (seq, not !collected))
+  in
+  let owner_apply_clean src seq =
+    let last = Option.value ~default:0 (Hashtbl.find_opt last_seq src) in
+    if seq > last then begin
+      Hashtbl.replace last_seq src seq;
+      Hashtbl.remove pdirty src
+    end;
+    post "clean_ack" ~src:owner ~dst:src (Clean_ack seq)
+  in
+  let client_dirty_ack p seq ok =
+    if seq = cur_seq.(p) && state.(p) = Nil then
+      if ok then begin
+        state.(p) <- Ok;
+        flush_blocked p true
+      end
+      else begin
+        (* The object vanished at the owner: fail the waiting copies. *)
+        state.(p) <- Bot;
+        flush_blocked p false
+      end
+    (* else: stale ack from a cancelled dirty — ignored by seqno. *)
+  in
+  let client_clean_ack p seq =
+    if seq = cur_seq.(p) then
+      match state.(p) with
+      | Ccit -> state.(p) <- Bot
+      | Ccitnil ->
+          state.(p) <- Nil;
+          dirty_todo.(p) <- true
+      | CcitF -> state.(p) <- Bot (* the "failed" ack made it after all *)
+      | CcitnilF ->
+          state.(p) <- Nil;
+          dirty_todo.(p) <- true
+      | Bot | Nil | Ok | NilF -> ()
+  in
+  (* One demon / remedial / adversarial action, if any applies. *)
+  let internal_step () =
+    let fired = ref false in
+    for p = 0 to procs - 1 do
+      if (not !fired) && not crashed.(p) then begin
+        (* demons *)
+        if dirty_todo.(p) && state.(p) = Nil then begin
+          dirty_todo.(p) <- false;
+          cur_seq.(p) <- cur_seq.(p) + 1;
+          post "dirty" ~src:p ~dst:owner (Dirty cur_seq.(p));
+          fired := true
+        end
+        else if clean_todo.(p) && state.(p) = Ok then begin
+          clean_todo.(p) <- false;
+          state.(p) <- Ccit;
+          cur_seq.(p) <- cur_seq.(p) + 1;
+          post "clean" ~src:p ~dst:owner (Clean cur_seq.(p));
+          fired := true
+        end
+        else begin
+          (* remedial actions for the outer cube *)
+          match state.(p) with
+          | NilF ->
+              (* strong clean: a fresh (higher) seq cancels the failed
+                 dirty no matter when it arrives; the reference is still
+                 wanted, so we land in ccitnil (paper Figure 13). *)
+              incr strong;
+              cur_seq.(p) <- cur_seq.(p) + 1;
+              post "clean" ~src:p ~dst:owner (Clean cur_seq.(p));
+              state.(p) <- Ccitnil;
+              fired := true
+          | CcitF ->
+              post "clean" ~src:p ~dst:owner (Clean cur_seq.(p));
+              state.(p) <- Ccit;
+              fired := true
+          | CcitnilF ->
+              post "clean" ~src:p ~dst:owner (Clean cur_seq.(p));
+              state.(p) <- Ccitnil;
+              fired := true
+          | Bot | Nil | Ok | Ccit | Ccitnil -> ()
+        end
+      end
+    done;
+    (* owner lease: evict crashed clients *)
+    if not !fired then
+      Hashtbl.iter
+        (fun p () ->
+          if (not !fired) && crashed.(p) then begin
+            Hashtbl.remove pdirty p;
+            fired := true
+          end)
+        pdirty;
+    !fired
+  in
+  let timeout_candidates () =
+    let candidates = ref [] in
+    for p = 0 to procs - 1 do
+      if not crashed.(p) then
+        match state.(p) with
+        | Nil when not dirty_todo.(p) -> candidates := (p, NilF) :: !candidates
+        | Ccit -> candidates := (p, CcitF) :: !candidates
+        | Ccitnil -> candidates := (p, CcitnilF) :: !candidates
+        | _ -> ()
+    done;
+    !candidates
+  in
+  (* [forced] models a timer that must eventually expire: when the whole
+     system is otherwise quiescent but a call is still outstanding (its
+     message or ack was lost), the timeout fires with certainty. *)
+  let maybe_timeout ~forced () =
+    if
+      timeout_prob > 0.0
+      && (forced || Rng.chance rng timeout_prob)
+    then
+      match timeout_candidates () with
+      | [] -> false
+      | cs ->
+          let p, s = Rng.pick rng cs in
+          enter_outer p s;
+          true
+    else false
+  in
+  let step () =
+    if maybe_timeout ~forced:false () then true
+    else if internal_step () then true
+    else
+      match Algo.Pool.take_random pool with
+      | None -> maybe_timeout ~forced:true ()
+      | Some (src, dst, m) ->
+          (if crashed.(dst) then begin
+             (* Transport bounce: a copy to a dead process fails its RPC,
+                releasing the sender's transmission pin. *)
+             match m with
+             | Copy id -> if not crashed.(src) then post "copy_ack" ~src:dst ~dst:src (Copy_ack id)
+             | Copy_ack _ | Dirty _ | Dirty_ack _ | Clean _ | Clean_ack _ -> ()
+           end
+           else
+             match m with
+             | Copy id -> deliver_copy src dst id
+             | Copy_ack _ -> tdirty.(dst) <- tdirty.(dst) - 1;
+                 schedule_clean dst
+             | Dirty seq -> owner_apply_dirty src seq
+             | Dirty_ack (seq, ok) -> client_dirty_ack dst seq ok
+             | Clean seq -> owner_apply_clean src seq
+             | Clean_ack seq -> client_clean_ack dst seq);
+          true
+  in
+  let try_collect () =
+    if
+      (not !collected)
+      && instances.(owner) = 0
+      && Hashtbl.length pdirty = 0
+      && tdirty.(owner) = 0
+    then collected := true
+  in
+  let copies_in_flight () =
+    let in_transit =
+      Algo.Pool.count_full pool (fun _ dst m ->
+          match m with Copy _ -> not crashed.(dst) | _ -> false)
+    in
+    let pending =
+      Array.fold_left ( + ) 0
+        (Array.mapi
+           (fun p l -> if crashed.(p) then 0 else List.length l)
+           blocked)
+    in
+    in_transit + pending
+  in
+  let view =
+    {
+      Algo.name = "birrell-fault";
+      procs;
+      can_send =
+        (fun p -> instances.(p) > 0 && (state.(p) = Ok || p = owner) && not !collected);
+      send;
+      drop;
+      holds = (fun p -> instances.(p) > 0);
+      step;
+      try_collect;
+      collected = (fun () -> !collected);
+      copies_in_flight;
+      control_messages = (fun () -> Algo.Counter.to_list counters);
+      zombies = (fun () -> 0);
+    }
+  in
+  let controls =
+    {
+      crash =
+        (fun p ->
+          crashed.(p) <- true;
+          instances.(p) <- 0;
+          blocked.(p) <- [];
+          state.(p) <- Bot;
+          dirty_todo.(p) <- false;
+          clean_todo.(p) <- false);
+      state_of = (fun p -> state.(p));
+      owner_knows = (fun p -> Hashtbl.mem pdirty p);
+      outer_visits = (fun () -> !outer);
+      strong_cleans = (fun () -> !strong);
+      drops_done = (fun () -> !drops);
+      dups_done = (fun () -> !dups);
+    }
+  in
+  (view, controls)

@@ -1,0 +1,61 @@
+(** The fault-tolerant extension of the algorithm (the paper's §6,
+    TR 116 §§2.2–2.4), as a harness-compatible simulator.
+
+    The failure model and mechanisms follow the paper's Figure 13:
+
+    - control messages (dirty, dirty_ack, clean, clean_ack) may be
+      {e lost} or {e duplicated} by the network (bounded by budgets so
+      liveness remains testable);
+    - a client that has a dirty or clean call outstanding may observe a
+      {e timeout}, moving to one of the "outer cube" failure states
+      ([NilF], [CcitF], [CcitnilF] — the paper's overlined states, with
+      the upper/lower split collapsed because, as the paper notes, the
+      remedial action is the same and the owner's actual knowledge is
+      represented by its dirty table);
+    - remedial actions re-enter the inner cube: a failed dirty call is
+      cancelled by a {e strong clean} (a fresh, higher sequence number
+      guarantees the lost-or-late dirty can never resurface), after
+      which the reference re-registers via the normal ccitnil path; a
+      failed clean call is simply {e re-sent} — duplicates are harmless;
+    - every dirty/clean call carries a per-(client, reference)
+      {e sequence number}; the owner applies an operation only if its
+      number exceeds the last one seen from that client, making loss,
+      duplication and reordering idempotent (TR §2);
+    - a {e crashed} client stops participating; the owner's {e lease}
+      eviction removes it from the dirty set, and senders abort
+      transmissions towards it (releasing their transient entries).
+
+    A copy arriving in a failure state is handled (the new transitions
+    the paper's graphical analysis demands): in [CcitF]/[CcitnilF] it
+    moves to [CcitnilF]; in [NilF] it queues like any other blocked
+    copy. *)
+
+type fstate = Bot | Nil | Ok | Ccit | Ccitnil | NilF | CcitF | CcitnilF
+
+type controls = {
+  crash : Algo.proc -> unit;  (** the process stops; its state is wiped *)
+  state_of : Algo.proc -> fstate;
+  owner_knows : Algo.proc -> bool;
+      (** is the process in the owner's dirty table right now?  Combined
+          with {!state_of} this distinguishes the paper's upper (owner
+          aware) from lower (owner unaware) outer-cube states, which the
+          client itself cannot observe. *)
+  outer_visits : unit -> int;  (** times any process entered a failure state *)
+  strong_cleans : unit -> int;
+  drops_done : unit -> int;
+  dups_done : unit -> int;
+}
+
+(** [create ~drop_budget ~dup_budget ~timeout_prob ~procs ~seed ()] —
+    the network adversary loses up to [drop_budget] and duplicates up to
+    [dup_budget] control messages (chosen randomly); while a call is
+    outstanding the client times out with probability [timeout_prob] per
+    step. *)
+val create :
+  ?drop_budget:int ->
+  ?dup_budget:int ->
+  ?timeout_prob:float ->
+  procs:int ->
+  seed:int64 ->
+  unit ->
+  Algo.view * controls

@@ -1,0 +1,483 @@
+open Types
+module Fqueue = Netobj_util.Fqueue
+
+module Td = Set.Make (struct
+  type t = proc * proc * msg_id
+
+  let compare (a1, a2, a3) (b1, b2, b3) =
+    match Int.compare a1 b1 with
+    | 0 -> ( match Int.compare a2 b2 with 0 -> compare_msg_id a3 b3 | c -> c)
+    | c -> c
+end)
+
+module Pset = Set.Make (Int)
+
+module Rset = Set.Make (struct
+  type t = rref
+
+  let compare = compare_rref
+end)
+
+module Pr = Set.Make (struct
+  type t = proc * rref
+
+  let compare (a1, a2) (b1, b2) =
+    match Int.compare a1 b1 with 0 -> compare_rref a2 b2 | c -> c
+end)
+
+module Ppmap = Map.Make (struct
+  type t = proc * proc
+
+  let compare (a1, a2) (b1, b2) =
+    match Int.compare a1 b1 with 0 -> Int.compare a2 b2 | c -> c
+end)
+
+module Prmap = Map.Make (struct
+  type t = proc * rref
+
+  let compare (a1, a2) (b1, b2) =
+    match Int.compare a1 b1 with 0 -> compare_rref a2 b2 | c -> c
+end)
+
+module Pmap = Map.Make (Int)
+
+type fstate = FBot | FOk
+
+type call = Dirty_call of rref | Clean_call of rref
+
+type message =
+  | Copy of rref * msg_id
+  | Copy_ack of rref * msg_id
+  | Dirty of rref
+  | Dirty_ack of rref
+  | Clean of rref
+
+let compare_fmessage a b = Stdlib.compare a b
+
+let compare_call a b = Stdlib.compare (a : call) b
+
+type config = {
+  nprocs : int;
+  refs : rref list;
+  channels : message Fqueue.t Ppmap.t;  (** FIFO queues; absent = empty *)
+  calls : call Fqueue.t Pmap.t;  (** merged outgoing call queue *)
+  tdirty_t : Td.t Prmap.t;
+  pdirty_t : Pset.t Prmap.t;
+  rec_t : fstate Prmap.t;  (** absent = FBot *)
+  pending_t : int Prmap.t;  (** unacknowledged dirty calls; absent = 0 *)
+  waiters_t : Td.t Prmap.t;
+      (** copy_acks gated on registration, as (receiver, sender, id) *)
+  roots : Pr.t;
+  allocated : Rset.t;
+  collected : Rset.t;
+  next_id : int Pmap.t;
+}
+
+let init ~procs ~refs =
+  {
+    nprocs = procs;
+    refs;
+    channels = Ppmap.empty;
+    calls = Pmap.empty;
+    tdirty_t = Prmap.empty;
+    pdirty_t = Prmap.empty;
+    rec_t = Prmap.empty;
+    pending_t = Prmap.empty;
+    waiters_t = Prmap.empty;
+    roots = Pr.empty;
+    allocated = Rset.empty;
+    collected = Rset.empty;
+    next_id = Pmap.empty;
+  }
+
+let procs c = List.init c.nprocs Fun.id
+
+let channel c src dst =
+  Option.value ~default:Fqueue.empty (Ppmap.find_opt (src, dst) c.channels)
+
+let calls c p = Option.value ~default:Fqueue.empty (Pmap.find_opt p c.calls)
+
+let rec_state c p r =
+  Option.value ~default:FBot (Prmap.find_opt (p, r) c.rec_t)
+
+let tdirty c p r = Option.value ~default:Td.empty (Prmap.find_opt (p, r) c.tdirty_t)
+
+let pdirty c p r = Option.value ~default:Pset.empty (Prmap.find_opt (p, r) c.pdirty_t)
+
+let dirty_pending c p r = Option.value ~default:0 (Prmap.find_opt (p, r) c.pending_t)
+
+let waiters c p r = Option.value ~default:Td.empty (Prmap.find_opt (p, r) c.waiters_t)
+
+let rooted c p r = Pr.mem (p, r) c.roots
+
+let is_allocated c r = Rset.mem r c.allocated
+
+let is_collected c r = Rset.mem r c.collected
+
+let set_channel c src dst q =
+  {
+    c with
+    channels =
+      (if Fqueue.is_empty q then Ppmap.remove (src, dst) c.channels
+       else Ppmap.add (src, dst) q c.channels);
+  }
+
+let set_calls c p q =
+  {
+    c with
+    calls =
+      (if Fqueue.is_empty q then Pmap.remove p c.calls
+       else Pmap.add p q c.calls);
+  }
+
+let set_tdirty c p r v =
+  {
+    c with
+    tdirty_t =
+      (if Td.is_empty v then Prmap.remove (p, r) c.tdirty_t
+       else Prmap.add (p, r) v c.tdirty_t);
+  }
+
+let set_pdirty c p r v =
+  {
+    c with
+    pdirty_t =
+      (if Pset.is_empty v then Prmap.remove (p, r) c.pdirty_t
+       else Prmap.add (p, r) v c.pdirty_t);
+  }
+
+let set_rec c p r v =
+  {
+    c with
+    rec_t =
+      (if v = FBot then Prmap.remove (p, r) c.rec_t
+       else Prmap.add (p, r) v c.rec_t);
+  }
+
+let set_pending c p r v =
+  {
+    c with
+    pending_t =
+      (if v = 0 then Prmap.remove (p, r) c.pending_t
+       else Prmap.add (p, r) v c.pending_t);
+  }
+
+let set_waiters c p r v =
+  {
+    c with
+    waiters_t =
+      (if Td.is_empty v then Prmap.remove (p, r) c.waiters_t
+       else Prmap.add (p, r) v c.waiters_t);
+  }
+
+let set_root c p r on =
+  { c with roots = (if on then Pr.add (p, r) else Pr.remove (p, r)) c.roots }
+
+let post c ~src ~dst m = set_channel c src dst (Fqueue.push m (channel c src dst))
+
+let messages c =
+  Ppmap.fold
+    (fun (src, dst) q acc ->
+      List.fold_left (fun acc m -> (src, dst, m) :: acc) acc (Fqueue.to_list q))
+    c.channels []
+
+let needed c r =
+  Pr.exists (fun (p, r') -> p <> r.owner && compare_rref r r' = 0) c.roots
+  || List.exists
+       (fun (_, _, m) ->
+         match m with Copy (r', _) -> compare_rref r r' = 0 | _ -> false)
+       (messages c)
+
+let collectable c r =
+  is_allocated c r
+  && (not (is_collected c r))
+  && (not (rooted c r.owner r))
+  && Pset.is_empty (pdirty c r.owner r)
+  && Td.is_empty (tdirty c r.owner r)
+
+let copies_in_transit c r =
+  List.fold_left
+    (fun acc (_, _, m) ->
+      match m with
+      | Copy (r', _) when compare_rref r r' = 0 -> acc + 1
+      | Copy _ | Copy_ack _ | Dirty _ | Dirty_ack _ | Clean _ -> acc)
+    0 (messages c)
+
+let channel_head c ~src ~dst = Fqueue.peek (channel c src dst)
+
+type transition =
+  | Allocate of proc * rref
+  | Make_copy of proc * proc * rref
+  | Drop_root of proc * rref
+  | Finalize of proc * rref
+  | Collect of rref
+  | Do_call of proc
+  | Receive of proc * proc
+
+let dirty_queued c p r =
+  Fqueue.exists
+    (function Dirty_call r' -> compare_rref r r' = 0 | _ -> false)
+    (calls c p)
+
+let guard c = function
+  | Allocate (p, r) ->
+      r.owner = p
+      && List.exists (fun r' -> compare_rref r r' = 0) c.refs
+      && not (is_allocated c r)
+  | Make_copy (p1, p2, r) ->
+      p1 <> p2 && p2 >= 0 && p2 < c.nprocs
+      && rec_state c p1 r = FOk
+      && rooted c p1 r
+  | Drop_root (p, r) -> rooted c p r
+  | Finalize (p, r) ->
+      (not (rooted c p r))
+      && Td.is_empty (tdirty c p r)
+      && rec_state c p r = FOk
+      && p <> r.owner
+  | Collect r -> collectable c r
+  | Do_call p -> not (Fqueue.is_empty (calls c p))
+  | Receive (src, dst) -> not (Fqueue.is_empty (channel c src dst))
+
+let fresh_id c p =
+  let seq = Option.value ~default:0 (Pmap.find_opt p c.next_id) in
+  ( { origin = p; seq },
+    { c with next_id = Pmap.add p (seq + 1) c.next_id } )
+
+(* Flush gated copy_acks once every dirty call is acknowledged: releasing
+   a sender before the registration protecting its copy is processed
+   would reintroduce the naive race (§5.1's retained dirty_ack). *)
+let flush_waiters c p r =
+  if dirty_pending c p r = 0 then
+    let ws = waiters c p r in
+    let c = set_waiters c p r Td.empty in
+    Td.fold
+      (fun (_, sender, id) c -> post c ~src:p ~dst:sender (Copy_ack (r, id)))
+      ws c
+  else c
+
+let deliver c ~src ~dst m =
+  match m with
+  | Copy (r, id) -> (
+      match rec_state c dst r with
+      | FBot ->
+          let c = set_rec c dst r FOk in
+          let c = set_root c dst r true in
+          let c = set_calls c dst (Fqueue.push (Dirty_call r) (calls c dst)) in
+          let c = set_pending c dst r (dirty_pending c dst r + 1) in
+          set_waiters c dst r (Td.add (dst, src, id) (waiters c dst r))
+      | FOk ->
+          let c = set_root c dst r true in
+          if dirty_pending c dst r = 0 then
+            post c ~src:dst ~dst:src (Copy_ack (r, id))
+          else set_waiters c dst r (Td.add (dst, src, id) (waiters c dst r)))
+  | Copy_ack (r, id) -> set_tdirty c dst r (Td.remove (dst, src, id) (tdirty c dst r))
+  | Dirty r ->
+      assert (dst = r.owner);
+      let c = set_pdirty c dst r (Pset.add src (pdirty c dst r)) in
+      post c ~src:dst ~dst:src (Dirty_ack r)
+  | Dirty_ack r ->
+      let c = set_pending c dst r (dirty_pending c dst r - 1) in
+      flush_waiters c dst r
+  | Clean r ->
+      assert (dst = r.owner);
+      set_pdirty c dst r (Pset.remove src (pdirty c dst r))
+
+let apply_unchecked c t =
+  match t with
+  | Allocate (p, r) ->
+      let c = { c with allocated = Rset.add r c.allocated } in
+      let c = set_rec c p r FOk in
+      set_root c p r true
+  | Make_copy (p1, p2, r) ->
+      let id, c = fresh_id c p1 in
+      let c = set_tdirty c p1 r (Td.add (p1, p2, id) (tdirty c p1 r)) in
+      post c ~src:p1 ~dst:p2 (Copy (r, id))
+  | Drop_root (p, r) -> set_root c p r false
+  | Finalize (p, r) ->
+      let c = set_rec c p r FBot in
+      set_calls c p (Fqueue.push (Clean_call r) (calls c p))
+  | Collect r ->
+      let c = { c with collected = Rset.add r c.collected } in
+      set_rec c r.owner r FBot
+  | Do_call p -> (
+      match Fqueue.pop (calls c p) with
+      | None -> invalid_arg "Do_call on empty queue"
+      | Some (call, rest) -> (
+          let c = set_calls c p rest in
+          match call with
+          | Dirty_call r -> post c ~src:p ~dst:r.owner (Dirty r)
+          | Clean_call r -> post c ~src:p ~dst:r.owner (Clean r)))
+  | Receive (src, dst) -> (
+      match Fqueue.pop (channel c src dst) with
+      | None -> invalid_arg "Receive on empty channel"
+      | Some (m, rest) ->
+          let c = set_channel c src dst rest in
+          deliver c ~src ~dst m)
+
+let apply c t =
+  if guard c t then apply_unchecked c t
+  else invalid_arg "Fifo_machine.apply: guard failed"
+
+let step c t = if guard c t then Some (apply_unchecked c t) else None
+
+let enabled_protocol c =
+  let receives =
+    Ppmap.fold (fun (src, dst) _ acc -> Receive (src, dst) :: acc) c.channels []
+  in
+  let sends = Pmap.fold (fun p _ acc -> Do_call p :: acc) c.calls [] in
+  List.rev_append receives (List.rev sends)
+
+let enabled_environment c =
+  let acc = ref [] in
+  let push t = acc := t :: !acc in
+  List.iter
+    (fun r ->
+      if not (is_allocated c r) then push (Allocate (r.owner, r))
+      else if collectable c r then push (Collect r))
+    c.refs;
+  Pr.iter (fun (p, r) -> push (Drop_root (p, r))) c.roots;
+  List.iter
+    (fun r ->
+      List.iter
+        (fun p ->
+          if guard c (Finalize (p, r)) then push (Finalize (p, r));
+          if rec_state c p r = FOk && rooted c p r then
+            List.iter
+              (fun p2 -> if p2 <> p then push (Make_copy (p, p2, r)))
+              (procs c))
+        (procs c))
+    c.refs;
+  List.rev !acc
+
+(* --- invariants ---------------------------------------------------------- *)
+
+let owner_tables_nonempty c r =
+  (not (Pset.is_empty (pdirty c r.owner r)))
+  || not (Td.is_empty (tdirty c r.owner r))
+
+let check c =
+  let violations = ref [] in
+  let fail fmt = Fmt.kstr (fun s -> violations := ("fifo", s) :: !violations) fmt in
+  List.iter
+    (fun r ->
+      (* Safety requirement: usable client reference or copy in transit
+         implies the owner's tables are non-empty. *)
+      List.iter
+        (fun p ->
+          if p <> r.owner && rec_state c p r = FOk && not (owner_tables_nonempty c r)
+          then fail "%a usable at %a, owner tables empty" pp_rref r pp_proc p;
+          (* No waiters without a pending dirty. *)
+          if dirty_pending c p r = 0 && not (Td.is_empty (waiters c p r)) then
+            fail "%a waiters at %a with no pending dirty" pp_rref r pp_proc p;
+          (* Usable and quiescent (registered) implies a permanent entry:
+             the two-state analogue of Lemma 9. *)
+          if
+            p <> r.owner
+            && rec_state c p r = FOk
+            && dirty_pending c p r = 0
+            && (not (dirty_queued c p r))
+            && (not (Pset.mem p (pdirty c r.owner r)))
+            && not
+                 (List.exists
+                    (fun (src, _, m) ->
+                      src = p
+                      &&
+                      match m with
+                      | Dirty r' -> compare_rref r r' = 0
+                      | _ -> false)
+                    (messages c))
+          then fail "%a registered-usable at %a but not in dirty set" pp_rref r pp_proc p)
+        (procs c);
+      if is_collected c r && needed c r then
+        fail "%a collected while needed" pp_rref r;
+      (* Transient entries match exactly one witness, as Invariant 1. *)
+      List.iter
+        (fun p ->
+          Td.iter
+            (fun (p1, p2, id) ->
+              if p1 <> p then fail "tdirty holds foreign entry";
+              let witnesses =
+                (if
+                   Fqueue.exists
+                     (function
+                       | Copy (r', id') ->
+                           compare_rref r r' = 0 && compare_msg_id id id' = 0
+                       | _ -> false)
+                     (channel c p1 p2)
+                 then 1
+                 else 0)
+                + (if Td.mem (p2, p1, id) (waiters c p2 r) then 1 else 0)
+                + (if
+                     Fqueue.exists
+                       (function
+                         | Copy_ack (r', id') ->
+                             compare_rref r r' = 0 && compare_msg_id id id' = 0
+                         | _ -> false)
+                       (channel c p2 p1)
+                   then 1
+                   else 0)
+                +
+                (* immediate-ack case has no intermediate stage *)
+                0
+              in
+              if witnesses <> 1 then
+                fail "%a transient %a: %d witnesses" pp_rref r pp_msg_id id
+                  witnesses)
+            (tdirty c p r))
+        (procs c))
+    c.refs;
+  !violations
+
+let compare_config a b =
+  let ( <?> ) x rest = if x <> 0 then x else rest () in
+  Int.compare a.nprocs b.nprocs <?> fun () ->
+  Ppmap.compare (Fqueue.compare compare_fmessage) a.channels b.channels
+  <?> fun () ->
+  Pmap.compare (Fqueue.compare compare_call) a.calls b.calls <?> fun () ->
+  Prmap.compare Td.compare a.tdirty_t b.tdirty_t <?> fun () ->
+  Prmap.compare Pset.compare a.pdirty_t b.pdirty_t <?> fun () ->
+  Prmap.compare Stdlib.compare a.rec_t b.rec_t <?> fun () ->
+  Prmap.compare Int.compare a.pending_t b.pending_t <?> fun () ->
+  Prmap.compare Td.compare a.waiters_t b.waiters_t <?> fun () ->
+  Pr.compare a.roots b.roots <?> fun () ->
+  Rset.compare a.allocated b.allocated <?> fun () ->
+  Rset.compare a.collected b.collected <?> fun () ->
+  Pmap.compare Int.compare a.next_id b.next_id
+
+let pp_transition ppf = function
+  | Allocate (p, r) -> Fmt.pf ppf "allocate(%a,%a)" pp_proc p pp_rref r
+  | Make_copy (p1, p2, r) ->
+      Fmt.pf ppf "make_copy(%a,%a,%a)" pp_proc p1 pp_proc p2 pp_rref r
+  | Drop_root (p, r) -> Fmt.pf ppf "drop_root(%a,%a)" pp_proc p pp_rref r
+  | Finalize (p, r) -> Fmt.pf ppf "finalize(%a,%a)" pp_proc p pp_rref r
+  | Collect r -> Fmt.pf ppf "collect(%a)" pp_rref r
+  | Do_call p -> Fmt.pf ppf "do_call(%a)" pp_proc p
+  | Receive (src, dst) -> Fmt.pf ppf "receive(%a,%a)" pp_proc src pp_proc dst
+
+let pp_message ppf = function
+  | Copy (r, id) -> Fmt.pf ppf "copy(%a,%a)" pp_rref r pp_msg_id id
+  | Copy_ack (r, id) -> Fmt.pf ppf "copy_ack(%a,%a)" pp_rref r pp_msg_id id
+  | Dirty r -> Fmt.pf ppf "dirty(%a)" pp_rref r
+  | Dirty_ack r -> Fmt.pf ppf "dirty_ack(%a)" pp_rref r
+  | Clean r -> Fmt.pf ppf "clean(%a)" pp_rref r
+
+let pp_config ppf c =
+  Fmt.pf ppf "@[<v>";
+  List.iter
+    (fun r ->
+      List.iter
+        (fun p ->
+          if rec_state c p r = FOk || rooted c p r then
+            Fmt.pf ppf "%a@%a: %s root=%b pending=%d pdirty={%a}@," pp_rref r
+              pp_proc p
+              (match rec_state c p r with FBot -> "⊥" | FOk -> "OK")
+              (rooted c p r) (dirty_pending c p r)
+              Fmt.(list ~sep:(any ",") pp_proc)
+              (Pset.elements (pdirty c p r)))
+        (procs c))
+    c.refs;
+  List.iter
+    (fun (src, dst, m) ->
+      Fmt.pf ppf "%a->%a: %a@," pp_proc src pp_proc dst pp_message m)
+    (messages c);
+  Fmt.pf ppf "@]"

@@ -1,0 +1,97 @@
+(** The FIFO-channel variant of the algorithm (the paper's §5.1).
+
+    With reliable FIFO channels between each client and the owner, a
+    clean message can never overtake a dirty already in transit, which
+    collapses the life cycle to two states ([⊥]/[OK]) and removes both
+    the blocking of deserialisation and the [clean_ack] message:
+
+    - a received reference is usable {e immediately}; the dirty call is
+      merely enqueued;
+    - dirty and clean calls share one outgoing call queue per process, so
+      their relative order is preserved end-to-end;
+    - [dirty_ack] survives only to gate [copy_ack] (releasing the
+      sender's transient entry too early would reintroduce the naive
+      race);
+    - there is no [ccitnil], no blocked table and no [clean_ack].
+
+    The machine is pure and enumerable like {!Machine}, with its own
+    safety checker and the same ground-truth oracle. *)
+
+open Types
+
+module Td : Set.S with type elt = proc * proc * msg_id
+
+module Pset : Set.S with type elt = proc
+
+type config
+
+(** Two-state life cycle. *)
+type fstate = FBot | FOk
+
+(** Outgoing calls, kept in one FIFO queue per process (order matters). *)
+type call = Dirty_call of rref | Clean_call of rref
+
+type message =
+  | Copy of rref * msg_id
+  | Copy_ack of rref * msg_id
+  | Dirty of rref
+  | Dirty_ack of rref
+  | Clean of rref
+
+type transition =
+  | Allocate of proc * rref
+  | Make_copy of proc * proc * rref
+  | Drop_root of proc * rref
+  | Finalize of proc * rref
+  | Collect of rref
+  | Do_call of proc  (** send the head of the call queue *)
+  | Receive of proc * proc  (** deliver the head of a channel *)
+
+val init : procs:int -> refs:rref list -> config
+
+val rec_state : config -> proc -> rref -> fstate
+
+val rooted : config -> proc -> rref -> bool
+
+val tdirty : config -> proc -> rref -> Td.t
+
+val pdirty : config -> proc -> rref -> Pset.t
+
+(** Dirty calls issued but not yet acknowledged (gates copy_acks). *)
+val dirty_pending : config -> proc -> rref -> int
+
+val is_allocated : config -> rref -> bool
+
+val is_collected : config -> rref -> bool
+
+val needed : config -> rref -> bool
+
+val collectable : config -> rref -> bool
+
+(** Copies of [r] currently in transit. *)
+val copies_in_transit : config -> rref -> int
+
+(** Head of the FIFO channel from [src] to [dst], if any — the message a
+    [Receive (src, dst)] transition would deliver. *)
+val channel_head : config -> src:proc -> dst:proc -> message option
+
+val guard : config -> transition -> bool
+
+val apply : config -> transition -> config
+
+val step : config -> transition -> config option
+
+val enabled_protocol : config -> transition list
+
+val enabled_environment : config -> transition list
+
+(** Safety analogue of Definition 12 for the variant, plus structural
+    invariants (usable-implies-registered-or-covered, gating of
+    copy_acks). *)
+val check : config -> Invariants.violation list
+
+val compare_config : config -> config -> int
+
+val pp_transition : transition Fmt.t
+
+val pp_config : config Fmt.t

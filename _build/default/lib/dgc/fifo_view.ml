@@ -1,0 +1,60 @@
+module Rng = Netobj_util.Rng
+module F = Fifo_machine
+
+let r0 : Types.rref = { owner = 0; index = 0 }
+
+let create ~procs ~seed =
+  let rng = Rng.create seed in
+  let counters = Algo.Counter.create () in
+  let state = ref (F.apply (F.init ~procs ~refs:[ r0 ]) (F.Allocate (0, r0))) in
+  (* Control messages are counted as they are delivered: every post is
+     received exactly once (channels are reliable), and delivery is where
+     the message's kind is visible. *)
+  let count_delivery src dst =
+    match F.channel_head !state ~src ~dst with
+    | Some (F.Dirty _) -> Algo.Counter.incr counters "dirty"
+    | Some (F.Dirty_ack _) -> Algo.Counter.incr counters "dirty_ack"
+    | Some (F.Clean _) -> Algo.Counter.incr counters "clean"
+    | Some (F.Copy_ack _) -> Algo.Counter.incr counters "copy_ack"
+    | Some (F.Copy _) | None -> ()
+  in
+  let step () =
+    let finalizes =
+      List.filter
+        (fun t -> match t with F.Finalize _ -> true | _ -> false)
+        (F.enabled_environment !state)
+    in
+    match F.enabled_protocol !state @ finalizes with
+    | [] -> false
+    | ts ->
+        let t = Rng.pick rng ts in
+        (match t with
+        | F.Receive (src, dst) -> count_delivery src dst
+        | F.Do_call _ | F.Allocate _ | F.Make_copy _ | F.Drop_root _
+        | F.Finalize _ | F.Collect _ ->
+            ());
+        state := F.apply !state t;
+        true
+  in
+  {
+    Algo.name = "birrell-fifo";
+    procs;
+    can_send =
+      (fun p -> F.rooted !state p r0 && F.rec_state !state p r0 = F.FOk);
+    send =
+      (fun ~src ~dst -> state := F.apply !state (F.Make_copy (src, dst, r0)));
+    drop =
+      (fun p ->
+        if F.rooted !state p r0 then
+          state := F.apply !state (F.Drop_root (p, r0)));
+    holds = (fun p -> F.rooted !state p r0);
+    step;
+    try_collect =
+      (fun () ->
+        if F.guard !state (F.Collect r0) then
+          state := F.apply !state (F.Collect r0));
+    collected = (fun () -> F.is_collected !state r0);
+    copies_in_flight = (fun () -> F.copies_in_transit !state r0);
+    control_messages = (fun () -> Algo.Counter.to_list counters);
+    zombies = (fun () -> 0);
+  }

@@ -1,0 +1,6 @@
+(** The §5.1 FIFO variant adapted to the {!Algo} harness (like
+    {!Birrell_view} for the base machine), so the family comparison can
+    measure it side by side: same dirty/clean architecture, one fewer
+    message per cycle and no deserialisation blocking. *)
+
+val create : procs:int -> seed:int64 -> Algo.view

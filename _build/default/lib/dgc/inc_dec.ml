@@ -1,0 +1,100 @@
+module Rng = Netobj_util.Rng
+
+type msg =
+  | Copy of Algo.proc  (** payload: the sending process *)
+  | Inc_dec of Algo.proc  (** to owner: count me, release this sender *)
+  | Dec of unit  (** owner -> sender: obligation released *)
+  | Dec_self  (** to owner: remove one instance of the sender *)
+
+let create ~procs ~seed =
+  let rng = Rng.create seed in
+  let pool = Algo.Pool.create ~ordered:true ~rng in
+  let counters = Algo.Counter.create () in
+  let owner = 0 in
+  let instances = Array.make procs 0 in
+  instances.(0) <- 1;
+  (* Copies sent whose release (owner's dec) has not yet arrived. *)
+  let guard = Array.make procs 0 in
+  (* Instance departures deferred while the guard is up. *)
+  let owed = Array.make procs 0 in
+  let count = ref 0 in
+  let collected = ref false in
+  let flush p =
+    if p <> owner && guard.(p) = 0 then
+      while owed.(p) > 0 do
+        owed.(p) <- owed.(p) - 1;
+        Algo.Counter.incr counters "dec_self";
+        Algo.Pool.post pool ~src:p ~dst:owner Dec_self
+      done
+  in
+  let release_sender q =
+    (* Uniform handling: the owner's release to itself is local. *)
+    if q = owner then guard.(owner) <- guard.(owner) - 1
+    else begin
+      Algo.Counter.incr counters "dec";
+      Algo.Pool.post pool ~src:owner ~dst:q (Dec ())
+    end
+  in
+  let send ~src ~dst =
+    if instances.(src) = 0 then invalid_arg "inc_dec send: not held";
+    guard.(src) <- guard.(src) + 1;
+    Algo.Pool.post pool ~src ~dst (Copy src)
+  in
+  let drop p =
+    if instances.(p) > 0 then begin
+      instances.(p) <- instances.(p) - 1;
+      if p <> owner then begin
+        owed.(p) <- owed.(p) + 1;
+        flush p
+      end
+    end
+  in
+  let step () =
+    match Algo.Pool.take_random pool with
+    | None -> false
+    | Some (_, dst, Copy sender) ->
+        instances.(dst) <- instances.(dst) + 1;
+        if dst = owner then begin
+          (* Back at the owner: no counting needed, release directly. *)
+          release_sender sender
+        end
+        else begin
+          Algo.Counter.incr counters "inc_dec";
+          Algo.Pool.post pool ~src:dst ~dst:owner (Inc_dec sender)
+        end;
+        true
+    | Some (_, _, Inc_dec sender) ->
+        incr count;
+        release_sender sender;
+        true
+    | Some (_, dst, Dec ()) ->
+        guard.(dst) <- guard.(dst) - 1;
+        flush dst;
+        true
+    | Some (_, _, Dec_self) ->
+        decr count;
+        true
+  in
+  let try_collect () =
+    if
+      (not !collected)
+      && instances.(owner) = 0
+      && !count = 0
+      && guard.(owner) = 0
+    then collected := true
+  in
+  {
+    Algo.name = "inc-dec";
+    procs;
+    can_send = (fun p -> instances.(p) > 0 && not !collected);
+    send;
+    drop;
+    holds = (fun p -> instances.(p) > 0);
+    step;
+    try_collect;
+    collected = (fun () -> !collected);
+    copies_in_flight =
+      (fun () -> Algo.Pool.count pool (function Copy _ -> true | _ -> false));
+    control_messages = (fun () -> Algo.Counter.to_list counters);
+    zombies = (fun () -> 0);
+  }

@@ -1,0 +1,13 @@
+(** Moreau's INC_DEC distributed reference counting (2001) —
+    Figure 14(c), the algorithm whose formal framework the paper reuses.
+
+    Receiver-initiated like Birrell's, but with a single round: on
+    receiving a copy, the receiver sends [inc_dec] to the owner naming
+    the copy's sender; the owner counts the receiver and releases the
+    sender by sending it [dec].  A sender defers its own departure
+    ([dec_self]) until every copy it sent has been released — so the
+    chain "owner counted the receiver before the sender may leave" holds
+    without acknowledgement round-trips.  Channels are FIFO, per the
+    original algorithm's requirement. *)
+
+val create : procs:int -> seed:int64 -> Algo.view

@@ -1,0 +1,100 @@
+module Rng = Netobj_util.Rng
+
+type msg =
+  | Copy  (** sender is the pool's [src] *)
+  | Dec_child  (** one child edge of the recipient has gone away *)
+
+type node = { parent : Algo.proc; mutable children : int }
+
+let create ~procs ~seed =
+  let rng = Rng.create seed in
+  let pool = Algo.Pool.create ~ordered:false ~rng in
+  let counters = Algo.Counter.create () in
+  let owner = 0 in
+  let instances = Array.make procs 0 in
+  instances.(0) <- 1;
+  (* Diffusion-tree nodes for non-owner processes. *)
+  let nodes : (Algo.proc, node) Hashtbl.t = Hashtbl.create 8 in
+  let owner_children = ref 0 in
+  let collected = ref false in
+  let post_dec dst =
+    Algo.Counter.incr counters "dec";
+    Algo.Pool.post pool ~src:(-1) ~dst Dec_child
+  in
+  (* Release cascades up the tree as zombie nodes lose their last child;
+     the cascade is by message, never local, so costs stay visible. *)
+  let try_release p =
+    if p <> owner then
+      match Hashtbl.find_opt nodes p with
+      | Some n when instances.(p) = 0 && n.children = 0 ->
+          Hashtbl.remove nodes p;
+          post_dec n.parent
+      | Some _ | None -> ()
+  in
+  let handle_dec q =
+    if q = owner then decr owner_children
+    else begin
+      (match Hashtbl.find_opt nodes q with
+      | Some n -> n.children <- n.children - 1
+      | None -> failwith "irc: dec for absent node");
+      try_release q
+    end
+  in
+  let send ~src ~dst =
+    if instances.(src) = 0 then invalid_arg "irc send: not held";
+    if src = owner then incr owner_children
+    else (Hashtbl.find nodes src).children <- (Hashtbl.find nodes src).children + 1;
+    Algo.Pool.post pool ~src ~dst Copy
+  in
+  let drop p =
+    if instances.(p) > 0 then begin
+      instances.(p) <- instances.(p) - 1;
+      try_release p
+    end
+  in
+  let step () =
+    match Algo.Pool.take_random pool with
+    | None -> false
+    | Some (src, dst, Copy) ->
+        instances.(dst) <- instances.(dst) + 1;
+        if dst = owner then
+          (* The owner needs no node; the copy edge dissolves at once. *)
+          post_dec src
+        else if Hashtbl.mem nodes dst then
+          (* Duplicate: the existing node absorbs it, the extra tree edge
+             dissolves immediately. *)
+          post_dec src
+        else Hashtbl.add nodes dst { parent = src; children = 0 };
+        (* The app may already have dropped every instance (e.g. a copy
+           arriving after local death): re-check releasability. *)
+        try_release dst;
+        true
+    | Some (_, dst, Dec_child) ->
+        handle_dec dst;
+        true
+  in
+  let try_collect () =
+    if (not !collected) && instances.(owner) = 0 && !owner_children = 0 then
+      collected := true
+  in
+  let zombies () =
+    Hashtbl.fold
+      (fun p n acc ->
+        if instances.(p) = 0 && n.children > 0 then acc + 1 else acc)
+      nodes 0
+  in
+  {
+    Algo.name = "indirect";
+    procs;
+    can_send = (fun p -> instances.(p) > 0 && not !collected);
+    send;
+    drop;
+    holds = (fun p -> instances.(p) > 0);
+    step;
+    try_collect;
+    collected = (fun () -> !collected);
+    copies_in_flight =
+      (fun () -> Algo.Pool.count pool (function Copy -> true | _ -> false));
+    control_messages = (fun () -> Algo.Counter.to_list counters);
+    zombies;
+  }

@@ -1,0 +1,13 @@
+(** Piquer's Indirect Reference Counting (1991) — Figure 14(d).
+
+    Processes form a diffusion tree rooted at the owner: the first copy a
+    process receives makes the copy's sender its parent, and each process
+    counts the copies it has propagated.  Discarding is purely local
+    until a node has no local instances and no children, at which point a
+    single [dec] flows to the parent — only decrement messages exist, so
+    no increment/decrement race is possible.  The price is {e zombies}:
+    a node whose application no longer holds the reference must persist
+    while it has children in the tree.  [zombies ()] reports how many
+    such nodes currently exist (the survey's main criticism of IRC). *)
+
+val create : procs:int -> seed:int64 -> Algo.view

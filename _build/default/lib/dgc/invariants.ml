@@ -1,0 +1,417 @@
+open Types
+module M = Machine
+
+type violation = string * string
+
+let pp_violation ppf (name, detail) = Fmt.pf ppf "%s: %s" name detail
+
+let v name fmt = Fmt.kstr (fun detail -> (name, detail)) fmt
+
+(* Iterate over every (p, r) pair with p ranging over processes. *)
+let fold_pr c f acc =
+  List.fold_left
+    (fun acc r -> List.fold_left (fun acc p -> f acc p r) acc (M.procs c))
+    acc (M.universe c)
+
+let in_chan c src dst m = M.Chan.mem m (M.channel c ~src ~dst)
+
+(* Lemma 1: rec = ccitnil implies r ∈ dirty_call_todo(p). *)
+let lemma1 c =
+  fold_pr c
+    (fun acc p r ->
+      if M.rec_state c p r = Ccitnil && not (M.Rset.mem r (M.dirty_call_todo c p))
+      then v "lemma1" "%a: ccitnil at %a but no scheduled dirty call" pp_rref r pp_proc p :: acc
+      else acc)
+    []
+
+(* Lemma 2: r ∈ clean_call_todo(p) implies rec = OK. *)
+let lemma2 c =
+  fold_pr c
+    (fun acc p r ->
+      if M.Rset.mem r (M.clean_call_todo c p) && M.rec_state c p r <> Ok then
+        v "lemma2" "%a: clean scheduled at %a in state %a" pp_rref r pp_proc p
+          pp_rstate (M.rec_state c p r)
+        :: acc
+      else acc)
+    []
+
+(* Invariant 1 (Lemma 3): ⟨p1,p2,id⟩ ∈ tdirty(p1,r) iff exactly one of
+   copy(r,id) ∈ k(p1,p2), ⟨id,p1⟩ ∈ blocked(p2,r),
+   copy_ack(r,id) ∈ k(p2,p1), ⟨id,p1,r⟩ ∈ copy_ack_todo(p2). *)
+let invariant1 c =
+  let count_terms p1 p2 r id =
+    (if in_chan c p1 p2 (Copy (r, id)) then 1 else 0)
+    + (if M.Blk.mem (id, p1) (M.blocked c p2 r) then 1 else 0)
+    + (if in_chan c p2 p1 (Copy_ack (r, id)) then 1 else 0)
+    + if M.Cat.mem (id, p1, r) (M.copy_ack_todo c p2) then 1 else 0
+  in
+  (* Forward: every transient entry has exactly one witness. *)
+  let acc =
+    fold_pr c
+      (fun acc p r ->
+        M.Td.fold
+          (fun (p1, p2, id) acc ->
+            let acc =
+              if p1 <> p then
+                v "invariant1" "tdirty(%a,%a) holds entry for sender %a"
+                  pp_proc p pp_rref r pp_proc p1
+                :: acc
+              else acc
+            in
+            match count_terms p1 p2 r id with
+            | 1 -> acc
+            | n ->
+                v "invariant1" "%a id %a from %a to %a: %d witnesses"
+                  pp_rref r pp_msg_id id pp_proc p1 pp_proc p2 n
+                :: acc)
+          (M.tdirty c p r) acc)
+      []
+  in
+  (* Backward: every witness implies the transient entry. *)
+  let check_entry acc p1 p2 r id what =
+    if M.Td.mem (p1, p2, id) (M.tdirty c p1 r) then acc
+    else
+      v "invariant1" "%s for %a id %a but no tdirty(%a) entry" what pp_rref r
+        pp_msg_id id pp_proc p1
+      :: acc
+  in
+  let acc =
+    List.fold_left
+      (fun acc (src, dst, m) ->
+        match m with
+        | Copy (r, id) -> check_entry acc src dst r id "copy in transit"
+        | Copy_ack (r, id) -> check_entry acc dst src r id "copy_ack in transit"
+        | Dirty _ | Dirty_ack _ | Clean _ | Clean_ack _ -> acc)
+      acc (M.messages c)
+  in
+  let acc =
+    fold_pr c
+      (fun acc p2 r ->
+        M.Blk.fold
+          (fun (id, p1) acc -> check_entry acc p1 p2 r id "blocked entry")
+          (M.blocked c p2 r) acc)
+      acc
+  in
+  List.fold_left
+    (fun acc p2 ->
+      M.Cat.fold
+        (fun (id, p1, r) acc -> check_entry acc p1 p2 r id "copy_ack_todo entry")
+        (M.copy_ack_todo c p2) acc)
+    acc (M.procs c)
+
+(* Lemma 4: clean-call traffic from p1 about r implies rec(p1,r) ∈
+   {ccit, ccitnil}; the three stages are mutually exclusive. *)
+let lemma4 c =
+  fold_pr c
+    (fun acc p1 r ->
+      let owner = r.owner in
+      if p1 = owner then acc
+      else
+        let terms =
+          (if in_chan c p1 owner (Clean r) then 1 else 0)
+          + (if M.Pr.mem (p1, r) (M.clean_ack_todo c owner) then 1 else 0)
+          + if in_chan c owner p1 (Clean_ack r) then 1 else 0
+        in
+        let acc =
+          if terms > 1 then
+            v "lemma4" "%a: %d concurrent clean stages from %a" pp_rref r terms
+              pp_proc p1
+            :: acc
+          else acc
+        in
+        if terms >= 1 then
+          match M.rec_state c p1 r with
+          | Ccit | Ccitnil -> acc
+          | s ->
+              v "lemma4" "%a: clean traffic from %a in state %a" pp_rref r
+                pp_proc p1 pp_rstate s
+              :: acc
+        else acc)
+    []
+
+(* Lemma 5: (a) scheduled dirty call implies nil/ccitnil; (b) dirty-call
+   traffic implies nil; (c) the four stages are mutually exclusive. *)
+let lemma5 c =
+  fold_pr c
+    (fun acc p1 r ->
+      let owner = r.owner in
+      if p1 = owner then acc
+      else
+        let todo = M.Rset.mem r (M.dirty_call_todo c p1) in
+        let traffic =
+          (if in_chan c p1 owner (Dirty r) then 1 else 0)
+          + (if M.Pr.mem (p1, r) (M.dirty_ack_todo c owner) then 1 else 0)
+          + if in_chan c owner p1 (Dirty_ack r) then 1 else 0
+        in
+        let stages = (if todo then 1 else 0) + traffic in
+        let acc =
+          if stages > 1 then
+            v "lemma5c" "%a: %d concurrent dirty stages from %a" pp_rref r
+              stages pp_proc p1
+            :: acc
+          else acc
+        in
+        let s = M.rec_state c p1 r in
+        let acc =
+          if todo && s <> Nil && s <> Ccitnil then
+            v "lemma5a" "%a: dirty call scheduled at %a in state %a" pp_rref r
+              pp_proc p1 pp_rstate s
+            :: acc
+          else acc
+        in
+        if traffic >= 1 && s <> Nil then
+          v "lemma5b" "%a: dirty traffic from %a in state %a" pp_rref r
+            pp_proc p1 pp_rstate s
+          :: acc
+        else acc)
+    []
+
+(* Invariant 2 (Lemma 6), for client processes:
+   p1 ∈ pdirty(owner,r) ∨ dirty ∈ k(p1,owner) ∨ r ∈ dirty_call_todo(p1)
+   = clean ∈ k(p1,owner) ∨ rec(p1,r) ∈ {OK, nil, ccitnil}. *)
+let invariant2 c =
+  fold_pr c
+    (fun acc p1 r ->
+      let owner = r.owner in
+      if p1 = owner then acc
+      else
+        let lhs =
+          M.Pset.mem p1 (M.pdirty c owner r)
+          || in_chan c p1 owner (Dirty r)
+          || M.Rset.mem r (M.dirty_call_todo c p1)
+        in
+        let rhs =
+          in_chan c p1 owner (Clean r)
+          ||
+          match M.rec_state c p1 r with
+          | Ok | Nil | Ccitnil -> true
+          | Bot | Ccit -> false
+        in
+        if lhs <> rhs then
+          v "invariant2" "%a at %a: dirty-knowledge=%b liveness=%b (state %a)"
+            pp_rref r pp_proc p1 lhs rhs pp_rstate (M.rec_state c p1 r)
+          :: acc
+        else acc)
+    []
+
+(* Lemma 7: a transient dirty entry at p implies rec(p,r) = OK. *)
+let lemma7 c =
+  fold_pr c
+    (fun acc p r ->
+      if (not (M.Td.is_empty (M.tdirty c p r))) && M.rec_state c p r <> Ok then
+        v "lemma7" "%a: tdirty nonempty at %a in state %a" pp_rref r pp_proc p
+          pp_rstate (M.rec_state c p r)
+        :: acc
+      else acc)
+    []
+
+(* Lemma 8: nil/ccitnil with dirty in transit or scheduled implies a
+   blocked entry exists. *)
+let lemma8 c =
+  fold_pr c
+    (fun acc p1 r ->
+      let s = M.rec_state c p1 r in
+      if
+        (s = Nil || s = Ccitnil)
+        && (in_chan c p1 r.owner (Dirty r)
+           || M.Rset.mem r (M.dirty_call_todo c p1))
+        && M.Blk.is_empty (M.blocked c p1 r)
+      then
+        v "lemma8" "%a: %a at %a with dirty pending but nothing blocked"
+          pp_rref r pp_rstate s pp_proc p1
+        :: acc
+      else acc)
+    []
+
+(* Lemma 9 (Safety 1): a usable client reference implies a permanent dirty
+   entry at the owner. *)
+let safety1 c =
+  fold_pr c
+    (fun acc p1 r ->
+      if
+        p1 <> r.owner
+        && M.rec_state c p1 r = Ok
+        && not (M.Pset.mem p1 (M.pdirty c r.owner r))
+      then
+        v "safety1" "%a usable at %a but absent from owner's dirty set"
+          pp_rref r pp_proc p1
+        :: acc
+      else acc)
+    []
+
+(* Lemma 10 (Safety 2): a copy in transit is covered by a dirty entry. *)
+let safety2 c =
+  List.fold_left
+    (fun acc (src, dst, m) ->
+      match m with
+      | Copy (r, id) ->
+          if src = r.owner then
+            if M.Td.mem (src, dst, id) (M.tdirty c src r) then acc
+            else
+              v "safety2" "%a in transit from owner without transient entry"
+                pp_rref r
+              :: acc
+          else if M.Pset.mem src (M.pdirty c r.owner r) then acc
+          else
+            v "safety2" "%a in transit from %a not in owner's dirty set"
+              pp_rref r pp_proc src
+            :: acc
+      | Copy_ack _ | Dirty _ | Dirty_ack _ | Clean _ | Clean_ack _ -> acc)
+    [] (M.messages c)
+
+let owner_tables_nonempty c r =
+  (not (M.Pset.is_empty (M.pdirty c r.owner r)))
+  || not (M.Td.is_empty (M.tdirty c r.owner r))
+
+(* Lemma 11 (Safety 3): a known-but-unusable reference implies the owner's
+   dirty tables are non-empty. *)
+let safety3 c =
+  fold_pr c
+    (fun acc p1 r ->
+      let s = M.rec_state c p1 r in
+      if p1 <> r.owner && (s = Nil || s = Ccitnil) && not (owner_tables_nonempty c r)
+      then
+        v "safety3" "%a %a at %a but owner dirty tables empty" pp_rref r
+          pp_rstate s pp_proc p1
+        :: acc
+      else acc)
+    []
+
+(* Definition 12 / Theorem 13. *)
+let safety_requirement c =
+  let acc =
+    fold_pr c
+      (fun acc p1 r ->
+        let s = M.rec_state c p1 r in
+        if
+          p1 <> r.owner
+          && (s = Ok || s = Nil || s = Ccitnil)
+          && not (owner_tables_nonempty c r)
+        then
+          v "safety" "%a held at %a (state %a), owner tables empty" pp_rref r
+            pp_proc p1 pp_rstate s
+          :: acc
+        else acc)
+      []
+  in
+  List.fold_left
+    (fun acc (_, _, m) ->
+      match m with
+      | Copy (r, _) when not (owner_tables_nonempty c r) ->
+          v "safety" "%a in transit, owner tables empty" pp_rref r :: acc
+      | Copy (_, _) | Copy_ack _ | Dirty _ | Dirty_ack _ | Clean _
+      | Clean_ack _ ->
+          acc)
+    acc (M.messages c)
+
+(* Lemma 19: a blocked entry at p2 exists iff a dirty-call stage (todo,
+   in transit, ack scheduled, ack in transit) is pending for (p2, r). *)
+let lemma19 c =
+  fold_pr c
+    (fun acc p2 r ->
+      if p2 = r.owner then acc
+      else
+        let owner = r.owner in
+        let stage_pending =
+          M.Rset.mem r (M.dirty_call_todo c p2)
+          || in_chan c p2 owner (Dirty r)
+          || M.Pr.mem (p2, r) (M.dirty_ack_todo c owner)
+          || in_chan c owner p2 (Dirty_ack r)
+        in
+        let blocked_nonempty = not (M.Blk.is_empty (M.blocked c p2 r)) in
+        if stage_pending <> blocked_nonempty then
+          v "lemma19" "%a at %a: dirty stage pending=%b, blocked nonempty=%b"
+            pp_rref r pp_proc p2 stage_pending blocked_nonempty
+          :: acc
+        else acc)
+    []
+
+(* Lemma 20: a reference in state nil has at least one blocked entry. *)
+let lemma20 c =
+  fold_pr c
+    (fun acc p r ->
+      if M.rec_state c p r = Nil && M.Blk.is_empty (M.blocked c p r) then
+        v "lemma20" "%a nil at %a with empty blocked table" pp_rref r pp_proc p
+        :: acc
+      else acc)
+    []
+
+let no_premature_collection c =
+  List.filter_map
+    (fun r ->
+      if M.is_collected c r && M.needed c r then
+        Some (v "oracle" "%a collected while still needed" pp_rref r)
+      else None)
+    (M.universe c)
+
+let check_all c =
+  List.concat
+    [
+      lemma1 c;
+      lemma2 c;
+      invariant1 c;
+      lemma4 c;
+      lemma5 c;
+      invariant2 c;
+      lemma7 c;
+      lemma8 c;
+      safety1 c;
+      safety2 c;
+      safety3 c;
+      lemma19 c;
+      lemma20 c;
+      safety_requirement c;
+      no_premature_collection c;
+    ]
+
+(* Definition 15. *)
+let msg_measure = function
+  | Copy _ -> 14
+  | Dirty _ -> 8
+  | Dirty_ack _ -> 6
+  | Clean _ -> 3
+  | Copy_ack _ -> 1
+  | Clean_ack _ -> 1
+
+let rt_measure = function
+  | Ok -> 5
+  | Ccitnil -> 2
+  | Ccit -> 1
+  | Nil -> 1
+  | Bot -> 0
+
+let termination_measure c =
+  let tab =
+    List.fold_left
+      (fun acc p ->
+        acc
+        + (9 * M.Rset.cardinal (M.dirty_call_todo c p))
+        + (7 * M.Pr.cardinal (M.dirty_ack_todo c p))
+        + (2 * M.Cat.cardinal (M.copy_ack_todo c p))
+        + (2 * M.Pr.cardinal (M.clean_ack_todo c p)))
+      0 (M.procs c)
+  in
+  let blk =
+    fold_pr c (fun acc p r -> acc + (2 * M.Blk.cardinal (M.blocked c p r))) 0
+  in
+  let msgs =
+    List.fold_left (fun acc (_, _, m) -> acc + msg_measure m) 0 (M.messages c)
+  in
+  let states =
+    fold_pr c (fun acc p r -> acc + rt_measure (M.rec_state c p r)) 0
+  in
+  tab + blk + msgs + states
+
+let measure_decreases c t =
+  if M.is_environment t then []
+  else
+    match M.step c t with
+    | None -> [ v "measure" "transition not enabled" ]
+    | Some c' ->
+        let before = termination_measure c and after = termination_measure c' in
+        if after < before then []
+        else
+          [
+            v "measure" "%a: measure %d -> %d (must strictly decrease)"
+              M.pp_transition t before after;
+          ]

@@ -1,0 +1,80 @@
+(** Executable counterparts of the specification's lemmas, invariants and
+    theorems (its Section 4).
+
+    Every function takes a {!Machine.config} and returns the list of
+    violations found (empty = the property holds in this configuration).
+    The model checker ({!Explore}) and the property tests evaluate these
+    on every reachable configuration — an executable version of the
+    paper's induction-on-transitions proofs.
+
+    Names follow the paper:
+    - {!lemma1}: [ccitnil] implies a scheduled dirty call.
+    - {!lemma2}: a scheduled clean call implies state [OK].
+    - {!invariant1} (Lemma 3): a transient dirty entry exists iff exactly
+      one of: matching copy in transit, blocked entry, copy_ack in
+      transit, copy_ack scheduled.
+    - {!lemma4}: clean-call traffic implies state [ccit]/[ccitnil];
+      terms mutually exclusive.
+    - {!lemma5}: dirty-call traffic implies state [nil] (or [ccitnil] for
+      the todo entry); terms mutually exclusive.
+    - {!invariant2} (Lemma 6): dirty knowledge at the owner equals
+      liveness knowledge at the client (checked for client processes).
+    - {!lemma7}: a transient dirty entry implies state [OK] at sender.
+    - {!lemma8}: unregistered-but-known reference implies a blocked entry.
+    - {!safety1} (Lemma 9): usable reference implies permanent dirty entry.
+    - {!safety2} (Lemma 10): copy in transit implies a dirty entry
+      covering the sender.
+    - {!safety3} (Lemma 11): unusable-but-known reference implies the
+      owner's dirty tables are non-empty.
+    - {!safety_requirement} (Definition 12 / Theorem 13).
+    - {!no_premature_collection}: the cross-algorithm ground-truth oracle.
+    - {!termination_measure} (Definition 15): strictly decreasing on
+      protocol transitions — tested by {!measure_decreases}. *)
+
+(** A violated property: [(check, detail)]. *)
+type violation = string * string
+
+val lemma1 : Machine.config -> violation list
+
+val lemma2 : Machine.config -> violation list
+
+val invariant1 : Machine.config -> violation list
+
+val lemma4 : Machine.config -> violation list
+
+val lemma5 : Machine.config -> violation list
+
+val invariant2 : Machine.config -> violation list
+
+val lemma7 : Machine.config -> violation list
+
+val lemma8 : Machine.config -> violation list
+
+val safety1 : Machine.config -> violation list
+
+val safety2 : Machine.config -> violation list
+
+val safety3 : Machine.config -> violation list
+
+(** Lemma 19: a blocked entry exists iff a dirty-call stage is pending. *)
+val lemma19 : Machine.config -> violation list
+
+(** Lemma 20: state [nil] implies a non-empty blocked table. *)
+val lemma20 : Machine.config -> violation list
+
+val safety_requirement : Machine.config -> violation list
+
+val no_premature_collection : Machine.config -> violation list
+
+(** Every check above, concatenated. *)
+val check_all : Machine.config -> violation list
+
+(** Definition 15. Always non-negative. *)
+val termination_measure : Machine.config -> int
+
+(** [measure_decreases c t] — given an enabled transition, check the
+    measure strictly decreases when [t] is a protocol transition (and
+    report nothing for environment transitions). *)
+val measure_decreases : Machine.config -> Machine.transition -> violation list
+
+val pp_violation : violation Fmt.t

@@ -1,0 +1,99 @@
+module Rng = Netobj_util.Rng
+
+type msg =
+  | Copy
+  | Inc of Algo.proc  (** sender tells owner: count one more for [dst] *)
+  | Ack of Algo.proc  (** owner tells the receiver its inc was counted *)
+  | Dec
+
+let create ~procs ~seed =
+  let rng = Rng.create seed in
+  (* Lermen–Maurer assumes order-preserving channels: a sender's inc for a
+     forwarded copy must reach the owner before that sender's own later
+     dec.  The receiver-side ack gating handles the cross-channel races. *)
+  let pool = Algo.Pool.create ~ordered:true ~rng in
+  let counters = Algo.Counter.create () in
+  let owner = 0 in
+  let instances = Array.make procs 0 in
+  instances.(0) <- 1;
+  let copies_received = Array.make procs 0 in
+  let acks_received = Array.make procs 0 in
+  (* decs a process owes but must defer until balanced *)
+  let deferred_decs = Array.make procs 0 in
+  let count = ref 0 in
+  let collected = ref false in
+  let balanced p = copies_received.(p) = acks_received.(p) in
+  let flush_deferred p =
+    if p <> owner && balanced p then
+      while deferred_decs.(p) > 0 do
+        deferred_decs.(p) <- deferred_decs.(p) - 1;
+        Algo.Counter.incr counters "dec";
+        Algo.Pool.post pool ~src:p ~dst:owner Dec
+      done
+  in
+  let send ~src ~dst =
+    if instances.(src) = 0 then invalid_arg "lermen-maurer send: not held";
+    Algo.Pool.post pool ~src ~dst Copy;
+    if src = owner then begin
+      (* The owner counts directly and acknowledges itself. *)
+      incr count;
+      Algo.Counter.incr counters "ack";
+      Algo.Pool.post pool ~src:owner ~dst (Ack dst)
+    end
+    else if dst = owner then
+      (* A copy returning home needs no registration: the FIFO channel
+         guarantees it arrives before the sender's own later dec. *)
+      ()
+    else begin
+      Algo.Counter.incr counters "inc";
+      Algo.Pool.post pool ~src ~dst:owner (Inc dst)
+    end
+  in
+  let drop p =
+    if instances.(p) > 0 then begin
+      instances.(p) <- instances.(p) - 1;
+      if p <> owner then begin
+        deferred_decs.(p) <- deferred_decs.(p) + 1;
+        flush_deferred p
+      end
+    end
+  in
+  let step () =
+    match Algo.Pool.take_random pool with
+    | None -> false
+    | Some (_, dst, Copy) ->
+        instances.(dst) <- instances.(dst) + 1;
+        copies_received.(dst) <- copies_received.(dst) + 1;
+        true
+    | Some (_, _, Inc receiver) ->
+        incr count;
+        Algo.Counter.incr counters "ack";
+        Algo.Pool.post pool ~src:owner ~dst:receiver (Ack receiver);
+        true
+    | Some (_, dst, Ack _) ->
+        acks_received.(dst) <- acks_received.(dst) + 1;
+        flush_deferred dst;
+        true
+    | Some (_, _, Dec) ->
+        decr count;
+        true
+  in
+  let try_collect () =
+    if (not !collected) && instances.(owner) = 0 && !count = 0 then
+      collected := true
+  in
+  {
+    Algo.name = "lermen-maurer";
+    procs;
+    can_send = (fun p -> instances.(p) > 0 && not !collected);
+    send;
+    drop;
+    holds = (fun p -> instances.(p) > 0);
+    step;
+    try_collect;
+    collected = (fun () -> !collected);
+    copies_in_flight =
+      (fun () -> Algo.Pool.count pool (function Copy -> true | _ -> false));
+    control_messages = (fun () -> Algo.Counter.to_list counters);
+    zombies = (fun () -> 0);
+  }

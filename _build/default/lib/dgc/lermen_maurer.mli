@@ -1,0 +1,13 @@
+(** Lermen and Maurer's acknowledgement-based distributed reference
+    counting (1986), the earliest safe solution in the family surveyed by
+    the paper (§7.1, Figure 14(b)).
+
+    The sender of a reference notifies the owner ([inc]); the owner
+    acknowledges to the {e receiver} ([ack]).  A receiver defers its
+    [dec] messages until the number of acknowledgements it has received
+    equals the number of copies it has received — at that point every
+    [inc] covering its copies has been processed by the owner, so a [dec]
+    can no longer drive the count to zero prematurely, even over
+    unordered channels. *)
+
+val create : procs:int -> seed:int64 -> Algo.view

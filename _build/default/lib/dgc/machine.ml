@@ -1,0 +1,595 @@
+open Types
+
+module Chan = Netobj_util.Bag.Make (struct
+  type t = message
+
+  let compare = compare_message
+end)
+
+module Pset = Set.Make (Int)
+
+module Rset = Set.Make (struct
+  type t = rref
+
+  let compare = compare_rref
+end)
+
+module Td = Set.Make (struct
+  type t = proc * proc * msg_id
+
+  let compare (a1, a2, a3) (b1, b2, b3) =
+    match Int.compare a1 b1 with
+    | 0 -> ( match Int.compare a2 b2 with 0 -> compare_msg_id a3 b3 | c -> c)
+    | c -> c
+end)
+
+module Blk = Set.Make (struct
+  type t = msg_id * proc
+
+  let compare (a1, a2) (b1, b2) =
+    match compare_msg_id a1 b1 with 0 -> Int.compare a2 b2 | c -> c
+end)
+
+module Cat = Set.Make (struct
+  type t = msg_id * proc * rref
+
+  let compare (a1, a2, a3) (b1, b2, b3) =
+    match compare_msg_id a1 b1 with
+    | 0 -> ( match Int.compare a2 b2 with 0 -> compare_rref a3 b3 | c -> c)
+    | c -> c
+end)
+
+module Pr = Set.Make (struct
+  type t = proc * rref
+
+  let compare (a1, a2) (b1, b2) =
+    match Int.compare a1 b1 with 0 -> compare_rref a2 b2 | c -> c
+end)
+
+module Ppmap = Map.Make (struct
+  type t = proc * proc
+
+  let compare (a1, a2) (b1, b2) =
+    match Int.compare a1 b1 with 0 -> Int.compare a2 b2 | c -> c
+end)
+
+module Prmap = Map.Make (struct
+  type t = proc * rref
+
+  let compare (a1, a2) (b1, b2) =
+    match Int.compare a1 b1 with 0 -> compare_rref a2 b2 | c -> c
+end)
+
+module Pmap = Map.Make (Int)
+
+(* Canonical representation: a key is absent exactly when its value is the
+   empty set/bag/zero, so Map.compare gives a total order on abstract
+   configurations. *)
+type config = {
+  nprocs : int;
+  refs : rref list;
+  channels : Chan.t Ppmap.t;
+  tdirty_t : Td.t Prmap.t;
+  pdirty_t : Pset.t Prmap.t;
+  rec_t : rstate Prmap.t; (* absent = Bot *)
+  blocked_t : Blk.t Prmap.t;
+  copy_ack_todo_t : Cat.t Pmap.t;
+  dirty_ack_todo_t : Pr.t Pmap.t;
+  clean_ack_todo_t : Pr.t Pmap.t;
+  dirty_call_todo_t : Rset.t Pmap.t;
+  clean_call_todo_t : Rset.t Pmap.t;
+  roots : Pr.t;
+  allocated : Rset.t;
+  collected : Rset.t;
+  next_id : int Pmap.t;
+}
+
+let init ~procs ~refs =
+  List.iter
+    (fun r ->
+      if r.owner < 0 || r.owner >= procs then
+        invalid_arg "Machine.init: reference owner out of range")
+    refs;
+  {
+    nprocs = procs;
+    refs;
+    channels = Ppmap.empty;
+    tdirty_t = Prmap.empty;
+    pdirty_t = Prmap.empty;
+    rec_t = Prmap.empty;
+    blocked_t = Prmap.empty;
+    copy_ack_todo_t = Pmap.empty;
+    dirty_ack_todo_t = Pmap.empty;
+    clean_ack_todo_t = Pmap.empty;
+    dirty_call_todo_t = Pmap.empty;
+    clean_call_todo_t = Pmap.empty;
+    roots = Pr.empty;
+    allocated = Rset.empty;
+    collected = Rset.empty;
+    next_id = Pmap.empty;
+  }
+
+let procs c = List.init c.nprocs Fun.id
+
+let universe c = c.refs
+
+(* Generic lookup with default for canonical maps. *)
+let find_pr ~default map key = Option.value ~default (Prmap.find_opt key map)
+
+let find_p ~default map key = Option.value ~default (Pmap.find_opt key map)
+
+let channel c ~src ~dst =
+  Option.value ~default:Chan.empty (Ppmap.find_opt (src, dst) c.channels)
+
+let messages c =
+  Ppmap.fold
+    (fun (src, dst) bag acc ->
+      Chan.fold (fun m acc -> (src, dst, m) :: acc) bag acc)
+    c.channels []
+  |> List.rev
+
+let rec_state c p r = find_pr ~default:Bot c.rec_t (p, r)
+
+let tdirty c p r = find_pr ~default:Td.empty c.tdirty_t (p, r)
+
+let pdirty c p r = find_pr ~default:Pset.empty c.pdirty_t (p, r)
+
+let blocked c p r = find_pr ~default:Blk.empty c.blocked_t (p, r)
+
+let copy_ack_todo c p = find_p ~default:Cat.empty c.copy_ack_todo_t p
+
+let dirty_ack_todo c p = find_p ~default:Pr.empty c.dirty_ack_todo_t p
+
+let clean_ack_todo c p = find_p ~default:Pr.empty c.clean_ack_todo_t p
+
+let dirty_call_todo c p = find_p ~default:Rset.empty c.dirty_call_todo_t p
+
+let clean_call_todo c p = find_p ~default:Rset.empty c.clean_call_todo_t p
+
+let rooted c p r = Pr.mem (p, r) c.roots
+
+let is_allocated c r = Rset.mem r c.allocated
+
+let is_collected c r = Rset.mem r c.collected
+
+(* --- canonical updates ------------------------------------------------- *)
+
+let set_tdirty c p r v =
+  {
+    c with
+    tdirty_t =
+      (if Td.is_empty v then Prmap.remove (p, r) c.tdirty_t
+       else Prmap.add (p, r) v c.tdirty_t);
+  }
+
+let set_pdirty c p r v =
+  {
+    c with
+    pdirty_t =
+      (if Pset.is_empty v then Prmap.remove (p, r) c.pdirty_t
+       else Prmap.add (p, r) v c.pdirty_t);
+  }
+
+let set_rec c p r v =
+  {
+    c with
+    rec_t =
+      (if v = Bot then Prmap.remove (p, r) c.rec_t
+       else Prmap.add (p, r) v c.rec_t);
+  }
+
+let set_blocked c p r v =
+  {
+    c with
+    blocked_t =
+      (if Blk.is_empty v then Prmap.remove (p, r) c.blocked_t
+       else Prmap.add (p, r) v c.blocked_t);
+  }
+
+let set_copy_ack_todo c p v =
+  {
+    c with
+    copy_ack_todo_t =
+      (if Cat.is_empty v then Pmap.remove p c.copy_ack_todo_t
+       else Pmap.add p v c.copy_ack_todo_t);
+  }
+
+let set_dirty_ack_todo c p v =
+  {
+    c with
+    dirty_ack_todo_t =
+      (if Pr.is_empty v then Pmap.remove p c.dirty_ack_todo_t
+       else Pmap.add p v c.dirty_ack_todo_t);
+  }
+
+let set_clean_ack_todo c p v =
+  {
+    c with
+    clean_ack_todo_t =
+      (if Pr.is_empty v then Pmap.remove p c.clean_ack_todo_t
+       else Pmap.add p v c.clean_ack_todo_t);
+  }
+
+let set_dirty_call_todo c p v =
+  {
+    c with
+    dirty_call_todo_t =
+      (if Rset.is_empty v then Pmap.remove p c.dirty_call_todo_t
+       else Pmap.add p v c.dirty_call_todo_t);
+  }
+
+let set_clean_call_todo c p v =
+  {
+    c with
+    clean_call_todo_t =
+      (if Rset.is_empty v then Pmap.remove p c.clean_call_todo_t
+       else Pmap.add p v c.clean_call_todo_t);
+  }
+
+let post c ~src ~dst m =
+  let bag = Chan.add m (channel c ~src ~dst) in
+  { c with channels = Ppmap.add (src, dst) bag c.channels }
+
+let receive c ~src ~dst m =
+  let bag = Chan.remove m (channel c ~src ~dst) in
+  {
+    c with
+    channels =
+      (if Chan.is_empty bag then Ppmap.remove (src, dst) c.channels
+       else Ppmap.add (src, dst) bag c.channels);
+  }
+
+let set_root c p r on =
+  { c with roots = (if on then Pr.add (p, r) else Pr.remove (p, r)) c.roots }
+
+(* --- ground truth ------------------------------------------------------ *)
+
+let needed c r =
+  let client_root =
+    Pr.exists (fun (p, r') -> p <> r.owner && compare_rref r r' = 0) c.roots
+  in
+  let copy_in_transit =
+    Ppmap.exists
+      (fun _ bag ->
+        Chan.exists (function Copy (r', _) -> compare_rref r r' = 0 | _ -> false) bag)
+      c.channels
+  in
+  let pending_delivery =
+    Prmap.exists
+      (fun (p, r') blk ->
+        p <> r.owner && compare_rref r r' = 0 && not (Blk.is_empty blk))
+      c.blocked_t
+  in
+  client_root || copy_in_transit || pending_delivery
+
+let collectable c r =
+  is_allocated c r
+  && (not (is_collected c r))
+  && (not (rooted c r.owner r))
+  && Pset.is_empty (pdirty c r.owner r)
+  && Td.is_empty (tdirty c r.owner r)
+
+(* --- transitions -------------------------------------------------------- *)
+
+type transition =
+  | Allocate of proc * rref
+  | Make_copy of proc * proc * rref
+  | Drop_root of proc * rref
+  | Finalize of proc * rref
+  | Collect of rref
+  | Receive_copy of proc * proc * rref * msg_id
+  | Do_copy_ack of proc * proc * rref * msg_id
+  | Receive_copy_ack of proc * proc * rref * msg_id
+  | Do_dirty_call of proc * rref
+  | Receive_dirty of proc * proc * rref
+  | Do_dirty_ack of proc * proc * rref
+  | Receive_dirty_ack of proc * proc * rref
+  | Do_clean_call of proc * rref
+  | Receive_clean of proc * proc * rref
+  | Do_clean_ack of proc * proc * rref
+  | Receive_clean_ack of proc * proc * rref
+
+let is_environment = function
+  | Allocate _ | Make_copy _ | Drop_root _ | Finalize _ | Collect _ -> true
+  | Receive_copy _ | Do_copy_ack _ | Receive_copy_ack _ | Do_dirty_call _
+  | Receive_dirty _ | Do_dirty_ack _ | Receive_dirty_ack _ | Do_clean_call _
+  | Receive_clean _ | Do_clean_ack _ | Receive_clean_ack _ ->
+      false
+
+let in_channel c src dst m = Chan.mem m (channel c ~src ~dst)
+
+let guard c = function
+  | Allocate (p, r) ->
+      r.owner = p && List.exists (fun r' -> compare_rref r r' = 0) c.refs
+      && not (is_allocated c r)
+  | Make_copy (p1, p2, r) ->
+      p1 <> p2 && p2 >= 0 && p2 < c.nprocs
+      && rec_state c p1 r = Ok
+      && rooted c p1 r
+  | Drop_root (p, r) -> rooted c p r
+  | Finalize (p, r) ->
+      (* locallyLive = reachable from application roots or from the
+         transient dirty table, which the spec makes a local-GC root
+         (Note 2): a reference being transmitted cannot be finalized. *)
+      (not (rooted c p r))
+      && Td.is_empty (tdirty c p r)
+      && rec_state c p r = Ok
+      && p <> r.owner
+      && not (Rset.mem r (clean_call_todo c p))
+  | Collect r -> collectable c r
+  | Receive_copy (p1, p2, r, id) -> in_channel c p1 p2 (Copy (r, id))
+  | Do_copy_ack (p1, p2, r, id) -> Cat.mem (id, p2, r) (copy_ack_todo c p1)
+  | Receive_copy_ack (p1, p2, r, id) -> in_channel c p1 p2 (Copy_ack (r, id))
+  | Do_dirty_call (p, r) ->
+      Rset.mem r (dirty_call_todo c p) && rec_state c p r <> Ccitnil
+  | Receive_dirty (p1, p2, r) -> p2 = r.owner && in_channel c p1 p2 (Dirty r)
+  | Do_dirty_ack (p1, p2, r) -> Pr.mem (p2, r) (dirty_ack_todo c p1)
+  | Receive_dirty_ack (p1, p2, r) -> in_channel c p1 p2 (Dirty_ack r)
+  | Do_clean_call (p, r) -> Rset.mem r (clean_call_todo c p)
+  | Receive_clean (p1, p2, r) -> p2 = r.owner && in_channel c p1 p2 (Clean r)
+  | Do_clean_ack (p1, p2, r) -> Pr.mem (p2, r) (clean_ack_todo c p1)
+  | Receive_clean_ack (p1, p2, r) -> in_channel c p1 p2 (Clean_ack r)
+
+let fresh_id c p =
+  let seq = find_p ~default:0 c.next_id p in
+  ({ origin = p; seq }, { c with next_id = Pmap.add p (seq + 1) c.next_id })
+
+let apply_unchecked c t =
+  match t with
+  | Allocate (p, r) ->
+      let c = { c with allocated = Rset.add r c.allocated } in
+      let c = set_rec c p r Ok in
+      set_root c p r true
+  | Make_copy (p1, p2, r) ->
+      let id, c = fresh_id c p1 in
+      let c = set_tdirty c p1 r (Td.add (p1, p2, id) (tdirty c p1 r)) in
+      post c ~src:p1 ~dst:p2 (Copy (r, id))
+  | Drop_root (p, r) -> set_root c p r false
+  | Finalize (p, r) ->
+      set_clean_call_todo c p (Rset.add r (clean_call_todo c p))
+  | Collect r ->
+      let c = { c with collected = Rset.add r c.collected } in
+      set_rec c r.owner r Bot
+  | Receive_copy (p1, p2, r, id) -> (
+      let c = receive c ~src:p1 ~dst:p2 (Copy (r, id)) in
+      match rec_state c p2 r with
+      | Nil | Ccitnil ->
+          set_blocked c p2 r (Blk.add (id, p1) (blocked c p2 r))
+      | Bot ->
+          let c = set_rec c p2 r Nil in
+          let c =
+            set_dirty_call_todo c p2 (Rset.add r (dirty_call_todo c p2))
+          in
+          set_blocked c p2 r (Blk.add (id, p1) (blocked c p2 r))
+      | Ccit ->
+          let c = set_rec c p2 r Ccitnil in
+          let c =
+            set_dirty_call_todo c p2 (Rset.add r (dirty_call_todo c p2))
+          in
+          set_blocked c p2 r (Blk.add (id, p1) (blocked c p2 r))
+      | Ok ->
+          (* Cancellation optimisation (spec Note 4): a pending clean call
+             is withdrawn and the reference resurrected. *)
+          let c =
+            set_clean_call_todo c p2 (Rset.remove r (clean_call_todo c p2))
+          in
+          let c =
+            set_copy_ack_todo c p2 (Cat.add (id, p1, r) (copy_ack_todo c p2))
+          in
+          (* The application at p2 receives the reference again. *)
+          set_root c p2 r true)
+  | Do_copy_ack (p1, p2, r, id) ->
+      let c =
+        set_copy_ack_todo c p1 (Cat.remove (id, p2, r) (copy_ack_todo c p1))
+      in
+      post c ~src:p1 ~dst:p2 (Copy_ack (r, id))
+  | Receive_copy_ack (p1, p2, r, id) ->
+      let c = receive c ~src:p1 ~dst:p2 (Copy_ack (r, id)) in
+      set_tdirty c p2 r (Td.remove (p2, p1, id) (tdirty c p2 r))
+  | Do_dirty_call (p, r) ->
+      let c = set_dirty_call_todo c p (Rset.remove r (dirty_call_todo c p)) in
+      post c ~src:p ~dst:r.owner (Dirty r)
+  | Receive_dirty (p1, p2, r) ->
+      let c = receive c ~src:p1 ~dst:p2 (Dirty r) in
+      let c = set_pdirty c p2 r (Pset.add p1 (pdirty c p2 r)) in
+      set_dirty_ack_todo c p2 (Pr.add (p1, r) (dirty_ack_todo c p2))
+  | Do_dirty_ack (p1, p2, r) ->
+      let c =
+        set_dirty_ack_todo c p1 (Pr.remove (p2, r) (dirty_ack_todo c p1))
+      in
+      post c ~src:p1 ~dst:p2 (Dirty_ack r)
+  | Receive_dirty_ack (p1, p2, r) ->
+      let c = receive c ~src:p1 ~dst:p2 (Dirty_ack r) in
+      let blk = blocked c p2 r in
+      let cat =
+        Blk.fold
+          (fun (id, src) acc -> Cat.add (id, src, r) acc)
+          blk (copy_ack_todo c p2)
+      in
+      let c = set_copy_ack_todo c p2 cat in
+      let c = set_blocked c p2 r Blk.empty in
+      let c = set_rec c p2 r Ok in
+      (* Deserialisation threads resume: the application now holds it. *)
+      set_root c p2 r true
+  | Do_clean_call (p, r) ->
+      let c = set_clean_call_todo c p (Rset.remove r (clean_call_todo c p)) in
+      let c = set_rec c p r Ccit in
+      post c ~src:p ~dst:r.owner (Clean r)
+  | Receive_clean (p1, p2, r) ->
+      let c = receive c ~src:p1 ~dst:p2 (Clean r) in
+      let c = set_pdirty c p2 r (Pset.remove p1 (pdirty c p2 r)) in
+      set_clean_ack_todo c p2 (Pr.add (p1, r) (clean_ack_todo c p2))
+  | Do_clean_ack (p1, p2, r) ->
+      let c =
+        set_clean_ack_todo c p1 (Pr.remove (p2, r) (clean_ack_todo c p1))
+      in
+      post c ~src:p1 ~dst:p2 (Clean_ack r)
+  | Receive_clean_ack (p1, p2, r) -> (
+      let c = receive c ~src:p1 ~dst:p2 (Clean_ack r) in
+      match rec_state c p2 r with
+      | Ccitnil -> set_rec c p2 r Nil
+      | Ccit -> set_rec c p2 r Bot
+      | (Bot | Nil | Ok) as s ->
+          Fmt.invalid_arg "receive_clean_ack in state %a" pp_rstate s)
+
+let apply c t =
+  if guard c t then apply_unchecked c t
+  else invalid_arg "Machine.apply: guard failed"
+
+let step c t = if guard c t then Some (apply_unchecked c t) else None
+
+(* --- enumeration -------------------------------------------------------- *)
+
+let enabled_protocol c =
+  let acc = ref [] in
+  let push t = acc := t :: !acc in
+  (* Message receipts. *)
+  Ppmap.iter
+    (fun (src, dst) bag ->
+      (* Enumerate distinct messages once each; multiplicity does not add
+         distinct transitions. *)
+      let seen = ref [] in
+      Chan.iter
+        (fun m ->
+          if not (List.exists (fun m' -> compare_message m m' = 0) !seen)
+          then begin
+            seen := m :: !seen;
+            match m with
+            | Copy (r, id) -> push (Receive_copy (src, dst, r, id))
+            | Copy_ack (r, id) -> push (Receive_copy_ack (src, dst, r, id))
+            | Dirty r -> if dst = r.owner then push (Receive_dirty (src, dst, r))
+            | Dirty_ack r -> push (Receive_dirty_ack (src, dst, r))
+            | Clean r -> if dst = r.owner then push (Receive_clean (src, dst, r))
+            | Clean_ack r -> push (Receive_clean_ack (src, dst, r))
+          end)
+        bag)
+    c.channels;
+  (* Table-driven emissions. *)
+  Pmap.iter
+    (fun p cat ->
+      Cat.iter (fun (id, dst, r) -> push (Do_copy_ack (p, dst, r, id))) cat)
+    c.copy_ack_todo_t;
+  Pmap.iter
+    (fun p dat -> Pr.iter (fun (dst, r) -> push (Do_dirty_ack (p, dst, r))) dat)
+    c.dirty_ack_todo_t;
+  Pmap.iter
+    (fun p cat -> Pr.iter (fun (dst, r) -> push (Do_clean_ack (p, dst, r))) cat)
+    c.clean_ack_todo_t;
+  Pmap.iter
+    (fun p rs ->
+      Rset.iter
+        (fun r -> if rec_state c p r <> Ccitnil then push (Do_dirty_call (p, r)))
+        rs)
+    c.dirty_call_todo_t;
+  Pmap.iter
+    (fun p rs -> Rset.iter (fun r -> push (Do_clean_call (p, r))) rs)
+    c.clean_call_todo_t;
+  List.rev !acc
+
+let enabled_environment c =
+  let acc = ref [] in
+  let push t = acc := t :: !acc in
+  let ps = procs c in
+  List.iter
+    (fun r ->
+      if not (is_allocated c r) then push (Allocate (r.owner, r))
+      else if collectable c r then push (Collect r))
+    c.refs;
+  Pr.iter (fun (p, r) -> push (Drop_root (p, r))) c.roots;
+  List.iter
+    (fun r ->
+      List.iter
+        (fun p ->
+          if guard c (Finalize (p, r)) then push (Finalize (p, r));
+          if rec_state c p r = Ok && rooted c p r then
+            List.iter
+              (fun p2 -> if p2 <> p then push (Make_copy (p, p2, r)))
+              ps)
+        ps)
+    c.refs;
+  List.rev !acc
+
+(* --- comparison --------------------------------------------------------- *)
+
+let compare_config a b =
+  let ( <?> ) c rest = if c <> 0 then c else rest () in
+  Int.compare a.nprocs b.nprocs <?> fun () ->
+  List.compare compare_rref a.refs b.refs <?> fun () ->
+  Ppmap.compare Chan.compare a.channels b.channels <?> fun () ->
+  Prmap.compare Td.compare a.tdirty_t b.tdirty_t <?> fun () ->
+  Prmap.compare Pset.compare a.pdirty_t b.pdirty_t <?> fun () ->
+  Prmap.compare compare_rstate a.rec_t b.rec_t <?> fun () ->
+  Prmap.compare Blk.compare a.blocked_t b.blocked_t <?> fun () ->
+  Pmap.compare Cat.compare a.copy_ack_todo_t b.copy_ack_todo_t <?> fun () ->
+  Pmap.compare Pr.compare a.dirty_ack_todo_t b.dirty_ack_todo_t <?> fun () ->
+  Pmap.compare Pr.compare a.clean_ack_todo_t b.clean_ack_todo_t <?> fun () ->
+  Pmap.compare Rset.compare a.dirty_call_todo_t b.dirty_call_todo_t
+  <?> fun () ->
+  Pmap.compare Rset.compare a.clean_call_todo_t b.clean_call_todo_t
+  <?> fun () ->
+  Pr.compare a.roots b.roots <?> fun () ->
+  Rset.compare a.allocated b.allocated <?> fun () ->
+  Rset.compare a.collected b.collected <?> fun () ->
+  Pmap.compare Int.compare a.next_id b.next_id
+
+let equal_config a b = compare_config a b = 0
+
+let pp_transition ppf = function
+  | Allocate (p, r) -> Fmt.pf ppf "allocate(%a,%a)" pp_proc p pp_rref r
+  | Make_copy (p1, p2, r) ->
+      Fmt.pf ppf "make_copy(%a,%a,%a)" pp_proc p1 pp_proc p2 pp_rref r
+  | Drop_root (p, r) -> Fmt.pf ppf "drop_root(%a,%a)" pp_proc p pp_rref r
+  | Finalize (p, r) -> Fmt.pf ppf "finalize(%a,%a)" pp_proc p pp_rref r
+  | Collect r -> Fmt.pf ppf "collect(%a)" pp_rref r
+  | Receive_copy (p1, p2, r, id) ->
+      Fmt.pf ppf "receive_copy(%a,%a,%a,%a)" pp_proc p1 pp_proc p2 pp_rref r
+        pp_msg_id id
+  | Do_copy_ack (p1, p2, r, id) ->
+      Fmt.pf ppf "do_copy_ack(%a,%a,%a,%a)" pp_proc p1 pp_proc p2 pp_rref r
+        pp_msg_id id
+  | Receive_copy_ack (p1, p2, r, id) ->
+      Fmt.pf ppf "receive_copy_ack(%a,%a,%a,%a)" pp_proc p1 pp_proc p2
+        pp_rref r pp_msg_id id
+  | Do_dirty_call (p, r) ->
+      Fmt.pf ppf "do_dirty_call(%a,%a)" pp_proc p pp_rref r
+  | Receive_dirty (p1, p2, r) ->
+      Fmt.pf ppf "receive_dirty(%a,%a,%a)" pp_proc p1 pp_proc p2 pp_rref r
+  | Do_dirty_ack (p1, p2, r) ->
+      Fmt.pf ppf "do_dirty_ack(%a,%a,%a)" pp_proc p1 pp_proc p2 pp_rref r
+  | Receive_dirty_ack (p1, p2, r) ->
+      Fmt.pf ppf "receive_dirty_ack(%a,%a,%a)" pp_proc p1 pp_proc p2 pp_rref r
+  | Do_clean_call (p, r) ->
+      Fmt.pf ppf "do_clean_call(%a,%a)" pp_proc p pp_rref r
+  | Receive_clean (p1, p2, r) ->
+      Fmt.pf ppf "receive_clean(%a,%a,%a)" pp_proc p1 pp_proc p2 pp_rref r
+  | Do_clean_ack (p1, p2, r) ->
+      Fmt.pf ppf "do_clean_ack(%a,%a,%a)" pp_proc p1 pp_proc p2 pp_rref r
+  | Receive_clean_ack (p1, p2, r) ->
+      Fmt.pf ppf "receive_clean_ack(%a,%a,%a)" pp_proc p1 pp_proc p2 pp_rref r
+
+let pp_config ppf c =
+  Fmt.pf ppf "@[<v>";
+  List.iter
+    (fun r ->
+      Fmt.pf ppf "%a: alloc=%b collected=%b@," pp_rref r (is_allocated c r)
+        (is_collected c r);
+      List.iter
+        (fun p ->
+          let s = rec_state c p r in
+          if
+            s <> Bot || rooted c p r
+            || not (Td.is_empty (tdirty c p r))
+            || not (Pset.is_empty (pdirty c p r))
+          then
+            Fmt.pf ppf "  %a: rec=%a root=%b |tdirty|=%d pdirty={%a}@,"
+              pp_proc p pp_rstate s (rooted c p r)
+              (Td.cardinal (tdirty c p r))
+              Fmt.(list ~sep:(any ",") pp_proc)
+              (Pset.elements (pdirty c p r)))
+        (procs c))
+    c.refs;
+  List.iter
+    (fun (src, dst, m) ->
+      Fmt.pf ppf "  %a->%a: %a@," pp_proc src pp_proc dst pp_message m)
+    (messages c);
+  Fmt.pf ppf "@]"

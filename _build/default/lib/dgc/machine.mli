@@ -1,0 +1,147 @@
+(** Birrell's distributed reference-listing algorithm as an abstract state
+    machine — the exact transition system of the formal specification
+    (its Figures 8–12), plus the environment (mutator / local-collector)
+    transitions the specification leaves implicit.
+
+    Configurations are purely functional, canonically represented (no
+    empty table entries are ever stored), and totally ordered, so the
+    model checker in {!Explore} can hash and compare them.
+
+    Transitions split in two groups:
+    - {e protocol} transitions are the thirteen rules of the
+      specification; these are the ones covered by the termination
+      measure (its Definition 15);
+    - {e environment} transitions model the embedding application and
+      local collectors: object allocation, [make_copy] (spec rule, but
+      application-initiated), root dropping, [finalize] (spec rule,
+      local-GC-initiated), and the owner's local collection of an object
+      whose dirty tables have emptied. *)
+
+open Types
+
+module Chan : module type of Netobj_util.Bag.Make (struct
+  type t = message
+
+  let compare = compare_message
+end)
+
+module Pset : Set.S with type elt = proc
+
+module Rset : Set.S with type elt = rref
+
+(** Transient dirty entries: (sender, receiver, message id). *)
+module Td : Set.S with type elt = proc * proc * msg_id
+
+(** Blocked-table entries: (message id, sender). *)
+module Blk : Set.S with type elt = msg_id * proc
+
+(** copy_ack_todo entries: (message id, destination, reference). *)
+module Cat : Set.S with type elt = msg_id * proc * rref
+
+(** dirty_ack_todo / clean_ack_todo entries: (destination, reference). *)
+module Pr : Set.S with type elt = proc * rref
+
+type config
+
+(** [init ~procs ~refs] — processes are [0 .. procs-1]; [refs] is the
+    universe of references that may be allocated (each owned by
+    [r.owner], which must be a valid process). *)
+val init : procs:int -> refs:rref list -> config
+
+(** {1 Observers} *)
+
+val procs : config -> proc list
+
+val universe : config -> rref list
+
+val channel : config -> src:proc -> dst:proc -> Chan.t
+
+(** All messages in transit, with their endpoints. *)
+val messages : config -> (proc * proc * message) list
+
+val rec_state : config -> proc -> rref -> rstate
+
+val tdirty : config -> proc -> rref -> Td.t
+
+val pdirty : config -> proc -> rref -> Pset.t
+
+val blocked : config -> proc -> rref -> Blk.t
+
+val copy_ack_todo : config -> proc -> Cat.t
+
+val dirty_ack_todo : config -> proc -> Pr.t
+
+val clean_ack_todo : config -> proc -> Pr.t
+
+val dirty_call_todo : config -> proc -> Rset.t
+
+val clean_call_todo : config -> proc -> Rset.t
+
+(** Is the reference locally reachable by the application at [proc]? *)
+val rooted : config -> proc -> rref -> bool
+
+val is_allocated : config -> rref -> bool
+
+(** Has the owner's local collector reclaimed the object? *)
+val is_collected : config -> rref -> bool
+
+(** {1 Ground truth}
+
+    Used by the safety oracle across all algorithms: a reference is
+    {e needed} if some client application can still reach it (root), a
+    copy of it is in transit, or a received copy awaits delivery
+    (blocked). Collecting a needed object is a safety violation. *)
+val needed : config -> rref -> bool
+
+(** The owner may reclaim: not rooted at owner, and both dirty tables
+    empty. ({e May} be wrong for broken variants — the oracle decides.) *)
+val collectable : config -> rref -> bool
+
+(** {1 Transitions} *)
+
+type transition =
+  (* environment *)
+  | Allocate of proc * rref
+  | Make_copy of proc * proc * rref
+  | Drop_root of proc * rref
+  | Finalize of proc * rref
+  | Collect of rref
+  (* protocol *)
+  | Receive_copy of proc * proc * rref * msg_id
+  | Do_copy_ack of proc * proc * rref * msg_id
+  | Receive_copy_ack of proc * proc * rref * msg_id
+  | Do_dirty_call of proc * rref
+  | Receive_dirty of proc * proc * rref
+  | Do_dirty_ack of proc * proc * rref
+  | Receive_dirty_ack of proc * proc * rref
+  | Do_clean_call of proc * rref
+  | Receive_clean of proc * proc * rref
+  | Do_clean_ack of proc * proc * rref
+  | Receive_clean_ack of proc * proc * rref
+
+val is_environment : transition -> bool
+
+(** Does the guard of [t] hold in [c]? *)
+val guard : config -> transition -> bool
+
+(** All fireable protocol transitions. *)
+val enabled_protocol : config -> transition list
+
+(** All fireable environment transitions. *)
+val enabled_environment : config -> transition list
+
+(** [apply c t] fires [t]; raises [Invalid_argument] if the guard fails. *)
+val apply : config -> transition -> config
+
+(** [step c t] is [Some (apply c t)] when enabled, else [None]. *)
+val step : config -> transition -> config option
+
+(** {1 Comparison and printing} *)
+
+val compare_config : config -> config -> int
+
+val equal_config : config -> config -> bool
+
+val pp_transition : transition Fmt.t
+
+val pp_config : config Fmt.t

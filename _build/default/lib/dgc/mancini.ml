@@ -1,0 +1,100 @@
+module Rng = Netobj_util.Rng
+
+type msg =
+  | Notify of int  (** sender -> owner: pending send [id]; register dst *)
+  | Notify_ack of int  (** owner -> sender: go ahead *)
+  | Copy
+  | Dec  (** one instance discarded *)
+
+let create_instrumented ~procs ~seed =
+  let rng = Rng.create seed in
+  (* Order-preserving channels: a sender's dec must not overtake its own
+     earlier notify on the sender->owner link.  The cross-sender races
+     are what the wait-for-ack handshake prevents. *)
+  let pool = Algo.Pool.create ~ordered:true ~rng in
+  let counters = Algo.Counter.create () in
+  let owner = 0 in
+  let instances = Array.make procs 0 in
+  instances.(owner) <- 1;
+  (* count of registered remote instances (including copies in flight) *)
+  let count = ref 0 in
+  let collected = ref false in
+  (* sends stalled until the owner acknowledges: id -> destination *)
+  let pending : (int, Algo.proc) Hashtbl.t = Hashtbl.create 8 in
+  let next_id = ref 0 in
+  let send ~src ~dst =
+    if instances.(src) = 0 then invalid_arg "mancini send: not held";
+    let id = !next_id in
+    incr next_id;
+    Hashtbl.add pending id dst;
+    if src = owner then begin
+      (* The owner registers locally and releases the send at once. *)
+      incr count;
+      Algo.Counter.incr counters "notify_ack";
+      Algo.Pool.post pool ~src:owner ~dst:src (Notify_ack id)
+    end
+    else begin
+      Algo.Counter.incr counters "notify";
+      Algo.Pool.post pool ~src ~dst:owner (Notify id)
+    end
+  in
+  let drop p =
+    if instances.(p) > 0 then begin
+      instances.(p) <- instances.(p) - 1;
+      if p <> owner then begin
+        Algo.Counter.incr counters "dec";
+        Algo.Pool.post pool ~src:p ~dst:owner Dec
+      end
+    end
+  in
+  let step () =
+    match Algo.Pool.take_random pool with
+    | None -> false
+    | Some (src, _, Notify id) ->
+        (* Register before acknowledging: the copy cannot be outrun. *)
+        incr count;
+        Algo.Counter.incr counters "notify_ack";
+        Algo.Pool.post pool ~src:owner ~dst:src (Notify_ack id);
+        true
+    | Some (_, dst, Notify_ack id) ->
+        let target = Hashtbl.find pending id in
+        Hashtbl.remove pending id;
+        Algo.Pool.post pool ~src:dst ~dst:target Copy;
+        true
+    | Some (_, dst, Copy) ->
+        if dst = owner then
+          (* The registered virtual instance dissolves into the local
+             concrete object. *)
+          decr count
+        else instances.(dst) <- instances.(dst) + 1;
+        true
+    | Some (_, _, Dec) ->
+        decr count;
+        true
+  in
+  let try_collect () =
+    if (not !collected) && instances.(owner) = 0 && !count = 0 then
+      collected := true
+  in
+  let view =
+    {
+      Algo.name = "mancini";
+      procs;
+      can_send = (fun p -> instances.(p) > 0 && not !collected);
+      send;
+      drop;
+      holds = (fun p -> instances.(p) > 0);
+      step;
+      try_collect;
+      collected = (fun () -> !collected);
+      copies_in_flight =
+        (fun () ->
+          Algo.Pool.count pool (function Copy -> true | _ -> false)
+          + Hashtbl.length pending);
+      control_messages = (fun () -> Algo.Counter.to_list counters);
+      zombies = (fun () -> 0);
+    }
+  in
+  (view, fun () -> Hashtbl.length pending)
+
+let create ~procs ~seed = fst (create_instrumented ~procs ~seed)

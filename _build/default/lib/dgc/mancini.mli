@@ -1,0 +1,18 @@
+(** Mancini and Shrivastava's sender-initiated triangular protocol
+    (1991) — Figure 14(f).
+
+    Before transmitting a reference, the sender notifies the owner and
+    {e waits for the acknowledgement}; only then does the copy travel.
+    The receiver is therefore registered at the owner before the copy
+    even leaves the sender, so a later decrement can never overtake its
+    registration — safety without receiver-side work, at the price the
+    survey notes: synchronisation between the mutator and the distributed
+    memory manager (a send stalls for a full round-trip to the owner,
+    reported by [pending_sends]). *)
+
+val create : procs:int -> seed:int64 -> Algo.view
+
+(** Like {!create}, also exposing how many sends are currently stalled
+    waiting for the owner's acknowledgement. *)
+val create_instrumented :
+  procs:int -> seed:int64 -> Algo.view * (unit -> int)

@@ -1,0 +1,98 @@
+module Rng = Netobj_util.Rng
+
+type mode = Counting | Listing
+
+type msg =
+  | Copy
+  | Inc of Algo.proc  (** add this holder / bump count *)
+  | Dec of Algo.proc  (** remove this holder / drop count *)
+
+let create ~mode ~procs ~seed =
+  let rng = Rng.create seed in
+  let pool = Algo.Pool.create ~ordered:false ~rng in
+  let counters = Algo.Counter.create () in
+  (* Application-level instances per process: naive counting treats every
+     received copy as a distinct instance. *)
+  let instances = Array.make procs 0 in
+  instances.(0) <- 1;
+  (* Owner-side state. *)
+  let count = ref 0 in
+  let listing = Hashtbl.create 8 in
+  let collected = ref false in
+  let owner = 0 in
+  let remote_registered () =
+    match mode with
+    | Counting -> !count > 0
+    | Listing -> Hashtbl.length listing > 0
+  in
+  let register p =
+    match mode with
+    | Counting -> incr count
+    | Listing -> Hashtbl.replace listing p ()
+  in
+  let unregister p =
+    match mode with
+    | Counting -> decr count
+    | Listing -> Hashtbl.remove listing p
+  in
+  let send ~src ~dst =
+    if instances.(src) = 0 then invalid_arg "naive send: not held";
+    Algo.Pool.post pool ~src ~dst Copy;
+    if src = owner then register dst
+    else if dst = owner then
+      (* Copies returning home are not registered: the owner holds the
+         concrete object. *)
+      ()
+    else begin
+      Algo.Counter.incr counters "inc";
+      Algo.Pool.post pool ~src ~dst:owner (Inc dst)
+    end
+  in
+  let drop p =
+    if instances.(p) > 0 then begin
+      instances.(p) <- instances.(p) - 1;
+      (* Counting pairs one dec with every inc (per instance); listing
+         only reports when the process discards its last copy. *)
+      let must_notify =
+        p <> owner
+        && match mode with Counting -> true | Listing -> instances.(p) = 0
+      in
+      if must_notify then begin
+        Algo.Counter.incr counters "dec";
+        Algo.Pool.post pool ~src:p ~dst:owner (Dec p)
+      end
+    end
+  in
+  let step () =
+    match Algo.Pool.take_random pool with
+    | None -> false
+    | Some (_, dst, Copy) ->
+        instances.(dst) <- instances.(dst) + 1;
+        true
+    | Some (_, _, Inc p) ->
+        register p;
+        true
+    | Some (_, _, Dec p) ->
+        unregister p;
+        true
+  in
+  let try_collect () =
+    if (not !collected) && instances.(owner) = 0 && not (remote_registered ())
+    then collected := true
+  in
+  {
+    Algo.name =
+      (match mode with Counting -> "naive-count" | Listing -> "naive-list");
+    procs;
+    can_send = (fun p -> instances.(p) > 0 && not !collected);
+    send;
+    drop;
+    holds = (fun p -> instances.(p) > 0);
+    step;
+    try_collect;
+    collected = (fun () -> !collected);
+    copies_in_flight =
+      (fun () -> Algo.Pool.count pool (function Copy -> true | _ -> false));
+    control_messages = (fun () -> Algo.Counter.to_list counters);
+    zombies = (fun () -> 0);
+  }

@@ -1,0 +1,16 @@
+(** Naive distributed reference counting and listing (the paper's §2.2).
+
+    When a process sends a reference it posts an [inc] to the owner on
+    the receiver's behalf; when a process discards its last copy it posts
+    a [dec].  With unordered channels a [dec] can overtake the matching
+    [inc] — the Figure 1 race — driving the owner's count transiently to
+    zero and letting it reclaim a live object.  These implementations are
+    deliberately faithful to that broken design: they exist so the
+    harness can demonstrate the race that Birrell's dirty/clean protocol
+    (and every other algorithm in the family) exists to prevent. *)
+
+type mode =
+  | Counting  (** owner keeps an integer count of remote instances *)
+  | Listing  (** owner keeps the set of holder processes *)
+
+val create : mode:mode -> procs:int -> seed:int64 -> Algo.view

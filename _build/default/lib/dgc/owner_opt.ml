@@ -1,0 +1,209 @@
+module Rng = Netobj_util.Rng
+
+type msg =
+  | Copy of { id : int; prereg : bool }
+  | Copy_ack of int
+  | Dirty
+  | Dirty_ack
+  | Clean
+  | Clean_ack
+
+type rstate = Bot | Nil | Ok | Ccit | Ccitnil
+
+let create ?(opt_sender = false) ?(opt_receiver = false) ?(cancellation = true)
+    ~ordered ~procs ~seed () =
+  let rng = Rng.create seed in
+  let pool = Algo.Pool.create ~ordered ~rng in
+  let counters = Algo.Counter.create () in
+  let owner = 0 in
+  let state = Array.make procs Bot in
+  state.(owner) <- Ok;
+  let instances = Array.make procs 0 in
+  instances.(owner) <- 1;
+  (* blocked copies awaiting registration: (id, sender) *)
+  let blocked = Array.make procs [] in
+  let dirty_call_todo = Array.make procs false in
+  let clean_call_todo = Array.make procs false in
+  (* transient entries: copies sent and not yet acknowledged *)
+  let tdirty = Array.make procs 0 in
+  let pdirty : (Algo.proc, unit) Hashtbl.t = Hashtbl.create 8 in
+  let collected = ref false in
+  let next_id = ref 0 in
+  let post_control kind ~src ~dst m =
+    Algo.Counter.incr counters kind;
+    Algo.Pool.post pool ~src ~dst m
+  in
+  let send ~src ~dst =
+    if instances.(src) = 0 then invalid_arg "owner_opt send: not held";
+    let id = !next_id in
+    incr next_id;
+    if src = owner && opt_sender then begin
+      (* §5.2.1: register the receiver immediately; the transient entry
+         still covers the copy until the ack. *)
+      Hashtbl.replace pdirty dst ();
+      tdirty.(src) <- tdirty.(src) + 1;
+      Algo.Pool.post pool ~src ~dst (Copy { id; prereg = true })
+    end
+    else if dst = owner && opt_receiver then
+      (* §5.2.2: no transient entry, no ack: the sender's own permanent
+         entry covers the copy — if channels are ordered. *)
+      Algo.Pool.post pool ~src ~dst (Copy { id; prereg = false })
+    else begin
+      tdirty.(src) <- tdirty.(src) + 1;
+      Algo.Pool.post pool ~src ~dst (Copy { id; prereg = false })
+    end
+  in
+  let schedule_clean p =
+    if
+      p <> owner && instances.(p) = 0 && state.(p) = Ok
+      && tdirty.(p) = 0
+      && not clean_call_todo.(p)
+    then clean_call_todo.(p) <- true
+  in
+  let drop p =
+    if instances.(p) > 0 then begin
+      instances.(p) <- instances.(p) - 1;
+      schedule_clean p
+    end
+  in
+  let deliver_copy src dst id prereg =
+    if dst = owner then begin
+      (* Back home: the concrete object is local.  Acknowledge unless the
+         receiver-side optimisation elided the sender's transient entry. *)
+      instances.(dst) <- instances.(dst) + 1;
+      if not opt_receiver then
+        post_control "copy_ack" ~src:dst ~dst:src (Copy_ack id)
+    end
+    else
+      match state.(dst) with
+      | Ok when (not cancellation) && clean_call_todo.(dst) ->
+          (* Ablation of the Note 4 optimisation: instead of withdrawing
+             the scheduled clean, send it now and re-register through the
+             ccitnil path — "successively sending a clean and a dirty
+             message", which the optimisation exists to avoid. *)
+          clean_call_todo.(dst) <- false;
+          post_control "clean" ~src:dst ~dst:owner Clean;
+          state.(dst) <- Ccitnil;
+          dirty_call_todo.(dst) <- true;
+          blocked.(dst) <- (id, src) :: blocked.(dst)
+      | Ok ->
+          instances.(dst) <- instances.(dst) + 1;
+          (* Note 4 cancellation: withdraw a scheduled-but-unsent clean
+             and resurrect the reference on the spot. *)
+          clean_call_todo.(dst) <- false;
+          post_control "copy_ack" ~src:dst ~dst:src (Copy_ack id)
+      | Bot when prereg ->
+          (* Pre-registered: usable at once, but the sender (owner) still
+             holds a transient entry, so acknowledge. *)
+          state.(dst) <- Ok;
+          instances.(dst) <- instances.(dst) + 1;
+          post_control "copy_ack" ~src:dst ~dst:src (Copy_ack id)
+      | Bot ->
+          state.(dst) <- Nil;
+          dirty_call_todo.(dst) <- true;
+          blocked.(dst) <- (id, src) :: blocked.(dst)
+      | Ccit ->
+          (* Also for pre-registered copies: the in-flight clean may kill
+             the owner's fresh entry, so fall back to re-registration;
+             the owner's transient entry covers the interim. *)
+          ignore prereg;
+          state.(dst) <- Ccitnil;
+          dirty_call_todo.(dst) <- true;
+          blocked.(dst) <- (id, src) :: blocked.(dst)
+      | Nil | Ccitnil -> blocked.(dst) <- (id, src) :: blocked.(dst)
+  in
+  let step () =
+    (* Choose uniformly between demon actions (dirty/clean senders) and a
+       message delivery, so demons and the network genuinely race — the
+       cancellation window of Note 4 only exists under such schedules. *)
+    let demons = ref [] in
+    for p = 0 to procs - 1 do
+      if dirty_call_todo.(p) && state.(p) <> Ccitnil then
+        demons :=
+          (fun () ->
+            dirty_call_todo.(p) <- false;
+            post_control "dirty" ~src:p ~dst:owner Dirty)
+          :: !demons;
+      if clean_call_todo.(p) then
+        demons :=
+          (fun () ->
+            clean_call_todo.(p) <- false;
+            state.(p) <- Ccit;
+            post_control "clean" ~src:p ~dst:owner Clean)
+          :: !demons
+    done;
+    let n_demons = List.length !demons in
+    let n_msgs = Algo.Pool.size pool in
+    if n_demons + n_msgs = 0 then false
+    else if
+      n_msgs = 0
+      || (n_demons > 0 && Rng.int rng (n_demons + n_msgs) < n_demons)
+    then begin
+      (List.nth !demons (Rng.int rng n_demons)) ();
+      true
+    end
+    else
+      match Algo.Pool.take_random pool with
+      | None -> false
+      | Some (src, dst, m) ->
+          (match m with
+          | Copy { id; prereg } -> deliver_copy src dst id prereg
+          | Copy_ack _ ->
+              tdirty.(dst) <- tdirty.(dst) - 1;
+              (* The transient table kept the reference locally alive;
+                 it may be finalizable now. *)
+              schedule_clean dst
+          | Dirty ->
+              Hashtbl.replace pdirty src ();
+              post_control "dirty_ack" ~src:dst ~dst:src Dirty_ack
+          | Dirty_ack ->
+              state.(dst) <- Ok;
+              let acks = blocked.(dst) in
+              blocked.(dst) <- [];
+              List.iter
+                (fun (id, sender) ->
+                  instances.(dst) <- instances.(dst) + 1;
+                  post_control "copy_ack" ~src:dst ~dst:sender (Copy_ack id))
+                acks
+          | Clean ->
+              Hashtbl.remove pdirty src;
+              post_control "clean_ack" ~src:dst ~dst:src Clean_ack
+          | Clean_ack -> (
+              match state.(dst) with
+              | Ccitnil ->
+                  state.(dst) <- Nil;
+                  dirty_call_todo.(dst) <- true
+              | Ccit -> state.(dst) <- Bot
+              | Bot | Nil | Ok -> failwith "owner_opt: clean_ack in bad state"));
+          true
+  in
+  let try_collect () =
+    if
+      (not !collected)
+      && instances.(owner) = 0
+      && Hashtbl.length pdirty = 0
+      && tdirty.(owner) = 0
+    then collected := true
+  in
+  let copies_in_flight () =
+    Algo.Pool.count pool (function Copy _ -> true | _ -> false)
+    + Array.fold_left (fun acc l -> acc + List.length l) 0 blocked
+  in
+  {
+    Algo.name =
+      Printf.sprintf "birrell%s%s%s"
+        (if opt_sender then "+so" else "")
+        (if opt_receiver then "+ro" else "")
+        (if ordered then "/fifo" else "/bag");
+    procs;
+    can_send = (fun p -> instances.(p) > 0 && state.(p) = Ok && not !collected);
+    send;
+    drop;
+    holds = (fun p -> instances.(p) > 0);
+    step;
+    try_collect;
+    collected = (fun () -> !collected);
+    copies_in_flight;
+    control_messages = (fun () -> Algo.Counter.to_list counters);
+    zombies = (fun () -> 0);
+  }

@@ -1,0 +1,39 @@
+(** The §5.2 owner optimisations, as a direct (mutable) implementation of
+    the full client protocol with optional shortcuts when the sender or
+    receiver of a copy is the object's owner.
+
+    - [opt_sender] (§5.2.1 "sender is also owner"): the owner registers
+      the receiver in its permanent dirty table at send time and marks
+      the copy pre-registered; a receiver that did not previously know
+      the reference skips the dirty call / dirty_ack round-trip entirely.
+      The owner retains a transient entry until the receiver's copy_ack,
+      which keeps the object covered when a pre-registered copy lands on
+      a process that is mid-cleanup (in which case the receiver falls
+      back to the ordinary re-registration path).
+    - [opt_receiver] (§5.2.2 "receiver is also owner"): a sender
+      transmitting a reference {e home} creates no transient entry and
+      the owner sends no copy_ack — the owner's own permanent entry for
+      the sender covers the copy, {e provided} the sender's later clean
+      cannot overtake the copy ([ordered] channels).  With [ordered:false]
+      this is the race the paper documents: the harness demonstrates the
+      premature collection.
+
+    [ordered] selects per-edge FIFO channels (required for the
+    optimisations) vs the specification's unordered bags.
+
+    [cancellation] (default true) enables the Note 4 optimisation: a copy
+    arriving while a clean call is merely {e scheduled} withdraws the
+    clean and resurrects the reference on the spot.  Disabling it is the
+    ablation: the algorithm stays correct (the ccitnil path handles the
+    late copy) but pays a full clean + re-registration cycle — measured
+    in the `ablation` experiment. *)
+
+val create :
+  ?opt_sender:bool ->
+  ?opt_receiver:bool ->
+  ?cancellation:bool ->
+  ordered:bool ->
+  procs:int ->
+  seed:int64 ->
+  unit ->
+  Algo.view

@@ -1,0 +1,129 @@
+module Rng = Netobj_util.Rng
+
+type msg =
+  | Copy  (** pool's src is the scion host the new stub will point at *)
+  | Locate  (** receiver asks the owner for a direct scion *)
+  | Relocated  (** owner granted a direct scion to the requester *)
+  | Delete of Algo.proc  (** remove the scion held for this client *)
+
+let create ~procs ~seed =
+  let rng = Rng.create seed in
+  let pool = Algo.Pool.create ~ordered:false ~rng in
+  let counters = Algo.Counter.create () in
+  let owner = 0 in
+  let instances = Array.make procs 0 in
+  instances.(owner) <- 1;
+  (* stub.(p) = Some h: p's reference chains through host h *)
+  let stub : Algo.proc option array = Array.make procs None in
+  (* scions.(h) = clients whose stubs point at h *)
+  let scions = Array.make procs [] in
+  let collected = ref false in
+  let post_delete ~to_ ~client =
+    Algo.Counter.incr counters "delete";
+    Algo.Pool.post pool ~src:client ~dst:to_ (Delete client)
+  in
+  (* A host releases its own chain link once nothing points here and the
+     application is done with it; the cascade continues by message when
+     the deletion lands upstream. *)
+  let try_release h =
+    if h <> owner && instances.(h) = 0 && scions.(h) = [] then
+      match stub.(h) with
+      | Some target ->
+          stub.(h) <- None;
+          post_delete ~to_:target ~client:h
+      | None -> ()
+  in
+  let handle_delete h client =
+    (* Scions are per-copy: a client may legitimately hold several scions
+       at one host (e.g. a direct grant racing a duplicate copy), and a
+       delete releases exactly one of them. *)
+    let rec remove_one = function
+      | [] -> []
+      | c :: rest -> if c = client then rest else c :: remove_one rest
+    in
+    scions.(h) <- remove_one scions.(h);
+    try_release h
+  in
+  let send ~src ~dst =
+    if instances.(src) = 0 then invalid_arg "ssp send: not held";
+    (* The scion is created before the copy travels: the in-flight
+       reference is covered by the sender's scion. *)
+    scions.(src) <- dst :: scions.(src);
+    Algo.Pool.post pool ~src ~dst Copy
+  in
+  let drop p =
+    if instances.(p) > 0 then begin
+      instances.(p) <- instances.(p) - 1;
+      try_release p
+    end
+  in
+  let step () =
+    match Algo.Pool.take_random pool with
+    | None -> false
+    | Some (src, dst, Copy) ->
+        instances.(dst) <- instances.(dst) + 1;
+        (if dst = owner then
+           (* Back home: the chain edge dissolves immediately. *)
+           post_delete ~to_:src ~client:dst
+         else
+           match stub.(dst) with
+           | Some _ ->
+               (* Duplicate: the existing stub absorbs it. *)
+               post_delete ~to_:src ~client:dst
+           | None ->
+               stub.(dst) <- Some src;
+               if src <> owner then begin
+                 (* Short-cut the chain eagerly. *)
+                 Algo.Counter.incr counters "locate";
+                 Algo.Pool.post pool ~src:dst ~dst:owner Locate
+               end);
+        true
+    | Some (requester, _, Locate) ->
+        (* The owner installs a direct scion and tells the requester. *)
+        scions.(owner) <- requester :: scions.(owner);
+        Algo.Counter.incr counters "relocated";
+        Algo.Pool.post pool ~src:owner ~dst:requester Relocated;
+        true
+    | Some (_, dst, Relocated) ->
+        (match stub.(dst) with
+        | Some old when old <> owner ->
+            stub.(dst) <- Some owner;
+            post_delete ~to_:old ~client:dst
+        | Some _ | None ->
+            (* The stub died, or became direct through another copy,
+               while the locate was in flight: the fresh grant is
+               surplus — release it. *)
+            post_delete ~to_:owner ~client:dst);
+        (* The stub may have been the last thing keeping dst alive. *)
+        try_release dst;
+        true
+    | Some (_, dst, Delete client) ->
+        handle_delete dst client;
+        true
+  in
+  let try_collect () =
+    if (not !collected) && instances.(owner) = 0 && scions.(owner) = [] then
+      collected := true
+  in
+  let zombies () =
+    let n = ref 0 in
+    for h = 1 to procs - 1 do
+      if instances.(h) = 0 && scions.(h) <> [] then incr n
+    done;
+    !n
+  in
+  {
+    Algo.name = "ssp";
+    procs;
+    can_send = (fun p -> instances.(p) > 0 && not !collected);
+    send;
+    drop;
+    holds = (fun p -> instances.(p) > 0);
+    step;
+    try_collect;
+    collected = (fun () -> !collected);
+    copies_in_flight =
+      (fun () -> Algo.Pool.count pool (function Copy -> true | _ -> false));
+    control_messages = (fun () -> Algo.Counter.to_list counters);
+    zombies;
+  }

@@ -1,0 +1,17 @@
+(** SSP chains (Shapiro, Dickman, Plainfossé 1992) — Figure 14(e).
+
+    Remote references are {e stub}/{e scion} pairs: sending a reference
+    creates a scion (exit item) at the sender, and the receiver's stub
+    points at it, forming chains through intermediate processes.  Each
+    scion keeps its host's own reference alive, so — like IRC — only
+    deletion messages exist and no increment/decrement race is possible.
+
+    The distinguishing feature is {e short-cutting}: on receipt, the
+    receiver immediately asks the owner for a direct scion ([locate] /
+    [relocated]) and deletes the chain scion, so intermediate hosts are
+    released eagerly instead of persisting as long-lived zombies (the
+    improvement over plain diffusion trees that the survey highlights).
+    Transient zombies still occur while a short-cut is in progress;
+    [zombies ()] reports them. *)
+
+val create : procs:int -> seed:int64 -> Algo.view

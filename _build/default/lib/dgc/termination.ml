@@ -1,0 +1,34 @@
+module M = Machine
+
+let token : Types.rref = { owner = 0; index = 0 }
+
+type t = { mutable config : M.config }
+
+let create ~workers =
+  let c = M.init ~procs:(workers + 1) ~refs:[ token ] in
+  { config = M.apply c (M.Allocate (0, token)) }
+
+let settle t =
+  let c, _ = Explore.drain ~include_finalize:true t.config in
+  t.config <- c
+
+let active t p = M.rooted t.config p token
+
+let activate t ~by ~worker =
+  if not (active t by) then invalid_arg "Termination.activate: not active";
+  t.config <- M.apply t.config (M.Make_copy (by, worker, token));
+  (* Make the activation deliverable; the token may take several protocol
+     steps to register. *)
+  settle t
+
+let finish t p =
+  if active t p then begin
+    t.config <- M.apply t.config (M.Drop_root (p, token));
+    settle t
+  end
+
+let detected t =
+  M.Pset.is_empty (M.pdirty t.config 0 token)
+  && M.Td.is_empty (M.tdirty t.config 0 token)
+
+let believed_active t = M.Pset.elements (M.pdirty t.config 0 token)

@@ -1,0 +1,41 @@
+(** Distributed termination detection built on the reference-listing
+    machine — the reuse the paper suggests ("not necessarily tied to
+    distributed garbage collection, such as distributed termination
+    detection").
+
+    A computation's activity is modelled as one reference owned by the
+    coordinator.  Activating a worker copies the reference to it;
+    delegating work copies it between workers; finishing drops it.  The
+    coordinator's dirty tables then contain exactly the workers that may
+    still be active (plus in-flight activations), so:
+
+    - {b safety}: {!detected} never returns [true] while any worker is
+      active or any activation is in flight (Theorem 13);
+    - {b liveness}: once every worker finishes, {!detected} returns
+      [true] after finitely many {!settle} steps (Theorem 21). *)
+
+type t
+
+(** [create ~workers] — processes [1..workers] work; process [0]
+    coordinates and is initially the only active party. *)
+val create : workers:int -> t
+
+(** The coordinator or a worker activates another worker (copies the
+    activity token).  Both must currently be active. *)
+val activate : t -> by:int -> worker:int -> unit
+
+(** The party finishes its work (drops its token). *)
+val finish : t -> int -> unit
+
+(** Is the party currently active (holds the token)? *)
+val active : t -> int -> bool
+
+(** Run the underlying protocol to quiescence. *)
+val settle : t -> unit
+
+(** Has the computation terminated?  Exact: true iff the coordinator's
+    dirty tables are empty. *)
+val detected : t -> bool
+
+(** The workers the detector currently believes may be active. *)
+val believed_active : t -> int list

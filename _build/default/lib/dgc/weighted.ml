@@ -1,0 +1,108 @@
+module Rng = Netobj_util.Rng
+
+type msg =
+  | Copy of int  (** carries its weight *)
+  | Dec of int  (** returns weight to the owner *)
+  | More_weight of int  (** request id of the pending send *)
+  | Grant of int * int  (** (pending send id, weight granted) *)
+
+let create ?(grant = 64) ~procs ~seed () =
+  let rng = Rng.create seed in
+  let pool = Algo.Pool.create ~ordered:false ~rng in
+  let counters = Algo.Counter.create () in
+  let owner = 0 in
+  (* Per-process instance weights (one list entry per held instance). *)
+  let weights = Array.make procs [] in
+  let holds_owner = ref true in
+  let outstanding = ref 0 in
+  let collected = ref false in
+  (* Sends waiting for a weight grant: id -> destination. *)
+  let pending = Hashtbl.create 8 in
+  let next_pending = ref 0 in
+  let send ~src ~dst =
+    if src = owner then begin
+      if not !holds_owner then invalid_arg "wrc send: owner dropped";
+      outstanding := !outstanding + grant;
+      Algo.Pool.post pool ~src ~dst (Copy grant)
+    end
+    else
+      match weights.(src) with
+      | [] -> invalid_arg "wrc send: not held"
+      | w :: rest ->
+          if w > 1 then begin
+            let half = w / 2 in
+            weights.(src) <- (w - half) :: rest;
+            Algo.Pool.post pool ~src ~dst (Copy half)
+          end
+          else begin
+            (* Weight exhausted: ask the owner for more before the copy
+               can travel. *)
+            let id = !next_pending in
+            incr next_pending;
+            Hashtbl.add pending id dst;
+            Algo.Counter.incr counters "more_weight";
+            Algo.Pool.post pool ~src ~dst:owner (More_weight id)
+          end
+  in
+  let drop p =
+    if p = owner then holds_owner := false
+    else
+      match weights.(p) with
+      | [] -> ()
+      | w :: rest ->
+          weights.(p) <- rest;
+          Algo.Counter.incr counters "dec";
+          Algo.Pool.post pool ~src:p ~dst:owner (Dec w)
+  in
+  let step () =
+    match Algo.Pool.take_random pool with
+    | None -> false
+    | Some (_, dst, Copy w) ->
+        if dst = owner then begin
+          (* A copy returning home dissolves: the concrete object is
+             local, so its weight is reclaimed on the spot. *)
+          holds_owner := true;
+          outstanding := !outstanding - w
+        end
+        else weights.(dst) <- w :: weights.(dst);
+        true
+    | Some (_, _, Dec w) ->
+        outstanding := !outstanding - w;
+        true
+    | Some (requester, _, More_weight id) ->
+        outstanding := !outstanding + grant;
+        Algo.Counter.incr counters "grant";
+        Algo.Pool.post pool ~src:owner ~dst:requester (Grant (id, grant));
+        true
+    | Some (_, dst, Grant (id, w)) ->
+        let target = Hashtbl.find pending id in
+        Hashtbl.remove pending id;
+        Algo.Pool.post pool ~src:dst ~dst:target (Copy w);
+        true
+  in
+  let try_collect () =
+    if (not !collected) && (not !holds_owner) && !outstanding = 0 then
+      collected := true
+  in
+  {
+    Algo.name = "weighted";
+    procs;
+    can_send =
+      (fun p ->
+        (not !collected)
+        && if p = owner then !holds_owner else weights.(p) <> []);
+    send;
+    drop;
+    holds = (fun p -> if p = owner then !holds_owner else weights.(p) <> []);
+    step;
+    try_collect;
+    collected = (fun () -> !collected);
+    copies_in_flight =
+      (fun () ->
+        (* A pending entry covers both the more_weight and grant stages
+           of a stalled copy. *)
+        Algo.Pool.count pool (function Copy _ -> true | _ -> false)
+        + Hashtbl.length pending);
+    control_messages = (fun () -> Algo.Counter.to_list counters);
+    zombies = (fun () -> 0);
+  }

@@ -1,0 +1,16 @@
+(** Weighted Reference Counting (Bevan 1987; Watson & Watson 1987) —
+    Figure 14(g) of the survey.
+
+    Every reference instance carries a weight; the owner tracks the total
+    weight in circulation.  Copying splits the sender's weight in half and
+    attaches half to the copy, so {e no control message} is needed on a
+    copy — the invariant "outstanding weight = Σ instance weights +
+    in-flight weight" is preserved locally.  Discarding an instance
+    returns its weight ([dec(w)]).  When an instance of weight 1 must be
+    copied, the sender asks the owner for more weight ([more_weight] /
+    [grant]) — the "2a" solution of the survey; the copy is held until
+    the grant arrives.  Safe over unordered channels. *)
+
+(** [create ~grant ~procs ~seed] — [grant] is the weight issued per grant
+    and per owner-originated copy (default 64). *)
+val create : ?grant:int -> procs:int -> seed:int64 -> unit -> Algo.view

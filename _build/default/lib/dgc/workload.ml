@@ -1,0 +1,180 @@
+module Rng = Netobj_util.Rng
+
+type proc = Types.proc
+
+type op = Send of proc * proc | Drop of proc | Steps of int
+
+type outcome = {
+  premature_at : int option;
+  leaked : bool;
+  collected_at_end : bool;
+  control : (string * int) list;
+  total_control : int;
+  sends_executed : int;
+  max_zombies : int;
+  steps : int;
+}
+
+type state = {
+  view : Algo.view;
+  mutable premature_at : int option;
+  mutable event : int;
+  mutable sends : int;
+  mutable max_zombies : int;
+  mutable steps : int;
+}
+
+let observe st =
+  st.event <- st.event + 1;
+  st.max_zombies <- max st.max_zombies (st.view.Algo.zombies ());
+  (* Adversarial: the owner's collector runs at every opportunity. *)
+  st.view.Algo.try_collect ();
+  if st.premature_at = None && Algo.premature st.view then
+    st.premature_at <- Some st.event
+
+let step_once st =
+  let progressed = st.view.Algo.step () in
+  if progressed then begin
+    st.steps <- st.steps + 1;
+    observe st
+  end;
+  progressed
+
+let rec step_until_idle st budget =
+  if budget > 0 && step_once st then step_until_idle st (budget - 1)
+
+let run view ops =
+  let st =
+    {
+      view;
+      premature_at = None;
+      event = 0;
+      sends = 0;
+      max_zombies = 0;
+      steps = 0;
+    }
+  in
+  let exec = function
+    | Send (src, dst) ->
+        (* Let in-flight machinery catch up until the source holds. *)
+        let rec wait budget =
+          if (not (view.Algo.can_send src)) && budget > 0 && step_once st then
+            wait (budget - 1)
+        in
+        wait 100_000;
+        if view.Algo.can_send src && src <> dst then begin
+          view.Algo.send ~src ~dst;
+          st.sends <- st.sends + 1;
+          observe st
+        end
+    | Drop p ->
+        (* An application can only discard what it has received: wait for
+           the in-flight copy, as Figure 1's p3 discards after receipt. *)
+        let rec wait budget =
+          if (not (view.Algo.holds p)) && budget > 0 && step_once st then
+            wait (budget - 1)
+        in
+        wait 100_000;
+        if view.Algo.holds p then begin
+          view.Algo.drop p;
+          observe st
+        end
+    | Steps n ->
+        let rec go n = if n > 0 && step_once st then go (n - 1) in
+        go n
+  in
+  List.iter exec ops;
+  (* Teardown: every application holder drops and the machinery drains.
+     Late deliveries can hand the object back to an application that
+     already dropped it, so iterate to a fixed point. *)
+  let any_holder () =
+    List.exists view.Algo.holds (List.init view.Algo.procs Fun.id)
+  in
+  let rounds = ref 0 in
+  step_until_idle st 1_000_000;
+  while any_holder () && !rounds < 20 do
+    incr rounds;
+    for p = 0 to view.Algo.procs - 1 do
+      while view.Algo.holds p do
+        view.Algo.drop p;
+        observe st
+      done
+    done;
+    step_until_idle st 1_000_000
+  done;
+  view.Algo.try_collect ();
+  if st.premature_at = None && Algo.premature view then
+    st.premature_at <- Some st.event;
+  let collected = view.Algo.collected () in
+  {
+    premature_at = st.premature_at;
+    leaked = not collected;
+    collected_at_end = collected;
+    control = view.Algo.control_messages ();
+    total_control = Algo.total_control view;
+    sends_executed = st.sends;
+    max_zombies = st.max_zombies;
+    steps = st.steps;
+  }
+
+(* --- generators --------------------------------------------------------- *)
+
+(* The owner drops its local root early: the object survives only through
+   remote references, as in the paper's figure. *)
+let figure1 =
+  [
+    Send (0, 1);
+    Steps 50;
+    Drop 0;
+    Send (1, 2);
+    Drop 1;
+    Drop 2;
+    Steps 200;
+  ]
+
+let chain ~procs =
+  let rec go p acc =
+    if p >= procs - 1 then List.rev acc
+    else go (p + 1) (Drop p :: Send (p, p + 1) :: acc)
+  in
+  Send (0, 1) :: Steps 50 :: go 1 [ ]
+
+let fanout ~procs =
+  List.concat_map (fun p -> [ Send (0, p); Steps 10 ]) (List.init (procs - 1) (fun i -> i + 1))
+  @ List.map (fun i -> Drop (i + 1)) (List.init (procs - 1) Fun.id)
+  @ [ Steps 500 ]
+
+let pingpong ~rounds =
+  List.concat
+    (List.init rounds (fun _ -> [ Send (0, 1); Drop 1; Steps 7 ]))
+  @ [ Steps 500 ]
+
+let churn ~procs ~events ~seed =
+  let rng = Rng.create seed in
+  (* Track who plausibly holds, just to bias sources; the driver re-checks
+     with can_send at execution time. *)
+  let holders = Array.make procs false in
+  holders.(0) <- true;
+  let ops = ref [] in
+  for _ = 1 to events do
+    let holding =
+      List.filter (fun p -> holders.(p)) (List.init procs Fun.id)
+    in
+    match Rng.int rng 10 with
+    | 0 | 1 | 2 | 3 | 4 ->
+        let src = Rng.pick rng holding in
+        let dst = Rng.int rng procs in
+        if src <> dst then begin
+          holders.(dst) <- true;
+          ops := Send (src, dst) :: !ops
+        end
+    | 5 | 6 | 7 -> (
+        match List.filter (fun p -> p <> 0) holding with
+        | [] -> ()
+        | clients ->
+            let p = Rng.pick rng clients in
+            holders.(p) <- false;
+            ops := Drop p :: !ops)
+    | _ -> ops := Steps (1 + Rng.int rng 5) :: !ops
+  done;
+  List.rev (Steps 500 :: !ops)

@@ -1,0 +1,61 @@
+(** Workload driver for the algorithm family.
+
+    A workload is a list of application operations over the single shared
+    object; the driver interleaves them with the algorithm's own steps,
+    gives the owner's collector a chance to reclaim after {e every} step
+    (the adversarial schedule that exposes the naive race), records
+    message costs and zombie high-water marks, and finally tears
+    everything down to judge liveness. *)
+
+type proc = Types.proc
+
+type op =
+  | Send of proc * proc
+      (** copy from a holder to a destination.  If the source does not
+          hold the object yet (its copy may still be in flight), the
+          driver first runs steps until it does; the op is skipped if the
+          machinery goes idle first. *)
+  | Drop of proc  (** the application at [proc] discards the object *)
+  | Steps of int  (** run up to [n] machinery steps *)
+
+type outcome = {
+  premature_at : int option;
+      (** index of the first event after which the object was observed
+          collected-while-needed (the safety violation), if any *)
+  leaked : bool;
+      (** after every holder dropped and the machinery went idle, the
+          owner still could not collect (liveness failure) *)
+  collected_at_end : bool;
+  control : (string * int) list;  (** control messages by kind *)
+  total_control : int;
+  sends_executed : int;
+  max_zombies : int;
+  steps : int;  (** machinery steps consumed in total *)
+}
+
+(** Run a workload to completion (including final teardown and drain). *)
+val run : Algo.view -> op list -> outcome
+
+(** {1 Workload generators}
+
+    All take the process count and return operation lists whose sends
+    originate from processes that will hold the object at that point. *)
+
+(** The Figure 1 scenario: owner gives the reference to [p1]; [p1]
+    forwards to [p2] and drops; then [p2] drops.  The decrement /
+    increment race window of naive counting. *)
+val figure1 : op list
+
+(** Owner hands the object down a chain 1 → 2 → … → n-1, each process
+    dropping right after forwarding. *)
+val chain : procs:int -> op list
+
+(** Owner sends to every other process; all drop. *)
+val fanout : procs:int -> op list
+
+(** [k] rounds of: owner sends to 1, 1 drops — stressing resurrection
+    (the ccitnil window in Birrell's algorithm). *)
+val pingpong : rounds:int -> op list
+
+(** Random churn: [events] random sends-from-holders and drops, seeded. *)
+val churn : procs:int -> events:int -> seed:int64 -> op list

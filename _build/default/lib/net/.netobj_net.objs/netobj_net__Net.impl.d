@@ -1,0 +1,1 @@
+lib/net/net.ml: Float Hashtbl List Netobj_sched Netobj_util String

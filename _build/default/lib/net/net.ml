@@ -1,0 +1,184 @@
+module Sched = Netobj_sched.Sched
+module Rng = Netobj_util.Rng
+
+type addr = int
+
+type latency = Constant of float | Uniform of float * float
+
+type semantics = Bag | Fifo
+
+type edge_config = {
+  semantics : semantics;
+  latency : latency;
+  loss : float;
+  dup : float;
+}
+
+let default_edge =
+  { semantics = Bag; latency = Uniform (0.001, 0.01); loss = 0.0; dup = 0.0 }
+
+let bag_edge ?(lo = 0.001) ?(hi = 0.01) () =
+  { default_edge with latency = Uniform (lo, hi) }
+
+let fifo_edge ?(latency = 0.005) () =
+  { semantics = Fifo; latency = Constant latency; loss = 0.0; dup = 0.0 }
+
+type edge_state = {
+  mutable config : edge_config;
+  mutable last_deadline : float;  (* enforces FIFO by monotone deadlines *)
+}
+
+type stats = {
+  sent : int;
+  delivered : int;
+  dropped : int;
+  duplicated : int;
+  bytes : int;
+}
+
+type t = {
+  sched : Sched.t;
+  rng : Rng.t;
+  edges : (addr * addr, edge_state) Hashtbl.t;
+  handlers : (addr, src:addr -> kind:string -> payload:string -> unit) Hashtbl.t;
+  partitions : (addr * addr, unit) Hashtbl.t;
+  crashed : (addr, unit) Hashtbl.t;
+  mutable filter : (src:addr -> dst:addr -> kind:string -> bool) option;
+  mutable default : edge_config;
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable duplicated : int;
+  mutable bytes : int;
+  by_kind : (string, (int * int) ref) Hashtbl.t;
+}
+
+let create ~sched ~seed () =
+  {
+    sched;
+    rng = Rng.create seed;
+    edges = Hashtbl.create 64;
+    handlers = Hashtbl.create 16;
+    partitions = Hashtbl.create 8;
+    crashed = Hashtbl.create 8;
+    filter = None;
+    default = default_edge;
+    sent = 0;
+    delivered = 0;
+    dropped = 0;
+    duplicated = 0;
+    bytes = 0;
+    by_kind = Hashtbl.create 16;
+  }
+
+let edge t src dst =
+  match Hashtbl.find_opt t.edges (src, dst) with
+  | Some e -> e
+  | None ->
+      let e = { config = t.default; last_deadline = 0.0 } in
+      Hashtbl.add t.edges (src, dst) e;
+      e
+
+let set_edge t ~src ~dst config = (edge t src dst).config <- config
+
+let set_all_edges t config =
+  t.default <- config;
+  Hashtbl.iter (fun _ e -> e.config <- config) t.edges
+
+let set_handler t addr h = Hashtbl.replace t.handlers addr h
+
+let pair a b = if a <= b then (a, b) else (b, a)
+
+let set_partitioned t a b on =
+  if on then Hashtbl.replace t.partitions (pair a b) ()
+  else Hashtbl.remove t.partitions (pair a b)
+
+let partitioned t a b = Hashtbl.mem t.partitions (pair a b)
+
+let crash t a = Hashtbl.replace t.crashed a ()
+
+let is_crashed t a = Hashtbl.mem t.crashed a
+
+let draw_latency t = function
+  | Constant c -> c
+  | Uniform (lo, hi) -> lo +. (Rng.float t.rng *. (hi -. lo))
+
+let account t kind len =
+  t.sent <- t.sent + 1;
+  t.bytes <- t.bytes + len;
+  let cell =
+    match Hashtbl.find_opt t.by_kind kind with
+    | Some c -> c
+    | None ->
+        let c = ref (0, 0) in
+        Hashtbl.add t.by_kind kind c;
+        c
+  in
+  let n, b = !cell in
+  cell := (n + 1, b + len)
+
+let schedule_delivery t ~src ~dst ~kind payload =
+  let e = edge t src dst in
+  let lat = draw_latency t e.config.latency in
+  let deadline =
+    let d = Sched.now t.sched +. lat in
+    match e.config.semantics with
+    | Bag -> d
+    | Fifo ->
+        (* A FIFO edge never lets a later send be delivered earlier: clamp
+           deadlines to be monotone; ties break by timer sequence. *)
+        let d = Float.max d e.last_deadline in
+        e.last_deadline <- d;
+        d
+  in
+  Sched.spawn t.sched ~name:"net-delivery" (fun () ->
+      Sched.sleep t.sched (deadline -. Sched.now t.sched);
+      if is_crashed t dst || is_crashed t src || partitioned t src dst then
+        t.dropped <- t.dropped + 1
+      else
+        match Hashtbl.find_opt t.handlers dst with
+        | None -> t.dropped <- t.dropped + 1
+        | Some h ->
+            t.delivered <- t.delivered + 1;
+            h ~src ~kind ~payload)
+
+let set_filter t f = t.filter <- f
+
+let send t ~src ~dst ~kind payload =
+  account t kind (String.length payload);
+  let e = edge t src dst in
+  if partitioned t src dst || is_crashed t dst || is_crashed t src then
+    t.dropped <- t.dropped + 1
+  else if
+    match t.filter with Some keep -> not (keep ~src ~dst ~kind) | None -> false
+  then t.dropped <- t.dropped + 1
+  else if e.config.loss > 0.0 && Rng.chance t.rng e.config.loss then
+    t.dropped <- t.dropped + 1
+  else begin
+    schedule_delivery t ~src ~dst ~kind payload;
+    if e.config.dup > 0.0 && Rng.chance t.rng e.config.dup then begin
+      t.duplicated <- t.duplicated + 1;
+      schedule_delivery t ~src ~dst ~kind payload
+    end
+  end
+
+let stats t =
+  {
+    sent = t.sent;
+    delivered = t.delivered;
+    dropped = t.dropped;
+    duplicated = t.duplicated;
+    bytes = t.bytes;
+  }
+
+let stats_by_kind t =
+  Hashtbl.fold (fun k c acc -> (k, !c) :: acc) t.by_kind []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let reset_stats t =
+  t.sent <- 0;
+  t.delivered <- 0;
+  t.dropped <- 0;
+  t.duplicated <- 0;
+  t.bytes <- 0;
+  Hashtbl.reset t.by_kind

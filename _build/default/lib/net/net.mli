@@ -1,0 +1,99 @@
+(** Simulated point-to-point network between spaces.
+
+    The distributed-GC specification is written over asynchronous
+    point-to-point channels that are reliable, non-duplicating and
+    unordered ("bags of messages"); its variants and fault-tolerance
+    extension change exactly those axioms (FIFO ordering, loss,
+    duplication).  This network makes each axiom a per-edge configuration
+    knob, so the same runtime can be run over the spec's baseline network,
+    over FIFO channels for the §5.1 variant, or over a hostile lossy
+    network for the §6 experiments.
+
+    Delivery is driven by the {!Netobj_sched} virtual clock: each message
+    is assigned a latency from the edge's model and handed to the
+    destination's handler in a fresh fiber (modelling the RPC runtime
+    forking a server thread per incoming packet). *)
+
+(** Space address (process identifier). *)
+type addr = int
+
+type latency =
+  | Constant of float
+  | Uniform of float * float
+      (** uniform in [\[lo, hi\]] — with [Bag] semantics this reorders
+          messages, which is exactly what the spec's bag channels allow *)
+
+type semantics =
+  | Bag  (** arbitrary reordering (spec default) *)
+  | Fifo  (** per-edge order preserved (for the §5.1 variant) *)
+
+type edge_config = {
+  semantics : semantics;
+  latency : latency;
+  loss : float;  (** probability a message is silently dropped *)
+  dup : float;  (** probability a message is delivered twice *)
+}
+
+val default_edge : edge_config
+
+(** Reliable-but-reordering network, the specification's baseline. *)
+val bag_edge : ?lo:float -> ?hi:float -> unit -> edge_config
+
+val fifo_edge : ?latency:float -> unit -> edge_config
+
+type t
+
+(** [create ~sched ~seed ()] builds a network whose random choices
+    (latencies, loss, duplication) are drawn deterministically from
+    [seed]. *)
+val create : sched:Netobj_sched.Sched.t -> seed:int64 -> unit -> t
+
+(** Set the configuration for the directed edge [src -> dst]. *)
+val set_edge : t -> src:addr -> dst:addr -> edge_config -> unit
+
+(** Set the configuration of every edge (existing and future). *)
+val set_all_edges : t -> edge_config -> unit
+
+(** Install the message handler for a space.  The handler is invoked in a
+    fresh fiber per delivery. *)
+val set_handler :
+  t -> addr -> (src:addr -> kind:string -> payload:string -> unit) -> unit
+
+(** [send t ~src ~dst ~kind payload] queues a message.  [kind] is an
+    accounting label (e.g. ["dirty"], ["call"]); it does not affect
+    delivery. Messages to unregistered destinations are counted as
+    dropped. *)
+val send : t -> src:addr -> dst:addr -> kind:string -> string -> unit
+
+(** Sever / restore both directions between two spaces.  Messages sent
+    while partitioned are dropped (counted). *)
+val set_partitioned : t -> addr -> addr -> bool -> unit
+
+(** Install a drop filter evaluated at send time: return [false] to drop
+    the message (counted as dropped).  Use for targeted fault injection,
+    e.g. losing only ["clean"] messages.  [None] removes the filter. *)
+val set_filter :
+  t -> (src:addr -> dst:addr -> kind:string -> bool) option -> unit
+
+(** Simulate a crash: the space stops receiving; all queued messages to
+    and from it are dropped on delivery. *)
+val crash : t -> addr -> unit
+
+val is_crashed : t -> addr -> bool
+
+(** {1 Accounting} *)
+
+type stats = {
+  sent : int;
+  delivered : int;
+  dropped : int;
+  duplicated : int;
+  bytes : int;
+}
+
+val stats : t -> stats
+
+(** Per-[kind] (messages, bytes) sent. *)
+val stats_by_kind : t -> (string * (int * int)) list
+
+val reset_stats : t -> unit

@@ -1,0 +1,1 @@
+lib/pickle/pickle.ml: Array Bytes Char Int Int64 Lazy List Printf String Wire

@@ -1,0 +1,1 @@
+lib/pickle/wire.ml: Buffer Bytes Char Int64 Printexc Printf String

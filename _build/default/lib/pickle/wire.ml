@@ -1,0 +1,128 @@
+exception Error of { pos : int; msg : string }
+
+let error ~pos msg = raise (Error { pos; msg })
+
+let () =
+  Printexc.register_printer (function
+    | Error { pos; msg } ->
+        Some (Printf.sprintf "Netobj_pickle.Wire.Error(%d): %s" pos msg)
+    | _ -> None)
+
+module Writer = struct
+  type t = Buffer.t
+
+  let create ?(initial_size = 256) () = Buffer.create initial_size
+
+  let length = Buffer.length
+
+  let contents = Buffer.contents
+
+  let byte w n = Buffer.add_char w (Char.chr (n land 0xff))
+
+  let uvarint w n =
+    if n < 0 then invalid_arg "Wire.Writer.uvarint: negative";
+    let rec go n =
+      if n < 0x80 then byte w n
+      else begin
+        byte w (0x80 lor (n land 0x7f));
+        go (n lsr 7)
+      end
+    in
+    go n
+
+  (* Unsigned LEB128 over the full 64-bit range. *)
+  let uvarint64 w n =
+    let rec go n =
+      if Int64.unsigned_compare n 0x80L < 0 then byte w (Int64.to_int n)
+      else begin
+        byte w (0x80 lor (Int64.to_int n land 0x7f));
+        go (Int64.shift_right_logical n 7)
+      end
+    in
+    go n
+
+  (* Zigzag: maps 0,-1,1,-2,... to 0,1,2,3,... so small magnitudes stay
+     short on the wire regardless of sign.  Encoded through int64 so the
+     full native-int range survives the shift. *)
+  let varint w n =
+    let n64 = Int64.of_int n in
+    uvarint64 w Int64.(logxor (shift_left n64 1) (shift_right n64 63))
+
+  let int32 w n =
+    let b = Bytes.create 4 in
+    Bytes.set_int32_le b 0 n;
+    Buffer.add_bytes w b
+
+  let int64 w n =
+    let b = Bytes.create 8 in
+    Bytes.set_int64_le b 0 n;
+    Buffer.add_bytes w b
+
+  let float w f = int64 w (Int64.bits_of_float f)
+
+  let raw w s = Buffer.add_string w s
+
+  let string w s =
+    uvarint w (String.length s);
+    raw w s
+end
+
+module Reader = struct
+  type t = { data : string; mutable pos : int }
+
+  let of_string data = { data; pos = 0 }
+
+  let pos r = r.pos
+
+  let remaining r = String.length r.data - r.pos
+
+  let at_end r = remaining r = 0
+
+  let fail r msg = error ~pos:r.pos msg
+
+  let byte r =
+    if r.pos >= String.length r.data then fail r "unexpected end of input";
+    let c = Char.code r.data.[r.pos] in
+    r.pos <- r.pos + 1;
+    c
+
+  let uvarint r =
+    let rec go shift acc =
+      if shift > 62 then fail r "uvarint overflow";
+      let b = byte r in
+      let acc = acc lor ((b land 0x7f) lsl shift) in
+      if b land 0x80 = 0 then acc else go (shift + 7) acc
+    in
+    go 0 0
+
+  let uvarint64 r =
+    let rec go shift acc =
+      if shift > 63 then fail r "uvarint64 overflow";
+      let b = byte r in
+      let acc = Int64.logor acc (Int64.shift_left (Int64.of_int (b land 0x7f)) shift) in
+      if b land 0x80 = 0 then acc else go (shift + 7) acc
+    in
+    go 0 0L
+
+  let varint r =
+    let n = uvarint64 r in
+    Int64.to_int
+      Int64.(logxor (shift_right_logical n 1) (neg (logand n 1L)))
+
+  let raw r n =
+    if n < 0 then fail r "negative length";
+    if remaining r < n then fail r "unexpected end of input";
+    let s = String.sub r.data r.pos n in
+    r.pos <- r.pos + n;
+    s
+
+  let int32 r = Bytes.get_int32_le (Bytes.of_string (raw r 4)) 0
+
+  let int64 r = Bytes.get_int64_le (Bytes.of_string (raw r 8)) 0
+
+  let float r = Int64.float_of_bits (int64 r)
+
+  let string r =
+    let n = uvarint r in
+    raw r n
+end

@@ -1,0 +1,77 @@
+(** Low-level binary wire encoding.
+
+    The pickle combinators ({!Pickle}) are built on this reader/writer
+    pair.  Integers use LEB128 variable-length encoding with zigzag for
+    signed values; fixed-width values are little-endian.  Decoding
+    failures raise {!Error} with a position and message, never a generic
+    exception. *)
+
+exception Error of { pos : int; msg : string }
+
+val error : pos:int -> string -> 'a
+
+module Writer : sig
+  type t
+
+  val create : ?initial_size:int -> unit -> t
+
+  (** Bytes written so far. *)
+  val length : t -> int
+
+  val contents : t -> string
+
+  val byte : t -> int -> unit
+
+  (** Unsigned LEB128. Requires a non-negative argument. *)
+  val uvarint : t -> int -> unit
+
+  (** Zigzag-encoded signed LEB128. *)
+  val varint : t -> int -> unit
+
+  val int32 : t -> int32 -> unit
+
+  val int64 : t -> int64 -> unit
+
+  (** IEEE-754 double, 8 bytes little-endian. *)
+  val float : t -> float -> unit
+
+  (** Length-prefixed byte string. *)
+  val string : t -> string -> unit
+
+  (** Raw bytes, no length prefix. *)
+  val raw : t -> string -> unit
+end
+
+module Reader : sig
+  type t
+
+  val of_string : string -> t
+
+  val pos : t -> int
+
+  (** Bytes remaining. *)
+  val remaining : t -> int
+
+  (** True when all input is consumed. *)
+  val at_end : t -> bool
+
+  val byte : t -> int
+
+  val uvarint : t -> int
+
+  val varint : t -> int
+
+  val int32 : t -> int32
+
+  val int64 : t -> int64
+
+  val float : t -> float
+
+  val string : t -> string
+
+  (** [raw r n] reads exactly [n] bytes. *)
+  val raw : t -> int -> string
+
+  (** Fail with a positioned {!Error}. *)
+  val fail : t -> string -> 'a
+end

@@ -1,0 +1,1 @@
+lib/sched/sched.ml: Array Effect Float List Netobj_util Option Queue

@@ -1,0 +1,263 @@
+open Effect
+open Effect.Deep
+
+type policy = Fifo | Random of int64
+
+(* The single effect: park the calling fiber and hand a wakeup thunk to
+   [register].  Everything blocking (sleep, ivars, mailboxes) is built on
+   it, so the handler stays trivial. *)
+type _ Effect.t += Suspend : ((unit -> unit) -> unit) -> unit Effect.t
+
+module Timerq = struct
+  (* Pairing-heap-free simple implementation: a sorted association list
+     would be O(n); use a binary heap in an array for the timer volume the
+     lease demons generate. Keys are (deadline, seq) for stable order. *)
+  type entry = { deadline : float; seq : int; wake : unit -> unit }
+
+  type t = { mutable heap : entry array; mutable size : int }
+
+  let create () = { heap = Array.make 16 { deadline = 0.; seq = 0; wake = ignore }; size = 0 }
+
+  let lt a b = a.deadline < b.deadline || (a.deadline = b.deadline && a.seq < b.seq)
+
+  let push t e =
+    if t.size = Array.length t.heap then begin
+      let bigger = Array.make (2 * t.size) e in
+      Array.blit t.heap 0 bigger 0 t.size;
+      t.heap <- bigger
+    end;
+    t.heap.(t.size) <- e;
+    t.size <- t.size + 1;
+    let i = ref (t.size - 1) in
+    while !i > 0 && lt t.heap.(!i) t.heap.((!i - 1) / 2) do
+      let p = (!i - 1) / 2 in
+      let tmp = t.heap.(p) in
+      t.heap.(p) <- t.heap.(!i);
+      t.heap.(!i) <- tmp;
+      i := p
+    done
+
+  let peek t = if t.size = 0 then None else Some t.heap.(0)
+
+  let pop t =
+    match peek t with
+    | None -> None
+    | Some e ->
+        t.size <- t.size - 1;
+        t.heap.(0) <- t.heap.(t.size);
+        let i = ref 0 in
+        let continue = ref true in
+        while !continue do
+          let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+          let smallest = ref !i in
+          if l < t.size && lt t.heap.(l) t.heap.(!smallest) then smallest := l;
+          if r < t.size && lt t.heap.(r) t.heap.(!smallest) then smallest := r;
+          if !smallest = !i then continue := false
+          else begin
+            let tmp = t.heap.(!smallest) in
+            t.heap.(!smallest) <- t.heap.(!i);
+            t.heap.(!i) <- tmp;
+            i := !smallest
+          end
+        done;
+        Some e
+end
+
+type t = {
+  mutable ready : (unit -> unit) list;  (* reversed enqueue order *)
+  mutable ready_front : (unit -> unit) list;
+  timers : Timerq.t;
+  mutable clock : float;
+  mutable timer_seq : int;
+  mutable alive : int;
+  mutable failures : (string * exn) list;
+  rng : Netobj_util.Rng.t option;
+}
+
+let create ?(policy = Fifo) () =
+  let rng = match policy with Fifo -> None | Random seed -> Some (Netobj_util.Rng.create seed) in
+  {
+    ready = [];
+    ready_front = [];
+    timers = Timerq.create ();
+    clock = 0.0;
+    timer_seq = 0;
+    alive = 0;
+    failures = [];
+    rng;
+  }
+
+let enqueue t thunk = t.ready <- thunk :: t.ready
+
+let ready_count t = List.length t.ready + List.length t.ready_front
+
+let dequeue t =
+  (match t.ready_front with
+  | [] ->
+      t.ready_front <- List.rev t.ready;
+      t.ready <- []
+  | _ -> ());
+  match t.ready_front with
+  | [] -> None
+  | x :: rest -> (
+      match t.rng with
+      | None ->
+          t.ready_front <- rest;
+          Some x
+      | Some rng ->
+          (* Random policy: pick a uniform index across both segments. *)
+          let all = t.ready_front @ List.rev t.ready in
+          let i = Netobj_util.Rng.int rng (List.length all) in
+          let picked = List.nth all i in
+          let remaining = List.filteri (fun j _ -> j <> i) all in
+          t.ready_front <- remaining;
+          t.ready <- [];
+          Some picked)
+
+let now t = t.clock
+
+let add_timer t ~deadline wake =
+  t.timer_seq <- t.timer_seq + 1;
+  Timerq.push t.timers { deadline; seq = t.timer_seq; wake }
+
+let exec t name f =
+  match_with f ()
+    {
+      retc = (fun () -> t.alive <- t.alive - 1);
+      exnc =
+        (fun e ->
+          t.alive <- t.alive - 1;
+          t.failures <- (name, e) :: t.failures);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Suspend register ->
+              Some
+                (fun (k : (a, _) continuation) ->
+                  register (fun () -> enqueue t (fun () -> continue k ())))
+          | _ -> None);
+    }
+
+let spawn t ?(name = "fiber") f =
+  t.alive <- t.alive + 1;
+  enqueue t (fun () -> exec t name f)
+
+let suspend register = perform (Suspend register)
+
+let yield _t = suspend (fun wake -> wake ())
+
+let sleep t dt =
+  if dt <= 0.0 then yield t
+  else suspend (fun wake -> add_timer t ~deadline:(t.clock +. dt) wake)
+
+let timer t dt f = add_timer t ~deadline:(t.clock +. dt) f
+
+let run ?(max_steps = max_int) ?(until = infinity) t =
+  let steps = ref 0 in
+  let continue = ref true in
+  while !continue && !steps < max_steps do
+    match dequeue t with
+    | Some thunk ->
+        incr steps;
+        thunk ()
+    | None -> (
+        match Timerq.peek t.timers with
+        | Some e when e.deadline <= until ->
+            t.clock <- Float.max t.clock e.deadline;
+            (* Release every timer due at this instant before running. *)
+            let rec drain () =
+              match Timerq.peek t.timers with
+              | Some e' when e'.deadline <= t.clock ->
+                  (match Timerq.pop t.timers with
+                  | Some e'' -> e''.wake ()
+                  | None -> ());
+                  drain ()
+              | _ -> ()
+            in
+            drain ()
+        | _ -> continue := false)
+  done;
+  !steps
+
+let alive t = t.alive
+
+let stalled t =
+  (* Alive fibers minus those with a queued resumption; valid only after
+     [run] returned with empty queues. *)
+  t.alive - ready_count t
+
+let failures t = t.failures
+
+module Ivar = struct
+  type 'a var = { mutable value : 'a option; mutable waiters : (unit -> unit) list }
+
+  let create () = { value = None; waiters = [] }
+
+  let fill v x =
+    match v.value with
+    | Some _ -> invalid_arg "Ivar.fill: already filled"
+    | None ->
+        v.value <- Some x;
+        let ws = List.rev v.waiters in
+        v.waiters <- [];
+        List.iter (fun w -> w ()) ws
+
+  let is_filled v = Option.is_some v.value
+
+  let peek v = v.value
+
+  let rec read v =
+    match v.value with
+    | Some x -> x
+    | None ->
+        suspend (fun wake -> v.waiters <- wake :: v.waiters);
+        read v
+
+  let on_fill v f =
+    match v.value with Some _ -> f () | None -> v.waiters <- f :: v.waiters
+end
+
+let read_timeout t iv ~timeout =
+  if Ivar.is_filled iv then Some (Ivar.read iv)
+  else begin
+    (* Race the fill against a timer; whichever fires first resumes the
+       fiber exactly once. *)
+    suspend (fun wake ->
+        let woken = ref false in
+        let once () =
+          if not !woken then begin
+            woken := true;
+            wake ()
+          end
+        in
+        Ivar.on_fill iv once;
+        timer t timeout once);
+    Ivar.peek iv
+  end
+
+module Mailbox = struct
+  type 'a mb = { q : 'a Queue.t; mutable waiters : (unit -> unit) list }
+
+  let create () = { q = Queue.create (); waiters = [] }
+
+  let send mb x =
+    Queue.push x mb.q;
+    match mb.waiters with
+    | [] -> ()
+    | ws ->
+        (* Wake all waiters; they re-check the queue on resumption, so a
+           spurious wakeup is harmless. *)
+        mb.waiters <- [];
+        List.iter (fun w -> w ()) (List.rev ws)
+
+  let try_recv mb = Queue.take_opt mb.q
+
+  let rec recv mb =
+    match Queue.take_opt mb.q with
+    | Some x -> x
+    | None ->
+        suspend (fun wake -> mb.waiters <- wake :: mb.waiters);
+        recv mb
+
+  let length mb = Queue.length mb.q
+end

@@ -1,0 +1,1 @@
+lib/util/bag.ml: Fmt Int List Map Option

@@ -1,0 +1,70 @@
+module type ORDERED = sig
+  type t
+
+  val compare : t -> t -> int
+end
+
+module Make (Elt : ORDERED) = struct
+  module M = Map.Make (Elt)
+
+  type elt = Elt.t
+
+  (* Invariant: every binding has a strictly positive multiplicity, so
+     structural equality of maps coincides with bag equality. *)
+  type t = int M.t
+
+  let empty = M.empty
+
+  let is_empty = M.is_empty
+
+  let count x b = match M.find_opt x b with None -> 0 | Some n -> n
+
+  let add x b = M.add x (count x b + 1) b
+
+  let singleton x = add x empty
+
+  let remove_opt x b =
+    match M.find_opt x b with
+    | None -> None
+    | Some 1 -> Some (M.remove x b)
+    | Some n -> Some (M.add x (n - 1) b)
+
+  let remove x b =
+    match remove_opt x b with None -> raise Not_found | Some b -> b
+
+  let mem x b = M.mem x b
+
+  let cardinal b = M.fold (fun _ n acc -> acc + n) b 0
+
+  let distinct b = M.cardinal b
+
+  let union a b = M.union (fun _ n m -> Some (n + m)) a b
+
+  let fold f b acc =
+    M.fold
+      (fun x n acc ->
+        let rec go i acc = if i = 0 then acc else go (i - 1) (f x acc) in
+        go n acc)
+      b acc
+
+  let iter f b = fold (fun x () -> f x) b ()
+
+  let to_list b = List.rev (fold (fun x acc -> x :: acc) b [])
+
+  let of_list xs = List.fold_left (fun b x -> add x b) empty xs
+
+  let exists p b = M.exists (fun x _ -> p x) b
+
+  let for_all p b = M.for_all (fun x _ -> p x) b
+
+  let filter p b = M.filter (fun x _ -> p x) b
+
+  let choose b = Option.map fst (M.min_binding_opt b)
+
+  let equal a b = M.equal Int.equal a b
+
+  let compare a b = M.compare Int.compare a b
+
+  let pp pp_elt ppf b =
+    Fmt.pf ppf "{%a}" Fmt.(list ~sep:(any ";@ ") pp_elt) (to_list b)
+end

@@ -1,0 +1,74 @@
+(** Finite multisets (bags) with deterministic iteration order.
+
+    The distributed-GC specification represents communication channels as
+    bags of messages: unordered, reliable, no implicit duplication, but a
+    given message value may legitimately occur several times (e.g. two
+    [clean] retries in the fault-tolerant machine).  This module provides a
+    purely functional multiset keyed by a total order, so that machine
+    configurations built from bags can be compared structurally by the
+    model checker. *)
+
+module type ORDERED = sig
+  type t
+
+  val compare : t -> t -> int
+end
+
+module Make (Elt : ORDERED) : sig
+  type elt = Elt.t
+
+  type t
+
+  val empty : t
+
+  val is_empty : t -> bool
+
+  val singleton : elt -> t
+
+  (** [add x b] increments the multiplicity of [x]. *)
+  val add : elt -> t -> t
+
+  (** [remove x b] decrements the multiplicity of [x]; raises [Not_found]
+      if [x] is not in [b]. *)
+  val remove : elt -> t -> t
+
+  (** [remove_opt x b] is [Some (remove x b)] or [None] if absent. *)
+  val remove_opt : elt -> t -> t option
+
+  val mem : elt -> t -> bool
+
+  (** Multiplicity of an element (0 if absent). *)
+  val count : elt -> t -> int
+
+  (** Total number of elements, counting multiplicity. *)
+  val cardinal : t -> int
+
+  (** Number of distinct elements. *)
+  val distinct : t -> int
+
+  val union : t -> t -> t
+
+  val of_list : elt list -> t
+
+  (** Elements in increasing order, repeated per multiplicity. *)
+  val to_list : t -> elt list
+
+  val fold : (elt -> 'a -> 'a) -> t -> 'a -> 'a
+
+  val iter : (elt -> unit) -> t -> unit
+
+  val exists : (elt -> bool) -> t -> bool
+
+  val for_all : (elt -> bool) -> t -> bool
+
+  val filter : (elt -> bool) -> t -> t
+
+  (** [choose b] is the smallest element, or [None] on the empty bag. *)
+  val choose : t -> elt option
+
+  val equal : t -> t -> bool
+
+  val compare : t -> t -> int
+
+  val pp : elt Fmt.t -> t Fmt.t
+end

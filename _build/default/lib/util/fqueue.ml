@@ -1,0 +1,39 @@
+(* Classic Okasaki two-list queue: [front] holds the head in order, [back]
+   holds the tail reversed.  Invariant: if [front] is empty, so is [back]. *)
+type 'a t = { front : 'a list; back : 'a list }
+
+let empty = { front = []; back = [] }
+
+let is_empty q = q.front = []
+
+let norm = function
+  | { front = []; back } -> { front = List.rev back; back = [] }
+  | q -> q
+
+let push x q = norm { q with back = x :: q.back }
+
+let pop q =
+  match q.front with
+  | [] -> None
+  | x :: front -> Some (x, norm { q with front })
+
+let peek q = match q.front with [] -> None | x :: _ -> Some x
+
+let length q = List.length q.front + List.length q.back
+
+let to_list q = q.front @ List.rev q.back
+
+let of_list xs = { front = xs; back = [] }
+
+let fold f q acc = List.fold_left (fun acc x -> f x acc) acc (to_list q)
+
+let exists p q = List.exists p q.front || List.exists p q.back
+
+let remove_all p q = of_list (List.filter (fun x -> not (p x)) (to_list q))
+
+let equal eq a b = List.equal eq (to_list a) (to_list b)
+
+let compare cmp a b = List.compare cmp (to_list a) (to_list b)
+
+let pp pp_elt ppf q =
+  Fmt.pf ppf "[%a]" Fmt.(list ~sep:(any ";@ ") pp_elt) (to_list q)

@@ -1,0 +1,38 @@
+(** Purely functional FIFO queues (amortised O(1) push/pop).
+
+    Used for FIFO channel semantics in the simulated network and for the
+    merged dirty/clean call queue of the FIFO variant of the collector,
+    where configurations must remain immutable for the model checker. *)
+
+type 'a t
+
+val empty : 'a t
+
+val is_empty : 'a t -> bool
+
+val push : 'a -> 'a t -> 'a t
+
+(** [pop q] is [Some (front, rest)] or [None] on the empty queue. *)
+val pop : 'a t -> ('a * 'a t) option
+
+val peek : 'a t -> 'a option
+
+val length : 'a t -> int
+
+val of_list : 'a list -> 'a t
+
+(** Front-to-back order. *)
+val to_list : 'a t -> 'a list
+
+val fold : ('a -> 'acc -> 'acc) -> 'a t -> 'acc -> 'acc
+
+val exists : ('a -> bool) -> 'a t -> bool
+
+(** Remove all elements satisfying the predicate, preserving order. *)
+val remove_all : ('a -> bool) -> 'a t -> 'a t
+
+val equal : ('a -> 'a -> bool) -> 'a t -> 'a t -> bool
+
+val compare : ('a -> 'a -> int) -> 'a t -> 'a t -> int
+
+val pp : 'a Fmt.t -> 'a t Fmt.t

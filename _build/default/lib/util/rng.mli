@@ -1,0 +1,33 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    Every randomised component of the system — adversarial message
+    scheduling, workload generation, fault injection — draws from one of
+    these generators so that a run is reproducible from its seed alone. *)
+
+type t
+
+val create : int64 -> t
+
+(** Independent generator derived from [t]'s stream; advancing one does not
+    perturb the other. *)
+val split : t -> t
+
+(** Raw 64-bit output. *)
+val next_int64 : t -> int64
+
+(** [int t bound] is uniform in [\[0, bound)]. Requires [bound > 0]. *)
+val int : t -> int -> int
+
+(** Uniform in [\[0, 1)]. *)
+val float : t -> float
+
+val bool : t -> bool
+
+(** Bernoulli draw with probability [p] of [true]. *)
+val chance : t -> float -> bool
+
+(** Uniform choice from a non-empty list. Raises [Invalid_argument] on []. *)
+val pick : t -> 'a list -> 'a
+
+(** In-place Fisher-Yates shuffle. *)
+val shuffle : t -> 'a array -> unit

@@ -1,0 +1,1 @@
+test/test_algos.ml: Alcotest Algo Birrell_view Fifo_view Fmt Inc_dec Indirect Int64 Invariants Lermen_maurer List Mancini Naive Netobj_dgc Ssp Weighted Workload

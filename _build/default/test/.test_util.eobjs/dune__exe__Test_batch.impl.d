@@ -1,0 +1,1 @@
+test/test_batch.ml: Alcotest Lazy List Netobj_core Netobj_net Netobj_pickle Netobj_sched Option Printexc Printf

@@ -1,0 +1,1 @@
+test/test_cycles.ml: Alcotest Lazy List Netobj_core Netobj_pickle Netobj_sched Printexc Printf

@@ -1,0 +1,1 @@
+test/test_explore.ml: Alcotest Explore Fmt Int64 Invariants List Machine Netobj_dgc Netobj_util QCheck QCheck_alcotest Types

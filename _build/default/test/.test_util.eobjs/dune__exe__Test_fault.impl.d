@@ -1,0 +1,1 @@
+test/test_fault.ml: Alcotest Algo Fault Hashtbl Int64 List Netobj_dgc Printf Workload

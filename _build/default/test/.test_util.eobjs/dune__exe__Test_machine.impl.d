@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Explore Fmt Hashtbl Int64 Invariants List Machine Netobj_dgc Netobj_util Types

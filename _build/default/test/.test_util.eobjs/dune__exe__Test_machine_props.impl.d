@@ -1,0 +1,1 @@
+test/test_machine_props.ml: Alcotest Explore Fmt Int64 Invariants List Machine Netobj_dgc Netobj_util Printf QCheck QCheck_alcotest Termination Types

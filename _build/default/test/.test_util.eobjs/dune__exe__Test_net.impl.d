@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest List Netobj_net Netobj_sched

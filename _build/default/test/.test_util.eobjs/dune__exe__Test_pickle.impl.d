@@ -1,0 +1,1 @@
+test/test_pickle.ml: Alcotest Bytes Float Int64 List Netobj_pickle QCheck QCheck_alcotest String Test

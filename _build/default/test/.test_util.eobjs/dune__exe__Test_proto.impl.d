@@ -1,0 +1,1 @@
+test/test_proto.ml: Alcotest Fmt List Netobj_core Netobj_pickle QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Lazy Netobj_core Netobj_pickle Netobj_sched Printexc

@@ -1,0 +1,1 @@
+test/test_runtime2.ml: Alcotest Netobj_core Netobj_net Netobj_pickle Netobj_sched Printexc

@@ -1,0 +1,1 @@
+test/test_stress.ml: Alcotest Array Int64 Lazy Netobj_core Netobj_pickle Netobj_sched Netobj_util Printexc Printf String

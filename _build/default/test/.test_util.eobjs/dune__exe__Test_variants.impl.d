@@ -1,0 +1,1 @@
+test/test_variants.ml: Alcotest Fifo_machine Fmt Int64 Invariants List Netobj_dgc Netobj_util Owner_opt Printf Queue Set Types Workload

@@ -1,0 +1,4 @@
+  $ netobj_sim check -p 2 -b 2
+  $ netobj_sim fifo -p 2 -b 2
+  $ netobj_sim run -a naive-count -w figure1 -n 100
+  $ netobj_sim run -a birrell -w figure1 -n 100

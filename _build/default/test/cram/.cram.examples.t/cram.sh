@@ -1,0 +1,5 @@
+  $ quickstart
+  $ termination
+  $ cycles
+  $ chatroom
+  $ workqueue

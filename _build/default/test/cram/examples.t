@@ -1,0 +1,69 @@
+The quickstart's full story: RPC, dirty set, cleanup, reclamation.
+
+  $ quickstart
+  [bank]   account 'alice' created with balance 100
+  [client] imported 'alice' as a surrogate
+  [client] deposit 42 -> balance 142
+  [client] withdraw 1000 -> rejected: insufficient funds
+  [client] withdraw 100 -> balance 42
+  [client] final balance: 42
+  [bank]   dirty set while client holds the account: [1]
+  [bank]   dirty set after client released + GC: []
+  [bank]   account object reclaimed once unreferenced: true
+  [stats]  client dirty calls: 2, clean calls: 2
+
+Termination detection through the dirty tables:
+
+  $ termination
+  Distributed termination detection on the Birrell machine
+  coordinator = process 0; workers = processes 1..4
+  
+  step 0 | detector believes active: [] | verdict: TERMINATED
+  step 1 | detector believes active: [1; 2] | verdict: running
+  step 2 | detector believes active: [2; 3] | verdict: running
+  step 3 | detector believes active: [4] | verdict: running
+  step 4 | detector believes active: [] | verdict: TERMINATED
+  
+  The dirty tables drained exactly when the last worker stopped:
+  safety = no early announcement, liveness = eventual detection.
+
+Distributed cycles leak under listing, die under the tracing pass:
+
+  $ cycles
+  cycle built: A.peer -> B, B.peer -> A
+  dirty set of A's node: [1]; of B's node: [0]
+  
+  after 5 rounds of local+distributed GC:
+    A's node resident: true, B's node resident: true  (the leak)
+  
+  global tracing collection reclaimed 2 objects:
+    A's node resident: false, B's node resident: false
+  
+  reference listing is timely but incomplete; the tracing pass is
+  complete but global — hence the paper's hybrid design.
+
+Bidirectional references: clients own the listener objects.
+
+  $ chatroom
+  [room]   bob joined (1 members)
+  [room]   ana joined (2 members)
+  [bob]  my hello reached 0 listener(s)
+  [ana]  my hello reached 1 listener(s)
+  [logs]   ana: []
+  [logs]   bob: [bob heard ana: hello from ana]
+  [room]   surrogates at room: 2
+  [room]   ana left (1 members)
+  [gc]     room surrogates after ana left + GC: 1
+  [gc]     objects reclaimed at ana's space: 1
+
+Master/worker churn: tasks are minted, completed and reclaimed.
+
+  $ workqueue
+  [worker 1] finished after 4 task(s)
+  [worker 3] finished after 4 task(s)
+  [worker 2] finished after 4 task(s)
+  [master] all 12 results correct: true
+  [master] task objects still resident after GC: 0 of 12
+  [master] reclaimed in total at master: 12
+  [stats]  master: copy_acks=0; evictions=0
+  [stats]  dirty calls=18 clean calls=18 across all spaces

@@ -1,0 +1,263 @@
+(* Cross-algorithm harness tests: the naive race (Figure 1), safety and
+   liveness of every sound algorithm in the family under adversarial
+   schedules, IRC zombie behaviour, and message-count sanity. *)
+
+open Netobj_dgc
+
+let safe_algorithms =
+  [
+    ("birrell", fun ~procs ~seed -> Birrell_view.create ~procs ~seed);
+    ("lermen-maurer", fun ~procs ~seed -> Lermen_maurer.create ~procs ~seed);
+    ("weighted", fun ~procs ~seed -> Weighted.create ~procs ~seed ());
+    ("indirect", fun ~procs ~seed -> Indirect.create ~procs ~seed);
+    ("inc-dec", fun ~procs ~seed -> Inc_dec.create ~procs ~seed);
+    ("ssp", fun ~procs ~seed -> Ssp.create ~procs ~seed);
+    ("birrell-fifo", fun ~procs ~seed -> Fifo_view.create ~procs ~seed);
+    ("mancini", fun ~procs ~seed -> Mancini.create ~procs ~seed);
+  ]
+
+let workloads procs =
+  [
+    ("figure1", Workload.figure1);
+    ("chain", Workload.chain ~procs);
+    ("fanout", Workload.fanout ~procs);
+    ("pingpong", Workload.pingpong ~rounds:6);
+  ]
+
+(* Figure 1 / §2.2: naive counting and listing must exhibit the race for
+   some schedule; the workload driver tries to collect after every step,
+   so it is enough that some seed interleaves dec before inc. *)
+let test_naive_race mode name () =
+  let violated = ref 0 in
+  for seed = 1 to 200 do
+    let v = Naive.create ~mode ~procs:3 ~seed:(Int64.of_int seed) in
+    let o = Workload.run v Workload.figure1 in
+    if o.Workload.premature_at <> None then incr violated
+  done;
+  if !violated = 0 then
+    Alcotest.failf "%s never collected prematurely in 200 schedules" name;
+  (* It must not happen on *every* schedule either — the race is a race. *)
+  if !violated = 200 then
+    Alcotest.failf "%s always failed: that is a bug, not a race" name
+
+(* Every sound algorithm: no premature collection and no leak, across
+   workloads and seeds. *)
+let test_safe name make () =
+  List.iter
+    (fun (wname, ops) ->
+      for seed = 1 to 50 do
+        let v = make ~procs:4 ~seed:(Int64.of_int seed) in
+        let o = Workload.run v ops in
+        (match o.Workload.premature_at with
+        | Some i ->
+            Alcotest.failf "%s/%s seed %d: premature collection at event %d"
+              name wname seed i
+        | None -> ());
+        if o.Workload.leaked then
+          Alcotest.failf "%s/%s seed %d: leak (not collected at end)" name
+            wname seed
+      done)
+    (workloads 4)
+
+let test_safe_churn name make () =
+  for seed = 1 to 25 do
+    let ops = Workload.churn ~procs:5 ~events:80 ~seed:(Int64.of_int (seed * 7)) in
+    let v = make ~procs:5 ~seed:(Int64.of_int seed) in
+    let o = Workload.run v ops in
+    if o.Workload.premature_at <> None then
+      Alcotest.failf "%s churn seed %d: premature" name seed;
+    if o.Workload.leaked then Alcotest.failf "%s churn seed %d: leak" name seed
+  done
+
+(* Birrell's view is the abstract machine: run churn while checking every
+   formal invariant on the live configuration. *)
+let test_birrell_invariants_under_churn () =
+  for seed = 1 to 10 do
+    let v, check = Birrell_view.create_checked ~procs:4 ~seed:(Int64.of_int seed) in
+    let ops = Workload.churn ~procs:4 ~events:60 ~seed:(Int64.of_int (seed * 13)) in
+    let outcome = Workload.run v ops in
+    (match check () with
+    | [] -> ()
+    | vs ->
+        Alcotest.failf "seed %d: invariant violations: %a" seed
+          Fmt.(list Invariants.pp_violation)
+          vs);
+    if outcome.Workload.premature_at <> None then
+      Alcotest.failf "seed %d: premature" seed
+  done
+
+(* IRC grows zombies on chain workloads: an intermediate node that
+   dropped its instance must persist while its child subtree lives. *)
+let test_irc_zombies () =
+  let seen_zombie = ref false in
+  for seed = 1 to 20 do
+    let v = Indirect.create ~procs:6 ~seed:(Int64.of_int seed) in
+    let o = Workload.run v (Workload.chain ~procs:6) in
+    if o.Workload.max_zombies > 0 then seen_zombie := true;
+    (* Zombies must not prevent final collection. *)
+    if o.Workload.leaked then Alcotest.failf "irc leak at seed %d" seed
+  done;
+  Alcotest.(check bool) "irc produced zombies on chains" true !seen_zombie
+
+(* No algorithm without a diffusion structure reports zombies (IRC has
+   persistent ones; SSP has transient ones while short-cuts complete). *)
+let test_no_zombies_elsewhere () =
+  List.iter
+    (fun (name, make) ->
+      if name <> "indirect" && name <> "ssp" then begin
+        let v = make ~procs:5 ~seed:3L in
+        let o = Workload.run v (Workload.chain ~procs:5) in
+        Alcotest.(check int) (name ^ " zombie-free") 0 o.Workload.max_zombies
+      end)
+    safe_algorithms
+
+(* SSP short-cutting: zombies are transient — by quiescence every
+   intermediate host has been released, unlike IRC where the chain
+   persists while the tail lives. *)
+let test_ssp_shortcut_transience () =
+  for seed = 1 to 20 do
+    let v = Ssp.create ~procs:6 ~seed:(Int64.of_int seed) in
+    (* Hold the tail alive while the chain settles: after the short-cuts
+       complete, intermediate hosts must be zombie-free. *)
+    let ops =
+      [
+        Workload.Send (0, 1);
+        Workload.Steps 100;
+        Workload.Send (1, 2);
+        Workload.Steps 100;
+        Workload.Send (2, 3);
+        Workload.Steps 100;
+        Workload.Drop 1;
+        Workload.Drop 2;
+        Workload.Steps 400;
+      ]
+    in
+    let o = Workload.run v ops in
+    if o.Workload.premature_at <> None then
+      Alcotest.failf "ssp premature at seed %d" seed;
+    if o.Workload.leaked then Alcotest.failf "ssp leak at seed %d" seed;
+    (* The short-cut protocol must actually have run. *)
+    if seed = 1 then begin
+      let kinds = List.map fst o.Workload.control in
+      Alcotest.(check bool)
+        "short-cuts happened" true
+        (List.mem "locate" kinds && List.mem "relocated" kinds)
+    end
+  done
+
+(* Message-cost sanity on the canonical single copy+discard cycle:
+   Birrell uses dirty, dirty_ack, copy_ack, clean, clean_ack = 5 control
+   messages; inc-dec uses inc_dec, dec, dec_self = 3; weighted uses a
+   single dec. *)
+let cycle = [ Workload.Send (0, 1); Workload.Steps 100; Workload.Drop 1 ]
+
+let total name make =
+  let v = make ~procs:2 ~seed:11L in
+  let o = Workload.run v cycle in
+  if o.Workload.premature_at <> None || o.Workload.leaked then
+    Alcotest.failf "%s: cycle unsound" name;
+  o.Workload.total_control
+
+let test_message_costs () =
+  let get name =
+    total name (List.assoc name safe_algorithms)
+  in
+  Alcotest.(check int) "birrell cycle cost" 5 (get "birrell");
+  (* Owner-originated copy: the owner's release of itself is local, so
+     only inc_dec + dec_self cross the network. *)
+  Alcotest.(check int) "inc-dec cycle cost" 2 (get "inc-dec");
+  Alcotest.(check int) "weighted cycle cost" 1 (get "weighted");
+  Alcotest.(check int) "indirect cycle cost" 1 (get "indirect");
+  (* Lermen–Maurer: owner-send counts ack only; plus the deferred dec. *)
+  Alcotest.(check int) "lermen-maurer cycle cost" 2 (get "lermen-maurer")
+
+(* The weighted algorithm must survive weight exhaustion: with grant=2,
+   long chains exhaust weights and trigger more_weight/grant traffic. *)
+let test_weighted_exhaustion () =
+  for seed = 1 to 20 do
+    let v = Weighted.create ~grant:2 ~procs:4 ~seed:(Int64.of_int seed) () in
+    let ops =
+      [
+        Workload.Send (0, 1);
+        Workload.Steps 50;
+        (* weight 2 at p1 -> splits to 1; further sends need grants *)
+        Workload.Send (1, 2);
+        Workload.Send (1, 3);
+        Workload.Send (1, 2);
+        Workload.Steps 200;
+      ]
+    in
+    let o = Workload.run v ops in
+    if o.Workload.premature_at <> None then
+      Alcotest.failf "weighted exhaustion premature at seed %d" seed;
+    if o.Workload.leaked then
+      Alcotest.failf "weighted exhaustion leak at seed %d" seed;
+    if seed = 1 then begin
+      let kinds = List.map fst o.Workload.control in
+      Alcotest.(check bool)
+        "grants happened" true
+        (List.mem "grant" kinds && List.mem "more_weight" kinds)
+    end
+  done
+
+(* Mancini-Shrivastava's distinctive cost: the copy does not travel until
+   the owner acknowledged the notification — a send stall the other
+   algorithms do not have. *)
+let test_mancini_send_stall () =
+  let v, pending = Mancini.create_instrumented ~procs:3 ~seed:5L in
+  v.Algo.send ~src:0 ~dst:1;
+  (* drive until p1 holds *)
+  let budget = ref 1000 in
+  while (not (v.Algo.holds 1)) && !budget > 0 && v.Algo.step () do
+    decr budget
+  done;
+  (* p1 forwards: the send stalls until the notify round-trip is done *)
+  v.Algo.send ~src:1 ~dst:2;
+  Alcotest.(check int) "send is stalled awaiting the owner" 1 (pending ());
+  Alcotest.(check bool) "copy not delivered yet" false (v.Algo.holds 2);
+  let budget = ref 1000 in
+  while v.Algo.step () && !budget > 0 do
+    decr budget
+  done;
+  Alcotest.(check int) "stall resolved" 0 (pending ());
+  Alcotest.(check bool) "copy delivered" true (v.Algo.holds 2)
+
+let safety_tests =
+  List.map
+    (fun (name, make) ->
+      Alcotest.test_case (name ^ " safe on workloads") `Quick
+        (test_safe name make))
+    safe_algorithms
+  @ List.map
+      (fun (name, make) ->
+        Alcotest.test_case (name ^ " safe on churn") `Quick
+          (test_safe_churn name make))
+      safe_algorithms
+
+let () =
+  Alcotest.run "algos"
+    [
+      ( "naive",
+        [
+          Alcotest.test_case "counting race" `Quick
+            (test_naive_race Naive.Counting "naive-count");
+          Alcotest.test_case "listing race" `Quick
+            (test_naive_race Naive.Listing "naive-list");
+        ] );
+      ("safety", safety_tests);
+      ( "behaviour",
+        [
+          Alcotest.test_case "birrell invariants under churn" `Quick
+            test_birrell_invariants_under_churn;
+          Alcotest.test_case "irc zombies" `Quick test_irc_zombies;
+          Alcotest.test_case "others zombie-free" `Quick
+            test_no_zombies_elsewhere;
+          Alcotest.test_case "ssp shortcut transience" `Quick
+            test_ssp_shortcut_transience;
+          Alcotest.test_case "mancini send stall" `Quick
+            test_mancini_send_stall;
+          Alcotest.test_case "message costs" `Quick test_message_costs;
+          Alcotest.test_case "weighted exhaustion" `Quick
+            test_weighted_exhaustion;
+        ] );
+    ]

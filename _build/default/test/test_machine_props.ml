@@ -1,0 +1,265 @@
+(* Property-based tests of the abstract machine: totality of guards and
+   application, order laws for configuration comparison, drain
+   determinism, and multi-reference / multi-owner worlds (most other
+   suites use a single reference; here several references with different
+   owners run their protocols concurrently through shared channels). *)
+
+open Netobj_dgc
+module M = Machine
+module T = Types
+module Rng = Netobj_util.Rng
+
+let refs2 : T.rref list =
+  [ { T.owner = 0; index = 0 }; { T.owner = 1; index = 0 } ]
+
+let refs3 : T.rref list =
+  [
+    { T.owner = 0; index = 0 };
+    { T.owner = 0; index = 1 };
+    { T.owner = 2; index = 0 };
+  ]
+
+(* Produce a pseudo-random reachable configuration (and its trace). *)
+let random_config ~procs ~refs ~seed ~steps =
+  let rng = Rng.create seed in
+  let c = ref (M.init ~procs ~refs) in
+  let spent = ref 0 in
+  for _ = 1 to steps do
+    let env =
+      List.filter
+        (fun t -> match t with M.Make_copy _ -> !spent < 10 | _ -> true)
+        (M.enabled_environment !c)
+    in
+    match M.enabled_protocol !c @ env with
+    | [] -> ()
+    | all ->
+        let t = Rng.pick rng all in
+        (match t with M.Make_copy _ -> incr spent | _ -> ());
+        c := M.apply !c t
+  done;
+  !c
+
+let seed_gen = QCheck.map Int64.of_int QCheck.small_int
+
+(* Every enumerated transition has a true guard and applies cleanly. *)
+let prop_enabled_applicable =
+  QCheck.Test.make ~name:"enabled transitions are applicable" ~count:60
+    seed_gen (fun seed ->
+      let c = random_config ~procs:3 ~refs:refs2 ~seed ~steps:60 in
+      List.for_all
+        (fun t ->
+          M.guard c t
+          &&
+          match M.step c t with
+          | Some _ -> true
+          | None -> false)
+        (M.enabled_protocol c @ M.enabled_environment c))
+
+(* compare_config is reflexive and consistent with equal_config; applying
+   a transition yields a strictly different configuration. *)
+let prop_compare_laws =
+  QCheck.Test.make ~name:"configuration order laws" ~count:60 seed_gen
+    (fun seed ->
+      let c = random_config ~procs:3 ~refs:refs2 ~seed ~steps:50 in
+      let c2 = random_config ~procs:3 ~refs:refs2 ~seed ~steps:50 in
+      (* determinism: same seed, same config *)
+      M.compare_config c c2 = 0
+      && M.equal_config c c2
+      &&
+      match M.enabled_protocol c with
+      | [] -> true
+      | t :: _ ->
+          let c' = M.apply c t in
+          M.compare_config c c' <> 0
+          && M.compare_config c c' = -M.compare_config c' c)
+
+(* Draining is deterministic and idempotent. *)
+let prop_drain_idempotent =
+  QCheck.Test.make ~name:"drain is idempotent" ~count:40 seed_gen (fun seed ->
+      let c = random_config ~procs:3 ~refs:refs2 ~seed ~steps:60 in
+      let c1, _ = Explore.drain ~include_finalize:false c in
+      let c2, n = Explore.drain ~include_finalize:false c1 in
+      n = 0 && M.equal_config c1 c2)
+
+(* Invariants hold on multi-reference, multi-owner random walks. *)
+let prop_invariants_multiref =
+  QCheck.Test.make ~name:"invariants hold with 3 refs, 2 owners" ~count:30
+    seed_gen (fun seed ->
+      let res =
+        Explore.random_walk ~seed ~steps:300 ~copy_budget:12
+          (M.init ~procs:3 ~refs:refs3)
+      in
+      res.Explore.walk_violation = None)
+
+(* The measure never goes negative and protocol transitions decrease it,
+   on multi-ref worlds too. *)
+let prop_measure_multiref =
+  QCheck.Test.make ~name:"measure decreases (multi-ref)" ~count:30 seed_gen
+    (fun seed ->
+      let rng = Rng.create seed in
+      let c = ref (M.init ~procs:3 ~refs:refs2) in
+      let spent = ref 0 in
+      let ok = ref true in
+      for _ = 1 to 200 do
+        let env =
+          List.filter
+            (fun t -> match t with M.Make_copy _ -> !spent < 8 | _ -> true)
+            (M.enabled_environment !c)
+        in
+        match M.enabled_protocol !c @ env with
+        | [] -> ()
+        | all ->
+            let t = Rng.pick rng all in
+            (match t with M.Make_copy _ -> incr spent | _ -> ());
+            if Invariants.measure_decreases !c t <> [] then ok := false;
+            if Invariants.termination_measure !c < 0 then ok := false;
+            c := M.apply !c t
+      done;
+      !ok)
+
+(* Exhaustive BFS on a two-reference world: the protocols of independent
+   references must not interfere. *)
+let test_bfs_two_refs () =
+  let c = M.init ~procs:2 ~refs:refs2 in
+  let c = M.apply c (M.Allocate (0, List.nth refs2 0)) in
+  let c = M.apply c (M.Allocate (1, List.nth refs2 1)) in
+  let r = Explore.bfs ~copy_budget:2 c in
+  (match r.Explore.violation with
+  | None -> ()
+  | Some v ->
+      Alcotest.failf "%a"
+        Fmt.(list Invariants.pp_violation)
+        v.Explore.violations);
+  Alcotest.(check bool) "states explored" true (r.Explore.states > 500)
+
+(* Safety holds for each reference independently under teardown. *)
+let test_multiref_teardown () =
+  for seed = 1 to 20 do
+    let res =
+      Explore.random_walk
+        ~check:(fun _ -> [])
+        ~seed:(Int64.of_int seed) ~steps:150 ~copy_budget:10
+        (M.init ~procs:3 ~refs:refs3)
+    in
+    let c = ref res.Explore.final in
+    (* drop all client roots for every ref, iterating to fixed point *)
+    for _ = 1 to 8 do
+      List.iter
+        (fun r ->
+          List.iter
+            (fun p ->
+              if p <> r.T.owner && M.rooted !c p r then
+                c := M.apply !c (M.Drop_root (p, r)))
+            (M.procs !c))
+        refs3;
+      let c', _ = Explore.drain ~include_finalize:true !c in
+      c := c'
+    done;
+    List.iter
+      (fun r ->
+        if M.is_allocated !c r then begin
+          if not (M.Pset.is_empty (M.pdirty !c r.T.owner r)) then
+            Alcotest.failf "seed %d: %a pdirty not drained" seed T.pp_rref r;
+          if not (M.Td.is_empty (M.tdirty !c r.T.owner r)) then
+            Alcotest.failf "seed %d: %a tdirty not drained" seed T.pp_rref r
+        end)
+      refs3;
+    match Invariants.check_all !c with
+    | [] -> ()
+    | vs ->
+        Alcotest.failf "seed %d: %a" seed Fmt.(list Invariants.pp_violation) vs
+  done
+
+(* --- the termination-detection reuse (paper §9) -------------------------- *)
+
+let test_termination_basic () =
+  let t = Termination.create ~workers:3 in
+  Alcotest.(check bool) "initially detected (no remote work)" true
+    (Termination.detected t);
+  Termination.activate t ~by:0 ~worker:1;
+  Termination.activate t ~by:0 ~worker:2;
+  Alcotest.(check bool) "running" false (Termination.detected t);
+  Alcotest.(check (list int)) "believed" [ 1; 2 ] (Termination.believed_active t);
+  (* worker 1 delegates to 3, then finishes *)
+  Termination.activate t ~by:1 ~worker:3;
+  Termination.finish t 1;
+  Alcotest.(check bool) "still running" false (Termination.detected t);
+  Alcotest.(check (list int)) "believed" [ 2; 3 ] (Termination.believed_active t);
+  Termination.finish t 2;
+  Termination.finish t 3;
+  Alcotest.(check bool) "terminated" true (Termination.detected t);
+  Alcotest.(check (list int)) "nobody believed active" []
+    (Termination.believed_active t)
+
+(* Safety and liveness of detection over random activity patterns. *)
+let test_termination_random () =
+  for seed = 1 to 25 do
+    let rng = Rng.create (Int64.of_int seed) in
+    let workers = 4 in
+    let t = Termination.create ~workers in
+    let live = ref [ 0 ] in
+    for _ = 1 to 30 do
+      match Rng.int rng 3 with
+      | 0 | 1 ->
+          (* someone active activates a random worker *)
+          let by = Rng.pick rng !live in
+          let w = 1 + Rng.int rng workers in
+          if by <> w && Termination.active t by then begin
+            Termination.activate t ~by ~worker:w;
+            if not (List.mem w !live) then live := w :: !live
+          end
+      | _ -> (
+          (* a random live worker finishes *)
+          match List.filter (fun p -> p <> 0) !live with
+          | [] -> ()
+          | ws ->
+              let w = Rng.pick rng ws in
+              Termination.finish t w;
+              live := List.filter (fun p -> p <> w) !live)
+    done;
+    (* safety: while any worker is active, not detected *)
+    if List.exists (fun p -> p <> 0) !live then
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: no early detection" seed)
+        false (Termination.detected t);
+    (* liveness: finish everyone, detection follows *)
+    List.iter (fun p -> if p <> 0 then Termination.finish t p) !live;
+    Termination.settle t;
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d: eventual detection" seed)
+      true (Termination.detected t)
+  done
+
+(* BFS truncation is reported, not silent. *)
+let test_bfs_truncation () =
+  let c =
+    M.apply (M.init ~procs:3 ~refs:[ { T.owner = 0; index = 0 } ])
+      (M.Allocate (0, { T.owner = 0; index = 0 }))
+  in
+  let r = Explore.bfs ~max_states:50 ~copy_budget:3 c in
+  Alcotest.(check bool) "truncated flagged" true r.Explore.truncated
+
+let () =
+  Alcotest.run "machine-props"
+    [
+      ( "props",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_enabled_applicable;
+            prop_compare_laws;
+            prop_drain_idempotent;
+            prop_invariants_multiref;
+            prop_measure_multiref;
+          ] );
+      ( "multiref",
+        [
+          Alcotest.test_case "bfs two refs" `Quick test_bfs_two_refs;
+          Alcotest.test_case "teardown" `Quick test_multiref_teardown;
+          Alcotest.test_case "bfs truncation" `Quick test_bfs_truncation;
+        ] );
+      ( "termination",
+        [
+          Alcotest.test_case "basic" `Quick test_termination_basic;
+          Alcotest.test_case "random patterns" `Quick test_termination_random;
+        ] );
+    ]

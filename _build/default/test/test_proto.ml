@@ -1,0 +1,146 @@
+(* Tests for the runtime wire protocol: envelope codec roundtrips
+   (hand-picked and property-based) and wireRep utilities. *)
+
+module Proto = Netobj_core.Proto
+module Wirerep = Netobj_core.Wirerep
+module P = Netobj_pickle.Pickle
+
+let roundtrip env = P.decode Proto.codec (P.encode Proto.codec env)
+
+let check_env msg env =
+  let env' = roundtrip env in
+  if
+    String.length (P.encode Proto.codec env)
+    <> String.length (P.encode Proto.codec env')
+    || Fmt.str "%a" Proto.pp env <> Fmt.str "%a" Proto.pp env'
+  then Alcotest.failf "%s: envelope mangled" msg
+
+let wr = Wirerep.v ~space:3 ~index:17
+
+let mid : Proto.msg_id = { origin = 2; seq = 99 }
+
+let test_envelopes () =
+  check_env "call"
+    (Proto.Call
+       { call_id = 7; msg_id = mid; needs_ack = true; target = wr; meth = "incr"; args = "\x00\xffpayload" });
+  check_env "reply ok"
+    (Proto.Reply { call_id = 7; msg_id = mid; needs_ack = true; ack = Some mid; result = Ok "result-bytes" });
+  check_env "reply error"
+    (Proto.Reply { call_id = 7; msg_id = mid; needs_ack = false; ack = None; result = Error "boom" });
+  check_env "copy_ack" (Proto.Copy_ack { msg_id = mid });
+  check_env "dirty" (Proto.Dirty { wr; seq = 12 });
+  check_env "dirty_ack" (Proto.Dirty_ack { wr; ok = false });
+  check_env "clean" (Proto.Clean { wr; seq = 13; strong = true });
+  check_env "clean_ack" (Proto.Clean_ack { wr });
+  check_env "ping" (Proto.Ping { nonce = 5 });
+  check_env "ping_ack" (Proto.Ping_ack { nonce = 5 })
+
+let test_kinds_distinct () =
+  let envs =
+    [
+      Proto.Call { call_id = 0; msg_id = mid; needs_ack = false; target = wr; meth = "m"; args = "" };
+      Proto.Reply { call_id = 0; msg_id = mid; needs_ack = false; ack = None; result = Ok "" };
+      Proto.Copy_ack { msg_id = mid };
+      Proto.Dirty { wr; seq = 0 };
+      Proto.Dirty_ack { wr; ok = true };
+      Proto.Clean { wr; seq = 0; strong = false };
+      Proto.Clean_ack { wr };
+      Proto.Ping { nonce = 0 };
+      Proto.Ping_ack { nonce = 0 };
+    ]
+  in
+  let kinds = List.map Proto.kind envs in
+  Alcotest.(check int)
+    "kinds unique" (List.length kinds)
+    (List.length (List.sort_uniq String.compare kinds))
+
+let env_gen =
+  let open QCheck.Gen in
+  let wr_gen =
+    map2 (fun s i -> Wirerep.v ~space:s ~index:i) (int_bound 100) (int_bound 10000)
+  in
+  let mid_gen =
+    map2 (fun o s : Proto.msg_id -> { origin = o; seq = s }) (int_bound 50) nat
+  in
+  oneof
+    [
+      map
+        (fun (c, m, w, (n, a)) ->
+          Proto.Call
+            {
+              call_id = c;
+              msg_id = m;
+              needs_ack = c mod 2 = 0;
+              target = w;
+              meth = n;
+              args = a;
+            })
+        (tup4 nat mid_gen wr_gen (tup2 string_small string_small));
+      map
+        (fun (c, m, ack, r) ->
+          Proto.Reply
+            {
+              call_id = c;
+              msg_id = m;
+              needs_ack = c mod 2 = 1;
+              ack;
+              result = r;
+            })
+        (tup4 nat mid_gen
+           (option mid_gen)
+           (oneof
+              [
+                map (fun s -> Ok s) string_small;
+                map (fun s -> Error s) string_small;
+              ]));
+      map
+        (fun items -> Proto.Clean_batch { items })
+        (small_list (tup2 wr_gen nat));
+      map (fun wrs -> Proto.Clean_batch_ack { wrs }) (small_list wr_gen);
+      map (fun m -> Proto.Copy_ack { msg_id = m }) mid_gen;
+      map2 (fun w s -> Proto.Dirty { wr = w; seq = s }) wr_gen nat;
+      map2 (fun w b -> Proto.Dirty_ack { wr = w; ok = b }) wr_gen bool;
+      map3
+        (fun w s st -> Proto.Clean { wr = w; seq = s; strong = st })
+        wr_gen nat bool;
+      map (fun w -> Proto.Clean_ack { wr = w }) wr_gen;
+      map (fun n -> Proto.Ping { nonce = n }) nat;
+      map (fun n -> Proto.Ping_ack { nonce = n }) nat;
+    ]
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"envelope roundtrip" ~count:500
+    (QCheck.make env_gen) (fun env ->
+      let s = P.encode Proto.codec env in
+      let env' = P.decode Proto.codec s in
+      String.equal s (P.encode Proto.codec env'))
+
+let test_wirerep () =
+  let a = Wirerep.v ~space:1 ~index:2 in
+  let b = Wirerep.v ~space:1 ~index:2 in
+  let c = Wirerep.v ~space:2 ~index:1 in
+  Alcotest.(check bool) "equal" true (Wirerep.equal a b);
+  Alcotest.(check bool) "not equal" false (Wirerep.equal a c);
+  Alcotest.(check int) "compare refl" 0 (Wirerep.compare a b);
+  Alcotest.(check bool) "hash consistent" true (Wirerep.hash a = Wirerep.hash b);
+  let s = P.encode Wirerep.codec a in
+  Alcotest.(check bool) "codec roundtrip" true
+    (Wirerep.equal a (P.decode Wirerep.codec s));
+  (* Map/Set/Tbl sanity *)
+  let m = Wirerep.Map.(add a 1 (add c 2 empty)) in
+  Alcotest.(check (option int)) "map" (Some 1) (Wirerep.Map.find_opt b m);
+  let tbl = Wirerep.Tbl.create 4 in
+  Wirerep.Tbl.replace tbl a "x";
+  Alcotest.(check (option string)) "tbl" (Some "x") (Wirerep.Tbl.find_opt tbl b)
+
+let () =
+  Alcotest.run "proto"
+    [
+      ( "envelope",
+        [
+          Alcotest.test_case "roundtrips" `Quick test_envelopes;
+          Alcotest.test_case "kinds distinct" `Quick test_kinds_distinct;
+          QCheck_alcotest.to_alcotest prop_roundtrip;
+        ] );
+      ("wirerep", [ Alcotest.test_case "basics" `Quick test_wirerep ]);
+    ]

@@ -1,0 +1,161 @@
+(* Unit and property tests for the utility substrate: bags, functional
+   queues, and the deterministic RNG. *)
+
+module Ibag = Netobj_util.Bag.Make (Int)
+module Fqueue = Netobj_util.Fqueue
+module Rng = Netobj_util.Rng
+
+let test_bag_basics () =
+  let b = Ibag.of_list [ 3; 1; 2; 1 ] in
+  Alcotest.(check int) "cardinal" 4 (Ibag.cardinal b);
+  Alcotest.(check int) "distinct" 3 (Ibag.distinct b);
+  Alcotest.(check int) "count 1" 2 (Ibag.count 1 b);
+  Alcotest.(check (list int)) "sorted with multiplicity" [ 1; 1; 2; 3 ]
+    (Ibag.to_list b);
+  let b = Ibag.remove 1 b in
+  Alcotest.(check int) "count after remove" 1 (Ibag.count 1 b);
+  Alcotest.(check bool) "mem" true (Ibag.mem 1 b);
+  let b = Ibag.remove 1 b in
+  Alcotest.(check bool) "mem after both removed" false (Ibag.mem 1 b);
+  Alcotest.check_raises "remove absent raises" Not_found (fun () ->
+      ignore (Ibag.remove 42 b));
+  Alcotest.(check (option (list int)))
+    "remove_opt absent" None
+    (Option.map Ibag.to_list (Ibag.remove_opt 42 b))
+
+let test_bag_union () =
+  let a = Ibag.of_list [ 1; 2 ] and b = Ibag.of_list [ 2; 3 ] in
+  Alcotest.(check (list int)) "union" [ 1; 2; 2; 3 ]
+    (Ibag.to_list (Ibag.union a b))
+
+(* Bag laws as properties. *)
+let bag_props =
+  let open QCheck in
+  [
+    Test.make ~name:"bag add/remove roundtrip" ~count:200
+      (pair (small_list small_int) small_int)
+      (fun (xs, x) ->
+        let b = Ibag.of_list xs in
+        Ibag.equal b (Ibag.remove x (Ibag.add x b)));
+    Test.make ~name:"bag to_list preserves cardinal" ~count:200
+      (small_list small_int)
+      (fun xs ->
+        let b = Ibag.of_list xs in
+        List.length (Ibag.to_list b) = List.length xs);
+    Test.make ~name:"bag union commutes" ~count:200
+      (pair (small_list small_int) (small_list small_int))
+      (fun (xs, ys) ->
+        Ibag.equal
+          (Ibag.union (Ibag.of_list xs) (Ibag.of_list ys))
+          (Ibag.union (Ibag.of_list ys) (Ibag.of_list xs)));
+    Test.make ~name:"bag equal ignores insertion order" ~count:200
+      (small_list small_int)
+      (fun xs ->
+        Ibag.equal (Ibag.of_list xs) (Ibag.of_list (List.rev xs)));
+  ]
+
+let test_fqueue_fifo () =
+  let q = List.fold_left (fun q x -> Fqueue.push x q) Fqueue.empty [ 1; 2; 3 ] in
+  Alcotest.(check (list int)) "to_list order" [ 1; 2; 3 ] (Fqueue.to_list q);
+  (match Fqueue.pop q with
+  | Some (x, q') ->
+      Alcotest.(check int) "front" 1 x;
+      Alcotest.(check (list int)) "rest" [ 2; 3 ] (Fqueue.to_list q')
+  | None -> Alcotest.fail "pop of non-empty");
+  Alcotest.(check (option int)) "peek" (Some 1) (Fqueue.peek q);
+  Alcotest.(check int) "length" 3 (Fqueue.length q)
+
+let test_fqueue_remove_all () =
+  let q = Fqueue.of_list [ 1; 2; 3; 2; 4 ] in
+  Alcotest.(check (list int))
+    "remove evens" [ 1; 3 ]
+    (Fqueue.to_list (Fqueue.remove_all (fun x -> x mod 2 = 0) q))
+
+let fqueue_props =
+  let open QCheck in
+  [
+    Test.make ~name:"fqueue of_list/to_list identity" ~count:200
+      (small_list small_int)
+      (fun xs -> Fqueue.to_list (Fqueue.of_list xs) = xs);
+    Test.make ~name:"fqueue push/pop is FIFO" ~count:200
+      (small_list small_int)
+      (fun xs ->
+        let q = List.fold_left (fun q x -> Fqueue.push x q) Fqueue.empty xs in
+        let rec drain q acc =
+          match Fqueue.pop q with
+          | None -> List.rev acc
+          | Some (x, q') -> drain q' (x :: acc)
+        in
+        drain q [] = xs);
+  ]
+
+let test_rng_deterministic () =
+  let a = Rng.create 42L and b = Rng.create 42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next_int64 a) (Rng.next_int64 b)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create 7L in
+  let b = Rng.split a in
+  let x1 = Rng.next_int64 b in
+  (* Advancing [a] must not change what [b] produces next. *)
+  let a' = Rng.create 7L in
+  let b' = Rng.split a' in
+  ignore (Rng.next_int64 a');
+  Alcotest.(check int64) "split stream stable" x1 (Rng.next_int64 b');
+  ignore x1
+
+let test_rng_ranges () =
+  let r = Rng.create 1L in
+  for _ = 1 to 1000 do
+    let n = Rng.int r 10 in
+    if n < 0 || n >= 10 then Alcotest.fail "Rng.int out of range";
+    let f = Rng.float r in
+    if f < 0.0 || f >= 1.0 then Alcotest.fail "Rng.float out of range"
+  done
+
+let test_rng_shuffle_permutes () =
+  let r = Rng.create 99L in
+  let a = Array.init 50 Fun.id in
+  let b = Array.copy a in
+  Rng.shuffle r b;
+  let sb = Array.copy b in
+  Array.sort Int.compare sb;
+  Alcotest.(check (array int)) "same elements" a sb
+
+let test_rng_chance_extremes () =
+  let r = Rng.create 5L in
+  for _ = 1 to 100 do
+    if Rng.chance r 0.0 then Alcotest.fail "chance 0 fired";
+    if not (Rng.chance r 1.0) then Alcotest.fail "chance 1 missed"
+  done
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "bag",
+        [
+          Alcotest.test_case "basics" `Quick test_bag_basics;
+          Alcotest.test_case "union" `Quick test_bag_union;
+        ] );
+      qsuite "bag-props" bag_props;
+      ( "fqueue",
+        [
+          Alcotest.test_case "fifo" `Quick test_fqueue_fifo;
+          Alcotest.test_case "remove_all" `Quick test_fqueue_remove_all;
+        ] );
+      qsuite "fqueue-props" fqueue_props;
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "split independent" `Quick
+            test_rng_split_independent;
+          Alcotest.test_case "ranges" `Quick test_rng_ranges;
+          Alcotest.test_case "shuffle permutes" `Quick
+            test_rng_shuffle_permutes;
+          Alcotest.test_case "chance extremes" `Quick test_rng_chance_extremes;
+        ] );
+    ]

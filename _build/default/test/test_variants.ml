@@ -1,0 +1,381 @@
+(* Tests for the §5 variants: the FIFO-channel machine (no blocking, no
+   clean_ack, two states) and the owner optimisations (safe with ordered
+   channels, demonstrably racy without). *)
+
+open Netobj_dgc
+module F = Fifo_machine
+module T = Types
+
+let r0 : T.rref = { owner = 0; index = 0 }
+
+let alloc procs = F.apply (F.init ~procs ~refs:[ r0 ]) (F.Allocate (0, r0))
+
+let no_violations msg c =
+  match F.check c with
+  | [] -> ()
+  | vs -> Alcotest.failf "%s: %a" msg Fmt.(list Invariants.pp_violation) vs
+
+let drain c =
+  let rec go c n =
+    if n > 100_000 then Alcotest.fail "fifo drain: no quiescence";
+    match F.enabled_protocol c with
+    | [] -> c
+    | t :: _ -> go (F.apply c t) (n + 1)
+  in
+  go c 0
+
+let drain_with_finalize c =
+  let rec go c n =
+    if n > 100_000 then Alcotest.fail "fifo drain: no quiescence";
+    let ts =
+      F.enabled_protocol c
+      @ List.filter
+          (fun t -> match t with F.Finalize _ -> true | _ -> false)
+          (F.enabled_environment c)
+    in
+    match ts with [] -> c | t :: _ -> go (F.apply c t) (n + 1)
+  in
+  go c 0
+
+(* The §5.1 headline: a received reference is usable immediately — no
+   deserialisation blocking. *)
+let test_fifo_immediate_usability () =
+  let c = alloc 2 in
+  let c = F.apply c (F.Make_copy (0, 1, r0)) in
+  no_violations "copy in flight" c;
+  let c = F.apply c (F.Receive (0, 1)) in
+  Alcotest.(check bool) "usable on receipt" true (F.rec_state c 1 r0 = F.FOk);
+  Alcotest.(check bool) "rooted on receipt" true (F.rooted c 1 r0);
+  Alcotest.(check int) "dirty pending" 1 (F.dirty_pending c 1 r0);
+  no_violations "after receipt" c;
+  let c = drain c in
+  Alcotest.(check bool)
+    "registered after drain" true
+    (F.Pset.mem 1 (F.pdirty c 0 r0));
+  Alcotest.(check bool) "transient cleared" true (F.Td.is_empty (F.tdirty c 0 r0));
+  no_violations "drained" c
+
+let test_fifo_clean_cycle () =
+  let c = alloc 2 in
+  let c = F.apply c (F.Make_copy (0, 1, r0)) in
+  let c = drain c in
+  let c = F.apply c (F.Drop_root (1, r0)) in
+  let c = F.apply c (F.Finalize (1, r0)) in
+  Alcotest.(check bool) "state drops to ⊥ at finalize" true
+    (F.rec_state c 1 r0 = F.FBot);
+  let c = drain c in
+  Alcotest.(check bool) "dirty set empty" true (F.Pset.is_empty (F.pdirty c 0 r0));
+  no_violations "after cleanup" c;
+  let c = F.apply c (F.Drop_root (0, r0)) in
+  Alcotest.(check bool) "collectable" true (F.collectable c r0)
+
+(* Order preservation: clean then re-dirty through the shared call queue
+   never leaves the owner's table transiently wrong at quiescence. *)
+let test_fifo_resurrection () =
+  let c = alloc 2 in
+  let c = F.apply c (F.Make_copy (0, 1, r0)) in
+  let c = drain c in
+  let c = F.apply c (F.Drop_root (1, r0)) in
+  let c = F.apply c (F.Finalize (1, r0)) in
+  (* Clean is queued but not sent; a fresh copy arrives: the dirty call
+     is queued BEHIND the clean, preserving order. *)
+  let c = F.apply c (F.Make_copy (0, 1, r0)) in
+  let c = F.apply c (F.Receive (0, 1)) in
+  Alcotest.(check bool) "usable immediately again" true
+    (F.rec_state c 1 r0 = F.FOk);
+  no_violations "resurrected" c;
+  let c = drain c in
+  Alcotest.(check bool)
+    "still registered (dirty after clean)" true
+    (F.Pset.mem 1 (F.pdirty c 0 r0));
+  no_violations "resurrection drained" c
+
+(* Exhaustive BFS on the FIFO machine: all reachable configurations pass
+   the checker. *)
+module Cfgset = Set.Make (struct
+  type t = F.config
+
+  let compare = F.compare_config
+end)
+
+let bfs_fifo ~copy_budget init =
+  let seen = ref (Cfgset.singleton init) in
+  let q = Queue.create () in
+  Queue.push (init, 0) q;
+  let states = ref 1 in
+  while not (Queue.is_empty q) do
+    let c, spent = Queue.pop q in
+    (match F.check c with
+    | [] -> ()
+    | vs ->
+        Alcotest.failf "fifo bfs: %a in@.%a"
+          Fmt.(list Invariants.pp_violation)
+          vs F.pp_config c);
+    let env =
+      List.filter
+        (fun t -> match t with F.Make_copy _ -> spent < copy_budget | _ -> true)
+        (F.enabled_environment c)
+    in
+    List.iter
+      (fun t ->
+        let cost = match t with F.Make_copy _ -> 1 | _ -> 0 in
+        let c' = F.apply c t in
+        if not (Cfgset.mem c' !seen) then begin
+          seen := Cfgset.add c' !seen;
+          incr states;
+          Queue.push (c', spent + cost) q
+        end)
+      (env @ F.enabled_protocol c)
+  done;
+  !states
+
+let test_fifo_bfs_2p () =
+  let n = bfs_fifo ~copy_budget:2 (alloc 2) in
+  Alcotest.(check bool) "non-trivial" true (n > 50)
+
+let test_fifo_bfs_3p () =
+  let n = bfs_fifo ~copy_budget:2 (alloc 3) in
+  Alcotest.(check bool) "non-trivial" true (n > 500)
+
+(* Multiple references with different owners through one FIFO machine:
+   the shared per-process call queue serialises calls for both, and all
+   invariants hold. *)
+let test_fifo_multiref () =
+  let r1 : T.rref = { T.owner = 1; index = 0 } in
+  for seed = 1 to 15 do
+    let rng = Netobj_util.Rng.create (Int64.of_int seed) in
+    let c = ref (F.init ~procs:3 ~refs:[ r0; r1 ]) in
+    let spent = ref 0 in
+    for _ = 1 to 250 do
+      let env =
+        List.filter
+          (fun t -> match t with F.Make_copy _ -> !spent < 10 | _ -> true)
+          (F.enabled_environment !c)
+      in
+      match F.enabled_protocol !c @ env with
+      | [] -> ()
+      | all ->
+          let t = Netobj_util.Rng.pick rng all in
+          (match t with F.Make_copy _ -> incr spent | _ -> ());
+          c := F.apply !c t;
+          (match F.check !c with
+          | [] -> ()
+          | vs ->
+              Alcotest.failf "seed %d: %a" seed
+                Fmt.(list Invariants.pp_violation)
+                vs)
+    done;
+    (* teardown both refs *)
+    List.iter
+      (fun r ->
+        List.iter
+          (fun p ->
+            if p <> r.T.owner && F.rooted !c p r then
+              c := F.apply !c (F.Drop_root (p, r)))
+          [ 0; 1; 2 ])
+      [ r0; r1 ];
+    c := drain_with_finalize !c;
+    List.iter
+      (fun r ->
+        if not (F.Pset.is_empty (F.pdirty !c r.T.owner r)) then
+          Alcotest.failf "seed %d: %a not drained" seed T.pp_rref r)
+      [ r0; r1 ]
+  done
+
+(* Random walks, then teardown: liveness and no premature collection. *)
+let test_fifo_random_walks () =
+  for seed = 1 to 20 do
+    let rng = Netobj_util.Rng.create (Int64.of_int seed) in
+    let c = ref (alloc 3) in
+    let spent = ref 0 in
+    for _ = 1 to 300 do
+      let env =
+        List.filter
+          (fun t -> match t with F.Make_copy _ -> !spent < 8 | _ -> true)
+          (F.enabled_environment !c)
+      in
+      let all = F.enabled_protocol !c @ env in
+      if all <> [] then begin
+        let t = Netobj_util.Rng.pick rng all in
+        (match t with F.Make_copy _ -> incr spent | _ -> ());
+        c := F.apply !c t;
+        match F.check !c with
+        | [] -> ()
+        | vs ->
+            Alcotest.failf "seed %d after %a: %a" seed F.pp_transition t
+              Fmt.(list Invariants.pp_violation)
+              vs
+      end
+    done;
+    (* teardown *)
+    let c =
+      List.fold_left
+        (fun c p ->
+          if p <> 0 && F.rooted c p r0 then F.apply c (F.Drop_root (p, r0))
+          else c)
+        !c [ 0; 1; 2 ]
+    in
+    let c = drain_with_finalize c in
+    if not (F.Pset.is_empty (F.pdirty c 0 r0)) then
+      Alcotest.failf "seed %d: fifo liveness failure:@.%a" seed F.pp_config c;
+    no_violations "fifo teardown" c
+  done
+
+(* --- owner optimisations ------------------------------------------------ *)
+
+let workloads procs =
+  [
+    ("figure1", Workload.figure1);
+    ("chain", Workload.chain ~procs);
+    ("fanout", Workload.fanout ~procs);
+    ("pingpong", Workload.pingpong ~rounds:5);
+  ]
+
+(* The unoptimised owner_opt implementation is an independent rewrite of
+   the full Birrell protocol: it must be safe even over unordered
+   channels, cross-validating it against the abstract machine. *)
+let test_base_impl_safe_unordered () =
+  List.iter
+    (fun (wname, ops) ->
+      for seed = 1 to 40 do
+        let v = Owner_opt.create ~ordered:false ~procs:4 ~seed:(Int64.of_int seed) () in
+        let o = Workload.run v ops in
+        if o.Workload.premature_at <> None then
+          Alcotest.failf "base/%s seed %d: premature" wname seed;
+        if o.Workload.leaked then
+          Alcotest.failf "base/%s seed %d: leak" wname seed
+      done)
+    (workloads 4)
+
+let test_opts_safe_ordered () =
+  List.iter
+    (fun (wname, ops) ->
+      for seed = 1 to 40 do
+        let v =
+          Owner_opt.create ~opt_sender:true ~opt_receiver:true ~ordered:true
+            ~procs:4 ~seed:(Int64.of_int seed) ()
+        in
+        let o = Workload.run v ops in
+        if o.Workload.premature_at <> None then
+          Alcotest.failf "opt/%s seed %d: premature" wname seed;
+        if o.Workload.leaked then Alcotest.failf "opt/%s seed %d: leak" wname seed
+      done)
+    (workloads 4)
+
+let test_opts_safe_ordered_churn () =
+  for seed = 1 to 20 do
+    let ops = Workload.churn ~procs:5 ~events:80 ~seed:(Int64.of_int (3 * seed)) in
+    let v =
+      Owner_opt.create ~opt_sender:true ~opt_receiver:true ~ordered:true
+        ~procs:5 ~seed:(Int64.of_int seed) ()
+    in
+    let o = Workload.run v ops in
+    if o.Workload.premature_at <> None then
+      Alcotest.failf "opt churn seed %d: premature" seed;
+    if o.Workload.leaked then Alcotest.failf "opt churn seed %d: leak" seed
+  done
+
+(* §5.2.2's documented race: without ordering, a clean can overtake a
+   homeward copy whose sender made no transient entry. *)
+let race_home =
+  [
+    Workload.Send (0, 1);
+    Workload.Steps 50;
+    Workload.Drop 0;
+    Workload.Send (1, 0);
+    Workload.Drop 1;
+    Workload.Steps 200;
+  ]
+
+let test_receiver_opt_race_unordered () =
+  let violated = ref 0 in
+  for seed = 1 to 200 do
+    let v =
+      Owner_opt.create ~opt_receiver:true ~ordered:false ~procs:3
+        ~seed:(Int64.of_int seed) ()
+    in
+    let o = Workload.run v race_home in
+    if o.Workload.premature_at <> None then incr violated
+  done;
+  if !violated = 0 then
+    Alcotest.fail "receiver-is-owner optimisation never raced over bags";
+  if !violated = 200 then Alcotest.fail "always failing: bug, not race"
+
+(* The same workload under ordered channels is safe. *)
+let test_receiver_opt_safe_ordered () =
+  for seed = 1 to 100 do
+    let v =
+      Owner_opt.create ~opt_receiver:true ~ordered:true ~procs:3
+        ~seed:(Int64.of_int seed) ()
+    in
+    let o = Workload.run v race_home in
+    if o.Workload.premature_at <> None then
+      Alcotest.failf "seed %d: premature despite ordering" seed
+  done
+
+(* The Note 4 ablation (no clean cancellation) must stay sound: the late
+   copy re-registers through the ccitnil path instead. *)
+let test_no_cancellation_sound () =
+  List.iter
+    (fun (wname, ops) ->
+      for seed = 1 to 40 do
+        let v =
+          Owner_opt.create ~cancellation:false ~ordered:false ~procs:4
+            ~seed:(Int64.of_int seed) ()
+        in
+        let o = Workload.run v ops in
+        if o.Workload.premature_at <> None then
+          Alcotest.failf "no-cancel/%s seed %d: premature" wname seed;
+        if o.Workload.leaked then
+          Alcotest.failf "no-cancel/%s seed %d: leak" wname seed
+      done)
+    (workloads 4)
+
+(* Message savings: the sender-is-owner optimisation removes the dirty /
+   dirty_ack round-trip for owner-originated copies. *)
+let test_sender_opt_savings () =
+  let cost opt =
+    let v =
+      Owner_opt.create ~opt_sender:opt ~ordered:true ~procs:5 ~seed:7L ()
+    in
+    let o = Workload.run v (Workload.fanout ~procs:5) in
+    if o.Workload.premature_at <> None || o.Workload.leaked then
+      Alcotest.fail "fanout unsound";
+    o.Workload.total_control
+  in
+  let base = cost false and opt = cost true in
+  Alcotest.(check bool)
+    (Printf.sprintf "opt (%d) cheaper than base (%d)" opt base)
+    true (opt < base)
+
+let () =
+  Alcotest.run "variants"
+    [
+      ( "fifo-machine",
+        [
+          Alcotest.test_case "immediate usability" `Quick
+            test_fifo_immediate_usability;
+          Alcotest.test_case "clean cycle" `Quick test_fifo_clean_cycle;
+          Alcotest.test_case "resurrection" `Quick test_fifo_resurrection;
+          Alcotest.test_case "bfs 2p" `Quick test_fifo_bfs_2p;
+          Alcotest.test_case "bfs 3p" `Slow test_fifo_bfs_3p;
+          Alcotest.test_case "multiref" `Quick test_fifo_multiref;
+          Alcotest.test_case "random walks" `Quick test_fifo_random_walks;
+        ] );
+      ( "owner-opt",
+        [
+          Alcotest.test_case "base impl safe unordered" `Quick
+            test_base_impl_safe_unordered;
+          Alcotest.test_case "opts safe ordered" `Quick test_opts_safe_ordered;
+          Alcotest.test_case "opts safe ordered churn" `Quick
+            test_opts_safe_ordered_churn;
+          Alcotest.test_case "receiver opt races unordered" `Quick
+            test_receiver_opt_race_unordered;
+          Alcotest.test_case "receiver opt safe ordered" `Quick
+            test_receiver_opt_safe_ordered;
+          Alcotest.test_case "no-cancellation ablation sound" `Quick
+            test_no_cancellation_sound;
+          Alcotest.test_case "sender opt savings" `Quick
+            test_sender_opt_savings;
+        ] );
+    ]
