@@ -1,4 +1,4 @@
-.PHONY: all build test bench examples check clean doc
+.PHONY: all build test bench bench-json examples check clean doc
 
 all: build
 
@@ -11,6 +11,10 @@ test:
 # Every experiment table (E1-E15); see EXPERIMENTS.md.
 bench:
 	dune exec bench/main.exe
+
+# Same, plus a machine-readable per-experiment metrics dump.
+bench-json:
+	dune exec bench/main.exe -- --json BENCH_netobj.json
 
 examples:
 	dune exec examples/quickstart.exe

@@ -994,18 +994,61 @@ let experiments =
     ("scale", e15_scale);
   ]
 
+(* --json PATH: machine-readable results.  Each experiment runs with the
+   metrics registry freshly zeroed, so its dump is the per-experiment
+   instrument state (message/byte counts by kind, protocol counters, GC
+   histograms) plus the CPU time it took. *)
 let () =
+  let args = match Array.to_list Sys.argv with _ :: rest -> rest | [] -> [] in
+  let rec split_json acc = function
+    | "--json" :: path :: rest -> (Some path, List.rev_append acc rest)
+    | x :: rest -> split_json (x :: acc) rest
+    | [] -> (None, List.rev acc)
+  in
+  let json_out, names = split_json [] args in
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst experiments
+    match names with [] -> List.map fst experiments | names -> names
   in
   List.iter
     (fun name ->
-      match List.assoc_opt name experiments with
-      | Some f -> f ()
-      | None ->
-          Fmt.epr "unknown experiment %s (have: %s)@." name
-            (String.concat ", " (List.map fst experiments));
-          exit 1)
-    requested
+      if not (List.mem_assoc name experiments) then begin
+        Fmt.epr "unknown experiment %s (have: %s)@." name
+          (String.concat ", " (List.map fst experiments));
+        exit 1
+      end)
+    requested;
+  let module Obs = Netobj_obs.Obs in
+  let module Metrics = Netobj_obs.Metrics in
+  let module Json = Netobj_obs.Json in
+  if json_out <> None then Obs.enable ~capacity:1024 ();
+  let results =
+    List.map
+      (fun name ->
+        let f = List.assoc name experiments in
+        if json_out <> None then Metrics.reset Metrics.global;
+        let t0 = Sys.time () in
+        f ();
+        let elapsed = Sys.time () -. t0 in
+        ( name,
+          Json.Obj
+            [
+              ("elapsed_cpu_s", Json.Float elapsed);
+              ("metrics", Metrics.json Metrics.global);
+            ] ))
+      requested
+  in
+  match json_out with
+  | None -> ()
+  | Some path ->
+      let doc =
+        Json.Obj
+          [
+            ("schema", Json.Str "netobj.bench/1");
+            ("experiments", Json.Obj results);
+          ]
+      in
+      let oc = open_out_bin path in
+      output_string oc (Json.to_string doc);
+      output_string oc "\n";
+      close_out oc;
+      Fmt.pr "@.wrote %s@." path

@@ -15,9 +15,53 @@ module F = Netobj_dgc.Fifo_machine
 module Workload = Netobj_dgc.Workload
 module Algo = Netobj_dgc.Algo
 
+module Obs = Netobj_obs.Obs
+module Obs_trace = Netobj_obs.Trace
+module Metrics = Netobj_obs.Metrics
+
 let r0 : T.rref = { T.owner = 0; index = 0 }
 
 let alloc procs = M.apply (M.init ~procs ~refs:[ r0 ]) (M.Allocate (0, r0))
+
+(* --- observability plumbing ------------------------------------------------ *)
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+(* Enable tracing/metrics iff an output file was requested, run the
+   command, export.  Enabling before the command starts means the whole
+   execution is captured; the seq-counter trace clock keeps same-seed
+   exports byte-identical. *)
+let with_obs ~trace_out ~metrics_out f =
+  let wanted = trace_out <> None || metrics_out <> None in
+  if wanted then Obs.enable ();
+  let code = f () in
+  if wanted then begin
+    (match trace_out with
+    | Some path -> write_file path (Obs_trace.to_chrome (Obs.trace ()))
+    | None -> ());
+    (match metrics_out with
+    | Some path -> write_file path (Metrics.to_json_string Metrics.global)
+    | None -> ());
+    Obs.disable ()
+  end;
+  code
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:"Write a Chrome trace_event JSON trace of the execution to $(docv).")
+
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:"Write the metrics registry as JSON to $(docv).")
 
 (* --- common args ---------------------------------------------------------- *)
 
@@ -126,13 +170,14 @@ let workload_of procs = function
   | "churn" -> Workload.churn ~procs ~events:100 ~seed:42L
   | w -> Fmt.failwith "unknown workload %s" w
 
-let run_harness algo workload procs seeds =
+let run_harness algo workload procs seeds trace_out metrics_out =
   match List.assoc_opt algo algos with
   | None ->
       Fmt.epr "unknown algorithm %s (have: %s)@." algo
         (String.concat ", " (List.map fst algos));
       1
   | Some make ->
+      with_obs ~trace_out ~metrics_out @@ fun () ->
       let premature = ref 0 and leaked = ref 0 and msgs = ref 0 in
       let sends = ref 0 in
       for seed = 1 to seeds do
@@ -166,7 +211,9 @@ let workload_arg =
 let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Run an algorithm against a workload with the safety oracle.")
-    Term.(const run_harness $ algo_arg $ workload_arg $ procs_arg $ seeds_arg)
+    Term.(
+      const run_harness $ algo_arg $ workload_arg $ procs_arg $ seeds_arg
+      $ trace_out_arg $ metrics_out_arg)
 
 (* --- fifo -------------------------------------------------------------------- *)
 
@@ -221,7 +268,8 @@ let fifo_cmd =
 
 (* --- trace ------------------------------------------------------------------- *)
 
-let trace seed steps procs =
+let trace seed steps procs trace_out metrics_out =
+  with_obs ~trace_out ~metrics_out @@ fun () ->
   let rng = Netobj_util.Rng.create (Int64.of_int seed) in
   let c = ref (alloc procs) in
   let spent = ref 0 in
@@ -250,7 +298,9 @@ let trace seed steps procs =
 let trace_cmd =
   Cmd.v
     (Cmd.info "trace" ~doc:"Print a random execution with the termination measure.")
-    Term.(const trace $ seed_arg $ steps_arg $ procs_arg)
+    Term.(
+      const trace $ seed_arg $ steps_arg $ procs_arg $ trace_out_arg
+      $ metrics_out_arg)
 
 (* --- main -------------------------------------------------------------------- *)
 

@@ -3,6 +3,55 @@ module Net = Netobj_net.Net
 module Wire = Netobj_pickle.Wire
 module Pickle = Netobj_pickle.Pickle
 module Rng = Netobj_util.Rng
+module Obs = Netobj_obs.Obs
+module Trace = Netobj_obs.Trace
+module Metrics = Netobj_obs.Metrics
+
+(* Pre-registered instruments: the hot-path cost when enabled is a field
+   mutation, and when disabled a single branch. *)
+let m_dirty = Metrics.counter Metrics.global "runtime.dirty"
+
+let m_clean = Metrics.counter Metrics.global "runtime.clean"
+
+let m_copy_ack = Metrics.counter Metrics.global "runtime.copy_ack"
+
+let m_ping = Metrics.counter Metrics.global "runtime.ping"
+
+let m_evict = Metrics.counter Metrics.global "runtime.evict"
+
+let m_calls = Metrics.counter Metrics.global "runtime.calls"
+
+let m_collections = Metrics.counter Metrics.global "runtime.collections"
+
+let m_reclaimed = Metrics.counter Metrics.global "runtime.reclaimed"
+
+let g_dirty_entries = Metrics.gauge Metrics.global "runtime.dirty_entries"
+
+let h_gc_pause = Metrics.histogram Metrics.global "runtime.gc_pause_us"
+
+let h_gc_reclaimed = Metrics.histogram Metrics.global "runtime.gc_reclaimed"
+
+(* Track the global dirty-entry population as a delta at each mutation
+   site; meaningful for runs where observability was enabled throughout
+   (Obs.enable zeroes the gauge). *)
+let obs_gauge_add g d =
+  if Obs.on () then Metrics.set_gauge g (Metrics.gauge_value g +. d)
+
+(* Async-span correlation ids.  Registration (dirty) and cleanup (clean)
+   round trips for the same surrogate get distinct ids via the low bit;
+   RPC spans live in their own category ("rpc"), keyed by the caller's
+   call_id, so the owner-side "serve" span nests inside the caller's
+   "call" span in a Chrome rendering. *)
+let obs_wr_id ~client (wr : Wirerep.t) =
+  2 * ((((client * 8191) + wr.Wirerep.space) * 524287) + wr.Wirerep.index)
+
+let obs_call_span_id ~client call_id = (client * 1_048_573) + call_id
+
+let obs_msg_span_id (id : Proto.msg_id) =
+  (id.Proto.origin * 2_097_143) + id.Proto.seq
+
+let obs_wr_args (wr : Wirerep.t) =
+  [ ("owner", Trace.I wr.Wirerep.space); ("index", Trace.I wr.Wirerep.index) ]
 
 let src_log = Logs.Src.create "netobj.runtime" ~doc:"Network Objects runtime"
 
@@ -202,10 +251,25 @@ let send_env sp ~dst env =
 
 let send_dirty sp wr =
   sp.s_dirty <- sp.s_dirty + 1;
+  if Obs.on () then begin
+    Metrics.incr m_dirty;
+    Trace.async_begin (Obs.trace ()) ~cat:"gc" ~space:sp.id
+      ~id:(obs_wr_id ~client:sp.id wr)
+      ~args:(obs_wr_args wr) "dirty"
+  end;
   send_env sp ~dst:wr.Wirerep.space (Proto.Dirty { wr; seq = next_seqno sp wr })
+
+let obs_begin_clean sp wr =
+  if Obs.on () then begin
+    Metrics.incr m_clean;
+    Trace.async_begin (Obs.trace ()) ~cat:"gc" ~space:sp.id
+      ~id:(obs_wr_id ~client:sp.id wr + 1)
+      ~args:(obs_wr_args wr) "clean"
+  end
 
 let send_clean sp wr ~strong =
   sp.s_clean <- sp.s_clean + 1;
+  obs_begin_clean sp wr;
   send_env sp ~dst:wr.Wirerep.space
     (Proto.Clean { wr; seq = next_seqno sp wr; strong })
 
@@ -275,7 +339,16 @@ let encode_with_pins sp f =
   let w = Wire.Writer.create () in
   with_ctx (Enc { esp = sp; e_pinned = pinned }) (fun () -> f w);
   let has_refs = !pinned <> [] in
-  if has_refs then Hashtbl.replace sp.tdirty msg_id !pinned;
+  if has_refs then begin
+    Hashtbl.replace sp.tdirty msg_id !pinned;
+    (* The transient-pin lifetime: begins when references are embedded in
+       an outgoing message, ends at the receiver's copy_ack. *)
+    if Obs.on () then
+      Trace.async_begin (Obs.trace ()) ~cat:"gc" ~space:sp.id
+        ~id:(obs_msg_span_id msg_id)
+        ~args:[ ("refs", Trace.I (List.length !pinned)) ]
+        "pins"
+  end;
   (msg_id, has_refs, Wire.Writer.contents w)
 
 let release_pins_for sp msg_id =
@@ -283,6 +356,9 @@ let release_pins_for sp msg_id =
   | None -> ()
   | Some wrs ->
       Hashtbl.remove sp.tdirty msg_id;
+      if Obs.on () then
+        Trace.async_end (Obs.trace ()) ~cat:"gc" ~space:sp.id
+          ~id:(obs_msg_span_id msg_id) "pins";
       List.iter (unpin sp) wrs
 
 (* Decode a payload; returns the value, the acquired references (already
@@ -341,6 +417,9 @@ let mark_from sp =
 
 let collect sp =
   if not sp.crashed then begin
+    (* Wall-clock pause time goes only into the metrics histogram, never
+       into the trace: trace timestamps must stay deterministic. *)
+    let t0 = if Obs.on () then Sys.time () else 0.0 in
     sp.n_collections <- sp.n_collections + 1;
     let marked = mark_from sp in
     let dead_concrete = ref [] in
@@ -367,7 +446,17 @@ let collect sp =
         Wirerep.Tbl.remove sp.table wr;
         sp.n_reclaimed <- sp.n_reclaimed + 1;
         Log.debug (fun m -> m "space %d reclaimed %a" sp.id Wirerep.pp wr))
-      !dead_concrete
+      !dead_concrete;
+    if Obs.on () then begin
+      let ndead = List.length !dead_concrete in
+      Metrics.incr m_collections;
+      Metrics.add m_reclaimed ndead;
+      Metrics.observe h_gc_pause ((Sys.time () -. t0) *. 1e6);
+      Metrics.observe h_gc_reclaimed (float_of_int ndead);
+      Trace.instant (Obs.trace ()) ~cat:"gc" ~space:sp.id
+        ~args:[ ("reclaimed", Trace.I ndead) ]
+        "collect"
+    end
   end
 
 let collect_all rt = Array.iter collect rt.space_arr
@@ -453,6 +542,7 @@ let cleaning_demon_batched sp window () =
           | None -> ()
           | Some seq ->
               sp.s_clean <- sp.s_clean + 1;
+              obs_begin_clean sp wr;
               let owner = wr.Wirerep.space in
               let prev =
                 Option.value ~default:[] (Hashtbl.find_opt by_owner owner)
@@ -461,6 +551,11 @@ let cleaning_demon_batched sp window () =
         wrs;
       Hashtbl.iter
         (fun owner items ->
+          if Obs.on () then
+            Trace.instant (Obs.trace ()) ~cat:"gc" ~space:sp.id
+              ~args:
+                [ ("owner", Trace.I owner); ("n", Trace.I (List.length items)) ]
+              "clean_batch";
           send_env sp ~dst:owner (Proto.Clean_batch { items }))
         by_owner
     end;
@@ -498,6 +593,11 @@ let cleaning_demon sp () =
                     match !st with
                     | Cleaning _ ->
                         sp.s_clean <- sp.s_clean + 1;
+                        if Obs.on () then begin
+                          Metrics.incr m_clean;
+                          Trace.instant (Obs.trace ()) ~cat:"gc" ~space:sp.id
+                            ~args:(obs_wr_args wr) "clean_retry"
+                        end;
                         send_env sp ~dst:wr.Wirerep.space
                           (Proto.Clean
                              {
@@ -542,6 +642,12 @@ let serve_call sp ~src ~call_id ~msg_id ~needs_ack ~target ~meth_name ~args =
   let ack_now () =
     if needs_ack && not piggyback then begin
       sp.s_copy_ack <- sp.s_copy_ack + 1;
+      if Obs.on () then begin
+        Metrics.incr m_copy_ack;
+        Trace.instant (Obs.trace ()) ~cat:"gc" ~space:sp.id
+          ~args:[ ("dst", Trace.I src) ]
+          "copy_ack"
+      end;
       send_env sp ~dst:src (Proto.Copy_ack { msg_id })
     end
   in
@@ -601,6 +707,8 @@ let handle_dirty sp ~src ~wr ~seq =
       let last = Option.value ~default:0 (Hashtbl.find_opt c.c_last_seq src) in
       if seq > last then begin
         Hashtbl.replace c.c_last_seq src seq;
+        if not (Hashtbl.mem c.c_dirty src) then
+          obs_gauge_add g_dirty_entries 1.0;
         Hashtbl.replace c.c_dirty src ()
       end;
       send_env sp ~dst:src (Proto.Dirty_ack { wr; ok = true })
@@ -612,6 +720,7 @@ let apply_clean sp ~src ~wr ~seq =
       let last = Option.value ~default:0 (Hashtbl.find_opt c.c_last_seq src) in
       if seq > last then begin
         Hashtbl.replace c.c_last_seq src seq;
+        if Hashtbl.mem c.c_dirty src then obs_gauge_add g_dirty_entries (-1.0);
         Hashtbl.remove c.c_dirty src
       end
 
@@ -625,18 +734,33 @@ let handle_dirty_ack sp ~wr ~ok =
   | Some (Surrogate st) -> (
       match !st with
       | Creating iv ->
+          if Obs.on () then
+            Trace.async_end (Obs.trace ()) ~cat:"gc" ~space:sp.id
+              ~id:(obs_wr_id ~client:sp.id wr)
+              ~args:[ ("ok", Trace.I (Bool.to_int ok)) ]
+              "dirty";
           if ok then st := Usable { clean_scheduled = false }
           else Wirerep.Tbl.remove sp.table wr;
           Sched.Ivar.fill iv ok
       | Usable _ | Cleaning _ -> () (* stale (e.g. duplicated) ack *))
   | Some (Concrete _) | None -> ()
 
+let obs_end_clean sp wr ~resurrected =
+  if Obs.on () then
+    Trace.async_end (Obs.trace ()) ~cat:"gc" ~space:sp.id
+      ~id:(obs_wr_id ~client:sp.id wr + 1)
+      ~args:[ ("resurrected", Trace.I (Bool.to_int resurrected)) ]
+      "clean"
+
 let handle_clean_ack sp ~wr =
   match Wirerep.Tbl.find_opt sp.table wr with
   | Some (Surrogate st) -> (
       match !st with
-      | Cleaning { resurrect = None } -> Wirerep.Tbl.remove sp.table wr
+      | Cleaning { resurrect = None } ->
+          obs_end_clean sp wr ~resurrected:false;
+          Wirerep.Tbl.remove sp.table wr
       | Cleaning { resurrect = Some iv } ->
+          obs_end_clean sp wr ~resurrected:true;
           (* ccitnil -> nil: a fresh copy arrived during cleanup; start a
              new registration cycle. *)
           st := Creating iv;
@@ -655,14 +779,26 @@ let handle_reply sp ~call_id ~msg_id ~needs_ack ~ack ~result =
 
 let handle_ping_ack sp ~src ~nonce =
   ignore nonce;
+  if Obs.on () then
+    Trace.instant (Obs.trace ()) ~cat:"gc" ~space:sp.id
+      ~args:[ ("client", Trace.I src) ]
+      "ping_ack";
   Hashtbl.replace sp.ping_misses src 0
 
 let handle_envelope sp ~src env =
   if not sp.crashed then
     match env with
     | Proto.Call { call_id; msg_id; needs_ack; target; meth; args } ->
+        let obs_id = obs_call_span_id ~client:src call_id in
+        if Obs.on () then
+          Trace.async_begin (Obs.trace ()) ~cat:"rpc" ~space:sp.id ~id:obs_id
+            ~args:[ ("meth", Trace.S meth); ("client", Trace.I src) ]
+            "serve";
         serve_call sp ~src ~call_id ~msg_id ~needs_ack ~target
-          ~meth_name:meth ~args
+          ~meth_name:meth ~args;
+        if Obs.on () then
+          Trace.async_end (Obs.trace ()) ~cat:"rpc" ~space:sp.id ~id:obs_id
+            "serve"
     | Proto.Reply { call_id; msg_id; needs_ack; ack; result } ->
         handle_reply sp ~call_id ~msg_id ~needs_ack ~ack ~result
     | Proto.Copy_ack { msg_id } -> release_pins_for sp msg_id
@@ -690,16 +826,25 @@ let clients_with_surrogates sp =
   Hashtbl.fold (fun cl () acc -> cl :: acc) clients []
 
 let evict_client sp client =
+  let removed = ref 0 in
   Wirerep.Tbl.iter
     (fun _ entry ->
       match entry with
       | Concrete c ->
           if Hashtbl.mem c.c_dirty client then begin
             Hashtbl.remove c.c_dirty client;
-            sp.s_evict <- sp.s_evict + 1
+            sp.s_evict <- sp.s_evict + 1;
+            incr removed
           end
       | Surrogate _ -> ())
-    sp.table
+    sp.table;
+  if Obs.on () && !removed > 0 then begin
+    Metrics.add m_evict !removed;
+    obs_gauge_add g_dirty_entries (-.float_of_int !removed);
+    Trace.instant (Obs.trace ()) ~cat:"gc" ~space:sp.id
+      ~args:[ ("client", Trace.I client); ("entries", Trace.I !removed) ]
+      "evict"
+  end
 
 let ping_demon sp period () =
   let misses = sp.ping_misses in
@@ -720,6 +865,12 @@ let ping_demon sp period () =
           end
           else begin
             sp.s_ping <- sp.s_ping + 1;
+            if Obs.on () then begin
+              Metrics.incr m_ping;
+              Trace.instant (Obs.trace ()) ~cat:"gc" ~space:sp.id
+                ~args:[ ("client", Trace.I cl); ("missed", Trace.I missed) ]
+                "ping"
+            end;
             send_env sp ~dst:cl (Proto.Ping { nonce })
           end)
         clients;
@@ -831,6 +982,18 @@ let invoke_raw sp h ~meth:meth_name ~encode ~decode =
   | Some (Surrogate _) | None -> (
       await_usable sp h;
       let call_id = fresh_call_id sp in
+      let obs_id = obs_call_span_id ~client:sp.id call_id in
+      if Obs.on () then begin
+        Metrics.incr m_calls;
+        Trace.async_begin (Obs.trace ()) ~cat:"rpc" ~space:sp.id ~id:obs_id
+          ~args:
+            (("meth", Trace.S meth_name)
+            :: [
+                 ("target_owner", Trace.I h.wr.Wirerep.space);
+                 ("target_index", Trace.I h.wr.Wirerep.index);
+               ])
+          "call"
+      end;
       let iv = Sched.Ivar.create () in
       Hashtbl.add sp.pending_calls call_id iv;
       let msg_id, has_refs, args = encode_with_pins sp encode in
@@ -852,11 +1015,27 @@ let invoke_raw sp h ~meth:meth_name ~encode ~decode =
             | Some r -> r
             | None ->
                 Hashtbl.remove sp.pending_calls call_id;
+                if Obs.on () then
+                  Trace.async_end (Obs.trace ()) ~cat:"rpc" ~space:sp.id
+                    ~id:obs_id
+                    ~args:[ ("timeout", Trace.I 1) ]
+                    "call";
                 raise (Timeout (Printf.sprintf "call %s" meth_name)))
       in
+      if Obs.on () then
+        Trace.async_end (Obs.trace ()) ~cat:"rpc" ~space:sp.id ~id:obs_id
+          ~args:
+            [ ("ok", Trace.I (match result with Ok _ -> 1 | Error _ -> 0)) ]
+          "call";
       let ack_reply () =
         if rneeds_ack then begin
           sp.s_copy_ack <- sp.s_copy_ack + 1;
+          if Obs.on () then begin
+            Metrics.incr m_copy_ack;
+            Trace.instant (Obs.trace ()) ~cat:"gc" ~space:sp.id
+              ~args:[ ("dst", Trace.I h.wr.Wirerep.space) ]
+              "copy_ack"
+          end;
           send_env sp ~dst:h.wr.Wirerep.space
             (Proto.Copy_ack { msg_id = rmsg_id })
         end
@@ -1021,6 +1200,10 @@ let make_space rt id =
 
 let create config =
   let sched = Sched.create ~policy:config.policy () in
+  (* Trace timestamps follow the virtual clock from here on (enable
+     observability *before* creating the runtime so nothing is emitted
+     against the default event-counter clock). *)
+  Obs.set_clock (fun () -> Sched.now sched);
   let network = Net.create ~sched ~seed:config.seed () in
   Net.set_all_edges network config.edge;
   let rt = { config; sched; network; space_arr = [||] } in

@@ -314,8 +314,36 @@ let apply_unchecked c t =
           let c = set_channel c src dst rest in
           deliver c ~src ~dst m)
 
+module Obs = Netobj_obs.Obs
+module Trace = Netobj_obs.Trace
+module Metrics = Netobj_obs.Metrics
+
+let obs_label = function
+  | Allocate _ -> "allocate"
+  | Make_copy _ -> "make_copy"
+  | Drop_root _ -> "drop_root"
+  | Finalize _ -> "finalize"
+  | Collect _ -> "collect"
+  | Do_call _ -> "do_call"
+  | Receive _ -> "receive"
+
+let obs_proc = function
+  | Allocate (p, _) | Drop_root (p, _) | Finalize (p, _) | Do_call p -> p
+  | Collect r -> r.owner
+  | Make_copy (_, p2, _) | Receive (_, p2) -> p2
+
+let obs_transition t =
+  if Obs.on () then begin
+    let label = obs_label t in
+    Trace.instant (Obs.trace ()) ~cat:"fifo_machine" ~space:(obs_proc t) label;
+    Metrics.incr (Metrics.counter Metrics.global ("fifo_machine." ^ label))
+  end
+
 let apply c t =
-  if guard c t then apply_unchecked c t
+  if guard c t then begin
+    obs_transition t;
+    apply_unchecked c t
+  end
   else invalid_arg "Fifo_machine.apply: guard failed"
 
 let step c t = if guard c t then Some (apply_unchecked c t) else None

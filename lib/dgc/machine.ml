@@ -432,8 +432,80 @@ let apply_unchecked c t =
       | (Bot | Nil | Ok) as s ->
           Fmt.invalid_arg "receive_clean_ack in state %a" pp_rstate s)
 
+(* --- observability ------------------------------------------------------ *)
+
+module Obs = Netobj_obs.Obs
+module Trace = Netobj_obs.Trace
+module Metrics = Netobj_obs.Metrics
+
+let obs_label = function
+  | Allocate _ -> "allocate"
+  | Make_copy _ -> "make_copy"
+  | Drop_root _ -> "drop_root"
+  | Finalize _ -> "finalize"
+  | Collect _ -> "collect"
+  | Receive_copy _ -> "receive_copy"
+  | Do_copy_ack _ -> "do_copy_ack"
+  | Receive_copy_ack _ -> "receive_copy_ack"
+  | Do_dirty_call _ -> "do_dirty_call"
+  | Receive_dirty _ -> "receive_dirty"
+  | Do_dirty_ack _ -> "do_dirty_ack"
+  | Receive_dirty_ack _ -> "receive_dirty_ack"
+  | Do_clean_call _ -> "do_clean_call"
+  | Receive_clean _ -> "receive_clean"
+  | Do_clean_ack _ -> "do_clean_ack"
+  | Receive_clean_ack _ -> "receive_clean_ack"
+
+(* The process at which the transition acts: receives happen at the
+   destination, acks at the process clearing its todo set. *)
+let obs_proc = function
+  | Allocate (p, _) | Drop_root (p, _) | Finalize (p, _)
+  | Do_dirty_call (p, _) | Do_clean_call (p, _) ->
+      p
+  | Collect r -> r.owner
+  | Make_copy (_, p2, _)
+  | Receive_copy (_, p2, _, _)
+  | Receive_copy_ack (_, p2, _, _)
+  | Receive_dirty (_, p2, _)
+  | Receive_dirty_ack (_, p2, _)
+  | Receive_clean (_, p2, _)
+  | Receive_clean_ack (_, p2, _) ->
+      p2
+  | Do_copy_ack (p1, _, _, _) | Do_dirty_ack (p1, _, _)
+  | Do_clean_ack (p1, _, _) ->
+      p1
+
+let obs_rref = function
+  | Allocate (_, r) | Make_copy (_, _, r) | Drop_root (_, r)
+  | Finalize (_, r) | Collect r
+  | Receive_copy (_, _, r, _)
+  | Do_copy_ack (_, _, r, _)
+  | Receive_copy_ack (_, _, r, _)
+  | Do_dirty_call (_, r)
+  | Receive_dirty (_, _, r)
+  | Do_dirty_ack (_, _, r)
+  | Receive_dirty_ack (_, _, r)
+  | Do_clean_call (_, r)
+  | Receive_clean (_, _, r)
+  | Do_clean_ack (_, _, r)
+  | Receive_clean_ack (_, _, r) ->
+      r
+
+let obs_transition t =
+  if Obs.on () then begin
+    let label = obs_label t in
+    let r = obs_rref t in
+    Trace.instant (Obs.trace ()) ~cat:"machine" ~space:(obs_proc t)
+      ~args:[ ("ref_owner", Trace.I r.owner); ("ref_index", Trace.I r.index) ]
+      label;
+    Metrics.incr (Metrics.counter Metrics.global ("machine." ^ label))
+  end
+
 let apply c t =
-  if guard c t then apply_unchecked c t
+  if guard c t then begin
+    obs_transition t;
+    apply_unchecked c t
+  end
   else invalid_arg "Machine.apply: guard failed"
 
 let step c t = if guard c t then Some (apply_unchecked c t) else None

@@ -1,5 +1,20 @@
 module Sched = Netobj_sched.Sched
 module Rng = Netobj_util.Rng
+module Obs = Netobj_obs.Obs
+module Trace = Netobj_obs.Trace
+module Metrics = Netobj_obs.Metrics
+
+(* Global-registry mirrors of the per-network stats, so enabled runs get
+   per-experiment message/byte counts in metrics dumps for free. *)
+let m_sent = Metrics.counter Metrics.global "net.sent"
+
+let m_bytes = Metrics.counter Metrics.global "net.bytes"
+
+let m_delivered = Metrics.counter Metrics.global "net.delivered"
+
+let m_dropped = Metrics.counter Metrics.global "net.dropped"
+
+let m_duplicated = Metrics.counter Metrics.global "net.duplicated"
 
 type addr = int
 
@@ -51,6 +66,7 @@ type t = {
   mutable duplicated : int;
   mutable bytes : int;
   by_kind : (string, (int * int) ref) Hashtbl.t;
+  mutable obs_seq : int;  (* correlation ids for message-flight spans *)
 }
 
 let create ~sched ~seed () =
@@ -69,6 +85,7 @@ let create ~sched ~seed () =
     duplicated = 0;
     bytes = 0;
     by_kind = Hashtbl.create 16;
+    obs_seq = 0;
   }
 
 let edge t src dst =
@@ -103,9 +120,32 @@ let draw_latency t = function
   | Constant c -> c
   | Uniform (lo, hi) -> lo +. (Rng.float t.rng *. (hi -. lo))
 
+let obs_msg_args ~src ~dst ~kind len =
+  [
+    ("kind", Trace.S kind);
+    ("src", Trace.I src);
+    ("dst", Trace.I dst);
+    ("bytes", Trace.I len);
+  ]
+
+let obs_drop t ~src ~dst ~kind len reason =
+  ignore t;
+  if Obs.on () then begin
+    Metrics.incr m_dropped;
+    Trace.instant (Obs.trace ()) ~cat:"net" ~space:src
+      ~args:(obs_msg_args ~src ~dst ~kind len @ [ ("reason", Trace.S reason) ])
+      "drop"
+  end
+
 let account t kind len =
   t.sent <- t.sent + 1;
   t.bytes <- t.bytes + len;
+  if Obs.on () then begin
+    Metrics.incr m_sent;
+    Metrics.add m_bytes len;
+    Metrics.incr (Metrics.counter Metrics.global ("net.sent." ^ kind));
+    Metrics.add (Metrics.counter Metrics.global ("net.bytes." ^ kind)) len
+  end;
   let cell =
     match Hashtbl.find_opt t.by_kind kind with
     | Some c -> c
@@ -131,33 +171,70 @@ let schedule_delivery t ~src ~dst ~kind payload =
         e.last_deadline <- d;
         d
   in
+  let len = String.length payload in
+  t.obs_seq <- t.obs_seq + 1;
+  let obs_id = t.obs_seq in
+  (* One async span per scheduled delivery (duplicates get their own):
+     begin at send, end at delivery or at a delivery-time drop. *)
+  if Obs.on () then
+    Trace.async_begin (Obs.trace ()) ~cat:"net" ~space:src ~id:obs_id
+      ~args:(obs_msg_args ~src ~dst ~kind len)
+      kind;
+  let obs_arrival delivered reason =
+    if Obs.on () then begin
+      Trace.async_end (Obs.trace ()) ~cat:"net" ~space:dst ~id:obs_id
+        ~args:[ ("delivered", Trace.I (Bool.to_int delivered)) ]
+        kind;
+      if delivered then Metrics.incr m_delivered
+      else obs_drop t ~src ~dst ~kind len reason
+    end
+  in
   Sched.spawn t.sched ~name:"net-delivery" (fun () ->
       Sched.sleep t.sched (deadline -. Sched.now t.sched);
-      if is_crashed t dst || is_crashed t src || partitioned t src dst then
-        t.dropped <- t.dropped + 1
+      if is_crashed t dst || is_crashed t src || partitioned t src dst then begin
+        t.dropped <- t.dropped + 1;
+        obs_arrival false "unreachable"
+      end
       else
         match Hashtbl.find_opt t.handlers dst with
-        | None -> t.dropped <- t.dropped + 1
+        | None ->
+            t.dropped <- t.dropped + 1;
+            obs_arrival false "no-handler"
         | Some h ->
             t.delivered <- t.delivered + 1;
+            obs_arrival true "";
             h ~src ~kind ~payload)
 
 let set_filter t f = t.filter <- f
 
 let send t ~src ~dst ~kind payload =
-  account t kind (String.length payload);
+  let len = String.length payload in
+  account t kind len;
   let e = edge t src dst in
-  if partitioned t src dst || is_crashed t dst || is_crashed t src then
-    t.dropped <- t.dropped + 1
+  if partitioned t src dst || is_crashed t dst || is_crashed t src then begin
+    t.dropped <- t.dropped + 1;
+    obs_drop t ~src ~dst ~kind len "unreachable"
+  end
   else if
     match t.filter with Some keep -> not (keep ~src ~dst ~kind) | None -> false
-  then t.dropped <- t.dropped + 1
-  else if e.config.loss > 0.0 && Rng.chance t.rng e.config.loss then
-    t.dropped <- t.dropped + 1
+  then begin
+    t.dropped <- t.dropped + 1;
+    obs_drop t ~src ~dst ~kind len "filtered"
+  end
+  else if e.config.loss > 0.0 && Rng.chance t.rng e.config.loss then begin
+    t.dropped <- t.dropped + 1;
+    obs_drop t ~src ~dst ~kind len "loss"
+  end
   else begin
     schedule_delivery t ~src ~dst ~kind payload;
     if e.config.dup > 0.0 && Rng.chance t.rng e.config.dup then begin
       t.duplicated <- t.duplicated + 1;
+      if Obs.on () then begin
+        Metrics.incr m_duplicated;
+        Trace.instant (Obs.trace ()) ~cat:"net" ~space:src
+          ~args:(obs_msg_args ~src ~dst ~kind len)
+          "dup"
+      end;
       schedule_delivery t ~src ~dst ~kind payload
     end
   end

@@ -1,0 +1,16 @@
+let enabled = ref false
+
+let tracer = ref (Trace.create ~capacity:1 ())
+
+let on () = !enabled
+
+let enable ?(capacity = 65536) () =
+  tracer := Trace.create ~capacity ();
+  Metrics.reset Metrics.global;
+  enabled := true
+
+let disable () = enabled := false
+
+let trace () = !tracer
+
+let set_clock f = Trace.set_clock !tracer f

@@ -1,0 +1,27 @@
+(** Observability switch and global sinks.
+
+    All emission points in the scheduler, network, runtime and abstract
+    machines are guarded by {!on}: a single mutable-bool read, so a
+    disabled build pays one predictable branch and zero allocation on
+    the hot paths (the E9/E10 latency experiments run with it off).
+
+    {!enable} installs a fresh {!Trace} ring (so consecutive enabled
+    runs in one process start from identical state — required for the
+    byte-identical-trace determinism oracle) and zeroes the global
+    {!Metrics} registry. *)
+
+(** Is observability enabled?  Cheap enough for hot paths. *)
+val on : unit -> bool
+
+(** Enable tracing and metrics with a fresh ring buffer of [capacity]
+    events and a zeroed global metrics registry. *)
+val enable : ?capacity:int -> unit -> unit
+
+val disable : unit -> unit
+
+(** The current trace buffer (fresh per {!enable}). *)
+val trace : unit -> Trace.t
+
+(** Install a timestamp source on the current trace buffer (the runtime
+    installs its virtual clock here). *)
+val set_clock : (unit -> float) -> unit

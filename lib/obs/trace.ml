@@ -1,0 +1,158 @@
+type phase = Begin | End | Instant | Async_begin | Async_end
+
+type arg = I of int | S of string | F of float
+
+type event = {
+  ts : float;
+  phase : phase;
+  cat : string;
+  name : string;
+  space : int;
+  id : int;
+  args : (string * arg) list;
+}
+
+type t = {
+  buf : event array;
+  capacity : int;
+  mutable start : int;  (* index of the oldest event *)
+  mutable len : int;
+  mutable n_dropped : int;
+  mutable clock : unit -> float;
+  mutable seq : int;  (* default clock: event counter *)
+}
+
+let dummy =
+  { ts = 0.; phase = Instant; cat = ""; name = ""; space = -1; id = -1; args = [] }
+
+let create ?(capacity = 65536) () =
+  if capacity < 1 then invalid_arg "Trace.create: capacity must be positive";
+  let t =
+    {
+      buf = Array.make capacity dummy;
+      capacity;
+      start = 0;
+      len = 0;
+      n_dropped = 0;
+      clock = (fun () -> 0.0);
+      seq = 0;
+    }
+  in
+  t.clock <-
+    (fun () ->
+      t.seq <- t.seq + 1;
+      float_of_int t.seq);
+  t
+
+let set_clock t f = t.clock <- f
+
+let emit t phase ~cat ~space ~id ~args name =
+  let ev = { ts = t.clock (); phase; cat; name; space; id; args } in
+  if t.len = t.capacity then begin
+    (* Ring full: overwrite the oldest. *)
+    t.buf.(t.start) <- ev;
+    t.start <- (t.start + 1) mod t.capacity;
+    t.n_dropped <- t.n_dropped + 1
+  end
+  else begin
+    t.buf.((t.start + t.len) mod t.capacity) <- ev;
+    t.len <- t.len + 1
+  end
+
+let instant t ~cat ~space ?(args = []) name =
+  emit t Instant ~cat ~space ~id:(-1) ~args name
+
+let span_begin t ~cat ~space ?(args = []) name =
+  emit t Begin ~cat ~space ~id:(-1) ~args name
+
+let span_end t ~cat ~space ?(args = []) name =
+  emit t End ~cat ~space ~id:(-1) ~args name
+
+let async_begin t ~cat ~space ~id ?(args = []) name =
+  emit t Async_begin ~cat ~space ~id ~args name
+
+let async_end t ~cat ~space ~id ?(args = []) name =
+  emit t Async_end ~cat ~space ~id ~args name
+
+let events t =
+  List.init t.len (fun i -> t.buf.((t.start + i) mod t.capacity))
+
+let length t = t.len
+
+let dropped t = t.n_dropped
+
+let clear t =
+  t.start <- 0;
+  t.len <- 0;
+  t.n_dropped <- 0;
+  t.seq <- 0
+
+let iter t f =
+  for i = 0 to t.len - 1 do
+    f t.buf.((t.start + i) mod t.capacity)
+  done
+
+(* --- exporters ----------------------------------------------------------- *)
+
+let phase_letter = function
+  | Begin -> 'B'
+  | End -> 'E'
+  | Instant -> 'I'
+  | Async_begin -> 'b'
+  | Async_end -> 'e'
+
+let arg_repr = function
+  | I i -> string_of_int i
+  | S s -> s
+  | F f -> Printf.sprintf "%.12g" f
+
+let to_text t =
+  let buf = Buffer.create (64 * t.len) in
+  iter t (fun ev ->
+      Buffer.add_string buf
+        (Printf.sprintf "%012.6f %c %-7s s%d %s" ev.ts (phase_letter ev.phase)
+           ev.cat ev.space ev.name);
+      if ev.id >= 0 then Buffer.add_string buf (Printf.sprintf " id=%d" ev.id);
+      List.iter
+        (fun (k, v) ->
+          Buffer.add_string buf (Printf.sprintf " %s=%s" k (arg_repr v)))
+        ev.args;
+      Buffer.add_char buf '\n');
+  Buffer.contents buf
+
+let arg_json = function I i -> Json.Int i | S s -> Json.Str s | F f -> Json.Float f
+
+let event_json ev =
+  let base =
+    [
+      ("name", Json.Str ev.name);
+      ("cat", Json.Str ev.cat);
+      ("ph", Json.Str (String.make 1 (phase_letter ev.phase)));
+      (* trace_event timestamps are microseconds *)
+      ("ts", Json.Float (ev.ts *. 1e6));
+      ("pid", Json.Int 0);
+      ("tid", Json.Int ev.space);
+    ]
+  in
+  let base =
+    match ev.phase with
+    | Instant -> base @ [ ("s", Json.Str "t") ]
+    | Async_begin | Async_end -> base @ [ ("id", Json.Int ev.id) ]
+    | Begin | End -> base
+  in
+  let base =
+    match ev.args with
+    | [] -> base
+    | args -> base @ [ ("args", Json.Obj (List.map (fun (k, v) -> (k, arg_json v)) args)) ]
+  in
+  Json.Obj base
+
+let to_chrome t =
+  let buf = Buffer.create (128 * (t.len + 1)) in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  let first = ref true in
+  iter t (fun ev ->
+      if !first then first := false else Buffer.add_char buf ',';
+      Json.to_buf buf (event_json ev));
+  Buffer.add_string buf "],\"displayTimeUnit\":\"ms\"}\n";
+  Buffer.contents buf

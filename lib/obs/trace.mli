@@ -1,0 +1,95 @@
+(** Structured event tracing over a bounded ring buffer.
+
+    The collector's correctness arguments are about interleavings of
+    dirty/clean/ack messages, yet the runtime's aggregate statistics say
+    nothing about ordering.  A trace records the interleaving itself:
+    every layer (scheduler, network, runtime, abstract machines) emits
+    timestamped events into one ring buffer, which exports to a compact
+    text log or to Chrome [trace_event] JSON (load in
+    [chrome://tracing] / Perfetto).
+
+    Because the simulation is deterministic, two runs with the same seed
+    produce byte-identical exports — the trace is a test oracle, not
+    just a debugging aid.
+
+    Events carry a {e phase}: [Begin]/[End] bracket a same-fiber span
+    (e.g. a local collection), [Async_begin]/[Async_end] bracket a span
+    whose two ends live on different fibers or spaces (a message flight,
+    a dirty-call round trip, an RPC), matched by [(cat, name, id)];
+    [Instant] marks a point event.
+
+    Timestamps come from the buffer's clock function: by default a
+    per-buffer event counter (for clock-less layers like the abstract
+    machines), replaced by the virtual clock when a runtime is live
+    ({!set_clock}).  Wall-clock time never enters a trace. *)
+
+type phase = Begin | End | Instant | Async_begin | Async_end
+
+(** Argument values attached to an event. *)
+type arg = I of int | S of string | F of float
+
+type event = {
+  ts : float;
+  phase : phase;
+  cat : string;  (** subsystem: "sched", "net", "gc", "rpc", "machine" *)
+  name : string;
+  space : int;  (** space/process id; [-1] for global (scheduler) events *)
+  id : int;  (** async-span correlation id; [-1] when unused *)
+  args : (string * arg) list;
+}
+
+type t
+
+(** [create ~capacity ()] — a ring holding the last [capacity] events;
+    older events are dropped (counted by {!dropped}). *)
+val create : ?capacity:int -> unit -> t
+
+(** Replace the timestamp source (e.g. the scheduler's virtual clock). *)
+val set_clock : t -> (unit -> float) -> unit
+
+val instant :
+  t -> cat:string -> space:int -> ?args:(string * arg) list -> string -> unit
+
+val span_begin :
+  t -> cat:string -> space:int -> ?args:(string * arg) list -> string -> unit
+
+val span_end :
+  t -> cat:string -> space:int -> ?args:(string * arg) list -> string -> unit
+
+val async_begin :
+  t ->
+  cat:string ->
+  space:int ->
+  id:int ->
+  ?args:(string * arg) list ->
+  string ->
+  unit
+
+val async_end :
+  t ->
+  cat:string ->
+  space:int ->
+  id:int ->
+  ?args:(string * arg) list ->
+  string ->
+  unit
+
+(** Events currently buffered, oldest first. *)
+val events : t -> event list
+
+val length : t -> int
+
+(** Events evicted by ring wraparound since creation. *)
+val dropped : t -> int
+
+val clear : t -> unit
+
+(** {1 Exporters} *)
+
+(** One line per event:
+    [<ts> <phase-letter> <cat> s<space> <name> [id=N] [k=v ...]]. *)
+val to_text : t -> string
+
+(** Chrome [trace_event] JSON (the "JSON Array Format" wrapped in
+    [{"traceEvents": ...}]); timestamps are exported in microseconds. *)
+val to_chrome : t -> string

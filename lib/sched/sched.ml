@@ -1,5 +1,7 @@
 open Effect
 open Effect.Deep
+module Obs = Netobj_obs.Obs
+module Trace = Netobj_obs.Trace
 
 type policy = Fifo | Random of int64
 
@@ -120,13 +122,25 @@ let add_timer t ~deadline wake =
   t.timer_seq <- t.timer_seq + 1;
   Timerq.push t.timers { deadline; seq = t.timer_seq; wake }
 
+(* Fiber life-cycle events (cat "sched", space -1: the scheduler is
+   global).  Guarded so the disabled hot path pays one branch. *)
+let obs_fiber event name =
+  if Obs.on () then
+    Trace.instant (Obs.trace ()) ~cat:"sched" ~space:(-1)
+      ~args:[ ("fiber", Trace.S name) ]
+      event
+
 let exec t name f =
   match_with f ()
     {
-      retc = (fun () -> t.alive <- t.alive - 1);
+      retc =
+        (fun () ->
+          t.alive <- t.alive - 1;
+          obs_fiber "finish" name);
       exnc =
         (fun e ->
           t.alive <- t.alive - 1;
+          obs_fiber "fail" name;
           t.failures <- (name, e) :: t.failures);
       effc =
         (fun (type a) (eff : a Effect.t) ->
@@ -134,12 +148,16 @@ let exec t name f =
           | Suspend register ->
               Some
                 (fun (k : (a, _) continuation) ->
-                  register (fun () -> enqueue t (fun () -> continue k ())))
+                  obs_fiber "block" name;
+                  register (fun () ->
+                      obs_fiber "resume" name;
+                      enqueue t (fun () -> continue k ())))
           | _ -> None);
     }
 
 let spawn t ?(name = "fiber") f =
   t.alive <- t.alive + 1;
+  obs_fiber "spawn" name;
   enqueue t (fun () -> exec t name f)
 
 let suspend register = perform (Suspend register)
@@ -164,6 +182,10 @@ let run ?(max_steps = max_int) ?(until = infinity) t =
         match Timerq.peek t.timers with
         | Some e when e.deadline <= until ->
             t.clock <- Float.max t.clock e.deadline;
+            if Obs.on () then
+              Trace.instant (Obs.trace ()) ~cat:"sched" ~space:(-1)
+                ~args:[ ("t", Trace.F t.clock) ]
+                "clock";
             (* Release every timer due at this instant before running. *)
             let rec drain () =
               match Timerq.peek t.timers with

@@ -12,6 +12,11 @@ The FIFO variant:
   states: 450
   all FIFO-variant invariants hold
 
+  $ netobj_sim fifo -p 3 -b 1
+  model-checking the FIFO variant: 3 processes, copy budget 1
+  states: 98
+  all FIFO-variant invariants hold
+
 The naive race is found (exit code 1), Birrell's algorithm is clean:
 
   $ netobj_sim run -a naive-count -w figure1 -n 100

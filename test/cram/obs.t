@@ -1,0 +1,30 @@
+Tracing a machine run on a fixed seed writes Chrome trace_event JSON
+and a metrics dump:
+
+  $ netobj_sim run -a birrell -w figure1 -n 5 --trace-out t1.json --metrics-out m1.json
+  birrell on figure1 (3 procs, 5 seeds): premature=0 leaked=0 ctrl-msgs/copy=5.00
+
+  $ head -c 52 t1.json
+  {"traceEvents":[{"name":"allocate","cat":"machine","
+  $ tail -c 24 t1.json
+  "displayTimeUnit":"ms"}
+
+Every protocol rule fired shows up as a counter (golden: exact firing
+counts for this seed range):
+
+  $ cat m1.json
+  {"machine.allocate":{"type":"counter","value":5},"machine.collect":{"type":"counter","value":5},"machine.do_clean_ack":{"type":"counter","value":10},"machine.do_clean_call":{"type":"counter","value":10},"machine.do_copy_ack":{"type":"counter","value":10},"machine.do_dirty_ack":{"type":"counter","value":10},"machine.do_dirty_call":{"type":"counter","value":10},"machine.drop_root":{"type":"counter","value":15},"machine.finalize":{"type":"counter","value":10},"machine.make_copy":{"type":"counter","value":10},"machine.receive_clean":{"type":"counter","value":10},"machine.receive_clean_ack":{"type":"counter","value":10},"machine.receive_copy":{"type":"counter","value":10},"machine.receive_copy_ack":{"type":"counter","value":10},"machine.receive_dirty":{"type":"counter","value":10},"machine.receive_dirty_ack":{"type":"counter","value":10}}
+
+Same seed, same bytes — the determinism oracle:
+
+  $ netobj_sim run -a birrell -w figure1 -n 5 --trace-out t2.json --metrics-out m2.json
+  birrell on figure1 (3 procs, 5 seeds): premature=0 leaked=0 ctrl-msgs/copy=5.00
+  $ cmp t1.json t2.json && cmp m1.json m2.json && echo deterministic
+  deterministic
+
+A different seed count produces a different trace:
+
+  $ netobj_sim run -a birrell -w figure1 -n 6 --trace-out t3.json
+  birrell on figure1 (3 procs, 6 seeds): premature=0 leaked=0 ctrl-msgs/copy=5.00
+  $ cmp -s t1.json t3.json || echo different
+  different

@@ -155,6 +155,119 @@ let test_varint_compact () =
   Alcotest.(check bool) "large int bigger" true
     (String.length (P.encode P.int (1 lsl 50)) > 4)
 
+(* --- Rng-seeded randomized roundtrips --------------------------------------
+
+   Complement the QCheck properties with structured generators the
+   QCheck built-ins don't reach: deep recursive values, strings full of
+   NULs and empties, extreme-int edges, and raw Wire op sequences. *)
+
+module Rng = Netobj_util.Rng
+
+let rec gen_tree rng depth =
+  if depth = 0 || Rng.int rng 3 = 0 then Leaf
+  else
+    Node
+      (gen_tree rng (depth - 1), Rng.int rng 1000 - 500, gen_tree rng (depth - 1))
+
+let test_random_deep_trees () =
+  let rng = Rng.create 0xfeedL in
+  for _ = 1 to 200 do
+    let t = gen_tree rng 10 in
+    if roundtrip tree_codec t <> t then Alcotest.fail "random tree mismatch";
+    if roundtrip_headered tree_codec t <> t then
+      Alcotest.fail "random tree headered mismatch"
+  done
+
+let edge_ints =
+  [| 0; 1; -1; 63; -64; 64; max_int; min_int + 1; 1 lsl 62; -(1 lsl 62) |]
+
+let gen_edge_int rng = edge_ints.(Rng.int rng (Array.length edge_ints))
+
+let gen_string rng =
+  match Rng.int rng 5 with
+  | 0 -> ""
+  | 1 -> String.make (Rng.int rng 4) '\x00'
+  | _ -> String.init (Rng.int rng 64) (fun _ -> Char.chr (Rng.int rng 256))
+
+let test_random_edges () =
+  let rng = Rng.create 0xabcdL in
+  let codec = P.list (P.pair P.int (P.option P.string)) in
+  for _ = 1 to 300 do
+    let n = gen_edge_int rng in
+    if roundtrip P.int n <> n then Alcotest.failf "edge int %d" n;
+    let s = gen_string rng in
+    if roundtrip P.string s <> s then Alcotest.fail "random string";
+    let v =
+      List.init (Rng.int rng 8) (fun _ ->
+          ( gen_edge_int rng,
+            if Rng.bool rng then None else Some (gen_string rng) ))
+    in
+    if roundtrip codec v <> v then Alcotest.fail "edge list mismatch"
+  done
+
+(* Raw Wire sequences: write a random op list, read it back in order;
+   every value must survive and the reader must land exactly at the end. *)
+type wire_op =
+  | Wbyte of int
+  | Wuvarint of int
+  | Wvarint of int
+  | Wint32 of int32
+  | Wint64 of int64
+  | Wfloat of float
+  | Wstring of string
+  | Wraw of string
+
+let gen_wire_op rng =
+  match Rng.int rng 8 with
+  | 0 -> Wbyte (Rng.int rng 256)
+  | 1 ->
+      Wuvarint
+        (if Rng.int rng 4 = 0 then max_int
+         else Int64.to_int (Int64.shift_right_logical (Rng.next_int64 rng) 2))
+  | 2 -> Wvarint (gen_edge_int rng)
+  | 3 -> Wint32 (Int64.to_int32 (Rng.next_int64 rng))
+  | 4 -> Wint64 (Rng.next_int64 rng)
+  | 5 ->
+      (* random bit patterns: exercises subnormals, infinities, nans *)
+      Wfloat (Int64.float_of_bits (Rng.next_int64 rng))
+  | 6 -> Wstring (gen_string rng)
+  | _ -> Wraw (gen_string rng)
+
+let write_wire_op w = function
+  | Wbyte b -> Wire.Writer.byte w b
+  | Wuvarint n -> Wire.Writer.uvarint w n
+  | Wvarint n -> Wire.Writer.varint w n
+  | Wint32 n -> Wire.Writer.int32 w n
+  | Wint64 n -> Wire.Writer.int64 w n
+  | Wfloat f -> Wire.Writer.float w f
+  | Wstring s -> Wire.Writer.string w s
+  | Wraw s -> Wire.Writer.raw w s
+
+let check_wire_op r = function
+  | Wbyte b -> if Wire.Reader.byte r <> b then Alcotest.fail "byte"
+  | Wuvarint n -> if Wire.Reader.uvarint r <> n then Alcotest.fail "uvarint"
+  | Wvarint n -> if Wire.Reader.varint r <> n then Alcotest.fail "varint"
+  | Wint32 n -> if Wire.Reader.int32 r <> n then Alcotest.fail "int32"
+  | Wint64 n -> if Wire.Reader.int64 r <> n then Alcotest.fail "int64"
+  | Wfloat f ->
+      (* compare bit patterns: the wire format is IEEE-754 verbatim *)
+      if Int64.bits_of_float (Wire.Reader.float r) <> Int64.bits_of_float f
+      then Alcotest.fail "float bits"
+  | Wstring s -> if Wire.Reader.string r <> s then Alcotest.fail "string"
+  | Wraw s ->
+      if Wire.Reader.raw r (String.length s) <> s then Alcotest.fail "raw"
+
+let test_wire_op_sequences () =
+  let rng = Rng.create 0x5eedL in
+  for _ = 1 to 200 do
+    let ops = List.init (1 + Rng.int rng 24) (fun _ -> gen_wire_op rng) in
+    let w = Wire.Writer.create () in
+    List.iter (write_wire_op w) ops;
+    let r = Wire.Reader.of_string (Wire.Writer.contents w) in
+    List.iter (check_wire_op r) ops;
+    if not (Wire.Reader.at_end r) then Alcotest.fail "reader not at end"
+  done
+
 let pickle_props =
   let open QCheck in
   [
@@ -194,6 +307,12 @@ let () =
           Alcotest.test_case "malformed" `Quick test_malformed;
           Alcotest.test_case "fingerprint" `Quick test_fingerprint_structural;
           Alcotest.test_case "varint compact" `Quick test_varint_compact;
+        ] );
+      ( "randomized",
+        [
+          Alcotest.test_case "deep random trees" `Quick test_random_deep_trees;
+          Alcotest.test_case "edge values" `Quick test_random_edges;
+          Alcotest.test_case "wire op sequences" `Quick test_wire_op_sequences;
         ] );
       ("props", List.map QCheck_alcotest.to_alcotest pickle_props);
     ]
