@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-json examples check clean doc
+.PHONY: all build test bench bench-json bench-compare examples check clean doc
 
 all: build
 
@@ -8,13 +8,19 @@ build:
 test:
 	dune runtest
 
-# Every experiment table (E1-E15); see EXPERIMENTS.md.
+# Every experiment table (E1-E17); see EXPERIMENTS.md.
 bench:
 	dune exec bench/main.exe
 
 # Same, plus a machine-readable per-experiment metrics dump.
 bench-json:
 	dune exec bench/main.exe -- --json BENCH_netobj.json
+
+# Re-run the bench and diff CPU times against the committed baseline;
+# fails on a >20% regression in any experiment above the noise floor.
+bench-compare:
+	dune exec bench/main.exe -- --json /tmp/bench_current.json
+	dune exec tools/bench_compare.exe -- BENCH_netobj.json /tmp/bench_current.json
 
 examples:
 	dune exec examples/quickstart.exe

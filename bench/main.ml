@@ -19,6 +19,8 @@
      E13 ablation    the Note 4 clean-cancellation optimisation
      E14 cycles      distributed cycles: the leak and the hybrid fix
      E15 scale       per-client GC cost vs system size
+     E16 pool        writer pool + slice decode on the marshalling path
+     E17 coalesce    per-destination message coalescing vs single sends
 
    Run all:       dune exec bench/main.exe
    Run a subset:  dune exec bench/main.exe -- race family fifo *)
@@ -51,22 +53,10 @@ let r0 : T.rref = { T.owner = 0; index = 0 }
 
 (* ------------------------------------------------------------------ E1 *)
 
-let algorithms : (string * (procs:int -> seed:int64 -> Algo.view)) list =
-  [
-    ( "naive-count",
-      fun ~procs ~seed -> Naive.create ~mode:Naive.Counting ~procs ~seed );
-    ( "naive-list",
-      fun ~procs ~seed -> Naive.create ~mode:Naive.Listing ~procs ~seed );
-    ("birrell", fun ~procs ~seed -> Birrell_view.create ~procs ~seed);
-    ("lermen-maurer", fun ~procs ~seed -> Lermen_maurer.create ~procs ~seed);
-    ("weighted", fun ~procs ~seed -> Weighted.create ~procs ~seed ());
-    ("indirect", fun ~procs ~seed -> Indirect.create ~procs ~seed);
-    ("inc-dec", fun ~procs ~seed -> Inc_dec.create ~procs ~seed);
-    ("ssp", fun ~procs ~seed -> Netobj_dgc.Ssp.create ~procs ~seed);
-    ( "birrell-fifo",
-      fun ~procs ~seed -> Netobj_dgc.Fifo_view.create ~procs ~seed );
-    ("mancini", fun ~procs ~seed -> Netobj_dgc.Mancini.create ~procs ~seed);
-  ]
+(* The fault-free members of the shared algorithm registry; the [fault]
+   entry gets its own experiment (E8). *)
+let algorithms : (string * Netobj_dgc.Registry.make) list =
+  List.filter (fun (n, _) -> n <> "fault") Netobj_dgc.Registry.registry
 
 let e1_race () =
   section "E1: the naive race (Figure 1) — 500 adversarial schedules each";
@@ -482,11 +472,9 @@ let e8_fault () =
   section "E8b: fault tolerance (§6) on the runtime";
   (* 8a: duplicated GC messages are idempotent thanks to seqnos. *)
   let cfg =
-    {
-      (R.default_config ~nspaces:3) with
-      R.seed = 5L;
-      edge = { (Net.bag_edge ()) with Net.dup = 0.4 };
-    }
+    R.config ~seed:5L
+      ~edge:{ (Net.bag_edge ()) with Net.dup = 0.4 }
+      ~nspaces:3 ()
   in
   let rt = R.create cfg in
   let owner = R.space rt 0 in
@@ -512,9 +500,7 @@ let e8_fault () =
     !calls_ok st.Net.duplicated
     (R.dirty_set owner counter = []);
   (* 8b: clean-message loss + retry demon. *)
-  let cfg =
-    { (R.default_config ~nspaces:2) with R.seed = 6L; clean_retry = Some 0.5 }
-  in
+  let cfg = R.config ~seed:6L ~clean_retry:0.5 ~nspaces:2 () in
   let rt = R.create cfg in
   let owner = R.space rt 0 in
   let counter = counter_obj owner in
@@ -549,12 +535,7 @@ let e8_fault () =
   List.iter
     (fun period ->
       let cfg =
-        {
-          (R.default_config ~nspaces:2) with
-          R.seed = 7L;
-          ping_period = Some period;
-          lease_misses = 2;
-        }
+        R.config ~seed:7L ~ping_period:period ~lease_misses:2 ~nspaces:2 ()
       in
       let rt = R.create cfg in
       let owner = R.space rt 0 in
@@ -608,7 +589,7 @@ let bechamel_run ~quota tests =
 
 let e9_rpc () =
   section "E9: invocation latency (simulator wall-clock, Bechamel)";
-  let rt = R.create { (R.default_config ~nspaces:2) with R.seed = 11L } in
+  let rt = R.create (R.config ~seed:11L ~nspaces:2 ()) in
   let owner = R.space rt 0 and client = R.space rt 1 in
   let counter = counter_obj owner in
   R.publish owner "c" counter;
@@ -641,13 +622,7 @@ let e9_rpc () =
     ];
   (* Wire cost per call under the three ack strategies. *)
   let messages ~piggyback ~with_ref =
-    let cfg =
-      {
-        (R.default_config ~nspaces:2) with
-        R.seed = 41L;
-        piggyback_acks = piggyback;
-      }
-    in
+    let cfg = R.config ~seed:41L ~piggyback_acks:piggyback ~nspaces:2 () in
     let rt = R.create cfg in
     let owner = R.space rt 0 and client = R.space rt 1 in
     let counter = counter_obj owner in
@@ -740,12 +715,10 @@ let e11_transmit () =
   let survived = ref 0 and runs = 100 in
   for seed = 1 to runs do
     let cfg =
-      {
-        (R.default_config ~nspaces:3) with
-        R.seed = Int64.of_int seed;
-        policy = Sched.Random (Int64.of_int (seed * 17));
-        gc_period = Some 0.003 (* aggressive collectors everywhere *);
-      }
+      R.config ~seed:(Int64.of_int seed)
+        ~policy:(Sched.Random (Int64.of_int (seed * 17)))
+        ~gc_period:0.003 (* aggressive collectors everywhere *)
+        ~nspaces:3 ()
     in
     let rt = R.create cfg in
     let owner = R.space rt 0 and a = R.space rt 1 and c = R.space rt 2 in
@@ -784,7 +757,7 @@ let e12_churn () =
   row "%-12s %10s %10s %12s@." "churn" "dirty" "clean" "clean/churn";
   List.iter
     (fun rounds ->
-      let rt = R.create { (R.default_config ~nspaces:2) with R.seed = 21L } in
+      let rt = R.create (R.config ~seed:21L ~nspaces:2 ()) in
       let owner = R.space rt 0 and client = R.space rt 1 in
       let counter = counter_obj owner in
       R.publish owner "c" counter;
@@ -807,11 +780,9 @@ let e12_churn () =
   List.iter
     (fun batch ->
       let cfg =
-        {
-          (R.default_config ~nspaces:2) with
-          R.seed = 17L;
-          clean_batch = (if batch then Some 0.05 else None);
-        }
+        R.config ~seed:17L
+          ?clean_batch:(if batch then Some 0.05 else None)
+          ~nspaces:2 ()
       in
       let rt = R.create cfg in
       let owner = R.space rt 0 and client = R.space rt 1 in
@@ -891,7 +862,7 @@ let e14_cycles () =
     "tracing frees";
   List.iter
     (fun (k, n) ->
-      let rt = R.create { (R.default_config ~nspaces:n) with R.seed = 5L } in
+      let rt = R.create (R.config ~seed:5L ~nspaces:n ()) in
       let nodes =
         List.init k (fun i ->
             let sp = R.space rt (i mod n) in
@@ -940,7 +911,7 @@ let e15_scale () =
   row "%-10s %14s %16s %16s@." "spaces" "GC msgs/client" "calls ok" "dirty max";
   List.iter
     (fun n ->
-      let rt = R.create { (R.default_config ~nspaces:n) with R.seed = 37L } in
+      let rt = R.create (R.config ~seed:37L ~nspaces:n ()) in
       let owner = R.space rt 0 in
       let counter = counter_obj owner in
       R.publish owner "c" counter;
@@ -973,6 +944,105 @@ let e15_scale () =
   row "(GC cost per client is flat in system size: the collector is@.";
   row " direct and per-reference — the survey's scalability claim)@."
 
+(* ------------------------------------------------------------------ E16 *)
+
+module Wire = Netobj_pickle.Wire
+
+let e16_pool () =
+  section "E16: writer pool and slice decode (marshalling hot path)";
+  let ints = List.init 100 Fun.id in
+  let list_codec = P.list P.int in
+  let pair_codec = P.pair P.int (P.list P.string) in
+  let pair_v = (42, [ "a"; "bb"; "ccc" ]) in
+  (* Large argument record: the case where a fresh buffer must regrow
+     from its initial size on every encode, while a pooled writer stays
+     grown across calls. *)
+  let big_codec = P.list P.string in
+  let big_v = List.init 16 (fun i -> String.make 512 (Char.chr (65 + i))) in
+  (* The non-pooled baseline this PR replaced: a fresh buffer per encode,
+     snapshotted at the end. *)
+  let fresh_encode c v () =
+    let w = Wire.Writer.create () in
+    P.write c w v;
+    ignore (Wire.Writer.to_bytes w)
+  in
+  let pooled_encode c v () = ignore (P.encode c v) in
+  (* A message at an interior offset of a larger delivered frame. *)
+  let body = P.encode list_codec ints in
+  let framed = String.concat "" [ "\012frame-header"; body; "trailer" ] in
+  let off = 13 and len = String.length body in
+  let copy_decode () = ignore (P.decode list_codec (String.sub framed off len)) in
+  let slice_decode () = ignore (P.decode_slice list_codec framed ~off ~len) in
+  bechamel_run ~quota:0.3
+    [
+      ("encode int list 100 (fresh buffer)", fresh_encode list_codec ints);
+      ("encode int list 100 (pooled)", pooled_encode list_codec ints);
+      ("encode mixed pair (fresh buffer)", fresh_encode pair_codec pair_v);
+      ("encode mixed pair (pooled)", pooled_encode pair_codec pair_v);
+      ("encode 8KiB strings (fresh buffer)", fresh_encode big_codec big_v);
+      ("encode 8KiB strings (pooled)", pooled_encode big_codec big_v);
+      ("decode framed int list 100 (copy)", copy_decode);
+      ("decode framed int list 100 (slice)", slice_decode);
+    ];
+  Wire.Writer.reset_pool_stats ();
+  for _ = 1 to 10_000 do
+    ignore (P.encode pair_codec pair_v)
+  done;
+  let hits, misses = Wire.Writer.pool_stats () in
+  row "pool over 10k encodes: %d hits / %d misses (%.4f hit ratio)@." hits
+    misses
+    (float_of_int hits /. float_of_int (hits + misses))
+
+(* ------------------------------------------------------------------ E17 *)
+
+(* Chatter-heavy workload: 3 clients each touch 16 remote objects, then
+   every space collects, so dirty, call, reply, clean-batch and ack
+   traffic all cross the same few edges in bursts. *)
+let e17_coalesce () =
+  section "E17: per-destination coalescing (frames vs single messages)";
+  let run ~coalesce =
+    let cfg =
+      R.config ~seed:13L ~clean_batch:0.05 ~piggyback_acks:true ~coalesce
+        ~nspaces:4 ()
+    in
+    let rt = R.create cfg in
+    let owner = R.space rt 0 in
+    let objs = List.init 16 (fun i -> (i, counter_obj owner)) in
+    List.iter (fun (i, o) -> R.publish owner (Printf.sprintf "o%d" i) o) objs;
+    for cl = 1 to 3 do
+      R.spawn rt (fun () ->
+          let sp = R.space rt cl in
+          List.iter
+            (fun (i, _) ->
+              let h = R.lookup sp ~at:0 (Printf.sprintf "o%d" i) in
+              ignore (Stub.call sp h m_incr 1);
+              R.release sp h)
+            objs)
+    done;
+    ignore (R.run rt);
+    R.collect_all rt;
+    ignore (R.run rt);
+    (Net.stats (R.net rt), R.gc_stats (R.space rt 1))
+  in
+  let off_st, off_gc = run ~coalesce:false in
+  let on_st, on_gc = run ~coalesce:true in
+  row "%-22s %10s %10s %10s %10s@." "mode" "physical" "delivered" "bytes"
+    "frames";
+  row "%-22s %10d %10d %10d %10d@." "single messages" off_st.Net.sent
+    off_st.Net.delivered off_st.Net.bytes off_st.Net.frames;
+  row "%-22s %10d %10d %10d %10d@." "coalesced" on_st.Net.sent
+    on_st.Net.delivered on_st.Net.bytes on_st.Net.frames;
+  row "packing ratio: %.2f logical msgs/frame; physical sends %d -> %d (%.1f%%)@."
+    (float_of_int on_st.Net.coalesced /. float_of_int (max 1 on_st.Net.frames))
+    off_st.Net.sent on_st.Net.sent
+    (100.0
+    *. float_of_int (off_st.Net.sent - on_st.Net.sent)
+    /. float_of_int (max 1 off_st.Net.sent));
+  row "gc_stats parity (dirty/clean/acks): %b@."
+    (off_gc.R.dirty_calls = on_gc.R.dirty_calls
+    && off_gc.R.clean_calls = on_gc.R.clean_calls
+    && off_gc.R.copy_acks = on_gc.R.copy_acks)
+
 (* ------------------------------------------------------------------ main *)
 
 let experiments =
@@ -992,6 +1062,8 @@ let experiments =
     ("ablation", e13_ablation);
     ("cycles", e14_cycles);
     ("scale", e15_scale);
+    ("pool", e16_pool);
+    ("coalesce", e17_coalesce);
   ]
 
 (* --json PATH: machine-readable results.  Each experiment runs with the

@@ -136,31 +136,7 @@ let walk_cmd =
 
 (* --- run -------------------------------------------------------------------- *)
 
-let algos =
-  [
-    ( "birrell",
-      fun ~procs ~seed -> Netobj_dgc.Birrell_view.create ~procs ~seed );
-    ( "naive-count",
-      fun ~procs ~seed ->
-        Netobj_dgc.Naive.create ~mode:Netobj_dgc.Naive.Counting ~procs ~seed );
-    ( "naive-list",
-      fun ~procs ~seed ->
-        Netobj_dgc.Naive.create ~mode:Netobj_dgc.Naive.Listing ~procs ~seed );
-    ( "lermen-maurer",
-      fun ~procs ~seed -> Netobj_dgc.Lermen_maurer.create ~procs ~seed );
-    ("weighted", fun ~procs ~seed -> Netobj_dgc.Weighted.create ~procs ~seed ());
-    ("indirect", fun ~procs ~seed -> Netobj_dgc.Indirect.create ~procs ~seed);
-    ("inc-dec", fun ~procs ~seed -> Netobj_dgc.Inc_dec.create ~procs ~seed);
-    ("ssp", fun ~procs ~seed -> Netobj_dgc.Ssp.create ~procs ~seed);
-    ("mancini", fun ~procs ~seed -> Netobj_dgc.Mancini.create ~procs ~seed);
-    ( "birrell-fifo",
-      fun ~procs ~seed -> Netobj_dgc.Fifo_view.create ~procs ~seed );
-    ( "fault",
-      fun ~procs ~seed ->
-        fst
-          (Netobj_dgc.Fault.create ~drop_budget:4 ~dup_budget:4
-             ~timeout_prob:0.05 ~procs ~seed ()) );
-  ]
+module Registry = Netobj_dgc.Registry
 
 let workload_of procs = function
   | "figure1" -> Workload.figure1
@@ -171,10 +147,10 @@ let workload_of procs = function
   | w -> Fmt.failwith "unknown workload %s" w
 
 let run_harness algo workload procs seeds trace_out metrics_out =
-  match List.assoc_opt algo algos with
+  match Registry.find algo with
   | None ->
       Fmt.epr "unknown algorithm %s (have: %s)@." algo
-        (String.concat ", " (List.map fst algos));
+        (String.concat ", " Registry.names);
       1
   | Some make ->
       with_obs ~trace_out ~metrics_out @@ fun () ->
@@ -199,7 +175,9 @@ let algo_arg =
     value
     & opt string "birrell"
     & info [ "a"; "algo" ] ~docv:"ALGO"
-        ~doc:"Algorithm: birrell, naive-count, naive-list, lermen-maurer, weighted, indirect, inc-dec, ssp, mancini, birrell-fifo, fault.")
+        ~doc:
+          (Printf.sprintf "Algorithm: %s."
+             (String.concat ", " Registry.names)))
 
 let workload_arg =
   Arg.(

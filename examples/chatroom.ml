@@ -69,7 +69,7 @@ let make_listener sp ~name ~log =
       ]
 
 let () =
-  let rt = R.create (R.default_config ~nspaces:3) in
+  let rt = R.create (R.config ~nspaces:3 ()) in
   let server = R.space rt 0 in
   let room = make_room server in
   R.publish server "room" room;

@@ -35,7 +35,7 @@ let node_obj sp =
   Lazy.force node
 
 let () =
-  let rt = R.create (R.default_config ~nspaces:2) in
+  let rt = R.create (R.config ~nspaces:2 ()) in
   let a = R.space rt 0 and b = R.space rt 1 in
 
   (* Each space owns a node; publish them so the other side can link. *)

@@ -39,7 +39,7 @@ let make_account sp ~initial =
       ]
 
 let () =
-  let rt = R.create (R.default_config ~nspaces:2) in
+  let rt = R.create (R.config ~nspaces:2 ()) in
   let bank = R.space rt 0 in
   let client = R.space rt 1 in
 

@@ -43,7 +43,7 @@ let make_task sp ~queue ~state =
 let () =
   let n_tasks = 12 in
   let n_workers = 3 in
-  let rt = R.create (R.default_config ~nspaces:(n_workers + 1)) in
+  let rt = R.create (R.config ~nspaces:(n_workers + 1) ()) in
   let master = R.space rt 0 in
 
   let states =

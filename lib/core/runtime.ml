@@ -27,6 +27,10 @@ let m_reclaimed = Metrics.counter Metrics.global "runtime.reclaimed"
 
 let g_dirty_entries = Metrics.gauge Metrics.global "runtime.dirty_entries"
 
+let g_pool_hits = Metrics.gauge Metrics.global "pickle.pool_hits"
+
+let g_pool_misses = Metrics.gauge Metrics.global "pickle.pool_misses"
+
 let h_gc_pause = Metrics.histogram Metrics.global "runtime.gc_pause_us"
 
 let h_gc_reclaimed = Metrics.histogram Metrics.global "runtime.gc_reclaimed"
@@ -82,23 +86,40 @@ type config = {
   clean_retry : float option;
   clean_batch : float option;
   piggyback_acks : bool;
+  coalesce : bool;
 }
 
-let default_config ~nspaces =
+let config ?(seed = 1L) ?(policy = Sched.Fifo) ?(edge = Net.bag_edge ())
+    ?gc_period ?ping_period ?(lease_misses = 3) ?call_timeout ?dirty_timeout
+    ?clean_retry ?clean_batch ?(piggyback_acks = false) ?(coalesce = false)
+    ~nspaces () =
   {
     nspaces;
-    seed = 1L;
-    policy = Sched.Fifo;
-    edge = Net.bag_edge ();
-    gc_period = None;
-    ping_period = None;
-    lease_misses = 3;
-    call_timeout = None;
-    dirty_timeout = None;
-    clean_retry = None;
-    clean_batch = None;
-    piggyback_acks = false;
+    seed;
+    policy;
+    edge;
+    gc_period;
+    ping_period;
+    lease_misses;
+    call_timeout;
+    dirty_timeout;
+    clean_retry;
+    clean_batch;
+    piggyback_acks;
+    coalesce;
   }
+
+let with_seed cfg seed = { cfg with seed }
+
+let with_policy cfg policy = { cfg with policy }
+
+let with_edge cfg edge = { cfg with edge }
+
+let with_coalesce cfg coalesce = { cfg with coalesce }
+
+let config_nspaces cfg = cfg.nspaces
+
+let config_seed cfg = cfg.seed
 
 type gc_stats = {
   dirty_calls : int;
@@ -223,7 +244,16 @@ let sched rt = rt.sched
 
 let net rt = rt.network
 
-let run ?max_steps ?until rt = Sched.run ?max_steps ?until rt.sched
+let run ?max_steps ?until rt =
+  let steps = Sched.run ?max_steps ?until rt.sched in
+  (* Snapshot writer-pool effectiveness so metrics dumps show how much of
+     the marshalling traffic reused buffers. *)
+  if Obs.on () then begin
+    let hits, misses = Wire.Writer.pool_stats () in
+    Metrics.set_gauge g_pool_hits (float_of_int hits);
+    Metrics.set_gauge g_pool_misses (float_of_int misses)
+  end;
+  steps
 
 let spawn rt ?name f = Sched.spawn rt.sched ?name f
 
@@ -243,9 +273,15 @@ let next_seqno sp wr =
   Wirerep.Tbl.replace sp.seqno wr n;
   n
 
+(* With coalescing on, every protocol message goes through the outbox:
+   clean batches, piggybacked acks and ordinary calls posted at the same
+   instant share one frame per destination. *)
 let send_env sp ~dst env =
-  Net.send sp.rt.network ~src:sp.id ~dst ~kind:(Proto.kind env)
-    (Pickle.encode Proto.codec env)
+  let payload = Pickle.encode Proto.codec env in
+  let kind = Proto.kind env in
+  if sp.rt.config.coalesce then
+    Net.post sp.rt.network ~src:sp.id ~dst ~kind payload
+  else Net.send sp.rt.network ~src:sp.id ~dst ~kind payload
 
 (* --- surrogate registration (the dirty protocol, client side) ----------- *)
 
@@ -336,8 +372,11 @@ let handle_codec =
 let encode_with_pins sp f =
   let msg_id = fresh_msg_id sp in
   let pinned = ref [] in
-  let w = Wire.Writer.create () in
-  with_ctx (Enc { esp = sp; e_pinned = pinned }) (fun () -> f w);
+  let payload =
+    Wire.Writer.with_pooled (fun w ->
+        with_ctx (Enc { esp = sp; e_pinned = pinned }) (fun () -> f w);
+        Bytes.unsafe_to_string (Wire.Writer.to_bytes w))
+  in
   let has_refs = !pinned <> [] in
   if has_refs then begin
     Hashtbl.replace sp.tdirty msg_id !pinned;
@@ -349,7 +388,7 @@ let encode_with_pins sp f =
         ~args:[ ("refs", Trace.I (List.length !pinned)) ]
         "pins"
   end;
-  (msg_id, has_refs, Wire.Writer.contents w)
+  (msg_id, has_refs, payload)
 
 let release_pins_for sp msg_id =
   match Hashtbl.find_opt sp.tdirty msg_id with
@@ -1214,8 +1253,8 @@ let create config =
          and is permanently rooted. *)
       let agent = allocate sp ~meths:[ agent_publish_meth; agent_lookup_meth ] in
       assert (agent.wr.Wirerep.index = 0);
-      Net.set_handler network sp.id (fun ~src ~kind:_ ~payload ->
-          match Pickle.decode Proto.codec payload with
+      Net.set_handler network sp.id (fun ~src ~kind:_ ~payload ~off ~len ->
+          match Pickle.decode_slice Proto.codec payload ~off ~len with
           | env -> handle_envelope sp ~src env
           | exception e ->
               Log.err (fun m ->

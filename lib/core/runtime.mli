@@ -39,29 +39,58 @@ exception Remote_error of string
 (** Raised when a call or dirty call exceeds its configured timeout. *)
 exception Timeout of string
 
-type config = {
-  nspaces : int;
-  seed : int64;
-  policy : Sched.policy;
-  edge : Net.edge_config;
-  gc_period : float option;  (** run each space's local GC periodically *)
-  ping_period : float option;  (** owner pings clients in its dirty sets *)
-  lease_misses : int;  (** missed pings before a client is presumed dead *)
-  call_timeout : float option;
-  dirty_timeout : float option;  (** give up on surrogate creation *)
-  clean_retry : float option;  (** re-send unacknowledged clean calls *)
-  clean_batch : float option;
-      (** gather clean calls for this long and send one batched message
-          per owner (the TR's cleaning-demon batching optimisation) *)
-  piggyback_acks : bool;
-      (** elide copy_acks for messages that carried no references, and
-          ride the ack of a call's references on its reply — the paper's
-          "piggy-back GC messages onto mutator messages" *)
-}
+(** Runtime configuration.  The type is abstract: build one with the
+    {!config} constructor (defaults are the fault-free baseline —
+    reliable reordering network, no demons, no timeouts) and derive
+    variants with the [with_*] accessors.  New knobs can then be added
+    without breaking any call site. *)
+type config
 
-(** Fault-free defaults: reliable reordering network, no demons, no
-    timeouts. *)
-val default_config : nspaces:int -> config
+(** [config ~nspaces ()] with every knob optional:
+    - [seed] drives all randomness (default [1L]);
+    - [policy] is the scheduling policy (default {!Sched.Fifo});
+    - [edge] is applied to every network edge (default {!Net.bag_edge});
+    - [gc_period] runs each space's local GC periodically;
+    - [ping_period] makes owners ping clients in their dirty sets, and
+      [lease_misses] (default 3) is how many missed pings evict a client;
+    - [call_timeout] / [dirty_timeout] bound remote calls and surrogate
+      creation; [clean_retry] re-sends unacknowledged clean calls;
+    - [clean_batch] gathers clean calls for that long and sends one
+      batched message per owner (the TR's cleaning-demon batching);
+    - [piggyback_acks] elides copy_acks for messages that carried no
+      references and rides a call's ack on its reply — the paper's
+      "piggy-back GC messages onto mutator messages";
+    - [coalesce] routes every protocol message through the network's
+      per-destination outbox ({!Net.post}), packing messages emitted at
+      the same instant into one frame per edge. *)
+val config :
+  ?seed:int64 ->
+  ?policy:Sched.policy ->
+  ?edge:Net.edge_config ->
+  ?gc_period:float ->
+  ?ping_period:float ->
+  ?lease_misses:int ->
+  ?call_timeout:float ->
+  ?dirty_timeout:float ->
+  ?clean_retry:float ->
+  ?clean_batch:float ->
+  ?piggyback_acks:bool ->
+  ?coalesce:bool ->
+  nspaces:int ->
+  unit ->
+  config
+
+val with_seed : config -> int64 -> config
+
+val with_policy : config -> Sched.policy -> config
+
+val with_edge : config -> Net.edge_config -> config
+
+val with_coalesce : config -> bool -> config
+
+val config_nspaces : config -> int
+
+val config_seed : config -> int64
 
 val create : config -> t
 

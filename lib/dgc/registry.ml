@@ -1,0 +1,24 @@
+type make = procs:int -> seed:int64 -> Algo.view
+
+let registry : (string * make) list =
+  [
+    ("naive-count", fun ~procs ~seed -> Naive.create ~mode:Naive.Counting ~procs ~seed);
+    ("naive-list", fun ~procs ~seed -> Naive.create ~mode:Naive.Listing ~procs ~seed);
+    ("birrell", fun ~procs ~seed -> Birrell_view.create ~procs ~seed);
+    ("birrell-fifo", fun ~procs ~seed -> Fifo_view.create ~procs ~seed);
+    ("lermen-maurer", fun ~procs ~seed -> Lermen_maurer.create ~procs ~seed);
+    ("weighted", fun ~procs ~seed -> Weighted.create ~procs ~seed ());
+    ("indirect", fun ~procs ~seed -> Indirect.create ~procs ~seed);
+    ("inc-dec", fun ~procs ~seed -> Inc_dec.create ~procs ~seed);
+    ("ssp", fun ~procs ~seed -> Ssp.create ~procs ~seed);
+    ("mancini", fun ~procs ~seed -> Mancini.create ~procs ~seed);
+    ( "fault",
+      fun ~procs ~seed ->
+        fst
+          (Fault.create ~drop_budget:4 ~dup_budget:4 ~timeout_prob:0.05 ~procs
+             ~seed ()) );
+  ]
+
+let find name = List.assoc_opt name registry
+
+let names = List.map fst registry

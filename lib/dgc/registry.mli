@@ -1,0 +1,20 @@
+(** The single name → algorithm table.
+
+    Every executable that takes an [--algo] argument (the simulator, the
+    bench harness) resolves it here, so adding an algorithm is one line
+    in one place and every front end picks it up, docs included.
+
+    [fault] is the fault-tolerant Birrell variant wrapped in its default
+    adversary (bounded drops/dups, 5% timeout probability); the other
+    entries are the fault-free views. *)
+
+type make = procs:int -> seed:int64 -> Algo.view
+
+(** In presentation order: the naive baselines first, then the
+    Birrell-family algorithms, then the alternative schemes. *)
+val registry : (string * make) list
+
+val find : string -> make option
+
+(** Registered names, in {!registry} order. *)
+val names : string list

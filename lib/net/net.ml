@@ -3,6 +3,7 @@ module Rng = Netobj_util.Rng
 module Obs = Netobj_obs.Obs
 module Trace = Netobj_obs.Trace
 module Metrics = Netobj_obs.Metrics
+module Wire = Netobj_pickle.Wire
 
 (* Global-registry mirrors of the per-network stats, so enabled runs get
    per-experiment message/byte counts in metrics dumps for free. *)
@@ -15,6 +16,10 @@ let m_delivered = Metrics.counter Metrics.global "net.delivered"
 let m_dropped = Metrics.counter Metrics.global "net.dropped"
 
 let m_duplicated = Metrics.counter Metrics.global "net.duplicated"
+
+let m_frames = Metrics.counter Metrics.global "net.frames"
+
+let m_coalesced = Metrics.counter Metrics.global "net.coalesced"
 
 type addr = int
 
@@ -49,13 +54,23 @@ type stats = {
   dropped : int;
   duplicated : int;
   bytes : int;
+  frames : int;
+  coalesced : int;
 }
+
+type handler =
+  src:addr -> kind:string -> payload:string -> off:int -> len:int -> unit
+
+(* Pending coalesced messages for one directed edge: submessages are
+   serialised into the writer as they are posted ([string kind; string
+   payload] each), so flushing is a single buffer snapshot. *)
+type outbox = { ob_w : Wire.Writer.t; mutable ob_n : int }
 
 type t = {
   sched : Sched.t;
   rng : Rng.t;
   edges : (addr * addr, edge_state) Hashtbl.t;
-  handlers : (addr, src:addr -> kind:string -> payload:string -> unit) Hashtbl.t;
+  handlers : (addr, handler) Hashtbl.t;
   partitions : (addr * addr, unit) Hashtbl.t;
   crashed : (addr, unit) Hashtbl.t;
   mutable filter : (src:addr -> dst:addr -> kind:string -> bool) option;
@@ -65,7 +80,11 @@ type t = {
   mutable dropped : int;
   mutable duplicated : int;
   mutable bytes : int;
+  mutable frames : int;
+  mutable coalesced : int;
   by_kind : (string, (int * int) ref) Hashtbl.t;
+  outboxes : (addr * addr, outbox) Hashtbl.t;
+  mutable flush_armed : bool;
   mutable obs_seq : int;  (* correlation ids for message-flight spans *)
 }
 
@@ -84,7 +103,11 @@ let create ~sched ~seed () =
     dropped = 0;
     duplicated = 0;
     bytes = 0;
+    frames = 0;
+    coalesced = 0;
     by_kind = Hashtbl.create 16;
+    outboxes = Hashtbl.create 16;
+    flush_armed = false;
     obs_seq = 0;
   }
 
@@ -137,12 +160,11 @@ let obs_drop t ~src ~dst ~kind len reason =
       "drop"
   end
 
-let account t kind len =
-  t.sent <- t.sent + 1;
-  t.bytes <- t.bytes + len;
+(* Logical accounting: one unit per application message, whether it later
+   travels alone or packed into a frame.  [stats_by_kind] and the
+   per-kind metrics always see logical counts. *)
+let account_logical t kind len =
   if Obs.on () then begin
-    Metrics.incr m_sent;
-    Metrics.add m_bytes len;
     Metrics.incr (Metrics.counter Metrics.global ("net.sent." ^ kind));
     Metrics.add (Metrics.counter Metrics.global ("net.bytes." ^ kind)) len
   end;
@@ -157,7 +179,22 @@ let account t kind len =
   let n, b = !cell in
   cell := (n + 1, b + len)
 
-let schedule_delivery t ~src ~dst ~kind payload =
+(* Physical accounting: one unit per payload actually handed to the
+   network.  [stats.sent]/[stats.bytes] count these, so a coalesced run
+   reports fewer, larger sends. *)
+let account_physical t len =
+  t.sent <- t.sent + 1;
+  t.bytes <- t.bytes + len;
+  if Obs.on () then begin
+    Metrics.incr m_sent;
+    Metrics.add m_bytes len
+  end
+
+(* [count] is the number of logical messages riding on this payload (1
+   for a direct send); drop/delivery counters advance by [count] so
+   coalesced and direct runs agree on logical totals.  [dispatch h] is
+   called with the destination handler once the payload arrives. *)
+let schedule_delivery t ~src ~dst ~kind ~count payload dispatch =
   let e = edge t src dst in
   let lat = draw_latency t e.config.latency in
   let deadline =
@@ -185,48 +222,61 @@ let schedule_delivery t ~src ~dst ~kind payload =
       Trace.async_end (Obs.trace ()) ~cat:"net" ~space:dst ~id:obs_id
         ~args:[ ("delivered", Trace.I (Bool.to_int delivered)) ]
         kind;
-      if delivered then Metrics.incr m_delivered
+      if delivered then Metrics.add m_delivered count
       else obs_drop t ~src ~dst ~kind len reason
     end
   in
   Sched.spawn t.sched ~name:"net-delivery" (fun () ->
       Sched.sleep t.sched (deadline -. Sched.now t.sched);
       if is_crashed t dst || is_crashed t src || partitioned t src dst then begin
-        t.dropped <- t.dropped + 1;
+        t.dropped <- t.dropped + count;
         obs_arrival false "unreachable"
       end
       else
         match Hashtbl.find_opt t.handlers dst with
         | None ->
-            t.dropped <- t.dropped + 1;
+            t.dropped <- t.dropped + count;
             obs_arrival false "no-handler"
         | Some h ->
-            t.delivered <- t.delivered + 1;
+            t.delivered <- t.delivered + count;
             obs_arrival true "";
-            h ~src ~kind ~payload)
+            dispatch h)
 
 let set_filter t f = t.filter <- f
 
-let send t ~src ~dst ~kind payload =
-  let len = String.length payload in
-  account t kind len;
-  let e = edge t src dst in
+(* Shared send-time drop tests.  Returns [true] when the message was
+   dropped (and accounted). *)
+let dropped_at_send t ~src ~dst ~kind len =
   if partitioned t src dst || is_crashed t dst || is_crashed t src then begin
     t.dropped <- t.dropped + 1;
-    obs_drop t ~src ~dst ~kind len "unreachable"
+    obs_drop t ~src ~dst ~kind len "unreachable";
+    true
   end
   else if
     match t.filter with Some keep -> not (keep ~src ~dst ~kind) | None -> false
   then begin
     t.dropped <- t.dropped + 1;
-    obs_drop t ~src ~dst ~kind len "filtered"
+    obs_drop t ~src ~dst ~kind len "filtered";
+    true
   end
-  else if e.config.loss > 0.0 && Rng.chance t.rng e.config.loss then begin
+  else if
+    (edge t src dst).config.loss > 0.0
+    && Rng.chance t.rng (edge t src dst).config.loss
+  then begin
     t.dropped <- t.dropped + 1;
-    obs_drop t ~src ~dst ~kind len "loss"
+    obs_drop t ~src ~dst ~kind len "loss";
+    true
   end
-  else begin
-    schedule_delivery t ~src ~dst ~kind payload;
+  else false
+
+let send t ~src ~dst ~kind payload =
+  let len = String.length payload in
+  account_logical t kind len;
+  account_physical t len;
+  if not (dropped_at_send t ~src ~dst ~kind len) then begin
+    schedule_delivery t ~src ~dst ~kind ~count:1 payload (fun h ->
+        h ~src ~kind ~payload ~off:0 ~len);
+    let e = edge t src dst in
     if e.config.dup > 0.0 && Rng.chance t.rng e.config.dup then begin
       t.duplicated <- t.duplicated + 1;
       if Obs.on () then begin
@@ -235,7 +285,103 @@ let send t ~src ~dst ~kind payload =
           ~args:(obs_msg_args ~src ~dst ~kind len)
           "dup"
       end;
-      schedule_delivery t ~src ~dst ~kind payload
+      schedule_delivery t ~src ~dst ~kind ~count:1 payload (fun h ->
+          h ~src ~kind ~payload ~off:0 ~len)
+    end
+  end
+
+(* {2 Coalescing}
+
+   [post] queues a message into the per-edge outbox instead of sending it
+   immediately; all outboxes are flushed as single framed payloads either
+   explicitly ([flush]) or automatically once the scheduler reaches the
+   end of the current instant (a 0-delay timer armed on first post — the
+   run loop drains every ready fiber before releasing due timers, so any
+   messages its peers post at the same instant join the same frame).
+
+   Loss, duplication and the drop filter are applied per logical message
+   at post time, so the fault model and its accounting are unchanged;
+   only latency is drawn per frame.  Within a frame submessages are
+   dispatched in post order, and frames on a Fifo edge keep the monotone
+   deadline clamp, so Fifo edges still deliver in order. *)
+
+let frame_kind = "frame"
+
+let submsg_append w ~kind payload =
+  Wire.Writer.string w kind;
+  Wire.Writer.string w payload
+
+let outbox_for t key =
+  match Hashtbl.find_opt t.outboxes key with
+  | Some ob -> ob
+  | None ->
+      let ob = { ob_w = Wire.Writer.checkout (); ob_n = 0 } in
+      Hashtbl.add t.outboxes key ob;
+      ob
+
+(* Each submessage gets its own fiber, matching the fresh-fiber-per-
+   delivery contract of direct sends (handlers may block); spawn order
+   follows frame order, so Fifo edges stay in order under a Fifo
+   scheduling policy. *)
+let dispatch_frame t ~src ~count payload h =
+  let r = Wire.Reader.of_string payload in
+  for _ = 1 to count do
+    let kind = Wire.Reader.string r in
+    let len = Wire.Reader.uvarint r in
+    let off = Wire.Reader.pos r in
+    Wire.Reader.skip r len;
+    Sched.spawn t.sched ~name:"net-delivery" (fun () ->
+        h ~src ~kind ~payload ~off ~len)
+  done
+
+let flush t =
+  t.flush_armed <- false;
+  if Hashtbl.length t.outboxes > 0 then begin
+    let pending =
+      Hashtbl.fold (fun key ob acc -> (key, ob) :: acc) t.outboxes []
+      |> List.sort (fun ((a, b), _) ((c, d), _) ->
+             match Int.compare a c with 0 -> Int.compare b d | n -> n)
+    in
+    Hashtbl.reset t.outboxes;
+    List.iter
+      (fun ((src, dst), ob) ->
+        let payload = Bytes.unsafe_to_string (Wire.Writer.to_bytes ob.ob_w) in
+        let count = ob.ob_n in
+        Wire.Writer.return ob.ob_w;
+        account_physical t (String.length payload);
+        t.frames <- t.frames + 1;
+        t.coalesced <- t.coalesced + count;
+        if Obs.on () then begin
+          Metrics.incr m_frames;
+          Metrics.add m_coalesced count
+        end;
+        schedule_delivery t ~src ~dst ~kind:frame_kind ~count payload
+          (dispatch_frame t ~src ~count payload))
+      pending
+  end
+
+let post t ~src ~dst ~kind payload =
+  let len = String.length payload in
+  account_logical t kind len;
+  if not (dropped_at_send t ~src ~dst ~kind len) then begin
+    let ob = outbox_for t (src, dst) in
+    submsg_append ob.ob_w ~kind payload;
+    ob.ob_n <- ob.ob_n + 1;
+    let e = edge t src dst in
+    if e.config.dup > 0.0 && Rng.chance t.rng e.config.dup then begin
+      t.duplicated <- t.duplicated + 1;
+      if Obs.on () then begin
+        Metrics.incr m_duplicated;
+        Trace.instant (Obs.trace ()) ~cat:"net" ~space:src
+          ~args:(obs_msg_args ~src ~dst ~kind len)
+          "dup"
+      end;
+      submsg_append ob.ob_w ~kind payload;
+      ob.ob_n <- ob.ob_n + 1
+    end;
+    if not t.flush_armed then begin
+      t.flush_armed <- true;
+      Sched.timer t.sched 0.0 (fun () -> flush t)
     end
   end
 
@@ -246,6 +392,8 @@ let stats t =
     dropped = t.dropped;
     duplicated = t.duplicated;
     bytes = t.bytes;
+    frames = t.frames;
+    coalesced = t.coalesced;
   }
 
 let stats_by_kind t =
@@ -258,4 +406,6 @@ let reset_stats t =
   t.dropped <- 0;
   t.duplicated <- 0;
   t.bytes <- 0;
+  t.frames <- 0;
+  t.coalesced <- 0;
   Hashtbl.reset t.by_kind

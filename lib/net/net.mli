@@ -12,7 +12,12 @@
     Delivery is driven by the {!Netobj_sched} virtual clock: each message
     is assigned a latency from the edge's model and handed to the
     destination's handler in a fresh fiber (modelling the RPC runtime
-    forking a server thread per incoming packet). *)
+    forking a server thread per incoming packet).
+
+    Messages can travel one per payload ({!send}) or be coalesced into
+    per-destination frames ({!post}/{!flush}) the way the Network Objects
+    cleaning demon batches its GC traffic — fewer, larger payloads with
+    identical logical accounting. *)
 
 (** Space address (process identifier). *)
 type addr = int
@@ -43,6 +48,14 @@ val fifo_edge : ?latency:float -> unit -> edge_config
 
 type t
 
+(** A message handler.  [payload] is the delivered buffer; the message
+    body is the slice [off, off+len) — decode it in place (e.g. with
+    {!Netobj_pickle.Pickle.decode_slice}) rather than copying it out.
+    For a direct {!send} the slice covers the whole payload; for
+    coalesced messages it points into the shared frame. *)
+type handler =
+  src:addr -> kind:string -> payload:string -> off:int -> len:int -> unit
+
 (** [create ~sched ~seed ()] builds a network whose random choices
     (latencies, loss, duplication) are drawn deterministically from
     [seed]. *)
@@ -56,14 +69,27 @@ val set_all_edges : t -> edge_config -> unit
 
 (** Install the message handler for a space.  The handler is invoked in a
     fresh fiber per delivery. *)
-val set_handler :
-  t -> addr -> (src:addr -> kind:string -> payload:string -> unit) -> unit
+val set_handler : t -> addr -> handler -> unit
 
 (** [send t ~src ~dst ~kind payload] queues a message.  [kind] is an
     accounting label (e.g. ["dirty"], ["call"]); it does not affect
     delivery. Messages to unregistered destinations are counted as
     dropped. *)
 val send : t -> src:addr -> dst:addr -> kind:string -> string -> unit
+
+(** [post t ~src ~dst ~kind payload] queues a message into the
+    per-destination outbox instead of sending it immediately.  Every
+    message posted to the same directed edge before the next flush
+    travels in one framed payload.  Loss, duplication and the drop
+    filter are applied per posted message (so fault accounting matches
+    {!send}); latency is drawn once per frame.  Outboxes flush
+    automatically when the scheduler finishes the current instant, or
+    explicitly via {!flush}.  Fifo edges still deliver in order. *)
+val post : t -> src:addr -> dst:addr -> kind:string -> string -> unit
+
+(** Flush all pending outboxes now, one frame per directed edge (in
+    deterministic edge order). *)
+val flush : t -> unit
 
 (** Sever / restore both directions between two spaces.  Messages sent
     while partitioned are dropped (counted). *)
@@ -81,7 +107,14 @@ val crash : t -> addr -> unit
 
 val is_crashed : t -> addr -> bool
 
-(** {1 Accounting} *)
+(** {1 Accounting}
+
+    [sent]/[bytes] count {e physical} payloads handed to the network (a
+    frame counts once); {!stats_by_kind} counts {e logical} messages (a
+    frame's submessages count individually), as do [delivered] and
+    [dropped].  [frames] is the number of frames sent and [coalesced] the
+    logical messages they carried, so [coalesced /. frames] is the
+    packing ratio. *)
 
 type stats = {
   sent : int;
@@ -89,6 +122,8 @@ type stats = {
   dropped : int;
   duplicated : int;
   bytes : int;
+  frames : int;
+  coalesced : int;
 }
 
 val stats : t -> stats

@@ -24,3 +24,16 @@ val to_buf : Buffer.t -> t -> unit
 
 (** Escape and quote a string (used by the streaming exporters). *)
 val quote : Buffer.t -> string -> unit
+
+(** Parse a complete JSON document.  Covers everything the emitter
+    produces plus the standard string escapes; numbers become [Int] when
+    exact and [Float] otherwise.  On failure the error carries the byte
+    offset of the problem. *)
+val of_string : string -> (t, string) result
+
+(** [member k j] is the value bound to [k] when [j] is an object. *)
+val member : string -> t -> t option
+
+(** Numeric coercion: [Int] and [Float] both convert, everything else is
+    [None]. *)
+val to_float_opt : t -> float option

@@ -26,9 +26,9 @@ let magic = 0x4e4f504bl (* "NOPK" *)
 let version = 1
 
 let encode c v =
-  let w = Wire.Writer.create () in
-  c.write w v;
-  Wire.Writer.contents w
+  Wire.Writer.with_pooled (fun w ->
+      c.write w v;
+      Bytes.unsafe_to_string (Wire.Writer.to_bytes w))
 
 let decode c s =
   let r = Wire.Reader.of_string s in
@@ -36,13 +36,19 @@ let decode c s =
   if not (Wire.Reader.at_end r) then Wire.Reader.fail r "trailing bytes";
   v
 
+let decode_slice c s ~off ~len =
+  let r = Wire.Reader.of_string ~off ~len s in
+  let v = c.read r in
+  if not (Wire.Reader.at_end r) then Wire.Reader.fail r "trailing bytes";
+  v
+
 let pickle c v =
-  let w = Wire.Writer.create () in
-  Wire.Writer.int32 w magic;
-  Wire.Writer.uvarint w version;
-  Wire.Writer.int64 w (fingerprint c);
-  c.write w v;
-  Wire.Writer.contents w
+  Wire.Writer.with_pooled (fun w ->
+      Wire.Writer.int32 w magic;
+      Wire.Writer.uvarint w version;
+      Wire.Writer.int64 w (fingerprint c);
+      c.write w v;
+      Bytes.unsafe_to_string (Wire.Writer.to_bytes w))
 
 let unpickle c s =
   let r = Wire.Reader.of_string s in

@@ -23,6 +23,11 @@ val encode : 'a t -> 'a -> string
     is malformed or has trailing bytes. *)
 val decode : 'a t -> string -> 'a
 
+(** [decode_slice c s ~off ~len] decodes the slice [off, off+len) of [s]
+    in place, without copying it out first.  Error positions are relative
+    to [off]. *)
+val decode_slice : 'a t -> string -> off:int -> len:int -> 'a
+
 (** Encode with the versioned pickle header (magic, version, fingerprint). *)
 val pickle : 'a t -> 'a -> string
 

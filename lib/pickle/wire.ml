@@ -17,6 +17,52 @@ module Writer = struct
 
   let contents = Buffer.contents
 
+  let to_bytes = Buffer.to_bytes
+
+  (* Module-level pool of writers.  Checkout reuses a previously returned
+     buffer (its capacity already grown by earlier encodes), so steady-state
+     encoding stops allocating fresh backing stores.  The pool is bounded and
+     drops oversized buffers on return to keep the retained footprint
+     predictable. *)
+  let pool : Buffer.t Stack.t = Stack.create ()
+
+  let pool_capacity = 64
+
+  (* Buffers whose backing store grew past this are not retained: one huge
+     encode should not pin megabytes for the rest of the run. *)
+  let max_retained_size = 1 lsl 16
+
+  let pool_hits = ref 0
+
+  let pool_misses = ref 0
+
+  let checkout () =
+    match Stack.pop_opt pool with
+    | Some b ->
+        incr pool_hits;
+        b
+    | None ->
+        incr pool_misses;
+        Buffer.create 256
+
+  let return b =
+    if Stack.length pool < pool_capacity
+       && Buffer.length b <= max_retained_size
+    then begin
+      Buffer.clear b;
+      Stack.push b pool
+    end
+
+  let with_pooled f =
+    let b = checkout () in
+    Fun.protect ~finally:(fun () -> return b) (fun () -> f b)
+
+  let pool_stats () = (!pool_hits, !pool_misses)
+
+  let reset_pool_stats () =
+    pool_hits := 0;
+    pool_misses := 0
+
   let byte w n = Buffer.add_char w (Char.chr (n land 0xff))
 
   let uvarint w n =
@@ -48,15 +94,15 @@ module Writer = struct
     let n64 = Int64.of_int n in
     uvarint64 w Int64.(logxor (shift_left n64 1) (shift_right n64 63))
 
+  let scratch = Bytes.create 8
+
   let int32 w n =
-    let b = Bytes.create 4 in
-    Bytes.set_int32_le b 0 n;
-    Buffer.add_bytes w b
+    Bytes.set_int32_le scratch 0 n;
+    Buffer.add_subbytes w scratch 0 4
 
   let int64 w n =
-    let b = Bytes.create 8 in
-    Bytes.set_int64_le b 0 n;
-    Buffer.add_bytes w b
+    Bytes.set_int64_le scratch 0 n;
+    Buffer.add_subbytes w scratch 0 8
 
   let float w f = int64 w (Int64.bits_of_float f)
 
@@ -68,21 +114,35 @@ module Writer = struct
 end
 
 module Reader = struct
-  type t = { data : string; mutable pos : int }
+  (* A reader is a window [base, base+limit) into [data]; [pos] and error
+     positions are relative to [base] so a slice reader reports the same
+     positions as a reader over a copy of the slice. *)
+  type t = { data : string; base : int; limit : int; mutable pos : int }
 
-  let of_string data = { data; pos = 0 }
+  let of_string ?(off = 0) ?len data =
+    let n = String.length data in
+    let len = match len with Some l -> l | None -> n - off in
+    if off < 0 || len < 0 || off > n - len then
+      invalid_arg "Wire.Reader.of_string: slice out of bounds";
+    { data; base = off; limit = len; pos = 0 }
+
+  (* The bytes are never mutated through the reader, so viewing them as an
+     immutable string is safe as long as the caller does not mutate [data]
+     while decoding — the same contract [of_string] already implies. *)
+  let of_bytes ?off ?len data =
+    of_string ?off ?len (Bytes.unsafe_to_string data)
 
   let pos r = r.pos
 
-  let remaining r = String.length r.data - r.pos
+  let remaining r = r.limit - r.pos
 
   let at_end r = remaining r = 0
 
   let fail r msg = error ~pos:r.pos msg
 
   let byte r =
-    if r.pos >= String.length r.data then fail r "unexpected end of input";
-    let c = Char.code r.data.[r.pos] in
+    if r.pos >= r.limit then fail r "unexpected end of input";
+    let c = Char.code (String.unsafe_get r.data (r.base + r.pos)) in
     r.pos <- r.pos + 1;
     c
 
@@ -112,13 +172,26 @@ module Reader = struct
   let raw r n =
     if n < 0 then fail r "negative length";
     if remaining r < n then fail r "unexpected end of input";
-    let s = String.sub r.data r.pos n in
+    let s = String.sub r.data (r.base + r.pos) n in
     r.pos <- r.pos + n;
     s
 
-  let int32 r = Bytes.get_int32_le (Bytes.of_string (raw r 4)) 0
+  let skip r n =
+    if n < 0 then fail r "negative length";
+    if remaining r < n then fail r "unexpected end of input";
+    r.pos <- r.pos + n
 
-  let int64 r = Bytes.get_int64_le (Bytes.of_string (raw r 8)) 0
+  let int32 r =
+    if remaining r < 4 then fail r "unexpected end of input";
+    let v = String.get_int32_le r.data (r.base + r.pos) in
+    r.pos <- r.pos + 4;
+    v
+
+  let int64 r =
+    if remaining r < 8 then fail r "unexpected end of input";
+    let v = String.get_int64_le r.data (r.base + r.pos) in
+    r.pos <- r.pos + 8;
+    v
 
   let float r = Int64.float_of_bits (int64 r)
 

@@ -4,7 +4,12 @@
     pair.  Integers use LEB128 variable-length encoding with zigzag for
     signed values; fixed-width values are little-endian.  Decoding
     failures raise {!Error} with a position and message, never a generic
-    exception. *)
+    exception.
+
+    Writers can be checked out of a module-level pool so that steady-state
+    encoding reuses already-grown buffers instead of allocating; readers
+    can decode a slice of a larger payload in place, without copying it
+    out first. *)
 
 exception Error of { pos : int; msg : string }
 
@@ -19,6 +24,31 @@ module Writer : sig
   val length : t -> int
 
   val contents : t -> string
+  [@@ocaml.deprecated "copies the buffer; use Wire.Writer.to_bytes instead"]
+
+  (** Snapshot of the bytes written so far.  The writer stays usable; the
+      returned bytes are a fresh copy owned by the caller. *)
+  val to_bytes : t -> bytes
+
+  (** {2 Pooling}
+
+      [checkout]/[return] recycle writers through a bounded module-level
+      pool.  A returned writer is cleared; oversized buffers are dropped
+      rather than retained.  Never use a writer after returning it. *)
+
+  val checkout : unit -> t
+
+  val return : t -> unit
+
+  (** [with_pooled f] checks a writer out, runs [f] on it, and returns it
+      to the pool even if [f] raises. *)
+  val with_pooled : (t -> 'a) -> 'a
+
+  (** [(hits, misses)] since start (or the last {!reset_pool_stats}):
+      checkouts served from the pool vs. fresh allocations. *)
+  val pool_stats : unit -> int * int
+
+  val reset_pool_stats : unit -> unit
 
   val byte : t -> int -> unit
 
@@ -45,7 +75,15 @@ end
 module Reader : sig
   type t
 
-  val of_string : string -> t
+  (** [of_string ?off ?len s] reads the slice [off, off+len) of [s]
+      (default: all of [s]) without copying it.  Positions reported by
+      {!pos} and {!Error} are relative to [off].
+      @raise Invalid_argument if the slice is out of bounds. *)
+  val of_string : ?off:int -> ?len:int -> string -> t
+
+  (** Like {!of_string} over a byte buffer.  The caller must not mutate
+      [data] while the reader is in use. *)
+  val of_bytes : ?off:int -> ?len:int -> bytes -> t
 
   val pos : t -> int
 
@@ -71,6 +109,9 @@ module Reader : sig
 
   (** [raw r n] reads exactly [n] bytes. *)
   val raw : t -> int -> string
+
+  (** [skip r n] advances past [n] bytes without copying them. *)
+  val skip : t -> int -> unit
 
   (** Fail with a positioned {!Error}. *)
   val fail : t -> string -> 'a

@@ -29,11 +29,9 @@ let no_failures rt =
    messages between batched and unbatched configurations. *)
 let run_churn ~batch ~k =
   let cfg =
-    {
-      (R.default_config ~nspaces:2) with
-      R.seed = 17L;
-      clean_batch = (if batch then Some 0.05 else None);
-    }
+    R.config ~seed:17L
+      ?clean_batch:(if batch then Some 0.05 else None)
+      ~nspaces:2 ()
   in
   let rt = R.create cfg in
   let owner = R.space rt 0 and client = R.space rt 1 in
@@ -75,11 +73,7 @@ let test_batching_reduces_messages () =
    batching window withdraws that object's clean from the batch. *)
 let test_batch_window_cancellation () =
   let cfg =
-    {
-      (R.default_config ~nspaces:2) with
-      R.seed = 19L;
-      clean_batch = Some 1.0 (* long window *);
-    }
+    R.config ~seed:19L ~clean_batch:1.0 (* long window *) ~nspaces:2 ()
   in
   let rt = R.create cfg in
   let owner = R.space rt 0 and client = R.space rt 1 in
@@ -111,11 +105,7 @@ let test_batch_window_cancellation () =
 (* Batched cleans to several owners split per destination. *)
 let test_batch_multi_owner () =
   let cfg =
-    {
-      (R.default_config ~nspaces:3) with
-      R.seed = 23L;
-      clean_batch = Some 0.05;
-    }
+    R.config ~seed:23L ~clean_batch:0.05 ~nspaces:3 ()
   in
   let rt = R.create cfg in
   let o1 = R.space rt 0 and o2 = R.space rt 1 and client = R.space rt 2 in
@@ -149,11 +139,7 @@ let m_put = Stub.declare "put" R.handle_codec P.unit
 (* The full third-party scenario under piggybacked acks stays sound. *)
 let run_third_party ~piggyback =
   let cfg =
-    {
-      (R.default_config ~nspaces:3) with
-      R.seed = 29L;
-      piggyback_acks = piggyback;
-    }
+    R.config ~seed:29L ~piggyback_acks:piggyback ~nspaces:3 ()
   in
   let rt = R.create cfg in
   let owner = R.space rt 0 and a = R.space rt 1 and c = R.space rt 2 in
@@ -201,11 +187,7 @@ let test_piggyback_sound () =
 let test_ack_elision () =
   let count_acks ~piggyback =
     let cfg =
-      {
-        (R.default_config ~nspaces:2) with
-        R.seed = 31L;
-        piggyback_acks = piggyback;
-      }
+      R.config ~seed:31L ~piggyback_acks:piggyback ~nspaces:2 ()
     in
     let rt = R.create cfg in
     let owner = R.space rt 0 and client = R.space rt 1 in

@@ -29,7 +29,7 @@ let no_failures rt =
 (* Build a ring of [k] nodes spread round-robin over [n] spaces; return
    the runtime and the (space, handle) list. *)
 let build_ring ~n ~k =
-  let rt = R.create { (R.default_config ~nspaces:n) with R.seed = 5L } in
+  let rt = R.create (R.config ~seed:5L ~nspaces:n ()) in
   let nodes =
     List.init k (fun i ->
         let sp = R.space rt (i mod n) in
@@ -105,7 +105,7 @@ let test_live_cycle_kept () =
 (* Acyclic garbage is also handled by the global pass (it subsumes the
    listing collector's verdicts on a quiescent system). *)
 let test_global_subsumes_acyclic () =
-  let rt = R.create { (R.default_config ~nspaces:2) with R.seed = 9L } in
+  let rt = R.create (R.config ~seed:9L ~nspaces:2 ()) in
   let a = R.space rt 0 in
   let dead = node_obj a in
   let wr = R.wirerep dead in

@@ -10,7 +10,8 @@ let setup ?policy ?(seed = 1L) () =
   (s, net)
 
 let collect_handler received =
-  fun ~src ~kind ~payload -> received := (src, kind, payload) :: !received
+  fun ~src ~kind ~payload ~off ~len ->
+  received := (src, kind, String.sub payload off len) :: !received
 
 let test_basic_delivery () =
   let s, net = setup () in
@@ -36,8 +37,8 @@ let test_fifo_ordering () =
   let s, net = setup () in
   Net.set_all_edges net (Net.fifo_edge ());
   let received = ref [] in
-  Net.set_handler net 1 (fun ~src:_ ~kind:_ ~payload ->
-      received := payload :: !received);
+  Net.set_handler net 1 (fun ~src:_ ~kind:_ ~payload ~off ~len ->
+      received := String.sub payload off len :: !received);
   for i = 1 to 20 do
     Net.send net ~src:0 ~dst:1 ~kind:"seq" (string_of_int i)
   done;
@@ -53,8 +54,8 @@ let test_bag_reorders () =
   let s, net = setup ~seed:3L () in
   Net.set_all_edges net (Net.bag_edge ~lo:0.0 ~hi:1.0 ());
   let received = ref [] in
-  Net.set_handler net 1 (fun ~src:_ ~kind:_ ~payload ->
-      received := payload :: !received);
+  Net.set_handler net 1 (fun ~src:_ ~kind:_ ~payload ~off ~len ->
+      received := String.sub payload off len :: !received);
   for i = 1 to 50 do
     Net.send net ~src:0 ~dst:1 ~kind:"seq" (string_of_int i)
   done;
@@ -128,7 +129,7 @@ let test_crash () =
 
 let test_stats_by_kind () =
   let s, net = setup () in
-  Net.set_handler net 1 (fun ~src:_ ~kind:_ ~payload:_ -> ());
+  Net.set_handler net 1 (fun ~src:_ ~kind:_ ~payload:_ ~off:_ ~len:_ -> ());
   Net.send net ~src:0 ~dst:1 ~kind:"dirty" "abc";
   Net.send net ~src:0 ~dst:1 ~kind:"dirty" "de";
   Net.send net ~src:0 ~dst:1 ~kind:"clean" "f";

@@ -329,6 +329,35 @@ let test_metrics_json_parses () =
         (List.map fst fields)
   | _ -> Alcotest.fail "metrics json not an object"
 
+(* The library's own parser (what tools/bench_compare reads dumps with)
+   roundtrips the emitter's output and rejects malformed input. *)
+let test_json_of_string_roundtrip () =
+  let doc =
+    Json.Obj
+      [
+        ("schema", Json.Str "netobj.bench/1");
+        ("ok", Json.Bool true);
+        ("none", Json.Null);
+        ("n", Json.Int 42);
+        ("t", Json.Float 1.5);
+        ("s", Json.Str "a\"b\\c\nd\twith \x01 ctrl");
+        ("xs", Json.List [ Json.Int 1; Json.Float (-0.25); Json.Obj [] ]);
+      ]
+  in
+  (match Json.of_string (Json.to_string doc) with
+  | Ok doc' -> Alcotest.(check bool) "roundtrip" true (doc = doc')
+  | Error e -> Alcotest.failf "parse failed: %s" e);
+  (match Json.of_string "{\"a\": [1, 2" with
+  | Ok _ -> Alcotest.fail "truncated input accepted"
+  | Error _ -> ());
+  (match Json.of_string "{} trailing" with
+  | Ok _ -> Alcotest.fail "trailing garbage accepted"
+  | Error _ -> ());
+  match Json.of_string " {\"a\" : [ 1 , 2.5 ] } " with
+  | Ok (Json.Obj [ ("a", Json.List [ Json.Int 1; Json.Float 2.5 ]) ]) -> ()
+  | Ok _ -> Alcotest.fail "whitespace-tolerant parse wrong shape"
+  | Error e -> Alcotest.failf "whitespace parse failed: %s" e
+
 (* --- determinism oracle ----------------------------------------------------
 
    The full runtime (scheduler + network + distributed GC) under a fixed
@@ -351,12 +380,7 @@ let counter_obj sp =
 let traced_run () =
   Obs.enable ~capacity:16384 ();
   let cfg =
-    {
-      (R.default_config ~nspaces:3) with
-      R.seed = 99L;
-      gc_period = Some 0.5;
-      clean_batch = Some 0.05;
-    }
+    R.config ~seed:99L ~gc_period:0.5 ~clean_batch:0.05 ~nspaces:3 ()
   in
   let rt = R.create cfg in
   let owner = R.space rt 0 in
@@ -390,7 +414,7 @@ let test_disabled_emits_nothing () =
   Obs.enable ~capacity:64 ();
   Obs.disable ();
   let before = Trace.length (Obs.trace ()) in
-  let rt = R.create { (R.default_config ~nspaces:2) with R.seed = 3L } in
+  let rt = R.create (R.config ~seed:3L ~nspaces:2 ()) in
   let owner = R.space rt 0 in
   let counter = counter_obj owner in
   R.publish owner "c" counter;
@@ -429,6 +453,8 @@ let () =
             test_chrome_export_parses;
           Alcotest.test_case "metrics JSON parses" `Quick
             test_metrics_json_parses;
+          Alcotest.test_case "Json.of_string roundtrip" `Quick
+            test_json_of_string_roundtrip;
         ] );
       ( "determinism",
         [

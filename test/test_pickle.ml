@@ -263,7 +263,7 @@ let test_wire_op_sequences () =
     let ops = List.init (1 + Rng.int rng 24) (fun _ -> gen_wire_op rng) in
     let w = Wire.Writer.create () in
     List.iter (write_wire_op w) ops;
-    let r = Wire.Reader.of_string (Wire.Writer.contents w) in
+    let r = Wire.Reader.of_bytes (Wire.Writer.to_bytes w) in
     List.iter (check_wire_op r) ops;
     if not (Wire.Reader.at_end r) then Alcotest.fail "reader not at end"
   done

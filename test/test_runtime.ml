@@ -70,7 +70,7 @@ let in_fiber rt f =
   | Some v -> v
   | None -> Alcotest.fail "fiber did not complete (deadlock?)"
 
-let make ?(n = 3) ?(seed = 7L) () = R.create { (R.default_config ~nspaces:n) with R.seed }
+let make ?(n = 3) ?(seed = 7L) () = R.create (R.config ~seed ~nspaces:n ())
 
 (* --- tests ---------------------------------------------------------------- *)
 
@@ -285,12 +285,7 @@ let test_result_handles_rooted () =
    and the object reclaimed. *)
 let test_lease_eviction () =
   let cfg =
-    {
-      (R.default_config ~nspaces:2) with
-      R.seed = 3L;
-      ping_period = Some 1.0;
-      lease_misses = 2;
-    }
+    R.config ~seed:3L ~ping_period:1.0 ~lease_misses:2 ~nspaces:2 ()
   in
   let rt = R.create cfg in
   let owner = R.space rt 0 and client = R.space rt 1 in
@@ -313,12 +308,7 @@ let test_lease_eviction () =
 (* Live clients are not evicted by the ping demon. *)
 let test_lease_live_client_kept () =
   let cfg =
-    {
-      (R.default_config ~nspaces:2) with
-      R.seed = 4L;
-      ping_period = Some 1.0;
-      lease_misses = 2;
-    }
+    R.config ~seed:4L ~ping_period:1.0 ~lease_misses:2 ~nspaces:2 ()
   in
   let rt = R.create cfg in
   let owner = R.space rt 0 and client = R.space rt 1 in

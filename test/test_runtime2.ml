@@ -42,7 +42,7 @@ let in_fiber rt f =
   | None -> Alcotest.fail "fiber did not complete"
 
 let make ?(n = 3) ?(seed = 13L) () =
-  R.create { (R.default_config ~nspaces:n) with R.seed }
+  R.create (R.config ~seed ~nspaces:n ())
 
 (* TR §1: "There is at most one surrogate for an object in a process, and
    all references in the process point to that surrogate." *)
@@ -121,12 +121,7 @@ let test_payload_variety () =
 (* A partitioned owner: calls time out rather than hang. *)
 let test_call_timeout () =
   let cfg =
-    {
-      (R.default_config ~nspaces:2) with
-      R.seed = 3L;
-      call_timeout = Some 2.0;
-      dirty_timeout = Some 2.0;
-    }
+    R.config ~seed:3L ~call_timeout:2.0 ~dirty_timeout:2.0 ~nspaces:2 ()
   in
   let rt = R.create cfg in
   let owner = R.space rt 0 and client = R.space rt 1 in
@@ -152,12 +147,7 @@ let test_call_timeout () =
 (* A partitioned owner during first import: the dirty call times out. *)
 let test_dirty_timeout () =
   let cfg =
-    {
-      (R.default_config ~nspaces:2) with
-      R.seed = 4L;
-      call_timeout = Some 2.0;
-      dirty_timeout = Some 2.0;
-    }
+    R.config ~seed:4L ~call_timeout:2.0 ~dirty_timeout:2.0 ~nspaces:2 ()
   in
   let rt = R.create cfg in
   let owner = R.space rt 0 in
@@ -252,12 +242,7 @@ let test_concurrent_import () =
    still retire the dead surrogates without wedging. *)
 let test_owner_crash () =
   let cfg =
-    {
-      (R.default_config ~nspaces:2) with
-      R.seed = 6L;
-      call_timeout = Some 1.0;
-      dirty_timeout = Some 1.0;
-    }
+    R.config ~seed:6L ~call_timeout:1.0 ~dirty_timeout:1.0 ~nspaces:2 ()
   in
   let rt = R.create cfg in
   let owner = R.space rt 0 and client = R.space rt 1 in

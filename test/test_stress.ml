@@ -62,12 +62,9 @@ let consistent msg rt =
 let test_random_schedule_calls () =
   for seed = 1 to 15 do
     let cfg =
-      {
-        (R.default_config ~nspaces:4) with
-        R.seed = Int64.of_int seed;
-        policy = Sched.Random (Int64.of_int (seed * 7));
-        gc_period = Some 0.005;
-      }
+      R.config ~seed:(Int64.of_int seed)
+        ~policy:(Sched.Random (Int64.of_int (seed * 7)))
+        ~gc_period:0.005 ~nspaces:4 ()
     in
     let rt = R.create cfg in
     let owner = R.space rt 0 in
@@ -102,11 +99,7 @@ let test_random_churn_oracle () =
   for seed = 1 to 10 do
     let n = 4 in
     let cfg =
-      {
-        (R.default_config ~nspaces:n) with
-        R.seed = Int64.of_int (seed * 3);
-        gc_period = Some 0.01;
-      }
+      R.config ~seed:(Int64.of_int (seed * 3)) ~gc_period:0.01 ~nspaces:n ()
     in
     let rt = R.create cfg in
     let owner = R.space rt 0 in
@@ -168,7 +161,7 @@ let test_random_churn_oracle () =
 let test_forwarding_chain () =
   let n = 5 in
   let rt =
-    R.create { (R.default_config ~nspaces:n) with R.seed = 77L }
+    R.create (R.config ~seed:77L ~nspaces:n ())
   in
   let owner = R.space rt 0 in
   let counter = counter_obj owner in
@@ -211,7 +204,7 @@ let test_forwarding_chain () =
 
 (* Many objects, interleaved lifetimes. *)
 let test_many_objects () =
-  let rt = R.create { (R.default_config ~nspaces:3) with R.seed = 31L } in
+  let rt = R.create (R.config ~seed:31L ~nspaces:3 ()) in
   let owner = R.space rt 0 in
   let objs = Array.init 20 (fun i -> (i, counter_obj owner)) in
   Array.iter (fun (i, o) -> R.publish owner (Printf.sprintf "o%d" i) o) objs;

@@ -72,7 +72,7 @@ let check_dirty_before_call events =
 let test_dirty_precedes_use () =
   Obs.enable ~capacity:65536 ();
   let cfg =
-    { (R.default_config ~nspaces:4) with R.seed = 11L; gc_period = Some 1.0 }
+    R.config ~seed:11L ~gc_period:1.0 ~nspaces:4 ()
   in
   let rt = R.create cfg in
   let owner = R.space rt 0 in
@@ -104,11 +104,9 @@ let test_dirty_precedes_use_random () =
   for seed = 1 to 10 do
     Obs.enable ~capacity:65536 ();
     let cfg =
-      {
-        (R.default_config ~nspaces:3) with
-        R.seed = Int64.of_int seed;
-        policy = Netobj_sched.Sched.Random (Int64.of_int (seed * 7));
-      }
+      R.config ~seed:(Int64.of_int seed)
+        ~policy:(Netobj_sched.Sched.Random (Int64.of_int (seed * 7)))
+        ~nspaces:3 ()
     in
     let rt = R.create cfg in
     let owner = R.space rt 0 in
@@ -131,11 +129,7 @@ let test_dirty_precedes_use_random () =
 let test_clean_batch_coalesces () =
   Obs.enable ~capacity:65536 ();
   let cfg =
-    {
-      (R.default_config ~nspaces:2) with
-      R.seed = 17L;
-      clean_batch = Some 0.05;
-    }
+    R.config ~seed:17L ~clean_batch:0.05 ~nspaces:2 ()
   in
   let rt = R.create cfg in
   let owner = R.space rt 0 and client = R.space rt 1 in

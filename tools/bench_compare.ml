@@ -1,0 +1,97 @@
+(* Compare two netobj.bench/1 JSON dumps (see bench/main.ml --json) and
+   fail when CPU time regresses.
+
+   Usage: bench_compare BASELINE.json CURRENT.json [--threshold PCT]
+
+   For every experiment present in both files the per-experiment
+   [elapsed_cpu_s] is compared; a regression beyond the threshold
+   (default 20%) fails the run with exit code 1.  Experiments below a
+   small noise floor are reported but never fail: their absolute times
+   are too close to scheduler jitter to be meaningful. *)
+
+module Json = Netobj_obs.Json
+
+let noise_floor_s = 0.05
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let die fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 2) fmt
+
+let load path =
+  let doc =
+    match Json.of_string (read_file path) with
+    | Ok doc -> doc
+    | Error msg -> die "%s: parse error %s" path msg
+    | exception Sys_error e -> die "cannot read %s: %s" path e
+  in
+  (match Json.member "schema" doc with
+  | Some (Json.Str "netobj.bench/1") -> ()
+  | _ -> die "%s: not a netobj.bench/1 dump" path);
+  match Json.member "experiments" doc with
+  | Some (Json.Obj exps) ->
+      List.filter_map
+        (fun (name, e) ->
+          match Option.bind (Json.member "elapsed_cpu_s" e) Json.to_float_opt with
+          | Some t -> Some (name, t)
+          | None -> None)
+        exps
+  | _ -> die "%s: missing experiments object" path
+
+let () =
+  let usage = "usage: bench_compare BASELINE.json CURRENT.json [--threshold PCT]" in
+  let threshold = ref 20.0 in
+  let files = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--threshold" :: v :: rest ->
+        (match float_of_string_opt v with
+        | Some t when t > 0.0 -> threshold := t
+        | _ -> die "bad threshold %S" v);
+        parse rest
+    | f :: rest ->
+        files := f :: !files;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let base_path, cur_path =
+    match List.rev !files with
+    | [ b; c ] -> (b, c)
+    | _ -> die "%s" usage
+  in
+  let base = load base_path and cur = load cur_path in
+  let regressions = ref 0 in
+  Printf.printf "%-14s %12s %12s %9s\n" "experiment" "baseline(s)" "current(s)"
+    "delta";
+  List.iter
+    (fun (name, t_base) ->
+      match List.assoc_opt name cur with
+      | None -> Printf.printf "%-14s %12.4f %12s %9s\n" name t_base "-" "gone"
+      | Some t_cur ->
+          let pct = (t_cur -. t_base) /. t_base *. 100.0 in
+          let verdict =
+            if t_base < noise_floor_s && t_cur < noise_floor_s then "noise"
+            else if pct > !threshold then begin
+              incr regressions;
+              "REGRESSED"
+            end
+            else if pct < -.(!threshold) then "improved"
+            else "ok"
+          in
+          Printf.printf "%-14s %12.4f %12.4f %+8.1f%% %s\n" name t_base t_cur
+            pct verdict)
+    base;
+  List.iter
+    (fun (name, _) ->
+      if not (List.mem_assoc name base) then
+        Printf.printf "%-14s %12s: new experiment (no baseline)\n" name "-")
+    cur;
+  if !regressions > 0 then begin
+    Printf.printf "%d experiment(s) regressed more than %.0f%% CPU time\n"
+      !regressions !threshold;
+    exit 1
+  end
+  else Printf.printf "no CPU-time regressions beyond %.0f%%\n" !threshold
