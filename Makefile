@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-json bench-compare examples check clean doc
+.PHONY: all build test bench bench-json bench-compare chaos-smoke examples check clean doc
 
 all: build
 
@@ -8,7 +8,7 @@ build:
 test:
 	dune runtest
 
-# Every experiment table (E1-E17); see EXPERIMENTS.md.
+# Every experiment table (E1-E18); see EXPERIMENTS.md.
 bench:
 	dune exec bench/main.exe
 
@@ -21,6 +21,12 @@ bench-json:
 bench-compare:
 	dune exec bench/main.exe -- --json /tmp/bench_current.json
 	dune exec tools/bench_compare.exe -- BENCH_netobj.json /tmp/bench_current.json
+
+# One quick fixed-seed chaos run (partitions, crash+restart, bursts);
+# exits non-zero if a safety or liveness oracle trips.  The cram test
+# test/cram/chaos.t runs the same scenario under dune runtest.
+chaos-smoke:
+	dune exec bin/netobj_sim.exe -- chaos --seed 7
 
 examples:
 	dune exec examples/quickstart.exe

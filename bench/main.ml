@@ -21,6 +21,7 @@
      E15 scale       per-client GC cost vs system size
      E16 pool        writer pool + slice decode on the marshalling path
      E17 coalesce    per-destination message coalescing vs single sends
+     E18 chaos       seeded chaos runs: survival, drain time, retry traffic
 
    Run all:       dune exec bench/main.exe
    Run a subset:  dune exec bench/main.exe -- race family fifo *)
@@ -1043,6 +1044,52 @@ let e17_coalesce () =
     && off_gc.R.clean_calls = on_gc.R.clean_calls
     && off_gc.R.copy_acks = on_gc.R.copy_acks)
 
+(* ------------------------------------------------------------------ E18 *)
+
+module Chaos = Netobj_chaos.Chaos
+
+(* Seeded chaos sweeps (see lib/chaos): each run interleaves churning
+   mutators with a nemesis schedule of partitions, crashes, loss and
+   duplication bursts and latency spikes, then asserts the safety and
+   drain oracles.  The sweep is repeated with fixed-interval retries and
+   with exponential backoff; the oracles must hold either way, the
+   difference is retry traffic and drain time.  Every number here is a
+   function of the seeds alone — the rows are deterministic, but they
+   measure survival, not speed, so bench_compare skips them by default. *)
+let e18_chaos () =
+  section "E18: chaos survival — fault schedules vs retry policy (8 seeds)";
+  let seeds = List.init 8 (fun i -> Int64.of_int (i + 1)) in
+  let sweep ~label ~backoff ~backoff_cap =
+    let survived = ref 0
+    and drain_sum = ref 0.0
+    and drained = ref 0
+    and retries = ref 0
+    and rejections = ref 0
+    and faults = ref 0 in
+    List.iter
+      (fun seed ->
+        let r = Chaos.run { Chaos.default with seed; backoff; backoff_cap } in
+        if Chaos.survived r then incr survived;
+        (match r.Chaos.r_drain_time with
+        | Some t ->
+            drain_sum := !drain_sum +. t;
+            incr drained
+        | None -> ());
+        retries := !retries + r.Chaos.r_retries;
+        rejections := !rejections + r.Chaos.r_epoch_rejections;
+        faults :=
+          !faults + List.fold_left (fun a (_, n) -> a + n) 0 r.Chaos.r_faults)
+      seeds;
+    row "%-22s %9d/%d %8d %9.2f %9d %9d@." label !survived (List.length seeds)
+      !faults
+      (!drain_sum /. float_of_int (max 1 !drained))
+      !retries !rejections
+  in
+  row "%-22s %11s %8s %9s %9s %9s@." "retry policy" "survived" "faults"
+    "drain(s)" "retries" "epoch-rej";
+  sweep ~label:"fixed interval" ~backoff:1.0 ~backoff_cap:infinity;
+  sweep ~label:"exp backoff 2x cap 2s" ~backoff:2.0 ~backoff_cap:2.0
+
 (* ------------------------------------------------------------------ main *)
 
 let experiments =
@@ -1064,6 +1111,7 @@ let experiments =
     ("scale", e15_scale);
     ("pool", e16_pool);
     ("coalesce", e17_coalesce);
+    ("chaos", e18_chaos);
   ]
 
 (* --json PATH: machine-readable results.  Each experiment runs with the

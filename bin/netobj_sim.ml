@@ -280,6 +280,83 @@ let trace_cmd =
       const trace $ seed_arg $ steps_arg $ procs_arg $ trace_out_arg
       $ metrics_out_arg)
 
+(* --- chaos -------------------------------------------------------------------- *)
+
+module Chaos = Netobj_chaos.Chaos
+
+let chaos seed spaces duration objects events partitions crashes loss_bursts
+    dup_bursts spikes drain_limit backoff trace_out metrics_out =
+  with_obs ~trace_out ~metrics_out @@ fun () ->
+  let cfg =
+    {
+      Chaos.default with
+      seed = Int64.of_int seed;
+      spaces;
+      duration;
+      objects;
+      events;
+      mix = { partitions; crashes; loss_bursts; dup_bursts; spikes };
+      drain_limit;
+      backoff;
+    }
+  in
+  let r = Chaos.run cfg in
+  Fmt.pr "%a@." Chaos.pp_report r;
+  if Chaos.survived r then 0 else 1
+
+let chaos_spaces_arg =
+  Arg.(
+    value & opt int 3
+    & info [ "spaces" ] ~docv:"N" ~doc:"Number of spaces (at least 2).")
+
+let duration_arg =
+  Arg.(
+    value & opt float 20.0
+    & info [ "duration" ] ~docv:"T"
+        ~doc:"Chaos phase length in virtual seconds.")
+
+let objects_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "objects" ] ~docv:"N" ~doc:"Published counters per space.")
+
+let events_arg =
+  Arg.(
+    value & opt int 40
+    & info [ "events" ] ~docv:"N" ~doc:"Churn operations per mutator.")
+
+let mix_arg name default doc =
+  Arg.(value & opt int default & info [ name ] ~docv:"N" ~doc)
+
+let drain_limit_arg =
+  Arg.(
+    value & opt float 60.0
+    & info [ "drain-limit" ] ~docv:"T"
+        ~doc:"Post-heal convergence budget in virtual seconds.")
+
+let backoff_arg =
+  Arg.(
+    value & opt float 2.0
+    & info [ "backoff" ] ~docv:"F"
+        ~doc:"Retry backoff multiplier (1 = fixed interval).")
+
+let chaos_cmd =
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run the seeded chaos harness: nemesis fault injection against the \
+          full runtime with safety and liveness oracles.  Exits 0 iff the \
+          run survived.")
+    Term.(
+      const chaos $ seed_arg $ chaos_spaces_arg $ duration_arg $ objects_arg
+      $ events_arg
+      $ mix_arg "partitions" 3 "Partitions (healed) in the schedule."
+      $ mix_arg "crashes" 2 "Crash+restart faults in the schedule."
+      $ mix_arg "loss-bursts" 3 "Packet-loss bursts in the schedule."
+      $ mix_arg "dup-bursts" 2 "Duplication bursts in the schedule."
+      $ mix_arg "spikes" 2 "Latency spikes in the schedule."
+      $ drain_limit_arg $ backoff_arg $ trace_out_arg $ metrics_out_arg)
+
 (* --- main -------------------------------------------------------------------- *)
 
 let () =
@@ -287,4 +364,5 @@ let () =
   let info = Cmd.info "netobj_sim" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval'
-       (Cmd.group info [ check_cmd; walk_cmd; run_cmd; fifo_cmd; trace_cmd ]))
+       (Cmd.group info
+          [ check_cmd; walk_cmd; run_cmd; fifo_cmd; trace_cmd; chaos_cmd ]))

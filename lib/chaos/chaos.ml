@@ -1,0 +1,754 @@
+module R = Netobj_core.Runtime
+module Stub = Netobj_core.Stub
+module Wirerep = Netobj_core.Wirerep
+module Net = Netobj_net.Net
+module Sched = Netobj_sched.Sched
+module Rng = Netobj_util.Rng
+module P = Netobj_pickle.Pickle
+module Workload = Netobj_dgc.Workload
+module Obs = Netobj_obs.Obs
+module Metrics = Netobj_obs.Metrics
+module Trace = Netobj_obs.Trace
+
+(* --- fault schedule ------------------------------------------------------- *)
+
+type fault =
+  | Partition of { a : int; b : int; duration : float }
+  | Crash of { victim : int; downtime : float }
+  | Loss_burst of { src : int; dst : int; loss : float; duration : float }
+  | Dup_burst of { src : int; dst : int; dup : float; duration : float }
+  | Latency_spike of { src : int; dst : int; factor : float; duration : float }
+
+type event = { at : float; fault : fault }
+
+let pp_fault ppf = function
+  | Partition { a; b; duration } ->
+      Fmt.pf ppf "partition %d-%d for %.2fs" a b duration
+  | Crash { victim; downtime } ->
+      Fmt.pf ppf "crash %d for %.2fs" victim downtime
+  | Loss_burst { src; dst; loss; duration } ->
+      Fmt.pf ppf "loss %d->%d p=%.2f for %.2fs" src dst loss duration
+  | Dup_burst { src; dst; dup; duration } ->
+      Fmt.pf ppf "dup %d->%d p=%.2f for %.2fs" src dst dup duration
+  | Latency_spike { src; dst; factor; duration } ->
+      Fmt.pf ppf "spike %d->%d x%.1f for %.2fs" src dst factor duration
+
+let pp_event ppf e = Fmt.pf ppf "@%.2f %a" e.at pp_fault e.fault
+
+type mix = {
+  partitions : int;
+  crashes : int;
+  loss_bursts : int;
+  dup_bursts : int;
+  spikes : int;
+}
+
+let default_mix =
+  { partitions = 3; crashes = 2; loss_bursts = 3; dup_bursts = 2; spikes = 2 }
+
+(* The runtime configuration the harness hardens against faults.  The
+   oracle depends on these numbers: a registered-but-live client may be
+   unreachable for up to [reachability_slack] seconds before the owner's
+   lease ((lease_misses + 1) * ping_period + lease_grace = 4s) could
+   legitimately evict it, so the schedule generator keeps each pair's
+   fault windows shorter than that and separated by a cooldown. *)
+let runtime_config ?(backoff = 2.0) ?(backoff_cap = 2.0)
+    ?(backoff_jitter = 0.2) ~seed ~spaces () =
+  R.config ~seed
+    ~edge:(Net.bag_edge ~lo:0.01 ~hi:0.05 ())
+    ~gc_period:0.4 ~ping_period:0.5 ~lease_misses:3 ~lease_grace:2.0
+    ~call_timeout:3.0 ~dirty_timeout:3.0 ~clean_retry:0.3 ~dirty_retry:0.3
+    ~backoff ~backoff_cap ~backoff_jitter ~pin_timeout:12.0 ~nspaces:spaces ()
+
+let max_fault_duration = 2.5
+
+let pair_cooldown = 5.0
+
+let random_schedule ~seed ~spaces ~duration mix =
+  let rng = Rng.create seed in
+  let bag =
+    List.concat
+      [
+        List.init mix.partitions (fun _ -> `P);
+        List.init mix.crashes (fun _ -> `C);
+        List.init mix.loss_bursts (fun _ -> `L);
+        List.init mix.dup_bursts (fun _ -> `D);
+        List.init mix.spikes (fun _ -> `S);
+      ]
+  in
+  let bag = Array.of_list bag in
+  Rng.shuffle rng bag;
+  let hi = Float.max 0.7 (duration -. max_fault_duration) in
+  let times =
+    Array.init (Array.length bag) (fun _ -> 0.6 +. (Rng.float rng *. (hi -. 0.6)))
+  in
+  Array.sort compare times;
+  (* Reachability bookkeeping: a pair may suffer a new
+     connectivity-threatening fault (partition, loss burst, crash of an
+     endpoint) only after the previous one's window plus cooldown, so
+     cumulative unreachability never outruns the lease. *)
+  let pair_busy = Hashtbl.create 16 in
+  let space_busy = Hashtbl.create 8 in
+  let pkey a b = (min a b, max a b) in
+  let pair_free at a b =
+    Option.value ~default:neg_infinity (Hashtbl.find_opt pair_busy (pkey a b))
+    <= at
+  in
+  let claim_pair at a b d =
+    Hashtbl.replace pair_busy (pkey a b) (at +. d +. pair_cooldown)
+  in
+  let all_pairs =
+    List.concat_map
+      (fun a -> List.filter_map (fun b -> if a < b then Some (a, b) else None)
+          (List.init spaces Fun.id))
+      (List.init spaces Fun.id)
+  in
+  let events = ref [] in
+  Array.iteri
+    (fun i kind ->
+      let at = times.(i) in
+      let d = 0.5 +. (Rng.float rng *. (max_fault_duration -. 0.5)) in
+      let free_pairs = List.filter (fun (a, b) -> pair_free at a b) all_pairs in
+      let directed (a, b) = if Rng.bool rng then (a, b) else (b, a) in
+      match kind with
+      | `P -> (
+          match free_pairs with
+          | [] -> ()
+          | ps ->
+              let a, b = Rng.pick rng ps in
+              claim_pair at a b d;
+              events := { at; fault = Partition { a; b; duration = d } } :: !events)
+      | `C -> (
+          let candidates =
+            List.filter
+              (fun v ->
+                Option.value ~default:neg_infinity
+                  (Hashtbl.find_opt space_busy v)
+                <= at
+                && List.for_all
+                     (fun u -> u = v || pair_free at u v)
+                     (List.init spaces Fun.id))
+              (List.init spaces Fun.id)
+          in
+          match candidates with
+          | [] -> ()
+          | vs ->
+              let v = Rng.pick rng vs in
+              Hashtbl.replace space_busy v (at +. d +. pair_cooldown);
+              List.iter (fun u -> if u <> v then claim_pair at u v d)
+                (List.init spaces Fun.id);
+              events := { at; fault = Crash { victim = v; downtime = d } } :: !events)
+      | `L -> (
+          match free_pairs with
+          | [] -> ()
+          | ps ->
+              let a, b = Rng.pick rng ps in
+              claim_pair at a b d;
+              let src, dst = directed (a, b) in
+              let loss = 0.5 +. (Rng.float rng *. 0.4) in
+              events := { at; fault = Loss_burst { src; dst; loss; duration = d } } :: !events)
+      | `D ->
+          let src, dst = directed (Rng.pick rng all_pairs) in
+          let dup = 0.3 +. (Rng.float rng *. 0.5) in
+          events := { at; fault = Dup_burst { src; dst; dup; duration = d } } :: !events
+      | `S ->
+          let src, dst = directed (Rng.pick rng all_pairs) in
+          let factor = 2.0 +. (Rng.float rng *. 6.0) in
+          events :=
+            { at; fault = Latency_spike { src; dst; factor; duration = d } } :: !events)
+    bag;
+  List.sort (fun e1 e2 -> compare e1.at e2.at) !events
+
+(* --- configuration --------------------------------------------------------- *)
+
+type cfg = {
+  seed : int64;
+  spaces : int;
+  duration : float;
+  objects : int;  (** published counters per space *)
+  events : int;  (** churn operations per mutator *)
+  mix : mix;
+  drain_limit : float;
+  backoff : float;
+  backoff_cap : float;
+  backoff_jitter : float;
+}
+
+let default =
+  {
+    seed = 1L;
+    spaces = 3;
+    duration = 20.0;
+    objects = 2;
+    events = 40;
+    mix = default_mix;
+    drain_limit = 60.0;
+    backoff = 2.0;
+    backoff_cap = 2.0;
+    backoff_jitter = 0.2;
+  }
+
+(* --- report ----------------------------------------------------------------- *)
+
+type report = {
+  r_seed : int64;
+  r_spaces : int;
+  r_end_time : float;
+  r_faults : (string * int) list;
+  r_ops_ok : int;
+  r_ops_timeout : int;
+  r_ops_error : int;
+  r_orphans : int;
+  r_retries : int;
+  r_epoch_rejections : int;
+  r_evictions : int;
+  r_safety : string list;
+  r_liveness : string list;
+  r_drain_time : float option;
+}
+
+let survived r = r.r_safety = [] && r.r_liveness = []
+
+let pp_report ppf r =
+  Fmt.pf ppf "chaos seed=%Ld spaces=%d end=%.2f@." r.r_seed r.r_spaces
+    r.r_end_time;
+  Fmt.pf ppf "faults:%a@."
+    (fun ppf fs ->
+      if fs = [] then Fmt.pf ppf " none"
+      else List.iter (fun (k, n) -> Fmt.pf ppf " %s=%d" k n) fs)
+    r.r_faults;
+  Fmt.pf ppf "ops: ok=%d timeout=%d error=%d orphans=%d@." r.r_ops_ok
+    r.r_ops_timeout r.r_ops_error r.r_orphans;
+  Fmt.pf ppf "protocol: retries=%d epoch_rejections=%d evictions=%d@."
+    r.r_retries r.r_epoch_rejections r.r_evictions;
+  (match r.r_drain_time with
+  | Some t -> Fmt.pf ppf "drain: converged in %.2fs@." t
+  | None -> Fmt.pf ppf "drain: DID NOT CONVERGE@.");
+  List.iter (fun v -> Fmt.pf ppf "SAFETY: %s@." v) r.r_safety;
+  List.iter (fun v -> Fmt.pf ppf "LIVENESS: %s@." v) r.r_liveness;
+  Fmt.pf ppf "result: %s" (if survived r then "SURVIVED" else "FAILED")
+
+(* --- harness state ---------------------------------------------------------- *)
+
+(* Ground truth for the safety oracle: every object minted through a
+   factory, who owns it (and in which incarnation), and which clients
+   currently hold a usable reference (and in which of {e their}
+   incarnations).  A holder whose space restarted no longer counts — its
+   heap died with the old incarnation. *)
+type orphan_rec = {
+  o_wr : Wirerep.t;
+  o_owner : int;
+  o_mint_epoch : int;
+  mutable o_holders : (int * int) list;  (* client space, client epoch *)
+  mutable o_flagged : bool;
+}
+
+type ctx = {
+  rt : R.t;
+  net : Net.t;
+  sched : Sched.t;
+  cfg : cfg;
+  stop : bool ref;
+  mutable mutators_done : int;
+  mutable ops_ok : int;
+  mutable ops_timeout : int;
+  mutable ops_error : int;
+  mutable orphans_minted : int;
+  fault_counts : (string, int ref) Hashtbl.t;
+  mutable violations : string list;  (* newest first *)
+  mutable orphans : orphan_rec list;
+}
+
+let bump ctx k =
+  (match Hashtbl.find_opt ctx.fault_counts k with
+  | Some r -> incr r
+  | None -> Hashtbl.add ctx.fault_counts k (ref 1));
+  Metrics.incr (Metrics.counter Metrics.global ("chaos." ^ k))
+
+let violate ctx fmt =
+  Fmt.kstr
+    (fun s ->
+      ctx.violations <- s :: ctx.violations;
+      bump ctx "violations";
+      if Obs.on () then
+        Trace.instant (Obs.trace ()) ~cat:"chaos" ~space:0
+          ~args:[ ("what", Trace.S s) ]
+          "violation")
+    fmt
+
+(* --- shared interface -------------------------------------------------------- *)
+
+let m_poke = Stub.declare "poke" P.int P.int
+
+let m_make = Stub.declare "make" P.unit R.handle_codec
+
+let counter_meths () =
+  let v = ref 0 in
+  [
+    Stub.implement m_poke (fun _ n ->
+        v := !v + n;
+        !v);
+  ]
+
+(* The factory mints an object and releases its own root {e before} the
+   reply is encoded: from that instant the only thing keeping the object
+   alive is the reply's transient dirty pin, until the client's dirty
+   call lands and its copy_ack releases the pin.  This is the narrowest
+   transfer window the protocol protects, run deliberately under fault
+   injection. *)
+let factory sp =
+  R.allocate sp
+    ~meths:
+      [
+        Stub.implement m_make (fun sp () ->
+            let h = R.allocate sp ~meths:(counter_meths ()) in
+            R.release sp h;
+            h);
+      ]
+
+let counter_name s i = Printf.sprintf "c%d.%d" s i
+
+let factory_name s = Printf.sprintf "f%d" s
+
+let setup ctx =
+  for s = 0 to ctx.cfg.spaces - 1 do
+    let sp = R.space ctx.rt s in
+    for i = 0 to ctx.cfg.objects - 1 do
+      R.publish sp (counter_name s i) (R.allocate sp ~meths:(counter_meths ()))
+    done;
+    R.publish sp (factory_name s) (factory sp)
+  done
+
+(* --- nemesis ----------------------------------------------------------------- *)
+
+let apply_fault ctx ev =
+  let sched = ctx.sched in
+  if Obs.on () then
+    Trace.instant (Obs.trace ()) ~cat:"chaos" ~space:0
+      ~args:[ ("fault", Trace.S (Fmt.str "%a" pp_fault ev.fault)) ]
+      "chaos_fault";
+  match ev.fault with
+  | Partition { a; b; duration } ->
+      if not (Net.partitioned ctx.net a b) then begin
+        Net.set_partitioned ctx.net a b true;
+        bump ctx "partitions";
+        Sched.spawn sched ~name:(Printf.sprintf "heal-%d-%d" a b) (fun () ->
+            Sched.sleep sched duration;
+            if Net.partitioned ctx.net a b then begin
+              Net.set_partitioned ctx.net a b false;
+              bump ctx "heals"
+            end)
+      end
+  | Crash { victim; downtime } ->
+      if not (Net.is_crashed ctx.net victim) then begin
+        R.crash ctx.rt victim;
+        bump ctx "crashes";
+        Sched.spawn sched ~name:(Printf.sprintf "restart-%d" victim) (fun () ->
+            Sched.sleep sched downtime;
+            if Net.is_crashed ctx.net victim then begin
+              R.restart ctx.rt victim;
+              bump ctx "restarts"
+            end)
+      end
+  | Loss_burst { src; dst; loss; duration } ->
+      Net.set_burst ctx.net ~src ~dst ~loss
+        ~until:(Sched.now sched +. duration)
+        ();
+      bump ctx "loss_bursts"
+  | Dup_burst { src; dst; dup; duration } ->
+      Net.set_burst ctx.net ~src ~dst ~dup
+        ~until:(Sched.now sched +. duration)
+        ();
+      bump ctx "dup_bursts"
+  | Latency_spike { src; dst; factor; duration } ->
+      Net.set_latency_spike ctx.net ~src ~dst ~factor
+        ~until:(Sched.now sched +. duration);
+      bump ctx "latency_spikes"
+
+let nemesis ctx schedule () =
+  List.iter
+    (fun ev ->
+      if not !(ctx.stop) then begin
+        let now = Sched.now ctx.sched in
+        if ev.at > now then Sched.sleep ctx.sched (ev.at -. now);
+        if not !(ctx.stop) then apply_fault ctx ev
+      end)
+    schedule
+
+(* --- mutators ---------------------------------------------------------------- *)
+
+type item = {
+  ih : R.handle;
+  iowner : int;
+  imint : int;  (* owner epoch when acquired *)
+  irec : orphan_rec option;
+}
+
+let remove_holder it s epoch =
+  match it.irec with
+  | None -> ()
+  | Some o ->
+      let rec rm = function
+        | [] -> []
+        | (c, e) :: rest when c = s && e = epoch -> rest
+        | h :: rest -> h :: rm rest
+      in
+      o.o_holders <- rm o.o_holders
+
+(* Classify a failed operation on a held reference.  Timeouts are always
+   legitimate (crash, partition, loss).  A [Remote_error] is legitimate
+   only if one of the incarnations involved moved: if both the caller and
+   the owner are up and in the same epochs as when the reference was
+   acquired, the object cannot have disappeared — that is the safety
+   property under test. *)
+let classify_error ctx s my_epoch it msg =
+  ctx.ops_error <- ctx.ops_error + 1;
+  bump ctx "ops_error";
+  match it with
+  | None -> ()
+  | Some it ->
+      let sp = R.space ctx.rt s in
+      let osp = R.space ctx.rt it.iowner in
+      if
+        (not (Net.is_crashed ctx.net s))
+        && R.epoch sp = my_epoch
+        && (not (Net.is_crashed ctx.net it.iowner))
+        && R.epoch osp = it.imint
+      then
+        let wr = R.wirerep it.ih in
+        violate ctx
+          "space %d: held object %d.%d vanished with owner %d alive (epoch \
+           %d): %s"
+          s wr.Wirerep.space wr.Wirerep.index it.iowner it.imint msg
+
+let mutator ctx s ops () =
+  let sp = R.space ctx.rt s in
+  let rng =
+    Rng.create (Int64.add ctx.cfg.seed (Int64.of_int ((s * 977) + 0x51ed)))
+  in
+  let held = ref [] in
+  let my_epoch = ref (R.epoch sp) in
+  let sync_epoch () =
+    let e = R.epoch sp in
+    if e <> !my_epoch then begin
+      (* Our space restarted under us: the old incarnation's handles and
+         roots died with its table.  Just forget them. *)
+      List.iter (fun it -> remove_holder it s !my_epoch) !held;
+      held := [];
+      my_epoch := e
+    end
+  in
+  let ok () =
+    ctx.ops_ok <- ctx.ops_ok + 1;
+    bump ctx "ops_ok"
+  in
+  let timeout () =
+    ctx.ops_timeout <- ctx.ops_timeout + 1;
+    bump ctx "ops_timeout"
+  in
+  let release_item it =
+    remove_holder it s !my_epoch;
+    R.release sp it.ih
+  in
+  let other_space () =
+    let r = Rng.int rng (ctx.cfg.spaces - 1) in
+    if r >= s then r + 1 else r
+  in
+  let import () =
+    let t = other_space () in
+    if not (Net.is_crashed ctx.net t) then begin
+      let osp = R.space ctx.rt t in
+      let epoch_before = R.epoch osp in
+      let mint_orphan = Rng.int rng 2 = 0 in
+      let acquire () =
+        if mint_orphan then begin
+          let f = R.lookup sp ~at:t (factory_name t) in
+          let res =
+            try Ok (Stub.call sp f m_make ()) with e -> Error e
+          in
+          (try R.release sp f with _ -> ());
+          match res with Ok h -> h | Error e -> raise e
+        end
+        else R.lookup sp ~at:t (counter_name t (Rng.int rng ctx.cfg.objects))
+      in
+      match acquire () with
+      | h ->
+          (* Record ground truth only if the owner's incarnation was
+             stable across the acquisition — otherwise the reference may
+             already be dead, and wirerep indices of the new incarnation
+             alias the old one's. *)
+          if R.epoch osp = epoch_before && R.resident sp (R.wirerep h) then begin
+            let irec =
+              if mint_orphan then begin
+                ctx.orphans_minted <- ctx.orphans_minted + 1;
+                bump ctx "orphans";
+                let o =
+                  {
+                    o_wr = R.wirerep h;
+                    o_owner = t;
+                    o_mint_epoch = epoch_before;
+                    o_holders = [ (s, !my_epoch) ];
+                    o_flagged = false;
+                  }
+                in
+                ctx.orphans <- o :: ctx.orphans;
+                Some o
+              end
+              else None
+            in
+            held :=
+              { ih = h; iowner = t; imint = epoch_before; irec } :: !held;
+            ok ()
+          end
+          else (try R.release sp h with _ -> ())
+      | exception R.Timeout _ -> timeout ()
+      | exception R.Remote_error msg -> classify_error ctx s !my_epoch None msg
+    end
+  in
+  let poke () =
+    match !held with
+    | [] -> ()
+    | items -> (
+        let it = List.nth items (Rng.int rng (List.length items)) in
+        match Stub.call sp it.ih m_poke 1 with
+        | _ -> ok ()
+        | exception R.Timeout _ -> timeout ()
+        | exception R.Remote_error msg ->
+            classify_error ctx s !my_epoch (Some it) msg;
+            (* Whatever the reason, the reference is unusable: drop it so
+               the heap can converge. *)
+            sync_epoch ();
+            if List.memq it !held then begin
+              held := List.filter (fun x -> x != it) !held;
+              try release_item it with _ -> ()
+            end)
+  in
+  let drop () =
+    match !held with
+    | [] -> ()
+    | items ->
+        let it = List.nth items (Rng.int rng (List.length items)) in
+        held := List.filter (fun x -> x != it) !held;
+        (try release_item it with _ -> ())
+  in
+  (* Pace the stream over the whole chaos window (the generator emits
+     fewer ops than [events] when a draw has no eligible source), so the
+     late faults still hit live traffic. *)
+  let op_gap = ctx.cfg.duration /. float_of_int (max 1 (List.length ops)) in
+  List.iter
+    (fun op ->
+      if not !(ctx.stop) then begin
+        sync_epoch ();
+        if not (Net.is_crashed ctx.net s) then
+          (match op with
+          | Workload.Send (0, _) -> import ()
+          | Workload.Send (_, _) -> poke ()
+          | Workload.Drop _ -> drop ()
+          | Workload.Steps n ->
+              Sched.sleep ctx.sched (0.01 *. float_of_int n));
+        Sched.sleep ctx.sched op_gap
+      end)
+    ops;
+  (* Teardown: release everything we still hold so the system can drain
+     to the empty ground truth. *)
+  sync_epoch ();
+  if not (Net.is_crashed ctx.net s) then
+    List.iter (fun it -> try release_item it with _ -> ()) !held;
+  held := [];
+  ctx.mutators_done <- ctx.mutators_done + 1
+
+(* --- safety checker ----------------------------------------------------------- *)
+
+let live_holders ctx o =
+  List.filter
+    (fun (c, e) ->
+      (not (Net.is_crashed ctx.net c)) && R.epoch (R.space ctx.rt c) = e)
+    o.o_holders
+
+(* The direct safety oracle: while an object's owner is up in the same
+   incarnation that minted it, and some client incarnation still holds
+   it, the owner must not have reclaimed it.  Runs continuously, not
+   just at quiescence. *)
+let check_residency ctx =
+  List.iter
+    (fun o ->
+      if not o.o_flagged then begin
+        let osp = R.space ctx.rt o.o_owner in
+        if
+          (not (Net.is_crashed ctx.net o.o_owner))
+          && R.epoch osp = o.o_mint_epoch
+          && live_holders ctx o <> []
+          && not (R.resident osp o.o_wr)
+        then begin
+          o.o_flagged <- true;
+          violate ctx "premature collection: %d.%d held but reclaimed at %.2f"
+            o.o_wr.Wirerep.space o.o_wr.Wirerep.index (Sched.now ctx.sched)
+        end
+      end)
+    ctx.orphans
+
+let checker ctx () =
+  let rec loop () =
+    if not !(ctx.stop) then begin
+      Sched.sleep ctx.sched 0.25;
+      check_residency ctx;
+      loop ()
+    end
+  in
+  loop ()
+
+(* --- drain oracle -------------------------------------------------------------- *)
+
+(* Convergence to ground truth after the faults stop and every mutator
+   released: no protocol invariant violated, no surrogate anywhere (so no
+   dirty entry anywhere), every minted object reclaimed by its owner.
+   Returns [] when converged. *)
+let drain_oracle ctx =
+  let problems = ref [] in
+  let add fmt = Fmt.kstr (fun s -> problems := s :: !problems) fmt in
+  List.iter (fun p -> add "%s" p) (R.check_consistency ctx.rt);
+  List.iter
+    (fun sp ->
+      let n = R.surrogate_count sp in
+      if n > 0 then begin
+        add "space %d: %d surrogates not drained" (R.space_id sp) n;
+        List.iter (fun s -> add "  %s" s) (R.surrogate_summary sp)
+      end)
+    (R.spaces ctx.rt);
+  List.iter
+    (fun o ->
+      let osp = R.space ctx.rt o.o_owner in
+      if
+        R.epoch osp = o.o_mint_epoch
+        && live_holders ctx o = []
+        && R.resident osp o.o_wr
+      then
+        add "orphan %d.%d unreachable but not reclaimed" o.o_wr.Wirerep.space
+          o.o_wr.Wirerep.index)
+    ctx.orphans;
+  List.rev !problems
+
+(* --- the run ------------------------------------------------------------------- *)
+
+let run ?schedule cfg =
+  if cfg.spaces < 2 then invalid_arg "Chaos.run: need at least two spaces";
+  let rcfg =
+    runtime_config ~backoff:cfg.backoff ~backoff_cap:cfg.backoff_cap
+      ~backoff_jitter:cfg.backoff_jitter ~seed:cfg.seed ~spaces:cfg.spaces ()
+  in
+  let rt = R.create rcfg in
+  let ctx =
+    {
+      rt;
+      net = R.net rt;
+      sched = R.sched rt;
+      cfg;
+      stop = ref false;
+      mutators_done = 0;
+      ops_ok = 0;
+      ops_timeout = 0;
+      ops_error = 0;
+      orphans_minted = 0;
+      fault_counts = Hashtbl.create 16;
+      violations = [];
+      orphans = [];
+    }
+  in
+  setup ctx;
+  let schedule =
+    match schedule with
+    | Some s -> s
+    | None ->
+        random_schedule
+          ~seed:(Int64.logxor cfg.seed 0x6b8b4567L)
+          ~spaces:cfg.spaces ~duration:cfg.duration cfg.mix
+  in
+  for s = 0 to cfg.spaces - 1 do
+    let ops =
+      Workload.churn_ops ~procs:2 ~events:cfg.events
+        ~seed:(Int64.add cfg.seed (Int64.of_int ((s * 131) + 7)))
+        ()
+    in
+    R.spawn rt ~name:(Printf.sprintf "mutator-%d" s) (mutator ctx s ops)
+  done;
+  R.spawn rt ~name:"nemesis" (nemesis ctx schedule);
+  R.spawn rt ~name:"checker" (checker ctx);
+  (* Chaos phase: mutators churn references while the nemesis injects
+     faults, on a bounded clock (the periodic demons never go idle). *)
+  ignore (R.run ~until:cfg.duration rt);
+  ctx.stop := true;
+  (* Quiesce: heal every partition, restart whoever is still down, then
+     let the mutators notice the stop flag, finish their in-flight
+     operation (bounded by the call timeout) and release what they hold. *)
+  Net.heal_all ctx.net;
+  for i = 0 to cfg.spaces - 1 do
+    if Net.is_crashed ctx.net i then begin
+      R.restart rt i;
+      bump ctx "restarts"
+    end
+  done;
+  let quiesce_start = Sched.now ctx.sched in
+  let mutator_deadline = quiesce_start +. 15.0 in
+  while
+    ctx.mutators_done < cfg.spaces && Sched.now ctx.sched < mutator_deadline
+  do
+    ignore (R.run ~until:(Sched.now ctx.sched +. 1.0) rt)
+  done;
+  if ctx.mutators_done < cfg.spaces then
+    violate ctx "%d mutators wedged after quiesce"
+      (cfg.spaces - ctx.mutators_done);
+  (* Drain: drive the clock until cleans, retries, pings and epoch
+     discovery settle the whole system back to ground truth.  Drain time
+     is measured from the heal, so it includes the release traffic of the
+     winding-down mutators. *)
+  let drain_deadline = quiesce_start +. cfg.drain_limit in
+  let remaining = ref (drain_oracle ctx) in
+  while !remaining <> [] && Sched.now ctx.sched < drain_deadline do
+    ignore (R.run ~until:(Sched.now ctx.sched +. 2.0) rt);
+    remaining := drain_oracle ctx
+  done;
+  let drain_time =
+    if !remaining = [] then Some (Sched.now ctx.sched -. quiesce_start)
+    else None
+  in
+  let retries, rejections, evictions =
+    List.fold_left
+      (fun (r, j, e) sp ->
+        let st = R.gc_stats sp in
+        ( r + st.R.retries,
+          j + st.R.epoch_rejections,
+          e + st.R.evictions ))
+      (0, 0, 0) (R.spaces rt)
+  in
+  let faults =
+    List.filter_map
+      (fun k ->
+        match Hashtbl.find_opt ctx.fault_counts k with
+        | Some r -> Some (k, !r)
+        | None -> None)
+      [
+        "partitions";
+        "heals";
+        "crashes";
+        "restarts";
+        "loss_bursts";
+        "dup_bursts";
+        "latency_spikes";
+      ]
+  in
+  {
+    r_seed = cfg.seed;
+    r_spaces = cfg.spaces;
+    r_end_time = Sched.now ctx.sched;
+    r_faults = faults;
+    r_ops_ok = ctx.ops_ok;
+    r_ops_timeout = ctx.ops_timeout;
+    r_ops_error = ctx.ops_error;
+    r_orphans = ctx.orphans_minted;
+    r_retries = retries;
+    r_epoch_rejections = rejections;
+    r_evictions = evictions;
+    r_safety = List.rev ctx.violations;
+    r_liveness = !remaining;
+    r_drain_time = drain_time;
+  }

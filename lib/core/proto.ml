@@ -93,6 +93,20 @@ let codec =
         (function Clean_batch_ack { wrs } -> Some wrs | _ -> None);
     ]
 
+(* Every envelope travels wrapped in a packet stamped with the sender's
+   own incarnation epoch and the epoch it believes the destination is in.
+   Receivers use the first to reject messages from a peer's previous
+   incarnation and to notice restarts, and the second to reject messages
+   addressed to their own previous incarnation (e.g. a dirty call that
+   was in flight across a crash+restart). *)
+type packet = { src_epoch : int; dst_epoch : int; env : envelope }
+
+let packet_codec =
+  P.map ~name:"packet"
+    (fun (src_epoch, dst_epoch, env) -> { src_epoch; dst_epoch; env })
+    (fun { src_epoch; dst_epoch; env } -> (src_epoch, dst_epoch, env))
+    (P.triple P.int P.int codec)
+
 let kind = function
   | Call _ -> "call"
   | Reply _ -> "reply"

@@ -56,6 +56,18 @@ type envelope =
 
 val codec : envelope Netobj_pickle.Pickle.t
 
+(** What actually crosses the wire: the envelope stamped with the
+    sender's incarnation epoch and the sender's view of the receiver's
+    epoch.  Both start at 0 and bump on [Runtime.restart], so a space
+    that never restarts pays two one-byte varints per message.  The
+    receiver drops packets whose [src_epoch] is older than the epoch it
+    has already seen from that peer (a stale incarnation talking) and
+    packets whose [dst_epoch] is older than its own (mail addressed to
+    its previous incarnation). *)
+type packet = { src_epoch : int; dst_epoch : int; env : envelope }
+
+val packet_codec : packet Netobj_pickle.Pickle.t
+
 (** Accounting label for {!Netobj_net.Net.send}. *)
 val kind : envelope -> string
 

@@ -31,6 +31,12 @@ let g_pool_hits = Metrics.gauge Metrics.global "pickle.pool_hits"
 
 let g_pool_misses = Metrics.gauge Metrics.global "pickle.pool_misses"
 
+let m_epoch_rejected = Metrics.counter Metrics.global "runtime.epoch_rejected"
+
+let m_retry = Metrics.counter Metrics.global "runtime.retries"
+
+let m_restart = Metrics.counter Metrics.global "runtime.restarts"
+
 let h_gc_pause = Metrics.histogram Metrics.global "runtime.gc_pause_us"
 
 let h_gc_reclaimed = Metrics.histogram Metrics.global "runtime.gc_reclaimed"
@@ -84,6 +90,12 @@ type config = {
   call_timeout : float option;
   dirty_timeout : float option;
   clean_retry : float option;
+  dirty_retry : float option;
+  backoff : float;
+  backoff_cap : float;
+  backoff_jitter : float;
+  lease_grace : float;
+  pin_timeout : float option;
   clean_batch : float option;
   piggyback_acks : bool;
   coalesce : bool;
@@ -91,8 +103,12 @@ type config = {
 
 let config ?(seed = 1L) ?(policy = Sched.Fifo) ?(edge = Net.bag_edge ())
     ?gc_period ?ping_period ?(lease_misses = 3) ?call_timeout ?dirty_timeout
-    ?clean_retry ?clean_batch ?(piggyback_acks = false) ?(coalesce = false)
-    ~nspaces () =
+    ?clean_retry ?dirty_retry ?(backoff = 1.0) ?(backoff_cap = infinity)
+    ?(backoff_jitter = 0.0) ?(lease_grace = 0.0) ?pin_timeout ?clean_batch
+    ?(piggyback_acks = false) ?(coalesce = false) ~nspaces () =
+  if backoff < 1.0 then invalid_arg "Runtime.config: backoff must be >= 1";
+  if backoff_jitter < 0.0 || backoff_jitter >= 1.0 then
+    invalid_arg "Runtime.config: backoff_jitter must be in [0, 1)";
   {
     nspaces;
     seed;
@@ -104,6 +120,12 @@ let config ?(seed = 1L) ?(policy = Sched.Fifo) ?(edge = Net.bag_edge ())
     call_timeout;
     dirty_timeout;
     clean_retry;
+    dirty_retry;
+    backoff;
+    backoff_cap;
+    backoff_jitter;
+    lease_grace;
+    pin_timeout;
     clean_batch;
     piggyback_acks;
     coalesce;
@@ -127,15 +149,24 @@ type gc_stats = {
   copy_acks : int;
   pings : int;
   evictions : int;
+  epoch_rejections : int;
+  retries : int;
 }
 
 (* Surrogate life cycle, mirroring the formal rec_T states:
    absent = ⊥, Creating = nil, Usable = OK, Cleaning with [resurrect =
    None] = ccit, with [Some _] = ccitnil. *)
+type cleaning = {
+  mutable resurrect : bool Sched.Ivar.var option;
+  (* cancels the armed clean-retry timer; run as soon as the owner's ack
+     arrives so a retry can never fire after the state left Cleaning *)
+  mutable retry_cancel : (unit -> unit) option;
+}
+
 type sentry =
   | Creating of bool Sched.Ivar.var  (* filled with registration success *)
   | Usable of { mutable clean_scheduled : bool }
-  | Cleaning of { mutable resurrect : bool Sched.Ivar.var option }
+  | Cleaning of cleaning
 
 type meth = {
   m_name : string;
@@ -174,6 +205,11 @@ and space = {
   seqno : int Wirerep.Tbl.t;  (* client-side dirty/clean sequence numbers *)
   bindings : (string, Wirerep.t) Hashtbl.t;  (* agent name table *)
   ping_misses : (int, int) Hashtbl.t;  (* client -> consecutive missed pings *)
+  (* client -> virtual time its lease first expired; eviction waits a
+     further [lease_grace] seconds so a healed partition keeps the lease *)
+  suspect_since : (int, float) Hashtbl.t;
+  mutable epoch : int;  (* incarnation number, bumped by restart *)
+  peer_epoch : (int, int) Hashtbl.t;  (* highest epoch seen per peer *)
   mutable crashed : bool;
   mutable n_collections : int;
   mutable n_reclaimed : int;
@@ -182,12 +218,15 @@ and space = {
   mutable s_copy_ack : int;
   mutable s_ping : int;
   mutable s_evict : int;
+  mutable s_epoch_rejected : int;
+  mutable s_retries : int;
 }
 
 and t = {
   config : config;
   sched : Sched.t;
   network : Net.t;
+  retry_rng : Rng.t;  (* jitter for backoff'd retries, seeded *)
   mutable space_arr : space array;
 }
 
@@ -275,13 +314,45 @@ let next_seqno sp wr =
 
 (* With coalescing on, every protocol message goes through the outbox:
    clean batches, piggybacked acks and ordinary calls posted at the same
-   instant share one frame per destination. *)
+   instant share one frame per destination.  Every envelope is stamped
+   with our incarnation epoch and the destination epoch we know of (see
+   Proto.packet). *)
 let send_env sp ~dst env =
-  let payload = Pickle.encode Proto.codec env in
+  let packet =
+    {
+      Proto.src_epoch = sp.epoch;
+      dst_epoch = Option.value ~default:0 (Hashtbl.find_opt sp.peer_epoch dst);
+      env;
+    }
+  in
+  let payload = Pickle.encode Proto.packet_codec packet in
   let kind = Proto.kind env in
   if sp.rt.config.coalesce then
     Net.post sp.rt.network ~src:sp.id ~dst ~kind payload
   else Net.send sp.rt.network ~src:sp.id ~dst ~kind payload
+
+(* --- retry backoff --------------------------------------------------------
+
+   TR §2.3 repeats unacknowledged dirty and clean calls until they
+   succeed.  The delay before attempt [n] is
+   [base * backoff^n], capped at [backoff_cap], then smeared by the
+   seeded jitter factor so a fleet of retries does not stampede in
+   lock-step.  [backoff = 1] (default) keeps the historical
+   fixed-interval behaviour. *)
+let retry_delay rt ~attempt ~base =
+  let d = base *. (rt.config.backoff ** float_of_int attempt) in
+  let d = Float.min d rt.config.backoff_cap in
+  let j = rt.config.backoff_jitter in
+  if j <= 0.0 then d
+  else d *. (1.0 -. (j /. 2.0) +. (j *. Rng.float rt.retry_rng))
+
+let count_retry sp label wr =
+  sp.s_retries <- sp.s_retries + 1;
+  if Obs.on () then begin
+    Metrics.incr m_retry;
+    Trace.instant (Obs.trace ()) ~cat:"gc" ~space:sp.id ~args:(obs_wr_args wr)
+      label
+  end
 
 (* --- surrogate registration (the dirty protocol, client side) ----------- *)
 
@@ -294,6 +365,41 @@ let send_dirty sp wr =
       ~args:(obs_wr_args wr) "dirty"
   end;
   send_env sp ~dst:wr.Wirerep.space (Proto.Dirty { wr; seq = next_seqno sp wr })
+
+(* Send the dirty call and, when dirty retries are configured, keep
+   resending (same sequence number: the owner acks idempotently) until
+   the registration ivar fills.  The cancel hooks onto the ivar so an ack
+   stops the pending timer outright instead of leaving it to fire as a
+   no-op and delay quiescence. *)
+let send_dirty_retrying sp wr iv =
+  send_dirty sp wr;
+  match sp.rt.config.dirty_retry with
+  | None -> ()
+  | Some base ->
+      let gen = sp.epoch in
+      let rec arm attempt =
+        let cancel =
+          Sched.timer_cancel sp.rt.sched
+            (retry_delay sp.rt ~attempt ~base)
+            (fun () ->
+              if (not sp.crashed) && sp.epoch = gen
+                 && not (Sched.Ivar.is_filled iv)
+              then
+                match Wirerep.Tbl.find_opt sp.table wr with
+                | Some (Surrogate st) -> (
+                    match !st with
+                    | Creating iv' when iv' == iv ->
+                        count_retry sp "dirty_retry" wr;
+                        send_env sp ~dst:wr.Wirerep.space
+                          (Proto.Dirty
+                             { wr; seq = Wirerep.Tbl.find sp.seqno wr });
+                        arm (attempt + 1)
+                    | Creating _ | Usable _ | Cleaning _ -> ())
+                | Some (Concrete _) | None -> ())
+        in
+        Sched.Ivar.on_fill iv (fun () -> cancel ())
+      in
+      arm 0
 
 let obs_begin_clean sp wr =
   if Obs.on () then begin
@@ -332,7 +438,7 @@ let acquire_surrogate sp wr =
   | None ->
       let iv = Sched.Ivar.create () in
       Wirerep.Tbl.add sp.table wr (Surrogate (ref (Creating iv)));
-      send_dirty sp wr;
+      send_dirty_retrying sp wr iv;
       Some iv
 
 (* --- the handle codec ---------------------------------------------------- *)
@@ -366,6 +472,16 @@ let handle_codec =
     ~write:(fun w h -> write w h)
     ~read:(fun r -> read r)
 
+let release_pins_for sp msg_id =
+  match Hashtbl.find_opt sp.tdirty msg_id with
+  | None -> ()
+  | Some wrs ->
+      Hashtbl.remove sp.tdirty msg_id;
+      if Obs.on () then
+        Trace.async_end (Obs.trace ()) ~cat:"gc" ~space:sp.id
+          ~id:(obs_msg_span_id msg_id) "pins";
+      List.iter (unpin sp) wrs
+
 (* Encode a payload under a fresh message id; embedded handles become
    transient pins attached to that id.  Returns whether any reference was
    embedded (an ack-free message needs no transient entry at all). *)
@@ -386,19 +502,22 @@ let encode_with_pins sp f =
       Trace.async_begin (Obs.trace ()) ~cat:"gc" ~space:sp.id
         ~id:(obs_msg_span_id msg_id)
         ~args:[ ("refs", Trace.I (List.length !pinned)) ]
-        "pins"
+        "pins";
+    (* TR §2.2: transient entries are "removed by a conservative timeout"
+       when the ack is lost with the message or the receiver.  The timeout
+       must exceed any in-flight window (latency + call timeout + retry),
+       so an ack that is merely late never races it.  Release is
+       idempotent, so no cancellation is needed when the ack does arrive;
+       the epoch guard keeps a timer armed before a restart from touching
+       the reincarnation's reused message ids. *)
+    match sp.rt.config.pin_timeout with
+    | None -> ()
+    | Some dt ->
+        let gen = sp.epoch in
+        Sched.timer sp.rt.sched dt (fun () ->
+            if sp.epoch = gen then release_pins_for sp msg_id)
   end;
   (msg_id, has_refs, payload)
-
-let release_pins_for sp msg_id =
-  match Hashtbl.find_opt sp.tdirty msg_id with
-  | None -> ()
-  | Some wrs ->
-      Hashtbl.remove sp.tdirty msg_id;
-      if Obs.on () then
-        Trace.async_end (Obs.trace ()) ~cat:"gc" ~space:sp.id
-          ~id:(obs_msg_span_id msg_id) "pins";
-      List.iter (unpin sp) wrs
 
 (* Decode a payload; returns the value, the acquired references (already
    pinned once each) and the registrations to await. *)
@@ -556,7 +675,7 @@ let begin_clean sp wr =
   | Some (Surrogate st) -> (
       match !st with
       | Usable u when u.clean_scheduled ->
-          st := Cleaning { resurrect = None };
+          st := Cleaning { resurrect = None; retry_cancel = None };
           Some (next_seqno sp wr)
       | Usable _ | Creating _ | Cleaning _ -> None)
   | Some (Concrete _) | None -> None
@@ -604,6 +723,43 @@ let cleaning_demon_batched sp window () =
 
 (* Sends the clean call for a surrogate the collector found unreachable,
    unless a fresh copy arrived meanwhile (the Note 4 cancellation). *)
+(* TR §2.3: an unacknowledged clean is repeated until it succeeds
+   (sequence numbers make the repeats idempotent), with capped
+   exponential backoff between attempts.  The pending timer's cancel is
+   stored on the Cleaning state so the owner's ack stops the cycle
+   immediately — a cancelled retry can neither fire after the state left
+   Cleaning nor hold the scheduler back from quiescing. *)
+let schedule_clean_retry sp cl wr =
+  match sp.rt.config.clean_retry with
+  | None -> ()
+  | Some base ->
+      let rec arm attempt =
+        cl.retry_cancel <-
+          Some
+            (Sched.timer_cancel sp.rt.sched
+               (retry_delay sp.rt ~attempt ~base)
+               (fun () ->
+                 if not sp.crashed then
+                   match Wirerep.Tbl.find_opt sp.table wr with
+                   | Some (Surrogate st) -> (
+                       match !st with
+                       | Cleaning cl' when cl' == cl ->
+                           sp.s_clean <- sp.s_clean + 1;
+                           count_retry sp "clean_retry" wr;
+                           if Obs.on () then Metrics.incr m_clean;
+                           send_env sp ~dst:wr.Wirerep.space
+                             (Proto.Clean
+                                {
+                                  wr;
+                                  seq = Wirerep.Tbl.find sp.seqno wr;
+                                  strong = false;
+                                });
+                           arm (attempt + 1)
+                       | Cleaning _ | Creating _ | Usable _ -> ())
+                   | Some (Concrete _) | None -> ()))
+      in
+      arm 0
+
 let cleaning_demon sp () =
   let rec loop () =
     let wr = Sched.Mailbox.recv sp.clean_mb in
@@ -612,43 +768,13 @@ let cleaning_demon sp () =
        | Some (Surrogate st) -> (
            match !st with
            | Usable u when u.clean_scheduled ->
-               st := Cleaning { resurrect = None };
+               let cl = { resurrect = None; retry_cancel = None } in
+               st := Cleaning cl;
                send_clean sp wr ~strong:false;
-               schedule_clean_retry sp wr
+               schedule_clean_retry sp cl wr
            | Usable _ | Creating _ | Cleaning _ -> ())
        | Some (Concrete _) | None -> ());
     loop ()
-  and schedule_clean_retry sp wr =
-    match sp.rt.config.clean_retry with
-    | None -> ()
-    | Some dt ->
-        (* TR §2.3: an unacknowledged clean is repeated until it succeeds
-           (sequence numbers make the repeats idempotent). *)
-        let rec arm () =
-          Sched.timer sp.rt.sched dt (fun () ->
-              if not sp.crashed then
-                match Wirerep.Tbl.find_opt sp.table wr with
-                | Some (Surrogate st) -> (
-                    match !st with
-                    | Cleaning _ ->
-                        sp.s_clean <- sp.s_clean + 1;
-                        if Obs.on () then begin
-                          Metrics.incr m_clean;
-                          Trace.instant (Obs.trace ()) ~cat:"gc" ~space:sp.id
-                            ~args:(obs_wr_args wr) "clean_retry"
-                        end;
-                        send_env sp ~dst:wr.Wirerep.space
-                          (Proto.Clean
-                             {
-                               wr;
-                               seq = Wirerep.Tbl.find sp.seqno wr;
-                               strong = false;
-                             });
-                        arm ()
-                    | Creating _ | Usable _ -> ())
-                | Some (Concrete _) | None -> ())
-        in
-        arm ()
   in
   loop ()
 
@@ -795,15 +921,17 @@ let handle_clean_ack sp ~wr =
   match Wirerep.Tbl.find_opt sp.table wr with
   | Some (Surrogate st) -> (
       match !st with
-      | Cleaning { resurrect = None } ->
+      | Cleaning ({ resurrect = None; _ } as cl) ->
+          (match cl.retry_cancel with Some c -> c () | None -> ());
           obs_end_clean sp wr ~resurrected:false;
           Wirerep.Tbl.remove sp.table wr
-      | Cleaning { resurrect = Some iv } ->
+      | Cleaning ({ resurrect = Some iv; _ } as cl) ->
+          (match cl.retry_cancel with Some c -> c () | None -> ());
           obs_end_clean sp wr ~resurrected:true;
           (* ccitnil -> nil: a fresh copy arrived during cleanup; start a
              new registration cycle. *)
           st := Creating iv;
-          send_dirty sp wr
+          send_dirty_retrying sp wr iv
       | Creating _ | Usable _ -> () (* stale ack *))
   | Some (Concrete _) | None -> ()
 
@@ -822,7 +950,8 @@ let handle_ping_ack sp ~src ~nonce =
     Trace.instant (Obs.trace ()) ~cat:"gc" ~space:sp.id
       ~args:[ ("client", Trace.I src) ]
       "ping_ack";
-  Hashtbl.replace sp.ping_misses src 0
+  Hashtbl.replace sp.ping_misses src 0;
+  Hashtbl.remove sp.suspect_since src
 
 let handle_envelope sp ~src env =
   if not sp.crashed then
@@ -885,11 +1014,115 @@ let evict_client sp client =
       "evict"
   end
 
-let ping_demon sp period () =
+(* --- epoch checking --------------------------------------------------------
+
+   A peer's epoch bump means it restarted: everything we remember about
+   its previous incarnation is void.  Owner side, its dirty entries are
+   dropped through the lease-eviction path and its sequence-number
+   history forgotten (the restarted client counts from 1 again).  Client
+   side, our surrogates for its objects point at a heap that no longer
+   exists: pending registrations fail, usable surrogates are dropped
+   (calls through retained handles raise [Remote_error], prompting the
+   holder to re-import via the agent). *)
+
+let forget_peer_state sp peer =
+  evict_client sp peer;
+  Wirerep.Tbl.iter
+    (fun _ entry ->
+      match entry with
+      | Concrete c -> Hashtbl.remove c.c_last_seq peer
+      | Surrogate _ -> ())
+    sp.table;
+  Hashtbl.remove sp.ping_misses peer;
+  Hashtbl.remove sp.suspect_since peer;
+  let stale = ref [] in
+  Wirerep.Tbl.iter
+    (fun wr entry ->
+      match entry with
+      | Surrogate st when wr.Wirerep.space = peer ->
+          (match !st with
+          | Creating iv ->
+              if not (Sched.Ivar.is_filled iv) then Sched.Ivar.fill iv false
+          | Cleaning cl -> (
+              (match cl.retry_cancel with Some c -> c () | None -> ());
+              match cl.resurrect with
+              | Some iv when not (Sched.Ivar.is_filled iv) ->
+                  Sched.Ivar.fill iv false
+              | Some _ | None -> ())
+          | Usable _ -> ());
+          stale := wr :: !stale
+      | Surrogate _ | Concrete _ -> ())
+    sp.table;
+  List.iter
+    (fun wr ->
+      Wirerep.Tbl.remove sp.table wr;
+      (* Drop root/pin counts with the entry: the restarted peer reuses
+         wirerep indices, so a stale count would pin its {e next} object
+         under the same wirerep.  Holders still call [release]/[unpin]
+         later; both are no-ops on a missing entry. *)
+      Hashtbl.remove sp.roots wr;
+      Hashtbl.remove sp.pins wr)
+    !stale;
+  if Obs.on () then
+    Trace.instant (Obs.trace ()) ~cat:"gc" ~space:sp.id
+      ~args:[ ("peer", Trace.I peer); ("surrogates", Trace.I (List.length !stale)) ]
+      "epoch_forget"
+
+let reject_packet sp ~src ~got ~known reason =
+  sp.s_epoch_rejected <- sp.s_epoch_rejected + 1;
+  if Obs.on () then begin
+    Metrics.incr m_epoch_rejected;
+    Trace.instant (Obs.trace ()) ~cat:"gc" ~space:sp.id
+      ~args:
+        [
+          ("peer", Trace.I src);
+          ("got", Trace.I got);
+          ("known", Trace.I known);
+          ("reason", Trace.S reason);
+        ]
+      "epoch_reject"
+  end
+
+let handle_packet sp ~src (p : Proto.packet) =
+  if not sp.crashed then begin
+    let known = Option.value ~default:0 (Hashtbl.find_opt sp.peer_epoch src) in
+    if p.Proto.src_epoch < known then
+      (* A previous incarnation of [src] still talking: ignore it. *)
+      reject_packet sp ~src ~got:p.Proto.src_epoch ~known "stale-src"
+    else begin
+      if p.Proto.src_epoch > known then begin
+        Hashtbl.replace sp.peer_epoch src p.Proto.src_epoch;
+        forget_peer_state sp src
+      end;
+      if p.Proto.dst_epoch < sp.epoch then begin
+        (* Mail addressed to our previous incarnation (in flight across
+           our restart, or from a peer that has not heard about it).
+           Reject it, and ping the sender so it learns our epoch from
+           the stamp and re-bootstraps. *)
+        reject_packet sp ~src ~got:p.Proto.dst_epoch ~known:sp.epoch
+          "stale-dst";
+        send_env sp ~dst:src (Proto.Ping { nonce = 0 })
+      end
+      else handle_envelope sp ~src p.Proto.env
+    end
+  end
+
+(* Demons carry the epoch they were spawned for and exit as soon as the
+   space's epoch moves on: [restart] spawns a fresh set, and without the
+   guard an old demon sleeping across the crash+restart window would wake
+   up alongside its replacement. *)
+
+(* A lease expires after [lease_misses] consecutive unanswered pings,
+   but with a configured [lease_grace] the client is only marked suspect
+   and kept pinged for that much longer before eviction — so a healed
+   transient partition keeps the lease (TR §2.4's tradeoff between
+   promptness and tolerance). *)
+let ping_demon sp gen period () =
   let misses = sp.ping_misses in
   let rec loop nonce =
     Sched.sleep sp.rt.sched period;
-    if not sp.crashed then begin
+    if (not sp.crashed) && sp.epoch = gen then begin
+      let grace = sp.rt.config.lease_grace in
       let clients = clients_with_surrogates sp in
       List.iter
         (fun cl ->
@@ -897,10 +1130,28 @@ let ping_demon sp period () =
             Option.value ~default:0 (Hashtbl.find_opt misses cl) + 1
           in
           Hashtbl.replace misses cl missed;
-          if missed > sp.rt.config.lease_misses then begin
+          let expired =
+            missed > sp.rt.config.lease_misses
+            &&
+            if grace <= 0.0 then true
+            else begin
+              let now = Sched.now sp.rt.sched in
+              match Hashtbl.find_opt sp.suspect_since cl with
+              | None ->
+                  Hashtbl.replace sp.suspect_since cl now;
+                  if Obs.on () then
+                    Trace.instant (Obs.trace ()) ~cat:"gc" ~space:sp.id
+                      ~args:[ ("client", Trace.I cl) ]
+                      "suspect";
+                  false
+              | Some t0 -> now -. t0 >= grace
+            end
+          in
+          if expired then begin
             Log.info (fun m -> m "space %d: evicting client %d" sp.id cl);
             evict_client sp cl;
-            Hashtbl.remove misses cl
+            Hashtbl.remove misses cl;
+            Hashtbl.remove sp.suspect_since cl
           end
           else begin
             sp.s_ping <- sp.s_ping + 1;
@@ -918,10 +1169,10 @@ let ping_demon sp period () =
   in
   loop 0
 
-let gc_demon sp period () =
+let gc_demon sp gen period () =
   let rec loop () =
     Sched.sleep sp.rt.sched period;
-    if not sp.crashed then begin
+    if (not sp.crashed) && sp.epoch = gen then begin
       collect sp;
       loop ()
     end
@@ -983,10 +1234,10 @@ let await_usable sp h =
   | Some (Surrogate st) -> (
       match !st with
       | Usable _ -> ()
-      | Creating iv | Cleaning { resurrect = Some iv } ->
+      | Creating iv | Cleaning { resurrect = Some iv; _ } ->
           if not (Sched.Ivar.read iv) then
             raise (Remote_error "surrogate registration failed")
-      | Cleaning { resurrect = None } ->
+      | Cleaning { resurrect = None; _ } ->
           raise (Remote_error "surrogate is being cleaned up"))
   | None -> raise (Remote_error "dangling handle (surrogate collected)")
 
@@ -1192,14 +1443,19 @@ let import_wr sp wr =
 
 let lookup sp ~at name =
   let agent = import_wr sp (Wirerep.v ~space:at ~index:0) in
+  (* The agent root must not outlive the call: a [Timeout] or
+     [Remote_error] escaping here would otherwise leave the agent
+     surrogate rooted forever, keeping a dirty entry at the owner. *)
   let result =
-    invoke_raw sp agent ~meth:"lookup"
-      ~encode:(fun w -> Pickle.write Pickle.string w name)
-      ~decode:(fun r ->
-        if Pickle.read Pickle.bool r then Some (Pickle.read handle_codec r)
-        else None)
+    Fun.protect
+      ~finally:(fun () -> release sp agent)
+      (fun () ->
+        invoke_raw sp agent ~meth:"lookup"
+          ~encode:(fun w -> Pickle.write Pickle.string w name)
+          ~decode:(fun r ->
+            if Pickle.read Pickle.bool r then Some (Pickle.read handle_codec r)
+            else None))
   in
-  release sp agent;
   match result with
   | Some h -> h
   | None -> raise (Remote_error (Printf.sprintf "lookup: no binding for %s" name))
@@ -1210,6 +1466,22 @@ let crash rt i =
   let sp = space rt i in
   sp.crashed <- true;
   Net.crash rt.network i
+
+let spawn_periodic_demons sp =
+  let gen = sp.epoch in
+  let sched = sp.rt.sched in
+  (match sp.rt.config.gc_period with
+  | Some p ->
+      Sched.spawn sched
+        ~name:(Printf.sprintf "gc-demon-%d.%d" sp.id gen)
+        (gc_demon sp gen p)
+  | None -> ());
+  match sp.rt.config.ping_period with
+  | Some p ->
+      Sched.spawn sched
+        ~name:(Printf.sprintf "ping-demon-%d.%d" sp.id gen)
+        (ping_demon sp gen p)
+  | None -> ()
 
 let make_space rt id =
   {
@@ -1227,6 +1499,9 @@ let make_space rt id =
     seqno = Wirerep.Tbl.create 16;
     bindings = Hashtbl.create 8;
     ping_misses = Hashtbl.create 8;
+    suspect_since = Hashtbl.create 8;
+    epoch = 0;
+    peer_epoch = Hashtbl.create 8;
     crashed = false;
     n_collections = 0;
     n_reclaimed = 0;
@@ -1235,6 +1510,8 @@ let make_space rt id =
     s_copy_ack = 0;
     s_ping = 0;
     s_evict = 0;
+    s_epoch_rejected = 0;
+    s_retries = 0;
   }
 
 let create config =
@@ -1245,7 +1522,17 @@ let create config =
   Obs.set_clock (fun () -> Sched.now sched);
   let network = Net.create ~sched ~seed:config.seed () in
   Net.set_all_edges network config.edge;
-  let rt = { config; sched; network; space_arr = [||] } in
+  let rt =
+    {
+      config;
+      sched;
+      network;
+      (* Distinct stream from the network's: retries must not perturb
+         the latency/loss draws of runs that never retry. *)
+      retry_rng = Rng.create (Int64.logxor config.seed 0x9E3779B97F4A7C15L);
+      space_arr = [||];
+    }
+  in
   rt.space_arr <- Array.init config.nspaces (make_space rt);
   Array.iter
     (fun sp ->
@@ -1254,8 +1541,8 @@ let create config =
       let agent = allocate sp ~meths:[ agent_publish_meth; agent_lookup_meth ] in
       assert (agent.wr.Wirerep.index = 0);
       Net.set_handler network sp.id (fun ~src ~kind:_ ~payload ~off ~len ->
-          match Pickle.decode_slice Proto.codec payload ~off ~len with
-          | env -> handle_envelope sp ~src env
+          match Pickle.decode_slice Proto.packet_codec payload ~off ~len with
+          | p -> handle_packet sp ~src p
           | exception e ->
               Log.err (fun m ->
                   m "space %d: malformed envelope from %d: %s" sp.id src
@@ -1269,20 +1556,77 @@ let create config =
           Sched.spawn sched
             ~name:(Printf.sprintf "clean-demon-%d" sp.id)
             (cleaning_demon sp));
-      (match config.gc_period with
-      | Some p ->
-          Sched.spawn sched
-            ~name:(Printf.sprintf "gc-demon-%d" sp.id)
-            (gc_demon sp p)
-      | None -> ());
-      match config.ping_period with
-      | Some p ->
-          Sched.spawn sched
-            ~name:(Printf.sprintf "ping-demon-%d" sp.id)
-            (ping_demon sp p)
-      | None -> ())
+      spawn_periodic_demons sp)
     rt.space_arr;
   rt
+
+(* A restarted space comes back with an empty heap, a bumped epoch and a
+   fresh agent, exactly like a process that rebooted: all distributed
+   state about it is recovered protocol-side (owners evict its old dirty
+   entries on the epoch bump or via the lease, clients re-import through
+   the agent).  Fibers of the old incarnation parked on its ivars are
+   failed so they unwind; the cleaning demon survives (it re-checks the
+   table on every message), while gc/ping demons are respawned under the
+   new epoch. *)
+let restart rt i =
+  let sp = space rt i in
+  if not sp.crashed then invalid_arg "Runtime.restart: space is not crashed";
+  Hashtbl.iter
+    (fun _ iv ->
+      if not (Sched.Ivar.is_filled iv) then
+        Sched.Ivar.fill iv
+          ({ Proto.origin = sp.id; seq = 0 }, false, Error "space restarted"))
+    sp.pending_calls;
+  Wirerep.Tbl.iter
+    (fun _ entry ->
+      match entry with
+      | Surrogate st -> (
+          match !st with
+          | Creating iv ->
+              if not (Sched.Ivar.is_filled iv) then Sched.Ivar.fill iv false
+          | Cleaning cl -> (
+              (match cl.retry_cancel with Some c -> c () | None -> ());
+              match cl.resurrect with
+              | Some iv when not (Sched.Ivar.is_filled iv) ->
+                  Sched.Ivar.fill iv false
+              | Some _ | None -> ())
+          | Usable _ -> ())
+      | Concrete _ -> ())
+    sp.table;
+  Wirerep.Tbl.reset sp.table;
+  Hashtbl.reset sp.roots;
+  Hashtbl.reset sp.pins;
+  Hashtbl.reset sp.tdirty;
+  Hashtbl.reset sp.pending_calls;
+  Wirerep.Tbl.reset sp.seqno;
+  Hashtbl.reset sp.bindings;
+  Hashtbl.reset sp.ping_misses;
+  Hashtbl.reset sp.suspect_since;
+  (* A rebooted process has no memory of its peers' incarnations either;
+     forgetting is safe because there is no state left to protect. *)
+  Hashtbl.reset sp.peer_epoch;
+  let rec drain_mb () =
+    match Sched.Mailbox.try_recv sp.clean_mb with
+    | Some _ -> drain_mb ()
+    | None -> ()
+  in
+  drain_mb ();
+  sp.next_index <- 0;
+  sp.next_msg <- 0;
+  sp.next_call <- 0;
+  sp.epoch <- sp.epoch + 1;
+  sp.crashed <- false;
+  Net.restore rt.network i;
+  let agent = allocate sp ~meths:[ agent_publish_meth; agent_lookup_meth ] in
+  assert (agent.wr.Wirerep.index = 0);
+  spawn_periodic_demons sp;
+  if Obs.on () then begin
+    Metrics.incr m_restart;
+    Trace.instant (Obs.trace ()) ~cat:"gc" ~space:sp.id
+      ~args:[ ("epoch", Trace.I sp.epoch) ]
+      "restart"
+  end;
+  Log.info (fun m -> m "space %d restarted (epoch %d)" sp.id sp.epoch)
 
 (* --- introspection ----------------------------------------------------------- *)
 
@@ -1300,6 +1644,29 @@ let surrogate_count sp =
     (fun _ e acc -> match e with Surrogate _ -> acc + 1 | Concrete _ -> acc)
     sp.table 0
 
+let surrogate_summary sp =
+  Wirerep.Tbl.fold
+    (fun wr e acc ->
+      match e with
+      | Concrete _ -> acc
+      | Surrogate st ->
+          let state =
+            match !st with
+            | Creating _ -> "Creating"
+            | Usable u ->
+                Printf.sprintf "Usable{sched=%b}" u.clean_scheduled
+            | Cleaning cl ->
+                Printf.sprintf "Cleaning{retry=%b}"
+                  (Option.is_some cl.retry_cancel)
+          in
+          let deref o = match o with Some r -> !r | None -> 0 in
+          let roots = deref (Hashtbl.find_opt sp.roots wr) in
+          let pins = deref (Hashtbl.find_opt sp.pins wr) in
+          Printf.sprintf "wr=%d.%d state=%s roots=%d pins=%d" wr.Wirerep.space
+            wr.Wirerep.index state roots pins
+          :: acc)
+    sp.table []
+
 let collections sp = sp.n_collections
 
 let reclaimed sp = sp.n_reclaimed
@@ -1311,7 +1678,11 @@ let gc_stats sp =
     copy_acks = sp.s_copy_ack;
     pings = sp.s_ping;
     evictions = sp.s_evict;
+    epoch_rejections = sp.s_epoch_rejected;
+    retries = sp.s_retries;
   }
+
+let epoch sp = sp.epoch
 
 let check_consistency rt =
   let problems = ref [] in

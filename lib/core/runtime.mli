@@ -54,9 +54,21 @@ type config
     - [ping_period] makes owners ping clients in their dirty sets, and
       [lease_misses] (default 3) is how many missed pings evict a client;
     - [call_timeout] / [dirty_timeout] bound remote calls and surrogate
-      creation; [clean_retry] re-sends unacknowledged clean calls;
-    - [clean_batch] gathers clean calls for that long and sends one
-      batched message per owner (the TR's cleaning-demon batching);
+      creation; [clean_retry] re-sends unacknowledged clean calls and
+      [dirty_retry] does the same for unacknowledged dirty calls (both
+      idempotent thanks to sequence numbers);
+    - [backoff] (≥ 1, default 1 = fixed interval) grows each retry
+      interval geometrically, capped at [backoff_cap] seconds, and
+      [backoff_jitter] (in [\[0,1)]) scales each delay by a random factor
+      in [\[1-j/2, 1+j/2)] drawn from a dedicated stream — retries stay
+      deterministic per seed without synchronising across spaces;
+    - [lease_grace] keeps pinging a client for that many extra seconds
+      after it exceeds [lease_misses] before evicting it, so a healed
+      partition shorter than the grace period costs no eviction;
+    - [pin_timeout] drops a message's transient dirty pins if no
+      copy_ack arrived after that long (TR §2.2's conservative timeout
+      for lost acks); it must comfortably exceed latency + [call_timeout]
+      so a merely-late ack never races the release;
     - [piggyback_acks] elides copy_acks for messages that carried no
       references and rides a call's ack on its reply — the paper's
       "piggy-back GC messages onto mutator messages";
@@ -73,6 +85,12 @@ val config :
   ?call_timeout:float ->
   ?dirty_timeout:float ->
   ?clean_retry:float ->
+  ?dirty_retry:float ->
+  ?backoff:float ->
+  ?backoff_cap:float ->
+  ?backoff_jitter:float ->
+  ?lease_grace:float ->
+  ?pin_timeout:float ->
   ?clean_batch:float ->
   ?piggyback_acks:bool ->
   ?coalesce:bool ->
@@ -199,6 +217,12 @@ val dirty_set : space -> handle -> int list
 (** Surrogate count in this space's table. *)
 val surrogate_count : space -> int
 
+(** One human-readable line per surrogate in this space's table —
+    wireRep, state ([Creating]/[Usable]/[Cleaning]), root and pin counts.
+    For diagnosing liveness failures: a surrogate that refuses to drain
+    shows here with whatever is keeping it alive. *)
+val surrogate_summary : space -> string list
+
 (** Number of local collections this space has run. *)
 val collections : space -> int
 
@@ -224,6 +248,20 @@ val lookup : space -> at:int -> string -> handle
 (** Crash a space: it stops sending, receiving and running demons. *)
 val crash : t -> int -> unit
 
+(** Restart a crashed space as a fresh incarnation: empty object table,
+    no roots, pins or pending calls, a new agent, and an incarnation
+    epoch one higher than before.  Every packet is stamped with the
+    sender's epoch and its view of the receiver's ({!Proto.packet}), so
+    peers reject mail from (or addressed to) the old incarnation,
+    discover the restart from the stamp, evict the old incarnation from
+    their dirty sets and drop their now-dead surrogates — retained
+    handles for them fail with {!Remote_error} until re-imported via
+    {!lookup}.  Raises [Invalid_argument] if the space is not crashed. *)
+val restart : t -> int -> unit
+
+(** The space's incarnation epoch: 0 at creation, +1 per {!restart}. *)
+val epoch : space -> int
+
 (** {1 Introspection} *)
 
 type gc_stats = {
@@ -232,6 +270,9 @@ type gc_stats = {
   copy_acks : int;
   pings : int;
   evictions : int;  (** dirty-set entries dropped by lease expiry *)
+  epoch_rejections : int;
+      (** packets dropped for carrying a stale incarnation epoch *)
+  retries : int;  (** dirty/clean calls re-sent after an unacked wait *)
 }
 
 val gc_stats : space -> gc_stats

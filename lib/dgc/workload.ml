@@ -149,7 +149,11 @@ let pingpong ~rounds =
     (List.init rounds (fun _ -> [ Send (0, 1); Drop 1; Steps 7 ]))
   @ [ Steps 500 ]
 
-let churn ~procs ~events ~seed =
+let churn_ops ?(w_send = 5) ?(w_drop = 3) ?(w_steps = 2) ~procs ~events ~seed
+    () =
+  if w_send <= 0 || w_drop < 0 || w_steps < 0 then
+    invalid_arg "Workload.churn_ops: weights";
+  let total = w_send + w_drop + w_steps in
   let rng = Rng.create seed in
   (* Track who plausibly holds, just to bias sources; the driver re-checks
      with can_send at execution time. *)
@@ -160,21 +164,25 @@ let churn ~procs ~events ~seed =
     let holding =
       List.filter (fun p -> holders.(p)) (List.init procs Fun.id)
     in
-    match Rng.int rng 10 with
-    | 0 | 1 | 2 | 3 | 4 ->
-        let src = Rng.pick rng holding in
-        let dst = Rng.int rng procs in
-        if src <> dst then begin
-          holders.(dst) <- true;
-          ops := Send (src, dst) :: !ops
-        end
-    | 5 | 6 | 7 -> (
-        match List.filter (fun p -> p <> 0) holding with
-        | [] -> ()
-        | clients ->
-            let p = Rng.pick rng clients in
-            holders.(p) <- false;
-            ops := Drop p :: !ops)
-    | _ -> ops := Steps (1 + Rng.int rng 5) :: !ops
+    let r = Rng.int rng total in
+    if r < w_send then begin
+      let src = Rng.pick rng holding in
+      let dst = Rng.int rng procs in
+      if src <> dst then begin
+        holders.(dst) <- true;
+        ops := Send (src, dst) :: !ops
+      end
+    end
+    else if r < w_send + w_drop then
+      match List.filter (fun p -> p <> 0) holding with
+      | [] -> ()
+      | clients ->
+          let p = Rng.pick rng clients in
+          holders.(p) <- false;
+          ops := Drop p :: !ops
+    else ops := Steps (1 + Rng.int rng 5) :: !ops
   done;
-  List.rev (Steps 500 :: !ops)
+  List.rev !ops
+
+let churn ~procs ~events ~seed =
+  churn_ops ~procs ~events ~seed () @ [ Steps 500 ]

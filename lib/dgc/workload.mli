@@ -57,5 +57,23 @@ val fanout : procs:int -> op list
     (the ccitnil window in Birrell's algorithm). *)
 val pingpong : rounds:int -> op list
 
-(** Random churn: [events] random sends-from-holders and drops, seeded. *)
+(** [churn_ops ~procs ~events ~seed ()] generates [events] weighted
+    random operations — sends from plausible holders, drops by clients,
+    short step bursts — without the trailing drain that {!churn}
+    appends.  The weights default to 5/3/2 (send/drop/steps); the same
+    stream feeds both the abstract-machine driver here and the
+    full-runtime chaos harness's mutators ({!Netobj_chaos}), so the two
+    exercise comparable reference churn. *)
+val churn_ops :
+  ?w_send:int ->
+  ?w_drop:int ->
+  ?w_steps:int ->
+  procs:int ->
+  events:int ->
+  seed:int64 ->
+  unit ->
+  op list
+
+(** Random churn: [events] random sends-from-holders and drops, seeded —
+    [churn_ops] followed by a 500-step drain. *)
 val churn : procs:int -> events:int -> seed:int64 -> op list

@@ -15,6 +15,10 @@ let m_delivered = Metrics.counter Metrics.global "net.delivered"
 
 let m_dropped = Metrics.counter Metrics.global "net.dropped"
 
+let m_drop_src_crashed = Metrics.counter Metrics.global "net.dropped.src_crashed"
+
+let m_drop_dst_crashed = Metrics.counter Metrics.global "net.dropped.dst_crashed"
+
 let m_duplicated = Metrics.counter Metrics.global "net.duplicated"
 
 let m_frames = Metrics.counter Metrics.global "net.frames"
@@ -46,12 +50,24 @@ let fifo_edge ?(latency = 0.005) () =
 type edge_state = {
   mutable config : edge_config;
   mutable last_deadline : float;  (* enforces FIFO by monotone deadlines *)
+  (* Scheduled fault windows, consulted against the virtual clock so they
+     expire without a timer.  While [now < burst_until] the burst
+     loss/dup probabilities override the configured ones (whichever is
+     larger wins); while [now < spike_until] drawn latencies are
+     multiplied by [spike_factor]. *)
+  mutable burst_loss : float;
+  mutable burst_dup : float;
+  mutable burst_until : float;
+  mutable spike_factor : float;
+  mutable spike_until : float;
 }
 
 type stats = {
   sent : int;
   delivered : int;
   dropped : int;
+  dropped_src_crashed : int;
+  dropped_dst_crashed : int;
   duplicated : int;
   bytes : int;
   frames : int;
@@ -78,6 +94,8 @@ type t = {
   mutable sent : int;
   mutable delivered : int;
   mutable dropped : int;
+  mutable dropped_src_crashed : int;
+  mutable dropped_dst_crashed : int;
   mutable duplicated : int;
   mutable bytes : int;
   mutable frames : int;
@@ -101,6 +119,8 @@ let create ~sched ~seed () =
     sent = 0;
     delivered = 0;
     dropped = 0;
+    dropped_src_crashed = 0;
+    dropped_dst_crashed = 0;
     duplicated = 0;
     bytes = 0;
     frames = 0;
@@ -115,7 +135,17 @@ let edge t src dst =
   match Hashtbl.find_opt t.edges (src, dst) with
   | Some e -> e
   | None ->
-      let e = { config = t.default; last_deadline = 0.0 } in
+      let e =
+        {
+          config = t.default;
+          last_deadline = 0.0;
+          burst_loss = 0.0;
+          burst_dup = 0.0;
+          burst_until = neg_infinity;
+          spike_factor = 1.0;
+          spike_until = neg_infinity;
+        }
+      in
       Hashtbl.add t.edges (src, dst) e;
       e
 
@@ -135,13 +165,48 @@ let set_partitioned t a b on =
 
 let partitioned t a b = Hashtbl.mem t.partitions (pair a b)
 
+let heal_all t = Hashtbl.reset t.partitions
+
+(* [partition_window] schedules a future partition and its healing on the
+   virtual clock.  Windows for the same pair must not overlap with each
+   other or with manual [set_partitioned] toggles: healing is
+   unconditional, so an overlapping window would end early. *)
+let partition_window t a b ~after ~duration =
+  Sched.timer t.sched after (fun () -> set_partitioned t a b true);
+  Sched.timer t.sched (after +. duration) (fun () -> set_partitioned t a b false)
+
 let crash t a = Hashtbl.replace t.crashed a ()
+
+let restore t a = Hashtbl.remove t.crashed a
 
 let is_crashed t a = Hashtbl.mem t.crashed a
 
-let draw_latency t = function
-  | Constant c -> c
-  | Uniform (lo, hi) -> lo +. (Rng.float t.rng *. (hi -. lo))
+let set_burst t ~src ~dst ?(loss = 0.0) ?(dup = 0.0) ~until () =
+  let e = edge t src dst in
+  e.burst_loss <- loss;
+  e.burst_dup <- dup;
+  e.burst_until <- until
+
+let set_latency_spike t ~src ~dst ~factor ~until =
+  let e = edge t src dst in
+  e.spike_factor <- factor;
+  e.spike_until <- until
+
+let effective_loss t e =
+  if Sched.now t.sched < e.burst_until then Float.max e.config.loss e.burst_loss
+  else e.config.loss
+
+let effective_dup t e =
+  if Sched.now t.sched < e.burst_until then Float.max e.config.dup e.burst_dup
+  else e.config.dup
+
+let draw_latency t e =
+  let lat =
+    match e.config.latency with
+    | Constant c -> c
+    | Uniform (lo, hi) -> lo +. (Rng.float t.rng *. (hi -. lo))
+  in
+  if Sched.now t.sched < e.spike_until then lat *. e.spike_factor else lat
 
 let obs_msg_args ~src ~dst ~kind len =
   [
@@ -196,7 +261,7 @@ let account_physical t len =
    called with the destination handler once the payload arrives. *)
 let schedule_delivery t ~src ~dst ~kind ~count payload dispatch =
   let e = edge t src dst in
-  let lat = draw_latency t e.config.latency in
+  let lat = draw_latency t e in
   let deadline =
     let d = Sched.now t.sched +. lat in
     match e.config.semantics with
@@ -228,9 +293,24 @@ let schedule_delivery t ~src ~dst ~kind ~count payload dispatch =
   in
   Sched.spawn t.sched ~name:"net-delivery" (fun () ->
       Sched.sleep t.sched (deadline -. Sched.now t.sched);
-      if is_crashed t dst || is_crashed t src || partitioned t src dst then begin
+      (* Delivery-time drops distinguish their cause: a message in flight
+         towards a crashed destination is lost, and one whose source died
+         mid-flight models the RPC bouncing (connection reset). *)
+      if is_crashed t dst then begin
         t.dropped <- t.dropped + count;
-        obs_arrival false "unreachable"
+        t.dropped_dst_crashed <- t.dropped_dst_crashed + count;
+        if Obs.on () then Metrics.add m_drop_dst_crashed count;
+        obs_arrival false "dst-crashed"
+      end
+      else if is_crashed t src then begin
+        t.dropped <- t.dropped + count;
+        t.dropped_src_crashed <- t.dropped_src_crashed + count;
+        if Obs.on () then Metrics.add m_drop_src_crashed count;
+        obs_arrival false "src-crashed"
+      end
+      else if partitioned t src dst then begin
+        t.dropped <- t.dropped + count;
+        obs_arrival false "partitioned"
       end
       else
         match Hashtbl.find_opt t.handlers dst with
@@ -247,9 +327,26 @@ let set_filter t f = t.filter <- f
 (* Shared send-time drop tests.  Returns [true] when the message was
    dropped (and accounted). *)
 let dropped_at_send t ~src ~dst ~kind len =
-  if partitioned t src dst || is_crashed t dst || is_crashed t src then begin
+  (* A crashed source cannot emit at all; a live source talking to a
+     crashed destination loses the message on the wire.  The source check
+     wins when both are down. *)
+  if is_crashed t src then begin
     t.dropped <- t.dropped + 1;
-    obs_drop t ~src ~dst ~kind len "unreachable";
+    t.dropped_src_crashed <- t.dropped_src_crashed + 1;
+    if Obs.on () then Metrics.incr m_drop_src_crashed;
+    obs_drop t ~src ~dst ~kind len "src-crashed";
+    true
+  end
+  else if is_crashed t dst then begin
+    t.dropped <- t.dropped + 1;
+    t.dropped_dst_crashed <- t.dropped_dst_crashed + 1;
+    if Obs.on () then Metrics.incr m_drop_dst_crashed;
+    obs_drop t ~src ~dst ~kind len "dst-crashed";
+    true
+  end
+  else if partitioned t src dst then begin
+    t.dropped <- t.dropped + 1;
+    obs_drop t ~src ~dst ~kind len "partitioned";
     true
   end
   else if
@@ -259,15 +356,15 @@ let dropped_at_send t ~src ~dst ~kind len =
     obs_drop t ~src ~dst ~kind len "filtered";
     true
   end
-  else if
-    (edge t src dst).config.loss > 0.0
-    && Rng.chance t.rng (edge t src dst).config.loss
-  then begin
-    t.dropped <- t.dropped + 1;
-    obs_drop t ~src ~dst ~kind len "loss";
-    true
+  else begin
+    let p = effective_loss t (edge t src dst) in
+    if p > 0.0 && Rng.chance t.rng p then begin
+      t.dropped <- t.dropped + 1;
+      obs_drop t ~src ~dst ~kind len "loss";
+      true
+    end
+    else false
   end
-  else false
 
 let send t ~src ~dst ~kind payload =
   let len = String.length payload in
@@ -277,7 +374,8 @@ let send t ~src ~dst ~kind payload =
     schedule_delivery t ~src ~dst ~kind ~count:1 payload (fun h ->
         h ~src ~kind ~payload ~off:0 ~len);
     let e = edge t src dst in
-    if e.config.dup > 0.0 && Rng.chance t.rng e.config.dup then begin
+    let dup = effective_dup t e in
+    if dup > 0.0 && Rng.chance t.rng dup then begin
       t.duplicated <- t.duplicated + 1;
       if Obs.on () then begin
         Metrics.incr m_duplicated;
@@ -368,7 +466,8 @@ let post t ~src ~dst ~kind payload =
     submsg_append ob.ob_w ~kind payload;
     ob.ob_n <- ob.ob_n + 1;
     let e = edge t src dst in
-    if e.config.dup > 0.0 && Rng.chance t.rng e.config.dup then begin
+    let dup = effective_dup t e in
+    if dup > 0.0 && Rng.chance t.rng dup then begin
       t.duplicated <- t.duplicated + 1;
       if Obs.on () then begin
         Metrics.incr m_duplicated;
@@ -390,6 +489,8 @@ let stats t =
     sent = t.sent;
     delivered = t.delivered;
     dropped = t.dropped;
+    dropped_src_crashed = t.dropped_src_crashed;
+    dropped_dst_crashed = t.dropped_dst_crashed;
     duplicated = t.duplicated;
     bytes = t.bytes;
     frames = t.frames;
@@ -404,6 +505,8 @@ let reset_stats t =
   t.sent <- 0;
   t.delivered <- 0;
   t.dropped <- 0;
+  t.dropped_src_crashed <- 0;
+  t.dropped_dst_crashed <- 0;
   t.duplicated <- 0;
   t.bytes <- 0;
   t.frames <- 0;

@@ -95,15 +95,48 @@ val flush : t -> unit
     while partitioned are dropped (counted). *)
 val set_partitioned : t -> addr -> addr -> bool -> unit
 
+val partitioned : t -> addr -> addr -> bool
+
+(** Remove every partition at once (the nemesis "heal" step). *)
+val heal_all : t -> unit
+
+(** [partition_window t a b ~after ~duration] partitions [a]-[b] starting
+    [after] seconds from now and heals it [duration] seconds later, on
+    the virtual clock.  Windows for the same pair must not overlap each
+    other or manual {!set_partitioned} toggles: the healing timer clears
+    the partition unconditionally. *)
+val partition_window : t -> addr -> addr -> after:float -> duration:float -> unit
+
+(** [set_burst t ~src ~dst ~loss ~dup ~until ()] raises the directed
+    edge's loss/dup probabilities until virtual time [until]; whichever
+    of the burst and configured probability is larger wins.  The window
+    expires by clock comparison, so re-arming simply overwrites it. *)
+val set_burst :
+  t -> src:addr -> dst:addr -> ?loss:float -> ?dup:float -> until:float -> unit -> unit
+
+(** [set_latency_spike t ~src ~dst ~factor ~until] multiplies latencies
+    drawn for the directed edge by [factor] until virtual time [until]. *)
+val set_latency_spike : t -> src:addr -> dst:addr -> factor:float -> until:float -> unit
+
 (** Install a drop filter evaluated at send time: return [false] to drop
     the message (counted as dropped).  Use for targeted fault injection,
     e.g. losing only ["clean"] messages.  [None] removes the filter. *)
 val set_filter :
   t -> (src:addr -> dst:addr -> kind:string -> bool) option -> unit
 
-(** Simulate a crash: the space stops receiving; all queued messages to
-    and from it are dropped on delivery. *)
+(** Simulate a crash.  A crashed space neither receives nor emits:
+    messages {e to} it are dropped at send time and on delivery
+    (counted as [dropped_dst_crashed]); messages {e from} it — including
+    {!post}ed ones — are dropped at the source before they reach the
+    wire, and in-flight messages whose source crashes before delivery
+    bounce (both counted as [dropped_src_crashed]).  When both endpoints
+    are down the source-crash accounting wins.  Undo with {!restore}. *)
 val crash : t -> addr -> unit
+
+(** Undo {!crash}: the space resumes sending and receiving.  Messages
+    dropped while it was down stay dropped — recovering state is the
+    runtime's job (see [Runtime.restart]). *)
+val restore : t -> addr -> unit
 
 val is_crashed : t -> addr -> bool
 
@@ -120,6 +153,12 @@ type stats = {
   sent : int;
   delivered : int;
   dropped : int;
+  dropped_src_crashed : int;
+      (** messages lost because their {e source} was crashed, at send
+          time or mid-flight; subset of [dropped] *)
+  dropped_dst_crashed : int;
+      (** messages lost because their {e destination} was crashed; subset
+          of [dropped] *)
   duplicated : int;
   bytes : int;
   frames : int;

@@ -121,6 +121,15 @@ let reset t =
           h.hmax <- neg_infinity)
     t.tbl
 
+let counters_with_prefix t prefix =
+  Hashtbl.fold
+    (fun name i acc ->
+      match i with
+      | C c when String.starts_with ~prefix name -> (name, c.c) :: acc
+      | C _ | G _ | H _ -> acc)
+    t.tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
 let instrument_json = function
   | C c -> Json.Obj [ ("type", Json.Str "counter"); ("value", Json.Int c.c) ]
   | G g -> Json.Obj [ ("type", Json.Str "gauge"); ("value", Json.Float g.g) ]

@@ -67,6 +67,11 @@ val quantile : histogram -> float -> float
 (** Zero every instrument, keeping registrations (handles stay valid). *)
 val reset : t -> unit
 
+(** All counters whose name starts with [prefix], as [(name, value)]
+    sorted by name — e.g. [counters_with_prefix t "chaos."] for a
+    deterministic fault-injection summary. *)
+val counters_with_prefix : t -> string -> (string * int) list
+
 (** The registry as a JSON object, instruments sorted by name. *)
 val json : t -> Json.t
 

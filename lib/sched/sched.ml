@@ -14,11 +14,23 @@ module Timerq = struct
   (* Pairing-heap-free simple implementation: a sorted association list
      would be O(n); use a binary heap in an array for the timer volume the
      lease demons generate. Keys are (deadline, seq) for stable order. *)
-  type entry = { deadline : float; seq : int; wake : unit -> unit }
+  (* [live] is cleared by cancellation; dead entries are skipped by
+     [peek]/[pop] so a cancelled timer neither fires nor keeps [run]
+     advancing the clock towards its deadline. *)
+  type entry = {
+    deadline : float;
+    seq : int;
+    wake : unit -> unit;
+    mutable live : bool;
+  }
 
   type t = { mutable heap : entry array; mutable size : int }
 
-  let create () = { heap = Array.make 16 { deadline = 0.; seq = 0; wake = ignore }; size = 0 }
+  let create () =
+    {
+      heap = Array.make 16 { deadline = 0.; seq = 0; wake = ignore; live = false };
+      size = 0;
+    }
 
   let lt a b = a.deadline < b.deadline || (a.deadline = b.deadline && a.seq < b.seq)
 
@@ -39,29 +51,38 @@ module Timerq = struct
       i := p
     done
 
-  let peek t = if t.size = 0 then None else Some t.heap.(0)
+  let rec peek t =
+    if t.size = 0 then None
+    else if t.heap.(0).live then Some t.heap.(0)
+    else begin
+      drop_root t;
+      peek t
+    end
+
+  and drop_root t =
+    t.size <- t.size - 1;
+    t.heap.(0) <- t.heap.(t.size);
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < t.size && lt t.heap.(l) t.heap.(!smallest) then smallest := l;
+      if r < t.size && lt t.heap.(r) t.heap.(!smallest) then smallest := r;
+      if !smallest = !i then continue := false
+      else begin
+        let tmp = t.heap.(!smallest) in
+        t.heap.(!smallest) <- t.heap.(!i);
+        t.heap.(!i) <- tmp;
+        i := !smallest
+      end
+    done
 
   let pop t =
     match peek t with
     | None -> None
     | Some e ->
-        t.size <- t.size - 1;
-        t.heap.(0) <- t.heap.(t.size);
-        let i = ref 0 in
-        let continue = ref true in
-        while !continue do
-          let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-          let smallest = ref !i in
-          if l < t.size && lt t.heap.(l) t.heap.(!smallest) then smallest := l;
-          if r < t.size && lt t.heap.(r) t.heap.(!smallest) then smallest := r;
-          if !smallest = !i then continue := false
-          else begin
-            let tmp = t.heap.(!smallest) in
-            t.heap.(!smallest) <- t.heap.(!i);
-            t.heap.(!i) <- tmp;
-            i := !smallest
-          end
-        done;
+        drop_root t;
         Some e
 end
 
@@ -120,7 +141,13 @@ let now t = t.clock
 
 let add_timer t ~deadline wake =
   t.timer_seq <- t.timer_seq + 1;
-  Timerq.push t.timers { deadline; seq = t.timer_seq; wake }
+  Timerq.push t.timers { deadline; seq = t.timer_seq; wake; live = true }
+
+let add_timer_cancel t ~deadline wake =
+  t.timer_seq <- t.timer_seq + 1;
+  let e = { Timerq.deadline; seq = t.timer_seq; wake; live = true } in
+  Timerq.push t.timers e;
+  fun () -> e.Timerq.live <- false
 
 (* Fiber life-cycle events (cat "sched", space -1: the scheduler is
    global).  Guarded so the disabled hot path pays one branch. *)
@@ -169,6 +196,8 @@ let sleep t dt =
   else suspend (fun wake -> add_timer t ~deadline:(t.clock +. dt) wake)
 
 let timer t dt f = add_timer t ~deadline:(t.clock +. dt) f
+
+let timer_cancel t dt f = add_timer_cancel t ~deadline:(t.clock +. dt) f
 
 let run ?(max_steps = max_int) ?(until = infinity) t =
   let steps = ref 0 in

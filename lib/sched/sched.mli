@@ -43,6 +43,12 @@ val yield : t -> unit
     fiber; [f] should only wake fibers or mutate state). *)
 val timer : t -> float -> (unit -> unit) -> unit
 
+(** Like {!timer} but returns a cancel thunk.  A cancelled timer never
+    fires and — unlike an ignored one — does not hold {!run} back from
+    quiescing: dead entries are skipped without advancing the clock.
+    Cancelling after the timer fired (or twice) is a no-op. *)
+val timer_cancel : t -> float -> (unit -> unit) -> unit -> unit
+
 (** Low-level: park the calling fiber and hand the wakeup thunk to the
     callback.  The thunk must be called at most once. *)
 val suspend : ((unit -> unit) -> unit) -> unit

@@ -1,0 +1,28 @@
+The chaos smoke run (the `make chaos-smoke` scenario): three spaces,
+partitions, a crash + restart, loss/dup bursts and latency spikes, all
+derived from the seed.  The oracles must hold and the whole report is
+deterministic:
+
+  $ netobj_sim chaos --seed 7
+  chaos seed=7 spaces=3 end=23.00
+  faults: partitions=3 heals=3 crashes=1 restarts=1 loss_bursts=1 dup_bursts=2 latency_spikes=2
+  ops: ok=13 timeout=1 error=8 orphans=7
+  protocol: retries=13 epoch_rejections=2 evictions=1
+  drain: converged in 3.00s
+  result: SURVIVED
+
+Same seed, same execution — byte-identical traces across runs:
+
+  $ netobj_sim chaos --seed 7 --trace-out t1.json > /dev/null
+  $ netobj_sim chaos --seed 7 --trace-out t2.json > /dev/null
+  $ cmp t1.json t2.json
+
+A different seed is a different run, but the oracles still hold:
+
+  $ netobj_sim chaos --seed 12
+  chaos seed=12 spaces=3 end=21.00
+  faults: partitions=2 heals=2 crashes=1 restarts=1 loss_bursts=2 dup_bursts=2 latency_spikes=2
+  ops: ok=18 timeout=2 error=1 orphans=10
+  protocol: retries=5 epoch_rejections=0 evictions=1
+  drain: converged in 1.00s
+  result: SURVIVED

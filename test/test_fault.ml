@@ -252,6 +252,93 @@ let test_upper_lower_branches () =
     (Printf.sprintf "lower branch seen (%d)" !lower)
     true (!lower > 0)
 
+(* --- the lease boundary (runtime, lease_misses x ping_period) ------------
+
+   The owner's ping demon ticks every [ping_period]; a client's miss
+   counter increments at each tick and resets when its ping_ack arrives.
+   Eviction fires at the first tick where [missed > lease_misses] — so a
+   partition is forgiven iff the owner hears an ack again within
+   [lease_misses] consecutive ticks, and [lease_grace] extends the
+   deadline past that.  These cases pin both sides of the boundary with
+   exact tick arithmetic: period 1.0 puts ticks at t = 1, 2, 3, ...;
+   edge latency (1-10 ms) is negligible against the period. *)
+
+module R = Netobj_core.Runtime
+module Stub = Netobj_core.Stub
+module Net = Netobj_net.Net
+module P = Netobj_pickle.Pickle
+
+let m_incr = Stub.declare "incr" P.int P.int
+
+let counter_obj sp =
+  let v = ref 0 in
+  R.allocate sp
+    ~meths:
+      [
+        Stub.implement m_incr (fun _ n ->
+            v := !v + n;
+            !v);
+      ]
+
+(* Client 1 imports the owner's counter at t=0 and holds it throughout;
+   the 0-1 edge is partitioned over [4.4, 4.4 + duration].  Returns the
+   owner's eviction count and dirty set at t=14, after everything in
+   flight settled. *)
+let lease_scenario ?(lease_grace = 0.0) ~duration () =
+  (* [gc_period] lets the client collect the agent surrogate its lookup
+     left behind, so by the time the partition starts the client sits in
+     exactly one dirty set (the counter's) and the eviction count below
+     is exact. *)
+  let cfg =
+    R.config ~seed:5L ~gc_period:0.5 ~ping_period:1.0 ~lease_misses:3
+      ~lease_grace ~nspaces:2 ()
+  in
+  let rt = R.create cfg in
+  let owner = R.space rt 0 and client = R.space rt 1 in
+  let h = counter_obj owner in
+  R.publish owner "c" h;
+  R.spawn rt (fun () ->
+      let s = R.lookup client ~at:0 "c" in
+      ignore (Stub.call client s m_incr 1)
+      (* [s] stays rooted: the client is alive and interested the whole
+         time, only the network misbehaves. *));
+  Net.partition_window (R.net rt) 0 1 ~after:4.4 ~duration;
+  ignore (R.run ~until:14.0 rt);
+  ((R.gc_stats owner).R.evictions, R.dirty_set owner h)
+
+(* Two missed ticks (5, 6): the post-heal tick 7 reads missed = 3, not
+   beyond [lease_misses = 3], so the ping goes out, the ack resets the
+   counter, and the registration survives. *)
+let test_lease_below_boundary () =
+  let evictions, dirty = lease_scenario ~duration:2.2 () in
+  Alcotest.(check int) "no eviction" 0 evictions;
+  Alcotest.(check (list int)) "client still registered" [ 1 ] dirty
+
+(* Three missed ticks (5, 6, 7): the post-heal tick 8 reads missed = 4 >
+   lease_misses — one tick over the boundary — and evicts even though
+   the partition has healed; the client was presumed dead for exactly
+   one tick too long. *)
+let test_lease_above_boundary () =
+  let evictions, dirty = lease_scenario ~duration:3.2 () in
+  Alcotest.(check int) "evicted" 1 evictions;
+  Alcotest.(check (list int)) "dirty set emptied" [] dirty
+
+(* Same over-boundary partition, but [lease_grace = 2.0]: tick 8 only
+   marks the client suspect; the healed edge delivers the ack before the
+   grace expires, so the lease survives a partition the graceless
+   configuration would have killed. *)
+let test_lease_grace_saves () =
+  let evictions, dirty = lease_scenario ~lease_grace:2.0 ~duration:3.2 () in
+  Alcotest.(check int) "no eviction under grace" 0 evictions;
+  Alcotest.(check (list int)) "client still registered" [ 1 ] dirty
+
+(* A partition outlasting boundary + grace still evicts: suspect at tick
+   8, grace of 1.0 expired by tick 9 with the edge still severed. *)
+let test_lease_grace_expires () =
+  let evictions, dirty = lease_scenario ~lease_grace:1.0 ~duration:6.0 () in
+  Alcotest.(check int) "evicted after grace" 1 evictions;
+  Alcotest.(check (list int)) "dirty set emptied" [] dirty
+
 let () =
   Alcotest.run "fault"
     [
@@ -275,5 +362,12 @@ let () =
           Alcotest.test_case "outer cube" `Quick test_outer_cube_states;
           Alcotest.test_case "upper/lower branches" `Quick
             test_upper_lower_branches;
+        ] );
+      ( "lease",
+        [
+          Alcotest.test_case "below boundary" `Quick test_lease_below_boundary;
+          Alcotest.test_case "above boundary" `Quick test_lease_above_boundary;
+          Alcotest.test_case "grace saves" `Quick test_lease_grace_saves;
+          Alcotest.test_case "grace expires" `Quick test_lease_grace_expires;
         ] );
     ]

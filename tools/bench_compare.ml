@@ -1,13 +1,19 @@
 (* Compare two netobj.bench/1 JSON dumps (see bench/main.ml --json) and
    fail when CPU time regresses.
 
-   Usage: bench_compare BASELINE.json CURRENT.json [--threshold PCT]
+   Usage: bench_compare BASELINE.json CURRENT.json
+            [--threshold PCT] [--ignore NAMES]
 
    For every experiment present in both files the per-experiment
    [elapsed_cpu_s] is compared; a regression beyond the threshold
    (default 20%) fails the run with exit code 1.  Experiments below a
    small noise floor are reported but never fail: their absolute times
-   are too close to scheduler jitter to be meaningful. *)
+   are too close to scheduler jitter to be meaningful.
+
+   [--ignore] takes a comma-separated list of experiment names to skip
+   entirely (default "chaos": the chaos sweep measures survival under
+   fault schedules, its CPU time is dominated by how much fault handling
+   the seeds provoke and is not a meaningful regression signal). *)
 
 module Json = Netobj_obs.Json
 
@@ -42,8 +48,12 @@ let load path =
   | _ -> die "%s: missing experiments object" path
 
 let () =
-  let usage = "usage: bench_compare BASELINE.json CURRENT.json [--threshold PCT]" in
+  let usage =
+    "usage: bench_compare BASELINE.json CURRENT.json [--threshold PCT] \
+     [--ignore NAMES]"
+  in
   let threshold = ref 20.0 in
+  let ignored = ref [ "chaos" ] in
   let files = ref [] in
   let rec parse = function
     | [] -> ()
@@ -51,6 +61,10 @@ let () =
         (match float_of_string_opt v with
         | Some t when t > 0.0 -> threshold := t
         | _ -> die "bad threshold %S" v);
+        parse rest
+    | "--ignore" :: v :: rest ->
+        ignored :=
+          List.filter (fun s -> s <> "") (String.split_on_char ',' v);
         parse rest
     | f :: rest ->
         files := f :: !files;
@@ -62,7 +76,9 @@ let () =
     | [ b; c ] -> (b, c)
     | _ -> die "%s" usage
   in
-  let base = load base_path and cur = load cur_path in
+  let skip name = List.mem name !ignored in
+  let base = List.filter (fun (n, _) -> not (skip n)) (load base_path)
+  and cur = List.filter (fun (n, _) -> not (skip n)) (load cur_path) in
   let regressions = ref 0 in
   Printf.printf "%-14s %12s %12s %9s\n" "experiment" "baseline(s)" "current(s)"
     "delta";
