@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-json bench-compare chaos-smoke examples check clean doc
+.PHONY: all build test bench bench-json bench-compare chaos-smoke mc-smoke examples check clean doc
 
 all: build
 
@@ -27,6 +27,14 @@ bench-compare:
 # test/cram/chaos.t runs the same scenario under dune runtest.
 chaos-smoke:
 	dune exec bin/netobj_sim.exe -- chaos --seed 7
+
+# Quick model-checking pass: exhaust the two-space transfer scenario
+# within default bounds (must be clean), then re-find the historical
+# lookup agent-root leak with the bug flag re-enabled (must be found).
+# test/cram/mc.t runs the same scenarios under dune runtest.
+mc-smoke:
+	dune exec bin/netobj_sim.exe -- mc --scenario dgc2
+	! dune exec bin/netobj_sim.exe -- mc --scenario lookup --leak
 
 examples:
 	dune exec examples/quickstart.exe

@@ -22,6 +22,8 @@
      E16 pool        writer pool + slice decode on the marshalling path
      E17 coalesce    per-destination message coalescing vs single sends
      E18 chaos       seeded chaos runs: survival, drain time, retry traffic
+     E19 mc          systematic schedule exploration: states, pruning,
+                     schedules-to-first-bug on the lookup-leak scenario
 
    Run all:       dune exec bench/main.exe
    Run a subset:  dune exec bench/main.exe -- race family fifo *)
@@ -1090,6 +1092,48 @@ let e18_chaos () =
   sweep ~label:"fixed interval" ~backoff:1.0 ~backoff_cap:infinity;
   sweep ~label:"exp backoff 2x cap 2s" ~backoff:2.0 ~backoff_cap:2.0
 
+(* ------------------------------------------------------------------ E19 *)
+
+module Mc = Netobj_mc.Mc
+
+(* Systematic schedule exploration over the real runtime (see lib/mc):
+   every scheduler and delivery-order decision is a choice point, and
+   DFS with iterative preemption bounding, sleep-set pruning and
+   state-fingerprint dedup enumerates schedules.  The table reports how
+   hard each scenario is (states, pruning ratio) and — for the lookup
+   scenario with the historical agent-root leak re-enabled via
+   [bug_lookup_leak] — how many schedules each mode needs to re-find the
+   bug.  Everything is deterministic; bench_compare skips the rows by
+   default because they count schedules, not time. *)
+let e19_mc () =
+  section "E19: systematic schedule exploration (lib/mc)";
+  let ratio (s : Mc.stats) =
+    let pruned = s.Mc.pruned_sleep + s.Mc.pruned_state in
+    float_of_int pruned /. float_of_int (max 1 (pruned + s.Mc.schedules))
+  in
+  let line label (r : Mc.result) =
+    let s = r.Mc.stats in
+    let bug =
+      match r.Mc.violation with
+      | Some v -> string_of_int v.Mc.v_at_schedule
+      | None -> "-"
+    in
+    row "%-28s %10d %8d %8d %8.2f %12s@." label s.Mc.schedules s.Mc.choices
+      s.Mc.states (ratio s) bug
+  in
+  row "%-28s %10s %8s %8s %8s %12s@." "scenario/mode" "schedules" "choices"
+    "states" "pruned" "first-bug";
+  line "dgc2 exhaustive" (Mc.explore (Mc.scenario_dgc2 ()));
+  line "lookup fixed, exhaustive" (Mc.explore (Mc.scenario_lookup ~leak:false ()));
+  line "lookup leak, exhaustive" (Mc.explore (Mc.scenario_lookup ~leak:true ()));
+  line "lookup leak, guided s=1"
+    (Mc.guided ~seed:1L (Mc.scenario_lookup ~leak:true ()));
+  line "lookup leak, guided s=7"
+    (Mc.guided ~seed:7L (Mc.scenario_lookup ~leak:true ()));
+  let budget = { Mc.default_bounds with Mc.max_schedules = 500 } in
+  line "dgc3 exhaustive (500 cap)"
+    (Mc.explore ~bounds:budget (Mc.scenario_dgc3 ()))
+
 (* ------------------------------------------------------------------ main *)
 
 let experiments =
@@ -1112,6 +1156,7 @@ let experiments =
     ("pool", e16_pool);
     ("coalesce", e17_coalesce);
     ("chaos", e18_chaos);
+    ("mc", e19_mc);
   ]
 
 (* --json PATH: machine-readable results.  Each experiment runs with the

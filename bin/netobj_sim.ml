@@ -357,6 +357,183 @@ let chaos_cmd =
       $ mix_arg "spikes" 2 "Latency spikes in the schedule."
       $ drain_limit_arg $ backoff_arg $ trace_out_arg $ metrics_out_arg)
 
+(* --- mc ----------------------------------------------------------------------- *)
+
+module Mc = Netobj_mc.Mc
+module Json = Netobj_obs.Json
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let print_stats (s : Mc.stats) =
+  Fmt.pr
+    "schedules=%d choices=%d states=%d pruned(sleep)=%d pruned(state)=%d \
+     deferred=%d deepest=%d exhausted=%b@."
+    s.Mc.schedules s.Mc.choices s.Mc.states s.Mc.pruned_sleep s.Mc.pruned_state
+    s.Mc.deferred_preempt s.Mc.deepest s.Mc.exhausted
+
+(* Re-execute a recorded schedule; 0 = clean, 1 = problems reproduced,
+   3 = the execution diverged from the recording (a determinism bug). *)
+let mc_replay sc (schedule : Mc.schedule) =
+  match Mc.replay sc schedule with
+  | Error msg ->
+      Fmt.pr "replay DIVERGED: %s@." msg;
+      3
+  | Ok [] ->
+      Fmt.pr "replay: clean (%d choices)@." (List.length schedule);
+      0
+  | Ok problems ->
+      Fmt.pr "replay: reproduced %d problem(s):@." (List.length problems);
+      List.iter (fun p -> Fmt.pr "  %s@." p) problems;
+      1
+
+let mc scenario_name mode leak max_schedules max_depth preemptions slots seed
+    cex_out replay_file trace_out metrics_out =
+  with_obs ~trace_out ~metrics_out @@ fun () ->
+  match replay_file with
+  | Some path -> (
+      match Json.of_string (read_file path) with
+      | Error e ->
+          Fmt.epr "%s: bad JSON: %s@." path e;
+          2
+      | Ok j -> (
+          match Mc.counterexample_of_json j with
+          | Error e ->
+              Fmt.epr "%s: bad counterexample: %s@." path e;
+              2
+          | Ok (name, schedule) -> (
+              (* a counterexample names the scenario that produced it;
+                 "lookup-leak" implies the bug flag regardless of --leak *)
+              match
+                Mc.find_scenario name ~leak:(leak || name = "lookup-leak")
+              with
+              | None ->
+                  Fmt.epr "%s: unknown scenario %s@." path name;
+                  2
+              | Some sc ->
+                  Fmt.pr "replaying %s (%d choices) from %s@." name
+                    (List.length schedule) path;
+                  mc_replay sc schedule)))
+  | None -> (
+      match Mc.find_scenario scenario_name ~leak with
+      | None ->
+          Fmt.epr "unknown scenario %s (have: %s)@." scenario_name
+            (String.concat ", " Mc.scenario_names);
+          2
+      | Some sc ->
+          let bounds =
+            {
+              Mc.max_schedules;
+              max_depth;
+              max_preemptions = preemptions;
+              slots;
+            }
+          in
+          Fmt.pr "mc %s: scenario=%s bounds={schedules=%d depth=%d \
+                  preemptions=%d slots=%d}@."
+            mode sc.Mc.sc_name max_schedules max_depth preemptions slots;
+          let res =
+            match mode with
+            | "guided" -> Mc.guided ~bounds ~seed:(Int64.of_int seed) sc
+            | _ -> Mc.explore ~bounds sc
+          in
+          print_stats res.Mc.stats;
+          (match res.Mc.violation with
+          | None ->
+              Fmt.pr "no violation found@.";
+              0
+          | Some v ->
+              Fmt.pr "VIOLATION at schedule %d (%d choices):@."
+                v.Mc.v_at_schedule
+                (List.length v.Mc.v_schedule);
+              List.iter (fun p -> Fmt.pr "  %s@." p) v.Mc.v_problems;
+              (match cex_out with
+              | Some path ->
+                  write_file path
+                    (Json.to_string
+                       (Mc.counterexample_to_json ~scenario:sc.Mc.sc_name
+                          ~nemesis:sc.Mc.sc_nemesis v));
+                  Fmt.pr "counterexample written to %s@." path
+              | None -> ());
+              (* prove the counterexample replays before reporting it *)
+              ignore (mc_replay sc v.Mc.v_schedule);
+              1))
+
+let scenario_arg =
+  Arg.(
+    value & opt string "dgc2"
+    & info [ "scenario" ] ~docv:"NAME"
+        ~doc:"Scenario: dgc2, dgc3, lookup.")
+
+let mode_arg =
+  Arg.(
+    value & opt string "exhaustive"
+    & info [ "mode" ] ~docv:"MODE"
+        ~doc:"$(b,exhaustive) (DFS with preemption bounding and pruning) or \
+              $(b,guided) (seeded random schedule sampling).")
+
+let leak_arg =
+  Arg.(
+    value & flag
+    & info [ "leak" ]
+        ~doc:"Enable the historical lookup agent-root leak \
+              (bug_lookup_leak) in the lookup scenario.")
+
+let max_schedules_arg =
+  Arg.(
+    value & opt int Mc.default_bounds.Mc.max_schedules
+    & info [ "max-schedules" ] ~docv:"N"
+        ~doc:"Executions before giving up (0 = unlimited).")
+
+let max_depth_arg =
+  Arg.(
+    value & opt int Mc.default_bounds.Mc.max_depth
+    & info [ "max-depth" ] ~docv:"N" ~doc:"Choice points per execution.")
+
+let preemptions_arg =
+  Arg.(
+    value & opt int Mc.default_bounds.Mc.max_preemptions
+    & info [ "preemptions" ] ~docv:"N"
+        ~doc:"Largest number of non-default picks per schedule explored.")
+
+let slots_arg =
+  Arg.(
+    value & opt int Mc.default_bounds.Mc.slots
+    & info [ "slots" ] ~docv:"N"
+        ~doc:"Delivery slots per contended Bag-edge send.")
+
+let cex_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "counterexample-out" ] ~docv:"FILE"
+        ~doc:"Write the first violation as replayable JSON to $(docv).")
+
+let replay_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "replay" ] ~docv:"FILE"
+        ~doc:"Re-execute the counterexample in $(docv) instead of exploring.")
+
+let mc_cmd =
+  Cmd.v
+    (Cmd.info "mc"
+       ~doc:
+         "Systematically explore schedules of the real runtime: every \
+          scheduler and delivery-order decision becomes a choice point, \
+          explored depth-first with iterative preemption bounding, \
+          sleep-set pruning and state deduplication, checking the safety \
+          oracle at each step and the drain oracles at each end state.  \
+          Exits 0 iff no violation was found.")
+    Term.(
+      const mc $ scenario_arg $ mode_arg $ leak_arg $ max_schedules_arg
+      $ max_depth_arg $ preemptions_arg $ slots_arg $ seed_arg $ cex_out_arg
+      $ replay_arg $ trace_out_arg $ metrics_out_arg)
+
 (* --- main -------------------------------------------------------------------- *)
 
 let () =
@@ -365,4 +542,4 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ check_cmd; walk_cmd; run_cmd; fifo_cmd; trace_cmd; chaos_cmd ]))
+          [ check_cmd; walk_cmd; run_cmd; fifo_cmd; trace_cmd; chaos_cmd; mc_cmd ]))

@@ -35,6 +35,112 @@ let pp_fault ppf = function
 
 let pp_event ppf e = Fmt.pf ppf "@%.2f %a" e.at pp_fault e.fault
 
+(* JSON round trip for scripted nemeses, so a fault schedule (e.g. the
+   one a model-checker counterexample ran under) can be exported and
+   replayed with [run ?schedule]. *)
+module Json = Netobj_obs.Json
+
+let fault_to_json = function
+  | Partition { a; b; duration } ->
+      Json.Obj
+        [
+          ("kind", Json.Str "partition");
+          ("a", Json.Int a);
+          ("b", Json.Int b);
+          ("duration", Json.Float duration);
+        ]
+  | Crash { victim; downtime } ->
+      Json.Obj
+        [
+          ("kind", Json.Str "crash");
+          ("victim", Json.Int victim);
+          ("downtime", Json.Float downtime);
+        ]
+  | Loss_burst { src; dst; loss; duration } ->
+      Json.Obj
+        [
+          ("kind", Json.Str "loss_burst");
+          ("src", Json.Int src);
+          ("dst", Json.Int dst);
+          ("loss", Json.Float loss);
+          ("duration", Json.Float duration);
+        ]
+  | Dup_burst { src; dst; dup; duration } ->
+      Json.Obj
+        [
+          ("kind", Json.Str "dup_burst");
+          ("src", Json.Int src);
+          ("dst", Json.Int dst);
+          ("dup", Json.Float dup);
+          ("duration", Json.Float duration);
+        ]
+  | Latency_spike { src; dst; factor; duration } ->
+      Json.Obj
+        [
+          ("kind", Json.Str "latency_spike");
+          ("src", Json.Int src);
+          ("dst", Json.Int dst);
+          ("factor", Json.Float factor);
+          ("duration", Json.Float duration);
+        ]
+
+let event_to_json ev =
+  Json.Obj [ ("at", Json.Float ev.at); ("fault", fault_to_json ev.fault) ]
+
+let events_to_json evs = Json.List (List.map event_to_json evs)
+
+let events_of_json j =
+  let ( let* ) = Result.bind in
+  let num name o =
+    match Option.bind (Json.member name o) Json.to_float_opt with
+    | Some f -> Ok f
+    | None -> Error (Printf.sprintf "missing number %S" name)
+  in
+  let int name o = Result.map int_of_float (num name o) in
+  let fault_of_json o =
+    match Json.member "kind" o with
+    | Some (Json.Str "partition") ->
+        let* a = int "a" o in
+        let* b = int "b" o in
+        let* duration = num "duration" o in
+        Ok (Partition { a; b; duration })
+    | Some (Json.Str "crash") ->
+        let* victim = int "victim" o in
+        let* downtime = num "downtime" o in
+        Ok (Crash { victim; downtime })
+    | Some (Json.Str "loss_burst") ->
+        let* src = int "src" o in
+        let* dst = int "dst" o in
+        let* loss = num "loss" o in
+        let* duration = num "duration" o in
+        Ok (Loss_burst { src; dst; loss; duration })
+    | Some (Json.Str "dup_burst") ->
+        let* src = int "src" o in
+        let* dst = int "dst" o in
+        let* dup = num "dup" o in
+        let* duration = num "duration" o in
+        Ok (Dup_burst { src; dst; dup; duration })
+    | Some (Json.Str "latency_spike") ->
+        let* src = int "src" o in
+        let* dst = int "dst" o in
+        let* factor = num "factor" o in
+        let* duration = num "duration" o in
+        Ok (Latency_spike { src; dst; factor; duration })
+    | _ -> Error "unknown fault kind"
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | e :: rest ->
+        let* at = num "at" e in
+        let* fault =
+          match Json.member "fault" e with
+          | Some f -> fault_of_json f
+          | None -> Error "missing fault"
+        in
+        go ({ at; fault } :: acc) rest
+  in
+  match j with Json.List es -> go [] es | _ -> Error "expected a list"
+
 type mix = {
   partitions : int;
   crashes : int;

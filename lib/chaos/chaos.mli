@@ -57,6 +57,13 @@ val pp_fault : fault Fmt.t
 
 val pp_event : event Fmt.t
 
+(** JSON round trip for scripted nemeses: export a fault schedule (e.g.
+    from a model-checker counterexample) and feed it back to
+    {!run}[ ?schedule]. *)
+val events_to_json : event list -> Netobj_obs.Json.t
+
+val events_of_json : Netobj_obs.Json.t -> (event list, string) result
+
 (** How many faults of each kind a random schedule contains. *)
 type mix = {
   partitions : int;

@@ -99,13 +99,15 @@ type config = {
   clean_batch : float option;
   piggyback_acks : bool;
   coalesce : bool;
+  bug_lookup_leak : bool;
 }
 
 let config ?(seed = 1L) ?(policy = Sched.Fifo) ?(edge = Net.bag_edge ())
     ?gc_period ?ping_period ?(lease_misses = 3) ?call_timeout ?dirty_timeout
     ?clean_retry ?dirty_retry ?(backoff = 1.0) ?(backoff_cap = infinity)
     ?(backoff_jitter = 0.0) ?(lease_grace = 0.0) ?pin_timeout ?clean_batch
-    ?(piggyback_acks = false) ?(coalesce = false) ~nspaces () =
+    ?(piggyback_acks = false) ?(coalesce = false) ?(bug_lookup_leak = false)
+    ~nspaces () =
   if backoff < 1.0 then invalid_arg "Runtime.config: backoff must be >= 1";
   if backoff_jitter < 0.0 || backoff_jitter >= 1.0 then
     invalid_arg "Runtime.config: backoff_jitter must be in [0, 1)";
@@ -129,6 +131,7 @@ let config ?(seed = 1L) ?(policy = Sched.Fifo) ?(edge = Net.bag_edge ())
     clean_batch;
     piggyback_acks;
     coalesce;
+    bug_lookup_leak;
   }
 
 let with_seed cfg seed = { cfg with seed }
@@ -1443,18 +1446,26 @@ let import_wr sp wr =
 
 let lookup sp ~at name =
   let agent = import_wr sp (Wirerep.v ~space:at ~index:0) in
+  let call () =
+    invoke_raw sp agent ~meth:"lookup"
+      ~encode:(fun w -> Pickle.write Pickle.string w name)
+      ~decode:(fun r ->
+        if Pickle.read Pickle.bool r then Some (Pickle.read handle_codec r)
+        else None)
+  in
   (* The agent root must not outlive the call: a [Timeout] or
      [Remote_error] escaping here would otherwise leave the agent
-     surrogate rooted forever, keeping a dirty entry at the owner. *)
+     surrogate rooted forever, keeping a dirty entry at the owner.
+     [bug_lookup_leak] reintroduces exactly that historical bug (release
+     only on the success path) as a known-bug target for the model
+     checker's schedules-to-first-bug benchmark. *)
   let result =
-    Fun.protect
-      ~finally:(fun () -> release sp agent)
-      (fun () ->
-        invoke_raw sp agent ~meth:"lookup"
-          ~encode:(fun w -> Pickle.write Pickle.string w name)
-          ~decode:(fun r ->
-            if Pickle.read Pickle.bool r then Some (Pickle.read handle_codec r)
-            else None))
+    if sp.rt.config.bug_lookup_leak then begin
+      let r = call () in
+      release sp agent;
+      r
+    end
+    else Fun.protect ~finally:(fun () -> release sp agent) call
   in
   match result with
   | Some h -> h
@@ -1750,3 +1761,113 @@ let check_consistency rt =
       end)
     rt.space_arr;
   List.rev !problems
+
+(* Per-step analogue of the paper's central safety claim, sound
+   mid-protocol (unlike [check_consistency], which assumes quiescence):
+   a [Usable] surrogate means the dirty call was acknowledged, so the
+   owner must still hold the concrete object (Definition 12) with the
+   client registered in its dirty set (Lemma 9) — at every step, not
+   just at quiescence.  [Creating]/[Cleaning] surrogates are legal
+   transients (the object may be gone before registration completes or
+   while a clean ack is in flight) and are skipped, as are owners that
+   restarted or evicted a lease (both legitimately strand surrogates
+   until the protocol notices). *)
+let check_safety rt =
+  let problems = ref [] in
+  let report fmt = Fmt.kstr (fun s -> problems := s :: !problems) fmt in
+  Array.iter
+    (fun sp ->
+      if not sp.crashed then
+        Wirerep.Tbl.iter
+          (fun wr entry ->
+            match entry with
+            | Concrete _ -> ()
+            | Surrogate st -> (
+                match !st with
+                | Creating _ | Cleaning _ -> ()
+                | Usable _ ->
+                    let osp = rt.space_arr.(wr.Wirerep.space) in
+                    if (not osp.crashed) && osp.epoch = 0 && osp.s_evict = 0
+                    then begin
+                      match Wirerep.Tbl.find_opt osp.table wr with
+                      | Some (Concrete c) ->
+                          if not (Hashtbl.mem c.c_dirty sp.id) then
+                            report
+                              "space %d: usable surrogate %a absent from \
+                               owner's dirty set"
+                              sp.id Wirerep.pp wr
+                      | Some (Surrogate _) | None ->
+                          report
+                            "space %d: usable surrogate %a but owner %d \
+                             collected the object"
+                            sp.id Wirerep.pp wr wr.Wirerep.space
+                    end))
+          sp.table)
+    rt.space_arr;
+  List.rev !problems
+
+(* Canonical rendering of the protocol-relevant state, hashed.  Monotone
+   counters (sequence numbers, call/msg ids, stats) are deliberately
+   excluded — they would make every state unique and defeat
+   deduplication; table contents, surrogate states, dirty sets, root/pin
+   counts and the scheduler's pending work are included. *)
+let state_fingerprint rt =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  Array.iter
+    (fun sp ->
+      add "S%d e%d c%b|" sp.id sp.epoch sp.crashed;
+      let entries =
+        Wirerep.Tbl.fold (fun wr e acc -> (wr, e) :: acc) sp.table []
+        |> List.sort (fun (a, _) (b, _) -> Wirerep.compare a b)
+      in
+      List.iter
+        (fun ((wr : Wirerep.t), e) ->
+          add "%d.%d=" wr.Wirerep.space wr.Wirerep.index;
+          match e with
+          | Concrete c ->
+              let dirty =
+                Hashtbl.fold (fun k () acc -> k :: acc) c.c_dirty []
+                |> List.sort compare
+              in
+              let slots =
+                List.sort Wirerep.compare c.c_slots
+                |> List.map (fun (w : Wirerep.t) ->
+                       Printf.sprintf "%d.%d" w.Wirerep.space w.Wirerep.index)
+              in
+              add "C[%s][%s];"
+                (String.concat "," (List.map string_of_int dirty))
+                (String.concat "," slots)
+          | Surrogate st ->
+              let s =
+                match !st with
+                | Creating _ -> "c"
+                | Usable u -> if u.clean_scheduled then "U*" else "U"
+                | Cleaning cl ->
+                    if cl.resurrect = None then "X" else "X*"
+              in
+              add "S%s;" s)
+        entries;
+      let counts name tbl =
+        let xs =
+          Hashtbl.fold
+            (fun (wr : Wirerep.t) r acc ->
+              ((wr.Wirerep.space, wr.Wirerep.index), !r) :: acc)
+            tbl []
+          |> List.sort compare
+        in
+        add "%s[%s]" name
+          (String.concat ","
+             (List.map
+                (fun ((a, b), n) -> Printf.sprintf "%d.%d:%d" a b n)
+                xs))
+      in
+      counts "r" sp.roots;
+      counts "p" sp.pins;
+      add "td%d pc%d mb%d b%d|" (Hashtbl.length sp.tdirty)
+        (Hashtbl.length sp.pending_calls)
+        (Sched.Mailbox.length sp.clean_mb)
+        (Hashtbl.length sp.bindings))
+    rt.space_arr;
+  add "~%d" (Sched.pending_fingerprint rt.sched);
+  Hashtbl.hash (Buffer.contents buf)

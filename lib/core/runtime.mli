@@ -74,7 +74,12 @@ type config
       "piggy-back GC messages onto mutator messages";
     - [coalesce] routes every protocol message through the network's
       per-destination outbox ({!Net.post}), packing messages emitted at
-      the same instant into one frame per edge. *)
+      the same instant into one frame per edge;
+    - [bug_lookup_leak] reintroduces the historical {!lookup} bug (the
+      agent root released only on the success path, so a [Timeout]
+      strands the agent surrogate and its dirty entry forever) as a
+      known-bug target for the model checker's schedules-to-first-bug
+      benchmark.  Never set it outside that benchmark. *)
 val config :
   ?seed:int64 ->
   ?policy:Sched.policy ->
@@ -94,6 +99,7 @@ val config :
   ?clean_batch:float ->
   ?piggyback_acks:bool ->
   ?coalesce:bool ->
+  ?bug_lookup_leak:bool ->
   nspaces:int ->
   unit ->
   config
@@ -294,3 +300,20 @@ val gc_stats : space -> gc_stats
     Call it only after {!run} returned with no runnable work; results are
     meaningless mid-protocol. *)
 val check_consistency : t -> string list
+
+(** Per-step analogue of the paper's central safety claim, sound {e
+    mid-protocol} (unlike {!check_consistency}): a [Usable] surrogate
+    implies the owner still holds the concrete object (Definition 12)
+    with the client in its dirty set (Lemma 9).  [Creating]/[Cleaning]
+    surrogates are legal transients and are skipped, as are owners that
+    restarted or evicted a lease.  This is the invariant a model checker
+    evaluates at every choice point. *)
+val check_safety : t -> string list
+
+(** Hash of the protocol-relevant state: object tables, surrogate
+    states, dirty sets, root/pin counts, epochs, plus the scheduler's
+    pending work ({!Sched.pending_fingerprint}).  Monotone counters
+    (sequence numbers, ids, stats) are excluded so equivalent states
+    collide.  Used for model-checker state deduplication; collisions are
+    possible, so treat pruning on it as heuristic. *)
+val state_fingerprint : t -> int

@@ -59,20 +59,19 @@ let bfs ?(max_states = 2_000_000) ?(check = Invariants.check_all) ~copy_budget
           let c' = M.apply c t in
           if not (Cfgmap.mem c' !seen) then begin
             let rtrace' = t :: rtrace in
-            seen := Cfgmap.add c' rtrace' !seen;
-            incr states;
-            if !states > max_states then truncated := true
+            (* Check before the budget test: a violation in the state that
+               trips [max_states] must be reported, not masked as a
+               clean-but-truncated run. *)
+            (match check c' with
+            | [] -> ()
+            | vs ->
+                violation :=
+                  Some
+                    { trace = List.rev rtrace'; config = c'; violations = vs });
+            if !states >= max_states then truncated := true
             else begin
-              (match check c' with
-              | [] -> ()
-              | vs ->
-                  violation :=
-                    Some
-                      {
-                        trace = List.rev rtrace';
-                        config = c';
-                        violations = vs;
-                      });
+              seen := Cfgmap.add c' rtrace' !seen;
+              incr states;
               Queue.push (c', rtrace', spent + cost) queue
             end
           end

@@ -21,16 +21,24 @@ type violation_trace = {
 }
 
 type bfs_result = {
-  states : int;  (** distinct configurations reached *)
-  edges : int;  (** transitions explored *)
-  truncated : bool;  (** hit [max_states] before exhausting *)
+  states : int;  (** distinct configurations explored; never exceeds
+                     [max_states] *)
+  edges : int;  (** transitions applied (including ones reaching
+                    already-seen configurations) *)
+  truncated : bool;  (** a new configuration was reached after
+                         [max_states] had already been explored *)
   violation : violation_trace option;  (** first violation found, if any *)
 }
 
 (** [bfs ~copy_budget ~check init] explores exhaustively.  [check]
     defaults to {!Invariants.check_all}.  Environment transitions are
     included, with [Make_copy] allowed only while fewer than
-    [copy_budget] ids have been minted.  Stops at the first violation. *)
+    [copy_budget] ids have been minted.  Stops at the first violation.
+
+    Accounting is mutually consistent: [states <= max_states] always,
+    [truncated] implies [states = max_states], and every new
+    configuration is invariant-checked {e before} the budget test — a
+    violation in the state that trips the budget is still reported. *)
 val bfs :
   ?max_states:int ->
   ?check:(Machine.config -> Invariants.violation list) ->

@@ -50,6 +50,7 @@ let fifo_edge ?(latency = 0.005) () =
 type edge_state = {
   mutable config : edge_config;
   mutable last_deadline : float;  (* enforces FIFO by monotone deadlines *)
+  mutable in_flight : int;  (* scheduled but not yet delivered/dropped *)
   (* Scheduled fault windows, consulted against the virtual clock so they
      expire without a timer.  While [now < burst_until] the burst
      loss/dup probabilities override the configured ones (whichever is
@@ -104,6 +105,10 @@ type t = {
   outboxes : (addr * addr, outbox) Hashtbl.t;
   mutable flush_armed : bool;
   mutable obs_seq : int;  (* correlation ids for message-flight spans *)
+  (* Controlled delivery order (model checking): when set, Bag-edge
+     deliveries stop drawing a random latency and instead ask the
+     callback for a slot in [0, slots); see [set_delivery_choice]. *)
+  mutable delivery_choice : (int * (label:string -> n:int -> int)) option;
 }
 
 let create ~sched ~seed () =
@@ -129,7 +134,14 @@ let create ~sched ~seed () =
     outboxes = Hashtbl.create 16;
     flush_armed = false;
     obs_seq = 0;
+    delivery_choice = None;
   }
+
+let set_delivery_choice t ?(slots = 2) choose =
+  if slots < 1 then invalid_arg "Net.set_delivery_choice: slots must be >= 1";
+  t.delivery_choice <- Some (slots, choose)
+
+let clear_delivery_choice t = t.delivery_choice <- None
 
 let edge t src dst =
   match Hashtbl.find_opt t.edges (src, dst) with
@@ -139,6 +151,7 @@ let edge t src dst =
         {
           config = t.default;
           last_deadline = 0.0;
+          in_flight = 0;
           burst_loss = 0.0;
           burst_dup = 0.0;
           burst_until = neg_infinity;
@@ -172,8 +185,10 @@ let heal_all t = Hashtbl.reset t.partitions
    other or with manual [set_partitioned] toggles: healing is
    unconditional, so an overlapping window would end early. *)
 let partition_window t a b ~after ~duration =
-  Sched.timer t.sched after (fun () -> set_partitioned t a b true);
-  Sched.timer t.sched (after +. duration) (fun () -> set_partitioned t a b false)
+  Sched.timer t.sched ~name:"net-partition" after (fun () ->
+      set_partitioned t a b true);
+  Sched.timer t.sched ~name:"net-heal" (after +. duration) (fun () ->
+      set_partitioned t a b false)
 
 let crash t a = Hashtbl.replace t.crashed a ()
 
@@ -261,14 +276,43 @@ let account_physical t len =
    called with the destination handler once the payload arrives. *)
 let schedule_delivery t ~src ~dst ~kind ~count payload dispatch =
   let e = edge t src dst in
-  let lat = draw_latency t e in
   let deadline =
-    let d = Sched.now t.sched +. lat in
-    match e.config.semantics with
-    | Bag -> d
-    | Fifo ->
+    match (e.config.semantics, t.delivery_choice) with
+    | Bag, Some (slots, choose) ->
+        (* Controlled mode: delivery order on a non-FIFO edge is an
+           explicit choice, not a latency draw.  Slot [k] arrives after
+           [(k+1) * base], so a later send in a low slot can overtake an
+           earlier one in a high slot — the reordering Bag semantics
+           allows — while equal slots tie and fall to the scheduler's
+           same-instant timer choice. *)
+        let base =
+          match e.config.latency with
+          | Constant c -> c
+          | Uniform (lo, hi) -> 0.5 *. (lo +. hi)
+        in
+        let base =
+          if Sched.now t.sched < e.spike_until then base *. e.spike_factor
+          else base
+        in
+        (* A slot beyond 0 only matters when there is a concurrent
+           message on the edge to reorder against; with nothing in
+           flight, branching on the slot would multiply schedules
+           without changing any observable order. *)
+        let slot =
+          if slots = 1 || e.in_flight = 0 then 0
+          else
+            choose
+              ~label:(Printf.sprintf "deliver:%d>%d:%s" src dst kind)
+              ~n:slots
+        in
+        if slot < 0 || slot >= slots then
+          invalid_arg "Net: delivery chooser returned bad slot";
+        Sched.now t.sched +. (base *. float_of_int (slot + 1))
+    | Bag, None -> Sched.now t.sched +. draw_latency t e
+    | Fifo, _ ->
         (* A FIFO edge never lets a later send be delivered earlier: clamp
            deadlines to be monotone; ties break by timer sequence. *)
+        let d = Sched.now t.sched +. draw_latency t e in
         let d = Float.max d e.last_deadline in
         e.last_deadline <- d;
         d
@@ -291,8 +335,12 @@ let schedule_delivery t ~src ~dst ~kind ~count payload dispatch =
       else obs_drop t ~src ~dst ~kind len reason
     end
   in
-  Sched.spawn t.sched ~name:"net-delivery" (fun () ->
+  e.in_flight <- e.in_flight + 1;
+  Sched.spawn t.sched
+    ~name:(Printf.sprintf "net-delivery-%d>%d:%s" src dst kind)
+    (fun () ->
       Sched.sleep t.sched (deadline -. Sched.now t.sched);
+      e.in_flight <- e.in_flight - 1;
       (* Delivery-time drops distinguish their cause: a message in flight
          towards a crashed destination is lost, and one whose source died
          mid-flight models the RPC bouncing (connection reset). *)
@@ -428,8 +476,9 @@ let dispatch_frame t ~src ~count payload h =
     let len = Wire.Reader.uvarint r in
     let off = Wire.Reader.pos r in
     Wire.Reader.skip r len;
-    Sched.spawn t.sched ~name:"net-delivery" (fun () ->
-        h ~src ~kind ~payload ~off ~len)
+    Sched.spawn t.sched
+      ~name:(Printf.sprintf "net-delivery-%d:%s" src kind)
+      (fun () -> h ~src ~kind ~payload ~off ~len)
   done
 
 let flush t =
@@ -480,7 +529,7 @@ let post t ~src ~dst ~kind payload =
     end;
     if not t.flush_armed then begin
       t.flush_armed <- true;
-      Sched.timer t.sched 0.0 (fun () -> flush t)
+      Sched.timer t.sched ~name:"net-flush" 0.0 (fun () -> flush t)
     end
   end
 

@@ -124,6 +124,28 @@ val set_latency_spike : t -> src:addr -> dst:addr -> factor:float -> until:float
 val set_filter :
   t -> (src:addr -> dst:addr -> kind:string -> bool) option -> unit
 
+(** {1 Controlled delivery order (model checking)}
+
+    [set_delivery_choice t ~slots choose] turns every {!Bag}-edge
+    delivery into an explicit choice point instead of a random latency
+    draw: [choose ~label ~n:slots] picks a slot [k] and the message
+    arrives after [(k+1) * base] where [base] is the edge's constant (or
+    mean uniform) latency.  A later send in a low slot can overtake an
+    earlier send in a high slot — the reordering Bag semantics allows —
+    while equal deadlines tie and fall to the scheduler's same-instant
+    timer choice.  [label] identifies the edge and message kind
+    (["deliver:src>dst:kind"]).  The chooser is consulted only when the
+    edge already has a message in flight — a lone message has nothing to
+    reorder against, so branching on its slot would multiply schedules
+    without changing any observable order.  Fifo edges are unaffected.
+    Loss and duplication draws still come from the seeded generator. *)
+val set_delivery_choice :
+  t -> ?slots:int -> (label:string -> n:int -> int) -> unit
+
+(** Remove the {!set_delivery_choice} hook; Bag edges draw latencies
+    again. *)
+val clear_delivery_choice : t -> unit
+
 (** Simulate a crash.  A crashed space neither receives nor emits:
     messages {e to} it are dropped at send time and on delivery
     (counted as [dropped_dst_crashed]); messages {e from} it — including

@@ -3,7 +3,11 @@ open Effect.Deep
 module Obs = Netobj_obs.Obs
 module Trace = Netobj_obs.Trace
 
-type policy = Fifo | Random of int64
+type choice_kind = Fiber | Timer
+
+type chooser = kind:choice_kind -> string array -> int
+
+type policy = Fifo | Random of int64 | Controlled of chooser
 
 (* The single effect: park the calling fiber and hand a wakeup thunk to
    [register].  Everything blocking (sleep, ivars, mailboxes) is built on
@@ -20,6 +24,7 @@ module Timerq = struct
   type entry = {
     deadline : float;
     seq : int;
+    name : string;
     wake : unit -> unit;
     mutable live : bool;
   }
@@ -28,7 +33,9 @@ module Timerq = struct
 
   let create () =
     {
-      heap = Array.make 16 { deadline = 0.; seq = 0; wake = ignore; live = false };
+      heap =
+        Array.make 16
+          { deadline = 0.; seq = 0; name = ""; wake = ignore; live = false };
       size = 0;
     }
 
@@ -86,19 +93,32 @@ module Timerq = struct
         Some e
 end
 
+(* [phase] counts the fiber's resumptions: it distinguishes a fiber
+   about to run for the first time from the same fiber resumed after a
+   block in {!pending_fingerprint} (the protocol state can be identical
+   while the continuations differ), without polluting the label shown at
+   choice points. *)
+type task = { label : string; phase : int; thunk : unit -> unit }
+
 type t = {
-  mutable ready : (unit -> unit) list;  (* reversed enqueue order *)
-  mutable ready_front : (unit -> unit) list;
+  mutable ready : task list;  (* reversed enqueue order *)
+  mutable ready_front : task list;
   timers : Timerq.t;
   mutable clock : float;
   mutable timer_seq : int;
   mutable alive : int;
   mutable failures : (string * exn) list;
-  rng : Netobj_util.Rng.t option;
+  policy : policy;
+  mutable choices : int;
+      (* scheduling choice points consumed so far; indexes the [Random]
+         stream so each draw is a pure function of (seed, index) *)
+  mutable current : string;
+      (* label of the fiber being executed; names [sleep] timers so
+         pending-work fingerprints and timer choice points identify the
+         sleeper instead of an anonymous "sleep" *)
 }
 
 let create ?(policy = Fifo) () =
-  let rng = match policy with Fifo -> None | Random seed -> Some (Netobj_util.Rng.create seed) in
   {
     ready = [];
     ready_front = [];
@@ -107,12 +127,26 @@ let create ?(policy = Fifo) () =
     timer_seq = 0;
     alive = 0;
     failures = [];
-    rng;
+    policy;
+    choices = 0;
+    current = "main";
   }
 
-let enqueue t thunk = t.ready <- thunk :: t.ready
+let enqueue t ?(phase = 0) label thunk =
+  t.ready <- { label; phase; thunk } :: t.ready
 
 let ready_count t = List.length t.ready + List.length t.ready_front
+
+let choice_points t = t.choices
+
+(* Remove and return element [i] of [ready_front @ List.rev ready],
+   leaving the rest in order. *)
+let take_nth t i =
+  let all = t.ready_front @ List.rev t.ready in
+  let picked = List.nth all i in
+  t.ready_front <- List.filteri (fun j _ -> j <> i) all;
+  t.ready <- [];
+  picked
 
 let dequeue t =
   (match t.ready_front with
@@ -123,29 +157,55 @@ let dequeue t =
   match t.ready_front with
   | [] -> None
   | x :: rest -> (
-      match t.rng with
-      | None ->
+      match t.policy with
+      | Fifo ->
           t.ready_front <- rest;
           Some x
-      | Some rng ->
-          (* Random policy: pick a uniform index across both segments. *)
-          let all = t.ready_front @ List.rev t.ready in
-          let i = Netobj_util.Rng.int rng (List.length all) in
-          let picked = List.nth all i in
-          let remaining = List.filteri (fun j _ -> j <> i) all in
-          t.ready_front <- remaining;
-          t.ready <- [];
-          Some picked)
+      | Random seed ->
+          (* Pick a uniform index across both segments.  The draw is
+             [Rng.int_nth seed i]: a pure function of the seed and the
+             choice-point index, never of how the queue happens to be
+             split between [ready_front] and [ready], so a recorded
+             schedule replays identically.  A lone ready fiber is not a
+             choice point and consumes no draw. *)
+          let n = ready_count t in
+          if n = 1 then begin
+            t.ready_front <- rest;
+            Some x
+          end
+          else begin
+            let i = Netobj_util.Rng.int_nth seed t.choices n in
+            t.choices <- t.choices + 1;
+            Some (take_nth t i)
+          end
+      | Controlled choose ->
+          let n = ready_count t in
+          if n = 1 then begin
+            t.ready_front <- rest;
+            Some x
+          end
+          else begin
+            let labels =
+              Array.of_list
+                (List.map (fun task -> task.label)
+                   (t.ready_front @ List.rev t.ready))
+            in
+            let i = choose ~kind:Fiber labels in
+            if i < 0 || i >= n then
+              invalid_arg "Sched: controlled chooser returned bad index";
+            t.choices <- t.choices + 1;
+            Some (take_nth t i)
+          end)
 
 let now t = t.clock
 
-let add_timer t ~deadline wake =
+let add_timer t ?(name = "timer") ~deadline wake =
   t.timer_seq <- t.timer_seq + 1;
-  Timerq.push t.timers { deadline; seq = t.timer_seq; wake; live = true }
+  Timerq.push t.timers { deadline; seq = t.timer_seq; name; wake; live = true }
 
-let add_timer_cancel t ~deadline wake =
+let add_timer_cancel t ?(name = "timer") ~deadline wake =
   t.timer_seq <- t.timer_seq + 1;
-  let e = { Timerq.deadline; seq = t.timer_seq; wake; live = true } in
+  let e = { Timerq.deadline; seq = t.timer_seq; name; wake; live = true } in
   Timerq.push t.timers e;
   fun () -> e.Timerq.live <- false
 
@@ -158,6 +218,7 @@ let obs_fiber event name =
       event
 
 let exec t name f =
+  let resumes = ref 0 in
   match_with f ()
     {
       retc =
@@ -178,14 +239,16 @@ let exec t name f =
                   obs_fiber "block" name;
                   register (fun () ->
                       obs_fiber "resume" name;
-                      enqueue t (fun () -> continue k ())))
+                      incr resumes;
+                      enqueue t ~phase:!resumes name (fun () ->
+                          continue k ())))
           | _ -> None);
     }
 
 let spawn t ?(name = "fiber") f =
   t.alive <- t.alive + 1;
   obs_fiber "spawn" name;
-  enqueue t (fun () -> exec t name f)
+  enqueue t name (fun () -> exec t name f)
 
 let suspend register = perform (Suspend register)
 
@@ -193,20 +256,25 @@ let yield _t = suspend (fun wake -> wake ())
 
 let sleep t dt =
   if dt <= 0.0 then yield t
-  else suspend (fun wake -> add_timer t ~deadline:(t.clock +. dt) wake)
+  else
+    suspend (fun wake ->
+        add_timer t
+          ~name:("sleep:" ^ t.current)
+          ~deadline:(t.clock +. dt) wake)
 
-let timer t dt f = add_timer t ~deadline:(t.clock +. dt) f
+let timer t ?name dt f = add_timer t ?name ~deadline:(t.clock +. dt) f
 
-let timer_cancel t dt f = add_timer_cancel t ~deadline:(t.clock +. dt) f
+let timer_cancel t ?name dt f = add_timer_cancel t ?name ~deadline:(t.clock +. dt) f
 
 let run ?(max_steps = max_int) ?(until = infinity) t =
   let steps = ref 0 in
   let continue = ref true in
   while !continue && !steps < max_steps do
     match dequeue t with
-    | Some thunk ->
+    | Some task ->
         incr steps;
-        thunk ()
+        t.current <- task.label;
+        task.thunk ()
     | None -> (
         match Timerq.peek t.timers with
         | Some e when e.deadline <= until ->
@@ -215,15 +283,63 @@ let run ?(max_steps = max_int) ?(until = infinity) t =
               Trace.instant (Obs.trace ()) ~cat:"sched" ~space:(-1)
                 ~args:[ ("t", Trace.F t.clock) ]
                 "clock";
-            (* Release every timer due at this instant before running. *)
+            (* Release every timer due at this instant before running.
+               Under [Controlled] the release order of same-instant
+               timers is a choice point (timer callbacks run inline and
+               may mutate state); otherwise they fire in (deadline, seq)
+               order as before. *)
             let rec drain () =
-              match Timerq.peek t.timers with
-              | Some e' when e'.deadline <= t.clock ->
-                  (match Timerq.pop t.timers with
-                  | Some e'' -> e''.wake ()
-                  | None -> ());
+              (* Pop all live entries due now, in seq order. *)
+              let rec collect acc =
+                match Timerq.peek t.timers with
+                | Some e' when e'.deadline <= t.clock -> (
+                    match Timerq.pop t.timers with
+                    | Some e'' -> collect (e'' :: acc)
+                    | None -> collect acc)
+                | _ -> List.rev acc
+              in
+              match collect [] with
+              | [] -> ()
+              | [ e' ] ->
+                  e'.Timerq.wake ();
                   drain ()
-              | _ -> ()
+              | due -> (
+                  match t.policy with
+                  | Fifo | Random _ ->
+                      (* Re-check [live]: an earlier same-instant callback
+                         may have cancelled a later sibling. *)
+                      List.iter
+                        (fun e' -> if e'.Timerq.live then e'.Timerq.wake ())
+                        due;
+                      drain ()
+                  | Controlled choose ->
+                      (* Wake one at a time; a callback may cancel a
+                         not-yet-woken entry, so re-filter each round. *)
+                      let rec go pending =
+                        match
+                          List.filter (fun e' -> e'.Timerq.live) pending
+                        with
+                        | [] -> ()
+                        | [ e' ] -> e'.Timerq.wake ()
+                        | pending ->
+                            let labels =
+                              Array.of_list
+                                (List.map
+                                   (fun e' ->
+                                     Printf.sprintf "%s#%d" e'.Timerq.name
+                                       e'.Timerq.seq)
+                                   pending)
+                            in
+                            let i = choose ~kind:Timer labels in
+                            if i < 0 || i >= List.length pending then
+                              invalid_arg
+                                "Sched: controlled chooser returned bad index";
+                            t.choices <- t.choices + 1;
+                            (List.nth pending i).Timerq.wake ();
+                            go (List.filteri (fun j _ -> j <> i) pending)
+                      in
+                      go due;
+                      drain ())
             in
             drain ()
         | _ -> continue := false)
@@ -231,6 +347,28 @@ let run ?(max_steps = max_int) ?(until = infinity) t =
   !steps
 
 let alive t = t.alive
+
+let pending_fingerprint t =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun task ->
+      Buffer.add_string buf task.label;
+      Buffer.add_string buf (Printf.sprintf "@%d;" task.phase))
+    (t.ready_front @ List.rev t.ready);
+  Buffer.add_char buf '|';
+  (* Timer identity deliberately omits [seq] (monotone per run) and the
+     absolute clock: two executions pending the same work relative to now
+     fingerprint equal.  Heap array order is layout-dependent, so sort. *)
+  let entries = ref [] in
+  for i = 0 to t.timers.Timerq.size - 1 do
+    let e = t.timers.Timerq.heap.(i) in
+    if e.Timerq.live then
+      entries := (e.Timerq.deadline -. t.clock, e.Timerq.name) :: !entries
+  done;
+  List.iter
+    (fun (dt, name) -> Buffer.add_string buf (Printf.sprintf "%.9g:%s;" dt name))
+    (List.sort compare !entries);
+  Hashtbl.hash (Buffer.contents buf)
 
 let stalled t =
   (* Alive fibers minus those with a queued resumption; valid only after

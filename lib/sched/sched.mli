@@ -18,14 +18,35 @@
 
 type t
 
+(** What a {!Controlled} choice point ranges over. *)
+type choice_kind =
+  | Fiber  (** which ready fiber runs next *)
+  | Timer  (** which of several timers due at the same instant fires next *)
+
+(** [choose ~kind labels] picks the index of the alternative to run.
+    Invoked only when at least two alternatives exist; [labels.(i)] is the
+    fiber name (or ["name#seq"] for timers) of alternative [i].  Must
+    return an index in [\[0, Array.length labels)]. *)
+type chooser = kind:choice_kind -> string array -> int
+
 (** Scheduling policy for ready fibers. *)
 type policy =
   | Fifo  (** run in enqueue order: deterministic baseline *)
   | Random of int64
-      (** pick a uniformly random ready fiber (seeded): adversarial
-          interleavings, reproducible from the seed *)
+      (** pick a uniformly random ready fiber: adversarial interleavings.
+          Each draw is a pure function of (seed, choice-point index) — see
+          {!choice_points} — never of the ready queue's internal layout,
+          so a recorded schedule replays identically. *)
+  | Controlled of chooser
+      (** every nondeterministic point (≥ 2 ready fibers, or ≥ 2 timers
+          due at the same instant) is surfaced to the callback, which
+          dictates the schedule: the hook a model checker drives. *)
 
 val create : ?policy:policy -> unit -> t
+
+(** Number of scheduling choice points consumed so far (points with a
+    single alternative don't count). *)
+val choice_points : t -> int
 
 (** Register a fiber.  It starts running only under {!run}. *)
 val spawn : t -> ?name:string -> (unit -> unit) -> unit
@@ -40,14 +61,15 @@ val sleep : t -> float -> unit
 val yield : t -> unit
 
 (** [timer t dt f] runs [f] at virtual time [now t +. dt] (outside any
-    fiber; [f] should only wake fibers or mutate state). *)
-val timer : t -> float -> (unit -> unit) -> unit
+    fiber; [f] should only wake fibers or mutate state).  [name] labels
+    the timer at {!Controlled} choice points and in traces. *)
+val timer : t -> ?name:string -> float -> (unit -> unit) -> unit
 
 (** Like {!timer} but returns a cancel thunk.  A cancelled timer never
     fires and — unlike an ignored one — does not hold {!run} back from
     quiescing: dead entries are skipped without advancing the clock.
     Cancelling after the timer fired (or twice) is a no-op. *)
-val timer_cancel : t -> float -> (unit -> unit) -> unit -> unit
+val timer_cancel : t -> ?name:string -> float -> (unit -> unit) -> unit -> unit
 
 (** Low-level: park the calling fiber and hand the wakeup thunk to the
     callback.  The thunk must be called at most once. *)
@@ -60,6 +82,13 @@ val run : ?max_steps:int -> ?until:float -> t -> int
 
 (** Fibers spawned and not yet finished (running, ready or blocked). *)
 val alive : t -> int
+
+(** Hash of the pending work: ready-fiber labels in queue order plus live
+    timers as (deadline − now, name) sets.  Timer sequence numbers and
+    the absolute clock are excluded, so two executions with the same work
+    outstanding relative to now fingerprint equal — the scheduler's
+    contribution to a model checker's state-hash deduplication. *)
+val pending_fingerprint : t -> int
 
 (** Fibers blocked with no pending wakeup after {!run} returned: a
     deadlock indicator. *)

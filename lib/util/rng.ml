@@ -13,6 +13,15 @@ let next_int64 t =
   t.state <- Int64.add t.state golden_gamma;
   mix64 t.state
 
+(* Stateless indexed access to the same stream: [create seed] followed by
+   [i+1] calls to [next_int64] yields [mix64 (seed + (i+1)*gamma)]. *)
+let nth seed i = mix64 (Int64.add seed (Int64.mul golden_gamma (Int64.of_int (i + 1))))
+
+let int_nth seed i bound =
+  if bound <= 0 then invalid_arg "Rng.int_nth: bound must be positive";
+  let r = Int64.to_int (Int64.shift_right_logical (nth seed i) 2) in
+  r mod bound
+
 let split t =
   let seed = next_int64 t in
   create (mix64 seed)

@@ -15,6 +15,16 @@ val split : t -> t
 (** Raw 64-bit output. *)
 val next_int64 : t -> int64
 
+(** [nth seed i] is the [i]-th output (0-based) of the stream that
+    [create seed] would produce — a pure function of [(seed, i)], so a
+    consumer indexing by its own choice-point counter draws identically
+    regardless of any internal data-structure layout. *)
+val nth : int64 -> int -> int64
+
+(** [nth] reduced to [\[0, bound)] exactly as {!int} reduces
+    {!next_int64}. Requires [bound > 0]. *)
+val int_nth : int64 -> int -> int -> int
+
 (** [int t bound] is uniform in [\[0, bound)]. Requires [bound > 0]. *)
 val int : t -> int -> int
 

@@ -1,0 +1,65 @@
+Systematic schedule exploration over the real runtime (`lib/mc`).  The
+two-space transfer scenario — dirty, clean, transient pins, a reference
+handed over in a reply — exhausts within the default bounds with no
+violation (exit 0).  Raising the preemption bound exhausts the full
+schedule tree (exhausted=true):
+
+  $ netobj_sim mc --scenario dgc2
+  mc exhaustive: scenario=dgc2 bounds={schedules=20000 depth=2000 preemptions=2 slots=2}
+  schedules=75 choices=1713 states=44 pruned(sleep)=8 pruned(state)=67 deferred=57 deepest=24 exhausted=false
+  no violation found
+
+  $ netobj_sim mc --scenario dgc2 --preemptions 9
+  mc exhaustive: scenario=dgc2 bounds={schedules=20000 depth=2000 preemptions=9 slots=2}
+  schedules=187 choices=4254 states=48 pruned(sleep)=16 pruned(state)=168 deferred=61 deepest=24 exhausted=true
+  no violation found
+
+The lookup scenario wedges the call timeout between the two delivery
+slots' arrival times; with the historical agent-root leak re-enabled
+(`--leak`, the PR-3 `bug_lookup_leak` flag) the schedule that reorders
+one client's reply behind the other's strands the agent surrogate, and
+the explorer finds it — well under 1000 schedules — and proves the
+recorded counterexample replays before reporting it (exit 1):
+
+  $ netobj_sim mc --scenario lookup --leak --counterexample-out cex.json
+  mc exhaustive: scenario=lookup-leak bounds={schedules=20000 depth=2000 preemptions=2 slots=2}
+  schedules=48 choices=2475 states=76 pruned(sleep)=4 pruned(state)=44 deferred=89 deepest=53 exhausted=false
+  VIOLATION at schedule 48 (17 choices):
+    space 1: 1 surrogate(s) failed to drain
+      wr=0.0 state=Usable{sched=false} roots=1 pins=0
+  counterexample written to cex.json
+  replay: reproduced 2 problem(s):
+    space 1: 1 surrogate(s) failed to drain
+      wr=0.0 state=Usable{sched=false} roots=1 pins=0
+  [1]
+
+The counterexample is a self-contained JSON choice list that re-executes
+deterministically:
+
+  $ netobj_sim mc --replay cex.json
+  replaying lookup-leak (17 choices) from cex.json
+  replay: reproduced 2 problem(s):
+    space 1: 1 surrogate(s) failed to drain
+      wr=0.0 state=Usable{sched=false} roots=1 pins=0
+  [1]
+
+With the fix in place the same schedule tree is violation-free:
+
+  $ netobj_sim mc --scenario lookup
+  mc exhaustive: scenario=lookup bounds={schedules=20000 depth=2000 preemptions=2 slots=2}
+  schedules=163 choices=8359 states=133 pruned(sleep)=18 pruned(state)=154 deferred=152 deepest=53 exhausted=false
+  no violation found
+
+Guided mode samples schedules with every choice a pure function of
+(seed, execution, choice index) — for trees too large to exhaust:
+
+  $ netobj_sim mc --scenario lookup --leak --mode guided --seed 7 --max-schedules 2000
+  mc guided: scenario=lookup-leak bounds={schedules=2000 depth=2000 preemptions=2 slots=2}
+  schedules=1 choices=17 states=17 pruned(sleep)=0 pruned(state)=0 deferred=0 deepest=17 exhausted=false
+  VIOLATION at schedule 1 (17 choices):
+    space 1: 1 surrogate(s) failed to drain
+      wr=0.0 state=Usable{sched=false} roots=1 pins=0
+  replay: reproduced 2 problem(s):
+    space 1: 1 surrogate(s) failed to drain
+      wr=0.0 state=Usable{sched=false} roots=1 pins=0
+  [1]

@@ -50,6 +50,47 @@ let test_bfs_4p () =
   assert_no_violation r;
   Alcotest.(check bool) "not truncated" false r.Explore.truncated
 
+(* Regression: the state that trips [max_states] must still be
+   invariant-checked.  A counter-based checker flags exactly the
+   (max_states + 1)-th distinct configuration checked — the one whose
+   discovery sets [truncated] — so with the old accounting (budget test
+   before the check) this run reported clean-but-truncated. *)
+let test_bfs_checks_budget_tripping_state () =
+  let max_states = 5 in
+  let count = ref 0 in
+  let check _c =
+    incr count;
+    if !count = max_states + 1 then [ ("budget", "violation in last state") ]
+    else []
+  in
+  let r = Explore.bfs ~max_states ~check ~copy_budget:2 (alloc0 2) in
+  Alcotest.(check bool) "truncated" true r.Explore.truncated;
+  Alcotest.(check int) "states capped" max_states r.Explore.states;
+  match r.Explore.violation with
+  | Some v ->
+      Alcotest.(check (list (pair string string)))
+        "the flagged violation" [ ("budget", "violation in last state") ]
+        v.Explore.violations
+  | None -> Alcotest.fail "violation in the budget-tripping state was masked"
+
+(* Regression: states/edges/truncated are mutually consistent.  With the
+   bound set to exactly the reachable count nothing is truncated and the
+   totals match the unbounded run; one below, [truncated] is set with
+   [states = max_states] and strictly fewer edges applied. *)
+let test_bfs_truncation_accounting () =
+  let full = Explore.bfs ~copy_budget:2 (alloc0 2) in
+  Alcotest.(check bool) "full run untruncated" false full.Explore.truncated;
+  let s = full.Explore.states in
+  let exact = Explore.bfs ~max_states:s ~copy_budget:2 (alloc0 2) in
+  Alcotest.(check bool) "exact bound untruncated" false exact.Explore.truncated;
+  Alcotest.(check int) "exact bound states" s exact.Explore.states;
+  Alcotest.(check int) "exact bound edges" full.Explore.edges exact.Explore.edges;
+  let tight = Explore.bfs ~max_states:(s - 1) ~copy_budget:2 (alloc0 2) in
+  Alcotest.(check bool) "tight bound truncated" true tight.Explore.truncated;
+  Alcotest.(check int) "states = max_states" (s - 1) tight.Explore.states;
+  Alcotest.(check bool) "no edges counted past truncation" true
+    (tight.Explore.edges < full.Explore.edges)
+
 (* The ccitnil state is genuinely reachable (Figure 4's new vertex). *)
 let test_ccitnil_reachable () =
   let reached = ref false in
@@ -196,6 +237,10 @@ let () =
           Alcotest.test_case "3 procs exhaustive" `Slow test_bfs_3p;
           Alcotest.test_case "3 procs deep" `Slow test_bfs_3p_deep;
           Alcotest.test_case "4 procs exhaustive" `Slow test_bfs_4p;
+          Alcotest.test_case "budget-tripping state checked" `Quick
+            test_bfs_checks_budget_tripping_state;
+          Alcotest.test_case "truncation accounting" `Quick
+            test_bfs_truncation_accounting;
           Alcotest.test_case "ccitnil reachable" `Quick test_ccitnil_reachable;
           Alcotest.test_case "ccitnil guard necessary" `Quick
             test_ccitnil_guard_necessary;

@@ -358,6 +358,85 @@ let test_json_of_string_roundtrip () =
   | Ok _ -> Alcotest.fail "whitespace-tolerant parse wrong shape"
   | Error e -> Alcotest.failf "whitespace parse failed: %s" e
 
+(* Property: [Json.of_string (Json.to_string j)] recovers [j] for every
+   document, modulo the emitter's two lossy normalisations — non-finite
+   floats become [null] (the netobj.bench/1 emitter path) and a finite
+   float prints as %.12g, so it reparses as [Int] when that rendering is
+   integral and otherwise as the nearest 12-significant-digit float.
+   [normalize] applies exactly those two rules; everything else — keys,
+   escaped quotes/backslashes, control characters (the \u00XX escapes),
+   nesting — must survive byte-exactly.  [Json.of_string] is the one
+   parser in the tree: tools/bench_compare.ml reads bench dumps with it,
+   so this property covers that consumer too. *)
+let rec json_normalize = function
+  | Json.Float f when not (Float.is_finite f) -> Json.Null
+  | Json.Float f -> (
+      let s = Printf.sprintf "%.12g" f in
+      match int_of_string_opt s with
+      | Some i -> Json.Int i
+      | None -> Json.Float (float_of_string s))
+  | Json.List xs -> Json.List (List.map json_normalize xs)
+  | Json.Obj kvs ->
+      Json.Obj (List.map (fun (k, v) -> (k, json_normalize v)) kvs)
+  | (Json.Null | Json.Bool _ | Json.Int _ | Json.Str _) as j -> j
+
+let json_gen =
+  let open QCheck.Gen in
+  (* Strings weighted towards the characters the escaper special-cases:
+     quotes, backslashes, newlines/tabs, and raw control bytes. *)
+  let nasty_char =
+    frequency
+      [
+        (4, char_range 'a' 'z');
+        (2, oneofl [ '"'; '\\'; '/'; '\n'; '\r'; '\t' ]);
+        (2, map Char.chr (int_range 0x00 0x1f));
+        (1, map Char.chr (int_range 0x20 0x7e));
+        (1, map Char.chr (int_range 0x80 0xff));
+      ]
+  in
+  let str = string_size ~gen:nasty_char (int_bound 12) in
+  let flt =
+    frequency
+      [
+        (4, float);
+        (2, map float_of_int (int_range (-1000) 1000));
+        (1, oneofl [ Float.nan; Float.infinity; Float.neg_infinity; -0.0 ]);
+      ]
+  in
+  let leaf =
+    frequency
+      [
+        (1, return Json.Null);
+        (1, map (fun b -> Json.Bool b) bool);
+        (2, map (fun i -> Json.Int i) int);
+        (2, map (fun f -> Json.Float f) flt);
+        (3, map (fun s -> Json.Str s) str);
+      ]
+  in
+  sized @@ fix (fun self n ->
+      if n <= 0 then leaf
+      else
+        frequency
+          [
+            (2, leaf);
+            ( 1,
+              map
+                (fun xs -> Json.List xs)
+                (list_size (int_bound 4) (self (n / 2))) );
+            ( 1,
+              map
+                (fun kvs -> Json.Obj kvs)
+                (list_size (int_bound 4) (pair str (self (n / 2)))) );
+          ])
+
+let json_roundtrip_prop =
+  QCheck.Test.make ~name:"Json.of_string ∘ to_string = normalize" ~count:500
+    (QCheck.make json_gen ~print:Json.to_string)
+    (fun j ->
+      match Json.of_string (Json.to_string j) with
+      | Ok j' -> j' = json_normalize j
+      | Error e -> QCheck.Test.fail_reportf "parse failed: %s" e)
+
 (* --- determinism oracle ----------------------------------------------------
 
    The full runtime (scheduler + network + distributed GC) under a fixed
@@ -455,6 +534,7 @@ let () =
             test_metrics_json_parses;
           Alcotest.test_case "Json.of_string roundtrip" `Quick
             test_json_of_string_roundtrip;
+          QCheck_alcotest.to_alcotest json_roundtrip_prop;
         ] );
       ( "determinism",
         [

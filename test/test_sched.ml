@@ -133,6 +133,47 @@ let test_random_policy_deterministic () =
   if String.equal (run_once 1L) (run_once 2L) && String.equal (run_once 2L) (run_once 3L)
   then Alcotest.fail "random policy looks constant"
 
+(* Replay parity: [Random] draws are a pure function of
+   (seed, choice-point index) — never of how the ready queue happens to
+   be split internally — so two same-seed executions mixing timers,
+   sleeps and nested spawns interleave identically, event for event. *)
+let test_random_replay_parity () =
+  let run_once seed =
+    let s = Sched.create ~policy:(Sched.Random seed) () in
+    let log = ref [] in
+    let ev fmt = Printf.ksprintf (fun e -> log := e :: !log) fmt in
+    for i = 0 to 3 do
+      Sched.spawn s
+        ~name:(Printf.sprintf "f%d" i)
+        (fun () ->
+          ev "a%d" i;
+          Sched.sleep s (0.001 *. float_of_int (1 + (i mod 2)));
+          ev "b%d" i;
+          Sched.yield s;
+          ev "c%d" i)
+    done;
+    Sched.spawn s ~name:"nest" (fun () ->
+        Sched.sleep s 0.001;
+        for j = 0 to 2 do
+          Sched.spawn s
+            ~name:(Printf.sprintf "n%d" j)
+            (fun () ->
+              ev "n%d" j;
+              Sched.yield s;
+              ev "m%d" j)
+        done);
+    ignore (Sched.run s);
+    List.rev !log
+  in
+  List.iter
+    (fun seed ->
+      Alcotest.(check (list string))
+        (Printf.sprintf "seed %Ld replays" seed)
+        (run_once seed) (run_once seed))
+    [ 1L; 3L; 11L; 42L ];
+  if List.for_all (fun s -> run_once s = run_once 1L) [ 2L; 3L; 4L ] then
+    Alcotest.fail "random policy ignores the seed"
+
 let test_nested_spawn () =
   let s = Sched.create () in
   let count = ref 0 in
@@ -194,6 +235,8 @@ let () =
           Alcotest.test_case "stall detection" `Quick test_stall_detection;
           Alcotest.test_case "random policy" `Quick
             test_random_policy_deterministic;
+          Alcotest.test_case "random replay parity" `Quick
+            test_random_replay_parity;
         ] );
       ( "time",
         [

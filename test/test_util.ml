@@ -95,6 +95,22 @@ let test_rng_deterministic () =
     Alcotest.(check int64) "same stream" (Rng.next_int64 a) (Rng.next_int64 b)
   done
 
+(* [nth]/[int_nth] index the stream purely by (seed, i): they agree with
+   the sequential generator and are insensitive to call order — the
+   property [Sched.Random] replay determinism rests on. *)
+let test_rng_nth_pure () =
+  let g = Rng.create 42L in
+  for i = 0 to 49 do
+    Alcotest.(check int64)
+      "nth matches the sequential stream" (Rng.next_int64 g) (Rng.nth 42L i)
+  done;
+  let forward = List.init 20 (fun i -> Rng.int_nth 7L i 13) in
+  let backward = List.rev (List.init 20 (fun i -> Rng.int_nth 7L (19 - i) 13)) in
+  Alcotest.(check (list int)) "call order irrelevant" forward backward;
+  List.iter
+    (fun v -> Alcotest.(check bool) "in range" true (0 <= v && v < 13))
+    forward
+
 let test_rng_split_independent () =
   let a = Rng.create 7L in
   let b = Rng.split a in
@@ -151,6 +167,7 @@ let () =
       ( "rng",
         [
           Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "nth pure indexing" `Quick test_rng_nth_pure;
           Alcotest.test_case "split independent" `Quick
             test_rng_split_independent;
           Alcotest.test_case "ranges" `Quick test_rng_ranges;

@@ -53,7 +53,7 @@ let () =
      [--ignore NAMES]"
   in
   let threshold = ref 20.0 in
-  let ignored = ref [ "chaos" ] in
+  let ignored = ref [ "chaos"; "mc" ] in
   let files = ref [] in
   let rec parse = function
     | [] -> ()
