@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-json bench-compare chaos-smoke mc-smoke examples check clean doc
+.PHONY: all build test bench bench-json bench-compare chaos-smoke mc-smoke recover-smoke verify examples check clean doc
 
 all: build
 
@@ -29,12 +29,30 @@ chaos-smoke:
 	dune exec bin/netobj_sim.exe -- chaos --seed 7
 
 # Quick model-checking pass: exhaust the two-space transfer scenario
-# within default bounds (must be clean), then re-find the historical
-# lookup agent-root leak with the bug flag re-enabled (must be found).
+# within default bounds (must be clean), re-find the historical lookup
+# agent-root leak with the bug flag re-enabled (must be found), and
+# explore the fsync-vs-crash recovery schedules (must be clean).
 # test/cram/mc.t runs the same scenarios under dune runtest.
 mc-smoke:
 	dune exec bin/netobj_sim.exe -- mc --scenario dgc2
 	! dune exec bin/netobj_sim.exe -- mc --scenario lookup --leak
+	dune exec bin/netobj_sim.exe -- mc --scenario recover --max-schedules 300
+
+# Durable-space smoke: the scripted crash/recovery narrative (WAL
+# replay, reassert reconciliation, post-recovery drain) under the two
+# interesting disk faults, plus one seeded chaos run with crash+recover
+# and armed disk faults in the schedule so the survival oracle fires.
+# test/cram/recover.t runs the same scenarios under dune runtest.
+recover-smoke:
+	dune exec bin/netobj_sim.exe -- recover --disk-fault lost-suffix
+	dune exec bin/netobj_sim.exe -- recover --disk-fault torn-tail
+	dune exec bin/netobj_sim.exe -- chaos --seed 3 --crashes 1 \
+	  --crash-recovers 2 --disk-faults 2 --partitions 2 \
+	  --loss-bursts 2 --dup-bursts 1 --spikes 1
+
+# The full local gate: build everything, run the test suite (unit,
+# property, cram), then the three smoke targets.
+verify: build test chaos-smoke mc-smoke recover-smoke
 
 examples:
 	dune exec examples/quickstart.exe

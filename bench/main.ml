@@ -24,6 +24,8 @@
      E18 chaos       seeded chaos runs: survival, drain time, retry traffic
      E19 mc          systematic schedule exploration: states, pruning,
                      schedules-to-first-bug on the lookup-leak scenario
+     E20 recover     durable spaces: WAL logging overhead, recovery replay
+                     cost vs live-state size
 
    Run all:       dune exec bench/main.exe
    Run a subset:  dune exec bench/main.exe -- race family fifo *)
@@ -1134,6 +1136,101 @@ let e19_mc () =
   line "dgc3 exhaustive (500 cap)"
     (Mc.explore ~bounds:budget (Mc.scenario_dgc3 ()))
 
+(* ------------------------------------------------------------------ E20 *)
+
+module Mx = Netobj_obs.Metrics
+
+(* Durable spaces (lib/store + the runtime WAL): what commit-before-
+   externalize costs while running, and how recovery scales with the
+   amount of live state replayed.  Part one runs the same seeded
+   workload with durability off and on — logging is local, so the wire
+   traffic and GC behaviour are unchanged; the price is WAL bytes and
+   group-commit fsyncs.  Part two grows the owner's heap before a
+   crash: log bytes and records replayed grow linearly with live
+   objects, every object must be resident again after replay.  The
+   wall-clock column is machine-dependent, so bench_compare skips
+   [recover] by default. *)
+let e20_recover () =
+  section "E20: durable spaces — WAL overhead and recovery replay";
+  (* the store's counters are gated on the observability switch *)
+  let obs_was_on = Netobj_obs.Obs.on () in
+  if not obs_was_on then Netobj_obs.Obs.enable ();
+  let mxc name = Mx.counter_value (Mx.counter Mx.global name) in
+  let run_workload ~durable =
+    let f0 = mxc "store.fsyncs" in
+    let cfg =
+      R.config ~seed:11L ~nspaces:4 ~durable ~fsync_delay:0.004
+        ~snapshot_period:60.0 ()
+    in
+    let rt = R.create cfg in
+    let owner = R.space rt 0 in
+    let objs = List.init 16 (fun i -> (i, counter_obj owner)) in
+    List.iter (fun (i, o) -> R.publish owner (Printf.sprintf "o%d" i) o) objs;
+    for cl = 1 to 3 do
+      R.spawn rt (fun () ->
+          let sp = R.space rt cl in
+          List.iter
+            (fun (i, _) ->
+              let h = R.lookup sp ~at:0 (Printf.sprintf "o%d" i) in
+              ignore (Stub.call sp h m_incr 1);
+              R.release sp h)
+            objs)
+    done;
+    ignore (R.run ~until:3.0 rt);
+    R.collect_all rt;
+    ignore (R.run ~until:6.0 rt);
+    ( Net.stats (R.net rt),
+      R.gc_stats (R.space rt 1),
+      R.log_size owner,
+      mxc "store.fsyncs" - f0 )
+  in
+  let off_st, off_gc, _, _ = run_workload ~durable:false in
+  let on_st, on_gc, wal_bytes, fsyncs = run_workload ~durable:true in
+  row "%-12s %10s %10s %10s %10s@." "durability" "msgs" "bytes" "wal-bytes"
+    "fsyncs";
+  row "%-12s %10d %10d %10d %10d@." "off" off_st.Net.sent off_st.Net.bytes 0 0;
+  row "%-12s %10d %10d %10d %10d@." "on" on_st.Net.sent on_st.Net.bytes
+    wal_bytes fsyncs;
+  row "wire parity (logging is local): %b; gc parity: %b@."
+    (off_st.Net.sent = on_st.Net.sent && off_st.Net.bytes = on_st.Net.bytes)
+    (off_gc.R.dirty_calls = on_gc.R.dirty_calls
+    && off_gc.R.clean_calls = on_gc.R.clean_calls);
+  row "@.%-10s %12s %12s %14s %12s@." "objects" "log-bytes" "replayed"
+    "recover-us" "us/record";
+  List.iter
+    (fun k ->
+      let r0 = mxc "store.records_replayed" in
+      let cfg =
+        R.config ~seed:5L ~nspaces:2 ~durable:true ~fsync_delay:0.004
+          ~snapshot_period:120.0 ~recover_grace:0.1 ()
+      in
+      let rt = R.create cfg in
+      let owner = R.space rt 0 in
+      let meths () = [ Stub.implement m_incr (fun _ n -> n) ] in
+      R.register_factory rt "bench" meths;
+      let objs =
+        List.init k (fun i ->
+            let o = R.allocate ~tag:"bench" owner ~meths:(meths ()) in
+            R.publish owner (Printf.sprintf "o%d" i) o;
+            o)
+      in
+      ignore (R.run ~until:1.0 rt);
+      let log_bytes = R.log_size owner in
+      R.crash rt 0;
+      let t0 = Sys.time () in
+      R.recover rt 0;
+      let dt = Sys.time () -. t0 in
+      let replayed = mxc "store.records_replayed" - r0 in
+      let alive =
+        List.for_all (fun o -> R.resident owner (R.wirerep o)) objs
+      in
+      row "%-10d %12d %12d %14.0f %12.2f   all-resident=%b@." k log_bytes
+        replayed (dt *. 1e6)
+        (dt *. 1e6 /. float_of_int (max 1 replayed))
+        alive)
+    [ 16; 64; 256; 1024 ];
+  if not obs_was_on then Netobj_obs.Obs.disable ()
+
 (* ------------------------------------------------------------------ main *)
 
 let experiments =
@@ -1157,6 +1254,7 @@ let experiments =
     ("coalesce", e17_coalesce);
     ("chaos", e18_chaos);
     ("mc", e19_mc);
+    ("recover", e20_recover);
   ]
 
 (* --json PATH: machine-readable results.  Each experiment runs with the

@@ -284,8 +284,9 @@ let trace_cmd =
 
 module Chaos = Netobj_chaos.Chaos
 
-let chaos seed spaces duration objects events partitions crashes loss_bursts
-    dup_bursts spikes drain_limit backoff trace_out metrics_out =
+let chaos seed spaces duration objects events partitions crashes crash_recovers
+    disk_faults loss_bursts dup_bursts spikes drain_limit backoff trace_out
+    metrics_out =
   with_obs ~trace_out ~metrics_out @@ fun () ->
   let cfg =
     {
@@ -295,7 +296,16 @@ let chaos seed spaces duration objects events partitions crashes loss_bursts
       duration;
       objects;
       events;
-      mix = { partitions; crashes; loss_bursts; dup_bursts; spikes };
+      mix =
+        {
+          partitions;
+          crashes;
+          crash_recovers;
+          disk_faults;
+          loss_bursts;
+          dup_bursts;
+          spikes;
+        };
       drain_limit;
       backoff;
     }
@@ -352,10 +362,154 @@ let chaos_cmd =
       $ events_arg
       $ mix_arg "partitions" 3 "Partitions (healed) in the schedule."
       $ mix_arg "crashes" 2 "Crash+restart faults in the schedule."
+      $ mix_arg "crash-recovers" 0
+          "Crash+recover faults in the schedule (makes spaces durable)."
+      $ mix_arg "disk-faults" 0
+          "Armed disk faults in the schedule (makes spaces durable)."
       $ mix_arg "loss-bursts" 3 "Packet-loss bursts in the schedule."
       $ mix_arg "dup-bursts" 2 "Duplication bursts in the schedule."
       $ mix_arg "spikes" 2 "Latency spikes in the schedule."
       $ drain_limit_arg $ backoff_arg $ trace_out_arg $ metrics_out_arg)
+
+(* --- recover ------------------------------------------------------------------- *)
+
+module R = Netobj_core.Runtime
+module Store = Netobj_store.Store
+module Pk = Netobj_pickle.Pickle
+
+(* A deterministic crash -> recover -> reconcile -> collect narrative on
+   a durable two-space runtime.  The client acquires a reference, the
+   owner crashes with a disk fault armed, recovers from its store, the
+   client's reassert re-establishes the dirty set, the held reference is
+   invoked again (the survival property), and after release the system
+   must drain back to ground truth. *)
+let recover_run seed fault_name trace_out metrics_out =
+  with_obs ~trace_out ~metrics_out @@ fun () ->
+  let fault =
+    match fault_name with
+    | "none" -> None
+    | "torn-tail" -> Some Store.Torn_tail
+    | "lost-suffix" -> Some Store.Lost_suffix
+    | f ->
+        Fmt.epr "unknown disk fault %s (have: none, torn-tail, lost-suffix)@." f;
+        exit 2
+  in
+  let cfg =
+    R.config ~seed:(Int64.of_int seed) ~nspaces:2
+      ~edge:(Netobj_net.Net.bag_edge ~lo:0.005 ~hi:0.005 ())
+      ~durable:true ~fsync_delay:0.004 ~snapshot_period:30.0
+      ~recover_grace:0.2 ~gc_period:0.1 ~clean_retry:0.05 ~dirty_retry:0.05 ()
+  in
+  let rt = R.create cfg in
+  let counter_meths () =
+    let v = ref 0 in
+    [
+      R.meth "poke" (fun _sp _r () w ->
+          incr v;
+          Pk.write Pk.int w !v);
+    ]
+  in
+  R.register_factory rt "counter" counter_meths;
+  let sp0 = R.space rt 0 and sp1 = R.space rt 1 in
+  let obj = R.allocate ~tag:"counter" sp0 ~meths:(counter_meths ()) in
+  R.publish sp0 "counter" obj;
+  let owr = R.wirerep obj in
+  let held = ref None in
+  let failed = ref false in
+  let fail fmt =
+    Fmt.kpf (fun _ -> failed := true) Fmt.stdout ("FAIL: " ^^ fmt ^^ "@.")
+  in
+  let poke tag =
+    match !held with
+    | None -> fail "%s: no held reference" tag
+    | Some h -> (
+        match
+          R.invoke_raw sp1 h ~meth:"poke"
+            ~encode:(fun _ -> ())
+            ~decode:(fun r -> Pk.read Pk.int r)
+        with
+        | n -> Fmt.pr "client: poke -> %d@." n
+        | exception R.Remote_error msg -> fail "%s: remote error: %s" tag msg
+        | exception R.Timeout _ -> fail "%s: timeout" tag)
+  in
+  Fmt.pr "durable run: 2 spaces, disk fault = %s@." fault_name;
+  R.spawn rt ~name:"client-acquire" (fun () ->
+      match R.lookup sp1 ~at:0 "counter" with
+      | h ->
+          Fmt.pr "client: looked up \"counter\" at space 0@.";
+          held := Some h;
+          poke "pre-crash";
+          poke "pre-crash"
+      | exception (R.Timeout _ | R.Remote_error _) ->
+          fail "acquire: lookup failed");
+  ignore (R.run ~until:1.0 rt);
+  (match fault with
+  | Some f ->
+      R.set_disk_fault rt 0 (Some f);
+      Fmt.pr "armed disk fault on space 0@."
+  | None -> ());
+  R.crash rt 0;
+  Fmt.pr "crashed space 0 (epoch was %d, log %db)@." (R.epoch sp0)
+    (R.log_size sp0);
+  ignore (R.run ~until:1.5 rt);
+  R.recover rt 0;
+  Fmt.pr "recovered space 0: epoch %d, cont %d, resident=%b@." (R.epoch sp0)
+    (R.cont sp0) (R.resident sp0 owr);
+  if not (R.resident sp0 owr) then fail "held object lost across recovery";
+  (* let the reassert handshake and the grace window run out *)
+  ignore (R.run ~until:3.0 rt);
+  Fmt.pr "reconciled: unconfirmed=%d@." (R.unconfirmed_count sp0);
+  R.spawn rt ~name:"client-after" (fun () ->
+      poke "post-recover";
+      (match !held with
+      | Some h ->
+          R.release sp1 h;
+          held := None
+      | None -> ());
+      Fmt.pr "client: released@.");
+  ignore (R.run ~until:5.0 rt);
+  (* drop the owner's own handle root and the published binding so the
+     object can drain once the client's clean lands *)
+  R.release sp0 obj;
+  R.unpublish sp0 "counter";
+  let rounds = ref 8 in
+  let surrogates () =
+    List.fold_left (fun acc sp -> acc + R.surrogate_count sp) 0 (R.spaces rt)
+  in
+  while (surrogates () > 0 || R.resident sp0 owr) && !rounds > 0 do
+    decr rounds;
+    R.collect_all rt;
+    ignore (R.run ~until:(Netobj_sched.Sched.now (R.sched rt) +. 2.0) rt)
+  done;
+  if surrogates () > 0 then fail "%d surrogates failed to drain" (surrogates ());
+  (match R.check_consistency rt with
+  | [] -> ()
+  | ps -> List.iter (fun p -> fail "consistency: %s" p) ps);
+  if R.resident sp0 owr then fail "released object not reclaimed";
+  Fmt.pr "drained: surrogates=0, object reclaimed, consistency ok@.";
+  Fmt.pr "result: %s@." (if !failed then "FAILED" else "SURVIVED");
+  if !failed then 1 else 0
+
+let disk_fault_arg =
+  Arg.(
+    value & opt string "lost-suffix"
+    & info [ "disk-fault" ] ~docv:"KIND"
+        ~doc:
+          "Disk fault armed before the crash: $(b,none), $(b,torn-tail) or \
+           $(b,lost-suffix).")
+
+let recover_cmd =
+  Cmd.v
+    (Cmd.info "recover"
+       ~doc:
+         "Run a deterministic crash/recovery narrative on a durable \
+          two-space runtime: acquire, crash the owner under a disk fault, \
+          recover from the write-ahead log, reconcile, invoke the held \
+          reference again, release, and drain.  Exits 0 iff every step \
+          held.")
+    Term.(
+      const recover_run $ seed_arg $ disk_fault_arg $ trace_out_arg
+      $ metrics_out_arg)
 
 (* --- mc ----------------------------------------------------------------------- *)
 
@@ -466,7 +620,7 @@ let scenario_arg =
   Arg.(
     value & opt string "dgc2"
     & info [ "scenario" ] ~docv:"NAME"
-        ~doc:"Scenario: dgc2, dgc3, lookup.")
+        ~doc:"Scenario: dgc2, dgc3, lookup, recover.")
 
 let mode_arg =
   Arg.(
@@ -542,4 +696,13 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ check_cmd; walk_cmd; run_cmd; fifo_cmd; trace_cmd; chaos_cmd; mc_cmd ]))
+          [
+            check_cmd;
+            walk_cmd;
+            run_cmd;
+            fifo_cmd;
+            trace_cmd;
+            chaos_cmd;
+            recover_cmd;
+            mc_cmd;
+          ]))

@@ -1,4 +1,5 @@
 module R = Netobj_core.Runtime
+module Store = Netobj_store.Store
 module Stub = Netobj_core.Stub
 module Wirerep = Netobj_core.Wirerep
 module Net = Netobj_net.Net
@@ -15,17 +16,28 @@ module Trace = Netobj_obs.Trace
 type fault =
   | Partition of { a : int; b : int; duration : float }
   | Crash of { victim : int; downtime : float }
+  | Crash_recover of { victim : int; downtime : float }
+  | Disk_fault of { victim : int; fault : Store.fault }
   | Loss_burst of { src : int; dst : int; loss : float; duration : float }
   | Dup_burst of { src : int; dst : int; dup : float; duration : float }
   | Latency_spike of { src : int; dst : int; factor : float; duration : float }
 
 type event = { at : float; fault : fault }
 
+let pp_disk_fault ppf = function
+  | Store.Torn_tail -> Fmt.pf ppf "torn_tail"
+  | Store.Lost_suffix -> Fmt.pf ppf "lost_suffix"
+  | Store.Slow_fsync d -> Fmt.pf ppf "slow_fsync %.2fs" d
+
 let pp_fault ppf = function
   | Partition { a; b; duration } ->
       Fmt.pf ppf "partition %d-%d for %.2fs" a b duration
   | Crash { victim; downtime } ->
       Fmt.pf ppf "crash %d for %.2fs" victim downtime
+  | Crash_recover { victim; downtime } ->
+      Fmt.pf ppf "crash+recover %d for %.2fs" victim downtime
+  | Disk_fault { victim; fault } ->
+      Fmt.pf ppf "disk fault %a at %d" pp_disk_fault fault victim
   | Loss_burst { src; dst; loss; duration } ->
       Fmt.pf ppf "loss %d->%d p=%.2f for %.2fs" src dst loss duration
   | Dup_burst { src; dst; dup; duration } ->
@@ -56,6 +68,24 @@ let fault_to_json = function
           ("victim", Json.Int victim);
           ("downtime", Json.Float downtime);
         ]
+  | Crash_recover { victim; downtime } ->
+      Json.Obj
+        [
+          ("kind", Json.Str "crash_recover");
+          ("victim", Json.Int victim);
+          ("downtime", Json.Float downtime);
+        ]
+  | Disk_fault { victim; fault } ->
+      let fault_fields =
+        match fault with
+        | Store.Torn_tail -> [ ("fault", Json.Str "torn_tail") ]
+        | Store.Lost_suffix -> [ ("fault", Json.Str "lost_suffix") ]
+        | Store.Slow_fsync d ->
+            [ ("fault", Json.Str "slow_fsync"); ("delay", Json.Float d) ]
+      in
+      Json.Obj
+        (("kind", Json.Str "disk_fault") :: ("victim", Json.Int victim)
+        :: fault_fields)
   | Loss_burst { src; dst; loss; duration } ->
       Json.Obj
         [
@@ -108,6 +138,22 @@ let events_of_json j =
         let* victim = int "victim" o in
         let* downtime = num "downtime" o in
         Ok (Crash { victim; downtime })
+    | Some (Json.Str "crash_recover") ->
+        let* victim = int "victim" o in
+        let* downtime = num "downtime" o in
+        Ok (Crash_recover { victim; downtime })
+    | Some (Json.Str "disk_fault") ->
+        let* victim = int "victim" o in
+        let* fault =
+          match Json.member "fault" o with
+          | Some (Json.Str "torn_tail") -> Ok Store.Torn_tail
+          | Some (Json.Str "lost_suffix") -> Ok Store.Lost_suffix
+          | Some (Json.Str "slow_fsync") ->
+              let* d = num "delay" o in
+              Ok (Store.Slow_fsync d)
+          | _ -> Error "unknown disk fault"
+        in
+        Ok (Disk_fault { victim; fault })
     | Some (Json.Str "loss_burst") ->
         let* src = int "src" o in
         let* dst = int "dst" o in
@@ -144,13 +190,37 @@ let events_of_json j =
 type mix = {
   partitions : int;
   crashes : int;
+  crash_recovers : int;
+  disk_faults : int;
   loss_bursts : int;
   dup_bursts : int;
   spikes : int;
 }
 
 let default_mix =
-  { partitions = 3; crashes = 2; loss_bursts = 3; dup_bursts = 2; spikes = 2 }
+  {
+    partitions = 3;
+    crashes = 2;
+    crash_recovers = 0;
+    disk_faults = 0;
+    loss_bursts = 3;
+    dup_bursts = 2;
+    spikes = 2;
+  }
+
+(* The default mix with recovery faults in: crash+recover replaces one
+   amnesia crash, plus armed disk faults (consumed by whichever crash
+   comes next). *)
+let recovery_mix =
+  {
+    partitions = 2;
+    crashes = 1;
+    crash_recovers = 2;
+    disk_faults = 2;
+    loss_bursts = 2;
+    dup_bursts = 1;
+    spikes = 1;
+  }
 
 (* The runtime configuration the harness hardens against faults.  The
    oracle depends on these numbers: a registered-but-live client may be
@@ -159,12 +229,14 @@ let default_mix =
    legitimately evict it, so the schedule generator keeps each pair's
    fault windows shorter than that and separated by a cooldown. *)
 let runtime_config ?(backoff = 2.0) ?(backoff_cap = 2.0)
-    ?(backoff_jitter = 0.2) ~seed ~spaces () =
+    ?(backoff_jitter = 0.2) ?(durable = false) ~seed ~spaces () =
   R.config ~seed
     ~edge:(Net.bag_edge ~lo:0.01 ~hi:0.05 ())
     ~gc_period:0.4 ~ping_period:0.5 ~lease_misses:3 ~lease_grace:2.0
     ~call_timeout:3.0 ~dirty_timeout:3.0 ~clean_retry:0.3 ~dirty_retry:0.3
-    ~backoff ~backoff_cap ~backoff_jitter ~pin_timeout:12.0 ~nspaces:spaces ()
+    ~backoff ~backoff_cap ~backoff_jitter ~pin_timeout:12.0 ~durable
+    ~fsync_delay:0.02 ~snapshot_period:5.0 ~recover_grace:2.0
+    ~nspaces:spaces ()
 
 let max_fault_duration = 2.5
 
@@ -180,6 +252,10 @@ let random_schedule ~seed ~spaces ~duration mix =
         List.init mix.loss_bursts (fun _ -> `L);
         List.init mix.dup_bursts (fun _ -> `D);
         List.init mix.spikes (fun _ -> `S);
+        (* New kinds append after the legacy ones so that mixes without
+           them draw the same shuffled bag as before. *)
+        List.init mix.crash_recovers (fun _ -> `R);
+        List.init mix.disk_faults (fun _ -> `F);
       ]
   in
   let bag = Array.of_list bag in
@@ -244,6 +320,41 @@ let random_schedule ~seed ~spaces ~duration mix =
               List.iter (fun u -> if u <> v then claim_pair at u v d)
                 (List.init spaces Fun.id);
               events := { at; fault = Crash { victim = v; downtime = d } } :: !events)
+      | `R -> (
+          (* Same reachability accounting as an amnesia crash: the victim
+             is unreachable from everyone for the downtime window. *)
+          let candidates =
+            List.filter
+              (fun v ->
+                Option.value ~default:neg_infinity
+                  (Hashtbl.find_opt space_busy v)
+                <= at
+                && List.for_all
+                     (fun u -> u = v || pair_free at u v)
+                     (List.init spaces Fun.id))
+              (List.init spaces Fun.id)
+          in
+          match candidates with
+          | [] -> ()
+          | vs ->
+              let v = Rng.pick rng vs in
+              Hashtbl.replace space_busy v (at +. d +. pair_cooldown);
+              List.iter (fun u -> if u <> v then claim_pair at u v d)
+                (List.init spaces Fun.id);
+              events :=
+                { at; fault = Crash_recover { victim = v; downtime = d } }
+                :: !events)
+      | `F ->
+          (* Arming a disk fault threatens nobody's reachability; it only
+             shapes what the next crash of the victim loses. *)
+          let victim = Rng.int rng spaces in
+          let fault =
+            match Rng.int rng 3 with
+            | 0 -> Store.Lost_suffix
+            | 1 -> Store.Torn_tail
+            | _ -> Store.Slow_fsync (0.02 +. (Rng.float rng *. 0.08))
+          in
+          events := { at; fault = Disk_fault { victim; fault } } :: !events
       | `L -> (
           match free_pairs with
           | [] -> ()
@@ -402,30 +513,47 @@ let counter_meths () =
    call lands and its copy_ack releases the pin.  This is the narrowest
    transfer window the protocol protects, run deliberately under fault
    injection. *)
-let factory sp =
-  R.allocate sp
-    ~meths:
-      [
-        Stub.implement m_make (fun sp () ->
-            let h = R.allocate sp ~meths:(counter_meths ()) in
-            R.release sp h;
-            h);
-      ]
+let factory_meths () =
+  [
+    Stub.implement m_make (fun sp () ->
+        let h = R.allocate ~tag:"counter" sp ~meths:(counter_meths ()) in
+        R.release sp h;
+        h);
+  ]
 
 let counter_name s i = Printf.sprintf "c%d.%d" s i
 
 let factory_name s = Printf.sprintf "f%d" s
 
+(* Allocations are tagged with their method-suite factory so a durable
+   recovery can re-attach behaviour to the recovered table entries; the
+   counters' payload (the int) restarts at zero, which the harness never
+   observes. *)
 let setup ctx =
+  R.register_factory ctx.rt "counter" counter_meths;
+  R.register_factory ctx.rt "chaos-factory" factory_meths;
   for s = 0 to ctx.cfg.spaces - 1 do
     let sp = R.space ctx.rt s in
     for i = 0 to ctx.cfg.objects - 1 do
-      R.publish sp (counter_name s i) (R.allocate sp ~meths:(counter_meths ()))
+      R.publish sp (counter_name s i)
+        (R.allocate ~tag:"counter" sp ~meths:(counter_meths ()))
     done;
-    R.publish sp (factory_name s) (factory sp)
+    R.publish sp (factory_name s)
+      (R.allocate ~tag:"chaos-factory" sp ~meths:(factory_meths ()))
   done
 
 (* --- nemesis ----------------------------------------------------------------- *)
+
+(* A recorded holder (client space, epoch-at-acquisition) still counts
+   if the client is up and its continuity floor reaches back to that
+   epoch: an amnesia restart raises the floor past it (the heap died),
+   but a durable recovery keeps the floor, so recovered roots remain
+   binding ground truth. *)
+let live_holders ctx o =
+  List.filter
+    (fun (c, e) ->
+      (not (Net.is_crashed ctx.net c)) && R.cont (R.space ctx.rt c) <= e)
+    o.o_holders
 
 let apply_fault ctx ev =
   let sched = ctx.sched in
@@ -455,6 +583,46 @@ let apply_fault ctx ev =
               R.restart ctx.rt victim;
               bump ctx "restarts"
             end)
+      end
+  | Crash_recover { victim; downtime } ->
+      if
+        (not (Net.is_crashed ctx.net victim))
+        && R.durable (R.space ctx.rt victim)
+      then begin
+        R.crash ctx.rt victim;
+        bump ctx "crash_recovers";
+        Sched.spawn sched ~name:(Printf.sprintf "recover-%d" victim) (fun () ->
+            Sched.sleep sched downtime;
+            if Net.is_crashed ctx.net victim then begin
+              R.recover ctx.rt victim;
+              bump ctx "recoveries";
+              (* Survival oracle: everything reachable from a live root
+                 at the moment of the crash must still be resident after
+                 recovery — the owner's commit-before-externalize barrier
+                 guarantees a held reference implies a durable export. *)
+              let osp = R.space ctx.rt victim in
+              List.iter
+                (fun o ->
+                  if
+                    o.o_owner = victim && (not o.o_flagged)
+                    && R.cont osp <= o.o_mint_epoch
+                    && live_holders ctx o <> []
+                  then begin
+                    bump ctx "survival_checks";
+                    if not (R.resident osp o.o_wr) then begin
+                      o.o_flagged <- true;
+                      violate ctx
+                        "survival: %d.%d held but lost across recovery of %d"
+                        o.o_wr.Wirerep.space o.o_wr.Wirerep.index victim
+                    end
+                  end)
+                ctx.orphans
+            end)
+      end
+  | Disk_fault { victim; fault } ->
+      if R.durable (R.space ctx.rt victim) then begin
+        R.set_disk_fault ctx.rt victim (Some fault);
+        bump ctx "disk_faults"
       end
   | Loss_burst { src; dst; loss; duration } ->
       Net.set_burst ctx.net ~src ~dst ~loss
@@ -487,16 +655,17 @@ type item = {
   ih : R.handle;
   iowner : int;
   imint : int;  (* owner epoch when acquired *)
+  ihold : int;  (* our own epoch when acquired *)
   irec : orphan_rec option;
 }
 
-let remove_holder it s epoch =
+let remove_holder it s =
   match it.irec with
   | None -> ()
   | Some o ->
       let rec rm = function
         | [] -> []
-        | (c, e) :: rest when c = s && e = epoch -> rest
+        | (c, e) :: rest when c = s && e = it.ihold -> rest
         | h :: rest -> h :: rm rest
       in
       o.o_holders <- rm o.o_holders
@@ -507,7 +676,7 @@ let remove_holder it s epoch =
    the owner are up and in the same epochs as when the reference was
    acquired, the object cannot have disappeared — that is the safety
    property under test. *)
-let classify_error ctx s my_epoch it msg =
+let classify_error ctx s it msg =
   ctx.ops_error <- ctx.ops_error + 1;
   bump ctx "ops_error";
   match it with
@@ -517,9 +686,9 @@ let classify_error ctx s my_epoch it msg =
       let osp = R.space ctx.rt it.iowner in
       if
         (not (Net.is_crashed ctx.net s))
-        && R.epoch sp = my_epoch
+        && R.cont sp <= it.ihold
         && (not (Net.is_crashed ctx.net it.iowner))
-        && R.epoch osp = it.imint
+        && R.cont osp <= it.imint
       then
         let wr = R.wirerep it.ih in
         violate ctx
@@ -537,10 +706,15 @@ let mutator ctx s ops () =
   let sync_epoch () =
     let e = R.epoch sp in
     if e <> !my_epoch then begin
-      (* Our space restarted under us: the old incarnation's handles and
-         roots died with its table.  Just forget them. *)
-      List.iter (fun it -> remove_holder it s !my_epoch) !held;
-      held := [];
+      (* Our incarnation moved under us.  An amnesia restart raised the
+         continuity floor past our epoch: the old heap died, forget the
+         handles.  A durable recovery kept the floor: the roots were
+         recovered with the image, so keep holding (and eventually
+         releasing) them. *)
+      if R.cont sp > !my_epoch then begin
+        List.iter (fun it -> remove_holder it s) !held;
+        held := []
+      end;
       my_epoch := e
     end
   in
@@ -553,7 +727,7 @@ let mutator ctx s ops () =
     bump ctx "ops_timeout"
   in
   let release_item it =
-    remove_holder it s !my_epoch;
+    remove_holder it s;
     R.release sp it.ih
   in
   let other_space () =
@@ -603,12 +777,14 @@ let mutator ctx s ops () =
               else None
             in
             held :=
-              { ih = h; iowner = t; imint = epoch_before; irec } :: !held;
+              { ih = h; iowner = t; imint = epoch_before; ihold = !my_epoch;
+                irec }
+              :: !held;
             ok ()
           end
           else (try R.release sp h with _ -> ())
       | exception R.Timeout _ -> timeout ()
-      | exception R.Remote_error msg -> classify_error ctx s !my_epoch None msg
+      | exception R.Remote_error msg -> classify_error ctx s None msg
     end
   in
   let poke () =
@@ -620,7 +796,7 @@ let mutator ctx s ops () =
         | _ -> ok ()
         | exception R.Timeout _ -> timeout ()
         | exception R.Remote_error msg ->
-            classify_error ctx s !my_epoch (Some it) msg;
+            classify_error ctx s (Some it) msg;
             (* Whatever the reason, the reference is unusable: drop it so
                the heap can converge. *)
             sync_epoch ();
@@ -665,16 +841,11 @@ let mutator ctx s ops () =
 
 (* --- safety checker ----------------------------------------------------------- *)
 
-let live_holders ctx o =
-  List.filter
-    (fun (c, e) ->
-      (not (Net.is_crashed ctx.net c)) && R.epoch (R.space ctx.rt c) = e)
-    o.o_holders
-
-(* The direct safety oracle: while an object's owner is up in the same
-   incarnation that minted it, and some client incarnation still holds
-   it, the owner must not have reclaimed it.  Runs continuously, not
-   just at quiescence. *)
+(* The direct safety oracle: while an object's owner carries the state
+   of the incarnation that minted it (same epoch, or a later one whose
+   continuity floor reaches back — i.e. durable recoveries only), and
+   some client incarnation still holds it, the owner must not have
+   reclaimed it.  Runs continuously, not just at quiescence. *)
 let check_residency ctx =
   List.iter
     (fun o ->
@@ -682,7 +853,7 @@ let check_residency ctx =
         let osp = R.space ctx.rt o.o_owner in
         if
           (not (Net.is_crashed ctx.net o.o_owner))
-          && R.epoch osp = o.o_mint_epoch
+          && R.cont osp <= o.o_mint_epoch
           && live_holders ctx o <> []
           && not (R.resident osp o.o_wr)
         then begin
@@ -725,7 +896,7 @@ let drain_oracle ctx =
     (fun o ->
       let osp = R.space ctx.rt o.o_owner in
       if
-        R.epoch osp = o.o_mint_epoch
+        R.cont osp <= o.o_mint_epoch
         && live_holders ctx o = []
         && R.resident osp o.o_wr
       then
@@ -738,9 +909,26 @@ let drain_oracle ctx =
 
 let run ?schedule cfg =
   if cfg.spaces < 2 then invalid_arg "Chaos.run: need at least two spaces";
+  (* Spaces are durable exactly when the run can exercise recovery —
+     either through the mix or through a scripted schedule. *)
+  let durable =
+    cfg.mix.crash_recovers > 0
+    || cfg.mix.disk_faults > 0
+    ||
+    match schedule with
+    | None -> false
+    | Some s ->
+        List.exists
+          (fun ev ->
+            match ev.fault with
+            | Crash_recover _ | Disk_fault _ -> true
+            | _ -> false)
+          s
+  in
   let rcfg =
     runtime_config ~backoff:cfg.backoff ~backoff_cap:cfg.backoff_cap
-      ~backoff_jitter:cfg.backoff_jitter ~seed:cfg.seed ~spaces:cfg.spaces ()
+      ~backoff_jitter:cfg.backoff_jitter ~durable ~seed:cfg.seed
+      ~spaces:cfg.spaces ()
   in
   let rt = R.create rcfg in
   let ctx =
@@ -788,10 +976,15 @@ let run ?schedule cfg =
      operation (bounded by the call timeout) and release what they hold. *)
   Net.heal_all ctx.net;
   for i = 0 to cfg.spaces - 1 do
-    if Net.is_crashed ctx.net i then begin
-      R.restart rt i;
-      bump ctx "restarts"
-    end
+    if Net.is_crashed ctx.net i then
+      if durable then begin
+        R.recover rt i;
+        bump ctx "recoveries"
+      end
+      else begin
+        R.restart rt i;
+        bump ctx "restarts"
+      end
   done;
   let quiesce_start = Sched.now ctx.sched in
   let mutator_deadline = quiesce_start +. 15.0 in
@@ -837,6 +1030,10 @@ let run ?schedule cfg =
         "heals";
         "crashes";
         "restarts";
+        "crash_recovers";
+        "recoveries";
+        "disk_faults";
+        "survival_checks";
         "loss_bursts";
         "dup_bursts";
         "latency_spikes";

@@ -37,8 +37,19 @@
     keeps every pair's connectivity-fault windows shorter than the lease
     ((misses + 1) × ping period + grace) and separated by a cooldown.
 
+    {e Survival} (checked after each {!fault.Crash_recover}): every
+    object whose owner crashed while some live client held a reference
+    must still be resident after the owner recovers from its durable
+    store — regardless of armed disk faults, because the runtime's
+    commit-before-externalize barrier means a reference a peer holds
+    implies a durable export record.
+
     {e Liveness} (checked at quiescence): the drain oracle above, within
-    a bounded virtual-time budget. *)
+    a bounded virtual-time budget.  Under durable mixes the holder
+    ground truth is lineage-aware: an amnesia restart invalidates a
+    holder record (the heap died), a durable recovery does not (the
+    roots were recovered with the image and are still released by the
+    mutator's teardown). *)
 
 type fault =
   | Partition of { a : int; b : int; duration : float }
@@ -46,7 +57,15 @@ type fault =
           [duration] *)
   | Crash of { victim : int; downtime : float }
       (** crash the space, {!Netobj_core.Runtime.restart} it (fresh
-          incarnation, bumped epoch) after [downtime] *)
+          incarnation with amnesia, bumped epoch) after [downtime] *)
+  | Crash_recover of { victim : int; downtime : float }
+      (** crash the space, {!Netobj_core.Runtime.recover} it from its
+          durable store after [downtime]; applied only when the space is
+          durable.  Triggers the survival oracle after the recovery. *)
+  | Disk_fault of { victim : int; fault : Netobj_store.Store.fault }
+      (** arm a disk fault on the victim's store: shapes what the next
+          crash loses (torn tail, lost unsynced suffix) or slows fsync.
+          Ignored when the space is not durable. *)
   | Loss_burst of { src : int; dst : int; loss : float; duration : float }
   | Dup_burst of { src : int; dst : int; dup : float; duration : float }
   | Latency_spike of { src : int; dst : int; factor : float; duration : float }
@@ -64,16 +83,26 @@ val events_to_json : event list -> Netobj_obs.Json.t
 
 val events_of_json : Netobj_obs.Json.t -> (event list, string) result
 
-(** How many faults of each kind a random schedule contains. *)
+(** How many faults of each kind a random schedule contains.  When
+    [crash_recovers] or [disk_faults] is nonzero (or a scripted schedule
+    contains those faults), {!run} builds the runtime with durable
+    spaces and quiesces still-crashed spaces with
+    {!Netobj_core.Runtime.recover} instead of restart. *)
 type mix = {
   partitions : int;
   crashes : int;
+  crash_recovers : int;
+  disk_faults : int;
   loss_bursts : int;
   dup_bursts : int;
   spikes : int;
 }
 
 val default_mix : mix
+
+(** The recovery-heavy mix: crash+recover events plus armed disk faults,
+    alongside the usual connectivity churn. *)
+val recovery_mix : mix
 
 (** Generate a seeded random schedule over [\[0.6, duration\]].
     Connectivity-threatening faults (partitions, loss bursts, crashes)

@@ -35,6 +35,9 @@ type envelope =
   | Clean_batch_ack of { wrs : Wirerep.t list }
   | Ping of { nonce : int }
   | Ping_ack of { nonce : int }
+  | Recover of { nonce : int }
+  | Reassert of { items : (Wirerep.t * int) list }
+  | Reassert_ack of { ok : Wirerep.t list; gone : Wirerep.t list }
 
 let codec =
   P.sum "envelope"
@@ -91,6 +94,17 @@ let codec =
       P.case 10 "clean_batch_ack" (P.list Wirerep.codec)
         (fun wrs -> Clean_batch_ack { wrs })
         (function Clean_batch_ack { wrs } -> Some wrs | _ -> None);
+      P.case 11 "recover" P.int
+        (fun nonce -> Recover { nonce })
+        (function Recover { nonce } -> Some nonce | _ -> None);
+      P.case 12 "reassert"
+        (P.list (P.pair Wirerep.codec P.int))
+        (fun items -> Reassert { items })
+        (function Reassert { items } -> Some items | _ -> None);
+      P.case 13 "reassert_ack"
+        (P.pair (P.list Wirerep.codec) (P.list Wirerep.codec))
+        (fun (ok, gone) -> Reassert_ack { ok; gone })
+        (function Reassert_ack { ok; gone } -> Some (ok, gone) | _ -> None);
     ]
 
 (* Every envelope travels wrapped in a packet stamped with the sender's
@@ -98,14 +112,21 @@ let codec =
    Receivers use the first to reject messages from a peer's previous
    incarnation and to notice restarts, and the second to reject messages
    addressed to their own previous incarnation (e.g. a dirty call that
-   was in flight across a crash+restart). *)
-type packet = { src_epoch : int; dst_epoch : int; env : envelope }
+   was in flight across a crash+restart).  [src_cont] is the sender's
+   continuity floor: the oldest epoch whose state this incarnation still
+   carries.  An amnesia restart sets it to the new epoch; a durable
+   recovery keeps the floor, which is how a receiver that sees the
+   src_epoch bump distinguishes "forget everything about this peer"
+   from "same logical space, reconcile". *)
+type packet = { src_epoch : int; src_cont : int; dst_epoch : int; env : envelope }
 
 let packet_codec =
   P.map ~name:"packet"
-    (fun (src_epoch, dst_epoch, env) -> { src_epoch; dst_epoch; env })
-    (fun { src_epoch; dst_epoch; env } -> (src_epoch, dst_epoch, env))
-    (P.triple P.int P.int codec)
+    (fun (src_epoch, src_cont, dst_epoch, env) ->
+      { src_epoch; src_cont; dst_epoch; env })
+    (fun { src_epoch; src_cont; dst_epoch; env } ->
+      (src_epoch, src_cont, dst_epoch, env))
+    (P.quad P.int P.int P.int codec)
 
 let kind = function
   | Call _ -> "call"
@@ -119,6 +140,9 @@ let kind = function
   | Clean_batch_ack _ -> "clean_batch_ack"
   | Ping _ -> "ping"
   | Ping_ack _ -> "ping_ack"
+  | Recover _ -> "recover"
+  | Reassert _ -> "reassert"
+  | Reassert_ack _ -> "reassert_ack"
 
 let pp ppf = function
   | Call { call_id; target; meth; _ } ->
@@ -137,3 +161,8 @@ let pp ppf = function
       Fmt.pf ppf "clean_batch_ack(%d)" (List.length wrs)
   | Ping { nonce } -> Fmt.pf ppf "ping %d" nonce
   | Ping_ack { nonce } -> Fmt.pf ppf "ping_ack %d" nonce
+  | Recover { nonce } -> Fmt.pf ppf "recover %d" nonce
+  | Reassert { items } -> Fmt.pf ppf "reassert(%d)" (List.length items)
+  | Reassert_ack { ok; gone } ->
+      Fmt.pf ppf "reassert_ack ok=%d gone=%d" (List.length ok)
+        (List.length gone)

@@ -53,6 +53,19 @@ type envelope =
   | Clean_batch_ack of { wrs : Wirerep.t list }
   | Ping of { nonce : int }
   | Ping_ack of { nonce : int }
+  | Recover of { nonce : int }
+      (** broadcast by a freshly recovered space so idle peers learn of
+          the new epoch without waiting for ordinary traffic; all the
+          information is in the packet header, the body is a nonce *)
+  | Reassert of { items : (Wirerep.t * int) list }
+      (** reconciliation handshake: a client re-asserts dirty, with
+          fresh idempotent sequence numbers, for every usable surrogate
+          whose owner (or the client itself) just recovered *)
+  | Reassert_ack of { ok : Wirerep.t list; gone : Wirerep.t list }
+      (** the owner's answer: [ok] survived recovery and are pinned by
+          the re-asserted dirty entries; [gone] did not (their records
+          were lost with the unsynced log tail) and the client must
+          drop the surrogates *)
 
 val codec : envelope Netobj_pickle.Pickle.t
 
@@ -63,8 +76,21 @@ val codec : envelope Netobj_pickle.Pickle.t
     receiver drops packets whose [src_epoch] is older than the epoch it
     has already seen from that peer (a stale incarnation talking) and
     packets whose [dst_epoch] is older than its own (mail addressed to
-    its previous incarnation). *)
-type packet = { src_epoch : int; dst_epoch : int; env : envelope }
+    its previous incarnation).
+
+    [src_cont] is the sender's continuity floor — the oldest epoch whose
+    state this incarnation still carries.  An amnesia restart raises it
+    to the new epoch (the classic PR-3 behaviour: peers forget
+    everything about the previous incarnation); a durable recovery
+    ([Runtime.recover]) bumps [src_epoch] for packet freshness but keeps
+    the floor, telling peers "same logical space, reconcile instead of
+    forget". *)
+type packet = {
+  src_epoch : int;
+  src_cont : int;
+  dst_epoch : int;
+  env : envelope;
+}
 
 val packet_codec : packet Netobj_pickle.Pickle.t
 

@@ -6,6 +6,7 @@ module Rng = Netobj_util.Rng
 module Obs = Netobj_obs.Obs
 module Trace = Netobj_obs.Trace
 module Metrics = Netobj_obs.Metrics
+module Store = Netobj_store.Store
 
 (* Pre-registered instruments: the hot-path cost when enabled is a field
    mutation, and when disabled a single branch. *)
@@ -40,6 +41,12 @@ let m_restart = Metrics.counter Metrics.global "runtime.restarts"
 let h_gc_pause = Metrics.histogram Metrics.global "runtime.gc_pause_us"
 
 let h_gc_reclaimed = Metrics.histogram Metrics.global "runtime.gc_reclaimed"
+
+let m_recover = Metrics.counter Metrics.global "runtime.recoveries"
+
+let m_reassert = Metrics.counter Metrics.global "runtime.reasserts"
+
+let h_recover_us = Metrics.histogram Metrics.global "runtime.recover_us"
 
 (* Track the global dirty-entry population as a delta at each mutation
    site; meaningful for runs where observability was enabled throughout
@@ -100,6 +107,10 @@ type config = {
   piggyback_acks : bool;
   coalesce : bool;
   bug_lookup_leak : bool;
+  durable : bool;
+  fsync_delay : float;
+  snapshot_period : float option;
+  recover_grace : float;
 }
 
 let config ?(seed = 1L) ?(policy = Sched.Fifo) ?(edge = Net.bag_edge ())
@@ -107,10 +118,15 @@ let config ?(seed = 1L) ?(policy = Sched.Fifo) ?(edge = Net.bag_edge ())
     ?clean_retry ?dirty_retry ?(backoff = 1.0) ?(backoff_cap = infinity)
     ?(backoff_jitter = 0.0) ?(lease_grace = 0.0) ?pin_timeout ?clean_batch
     ?(piggyback_acks = false) ?(coalesce = false) ?(bug_lookup_leak = false)
-    ~nspaces () =
+    ?(durable = false) ?(fsync_delay = 0.02) ?snapshot_period
+    ?(recover_grace = 2.0) ~nspaces () =
   if backoff < 1.0 then invalid_arg "Runtime.config: backoff must be >= 1";
   if backoff_jitter < 0.0 || backoff_jitter >= 1.0 then
     invalid_arg "Runtime.config: backoff_jitter must be in [0, 1)";
+  if fsync_delay < 0.0 then
+    invalid_arg "Runtime.config: fsync_delay must be >= 0";
+  if recover_grace < 0.0 then
+    invalid_arg "Runtime.config: recover_grace must be >= 0";
   {
     nspaces;
     seed;
@@ -132,6 +148,10 @@ let config ?(seed = 1L) ?(policy = Sched.Fifo) ?(edge = Net.bag_edge ())
     piggyback_acks;
     coalesce;
     bug_lookup_leak;
+    durable;
+    fsync_delay;
+    snapshot_period;
+    recover_grace;
   }
 
 let with_seed cfg seed = { cfg with seed }
@@ -181,6 +201,7 @@ type meth = {
 
 and cobj = {
   c_wr : Wirerep.t;
+  c_tag : string;  (* method-suite factory key for durable recovery *)
   c_meths : (string * meth) list;
   mutable c_slots : Wirerep.t list;  (* heap edges for the local GC *)
   c_dirty : (int, unit) Hashtbl.t;  (* the dirty set: client spaces *)
@@ -212,7 +233,21 @@ and space = {
      further [lease_grace] seconds so a healed partition keeps the lease *)
   suspect_since : (int, float) Hashtbl.t;
   mutable epoch : int;  (* incarnation number, bumped by restart *)
+  mutable cont : int;
+  (* continuity floor: the oldest epoch whose state this incarnation
+     still carries.  Amnesia restarts raise it to the new epoch; durable
+     recovery keeps it, and every outgoing packet carries it so peers
+     can tell "forget me" from "reconcile with me". *)
   peer_epoch : (int, int) Hashtbl.t;  (* highest epoch seen per peer *)
+  mutable store : Store.t option;  (* the durable medium, when configured *)
+  (* recovered (or recovery-marked) dirty entries not yet re-confirmed by
+     their client; dropped when the grace window closes *)
+  unconfirmed : (Wirerep.t * int, unit) Hashtbl.t;
+  (* peers we owe a reassert handshake; the ivar fills on reassert_ack *)
+  pending_reassert : (int, unit Sched.Ivar.var) Hashtbl.t;
+  mutable recover_until : float;
+  (* the collector may not reclaim before this instant: the grace window
+     during which conservative recovered state must survive *)
   mutable crashed : bool;
   mutable n_collections : int;
   mutable n_reclaimed : int;
@@ -231,6 +266,9 @@ and t = {
   network : Net.t;
   retry_rng : Rng.t;  (* jitter for backoff'd retries, seeded *)
   mutable space_arr : space array;
+  (* tag -> method suite, consulted when recovery re-instantiates the
+     concrete objects found in the snapshot and log *)
+  factories : (string, unit -> meth list) Hashtbl.t;
 }
 
 (* --- marshal contexts ---------------------------------------------------
@@ -266,13 +304,26 @@ let unbump tbl wr =
       if !r <= 0 then Hashtbl.remove tbl wr
   | None -> ()
 
+(* Append one WAL record when the space is durable.  Records land in
+   the store's volatile write cache; [send_env] barriers the few
+   messages that externalize state on the group commit, so nothing a
+   peer can observe precedes its own durability. *)
+let wal sp r =
+  match sp.store with
+  | None -> ()
+  | Some st -> Store.append st (Pickle.encode Wal.record_codec r)
+
 let pin sp wr = bump sp.pins wr
 
 let unpin sp wr = unbump sp.pins wr
 
-let root sp wr = bump sp.roots wr
+let root sp wr =
+  bump sp.roots wr;
+  wal sp (Wal.Root { wr; delta = 1 })
 
-let unroot sp wr = unbump sp.roots wr
+let unroot sp wr =
+  unbump sp.roots wr;
+  wal sp (Wal.Root { wr; delta = -1 })
 
 (* --- basics -------------------------------------------------------------- *)
 
@@ -313,6 +364,7 @@ let fresh_msg_id sp =
 let next_seqno sp wr =
   let n = (try Wirerep.Tbl.find sp.seqno wr with Not_found -> 0) + 1 in
   Wirerep.Tbl.replace sp.seqno wr n;
+  wal sp (Wal.Seqno { wr; n });
   n
 
 (* With coalescing on, every protocol message goes through the outbox:
@@ -321,18 +373,41 @@ let next_seqno sp wr =
    with our incarnation epoch and the destination epoch we know of (see
    Proto.packet). *)
 let send_env sp ~dst env =
-  let packet =
-    {
-      Proto.src_epoch = sp.epoch;
-      dst_epoch = Option.value ~default:0 (Hashtbl.find_opt sp.peer_epoch dst);
-      env;
-    }
+  let send () =
+    let packet =
+      {
+        Proto.src_epoch = sp.epoch;
+        src_cont = sp.cont;
+        dst_epoch =
+          Option.value ~default:0 (Hashtbl.find_opt sp.peer_epoch dst);
+        env;
+      }
+    in
+    let payload = Pickle.encode Proto.packet_codec packet in
+    let kind = Proto.kind env in
+    if sp.rt.config.coalesce then
+      Net.post sp.rt.network ~src:sp.id ~dst ~kind payload
+    else Net.send sp.rt.network ~src:sp.id ~dst ~kind payload
   in
-  let payload = Pickle.encode Proto.packet_codec packet in
-  let kind = Proto.kind env in
-  if sp.rt.config.coalesce then
-    Net.post sp.rt.network ~src:sp.id ~dst ~kind payload
-  else Net.send sp.rt.network ~src:sp.id ~dst ~kind payload
+  (* Commit-before-externalize: a message that makes state observable —
+     a dirty/reassert acknowledgement, or a call/reply whose payload
+     hands out references (and whose pin records must survive a crash)
+     — leaves only after the WAL records behind it are durable.  A
+     crash can then lose only state no peer has seen. *)
+  let externalizes =
+    match env with
+    | Proto.Call { needs_ack = true; _ }
+    | Proto.Reply { needs_ack = true; _ }
+    | Proto.Dirty_ack _ | Proto.Reassert_ack _ ->
+        true
+    | _ -> false
+  in
+  match sp.store with
+  | Some st when externalizes ->
+      let gen = sp.epoch in
+      Store.barrier st (fun () ->
+          if (not sp.crashed) && sp.epoch = gen then send ())
+  | Some _ | None -> send ()
 
 (* --- retry backoff --------------------------------------------------------
 
@@ -480,6 +555,7 @@ let release_pins_for sp msg_id =
   | None -> ()
   | Some wrs ->
       Hashtbl.remove sp.tdirty msg_id;
+      wal sp (Wal.Unpins msg_id.Proto.seq);
       if Obs.on () then
         Trace.async_end (Obs.trace ()) ~cat:"gc" ~space:sp.id
           ~id:(obs_msg_span_id msg_id) "pins";
@@ -499,6 +575,7 @@ let encode_with_pins sp f =
   let has_refs = !pinned <> [] in
   if has_refs then begin
     Hashtbl.replace sp.tdirty msg_id !pinned;
+    wal sp (Wal.Pins { msg = msg_id.Proto.seq; wrs = !pinned });
     (* The transient-pin lifetime: begins when references are embedded in
        an outgoing message, ends at the receiver's copy_ack. *)
     if Obs.on () then
@@ -577,7 +654,11 @@ let mark_from sp =
   marked
 
 let collect sp =
-  if not sp.crashed then begin
+  (* During the post-recovery grace window the collector must not run:
+     recovered dirty entries and pins are conservative (their clients may
+     be about to re-assert), so reclaiming against them would break the
+     no-premature-collection guarantee the window exists to keep. *)
+  if (not sp.crashed) && Sched.now sp.rt.sched >= sp.recover_until then begin
     (* Wall-clock pause time goes only into the metrics histogram, never
        into the trace: trace timestamps must stay deterministic. *)
     let t0 = if Obs.on () then Sys.time () else 0.0 in
@@ -605,6 +686,7 @@ let collect sp =
     List.iter
       (fun wr ->
         Wirerep.Tbl.remove sp.table wr;
+        wal sp (Wal.Reclaim wr);
         sp.n_reclaimed <- sp.n_reclaimed + 1;
         Log.debug (fun m -> m "space %d reclaimed %a" sp.id Wirerep.pp wr))
       !dead_concrete;
@@ -877,11 +959,18 @@ let handle_dirty sp ~src ~wr ~seq =
         Hashtbl.replace c.c_last_seq src seq;
         if not (Hashtbl.mem c.c_dirty src) then
           obs_gauge_add g_dirty_entries 1.0;
-        Hashtbl.replace c.c_dirty src ()
+        Hashtbl.replace c.c_dirty src ();
+        wal sp (Wal.Dirty { wr; client = src; seq; add = true })
       end;
+      (* Any current-or-fresh dirty call proves the client still holds
+         the surrogate: a recovered entry is thereby re-confirmed.  A
+         strictly stale duplicate ([seq < last]) proves nothing — it may
+         predate a clean. *)
+      if seq >= last then Hashtbl.remove sp.unconfirmed (wr, src);
       send_env sp ~dst:src (Proto.Dirty_ack { wr; ok = true })
 
 let apply_clean sp ~src ~wr ~seq =
+  Hashtbl.remove sp.unconfirmed (wr, src);
   match find_concrete sp wr with
   | None -> ()
   | Some c ->
@@ -889,7 +978,8 @@ let apply_clean sp ~src ~wr ~seq =
       if seq > last then begin
         Hashtbl.replace c.c_last_seq src seq;
         if Hashtbl.mem c.c_dirty src then obs_gauge_add g_dirty_entries (-1.0);
-        Hashtbl.remove c.c_dirty src
+        Hashtbl.remove c.c_dirty src;
+        wal sp (Wal.Dirty { wr; client = src; seq; add = false })
       end
 
 let handle_clean sp ~src ~wr ~seq ~strong =
@@ -907,7 +997,10 @@ let handle_dirty_ack sp ~wr ~ok =
               ~id:(obs_wr_id ~client:sp.id wr)
               ~args:[ ("ok", Trace.I (Bool.to_int ok)) ]
               "dirty";
-          if ok then st := Usable { clean_scheduled = false }
+          if ok then begin
+            st := Usable { clean_scheduled = false };
+            wal sp (Wal.Surrogate { wr; add = true })
+          end
           else Wirerep.Tbl.remove sp.table wr;
           Sched.Ivar.fill iv ok
       | Usable _ | Cleaning _ -> () (* stale (e.g. duplicated) ack *))
@@ -927,7 +1020,8 @@ let handle_clean_ack sp ~wr =
       | Cleaning ({ resurrect = None; _ } as cl) ->
           (match cl.retry_cancel with Some c -> c () | None -> ());
           obs_end_clean sp wr ~resurrected:false;
-          Wirerep.Tbl.remove sp.table wr
+          Wirerep.Tbl.remove sp.table wr;
+          wal sp (Wal.Surrogate { wr; add = false })
       | Cleaning ({ resurrect = Some iv; _ } as cl) ->
           (match cl.retry_cancel with Some c -> c () | None -> ());
           obs_end_clean sp wr ~resurrected:true;
@@ -955,6 +1049,183 @@ let handle_ping_ack sp ~src ~nonce =
       "ping_ack";
   Hashtbl.replace sp.ping_misses src 0;
   Hashtbl.remove sp.suspect_since src
+
+(* --- recovery reconciliation ---------------------------------------------
+
+   When a space recovers (its own [Runtime.recover], or a peer's epoch
+   bump with an unchanged continuity floor), the dirty entries involved
+   become conservative: retained, but awaiting re-confirmation.  A
+   client confirms by re-asserting dirty (fresh idempotent seqnos) for
+   every usable surrogate it still holds; entries not confirmed within
+   the grace window are dropped as lease evictions. *)
+
+let grace_drop sp pairs =
+  List.iter
+    (fun ((wr, client) as key) ->
+      if Hashtbl.mem sp.unconfirmed key then begin
+        Hashtbl.remove sp.unconfirmed key;
+        match find_concrete sp wr with
+        | Some c when Hashtbl.mem c.c_dirty client ->
+            Hashtbl.remove c.c_dirty client;
+            sp.s_evict <- sp.s_evict + 1;
+            let last =
+              Option.value ~default:0 (Hashtbl.find_opt c.c_last_seq client)
+            in
+            wal sp (Wal.Dirty { wr; client; seq = last; add = false });
+            if Obs.on () then begin
+              Metrics.incr m_evict;
+              obs_gauge_add g_dirty_entries (-1.0);
+              Trace.instant (Obs.trace ()) ~cat:"gc" ~space:sp.id
+                ~args:(("client", Trace.I client) :: obs_wr_args wr)
+                "grace_drop"
+            end
+        | Some _ | None -> ()
+      end)
+    pairs
+
+let grace_mark sp pairs =
+  if pairs <> [] then begin
+    List.iter (fun key -> Hashtbl.replace sp.unconfirmed key ()) pairs;
+    let gen = sp.epoch in
+    Sched.timer sp.rt.sched
+      ~name:(Printf.sprintf "grace-%d" sp.id)
+      sp.rt.config.recover_grace
+      (fun () ->
+        if (not sp.crashed) && sp.epoch = gen then grace_drop sp pairs)
+  end
+
+(* Owner side of the handshake.  A reassert is authoritative — the
+   client is alive and telling us it holds the surrogate — so the entry
+   is (re)installed unconditionally; the seqno only advances the
+   idempotence watermark. *)
+let handle_reassert sp ~src ~items =
+  let ok = ref [] and gone = ref [] in
+  List.iter
+    (fun ((wr : Wirerep.t), seq) ->
+      match find_concrete sp wr with
+      | None -> gone := wr :: !gone
+      | Some c ->
+          let last =
+            Option.value ~default:0 (Hashtbl.find_opt c.c_last_seq src)
+          in
+          if seq > last then Hashtbl.replace c.c_last_seq src seq;
+          if not (Hashtbl.mem c.c_dirty src) then begin
+            obs_gauge_add g_dirty_entries 1.0;
+            Hashtbl.replace c.c_dirty src ()
+          end;
+          wal sp (Wal.Dirty { wr; client = src; seq = max seq last; add = true });
+          Hashtbl.remove sp.unconfirmed (wr, src);
+          ok := wr :: !ok)
+    items;
+  if Obs.on () then
+    Trace.instant (Obs.trace ()) ~cat:"gc" ~space:sp.id
+      ~args:
+        [
+          ("client", Trace.I src);
+          ("ok", Trace.I (List.length !ok));
+          ("gone", Trace.I (List.length !gone));
+        ]
+      "reassert";
+  send_env sp ~dst:src
+    (Proto.Reassert_ack { ok = List.rev !ok; gone = List.rev !gone })
+
+(* Client side: [gone] surrogates point at objects whose records were
+   lost with the owner's unsynced log tail — drop them like a failed
+   registration; later calls through retained handles raise
+   [Remote_error] and the holder re-imports. *)
+let handle_reassert_ack sp ~src ~ok ~gone =
+  ignore ok;
+  (match Hashtbl.find_opt sp.pending_reassert src with
+  | Some iv ->
+      Hashtbl.remove sp.pending_reassert src;
+      if not (Sched.Ivar.is_filled iv) then Sched.Ivar.fill iv ()
+  | None -> ());
+  List.iter
+    (fun wr ->
+      match Wirerep.Tbl.find_opt sp.table wr with
+      | Some (Surrogate st) -> (
+          match !st with
+          | Usable _ ->
+              Wirerep.Tbl.remove sp.table wr;
+              wal sp (Wal.Surrogate { wr; add = false });
+              Hashtbl.remove sp.roots wr;
+              Hashtbl.remove sp.pins wr;
+              if Obs.on () then
+                Trace.instant (Obs.trace ()) ~cat:"gc" ~space:sp.id
+                  ~args:(obs_wr_args wr) "reassert_gone"
+          | Creating _ | Cleaning _ -> ())
+      | Some (Concrete _) | None -> ())
+    gone
+
+(* Send one reassert per recovered peer, retrying (same items, same
+   seqnos: idempotent) until the ack lands. *)
+let schedule_reassert sp peer =
+  let items =
+    Wirerep.Tbl.fold
+      (fun (wr : Wirerep.t) entry acc ->
+        match entry with
+        | Surrogate st when wr.Wirerep.space = peer -> (
+            match !st with
+            | Usable _ -> (wr, next_seqno sp wr) :: acc
+            | Creating _ | Cleaning _ -> acc)
+        | Surrogate _ | Concrete _ -> acc)
+      sp.table []
+  in
+  if items <> [] then begin
+    (match Hashtbl.find_opt sp.pending_reassert peer with
+    | Some old when not (Sched.Ivar.is_filled old) -> Sched.Ivar.fill old ()
+    | Some _ | None -> ());
+    let iv = Sched.Ivar.create () in
+    Hashtbl.replace sp.pending_reassert peer iv;
+    let send () =
+      if Obs.on () then Metrics.incr m_reassert;
+      send_env sp ~dst:peer (Proto.Reassert { items })
+    in
+    send ();
+    let base = Option.value ~default:0.3 sp.rt.config.clean_retry in
+    let gen = sp.epoch in
+    let rec arm attempt =
+      let cancel =
+        Sched.timer_cancel sp.rt.sched
+          ~name:(Printf.sprintf "reassert-%d" sp.id)
+          (retry_delay sp.rt ~attempt ~base)
+          (fun () ->
+            if
+              (not sp.crashed) && sp.epoch = gen
+              && not (Sched.Ivar.is_filled iv)
+            then begin
+              count_retry sp "reassert_retry" (fst (List.hd items));
+              send ();
+              arm (attempt + 1)
+            end)
+      in
+      Sched.Ivar.on_fill iv (fun () -> cancel ())
+    in
+    arm 0
+  end
+
+(* A peer bumped its epoch but kept its continuity floor: same logical
+   space, new incarnation.  Keep everything we know about it — but mark
+   our dirty entries held *by* it as awaiting confirmation (its own
+   surrogate records may have been lost with the unsynced tail), and
+   re-assert dirty for the surrogates we hold *from* it. *)
+let note_peer_recovered sp peer =
+  Hashtbl.remove sp.ping_misses peer;
+  Hashtbl.remove sp.suspect_since peer;
+  let pairs =
+    Wirerep.Tbl.fold
+      (fun wr entry acc ->
+        match entry with
+        | Concrete c when Hashtbl.mem c.c_dirty peer -> (wr, peer) :: acc
+        | Concrete _ | Surrogate _ -> acc)
+      sp.table []
+  in
+  grace_mark sp pairs;
+  schedule_reassert sp peer;
+  if Obs.on () then
+    Trace.instant (Obs.trace ()) ~cat:"gc" ~space:sp.id
+      ~args:[ ("peer", Trace.I peer); ("entries", Trace.I (List.length pairs)) ]
+      "peer_recovered"
 
 let handle_envelope sp ~src env =
   if not sp.crashed then
@@ -985,6 +1256,13 @@ let handle_envelope sp ~src env =
         List.iter (fun wr -> handle_clean_ack sp ~wr) wrs
     | Proto.Ping { nonce } -> send_env sp ~dst:src (Proto.Ping_ack { nonce })
     | Proto.Ping_ack { nonce } -> handle_ping_ack sp ~src ~nonce
+    | Proto.Recover { nonce = _ } ->
+        (* The packet header already did the work: [handle_packet] saw
+           the epoch bump with an unchanged continuity floor and ran
+           [note_peer_recovered].  The body is just a carrier. *)
+        ()
+    | Proto.Reassert { items } -> handle_reassert sp ~src ~items
+    | Proto.Reassert_ack { ok; gone } -> handle_reassert_ack sp ~src ~ok ~gone
 
 let clients_with_surrogates sp =
   let clients = Hashtbl.create 8 in
@@ -999,9 +1277,10 @@ let clients_with_surrogates sp =
 let evict_client sp client =
   let removed = ref 0 in
   Wirerep.Tbl.iter
-    (fun _ entry ->
+    (fun wr entry ->
       match entry with
       | Concrete c ->
+          Hashtbl.remove sp.unconfirmed (wr, client);
           if Hashtbl.mem c.c_dirty client then begin
             Hashtbl.remove c.c_dirty client;
             sp.s_evict <- sp.s_evict + 1;
@@ -1009,6 +1288,7 @@ let evict_client sp client =
           end
       | Surrogate _ -> ())
     sp.table;
+  if !removed > 0 then wal sp (Wal.Evict client);
   if Obs.on () && !removed > 0 then begin
     Metrics.add m_evict !removed;
     obs_gauge_add g_dirty_entries (-.float_of_int !removed);
@@ -1030,6 +1310,7 @@ let evict_client sp client =
 
 let forget_peer_state sp peer =
   evict_client sp peer;
+  wal sp (Wal.Forget peer);
   Wirerep.Tbl.iter
     (fun _ entry ->
       match entry with
@@ -1059,6 +1340,7 @@ let forget_peer_state sp peer =
   List.iter
     (fun wr ->
       Wirerep.Tbl.remove sp.table wr;
+      wal sp (Wal.Surrogate { wr; add = false });
       (* Drop root/pin counts with the entry: the restarted peer reuses
          wirerep indices, so a stale count would pin its {e next} object
          under the same wirerep.  Holders still call [release]/[unpin]
@@ -1095,7 +1377,14 @@ let handle_packet sp ~src (p : Proto.packet) =
     else begin
       if p.Proto.src_epoch > known then begin
         Hashtbl.replace sp.peer_epoch src p.Proto.src_epoch;
-        forget_peer_state sp src
+        wal sp (Wal.Peer { peer = src; epoch = p.Proto.src_epoch });
+        (* Two kinds of epoch bump.  If the sender's continuity floor
+           moved past the epoch we knew, its new incarnation does not
+           carry the state we shared with the old one — amnesia restart,
+           forget everything.  If the floor is still at-or-below what we
+           knew, it recovered durably: same logical space, reconcile. *)
+        if p.Proto.src_cont > known then forget_peer_state sp src
+        else note_peer_recovered sp src
       end;
       if p.Proto.dst_epoch < sp.epoch then begin
         (* Mail addressed to our previous incarnation (in flight across
@@ -1184,13 +1473,14 @@ let gc_demon sp gen period () =
 
 (* --- allocation, roots, heap edges ---------------------------------------- *)
 
-let allocate sp ~meths =
+let allocate ?(tag = "") sp ~meths =
   let index = sp.next_index in
   sp.next_index <- sp.next_index + 1;
   let wr = Wirerep.v ~space:sp.id ~index in
   let c =
     {
       c_wr = wr;
+      c_tag = tag;
       c_meths = List.map (fun m -> (m.m_name, m)) meths;
       c_slots = [];
       c_dirty = Hashtbl.create 4;
@@ -1198,6 +1488,7 @@ let allocate sp ~meths =
     }
   in
   Wirerep.Tbl.add sp.table wr (Concrete c);
+  wal sp (Wal.Export { wr; tag });
   root sp wr;
   { wr }
 
@@ -1207,7 +1498,9 @@ let release sp h = unroot sp h.wr
 
 let link sp ~parent ~child =
   match Wirerep.Tbl.find_opt sp.table parent.wr with
-  | Some (Concrete c) -> c.c_slots <- child.wr :: c.c_slots
+  | Some (Concrete c) ->
+      c.c_slots <- child.wr :: c.c_slots;
+      wal sp (Wal.Link { parent = parent.wr; child = child.wr; add = true })
   | Some (Surrogate _) | None ->
       invalid_arg "Runtime.link: parent is not a local concrete object"
 
@@ -1219,7 +1512,8 @@ let unlink sp ~parent ~child =
         | wr :: rest ->
             if Wirerep.equal wr child.wr then rest else wr :: remove_one rest
       in
-      c.c_slots <- remove_one c.c_slots
+      c.c_slots <- remove_one c.c_slots;
+      wal sp (Wal.Link { parent = parent.wr; child = child.wr; add = false })
   | Some (Surrogate _) | None ->
       invalid_arg "Runtime.unlink: parent is not a local concrete object"
 
@@ -1357,8 +1651,10 @@ let invoke_raw sp h ~meth:meth_name ~encode ~decode =
 let agent_table sp = sp.bindings
 
 (* The agent's own heap slots keep published objects locally reachable;
-   rebinding a name unlinks the object it previously kept alive. *)
-let agent_bind sp name wr =
+   rebinding a name unlinks the object it previously kept alive.
+   [agent_bind_nolog] is the raw state change, shared with recovery
+   replay (which must not re-append the records it is replaying). *)
+let agent_bind_nolog sp name wr =
   let agent_wr = Wirerep.v ~space:sp.id ~index:0 in
   (match Wirerep.Tbl.find_opt sp.table agent_wr with
   | Some (Concrete agent) ->
@@ -1373,6 +1669,10 @@ let agent_bind sp name wr =
       agent.c_slots <- wr :: agent.c_slots
   | Some (Surrogate _) | None -> ());
   Hashtbl.replace sp.bindings name wr
+
+let agent_bind sp name wr =
+  agent_bind_nolog sp name wr;
+  wal sp (Wal.Bind { name; wr })
 
 let agent_publish_meth =
   meth "publish" (fun sp r ->
@@ -1395,7 +1695,7 @@ let agent_lookup_meth =
 
 let publish sp name h = agent_bind sp name h.wr
 
-let unpublish sp name =
+let unbind_nolog sp name =
   match Hashtbl.find_opt sp.bindings name with
   | None -> ()
   | Some old ->
@@ -1410,6 +1710,12 @@ let unpublish sp name =
           agent.c_slots <- remove_one agent.c_slots
       | Some (Surrogate _) | None -> ());
       Hashtbl.remove sp.bindings name
+
+let unpublish sp name =
+  if Hashtbl.mem sp.bindings name then begin
+    unbind_nolog sp name;
+    wal sp (Wal.Unbind name)
+  end
 
 (* Import a well-known wireRep (the remote agent) by running the normal
    registration protocol on it. *)
@@ -1478,9 +1784,79 @@ let crash rt i =
   sp.crashed <- true;
   Net.crash rt.network i
 
+(* --- durable snapshots -------------------------------------------------
+
+   A snapshot is the whole durable image at one commit point; taking one
+   truncates the log (and, as a group commit, flushes the write cache,
+   releasing any queued barriers).  Only committed protocol state goes
+   in: usable surrogates and dirty entries with their idempotence
+   watermarks, never [Creating]/[Cleaning] transients (those re-run or
+   are re-asserted after recovery). *)
+
+let build_snapshot sp =
+  let concretes = ref [] and surrogates = ref [] in
+  Wirerep.Tbl.iter
+    (fun wr entry ->
+      match entry with
+      | Concrete c ->
+          let c_dirty =
+            Hashtbl.fold
+              (fun client () acc ->
+                ( client,
+                  Option.value ~default:0
+                    (Hashtbl.find_opt c.c_last_seq client) )
+                :: acc)
+              c.c_dirty []
+          in
+          concretes :=
+            { Wal.c_wr = wr; c_tag = c.c_tag; c_slots = c.c_slots; c_dirty }
+            :: !concretes
+      | Surrogate st -> (
+          match !st with
+          | Usable _ -> surrogates := wr :: !surrogates
+          | Creating _ | Cleaning _ -> ()))
+    sp.table;
+  {
+    Wal.s_epoch = sp.epoch;
+    s_cont = sp.cont;
+    s_next_index = sp.next_index;
+    s_next_msg = sp.next_msg;
+    s_next_call = sp.next_call;
+    s_peers = Hashtbl.fold (fun p e acc -> (p, e) :: acc) sp.peer_epoch [];
+    s_concretes = !concretes;
+    s_surrogates = !surrogates;
+    s_roots = Hashtbl.fold (fun wr r acc -> (wr, !r) :: acc) sp.roots [];
+    s_pins =
+      Hashtbl.fold
+        (fun (m : Proto.msg_id) wrs acc -> (m.Proto.seq, wrs) :: acc)
+        sp.tdirty [];
+    s_seqno = Wirerep.Tbl.fold (fun wr n acc -> (wr, n) :: acc) sp.seqno [];
+    s_bindings = Hashtbl.fold (fun k v acc -> (k, v) :: acc) sp.bindings [];
+  }
+
+let take_snapshot sp =
+  match sp.store with
+  | None -> ()
+  | Some st ->
+      Store.snapshot st (Pickle.encode Wal.snapshot_codec (build_snapshot sp))
+
 let spawn_periodic_demons sp =
   let gen = sp.epoch in
   let sched = sp.rt.sched in
+  (match (sp.rt.config.snapshot_period, sp.store) with
+  | Some p, Some _ ->
+      Sched.spawn sched
+        ~name:(Printf.sprintf "snap-demon-%d.%d" sp.id gen)
+        (fun () ->
+          let rec loop () =
+            Sched.sleep sched p;
+            if (not sp.crashed) && sp.epoch = gen then begin
+              take_snapshot sp;
+              loop ()
+            end
+          in
+          loop ())
+  | (Some _ | None), _ -> ());
   (match sp.rt.config.gc_period with
   | Some p ->
       Sched.spawn sched
@@ -1512,7 +1888,17 @@ let make_space rt id =
     ping_misses = Hashtbl.create 8;
     suspect_since = Hashtbl.create 8;
     epoch = 0;
+    cont = 0;
     peer_epoch = Hashtbl.create 8;
+    store =
+      (if rt.config.durable then
+         Some
+           (Store.create ~sched:rt.sched ~fsync_delay:rt.config.fsync_delay
+              ~id ())
+       else None);
+    unconfirmed = Hashtbl.create 8;
+    pending_reassert = Hashtbl.create 4;
+    recover_until = 0.0;
     crashed = false;
     n_collections = 0;
     n_reclaimed = 0;
@@ -1542,14 +1928,20 @@ let create config =
          the latency/loss draws of runs that never retry. *)
       retry_rng = Rng.create (Int64.logxor config.seed 0x9E3779B97F4A7C15L);
       space_arr = [||];
+      factories = Hashtbl.create 4;
     }
   in
+  Hashtbl.replace rt.factories "agent" (fun () ->
+      [ agent_publish_meth; agent_lookup_meth ]);
   rt.space_arr <- Array.init config.nspaces (make_space rt);
   Array.iter
     (fun sp ->
       (* The agent object occupies the well-known index 0 of each space
          and is permanently rooted. *)
-      let agent = allocate sp ~meths:[ agent_publish_meth; agent_lookup_meth ] in
+      let agent =
+        allocate sp ~tag:"agent"
+          ~meths:[ agent_publish_meth; agent_lookup_meth ]
+      in
       assert (agent.wr.Wirerep.index = 0);
       Net.set_handler network sp.id (fun ~src ~kind:_ ~payload ~off ~len ->
           match Pickle.decode_slice Proto.packet_codec payload ~off ~len with
@@ -1616,6 +2008,12 @@ let restart rt i =
   (* A rebooted process has no memory of its peers' incarnations either;
      forgetting is safe because there is no state left to protect. *)
   Hashtbl.reset sp.peer_epoch;
+  Hashtbl.iter
+    (fun _ iv -> if not (Sched.Ivar.is_filled iv) then Sched.Ivar.fill iv ())
+    sp.pending_reassert;
+  Hashtbl.reset sp.pending_reassert;
+  Hashtbl.reset sp.unconfirmed;
+  sp.recover_until <- 0.0;
   let rec drain_mb () =
     match Sched.Mailbox.try_recv sp.clean_mb with
     | Some _ -> drain_mb ()
@@ -1626,9 +2024,22 @@ let restart rt i =
   sp.next_msg <- 0;
   sp.next_call <- 0;
   sp.epoch <- sp.epoch + 1;
+  (* Amnesia: the new incarnation carries no earlier state, so the
+     continuity floor rises with the epoch and peers know to forget.
+     The durable image is wiped accordingly — recovering *after* an
+     amnesia restart must not resurrect the pre-restart heap. *)
+  sp.cont <- sp.epoch;
+  (match sp.store with
+  | Some st ->
+      Store.wipe st;
+      wal sp (Wal.Epoch { epoch = sp.epoch; cont = sp.cont });
+      Store.sync st
+  | None -> ());
   sp.crashed <- false;
   Net.restore rt.network i;
-  let agent = allocate sp ~meths:[ agent_publish_meth; agent_lookup_meth ] in
+  let agent =
+    allocate sp ~tag:"agent" ~meths:[ agent_publish_meth; agent_lookup_meth ]
+  in
   assert (agent.wr.Wirerep.index = 0);
   spawn_periodic_demons sp;
   if Obs.on () then begin
@@ -1638,6 +2049,342 @@ let restart rt i =
       "restart"
   end;
   Log.info (fun m -> m "space %d restarted (epoch %d)" sp.id sp.epoch)
+
+(* --- crash-consistent recovery ---------------------------------------------
+
+   Unlike [restart] (amnesia: empty heap, raised continuity floor),
+   [recover] brings the {e same logical incarnation} back from its
+   durable image.  Replay the snapshot, then the log suffix, in order;
+   bump the epoch for packet freshness but keep the continuity floor so
+   peers reconcile instead of forgetting; then run the reassert
+   handshake under a grace window during which the collector stands
+   down and every recovered dirty entry waits for re-confirmation. *)
+
+let replay_record sp r =
+  let rec remove_one x = function
+    | [] -> []
+    | y :: rest -> if Wirerep.equal x y then rest else y :: remove_one x rest
+  in
+  match r with
+  | Wal.Epoch { epoch; cont } ->
+      sp.epoch <- epoch;
+      sp.cont <- cont
+  | Wal.Export { wr; tag } ->
+      let meths =
+        match Hashtbl.find_opt sp.rt.factories tag with
+        | Some f -> f ()
+        | None -> []
+      in
+      Wirerep.Tbl.replace sp.table wr
+        (Concrete
+           {
+             c_wr = wr;
+             c_tag = tag;
+             c_meths = List.map (fun m -> (m.m_name, m)) meths;
+             c_slots = [];
+             c_dirty = Hashtbl.create 4;
+             c_last_seq = Hashtbl.create 4;
+           });
+      if wr.Wirerep.index >= sp.next_index then
+        sp.next_index <- wr.Wirerep.index + 1
+  | Wal.Reclaim wr -> Wirerep.Tbl.remove sp.table wr
+  | Wal.Root { wr; delta } ->
+      if delta > 0 then bump sp.roots wr else unbump sp.roots wr
+  | Wal.Link { parent; child; add } -> (
+      match find_concrete sp parent with
+      | Some c ->
+          if add then c.c_slots <- child :: c.c_slots
+          else c.c_slots <- remove_one child c.c_slots
+      | None -> ())
+  | Wal.Bind { name; wr } -> agent_bind_nolog sp name wr
+  | Wal.Unbind name -> unbind_nolog sp name
+  | Wal.Dirty { wr; client; seq; add } -> (
+      match find_concrete sp wr with
+      | Some c ->
+          let last =
+            Option.value ~default:0 (Hashtbl.find_opt c.c_last_seq client)
+          in
+          if seq > last then Hashtbl.replace c.c_last_seq client seq;
+          if add then Hashtbl.replace c.c_dirty client ()
+          else Hashtbl.remove c.c_dirty client
+      | None -> ())
+  | Wal.Evict client ->
+      Wirerep.Tbl.iter
+        (fun _ e ->
+          match e with
+          | Concrete c -> Hashtbl.remove c.c_dirty client
+          | Surrogate _ -> ())
+        sp.table
+  | Wal.Forget client ->
+      Wirerep.Tbl.iter
+        (fun _ e ->
+          match e with
+          | Concrete c ->
+              Hashtbl.remove c.c_dirty client;
+              Hashtbl.remove c.c_last_seq client
+          | Surrogate _ -> ())
+        sp.table
+  | Wal.Surrogate { wr; add } ->
+      if add then
+        Wirerep.Tbl.replace sp.table wr
+          (Surrogate (ref (Usable { clean_scheduled = false })))
+      else begin
+        Wirerep.Tbl.remove sp.table wr;
+        (* mirrors the live forget/reassert-gone paths, which drop the
+           counts wholesale rather than via Root deltas *)
+        Hashtbl.remove sp.roots wr;
+        Hashtbl.remove sp.pins wr
+      end
+  | Wal.Seqno { wr; n } ->
+      let cur = try Wirerep.Tbl.find sp.seqno wr with Not_found -> 0 in
+      if n > cur then Wirerep.Tbl.replace sp.seqno wr n
+  | Wal.Pins { msg; wrs } ->
+      Hashtbl.replace sp.tdirty { Proto.origin = sp.id; seq = msg } wrs;
+      List.iter (fun wr -> bump sp.pins wr) wrs;
+      if msg >= sp.next_msg then sp.next_msg <- msg + 1
+  | Wal.Unpins msg -> (
+      let id = { Proto.origin = sp.id; seq = msg } in
+      match Hashtbl.find_opt sp.tdirty id with
+      | Some wrs ->
+          Hashtbl.remove sp.tdirty id;
+          List.iter (fun wr -> unbump sp.pins wr) wrs
+      | None -> ())
+  | Wal.Peer { peer; epoch } -> Hashtbl.replace sp.peer_epoch peer epoch
+
+let apply_snapshot sp (s : Wal.snapshot) =
+  sp.epoch <- s.Wal.s_epoch;
+  sp.cont <- s.Wal.s_cont;
+  sp.next_index <- s.Wal.s_next_index;
+  sp.next_msg <- s.Wal.s_next_msg;
+  sp.next_call <- s.Wal.s_next_call;
+  List.iter
+    (fun (p, e) -> Hashtbl.replace sp.peer_epoch p e)
+    s.Wal.s_peers;
+  List.iter
+    (fun (c : Wal.concrete) ->
+      let meths =
+        match Hashtbl.find_opt sp.rt.factories c.Wal.c_tag with
+        | Some f -> f ()
+        | None -> []
+      in
+      let dirty = Hashtbl.create 4 and last = Hashtbl.create 4 in
+      List.iter
+        (fun (client, seq) ->
+          Hashtbl.replace dirty client ();
+          Hashtbl.replace last client seq)
+        c.Wal.c_dirty;
+      Wirerep.Tbl.replace sp.table c.Wal.c_wr
+        (Concrete
+           {
+             c_wr = c.Wal.c_wr;
+             c_tag = c.Wal.c_tag;
+             c_meths = List.map (fun m -> (m.m_name, m)) meths;
+             c_slots = c.Wal.c_slots;
+             c_dirty = dirty;
+             c_last_seq = last;
+           }))
+    s.Wal.s_concretes;
+  List.iter
+    (fun wr ->
+      Wirerep.Tbl.replace sp.table wr
+        (Surrogate (ref (Usable { clean_scheduled = false }))))
+    s.Wal.s_surrogates;
+  List.iter
+    (fun (wr, n) -> if n > 0 then Hashtbl.replace sp.roots wr (ref n))
+    s.Wal.s_roots;
+  List.iter
+    (fun (msg, wrs) ->
+      Hashtbl.replace sp.tdirty { Proto.origin = sp.id; seq = msg } wrs;
+      List.iter (fun wr -> bump sp.pins wr) wrs)
+    s.Wal.s_pins;
+  List.iter (fun (wr, n) -> Wirerep.Tbl.replace sp.seqno wr n) s.Wal.s_seqno;
+  List.iter
+    (fun (name, wr) -> Hashtbl.replace sp.bindings name wr)
+    s.Wal.s_bindings
+
+let recover rt i =
+  let sp = space rt i in
+  if not sp.crashed then invalid_arg "Runtime.recover: space is not crashed";
+  let st =
+    match sp.store with
+    | Some st -> st
+    | None -> invalid_arg "Runtime.recover: space is not durable"
+  in
+  let t0 = Sys.time () in
+  (* Fibers of the dead incarnation unwind exactly as for [restart]. *)
+  Hashtbl.iter
+    (fun _ iv ->
+      if not (Sched.Ivar.is_filled iv) then
+        Sched.Ivar.fill iv
+          ({ Proto.origin = sp.id; seq = 0 }, false, Error "space recovering"))
+    sp.pending_calls;
+  Wirerep.Tbl.iter
+    (fun _ entry ->
+      match entry with
+      | Surrogate st -> (
+          match !st with
+          | Creating iv ->
+              if not (Sched.Ivar.is_filled iv) then Sched.Ivar.fill iv false
+          | Cleaning cl -> (
+              (match cl.retry_cancel with Some c -> c () | None -> ());
+              match cl.resurrect with
+              | Some iv when not (Sched.Ivar.is_filled iv) ->
+                  Sched.Ivar.fill iv false
+              | Some _ | None -> ())
+          | Usable _ -> ())
+      | Concrete _ -> ())
+    sp.table;
+  Hashtbl.iter
+    (fun _ iv -> if not (Sched.Ivar.is_filled iv) then Sched.Ivar.fill iv ())
+    sp.pending_reassert;
+  Wirerep.Tbl.reset sp.table;
+  Hashtbl.reset sp.roots;
+  Hashtbl.reset sp.pins;
+  Hashtbl.reset sp.tdirty;
+  Hashtbl.reset sp.pending_calls;
+  Wirerep.Tbl.reset sp.seqno;
+  Hashtbl.reset sp.bindings;
+  Hashtbl.reset sp.ping_misses;
+  Hashtbl.reset sp.suspect_since;
+  Hashtbl.reset sp.peer_epoch;
+  Hashtbl.reset sp.pending_reassert;
+  Hashtbl.reset sp.unconfirmed;
+  let rec drain_mb () =
+    match Sched.Mailbox.try_recv sp.clean_mb with
+    | Some _ -> drain_mb ()
+    | None -> ()
+  in
+  drain_mb ();
+  sp.next_index <- 0;
+  sp.next_msg <- 0;
+  sp.next_call <- 0;
+  (* Replay: snapshot first, then the log suffix, in append order.  A
+     record that fails to decode is counted by the store as torn and
+     skipped — it can only be the damaged tail. *)
+  let snap, records, _torn = Store.recover st in
+  (match snap with
+  | Some s -> apply_snapshot sp (Pickle.decode Wal.snapshot_codec s)
+  | None -> ());
+  let replayed = ref 0 in
+  List.iter
+    (fun payload ->
+      match Pickle.decode Wal.record_codec payload with
+      | r ->
+          replay_record sp r;
+          incr replayed
+      | exception _ -> ())
+    records;
+  (* Same logical incarnation — the continuity floor stays — under a
+     fresh epoch for packet freshness. *)
+  sp.epoch <- sp.epoch + 1;
+  (* Watermark slack: seqnos, message ids and call ids minted after the
+     last durable record were lost with the unsynced tail; jump past
+     anything that could collide with a late ack or reply. *)
+  let seqs = Wirerep.Tbl.fold (fun wr n acc -> (wr, n) :: acc) sp.seqno [] in
+  List.iter (fun (wr, n) -> Wirerep.Tbl.replace sp.seqno wr (n + 64)) seqs;
+  sp.next_msg <- sp.next_msg + 1024;
+  sp.next_call <- sp.next_call + 1024;
+  sp.crashed <- false;
+  Net.restore rt.network i;
+  (* An empty (or wiped) image still needs the well-known agent. *)
+  let agent_wr = Wirerep.v ~space:sp.id ~index:0 in
+  if not (Wirerep.Tbl.mem sp.table agent_wr) then begin
+    let saved = sp.next_index in
+    sp.next_index <- 0;
+    let agent =
+      allocate sp ~tag:"agent"
+        ~meths:[ agent_publish_meth; agent_lookup_meth ]
+    in
+    assert (agent.wr.Wirerep.index = 0);
+    sp.next_index <- max saved sp.next_index
+  end;
+  (* The recovered image at the new epoch becomes the durable baseline:
+     one snapshot persists the epoch bump and compacts the log. *)
+  take_snapshot sp;
+  (* Grace window: the collector stands down and every recovered dirty
+     entry is conservatively retained until its client re-confirms. *)
+  let grace = rt.config.recover_grace in
+  sp.recover_until <- Sched.now rt.sched +. grace;
+  let pairs =
+    Wirerep.Tbl.fold
+      (fun wr e acc ->
+        match e with
+        | Concrete c ->
+            Hashtbl.fold (fun client () acc -> (wr, client) :: acc) c.c_dirty
+              acc
+        | Surrogate _ -> acc)
+      sp.table []
+  in
+  grace_mark sp pairs;
+  (* Recovered transient pins: their copy_acks were addressed to the
+     dead epoch and can never arrive; release them once the in-flight
+     window is over. *)
+  let gen = sp.epoch in
+  let release_after =
+    Float.max grace (Option.value ~default:grace rt.config.pin_timeout)
+  in
+  let pinned_msgs = Hashtbl.fold (fun m _ acc -> m :: acc) sp.tdirty [] in
+  List.iter
+    (fun msg_id ->
+      Sched.timer rt.sched release_after (fun () ->
+          if (not sp.crashed) && sp.epoch = gen then
+            release_pins_for sp msg_id))
+    pinned_msgs;
+  spawn_periodic_demons sp;
+  (* Reconciliation: re-assert dirty toward the owners of our recovered
+     surrogates, and announce the recovery so our own clients do the
+     same toward us (idle peers learn from the packet header). *)
+  let owners = Hashtbl.create 8 in
+  let targets = Hashtbl.create 8 in
+  Wirerep.Tbl.iter
+    (fun (wr : Wirerep.t) e ->
+      match e with
+      | Surrogate st -> (
+          if wr.Wirerep.space <> sp.id then
+            Hashtbl.replace targets wr.Wirerep.space ();
+          match !st with
+          | Usable _ -> Hashtbl.replace owners wr.Wirerep.space ()
+          | Creating _ | Cleaning _ -> ())
+      | Concrete c ->
+          Hashtbl.iter
+            (fun cl () ->
+              if cl <> sp.id then Hashtbl.replace targets cl ())
+            c.c_dirty)
+    sp.table;
+  Hashtbl.iter
+    (fun p _ -> if p <> sp.id then Hashtbl.replace targets p ())
+    sp.peer_epoch;
+  Hashtbl.iter (fun p () -> schedule_reassert sp p) owners;
+  let targets =
+    Hashtbl.fold (fun p () acc -> p :: acc) targets [] |> List.sort compare
+  in
+  let announce nonce =
+    List.iter
+      (fun p -> send_env sp ~dst:p (Proto.Recover { nonce }))
+      targets
+  in
+  announce 0;
+  List.iter
+    (fun (frac, nonce) ->
+      Sched.timer rt.sched (grace *. frac) (fun () ->
+          if (not sp.crashed) && sp.epoch = gen then announce nonce))
+    [ (0.34, 1); (0.67, 2) ];
+  if Obs.on () then begin
+    Metrics.incr m_recover;
+    Metrics.observe h_recover_us ((Sys.time () -. t0) *. 1e6);
+    Trace.instant (Obs.trace ()) ~cat:"gc" ~space:sp.id
+      ~args:
+        [
+          ("epoch", Trace.I sp.epoch);
+          ("replayed", Trace.I !replayed);
+          ("entries", Trace.I (List.length pairs));
+        ]
+      "recover"
+  end;
+  Log.info (fun m ->
+      m "space %d recovered (epoch %d, %d records replayed, %d dirty \
+         entries in grace)"
+        sp.id sp.epoch !replayed (List.length pairs))
 
 (* --- introspection ----------------------------------------------------------- *)
 
@@ -1694,6 +2441,25 @@ let gc_stats sp =
   }
 
 let epoch sp = sp.epoch
+
+let cont sp = sp.cont
+
+let durable sp = Option.is_some sp.store
+
+let register_factory rt tag f = Hashtbl.replace rt.factories tag f
+
+let set_disk_fault rt i fault =
+  let sp = space rt i in
+  match sp.store with
+  | Some st -> Store.set_fault st fault
+  | None -> invalid_arg "Runtime.set_disk_fault: space is not durable"
+
+let log_size sp =
+  match sp.store with Some st -> Store.log_size st | None -> 0
+
+let force_snapshot sp = take_snapshot sp
+
+let unconfirmed_count sp = Hashtbl.length sp.unconfirmed
 
 let check_consistency rt =
   let problems = ref [] in
@@ -1787,7 +2553,11 @@ let check_safety rt =
                 | Creating _ | Cleaning _ -> ()
                 | Usable _ ->
                     let osp = rt.space_arr.(wr.Wirerep.space) in
-                    if (not osp.crashed) && osp.epoch = 0 && osp.s_evict = 0
+                    if
+                      (not osp.crashed) && osp.epoch = 0 && osp.s_evict = 0
+                      (* an un-acked reassert toward this owner means the
+                         surrogate is legitimately awaiting reconciliation *)
+                      && not (Hashtbl.mem sp.pending_reassert wr.Wirerep.space)
                     then begin
                       match Wirerep.Tbl.find_opt osp.table wr with
                       | Some (Concrete c) ->
@@ -1816,7 +2586,9 @@ let state_fingerprint rt =
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   Array.iter
     (fun sp ->
-      add "S%d e%d c%b|" sp.id sp.epoch sp.crashed;
+      add "S%d e%d f%d c%b u%d pr%d|" sp.id sp.epoch sp.cont sp.crashed
+        (Hashtbl.length sp.unconfirmed)
+        (Hashtbl.length sp.pending_reassert);
       let entries =
         Wirerep.Tbl.fold (fun wr e acc -> (wr, e) :: acc) sp.table []
         |> List.sort (fun (a, _) (b, _) -> Wirerep.compare a b)

@@ -79,7 +79,16 @@ type config
       agent root released only on the success path, so a [Timeout]
       strands the agent surrogate and its dirty entry forever) as a
       known-bug target for the model checker's schedules-to-first-bug
-      benchmark.  Never set it outside that benchmark. *)
+      benchmark.  Never set it outside that benchmark;
+    - [durable] attaches a {!Netobj_store.Store} to every space: each
+      logs its GC-relevant transitions (exports, dirty-set changes,
+      roots, leases) write-ahead, making {!recover} available after a
+      {!crash}; [fsync_delay] is the store's group-commit window
+      (virtual seconds, default 0.02) and [snapshot_period] takes a
+      compacting snapshot that often;
+    - [recover_grace] (default 2.0) is the post-recovery window during
+      which the collector stands down and recovered dirty entries are
+      conservatively retained while clients re-assert them. *)
 val config :
   ?seed:int64 ->
   ?policy:Sched.policy ->
@@ -100,6 +109,10 @@ val config :
   ?piggyback_acks:bool ->
   ?coalesce:bool ->
   ?bug_lookup_leak:bool ->
+  ?durable:bool ->
+  ?fsync_delay:float ->
+  ?snapshot_period:float ->
+  ?recover_grace:float ->
   nspaces:int ->
   unit ->
   config
@@ -153,8 +166,11 @@ val meth :
 
 (** Allocate a concrete network object owned by this space.  The handle
     is rooted; {!release} it when the application no longer needs it
-    locally. *)
-val allocate : space -> meths:meth list -> handle
+    locally.  Under a durable configuration, [tag] names the factory
+    ({!register_factory}) that re-instantiates the method suite at
+    {!recover}; untagged objects recover with no methods (their
+    identity, dirty set and heap edges survive, calls raise). *)
+val allocate : ?tag:string -> space -> meths:meth list -> handle
 
 (** Root an additional reference to the handle (reference-counted). *)
 val retain : space -> handle -> unit
@@ -265,8 +281,52 @@ val crash : t -> int -> unit
     {!lookup}.  Raises [Invalid_argument] if the space is not crashed. *)
 val restart : t -> int -> unit
 
-(** The space's incarnation epoch: 0 at creation, +1 per {!restart}. *)
+(** The space's incarnation epoch: 0 at creation, +1 per {!restart} or
+    {!recover}. *)
 val epoch : space -> int
+
+(** {1 Durability and recovery} *)
+
+(** Recover a crashed durable space as the {e same logical incarnation}:
+    replay its snapshot and log suffix (object table, dirty sets with
+    their idempotence watermarks, roots, transient pins, bindings,
+    peer-epoch knowledge), bump the epoch for packet freshness while
+    keeping the continuity floor ({!cont}) so peers reconcile instead of
+    forgetting, then run the reassert handshake: clients re-assert dirty
+    for surviving surrogates with fresh idempotent sequence numbers
+    while the owner conservatively retains recovered entries — and the
+    collector stands down — until the [recover_grace] window closes.
+    Raises [Invalid_argument] if the space is not crashed or the runtime
+    is not durable. *)
+val recover : t -> int -> unit
+
+(** The continuity floor: the oldest epoch whose state this incarnation
+    still carries.  Equals {!epoch} after an amnesia {!restart}; stays
+    put across {!recover}.  Carried in every packet so peers can tell
+    "forget me" from "reconcile with me". *)
+val cont : space -> int
+
+(** Whether the space carries a durable store. *)
+val durable : space -> bool
+
+(** Register a method-suite factory for {!allocate}'s [tag]; consulted
+    when {!recover} re-instantiates concrete objects. *)
+val register_factory : t -> string -> (unit -> meth list) -> unit
+
+(** Arm (or clear, with [None]) the disk fault applied at space [i]'s
+    next crash (see {!Netobj_store.Store.fault}).  Raises
+    [Invalid_argument] if the space is not durable. *)
+val set_disk_fault : t -> int -> Netobj_store.Store.fault option -> unit
+
+(** Bytes in the space's durable log (0 when not durable). *)
+val log_size : space -> int
+
+(** Take a compacting snapshot now (no-op when not durable). *)
+val force_snapshot : space -> unit
+
+(** Recovered (or recovery-marked) dirty entries still awaiting
+    re-confirmation by their client. *)
+val unconfirmed_count : space -> int
 
 (** {1 Introspection} *)
 

@@ -1,6 +1,7 @@
 module Sched = Netobj_sched.Sched
 module Net = Netobj_net.Net
 module Runtime = Netobj_core.Runtime
+module Store = Netobj_store.Store
 module Chaos = Netobj_chaos.Chaos
 module Json = Netobj_obs.Json
 module Rng = Netobj_util.Rng
@@ -366,6 +367,13 @@ let apply_fault rt (fault : Chaos.fault) =
       R.crash rt victim;
       Sched.timer sched ~name:"nemesis-restart" downtime (fun () ->
           R.restart rt victim)
+  | Chaos.Crash_recover { victim; downtime } ->
+      R.crash rt victim;
+      Sched.timer sched ~name:"nemesis-recover" downtime (fun () ->
+          R.recover rt victim)
+  | Chaos.Disk_fault { victim; fault } ->
+      if R.durable (R.space rt victim) then
+        R.set_disk_fault rt victim (Some fault)
   | Chaos.Loss_burst { src; dst; loss; duration } ->
       Net.set_burst net ~src ~dst ~loss ~until:(now +. duration) ()
   | Chaos.Dup_burst { src; dst; dup; duration } ->
@@ -550,13 +558,70 @@ let scenario_lookup ~leak () =
     sc_run = run;
   }
 
-let scenario_names = [ "dgc2"; "dgc3"; "lookup" ]
+let scenario_recover () =
+  (* A durable owner crashes while a dirty ack's group-commit fsync may
+     still be pending, with a disk fault armed that drops the unsynced
+     suffix at the crash: whether the "store-fsync" timer or the
+     "nemesis" crash timer fires first is a schedule choice point, and
+     the commit-before-externalize barrier must make the client's held
+     reference survive recovery either way. *)
+  let nemesis =
+    [
+      {
+        Chaos.at = 0.002;
+        fault = Chaos.Disk_fault { victim = 0; fault = Store.Lost_suffix };
+      };
+      {
+        Chaos.at = 0.025;
+        fault = Chaos.Crash_recover { victim = 0; downtime = 0.05 };
+      };
+    ]
+  in
+  let run x =
+    let cfg =
+      (* fsync_delay equals the edge latency, so group-commit fsyncs land
+         on the same 5 ms grid as protocol events and the scripted crash:
+         a pending fsync due at the crash instant is a genuine
+         same-instant timer choice point. *)
+      R.config ~nspaces:2 ~edge:(controlled_edge ()) ~durable:true
+        ~fsync_delay:0.005 ~recover_grace:0.05 ~clean_retry:0.02
+        ~dirty_retry:0.02 ~call_timeout:0.3 ()
+    in
+    let rt = setup x cfg nemesis in
+    let sp0 = R.space rt 0 and sp1 = R.space rt 1 in
+    let a = R.allocate sp0 ~meths:[ R.meth "poke" (fun _sp _r () _w -> ()) ] in
+    R.publish sp0 "a" a;
+    let survival = ref [] in
+    R.spawn rt ~name:"client-1" (fun () ->
+        match R.lookup sp1 ~at:0 "a" with
+        | h ->
+            (* hold the reference across the owner's crash + recovery *)
+            Sched.sleep (R.sched rt) 0.2;
+            (try
+               R.invoke_raw sp1 h ~meth:"poke"
+                 ~encode:(fun _ -> ())
+                 ~decode:(fun _ -> ())
+             with
+            | R.Remote_error msg ->
+                survival :=
+                  Printf.sprintf "held object lost across recovery: %s" msg
+                  :: !survival
+            | R.Timeout _ -> ());
+            R.release sp1 h
+        | exception (R.Timeout _ | R.Remote_error _) -> ());
+    drain rt;
+    !survival @ drain_problems rt
+  in
+  { sc_name = "recover"; sc_spaces = 2; sc_nemesis = nemesis; sc_run = run }
+
+let scenario_names = [ "dgc2"; "dgc3"; "lookup"; "recover" ]
 
 let find_scenario name ~leak =
   match name with
   | "dgc2" -> Some (scenario_dgc2 ())
   | "dgc3" -> Some (scenario_dgc3 ())
   | "lookup" | "lookup-leak" -> Some (scenario_lookup ~leak ())
+  | "recover" -> Some (scenario_recover ())
   | _ -> None
 
 (* ------------------------------------------------------------------ *)

@@ -161,6 +161,16 @@ val scenario_dgc3 : unit -> scenario
     is decided purely by the schedule: no loss draws involved. *)
 val scenario_lookup : leak:bool -> unit -> scenario
 
+(** Two spaces, durable owner: a disk fault (lost unsynced suffix) is
+    armed, the owner crashes mid-protocol and recovers from its store
+    while a client holds a reference.  The relative order of the owner's
+    group-commit fsync timer and the scripted crash is a schedule choice
+    point, so exploration covers both the committed and the lost-suffix
+    crash images; either way the commit-before-externalize barrier must
+    keep the held reference invocable after recovery, and the system
+    must still drain to ground truth. *)
+val scenario_recover : unit -> scenario
+
 (** Names accepted by {!find_scenario}. *)
 val scenario_names : string list
 

@@ -63,3 +63,15 @@ Guided mode samples schedules with every choice a pure function of
     space 1: 1 surrogate(s) failed to drain
       wr=0.0 state=Usable{sched=false} roots=1 pins=0
   [1]
+
+The recover scenario makes durability itself a schedule choice: the
+owner's group-commit fsync timers share instants with the nemesis
+crash, so the explorer interleaves fsync-vs-crash orderings, with a
+lost-suffix disk fault armed and a recovery mid-run.  Commit-before-
+externalize means every ordering keeps the client's held reference
+invocable (exit 0):
+
+  $ netobj_sim mc --scenario recover --max-schedules 300
+  mc exhaustive: scenario=recover bounds={schedules=300 depth=2000 preemptions=2 slots=2}
+  schedules=25 choices=283 states=16 pruned(sleep)=0 pruned(state)=22 deferred=19 deepest=12 exhausted=false
+  no violation found

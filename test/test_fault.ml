@@ -339,6 +339,56 @@ let test_lease_grace_expires () =
   Alcotest.(check int) "evicted after grace" 1 evictions;
   Alcotest.(check (list int)) "dirty set emptied" [] dirty
 
+(* --- durable recovery at an epoch boundary -------------------------------- *)
+
+(* Restart during an in-flight clean: the client releases its reference,
+   the owner crashes before the clean arrives and recovers from its
+   durable store into epoch N+1.  The epoch-N clean must not decrement
+   the recovered incarnation's dirty set (it is rejected by the stale
+   destination-epoch check), so the object survives into the grace
+   window; the client's clean retry demon then learns the new epoch and
+   carries the release to completion, draining the system. *)
+let test_recover_during_inflight_clean () =
+  let cfg =
+    R.config ~seed:11L ~nspaces:2
+      ~edge:(Net.bag_edge ~lo:0.02 ~hi:0.02 ())
+      ~durable:true ~fsync_delay:0.005 ~recover_grace:0.3 ~gc_period:0.1
+      ~clean_retry:0.1 ~dirty_retry:0.1 ()
+  in
+  let rt = R.create cfg in
+  let meths () = [] in
+  R.register_factory rt "obj" meths;
+  let owner = R.space rt 0 and client = R.space rt 1 in
+  let obj = R.allocate ~tag:"obj" owner ~meths:(meths ()) in
+  R.publish owner "o" obj;
+  let owr = R.wirerep obj in
+  let held = ref None in
+  R.spawn rt (fun () -> held := Some (R.lookup client ~at:0 "o"));
+  ignore (R.run ~until:1.0 rt);
+  Alcotest.(check bool) "client registered" true (!held <> None);
+  (* release: the clean leaves now; the owner dies before it lands *)
+  (match !held with Some h -> R.release client h | None -> ());
+  R.crash rt 0;
+  ignore (R.run ~until:1.3 rt);
+  R.recover rt 0;
+  (* the recovered dirty set still carries the client: the old-epoch
+     clean was not applied to the new incarnation *)
+  Alcotest.(check bool) "object survives into the new epoch" true
+    (R.resident owner owr);
+  Alcotest.(check bool) "recovered dirty entry awaiting confirmation" true
+    (R.unconfirmed_count owner > 0);
+  (* retry demon completes the release against epoch N+1; drain *)
+  ignore (R.run ~until:6.0 rt);
+  R.release owner obj;
+  R.unpublish owner "o";
+  R.collect_all rt;
+  ignore (R.run ~until:9.0 rt);
+  R.collect_all rt;
+  ignore (R.run ~until:10.0 rt);
+  Alcotest.(check int) "no surrogates left" 0 (R.surrogate_count client);
+  Alcotest.(check bool) "object reclaimed" false (R.resident owner owr);
+  Alcotest.(check (list string)) "consistent" [] (R.check_consistency rt)
+
 let () =
   Alcotest.run "fault"
     [
@@ -369,5 +419,10 @@ let () =
           Alcotest.test_case "above boundary" `Quick test_lease_above_boundary;
           Alcotest.test_case "grace saves" `Quick test_lease_grace_saves;
           Alcotest.test_case "grace expires" `Quick test_lease_grace_expires;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "restart during in-flight clean" `Quick
+            test_recover_during_inflight_clean;
         ] );
     ]

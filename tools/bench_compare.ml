@@ -11,9 +11,11 @@
    are too close to scheduler jitter to be meaningful.
 
    [--ignore] takes a comma-separated list of experiment names to skip
-   entirely (default "chaos": the chaos sweep measures survival under
-   fault schedules, its CPU time is dominated by how much fault handling
-   the seeds provoke and is not a meaningful regression signal). *)
+   entirely.  The default is "chaos,mc,recover": those experiments
+   measure survival, schedule counts and recovery replay rather than
+   throughput — their CPU time is dominated by how much fault handling
+   or exploration the seeds provoke and is not a meaningful regression
+   signal.  Passing [--ignore] replaces the default list. *)
 
 module Json = Netobj_obs.Json
 
@@ -53,7 +55,7 @@ let () =
      [--ignore NAMES]"
   in
   let threshold = ref 20.0 in
-  let ignored = ref [ "chaos"; "mc" ] in
+  let ignored = ref [ "chaos"; "mc"; "recover" ] in
   let files = ref [] in
   let rec parse = function
     | [] -> ()
