@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-json bench-compare chaos-smoke mc-smoke recover-smoke verify examples check clean doc
+.PHONY: all build test bench bench-json bench-compare chaos-smoke mc-smoke recover-smoke transport-smoke verify examples check clean doc
 
 all: build
 
@@ -50,9 +50,18 @@ recover-smoke:
 	  --crash-recovers 2 --disk-faults 2 --partitions 2 \
 	  --loss-bursts 2 --dup-bursts 1 --spikes 1
 
+# Real-socket smoke: the loopback conformance suite (same scenario
+# scripts against the simulated network and TCP, traces diffed) plus
+# the cross-process serve/connect kill-and-recover narrative.  Seconds
+# scale; skips gracefully where loopback is unavailable.
+# test/cram/transport.t runs the same narrative under dune runtest.
+transport-smoke:
+	dune exec test/test_transport_conformance.exe
+	dune exec bin/netobj_sim.exe -- transport-demo --seed 7
+
 # The full local gate: build everything, run the test suite (unit,
-# property, cram), then the three smoke targets.
-verify: build test chaos-smoke mc-smoke recover-smoke
+# property, cram), then the four smoke targets.
+verify: build test chaos-smoke mc-smoke recover-smoke transport-smoke
 
 examples:
 	dune exec examples/quickstart.exe

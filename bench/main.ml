@@ -26,6 +26,8 @@
                      schedules-to-first-bug on the lookup-leak scenario
      E20 recover     durable spaces: WAL logging overhead, recovery replay
                      cost vs live-state size
+     E21 transport   loopback TCP vs the simulated network: calls/sec,
+                     p50/p99 latency, framing overhead vs payload size
 
    Run all:       dune exec bench/main.exe
    Run a subset:  dune exec bench/main.exe -- race family fifo *)
@@ -1231,6 +1233,123 @@ let e20_recover () =
     [ 16; 64; 256; 1024 ];
   if not obs_was_on then Netobj_obs.Obs.disable ()
 
+(* ------------------------------------------------------------------ E21 *)
+
+module Transport = Netobj_transport.Transport
+module Tcp = Netobj_transport.Tcp
+module Frame = Netobj_transport.Frame
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  sorted.(min (n - 1) (int_of_float (p *. float_of_int n)))
+
+(* Same runtime, same workload, two wires: N sequential null-ish calls
+   from space 1 to a counter on space 0, over the simulated network and
+   over real loopback TCP sockets (driven by the virtual-time/real-I/O
+   coupling loop); then the frame codec's overhead against payload
+   size.  All figures are wall-clock — the point is what real sockets
+   cost relative to the simulator executing the same protocol. *)
+let e21_transport () =
+  section "E21: pluggable transports — loopback TCP vs simulated network";
+  let ncalls = 300 in
+  let run_backend backend =
+    let lat = Array.make ncalls 0.0 in
+    let cfg =
+      match backend with
+      | `Sim -> R.config ~seed:11L ~nspaces:2 ()
+      | `Tcp ->
+          R.config ~seed:11L ~nspaces:2
+            ~transport:(fun sched _net ->
+              let eps =
+                [
+                  (0, { Tcp.host = "127.0.0.1"; port = 0 });
+                  (1, { Tcp.host = "127.0.0.1"; port = 0 });
+                ]
+              in
+              Tcp.transport
+                (Tcp.create ~sched ~serving:[ 0; 1 ] ~endpoints:eps ()))
+            ()
+    in
+    let rt = R.create cfg in
+    let owner = R.space rt 0 and client = R.space rt 1 in
+    R.publish owner "counter" (counter_obj owner);
+    let finished = ref false in
+    R.spawn rt (fun () ->
+        let h = R.lookup client ~at:0 "counter" in
+        for i = 0 to ncalls - 1 do
+          let c0 = Unix.gettimeofday () in
+          ignore (Stub.call client h m_incr 1);
+          lat.(i) <- Unix.gettimeofday () -. c0
+        done;
+        R.release client h;
+        finished := true);
+    let t0 = Unix.gettimeofday () in
+    (match backend with
+    | `Sim -> ignore (R.run rt)
+    | `Tcp ->
+        let tr = R.transport rt and sched = R.sched rt in
+        while (not !finished) && Unix.gettimeofday () -. t0 < 60.0 do
+          let before = Sched.now sched in
+          ignore (R.run rt ~until:(before +. 0.05));
+          let n = Transport.pump tr ~timeout:0.001 in
+          if n = 0 && Sched.now sched = before then
+            Sched.timer sched ~name:"drive-tick" 0.05 (fun () -> ())
+        done;
+        Transport.close tr);
+    let wall = Unix.gettimeofday () -. t0 in
+    if not !finished then
+      Fmt.failwith "E21: %s backend did not finish"
+        (match backend with `Sim -> "sim" | `Tcp -> "tcp");
+    Array.sort compare lat;
+    (wall, lat)
+  in
+  row "%-10s %10s %12s %12s %12s@." "backend" "calls" "calls/s" "p50-us"
+    "p99-us";
+  let report name (wall, lat) =
+    row "%-10s %10d %12.0f %12.1f %12.1f@." name ncalls
+      (float_of_int ncalls /. wall)
+      (percentile lat 0.50 *. 1e6)
+      (percentile lat 0.99 *. 1e6)
+  in
+  report "sim" (run_backend `Sim);
+  (match run_backend `Tcp with
+  | r -> report "tcp" r
+  | exception Unix.Unix_error (e, _, _) ->
+      row "tcp: skipped (loopback unavailable: %s)@." (Unix.error_message e));
+  row "@.%-10s %12s %12s %12s@." "payload" "wire-bytes" "overhead"
+    "overhead-%";
+  List.iter
+    (fun size ->
+      let sched = Sched.create () in
+      match
+        Tcp.create ~sched ~serving:[ 0 ]
+          ~endpoints:[ (0, { Tcp.host = "127.0.0.1"; port = 0 }) ] ()
+      with
+      | exception Unix.Unix_error (e, _, _) ->
+          row "%-10d skipped (loopback unavailable: %s)@." size
+            (Unix.error_message e)
+      | t ->
+          let tr = Tcp.transport t in
+          let got = ref false in
+          Transport.set_handler tr 0
+            (fun ~src:_ ~kind:_ ~payload:_ ~off:_ ~len ->
+              assert (len = size);
+              got := true);
+          Transport.send tr ~src:1 ~dst:0 ~kind:"m" (String.make size 'x');
+          let t0 = Unix.gettimeofday () in
+          while (not !got) && Unix.gettimeofday () -. t0 < 10.0 do
+            ignore (Transport.pump tr ~timeout:0.01);
+            ignore (Sched.run sched)
+          done;
+          let st = Transport.stats tr in
+          (* [bytes] counts frame bodies; the length+flag header is
+             [Frame.overhead] more on the wire. *)
+          let wire = st.Transport.bytes + Frame.overhead in
+          row "%-10d %12d %12d %12.2f@." size wire (wire - size)
+            (100.0 *. float_of_int (wire - size) /. float_of_int (max 1 wire));
+          Transport.close tr)
+    [ 0; 16; 256; 4096; 65536 ]
+
 (* ------------------------------------------------------------------ main *)
 
 let experiments =
@@ -1255,6 +1374,7 @@ let experiments =
     ("chaos", e18_chaos);
     ("mc", e19_mc);
     ("recover", e20_recover);
+    ("transport", e21_transport);
   ]
 
 (* --json PATH: machine-readable results.  Each experiment runs with the

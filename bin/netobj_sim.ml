@@ -511,6 +511,401 @@ let recover_cmd =
       const recover_run $ seed_arg $ disk_fault_arg $ trace_out_arg
       $ metrics_out_arg)
 
+(* --- serve / connect / transport-demo ----------------------------------------- *)
+
+module Sched = Netobj_sched.Sched
+module Transport = Netobj_transport.Transport
+module Tcp = Netobj_transport.Tcp
+module Faulty = Netobj_transport.Faulty
+
+(* Spaces as real OS processes: [serve] hosts one space of an
+   [--spaces]-wide world behind a TCP listener, [connect] is a pure
+   client (no listener — servers reply on the connection the request
+   arrived on), and [transport-demo] orchestrates two servers plus a
+   client through a kill/restart recovery round with deterministic
+   output for the cram test. *)
+
+let parse_peer s =
+  match String.split_on_char ':' s with
+  | [ a; host; port ] -> (
+      match (int_of_string_opt a, int_of_string_opt port) with
+      | Some a, Some port -> (a, { Tcp.host; port })
+      | _ -> Fmt.failwith "bad --peer %S (want ADDR:HOST:PORT)" s)
+  | _ -> Fmt.failwith "bad --peer %S (want ADDR:HOST:PORT)" s
+
+(* Interleave short virtual-time slices (fibers, flush timers, call
+   timeouts) with real socket pumping.  The virtual clock only moves to
+   timer deadlines, so when both clocks stall (fibers parked on calls,
+   no traffic) a no-op timer nudges it forward — that is what converts
+   wall-clock waiting into virtual-clock timeout progress. *)
+let drive rt ~deadline ~stop =
+  let sched = R.sched rt in
+  let tr = R.transport rt in
+  while (not (stop ())) && Unix.gettimeofday () < deadline do
+    let before = Sched.now sched in
+    ignore (R.run rt ~until:(before +. 0.05));
+    let n = Transport.pump tr ~timeout:0.005 in
+    if n = 0 && Sched.now sched = before then
+      Sched.timer sched ~name:"drive-tick" 0.05 (fun () -> ())
+  done
+
+let tcp_config ?tcp_ref ~seed ~spaces ~serving ~endpoints () =
+  R.config ~seed:(Int64.of_int seed) ~nspaces:spaces ~call_timeout:5.0
+    ~dirty_timeout:5.0
+    ~transport:(fun sched _net ->
+      let tcp = Tcp.create ~sched ~serving ~endpoints () in
+      (match tcp_ref with Some r -> r := Some tcp | None -> ());
+      Faulty.wrap ~sched ~seed:(Int64.of_int seed) (Tcp.transport tcp))
+    ()
+
+let counter_meths v =
+  [
+    R.meth "incr" (fun _sp r ->
+        let n = Pk.read Pk.int r in
+        fun () w ->
+          v := !v + n;
+          Pk.write Pk.int w !v);
+  ]
+
+let call_incr sp h =
+  R.invoke_raw sp h ~meth:"incr"
+    ~encode:(fun w -> Pk.write Pk.int w 1)
+    ~decode:(fun r -> Pk.read Pk.int r)
+
+let serve addr spaces port portfile peers seed epoch duration quiet =
+  let endpoints =
+    (addr, { Tcp.host = "127.0.0.1"; port }) :: List.map parse_peer peers
+  in
+  let tcp_ref = ref None in
+  let rt =
+    R.create (tcp_config ~tcp_ref ~seed ~spaces ~serving:[ addr ] ~endpoints ())
+  in
+  (match portfile with
+  | None -> ()
+  | Some path ->
+      (* Tell watchers the (possibly ephemeral) port only once it is
+         accepting: write-then-rename so a reader never sees a partial
+         file. *)
+      let bound =
+        match !tcp_ref with Some tcp -> Tcp.bound_port tcp addr | None -> port
+      in
+      let tmp = path ^ ".tmp" in
+      write_file tmp (string_of_int bound);
+      Sys.rename tmp path);
+  for _ = 1 to epoch do
+    R.crash rt addr;
+    R.restart rt addr
+  done;
+  let sp = R.space rt addr in
+  let obj = R.allocate sp ~meths:(counter_meths (ref 0)) in
+  R.publish sp "counter" obj;
+  if not quiet then
+    Fmt.pr "serving space %d/%d: \"counter\" published (epoch %d)@." addr
+      spaces (R.epoch sp);
+  let deadline = Unix.gettimeofday () +. duration in
+  drive rt ~deadline ~stop:(fun () -> false);
+  0
+
+let connect addr spaces peers seed =
+  let endpoints = List.map parse_peer peers in
+  let targets = List.sort Int.compare (List.map fst endpoints) in
+  let rt = R.create (tcp_config ~seed ~spaces ~serving:[] ~endpoints ()) in
+  let sp = R.space rt addr in
+  let finished = ref false and failed = ref false in
+  R.spawn rt ~name:"connect-client" (fun () ->
+      List.iter
+        (fun a ->
+          match R.lookup sp ~at:a "counter" with
+          | h ->
+              (match call_incr sp h with
+              | n -> Fmt.pr "connect: counter@%d incr -> %d@." a n
+              | exception (R.Remote_error _ | R.Timeout _) ->
+                  failed := true;
+                  Fmt.pr "connect: counter@%d call failed@." a);
+              R.release sp h
+          | exception (R.Remote_error _ | R.Timeout _) ->
+              failed := true;
+              Fmt.pr "connect: counter@%d lookup failed@." a)
+        targets;
+      (* let the releases' clean messages drain before exiting *)
+      R.collect sp;
+      Sched.sleep (R.sched rt) 0.3;
+      finished := true);
+  let deadline = Unix.gettimeofday () +. 30.0 in
+  drive rt ~deadline ~stop:(fun () -> !finished);
+  if not !finished then begin
+    Fmt.pr "connect: did not complete@.";
+    failed := true
+  end;
+  if !failed then 1 else 0
+
+(* {2 transport-demo} *)
+
+let free_port () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  let port =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> assert false
+  in
+  Unix.close fd;
+  port
+
+(* Child with stdout/stderr silenced: server chatter must not pollute
+   the demo's deterministic narrative. *)
+let spawn_quiet args =
+  let null = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
+  let pid =
+    Unix.create_process Sys.executable_name
+      (Array.of_list (Sys.executable_name :: args))
+      null null null
+  in
+  Unix.close null;
+  pid
+
+let run_inherit args =
+  let pid =
+    Unix.create_process Sys.executable_name
+      (Array.of_list (Sys.executable_name :: args))
+      Unix.stdin Unix.stdout Unix.stderr
+  in
+  match Unix.waitpid [] pid with
+  | _, Unix.WEXITED c -> c
+  | _, (Unix.WSIGNALED _ | Unix.WSTOPPED _) -> 255
+
+let kill_wait pid =
+  (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+  try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ()
+
+let wait_port port ~timeout =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec loop () =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port)) with
+    | () ->
+        Unix.close fd;
+        true
+    | exception Unix.Unix_error (_, _, _) ->
+        Unix.close fd;
+        if Unix.gettimeofday () < deadline then begin
+          Unix.sleepf 0.02;
+          loop ()
+        end
+        else false
+  in
+  loop ()
+
+let transport_demo seed =
+  let p0 = free_port () and p1 = free_port () in
+  let peer a port = Printf.sprintf "%d:127.0.0.1:%d" a port in
+  let serve_args a port ~other ~epoch =
+    [
+      "serve";
+      "--addr";
+      string_of_int a;
+      "--spaces";
+      "4";
+      "--port";
+      string_of_int port;
+      "--peer";
+      (match other with o, op -> peer o op);
+      "--seed";
+      string_of_int seed;
+      "--epoch";
+      string_of_int epoch;
+      "--duration";
+      "60";
+    ]
+  in
+  let pid0 = ref (spawn_quiet (serve_args 0 p0 ~other:(1, p1) ~epoch:0)) in
+  let pid1 = spawn_quiet (serve_args 1 p1 ~other:(0, p0) ~epoch:0) in
+  let cleanup () =
+    kill_wait !pid0;
+    kill_wait pid1
+  in
+  let failed = ref false in
+  let fail fmt =
+    Fmt.kpf (fun _ -> failed := true) Fmt.stdout ("FAIL: " ^^ fmt ^^ "@.")
+  in
+  if not (wait_port p0 ~timeout:10.0 && wait_port p1 ~timeout:10.0) then begin
+    cleanup ();
+    Fmt.pr "FAIL: servers did not come up@.";
+    1
+  end
+  else begin
+    Fmt.pr "demo: two servers up (spaces 0 and 1)@.";
+    (* A separate [connect] process does the first round trip, so the
+       full serve/connect CLI surface is exercised cross-process. *)
+    let st =
+      run_inherit
+        [
+          "connect";
+          "--addr";
+          "3";
+          "--spaces";
+          "4";
+          "--peer";
+          peer 0 p0;
+          "--peer";
+          peer 1 p1;
+          "--seed";
+          string_of_int seed;
+        ]
+    in
+    if st <> 0 then fail "connect client exited %d" st
+    else Fmt.pr "demo: connect client done@.";
+    (* Now a longer-lived client (space 2, in this process) that holds a
+       reference across the owner's death and restart. *)
+    let rt =
+      R.create
+        (tcp_config ~seed ~spaces:4 ~serving:[]
+           ~endpoints:
+             [
+               (0, { Tcp.host = "127.0.0.1"; port = p0 });
+               (1, { Tcp.host = "127.0.0.1"; port = p1 });
+             ]
+           ())
+    in
+    let sp = R.space rt 2 in
+    let finished = ref false in
+    let incr_to tag h =
+      match call_incr sp h with
+      | n -> Fmt.pr "client: %s incr -> %d@." tag n
+      | exception (R.Remote_error _ | R.Timeout _) ->
+          fail "%s incr failed" tag
+    in
+    R.spawn rt ~name:"demo-client" (fun () ->
+        let h0 = R.lookup sp ~at:0 "counter" in
+        let h1 = R.lookup sp ~at:1 "counter" in
+        incr_to "counter@0" h0;
+        incr_to "counter@0" h0;
+        incr_to "counter@1" h1;
+        kill_wait !pid0;
+        Fmt.pr "demo: killed server 0@.";
+        (match call_incr sp h0 with
+        | _ -> fail "call to dead owner succeeded"
+        | exception (R.Remote_error _ | R.Timeout _) ->
+            Fmt.pr "client: call to dead owner: failed@.");
+        pid0 := spawn_quiet (serve_args 0 p0 ~other:(1, p1) ~epoch:1);
+        if not (wait_port p0 ~timeout:10.0) then
+          fail "server 0 did not restart"
+        else begin
+          Fmt.pr "demo: restarted server 0 with epoch 1@.";
+          (* The stale surrogate's call is rejected by the higher-epoch
+             incarnation; the reject teaches this client the new epoch
+             and evicts the dead incarnation's surrogates. *)
+          (match call_incr sp h0 with
+          | _ -> fail "stale call succeeded"
+          | exception (R.Remote_error _ | R.Timeout _) ->
+              Fmt.pr "client: stale call: failed@.");
+          Sched.sleep (R.sched rt) 1.0;
+          R.release sp h0;
+          (match R.lookup sp ~at:0 "counter" with
+          | h0' ->
+              incr_to "fresh counter@0" h0';
+              R.release sp h0'
+          | exception (R.Remote_error _ | R.Timeout _) ->
+              fail "fresh lookup failed");
+          incr_to "counter@1" h1;
+          R.release sp h1
+        end;
+        finished := true);
+    let deadline = Unix.gettimeofday () +. 60.0 in
+    drive rt ~deadline ~stop:(fun () -> !finished);
+    (match Sched.failures (R.sched rt) with
+    | [] -> ()
+    | (n, e) :: _ -> fail "fiber %s raised %s" n (Printexc.to_string e));
+    if not !finished then fail "demo client did not complete";
+    cleanup ();
+    Fmt.pr "demo: shutdown@.";
+    Fmt.pr "result: %s@." (if !failed then "FAILED" else "SURVIVED");
+    if !failed then 1 else 0
+  end
+
+let addr_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "addr" ] ~docv:"A" ~doc:"Space address for this process.")
+
+let spaces_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "spaces" ] ~docv:"N" ~doc:"Width of the address space.")
+
+let port_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "port" ] ~docv:"P"
+        ~doc:"TCP port to listen on (0 binds an ephemeral port).")
+
+let portfile_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "portfile" ] ~docv:"FILE"
+        ~doc:"Write the listening port to $(docv) once accepting.")
+
+let peers_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "peer" ] ~docv:"ADDR:HOST:PORT"
+        ~doc:"Endpoint of a remote space (repeatable).")
+
+let epoch_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "epoch" ] ~docv:"E"
+        ~doc:
+          "Incarnation epoch to start at: the space is crashed and \
+           restarted $(docv) times before publishing, so a relaunched \
+           process outranks its predecessor's surrogates.")
+
+let serve_duration_arg =
+  Arg.(
+    value & opt float 120.0
+    & info [ "duration" ] ~docv:"T"
+        ~doc:"Exit after $(docv) wall-clock seconds.")
+
+let quiet_arg =
+  Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress the startup banner.")
+
+let serve_cmd =
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Host one space of a multi-space world behind a real TCP \
+          listener: publishes a \"counter\" object and answers invoke, \
+          dirty, clean and lookup traffic from remote processes until \
+          the duration expires.")
+    Term.(
+      const serve $ addr_arg $ spaces_arg $ port_arg $ portfile_arg
+      $ peers_arg $ seed_arg $ epoch_arg $ serve_duration_arg $ quiet_arg)
+
+let connect_cmd =
+  Cmd.v
+    (Cmd.info "connect"
+       ~doc:
+         "Run a client space against remote $(b,serve) processes: look \
+          up each peer's \"counter\", invoke it once, release, and \
+          exit 0 iff every round trip succeeded.  The client binds no \
+          listener — replies ride the request connection.")
+    Term.(const connect $ addr_arg $ spaces_arg $ peers_arg $ seed_arg)
+
+let transport_demo_cmd =
+  Cmd.v
+    (Cmd.info "transport-demo"
+       ~doc:
+         "Cross-process recovery narrative: spawn two $(b,serve) \
+          processes, run a $(b,connect) client round trip, then from a \
+          longer-lived client kill server 0 mid-conversation, observe \
+          the failed call, restart it at a higher epoch, observe the \
+          stale surrogate being rejected, and re-import fresh.  Output \
+          is deterministic (ports are never printed); exits 0 iff the \
+          narrative held.")
+    Term.(const transport_demo $ seed_arg)
+
 (* --- mc ----------------------------------------------------------------------- *)
 
 module Mc = Netobj_mc.Mc
@@ -704,5 +1099,8 @@ let () =
             trace_cmd;
             chaos_cmd;
             recover_cmd;
+            serve_cmd;
+            connect_cmd;
+            transport_demo_cmd;
             mc_cmd;
           ]))

@@ -3,6 +3,7 @@ module Store = Netobj_store.Store
 module Stub = Netobj_core.Stub
 module Wirerep = Netobj_core.Wirerep
 module Net = Netobj_net.Net
+module Transport = Netobj_transport.Transport
 module Sched = Netobj_sched.Sched
 module Rng = Netobj_util.Rng
 module P = Netobj_pickle.Pickle
@@ -462,7 +463,7 @@ type orphan_rec = {
 
 type ctx = {
   rt : R.t;
-  net : Net.t;
+  tr : Transport.t;
   sched : Sched.t;
   cfg : cfg;
   stop : bool ref;
@@ -552,7 +553,7 @@ let setup ctx =
 let live_holders ctx o =
   List.filter
     (fun (c, e) ->
-      (not (Net.is_crashed ctx.net c)) && R.cont (R.space ctx.rt c) <= e)
+      (not (Transport.is_crashed ctx.tr c)) && R.cont (R.space ctx.rt c) <= e)
     o.o_holders
 
 let apply_fault ctx ev =
@@ -563,37 +564,37 @@ let apply_fault ctx ev =
       "chaos_fault";
   match ev.fault with
   | Partition { a; b; duration } ->
-      if not (Net.partitioned ctx.net a b) then begin
-        Net.set_partitioned ctx.net a b true;
+      if not (Transport.partitioned ctx.tr a b) then begin
+        Transport.set_partitioned ctx.tr a b true;
         bump ctx "partitions";
         Sched.spawn sched ~name:(Printf.sprintf "heal-%d-%d" a b) (fun () ->
             Sched.sleep sched duration;
-            if Net.partitioned ctx.net a b then begin
-              Net.set_partitioned ctx.net a b false;
+            if Transport.partitioned ctx.tr a b then begin
+              Transport.set_partitioned ctx.tr a b false;
               bump ctx "heals"
             end)
       end
   | Crash { victim; downtime } ->
-      if not (Net.is_crashed ctx.net victim) then begin
+      if not (Transport.is_crashed ctx.tr victim) then begin
         R.crash ctx.rt victim;
         bump ctx "crashes";
         Sched.spawn sched ~name:(Printf.sprintf "restart-%d" victim) (fun () ->
             Sched.sleep sched downtime;
-            if Net.is_crashed ctx.net victim then begin
+            if Transport.is_crashed ctx.tr victim then begin
               R.restart ctx.rt victim;
               bump ctx "restarts"
             end)
       end
   | Crash_recover { victim; downtime } ->
       if
-        (not (Net.is_crashed ctx.net victim))
+        (not (Transport.is_crashed ctx.tr victim))
         && R.durable (R.space ctx.rt victim)
       then begin
         R.crash ctx.rt victim;
         bump ctx "crash_recovers";
         Sched.spawn sched ~name:(Printf.sprintf "recover-%d" victim) (fun () ->
             Sched.sleep sched downtime;
-            if Net.is_crashed ctx.net victim then begin
+            if Transport.is_crashed ctx.tr victim then begin
               R.recover ctx.rt victim;
               bump ctx "recoveries";
               (* Survival oracle: everything reachable from a live root
@@ -625,17 +626,17 @@ let apply_fault ctx ev =
         bump ctx "disk_faults"
       end
   | Loss_burst { src; dst; loss; duration } ->
-      Net.set_burst ctx.net ~src ~dst ~loss
+      Transport.set_burst ctx.tr ~src ~dst ~loss
         ~until:(Sched.now sched +. duration)
         ();
       bump ctx "loss_bursts"
   | Dup_burst { src; dst; dup; duration } ->
-      Net.set_burst ctx.net ~src ~dst ~dup
+      Transport.set_burst ctx.tr ~src ~dst ~dup
         ~until:(Sched.now sched +. duration)
         ();
       bump ctx "dup_bursts"
   | Latency_spike { src; dst; factor; duration } ->
-      Net.set_latency_spike ctx.net ~src ~dst ~factor
+      Transport.set_latency_spike ctx.tr ~src ~dst ~factor
         ~until:(Sched.now sched +. duration);
       bump ctx "latency_spikes"
 
@@ -685,9 +686,9 @@ let classify_error ctx s it msg =
       let sp = R.space ctx.rt s in
       let osp = R.space ctx.rt it.iowner in
       if
-        (not (Net.is_crashed ctx.net s))
+        (not (Transport.is_crashed ctx.tr s))
         && R.cont sp <= it.ihold
-        && (not (Net.is_crashed ctx.net it.iowner))
+        && (not (Transport.is_crashed ctx.tr it.iowner))
         && R.cont osp <= it.imint
       then
         let wr = R.wirerep it.ih in
@@ -736,7 +737,7 @@ let mutator ctx s ops () =
   in
   let import () =
     let t = other_space () in
-    if not (Net.is_crashed ctx.net t) then begin
+    if not (Transport.is_crashed ctx.tr t) then begin
       let osp = R.space ctx.rt t in
       let epoch_before = R.epoch osp in
       let mint_orphan = Rng.int rng 2 = 0 in
@@ -821,7 +822,7 @@ let mutator ctx s ops () =
     (fun op ->
       if not !(ctx.stop) then begin
         sync_epoch ();
-        if not (Net.is_crashed ctx.net s) then
+        if not (Transport.is_crashed ctx.tr s) then
           (match op with
           | Workload.Send (0, _) -> import ()
           | Workload.Send (_, _) -> poke ()
@@ -834,7 +835,7 @@ let mutator ctx s ops () =
   (* Teardown: release everything we still hold so the system can drain
      to the empty ground truth. *)
   sync_epoch ();
-  if not (Net.is_crashed ctx.net s) then
+  if not (Transport.is_crashed ctx.tr s) then
     List.iter (fun it -> try release_item it with _ -> ()) !held;
   held := [];
   ctx.mutators_done <- ctx.mutators_done + 1
@@ -852,7 +853,7 @@ let check_residency ctx =
       if not o.o_flagged then begin
         let osp = R.space ctx.rt o.o_owner in
         if
-          (not (Net.is_crashed ctx.net o.o_owner))
+          (not (Transport.is_crashed ctx.tr o.o_owner))
           && R.cont osp <= o.o_mint_epoch
           && live_holders ctx o <> []
           && not (R.resident osp o.o_wr)
@@ -934,7 +935,7 @@ let run ?schedule cfg =
   let ctx =
     {
       rt;
-      net = R.net rt;
+      tr = R.transport rt;
       sched = R.sched rt;
       cfg;
       stop = ref false;
@@ -974,9 +975,9 @@ let run ?schedule cfg =
   (* Quiesce: heal every partition, restart whoever is still down, then
      let the mutators notice the stop flag, finish their in-flight
      operation (bounded by the call timeout) and release what they hold. *)
-  Net.heal_all ctx.net;
+  Transport.heal_all ctx.tr;
   for i = 0 to cfg.spaces - 1 do
-    if Net.is_crashed ctx.net i then
+    if Transport.is_crashed ctx.tr i then
       if durable then begin
         R.recover rt i;
         bump ctx "recoveries"

@@ -1,5 +1,7 @@
 module Sched = Netobj_sched.Sched
 module Net = Netobj_net.Net
+module Transport = Netobj_transport.Transport
+module Transport_sim = Netobj_transport.Transport_sim
 module Wire = Netobj_pickle.Wire
 module Pickle = Netobj_pickle.Pickle
 module Rng = Netobj_util.Rng
@@ -111,6 +113,7 @@ type config = {
   fsync_delay : float;
   snapshot_period : float option;
   recover_grace : float;
+  transport : (Sched.t -> Net.t -> Transport.t) option;
 }
 
 let config ?(seed = 1L) ?(policy = Sched.Fifo) ?(edge = Net.bag_edge ())
@@ -119,7 +122,7 @@ let config ?(seed = 1L) ?(policy = Sched.Fifo) ?(edge = Net.bag_edge ())
     ?(backoff_jitter = 0.0) ?(lease_grace = 0.0) ?pin_timeout ?clean_batch
     ?(piggyback_acks = false) ?(coalesce = false) ?(bug_lookup_leak = false)
     ?(durable = false) ?(fsync_delay = 0.02) ?snapshot_period
-    ?(recover_grace = 2.0) ~nspaces () =
+    ?(recover_grace = 2.0) ?transport ~nspaces () =
   if backoff < 1.0 then invalid_arg "Runtime.config: backoff must be >= 1";
   if backoff_jitter < 0.0 || backoff_jitter >= 1.0 then
     invalid_arg "Runtime.config: backoff_jitter must be in [0, 1)";
@@ -152,6 +155,7 @@ let config ?(seed = 1L) ?(policy = Sched.Fifo) ?(edge = Net.bag_edge ())
     fsync_delay;
     snapshot_period;
     recover_grace;
+    transport;
   }
 
 let with_seed cfg seed = { cfg with seed }
@@ -264,6 +268,7 @@ and t = {
   config : config;
   sched : Sched.t;
   network : Net.t;
+  tr : Transport.t;
   retry_rng : Rng.t;  (* jitter for backoff'd retries, seeded *)
   mutable space_arr : space array;
   (* tag -> method suite, consulted when recovery re-instantiates the
@@ -337,6 +342,8 @@ let sched rt = rt.sched
 
 let net rt = rt.network
 
+let transport rt = rt.tr
+
 let run ?max_steps ?until rt =
   let steps = Sched.run ?max_steps ?until rt.sched in
   (* Snapshot writer-pool effectiveness so metrics dumps show how much of
@@ -386,8 +393,8 @@ let send_env sp ~dst env =
     let payload = Pickle.encode Proto.packet_codec packet in
     let kind = Proto.kind env in
     if sp.rt.config.coalesce then
-      Net.post sp.rt.network ~src:sp.id ~dst ~kind payload
-    else Net.send sp.rt.network ~src:sp.id ~dst ~kind payload
+      Transport.post sp.rt.tr ~src:sp.id ~dst ~kind payload
+    else Transport.send sp.rt.tr ~src:sp.id ~dst ~kind payload
   in
   (* Commit-before-externalize: a message that makes state observable —
      a dirty/reassert acknowledgement, or a call/reply whose payload
@@ -1782,7 +1789,7 @@ let lookup sp ~at name =
 let crash rt i =
   let sp = space rt i in
   sp.crashed <- true;
-  Net.crash rt.network i
+  Transport.crash rt.tr i
 
 (* --- durable snapshots -------------------------------------------------
 
@@ -1919,11 +1926,20 @@ let create config =
   Obs.set_clock (fun () -> Sched.now sched);
   let network = Net.create ~sched ~seed:config.seed () in
   Net.set_all_edges network config.edge;
+  (* The simulated network is always created (the model checker's
+     delivery-choice hook and edge shaping live there); a custom
+     transport simply routes traffic elsewhere and leaves it idle. *)
+  let tr =
+    match config.transport with
+    | Some f -> f sched network
+    | None -> Transport_sim.of_net network
+  in
   let rt =
     {
       config;
       sched;
       network;
+      tr;
       (* Distinct stream from the network's: retries must not perturb
          the latency/loss draws of runs that never retry. *)
       retry_rng = Rng.create (Int64.logxor config.seed 0x9E3779B97F4A7C15L);
@@ -1943,7 +1959,7 @@ let create config =
           ~meths:[ agent_publish_meth; agent_lookup_meth ]
       in
       assert (agent.wr.Wirerep.index = 0);
-      Net.set_handler network sp.id (fun ~src ~kind:_ ~payload ~off ~len ->
+      Transport.set_handler tr sp.id (fun ~src ~kind:_ ~payload ~off ~len ->
           match Pickle.decode_slice Proto.packet_codec payload ~off ~len with
           | p -> handle_packet sp ~src p
           | exception e ->
@@ -2036,7 +2052,7 @@ let restart rt i =
       Store.sync st
   | None -> ());
   sp.crashed <- false;
-  Net.restore rt.network i;
+  Transport.restore rt.tr i;
   let agent =
     allocate sp ~tag:"agent" ~meths:[ agent_publish_meth; agent_lookup_meth ]
   in
@@ -2285,7 +2301,7 @@ let recover rt i =
   sp.next_msg <- sp.next_msg + 1024;
   sp.next_call <- sp.next_call + 1024;
   sp.crashed <- false;
-  Net.restore rt.network i;
+  Transport.restore rt.tr i;
   (* An empty (or wiped) image still needs the well-known agent. *)
   let agent_wr = Wirerep.v ~space:sp.id ~index:0 in
   if not (Wirerep.Tbl.mem sp.table agent_wr) then begin

@@ -88,7 +88,13 @@ type config
       compacting snapshot that often;
     - [recover_grace] (default 2.0) is the post-recovery window during
       which the collector stands down and recovered dirty entries are
-      conservatively retained while clients re-assert them. *)
+      conservatively retained while clients re-assert them;
+    - [transport] swaps the message transport: given the runtime's
+      scheduler and its simulated network, it returns the
+      {!Netobj_transport.Transport.t} all protocol traffic rides
+      (default: {!Netobj_transport.Transport_sim.of_net} over the
+      simulated network).  Real backends need their I/O pumped — see
+      {!transport} and {!Netobj_transport.Tcp}. *)
 val config :
   ?seed:int64 ->
   ?policy:Sched.policy ->
@@ -113,6 +119,7 @@ val config :
   ?fsync_delay:float ->
   ?snapshot_period:float ->
   ?recover_grace:float ->
+  ?transport:(Sched.t -> Net.t -> Netobj_transport.Transport.t) ->
   nspaces:int ->
   unit ->
   config
@@ -134,6 +141,12 @@ val create : config -> t
 val sched : t -> Sched.t
 
 val net : t -> Net.t
+
+(** The transport protocol traffic rides.  Harness fault operations
+    ({!crash} and friends) go through its fault hooks, so a real
+    backend must be wrapped in {!Netobj_transport.Faulty} before the
+    chaos machinery can drive it. *)
+val transport : t -> Netobj_transport.Transport.t
 
 val space : t -> int -> space
 

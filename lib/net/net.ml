@@ -231,12 +231,17 @@ let obs_msg_args ~src ~dst ~kind len =
     ("bytes", Trace.I len);
   ]
 
-let obs_drop t ~src ~dst ~kind len reason =
+(* [count] is the number of logical messages lost — a dropped coalesced
+   frame is [count] drop events, not one, so the metric and the trace
+   agree with the per-constituent [stats.dropped] accounting. *)
+let obs_drop t ?(count = 1) ~src ~dst ~kind len reason =
   ignore t;
   if Obs.on () then begin
-    Metrics.incr m_dropped;
+    Metrics.add m_dropped count;
     Trace.instant (Obs.trace ()) ~cat:"net" ~space:src
-      ~args:(obs_msg_args ~src ~dst ~kind len @ [ ("reason", Trace.S reason) ])
+      ~args:
+        (obs_msg_args ~src ~dst ~kind len
+        @ [ ("reason", Trace.S reason); ("count", Trace.I count) ])
       "drop"
   end
 
@@ -332,7 +337,7 @@ let schedule_delivery t ~src ~dst ~kind ~count payload dispatch =
         ~args:[ ("delivered", Trace.I (Bool.to_int delivered)) ]
         kind;
       if delivered then Metrics.add m_delivered count
-      else obs_drop t ~src ~dst ~kind len reason
+      else obs_drop t ~count ~src ~dst ~kind len reason
     end
   in
   e.in_flight <- e.in_flight + 1;

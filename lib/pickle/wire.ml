@@ -104,6 +104,12 @@ module Writer = struct
     Bytes.set_int64_le scratch 0 n;
     Buffer.add_subbytes w scratch 0 8
 
+  let u32_be w n =
+    if n < 0 || n > 0xffffffff then
+      invalid_arg "Wire.Writer.u32_be: out of range";
+    Bytes.set_int32_be scratch 0 (Int32.of_int n);
+    Buffer.add_subbytes w scratch 0 4
+
   let float w f = int64 w (Int64.bits_of_float f)
 
   let raw w s = Buffer.add_string w s
@@ -192,6 +198,12 @@ module Reader = struct
     let v = String.get_int64_le r.data (r.base + r.pos) in
     r.pos <- r.pos + 8;
     v
+
+  let u32_be r =
+    if remaining r < 4 then fail r "unexpected end of input";
+    let v = String.get_int32_be r.data (r.base + r.pos) in
+    r.pos <- r.pos + 4;
+    Int32.to_int v land 0xffffffff
 
   let float r = Int64.float_of_bits (int64 r)
 

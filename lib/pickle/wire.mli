@@ -62,6 +62,10 @@ module Writer : sig
 
   val int64 : t -> int64 -> unit
 
+  (** Unsigned 32-bit value, 4 bytes {e big}-endian — network byte
+      order, for socket framing headers.  Requires [0 <= v < 2^32]. *)
+  val u32_be : t -> int -> unit
+
   (** IEEE-754 double, 8 bytes little-endian. *)
   val float : t -> float -> unit
 
@@ -102,6 +106,10 @@ module Reader : sig
   val int32 : t -> int32
 
   val int64 : t -> int64
+
+  (** Unsigned 32-bit value, 4 bytes big-endian (see
+      {!Writer.u32_be}). *)
+  val u32_be : t -> int
 
   val float : t -> float
 

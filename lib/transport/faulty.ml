@@ -1,0 +1,222 @@
+module Sched = Netobj_sched.Sched
+module Rng = Netobj_util.Rng
+
+(* Fault gates sit on both sides of the wrapped backend: the send gate
+   drops before a message reaches the backend (crash/partition/filter/
+   loss), the receive gate drops between the backend's delivery fiber
+   and the user handler (so a crash injected while a frame is in flight
+   on real sockets still eats it, like the simulated network's
+   delivery-time checks).  Burst windows and spikes expire against the
+   {e virtual} clock, matching [Net], so chaos schedules drive both
+   backends identically. *)
+
+type burst = { mutable b_loss : float; mutable b_dup : float; mutable b_until : float }
+
+type spike = { mutable sp_factor : float; mutable sp_until : float }
+
+(* Stall applied per delivery while a latency spike is active: the
+   decorator cannot stretch the wire's real latency, so it sleeps the
+   delivery fiber [factor × base] on the virtual clock instead. *)
+let spike_base = 0.001
+
+type state = {
+  sched : Sched.t;
+  rng : Rng.t;
+  crashed : (int, unit) Hashtbl.t;
+  partitions : (int * int, unit) Hashtbl.t;
+  bursts : (int * int, burst) Hashtbl.t;
+  spikes : (int * int, spike) Hashtbl.t;
+  mutable filter : (src:int -> dst:int -> kind:string -> bool) option;
+  (* send-gate / receive-gate fault accounting, per logical message *)
+  mutable g_dropped : int;
+  mutable g_drop_src : int;
+  mutable g_drop_dst : int;
+  mutable g_dup : int;
+  mutable r_dropped : int;
+  mutable r_drop_src : int;
+  mutable r_drop_dst : int;
+}
+
+let pair a b = if a <= b then (a, b) else (b, a)
+
+let partitioned st a b = Hashtbl.mem st.partitions (pair a b)
+
+let is_crashed st a = Hashtbl.mem st.crashed a
+
+let burst_for st key =
+  match Hashtbl.find_opt st.bursts key with
+  | Some b -> b
+  | None ->
+      let b = { b_loss = 0.0; b_dup = 0.0; b_until = neg_infinity } in
+      Hashtbl.add st.bursts key b;
+      b
+
+let effective st key get =
+  match Hashtbl.find_opt st.bursts key with
+  | Some b when Sched.now st.sched < b.b_until -> get b
+  | _ -> 0.0
+
+(* Send gate: [true] when the message is dropped (and accounted). *)
+let dropped_at_send st ~src ~dst ~kind =
+  ignore kind;
+  if is_crashed st src then begin
+    st.g_dropped <- st.g_dropped + 1;
+    st.g_drop_src <- st.g_drop_src + 1;
+    true
+  end
+  else if is_crashed st dst then begin
+    st.g_dropped <- st.g_dropped + 1;
+    st.g_drop_dst <- st.g_drop_dst + 1;
+    true
+  end
+  else if partitioned st src dst then begin
+    st.g_dropped <- st.g_dropped + 1;
+    true
+  end
+  else if
+    match st.filter with Some keep -> not (keep ~src ~dst ~kind) | None -> false
+  then begin
+    st.g_dropped <- st.g_dropped + 1;
+    true
+  end
+  else begin
+    let p = effective st (src, dst) (fun b -> b.b_loss) in
+    if p > 0.0 && Rng.chance st.rng p then begin
+      st.g_dropped <- st.g_dropped + 1;
+      true
+    end
+    else false
+  end
+
+let duplicate_at_send st ~src ~dst =
+  let p = effective st (src, dst) (fun b -> b.b_dup) in
+  if p > 0.0 && Rng.chance st.rng p then begin
+    st.g_dup <- st.g_dup + 1;
+    true
+  end
+  else false
+
+(* Receive gate, run inside the backend's delivery fiber.  [true] when
+   the message survives; a live spike stalls it first. *)
+let survives_receive st ~src ~dst =
+  if is_crashed st dst then begin
+    st.r_dropped <- st.r_dropped + 1;
+    st.r_drop_dst <- st.r_drop_dst + 1;
+    false
+  end
+  else if is_crashed st src then begin
+    st.r_dropped <- st.r_dropped + 1;
+    st.r_drop_src <- st.r_drop_src + 1;
+    false
+  end
+  else if partitioned st src dst then begin
+    st.r_dropped <- st.r_dropped + 1;
+    false
+  end
+  else begin
+    (match Hashtbl.find_opt st.spikes (src, dst) with
+    | Some sp when Sched.now st.sched < sp.sp_until ->
+        Sched.sleep st.sched (spike_base *. sp.sp_factor)
+    | _ -> ());
+    true
+  end
+
+let wrap ~sched ~seed base =
+  let st =
+    {
+      sched;
+      rng = Rng.create seed;
+      crashed = Hashtbl.create 8;
+      partitions = Hashtbl.create 8;
+      bursts = Hashtbl.create 8;
+      spikes = Hashtbl.create 8;
+      filter = None;
+      g_dropped = 0;
+      g_drop_src = 0;
+      g_drop_dst = 0;
+      g_dup = 0;
+      r_dropped = 0;
+      r_drop_src = 0;
+      r_drop_dst = 0;
+    }
+  in
+  let send ~src ~dst ~kind payload =
+    if not (dropped_at_send st ~src ~dst ~kind) then begin
+      base.Transport.t_send ~src ~dst ~kind payload;
+      if duplicate_at_send st ~src ~dst then
+        base.Transport.t_send ~src ~dst ~kind payload
+    end
+  in
+  let post ~src ~dst ~kind payload =
+    if not (dropped_at_send st ~src ~dst ~kind) then begin
+      base.Transport.t_post ~src ~dst ~kind payload;
+      if duplicate_at_send st ~src ~dst then
+        base.Transport.t_post ~src ~dst ~kind payload
+    end
+  in
+  let set_handler addr h =
+    base.Transport.t_set_handler addr
+      (fun ~src ~kind ~payload ~off ~len ->
+        if survives_receive st ~src ~dst:addr then
+          h ~src ~kind ~payload ~off ~len)
+  in
+  let stats () =
+    let s = base.Transport.t_stats () in
+    {
+      s with
+      Transport.delivered = s.Transport.delivered - st.r_dropped;
+      dropped = s.Transport.dropped + st.g_dropped + st.r_dropped;
+      dropped_src_crashed =
+        s.Transport.dropped_src_crashed + st.g_drop_src + st.r_drop_src;
+      dropped_dst_crashed =
+        s.Transport.dropped_dst_crashed + st.g_drop_dst + st.r_drop_dst;
+      duplicated = s.Transport.duplicated + st.g_dup;
+    }
+  in
+  let reset_stats () =
+    base.Transport.t_reset_stats ();
+    st.g_dropped <- 0;
+    st.g_drop_src <- 0;
+    st.g_drop_dst <- 0;
+    st.g_dup <- 0;
+    st.r_dropped <- 0;
+    st.r_drop_src <- 0;
+    st.r_drop_dst <- 0
+  in
+  {
+    base with
+    Transport.t_name = base.Transport.t_name ^ "+faulty";
+    t_send = send;
+    t_post = post;
+    t_set_handler = set_handler;
+    t_stats = stats;
+    t_reset_stats = reset_stats;
+    t_faults =
+      {
+        Transport.f_crash = (fun a -> Hashtbl.replace st.crashed a ());
+        f_restore = (fun a -> Hashtbl.remove st.crashed a);
+        f_is_crashed = is_crashed st;
+        f_set_partitioned =
+          (fun a b on ->
+            if on then Hashtbl.replace st.partitions (pair a b) ()
+            else Hashtbl.remove st.partitions (pair a b));
+        f_partitioned = partitioned st;
+        f_heal_all = (fun () -> Hashtbl.reset st.partitions);
+        f_set_burst =
+          (fun ~src ~dst ~loss ~dup ~until ->
+            let b = burst_for st (src, dst) in
+            b.b_loss <- loss;
+            b.b_dup <- dup;
+            b.b_until <- until);
+        f_set_latency_spike =
+          (fun ~src ~dst ~factor ~until ->
+            match Hashtbl.find_opt st.spikes (src, dst) with
+            | Some sp ->
+                sp.sp_factor <- factor;
+                sp.sp_until <- until
+            | None ->
+                Hashtbl.add st.spikes (src, dst)
+                  { sp_factor = factor; sp_until = until });
+        f_set_filter = (fun f -> st.filter <- f);
+      };
+  }

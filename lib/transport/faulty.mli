@@ -1,0 +1,22 @@
+(** Fault-injection decorator over any {!Transport} backend.
+
+    [wrap ~sched ~seed base] returns a transport with the same delivery
+    path as [base] plus a full {!Transport.faults} implementation
+    layered on top: crashes and partitions drop matching messages at
+    the decorator's send and receive gates, loss/duplication bursts
+    draw from a seeded {!Netobj_util.Rng} (deterministic given the
+    seed and traffic order), drop filters apply at the send gate, and
+    latency spikes stall the delivery fiber on the virtual clock
+    before the handler runs.
+
+    This is how the chaos nemesis drives real sockets: stack
+    [Faulty.wrap] over {!Tcp.transport} and every nemesis operation
+    that the simulated network implements natively works unchanged —
+    the decorator cannot re-order the wire, but crash/partition/loss/
+    dup/filter/spike all behave identically from the runtime's point
+    of view.  Fault drops are attributed per logical message in the
+    combined {!Transport.stats}, mirroring the simulated network's
+    accounting. *)
+
+val wrap :
+  sched:Netobj_sched.Sched.t -> seed:int64 -> Transport.t -> Transport.t

@@ -1,0 +1,139 @@
+(** The pluggable transport signature.
+
+    The runtime speaks to the world through exactly this surface: queue
+    a message ({!post}/{!send}), flush coalesced outboxes, register a
+    per-space delivery handler, and (for harnesses) inject faults and
+    read traffic accounting.  Everything above it — marshalling, the
+    writer pool, per-destination coalescing policy, epoch stamps,
+    retries and backoff — is backend-independent, so the same runtime
+    runs over the deterministic simulated network
+    ({!Transport_sim.of_net}), over real Unix/TCP sockets ({!Tcp}), or
+    over either wrapped in the chaos fault decorator ({!Faulty}).
+
+    Contracts every backend must honour:
+
+    - {b Fresh fiber per delivery.}  The handler installed with
+      {!set_handler} is invoked in a freshly spawned fiber of the
+      driving scheduler; handlers may block.
+    - {b Logical vs physical accounting.}  [stats.sent]/[stats.bytes]
+      count physical payloads (a coalesced frame counts once);
+      [delivered]/[dropped]/{!stats_by_kind} count logical messages (a
+      frame's submessages count individually) — including fault events,
+      which are attributed per constituent message, never per frame.
+    - {b At-most-once, unordered.}  A transport may drop, delay or
+      reorder; it must not corrupt or invent messages.  Duplication
+      only happens where a fault model injects it.  The protocol layers
+      above recover loss via sequence-numbered idempotent retries and
+      epoch-stamped packets, so a backend that silently drops while a
+      peer is unreachable (e.g. {!Tcp} past its reconnect queue bound)
+      stays within the runtime's fault envelope. *)
+
+type addr = int
+
+(** See {!Netobj_net.Net.handler}: the message body is the slice
+    [off, off+len) of [payload]. *)
+type handler =
+  src:addr -> kind:string -> payload:string -> off:int -> len:int -> unit
+
+type stats = {
+  sent : int;  (** physical payloads handed to the wire *)
+  delivered : int;  (** logical messages handed to handlers *)
+  dropped : int;  (** logical messages lost, all causes *)
+  dropped_src_crashed : int;
+  dropped_dst_crashed : int;
+  duplicated : int;
+  bytes : int;  (** physical payload bytes (excluding backend framing) *)
+  frames : int;  (** coalesced frames among [sent] *)
+  coalesced : int;  (** logical messages the frames carried *)
+  reconnects : int;
+      (** connection (re-)establishment attempts after a failure — 0 on
+          backends with no connection state *)
+}
+
+val zero_stats : stats
+
+(** Fault-injection hooks.  The simulated backend implements them
+    natively; {!Faulty} implements them as a decorator over any
+    backend; bare {!Tcp} rejects them (see {!no_faults}) — stack the
+    decorator on top to drive a nemesis against real sockets. *)
+type faults = {
+  f_crash : addr -> unit;
+  f_restore : addr -> unit;
+  f_is_crashed : addr -> bool;
+  f_set_partitioned : addr -> addr -> bool -> unit;
+  f_partitioned : addr -> addr -> bool;
+  f_heal_all : unit -> unit;
+  f_set_burst :
+    src:addr -> dst:addr -> loss:float -> dup:float -> until:float -> unit;
+  f_set_latency_spike : src:addr -> dst:addr -> factor:float -> until:float -> unit;
+  f_set_filter : (src:addr -> dst:addr -> kind:string -> bool) option -> unit;
+}
+
+type t = {
+  t_name : string;  (** backend identifier, e.g. ["sim"], ["tcp"] *)
+  t_send : src:addr -> dst:addr -> kind:string -> string -> unit;
+  t_post : src:addr -> dst:addr -> kind:string -> string -> unit;
+      (** queue into the per-destination outbox; travels on the next
+          {!flush} (backends arm an end-of-instant auto-flush) *)
+  t_flush : unit -> unit;
+  t_set_handler : addr -> handler -> unit;
+  t_connect : addr -> unit;
+      (** pre-establish the link to a peer (no-op where meaningless) *)
+  t_pump : timeout:float -> int;
+      (** drive real I/O for up to [timeout] {e wall-clock} seconds;
+          returns the number of logical messages dispatched.  Returns 0
+          immediately on backends whose delivery rides the virtual
+          clock. *)
+  t_close : unit -> unit;
+  t_stats : unit -> stats;
+  t_stats_by_kind : unit -> (string * (int * int)) list;
+  t_reset_stats : unit -> unit;
+  t_faults : faults;
+}
+
+(** {1 Call-through helpers} — so call sites read like the old [Net]
+    module calls. *)
+
+val send : t -> src:addr -> dst:addr -> kind:string -> string -> unit
+
+val post : t -> src:addr -> dst:addr -> kind:string -> string -> unit
+
+val flush : t -> unit
+
+val set_handler : t -> addr -> handler -> unit
+
+val connect : t -> addr -> unit
+
+val pump : t -> timeout:float -> int
+
+val close : t -> unit
+
+val stats : t -> stats
+
+val stats_by_kind : t -> (string * (int * int)) list
+
+val reset_stats : t -> unit
+
+val crash : t -> addr -> unit
+
+val restore : t -> addr -> unit
+
+val is_crashed : t -> addr -> bool
+
+val set_partitioned : t -> addr -> addr -> bool -> unit
+
+val partitioned : t -> addr -> addr -> bool
+
+val heal_all : t -> unit
+
+val set_burst :
+  t -> src:addr -> dst:addr -> ?loss:float -> ?dup:float -> until:float -> unit -> unit
+
+val set_latency_spike : t -> src:addr -> dst:addr -> factor:float -> until:float -> unit
+
+val set_filter : t -> (src:addr -> dst:addr -> kind:string -> bool) option -> unit
+
+(** A {!faults} whose mutating hooks raise [Invalid_argument] (wrap the
+    backend in {!Faulty} instead) and whose predicates answer "no
+    fault". *)
+val no_faults : name:string -> faults

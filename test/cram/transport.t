@@ -1,0 +1,42 @@
+Spaces as genuinely separate OS processes over real TCP sockets.  The
+demo spawns two `netobj_sim serve` processes (spaces 0 and 1, each a
+real listener on an ephemeral loopback port), runs a `netobj_sim
+connect` client as a third process for the first lookup+invoke round
+trip, then from a longer-lived client holding a live reference: kills
+server 0, watches the in-flight call fail, relaunches the server at a
+higher incarnation epoch, watches the stale surrogate's call get
+rejected by the new incarnation (which teaches the client the new
+epoch over the reconnected socket), and re-imports fresh while the
+untouched server 1 keeps answering.  Ports are never printed, seeds
+are pinned, and the epoch protocol makes the failure answers
+deterministic, so the whole cross-process narrative is exact (exit 0):
+
+  $ netobj_sim transport-demo --seed 7
+  demo: two servers up (spaces 0 and 1)
+  connect: counter@0 incr -> 1
+  connect: counter@1 incr -> 1
+  demo: connect client done
+  client: counter@0 incr -> 2
+  client: counter@0 incr -> 3
+  client: counter@1 incr -> 2
+  demo: killed server 0
+  client: call to dead owner: failed
+  demo: restarted server 0 with epoch 1
+  client: stale call: failed
+  client: fresh counter@0 incr -> 1
+  client: counter@1 incr -> 3
+  demo: shutdown
+  result: SURVIVED
+
+The building blocks compose by hand too: a server writes its ephemeral
+port to a portfile once it is accepting, and a client process is pure —
+no listener; the server learns the return route from the connection the
+request arrived on:
+
+  $ netobj_sim serve --addr 0 --spaces 2 --portfile port0 --seed 3 \
+  >   --duration 20 --quiet &
+  $ for i in $(seq 100); do test -f port0 && break; sleep 0.1; done
+  $ netobj_sim connect --addr 1 --spaces 2 \
+  >   --peer "0:127.0.0.1:$(cat port0)" --seed 3
+  connect: counter@0 incr -> 1
+  $ kill $! 2> /dev/null || true

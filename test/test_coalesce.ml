@@ -164,6 +164,32 @@ let test_post_coalesces_and_keeps_fifo () =
     [ ("seq", (21, 32)) ]
     (Net.stats_by_kind net)
 
+(* Regression: a coalesced frame lost in flight is [count] logical drop
+   events.  The stats always counted per constituent; the [net.dropped]
+   metric used to advance by 1 per frame. *)
+let test_frame_drop_counts_constituents () =
+  Metrics.reset Metrics.global;
+  Obs.enable ~capacity:4096 ();
+  Fun.protect ~finally:Obs.disable (fun () ->
+      let s = Sched.create () in
+      let net = Net.create ~sched:s ~seed:1L () in
+      Net.set_all_edges net (Net.fifo_edge ());
+      Net.set_handler net 1 (fun ~src:_ ~kind:_ ~payload:_ ~off:_ ~len:_ ->
+          Alcotest.fail "nothing must be delivered");
+      for i = 1 to 5 do
+        Net.post net ~src:0 ~dst:1 ~kind:"seq" (string_of_int i)
+      done;
+      (* Crash the destination after the frame is in flight (flush fires
+         at the 0-delay timer; delivery happens one latency later). *)
+      Sched.timer s 0.001 (fun () -> Net.crash net 1);
+      ignore (Sched.run s);
+      let st = Net.stats net in
+      Alcotest.(check int) "stats: all five dropped" 5 st.Net.dropped;
+      Alcotest.(check int) "stats: attributed to dst crash" 5
+        st.Net.dropped_dst_crashed;
+      Alcotest.(check int) "metric matches stats" 5
+        (Metrics.counter_value (Metrics.counter Metrics.global "net.dropped")))
+
 let test_post_across_instants_two_frames () =
   let s = Sched.create () in
   let net = Net.create ~sched:s ~seed:1L () in
@@ -290,6 +316,8 @@ let () =
             test_post_coalesces_and_keeps_fifo;
           Alcotest.test_case "instants separate frames" `Quick
             test_post_across_instants_two_frames;
+          Alcotest.test_case "frame drop counts constituents" `Quick
+            test_frame_drop_counts_constituents;
           Alcotest.test_case "runtime parity on vs off" `Quick
             test_coalesce_parity;
         ] );

@@ -11,11 +11,13 @@
    are too close to scheduler jitter to be meaningful.
 
    [--ignore] takes a comma-separated list of experiment names to skip
-   entirely.  The default is "chaos,mc,recover": those experiments
-   measure survival, schedule counts and recovery replay rather than
-   throughput — their CPU time is dominated by how much fault handling
-   or exploration the seeds provoke and is not a meaningful regression
-   signal.  Passing [--ignore] replaces the default list. *)
+   entirely.  The default is "chaos,mc,recover,transport": those
+   experiments measure survival, schedule counts, recovery replay and
+   real-socket wall-clock rather than CPU throughput — their times are
+   dominated by how much fault handling or exploration the seeds
+   provoke (or by kernel I/O scheduling, for transport) and are not a
+   meaningful regression signal.  Passing [--ignore] replaces the
+   default list. *)
 
 module Json = Netobj_obs.Json
 
@@ -55,7 +57,7 @@ let () =
      [--ignore NAMES]"
   in
   let threshold = ref 20.0 in
-  let ignored = ref [ "chaos"; "mc"; "recover" ] in
+  let ignored = ref [ "chaos"; "mc"; "recover"; "transport" ] in
   let files = ref [] in
   let rec parse = function
     | [] -> ()
