@@ -85,6 +85,10 @@ let feed d ?(off = 0) ?len s =
 
 let pending d = d.len - d.pos
 
+let reset d =
+  d.len <- 0;
+  d.pos <- 0
+
 let next d =
   if pending d < 4 then None
   else begin

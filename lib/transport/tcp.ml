@@ -29,8 +29,12 @@ type inbound = { in_fd : Unix.file_descr; in_dec : Frame.decoder }
 (* One outgoing connection per remote address.  [p_wbuf]/[p_woff] hold
    the frame currently on the wire; on connection loss the write offset
    rewinds to 0 so the frame is retransmitted whole on the next
-   connection — the receiver's decoder discarded the torn tail with the
-   dead socket, so retransmission cannot duplicate. *)
+   connection — the receiver binds its decoder to the connection
+   ([in_dec]), so the torn tail died with the socket and retransmission
+   cannot duplicate.  [p_dec] reads the peer's replies on this dialled
+   connection and outlives it, so it must be reset whenever the
+   connection drops: a reply frame torn by the old socket must not
+   prefix the fresh connection's stream. *)
 type peer = {
   p_addr : int;
   mutable p_fd : Unix.file_descr option;
@@ -182,6 +186,7 @@ let conn_lost t p =
   p.p_fd <- None;
   p.p_connecting <- false;
   p.p_woff <- 0;
+  Frame.reset p.p_dec;
   p.p_failed_once <- true;
   p.p_next_attempt <- Unix.gettimeofday () +. p.p_backoff;
   p.p_backoff <- Float.min max_backoff (p.p_backoff *. 2.0)
@@ -203,7 +208,8 @@ let learn t ~src fd =
     | Some old when old != fd ->
         close_quietly old;
         t.inbound <- List.filter (fun c -> c.in_fd != old) t.inbound;
-        p.p_woff <- 0
+        p.p_woff <- 0;
+        Frame.reset p.p_dec
     | Some _ -> ()
     | None -> ());
     p.p_fd <- Some fd;
@@ -487,14 +493,22 @@ let pump t ~timeout =
           established
     in
     (* When nothing is ready, the soonest reconnect deadline bounds the
-       wait so backoff expiry doesn't stall behind a long select. *)
+       wait so backoff expiry doesn't stall behind a long select.  A
+       negative caller timeout means "block" and must not enter the
+       [Float.min] — it would undercut every deadline and the pending
+       reconnects would never fire. *)
     let timeout =
-      Hashtbl.fold
-        (fun _ p acc ->
-          if p.p_fd = None && peer_has_output p && has_endpoint t p.p_addr then
-            Float.min acc (Float.max 0.0 (p.p_next_attempt -. now))
-          else acc)
-        t.peers timeout
+      let soonest =
+        Hashtbl.fold
+          (fun _ p acc ->
+            if p.p_fd = None && peer_has_output p && has_endpoint t p.p_addr
+            then Float.min acc (Float.max 0.0 (p.p_next_attempt -. now))
+            else acc)
+          t.peers Float.infinity
+      in
+      if soonest = Float.infinity then timeout
+      else if timeout < 0.0 then soonest
+      else Float.min timeout soonest
     in
     match Unix.select rds wrs [] timeout with
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> 0
@@ -535,7 +549,8 @@ let pump t ~timeout =
                 | Some fd' when fd' == fd ->
                     p.p_fd <- None;
                     p.p_connecting <- false;
-                    p.p_woff <- 0
+                    p.p_woff <- 0;
+                    Frame.reset p.p_dec
                 | _ -> ())
               t.peers;
             close_quietly fd)
@@ -572,12 +587,23 @@ let connect t addr =
 let close t =
   if not t.closed then begin
     t.closed <- true;
+    (* Messages still pending — posted but unflushed, or queued towards
+       an unreachable peer — never reach a socket: count them dropped,
+       and give checked-out outbox writers back to the pool. *)
+    Hashtbl.iter
+      (fun _ ob ->
+        drop t ob.ob_n;
+        Wire.Writer.return ob.ob_w)
+      t.outboxes;
+    Hashtbl.reset t.outboxes;
     Hashtbl.iter (fun _ fd -> close_quietly fd) t.listeners;
     Hashtbl.reset t.listeners;
     List.iter (fun c -> close_quietly c.in_fd) t.inbound;
     t.inbound <- [];
     Hashtbl.iter
-      (fun _ p -> match p.p_fd with Some fd -> close_quietly fd | None -> ())
+      (fun _ p ->
+        Queue.iter (fun (_, count) -> drop t count) p.p_queue;
+        match p.p_fd with Some fd -> close_quietly fd | None -> ())
       t.peers;
     Hashtbl.reset t.peers
   end

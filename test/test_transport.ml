@@ -10,6 +10,7 @@ module Transport_sim = Netobj_transport.Transport_sim
 module Tcp = Netobj_transport.Tcp
 module Faulty = Netobj_transport.Faulty
 module Frame = Netobj_transport.Frame
+module Wire = Netobj_pickle.Wire
 
 (* --- frame codec: exact behaviours -------------------------------------- *)
 
@@ -246,6 +247,130 @@ let test_tcp_reconnect () =
               Alcotest.(check bool) "reconnects counted" true
                 (s.Transport.reconnects >= 1)))
 
+(* A reply torn mid-frame by a dying connection must not pollute the
+   stream of the next connection: the dial-out decoder is reset on
+   connection loss, so the whole reply resent after reconnect decodes
+   cleanly.  The remote end is a raw socket so the test controls frame
+   boundaries exactly: it sends a 3-byte prefix of the reply (a torn
+   length field), kills the connection, then resends the reply whole on
+   the client's redial. *)
+let test_tcp_torn_reply_reconnect () =
+  match Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 with
+  | exception Unix.Unix_error (e, _, _) ->
+      Printf.printf "skipping: loopback unavailable (%s)\n%!"
+        (Unix.error_message e)
+  | lfd -> (
+      Fun.protect ~finally:(fun () ->
+          try Unix.close lfd with Unix.Unix_error _ -> ())
+      @@ fun () ->
+      match
+        Unix.setsockopt lfd Unix.SO_REUSEADDR true;
+        Unix.bind lfd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+        Unix.listen lfd 4;
+        Unix.set_nonblock lfd;
+        match Unix.getsockname lfd with
+        | Unix.ADDR_INET (_, p) -> p
+        | _ -> assert false
+      with
+      | exception Unix.Unix_error (e, _, _) ->
+          Printf.printf "skipping: loopback unavailable (%s)\n%!"
+            (Unix.error_message e)
+      | port ->
+          with_tcp ~serving:[] ~endpoints:[ (1, ep port) ] (fun sched tr ->
+              let accept_deadline () =
+                let t0 = Unix.gettimeofday () in
+                let rec loop () =
+                  match Unix.accept lfd with
+                  | fd, _ -> fd
+                  | exception
+                      Unix.Unix_error
+                        ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+                    ->
+                      if Unix.gettimeofday () -. t0 > 10.0 then
+                        Alcotest.fail "accept: timed out"
+                      else begin
+                        ignore (Transport.pump tr ~timeout:0.02);
+                        ignore (Sched.run sched);
+                        loop ()
+                      end
+                in
+                loop ()
+              in
+              let write_all fd s =
+                let off = ref 0 in
+                while !off < String.length s do
+                  off :=
+                    !off + Unix.write_substring fd s !off (String.length s - !off)
+                done
+              in
+              let reply =
+                Frame.encode
+                  (Wire.Writer.with_pooled (fun w ->
+                       Wire.Writer.uvarint w 1;
+                       Wire.Writer.uvarint w 0;
+                       Wire.Writer.uvarint w 1;
+                       Wire.Writer.string w "pong";
+                       Wire.Writer.string w "resent whole";
+                       Bytes.unsafe_to_string (Wire.Writer.to_bytes w)))
+              in
+              let got = ref [] in
+              Transport.set_handler tr 0 (fun ~src ~kind ~payload ~off ~len ->
+                  got := (src, kind, String.sub payload off len) :: !got);
+              Transport.send tr ~src:0 ~dst:1 ~kind:"ping" "one";
+              let afd = accept_deadline () in
+              write_all afd (String.sub reply 0 3);
+              (* Let the client buffer the torn prefix... *)
+              let t0 = Unix.gettimeofday () in
+              while Unix.gettimeofday () -. t0 < 0.2 do
+                ignore (Transport.pump tr ~timeout:0.02)
+              done;
+              (* ...then tear the connection under it. *)
+              Unix.close afd;
+              Transport.send tr ~src:0 ~dst:1 ~kind:"ping" "two";
+              let afd2 = accept_deadline () in
+              Fun.protect ~finally:(fun () ->
+                  try Unix.close afd2 with Unix.Unix_error _ -> ())
+              @@ fun () ->
+              write_all afd2 reply;
+              drive sched tr ~until:(fun () -> !got <> []);
+              Alcotest.(check (list (triple int string string)))
+                "reply decodes cleanly after reconnect"
+                [ (1, "pong", "resent whole") ]
+                !got))
+
+(* Closing with work still pending — unflushed posts, frames queued to
+   an unreachable peer — must account the messages as dropped (and, for
+   outboxes, return the pooled writers). *)
+let test_tcp_close_drops_pending () =
+  match free_port () with
+  | exception Unix.Unix_error (e, _, _) ->
+      Printf.printf "skipping: loopback unavailable (%s)\n%!"
+        (Unix.error_message e)
+  | port ->
+      with_tcp ~serving:[ 0 ] ~endpoints:[ (0, ep 0); (1, ep port) ]
+        (fun _sched tr ->
+          Transport.post tr ~src:0 ~dst:1 ~kind:"a" "unflushed";
+          Transport.post tr ~src:0 ~dst:1 ~kind:"b" "also unflushed";
+          Transport.send tr ~src:0 ~dst:1 ~kind:"c" "queued, never wired";
+          Transport.close tr;
+          let s = Transport.stats tr in
+          Alcotest.(check int) "pending counted dropped" 3 s.Transport.dropped)
+
+(* A blocking pump (negative timeout) must still wake for reconnect
+   backoff deadlines instead of selecting forever on an empty fd set. *)
+let test_tcp_blocking_pump_backoff () =
+  match free_port () with
+  | exception Unix.Unix_error (e, _, _) ->
+      Printf.printf "skipping: loopback unavailable (%s)\n%!"
+        (Unix.error_message e)
+  | port ->
+      with_tcp ~serving:[] ~endpoints:[ (1, ep port) ] (fun _sched tr ->
+          Transport.send tr ~src:0 ~dst:1 ~kind:"m" "x";
+          for _ = 1 to 5 do
+            ignore (Transport.pump tr ~timeout:(-1.0))
+          done;
+          Alcotest.(check bool) "pump returned" true true)
+
 (* --- faulty decorator ----------------------------------------------------- *)
 
 let faulty_pair ?(seed = 42L) () =
@@ -349,6 +474,12 @@ let () =
           Alcotest.test_case "loopback roundtrip" `Quick test_tcp_roundtrip;
           Alcotest.test_case "coalesced frame" `Quick test_tcp_coalesce;
           Alcotest.test_case "reconnect with backoff" `Quick test_tcp_reconnect;
+          Alcotest.test_case "torn reply survives reconnect" `Quick
+            test_tcp_torn_reply_reconnect;
+          Alcotest.test_case "close drops pending" `Quick
+            test_tcp_close_drops_pending;
+          Alcotest.test_case "blocking pump honours backoff" `Quick
+            test_tcp_blocking_pump_backoff;
         ] );
       ( "faulty",
         [
