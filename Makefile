@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-json bench-compare chaos-smoke mc-smoke recover-smoke transport-smoke verify examples check clean doc
+.PHONY: all build test bench bench-json bench-compare chaos-smoke mc-smoke recover-smoke transport-smoke par-smoke verify examples check clean doc
 
 all: build
 
@@ -59,9 +59,17 @@ transport-smoke:
 	dune exec test/test_transport_conformance.exe
 	dune exec bin/netobj_sim.exe -- transport-demo --seed 7
 
+# Domain-parallel smoke: the multi-space invoke storm across a forced
+# 4-domain pool (the default pool adapts to the host's core count and
+# would collapse to one domain on small machines), checked by the
+# safety oracle: every call accounted for, the paper's invariants hold
+# at quiescence, dirty sets drain.
+par-smoke:
+	NETOBJ_DOMAINS_POOL=4 dune exec bin/netobj_sim.exe -- par --seed 7 --spaces 8 --domains 4 --calls 200
+
 # The full local gate: build everything, run the test suite (unit,
-# property, cram), then the four smoke targets.
-verify: build test chaos-smoke mc-smoke recover-smoke transport-smoke
+# property, cram), then the five smoke targets.
+verify: build test chaos-smoke mc-smoke recover-smoke transport-smoke par-smoke
 
 examples:
 	dune exec examples/quickstart.exe

@@ -1350,6 +1350,112 @@ let e21_transport () =
           Transport.close tr)
     [ 0; 16; 256; 4096; 65536 ]
 
+(* ------------------------------------------------------------------ E22 *)
+
+module Engine_sim = Netobj_engine.Engine_sim
+module Engine_domains = Netobj_engine.Engine_domains
+
+(* Engine scaling on the multi-space invoke workload: a ring of spaces,
+   each running one mutator fiber that makes N sequential calls to its
+   neighbour's counter, so every shard both serves and issues calls
+   concurrently.  The same workload runs on the deterministic sim
+   engine (the E16/E21 single-domain baseline, full virtual-clock
+   packet simulation) and on the domains engine at 1, 2 and 4 shards
+   (real inter-domain mailboxes, no packet simulation).  Aggregate
+   calls/sec is wall-clock; per-row gauges land in the JSON dump.  On a
+   single-core host the domains rows cannot exhibit true hardware
+   parallelism — their advantage is the leaner per-call path — so the
+   table reports every row and lets the ratio speak for itself. *)
+let e22_par () =
+  section "E22: engine scaling — multi-space invoke storm, sim vs domains";
+  let module Mx = Netobj_obs.Metrics in
+  (* Each space runs [fibers] concurrent clients (pipelined RPC, the
+     realistic shape for a storm): with one sequential caller per space
+     every cross-shard hop pays a full domain handoff, which measures
+     wake latency rather than throughput. *)
+  let spaces = 8 and fibers = 16 and calls_per_fiber = 25 in
+  let calls = fibers * calls_per_fiber in
+  let total = spaces * calls in
+  let run_engine engine_mod ~domains =
+    let rt =
+      R.create
+        (R.config ~seed:11L ~nspaces:spaces ~domains ~engine:engine_mod ())
+    in
+    let counters =
+      Array.init spaces (fun i ->
+          let sp = R.space rt i in
+          let c = counter_obj sp in
+          R.publish sp (Printf.sprintf "cnt-%d" i) c;
+          c)
+    in
+    (* [left.(i)] is mutated only by space [i]'s fibers (one domain);
+       the control thread reads it between episodes, after the join. *)
+    let left = Array.make spaces fibers in
+    for i = 0 to spaces - 1 do
+      let target = (i + 1) mod spaces in
+      for _ = 1 to fibers do
+        R.spawn_at rt ~space:i (fun () ->
+            let sp = R.space rt i in
+            let h = R.lookup sp ~at:target (Printf.sprintf "cnt-%d" target) in
+            for _ = 1 to calls_per_fiber do
+              ignore (Stub.call sp h m_incr 1)
+            done;
+            R.release sp h;
+            left.(i) <- left.(i) - 1)
+      done
+    done;
+    let all_done () = Array.for_all (fun n -> n = 0) left in
+    let t0 = Unix.gettimeofday () in
+    if R.engine_name rt = "sim" then ignore (R.run rt)
+    else begin
+      let until = ref 1.0 in
+      while (not (all_done ())) && Unix.gettimeofday () -. t0 < 120.0 do
+        ignore (R.run rt ~until:!until);
+        until := !until +. 1.0
+      done
+    end;
+    let wall = Unix.gettimeofday () -. t0 in
+    if not (all_done ()) then Fmt.failwith "E22: storm did not finish";
+    let counts = Array.make spaces (-1) in
+    for i = 0 to spaces - 1 do
+      R.spawn_at rt ~space:i (fun () ->
+          counts.(i) <- Stub.call (R.space rt i) counters.(i) m_incr 0)
+    done;
+    (if R.engine_name rt = "sim" then ignore (R.run rt)
+     else
+       ignore
+         (R.run rt ~until:(Netobj_sched.Sched.now (R.sched rt) +. 1.0)));
+    if Array.exists (fun n -> n < 0) counts then
+      Fmt.failwith "E22: counter reads did not finish";
+    let counted = Array.fold_left ( + ) 0 counts in
+    if counted <> total then
+      Fmt.failwith "E22: lost calls (sent %d, counted %d)" total counted;
+    (wall, float_of_int total /. wall)
+  in
+  row "%-12s %8s %8s %12s %12s@." "engine" "shards" "calls" "wall-ms"
+    "calls/s";
+  let report label shards (wall, rate) =
+    Mx.set_gauge (Mx.gauge Mx.global ("par.calls_per_s." ^ label)) rate;
+    row "%-12s %8d %8d %12.1f %12.0f@." label shards total (wall *. 1e3) rate;
+    rate
+  in
+  let base =
+    report "sim" 1 (run_engine (module Engine_sim : R.Engine.S) ~domains:1)
+  in
+  let dom n =
+    report
+      (Printf.sprintf "domains-%d" n)
+      n
+      (run_engine (module Engine_domains : R.Engine.S) ~domains:n)
+  in
+  let d1 = dom 1 in
+  let d2 = dom 2 in
+  let d4 = dom 4 in
+  let speedup = d4 /. base in
+  Mx.set_gauge (Mx.gauge Mx.global "par.speedup.domains4_vs_sim") speedup;
+  row "@.domains-4 vs sim baseline: %.2fx (domains-1 %.2fx, domains-2 %.2fx)@."
+    speedup (d1 /. base) (d2 /. base)
+
 (* ------------------------------------------------------------------ main *)
 
 let experiments =
@@ -1375,6 +1481,7 @@ let experiments =
     ("mc", e19_mc);
     ("recover", e20_recover);
     ("transport", e21_transport);
+    ("par", e22_par);
   ]
 
 (* --json PATH: machine-readable results.  Each experiment runs with the

@@ -82,6 +82,64 @@ let steps_arg =
 let seed_arg =
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S" ~doc:"Random seed.")
 
+(* One engine/backend flag pair shared by every runtime-driving
+   subcommand, replacing per-subcommand ad-hoc spellings.  Each
+   subcommand states which values it supports; unsupported combinations
+   are rejected with the same message everywhere. *)
+
+type engine_choice = Engine_sim_c | Engine_domains_c
+
+type backend_choice = Backend_sim | Backend_tcp
+
+let engine_str = function Engine_sim_c -> "sim" | Engine_domains_c -> "domains"
+
+let backend_str = function Backend_sim -> "sim" | Backend_tcp -> "tcp"
+
+let engine_conv =
+  Arg.enum [ ("sim", Engine_sim_c); ("domains", Engine_domains_c) ]
+
+let backend_conv = Arg.enum [ ("sim", Backend_sim); ("tcp", Backend_tcp) ]
+
+let engine_info =
+  Arg.info [ "engine" ] ~docv:"ENGINE"
+    ~doc:
+      "Execution engine: $(b,sim) (deterministic single-domain fibers — the \
+       substrate for mc, chaos and replay) or $(b,domains) (spaces sharded \
+       across OCaml domains, parallel and nondeterministic)."
+
+let backend_info =
+  Arg.info [ "backend" ] ~docv:"BACKEND"
+    ~doc:
+      "Message transport: $(b,sim) (in-process simulated network) or \
+       $(b,tcp) (real sockets; $(b,serve)/$(b,connect) only)."
+
+let engine_arg = Arg.(value & opt engine_conv Engine_sim_c engine_info)
+
+let domains_engine_arg = Arg.(value & opt engine_conv Engine_domains_c engine_info)
+
+let backend_arg = Arg.(value & opt backend_conv Backend_sim backend_info)
+
+(* serve/connect are real-socket commands, so their default is tcp. *)
+let tcp_backend_arg = Arg.(value & opt backend_conv Backend_tcp backend_info)
+
+(* Reject unsupported values uniformly: same wording, exit code 2,
+   regardless of which subcommand is complaining. *)
+let require_engine ~cmd ~allowed engine =
+  if not (List.mem engine allowed) then begin
+    Fmt.epr "%s: --engine %s is not supported here (supported: %s)@." cmd
+      (engine_str engine)
+      (String.concat ", " (List.map engine_str allowed));
+    exit 2
+  end
+
+let require_backend ~cmd ~allowed backend =
+  if not (List.mem backend allowed) then begin
+    Fmt.epr "%s: --backend %s is not supported here (supported: %s)@." cmd
+      (backend_str backend)
+      (String.concat ", " (List.map backend_str allowed));
+    exit 2
+  end
+
 (* --- check ----------------------------------------------------------------- *)
 
 let check procs budget =
@@ -146,7 +204,9 @@ let workload_of procs = function
   | "churn" -> Workload.churn ~procs ~events:100 ~seed:42L
   | w -> Fmt.failwith "unknown workload %s" w
 
-let run_harness algo workload procs seeds trace_out metrics_out =
+let run_harness engine backend algo workload procs seeds trace_out metrics_out =
+  require_engine ~cmd:"run" ~allowed:[ Engine_sim_c ] engine;
+  require_backend ~cmd:"run" ~allowed:[ Backend_sim ] backend;
   match Registry.find algo with
   | None ->
       Fmt.epr "unknown algorithm %s (have: %s)@." algo
@@ -190,8 +250,8 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Run an algorithm against a workload with the safety oracle.")
     Term.(
-      const run_harness $ algo_arg $ workload_arg $ procs_arg $ seeds_arg
-      $ trace_out_arg $ metrics_out_arg)
+      const run_harness $ engine_arg $ backend_arg $ algo_arg $ workload_arg
+      $ procs_arg $ seeds_arg $ trace_out_arg $ metrics_out_arg)
 
 (* --- fifo -------------------------------------------------------------------- *)
 
@@ -246,7 +306,9 @@ let fifo_cmd =
 
 (* --- trace ------------------------------------------------------------------- *)
 
-let trace seed steps procs trace_out metrics_out =
+let trace engine backend seed steps procs trace_out metrics_out =
+  require_engine ~cmd:"trace" ~allowed:[ Engine_sim_c ] engine;
+  require_backend ~cmd:"trace" ~allowed:[ Backend_sim ] backend;
   with_obs ~trace_out ~metrics_out @@ fun () ->
   let rng = Netobj_util.Rng.create (Int64.of_int seed) in
   let c = ref (alloc procs) in
@@ -277,16 +339,18 @@ let trace_cmd =
   Cmd.v
     (Cmd.info "trace" ~doc:"Print a random execution with the termination measure.")
     Term.(
-      const trace $ seed_arg $ steps_arg $ procs_arg $ trace_out_arg
-      $ metrics_out_arg)
+      const trace $ engine_arg $ backend_arg $ seed_arg $ steps_arg
+      $ procs_arg $ trace_out_arg $ metrics_out_arg)
 
 (* --- chaos -------------------------------------------------------------------- *)
 
 module Chaos = Netobj_chaos.Chaos
 
-let chaos seed spaces duration objects events partitions crashes crash_recovers
-    disk_faults loss_bursts dup_bursts spikes drain_limit backoff trace_out
-    metrics_out =
+let chaos engine backend seed spaces duration objects events partitions crashes
+    crash_recovers disk_faults loss_bursts dup_bursts spikes drain_limit
+    backoff trace_out metrics_out =
+  require_engine ~cmd:"chaos" ~allowed:[ Engine_sim_c ] engine;
+  require_backend ~cmd:"chaos" ~allowed:[ Backend_sim ] backend;
   with_obs ~trace_out ~metrics_out @@ fun () ->
   let cfg =
     {
@@ -358,8 +422,8 @@ let chaos_cmd =
           full runtime with safety and liveness oracles.  Exits 0 iff the \
           run survived.")
     Term.(
-      const chaos $ seed_arg $ chaos_spaces_arg $ duration_arg $ objects_arg
-      $ events_arg
+      const chaos $ engine_arg $ backend_arg $ seed_arg $ chaos_spaces_arg
+      $ duration_arg $ objects_arg $ events_arg
       $ mix_arg "partitions" 3 "Partitions (healed) in the schedule."
       $ mix_arg "crashes" 2 "Crash+restart faults in the schedule."
       $ mix_arg "crash-recovers" 0
@@ -383,7 +447,9 @@ module Pk = Netobj_pickle.Pickle
    client's reassert re-establishes the dirty set, the held reference is
    invoked again (the survival property), and after release the system
    must drain back to ground truth. *)
-let recover_run seed fault_name trace_out metrics_out =
+let recover_run engine backend seed fault_name trace_out metrics_out =
+  require_engine ~cmd:"recover" ~allowed:[ Engine_sim_c ] engine;
+  require_backend ~cmd:"recover" ~allowed:[ Backend_sim ] backend;
   with_obs ~trace_out ~metrics_out @@ fun () ->
   let fault =
     match fault_name with
@@ -508,8 +574,8 @@ let recover_cmd =
           reference again, release, and drain.  Exits 0 iff every step \
           held.")
     Term.(
-      const recover_run $ seed_arg $ disk_fault_arg $ trace_out_arg
-      $ metrics_out_arg)
+      const recover_run $ engine_arg $ backend_arg $ seed_arg $ disk_fault_arg
+      $ trace_out_arg $ metrics_out_arg)
 
 (* --- serve / connect / transport-demo ----------------------------------------- *)
 
@@ -572,7 +638,10 @@ let call_incr sp h =
     ~encode:(fun w -> Pk.write Pk.int w 1)
     ~decode:(fun r -> Pk.read Pk.int r)
 
-let serve addr spaces port portfile peers seed epoch duration quiet =
+let serve engine backend addr spaces port portfile peers seed epoch duration
+    quiet =
+  require_engine ~cmd:"serve" ~allowed:[ Engine_sim_c ] engine;
+  require_backend ~cmd:"serve" ~allowed:[ Backend_tcp ] backend;
   let endpoints =
     (addr, { Tcp.host = "127.0.0.1"; port }) :: List.map parse_peer peers
   in
@@ -606,7 +675,9 @@ let serve addr spaces port portfile peers seed epoch duration quiet =
   drive rt ~deadline ~stop:(fun () -> false);
   0
 
-let connect addr spaces peers seed =
+let connect engine backend addr spaces peers seed =
+  require_engine ~cmd:"connect" ~allowed:[ Engine_sim_c ] engine;
+  require_backend ~cmd:"connect" ~allowed:[ Backend_tcp ] backend;
   let endpoints = List.map parse_peer peers in
   let targets = List.sort Int.compare (List.map fst endpoints) in
   let rt = R.create (tcp_config ~seed ~spaces ~serving:[] ~endpoints ()) in
@@ -880,8 +951,9 @@ let serve_cmd =
           dirty, clean and lookup traffic from remote processes until \
           the duration expires.")
     Term.(
-      const serve $ addr_arg $ spaces_arg $ port_arg $ portfile_arg
-      $ peers_arg $ seed_arg $ epoch_arg $ serve_duration_arg $ quiet_arg)
+      const serve $ engine_arg $ tcp_backend_arg $ addr_arg $ spaces_arg
+      $ port_arg $ portfile_arg $ peers_arg $ seed_arg $ epoch_arg
+      $ serve_duration_arg $ quiet_arg)
 
 let connect_cmd =
   Cmd.v
@@ -891,7 +963,9 @@ let connect_cmd =
           up each peer's \"counter\", invoke it once, release, and \
           exit 0 iff every round trip succeeded.  The client binds no \
           listener — replies ride the request connection.")
-    Term.(const connect $ addr_arg $ spaces_arg $ peers_arg $ seed_arg)
+    Term.(
+      const connect $ engine_arg $ tcp_backend_arg $ addr_arg $ spaces_arg
+      $ peers_arg $ seed_arg)
 
 let transport_demo_cmd =
   Cmd.v
@@ -905,6 +979,167 @@ let transport_demo_cmd =
           is deterministic (ports are never printed); exits 0 iff the \
           narrative held.")
     Term.(const transport_demo $ seed_arg)
+
+(* --- par ----------------------------------------------------------------------- *)
+
+(* Multi-space invoke storm with the safety oracle, on either engine.
+   Every space runs a mutator fiber incrementing the other spaces'
+   counters; afterwards the counters must sum to the calls sent (no
+   increment lost or invented across domains), no fiber may have died,
+   the runtime's per-step and quiescent invariants must hold, and every
+   dirty set must drain.  This is the 4-domain stress run `make
+   par-smoke` folds into `make verify`. *)
+let par engine backend seed spaces domains calls =
+  require_engine ~cmd:"par" ~allowed:[ Engine_sim_c; Engine_domains_c ] engine;
+  require_backend ~cmd:"par" ~allowed:[ Backend_sim ] backend;
+  let engine_mod =
+    match engine with
+    | Engine_sim_c -> (module Netobj_engine.Engine_sim : R.Engine.S)
+    | Engine_domains_c -> (module Netobj_engine.Engine_domains : R.Engine.S)
+  in
+  let rt =
+    R.create
+      (R.config ~seed:(Int64.of_int seed) ~nspaces:spaces ~domains
+         ~engine:engine_mod ~gc_period:0.5 ())
+  in
+  let failed = ref false in
+  let fail fmt =
+    Fmt.kpf (fun _ -> failed := true) Fmt.stdout ("FAIL: " ^^ fmt ^^ "@.")
+  in
+  Fmt.pr "par: engine=%s spaces=%d shards=%d calls/space=%d@."
+    (R.engine_name rt) spaces (R.nshards rt) calls;
+  let counters =
+    Array.init spaces (fun i ->
+        let sp = R.space rt i in
+        let v = ref 0 in
+        let obj =
+          R.allocate sp
+            ~meths:
+              [
+                R.meth "incr" (fun _sp r ->
+                    let n = Pk.read Pk.int r in
+                    fun () w ->
+                      v := !v + n;
+                      Pk.write Pk.int w !v);
+                R.meth "get" (fun _sp _r () w -> Pk.write Pk.int w !v);
+              ]
+        in
+        R.publish sp (Printf.sprintf "cnt-%d" i) obj;
+        obj)
+  in
+  let sent = Array.make spaces 0 in
+  let done_ = Array.make spaces false in
+  for i = 0 to spaces - 1 do
+    R.spawn_at rt ~space:i
+      ~name:(Printf.sprintf "storm-%d" i)
+      (fun () ->
+        let sp = R.space rt i in
+        let rng = Netobj_util.Rng.create (Int64.of_int ((seed * 1299709) + i)) in
+        let handles =
+          List.init spaces (fun j ->
+              if j = i then None
+              else Some (R.lookup sp ~at:j (Printf.sprintf "cnt-%d" j)))
+        in
+        for _ = 1 to calls do
+          let j = Netobj_util.Rng.int rng spaces in
+          match List.nth handles j with
+          | None -> ()
+          | Some h ->
+              ignore
+                (R.invoke_raw sp h ~meth:"incr"
+                   ~encode:(fun w -> Pk.write Pk.int w 1)
+                   ~decode:(fun r -> Pk.read Pk.int r));
+              sent.(i) <- sent.(i) + 1
+        done;
+        List.iter (function None -> () | Some h -> R.release sp h) handles;
+        R.collect sp;
+        done_.(i) <- true)
+  done;
+  let until = ref 1.0 in
+  let all_done () = Array.for_all Fun.id done_ in
+  let t0 = Unix.gettimeofday () in
+  while (not (all_done ())) && Unix.gettimeofday () -. t0 < 120.0 do
+    ignore (R.run rt ~until:!until);
+    until := !until +. 1.0
+  done;
+  if not (all_done ()) then fail "storm did not converge";
+  let drained () =
+    List.for_all
+      (fun i -> R.dirty_set (R.space rt i) counters.(i) = [])
+      (List.init spaces Fun.id)
+  in
+  let t0 = Unix.gettimeofday () in
+  while (not (drained ())) && Unix.gettimeofday () -. t0 < 60.0 do
+    ignore (R.run rt ~until:!until);
+    until := !until +. 1.0
+  done;
+  let total_sent = Array.fold_left ( + ) 0 sent in
+  let values = Array.make spaces 0 in
+  let reads_done = Array.make spaces false in
+  for i = 0 to spaces - 1 do
+    R.spawn_at rt ~space:i (fun () ->
+        values.(i) <-
+          R.invoke_raw (R.space rt i) counters.(i) ~meth:"get"
+            ~encode:(fun _ -> ())
+            ~decode:(fun r -> Pk.read Pk.int r);
+        reads_done.(i) <- true)
+  done;
+  let t0 = Unix.gettimeofday () in
+  while
+    (not (Array.for_all Fun.id reads_done))
+    && Unix.gettimeofday () -. t0 < 30.0
+  do
+    ignore (R.run rt ~until:!until);
+    until := !until +. 1.0
+  done;
+  if not (Array.for_all Fun.id reads_done) then fail "counter reads stuck";
+  let total = Array.fold_left ( + ) 0 values in
+  if total <> total_sent then
+    fail "lost/invented calls: sent %d, counted %d" total_sent total
+  else Fmt.pr "par: %d calls accounted for@." total;
+  (match Netobj_sched.Sched.failures (R.sched rt) with
+  | [] -> ()
+  | (n, e) :: _ -> fail "fiber %s raised %s" n (Printexc.to_string e));
+  (match R.check_safety rt with
+  | [] -> ()
+  | vs -> List.iter (fun v -> fail "safety: %s" v) vs);
+  (match R.check_consistency rt with
+  | [] -> ()
+  | vs -> List.iter (fun v -> fail "consistency: %s" v) vs);
+  if not (drained ()) then fail "dirty sets did not drain"
+  else Fmt.pr "par: dirty sets drained, invariants ok@.";
+  Fmt.pr "result: %s@." (if !failed then "FAILED" else "SURVIVED");
+  if !failed then 1 else 0
+
+let par_spaces_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "spaces" ] ~docv:"N" ~doc:"Number of spaces in the storm.")
+
+let par_domains_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "domains" ] ~docv:"N"
+        ~doc:"Domain budget for the $(b,domains) engine (shards = min \
+              spaces domains).")
+
+let par_calls_arg =
+  Arg.(
+    value & opt int 200
+    & info [ "calls" ] ~docv:"N" ~doc:"Remote calls issued per space.")
+
+let par_cmd =
+  Cmd.v
+    (Cmd.info "par"
+       ~doc:
+         "Run a multi-space cross-shard invoke storm with the safety \
+          oracle: counters must account for every call, the paper's \
+          safety invariants must hold at quiescence, and every dirty \
+          set must drain.  Defaults to the $(b,domains) engine; exits 0 \
+          iff the storm survived.")
+    Term.(
+      const par $ domains_engine_arg $ backend_arg $ seed_arg $ par_spaces_arg
+      $ par_domains_arg $ par_calls_arg)
 
 (* --- mc ----------------------------------------------------------------------- *)
 
@@ -939,8 +1174,10 @@ let mc_replay sc (schedule : Mc.schedule) =
       List.iter (fun p -> Fmt.pr "  %s@." p) problems;
       1
 
-let mc scenario_name mode leak max_schedules max_depth preemptions slots seed
-    cex_out replay_file trace_out metrics_out =
+let mc engine backend scenario_name mode leak max_schedules max_depth
+    preemptions slots seed cex_out replay_file trace_out metrics_out =
+  require_engine ~cmd:"mc" ~allowed:[ Engine_sim_c ] engine;
+  require_backend ~cmd:"mc" ~allowed:[ Backend_sim ] backend;
   with_obs ~trace_out ~metrics_out @@ fun () ->
   match replay_file with
   | Some path -> (
@@ -1079,9 +1316,9 @@ let mc_cmd =
           oracle at each step and the drain oracles at each end state.  \
           Exits 0 iff no violation was found.")
     Term.(
-      const mc $ scenario_arg $ mode_arg $ leak_arg $ max_schedules_arg
-      $ max_depth_arg $ preemptions_arg $ slots_arg $ seed_arg $ cex_out_arg
-      $ replay_arg $ trace_out_arg $ metrics_out_arg)
+      const mc $ engine_arg $ backend_arg $ scenario_arg $ mode_arg $ leak_arg
+      $ max_schedules_arg $ max_depth_arg $ preemptions_arg $ slots_arg
+      $ seed_arg $ cex_out_arg $ replay_arg $ trace_out_arg $ metrics_out_arg)
 
 (* --- main -------------------------------------------------------------------- *)
 
@@ -1102,5 +1339,6 @@ let () =
             serve_cmd;
             connect_cmd;
             transport_demo_cmd;
+            par_cmd;
             mc_cmd;
           ]))

@@ -1,7 +1,8 @@
 module Sched = Netobj_sched.Sched
 module Net = Netobj_net.Net
 module Transport = Netobj_transport.Transport
-module Transport_sim = Netobj_transport.Transport_sim
+module Engine = Netobj_engine.Engine
+module Engine_sim = Netobj_engine.Engine_sim
 module Wire = Netobj_pickle.Wire
 module Pickle = Netobj_pickle.Pickle
 module Rng = Netobj_util.Rng
@@ -114,6 +115,8 @@ type config = {
   snapshot_period : float option;
   recover_grace : float;
   transport : (Sched.t -> Net.t -> Transport.t) option;
+  engine : (module Engine.S) option;
+  domains : int;
 }
 
 let config ?(seed = 1L) ?(policy = Sched.Fifo) ?(edge = Net.bag_edge ())
@@ -122,7 +125,7 @@ let config ?(seed = 1L) ?(policy = Sched.Fifo) ?(edge = Net.bag_edge ())
     ?(backoff_jitter = 0.0) ?(lease_grace = 0.0) ?pin_timeout ?clean_batch
     ?(piggyback_acks = false) ?(coalesce = false) ?(bug_lookup_leak = false)
     ?(durable = false) ?(fsync_delay = 0.02) ?snapshot_period
-    ?(recover_grace = 2.0) ?transport ~nspaces () =
+    ?(recover_grace = 2.0) ?transport ?engine ?(domains = 4) ~nspaces () =
   if backoff < 1.0 then invalid_arg "Runtime.config: backoff must be >= 1";
   if backoff_jitter < 0.0 || backoff_jitter >= 1.0 then
     invalid_arg "Runtime.config: backoff_jitter must be in [0, 1)";
@@ -130,6 +133,7 @@ let config ?(seed = 1L) ?(policy = Sched.Fifo) ?(edge = Net.bag_edge ())
     invalid_arg "Runtime.config: fsync_delay must be >= 0";
   if recover_grace < 0.0 then
     invalid_arg "Runtime.config: recover_grace must be >= 0";
+  if domains < 1 then invalid_arg "Runtime.config: domains must be >= 1";
   {
     nspaces;
     seed;
@@ -156,15 +160,33 @@ let config ?(seed = 1L) ?(policy = Sched.Fifo) ?(edge = Net.bag_edge ())
     snapshot_period;
     recover_grace;
     transport;
+    engine;
+    domains;
   }
 
-let with_seed cfg seed = { cfg with seed }
+(* The one builder: derive a variant config by overriding any subset of
+   the rebindable knobs.  The legacy [with_*] accessors are thin
+   deprecated aliases over this. *)
+let override ?seed ?policy ?edge ?coalesce ?transport ?engine ?domains cfg =
+  let upd v = function Some x -> x | None -> v in
+  {
+    cfg with
+    seed = upd cfg.seed seed;
+    policy = upd cfg.policy policy;
+    edge = upd cfg.edge edge;
+    coalesce = upd cfg.coalesce coalesce;
+    transport = (match transport with Some f -> Some f | None -> cfg.transport);
+    engine = (match engine with Some e -> Some e | None -> cfg.engine);
+    domains = upd cfg.domains domains;
+  }
 
-let with_policy cfg policy = { cfg with policy }
+let with_seed cfg seed = override ~seed cfg
 
-let with_edge cfg edge = { cfg with edge }
+let with_policy cfg policy = override ~policy cfg
 
-let with_coalesce cfg coalesce = { cfg with coalesce }
+let with_edge cfg edge = override ~edge cfg
+
+let with_coalesce cfg coalesce = override ~coalesce cfg
 
 let config_nspaces cfg = cfg.nspaces
 
@@ -217,6 +239,7 @@ and entry = Concrete of cobj | Surrogate of sentry ref
 and space = {
   id : int;
   rt : t;
+  shard : Engine.shard;  (* the execution context this space is pinned to *)
   table : entry Wirerep.Tbl.t;
   mutable next_index : int;
   mutable next_msg : int;
@@ -266,20 +289,31 @@ and space = {
 
 and t = {
   config : config;
-  sched : Sched.t;
-  network : Net.t;
-  tr : Transport.t;
-  retry_rng : Rng.t;  (* jitter for backoff'd retries, seeded *)
+  engine : Engine.instance;
+  shards : Engine.shard array;
+  (* jitter for backoff'd retries: one seeded stream per shard, so
+     retries on different domains never contend (or share draws) *)
+  retry_rngs : Rng.t array;
   mutable space_arr : space array;
   (* tag -> method suite, consulted when recovery re-instantiates the
      concrete objects found in the snapshot and log *)
   factories : (string, unit -> meth list) Hashtbl.t;
 }
 
+(* Every space is pinned to one shard: all of its fibers, timers and
+   transport traffic go through that shard's world. *)
+let ssched sp = sp.shard.Engine.s_sched
+
+let stransport sp = sp.shard.Engine.s_transport
+
+let sretry_rng sp = sp.rt.retry_rngs.(sp.shard.Engine.s_id)
+
 (* --- marshal contexts ---------------------------------------------------
 
    Contexts are only live during non-yielding encode/decode extents, so a
-   module-global stack is safe under the cooperative scheduler. *)
+   domain-local stack is safe under the cooperative scheduler (fibers of
+   one domain never interleave inside an extent; other domains have
+   their own stack). *)
 
 type ctx =
   | Enc of { esp : space; e_pinned : Wirerep.t list ref }
@@ -289,9 +323,11 @@ type ctx =
       d_pending : bool Sched.Ivar.var list ref;
     }
 
-let ctx_stack : ctx list ref = ref []
+let ctx_stack_key : ctx list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
 
 let with_ctx c f =
+  let ctx_stack = Domain.DLS.get ctx_stack_key in
   ctx_stack := c :: !ctx_stack;
   Fun.protect ~finally:(fun () -> ctx_stack := List.tl !ctx_stack) f
 
@@ -338,16 +374,24 @@ let spaces rt = Array.to_list rt.space_arr
 
 let space_id sp = sp.id
 
-let sched rt = rt.sched
+(* Shard 0's world: with the sim engine this is *the* scheduler,
+   network and transport; with a parallel engine these accessors keep
+   meaning "the first shard" for compatibility (the model checker,
+   chaos and the CLI only drive the sim engine). *)
+let sched rt = rt.shards.(0).Engine.s_sched
 
-let net rt = rt.network
+let net rt = rt.shards.(0).Engine.s_net
 
-let transport rt = rt.tr
+let transport rt = rt.shards.(0).Engine.s_transport
+
+let engine_name rt = Engine.name rt.engine
+
+let nshards rt = Array.length rt.shards
 
 let run ?max_steps ?until rt =
-  let steps = Sched.run ?max_steps ?until rt.sched in
+  let steps = Engine.run ?max_steps ?until rt.engine in
   (* Snapshot writer-pool effectiveness so metrics dumps show how much of
-     the marshalling traffic reused buffers. *)
+     the marshalling traffic reused buffers (this domain's pool). *)
   if Obs.on () then begin
     let hits, misses = Wire.Writer.pool_stats () in
     Metrics.set_gauge g_pool_hits (float_of_int hits);
@@ -355,7 +399,12 @@ let run ?max_steps ?until rt =
   end;
   steps
 
-let spawn rt ?name f = Sched.spawn rt.sched ?name f
+let spawn rt ?name f = Engine.spawn rt.engine ~shard:0 ?name f
+
+(* Pin a fiber to the shard owning [space]: required for any fiber that
+   blocks as that space under a multi-shard engine. *)
+let spawn_at rt ~space:i ?name f =
+  Engine.spawn rt.engine ~shard:(space rt i).shard.Engine.s_id ?name f
 
 let wirerep h = h.wr
 
@@ -393,8 +442,8 @@ let send_env sp ~dst env =
     let payload = Pickle.encode Proto.packet_codec packet in
     let kind = Proto.kind env in
     if sp.rt.config.coalesce then
-      Transport.post sp.rt.tr ~src:sp.id ~dst ~kind payload
-    else Transport.send sp.rt.tr ~src:sp.id ~dst ~kind payload
+      Transport.post (stransport sp) ~src:sp.id ~dst ~kind payload
+    else Transport.send (stransport sp) ~src:sp.id ~dst ~kind payload
   in
   (* Commit-before-externalize: a message that makes state observable —
      a dirty/reassert acknowledgement, or a call/reply whose payload
@@ -424,12 +473,12 @@ let send_env sp ~dst env =
    seeded jitter factor so a fleet of retries does not stampede in
    lock-step.  [backoff = 1] (default) keeps the historical
    fixed-interval behaviour. *)
-let retry_delay rt ~attempt ~base =
-  let d = base *. (rt.config.backoff ** float_of_int attempt) in
-  let d = Float.min d rt.config.backoff_cap in
-  let j = rt.config.backoff_jitter in
+let retry_delay sp ~attempt ~base =
+  let d = base *. (sp.rt.config.backoff ** float_of_int attempt) in
+  let d = Float.min d sp.rt.config.backoff_cap in
+  let j = sp.rt.config.backoff_jitter in
   if j <= 0.0 then d
-  else d *. (1.0 -. (j /. 2.0) +. (j *. Rng.float rt.retry_rng))
+  else d *. (1.0 -. (j /. 2.0) +. (j *. Rng.float (sretry_rng sp)))
 
 let count_retry sp label wr =
   sp.s_retries <- sp.s_retries + 1;
@@ -464,8 +513,8 @@ let send_dirty_retrying sp wr iv =
       let gen = sp.epoch in
       let rec arm attempt =
         let cancel =
-          Sched.timer_cancel sp.rt.sched
-            (retry_delay sp.rt ~attempt ~base)
+          Sched.timer_cancel (ssched sp)
+            (retry_delay sp ~attempt ~base)
             (fun () ->
               if (not sp.crashed) && sp.epoch = gen
                  && not (Sched.Ivar.is_filled iv)
@@ -530,7 +579,7 @@ let acquire_surrogate sp wr =
 
 let handle_codec =
   let write w h =
-    (match !ctx_stack with
+    (match !(Domain.DLS.get ctx_stack_key) with
     | Enc { esp; e_pinned } :: _ ->
         pin esp h.wr;
         e_pinned := h.wr :: !e_pinned
@@ -540,7 +589,7 @@ let handle_codec =
   in
   let read r =
     let wr = Pickle.read Wirerep.codec r in
-    (match !ctx_stack with
+    (match !(Domain.DLS.get ctx_stack_key) with
     | Dec { dsp; d_acquired; d_pending } :: _ ->
         (* Pin immediately so an interleaved local GC cannot sweep the
            entry while registration completes. *)
@@ -601,7 +650,7 @@ let encode_with_pins sp f =
     | None -> ()
     | Some dt ->
         let gen = sp.epoch in
-        Sched.timer sp.rt.sched dt (fun () ->
+        Sched.timer (ssched sp) dt (fun () ->
             if sp.epoch = gen then release_pins_for sp msg_id)
   end;
   (msg_id, has_refs, payload)
@@ -628,7 +677,7 @@ let await_registrations sp pending =
         match sp.rt.config.dirty_timeout with
         | None -> Sched.Ivar.read iv
         | Some dt -> (
-            match Sched.read_timeout sp.rt.sched iv ~timeout:dt with
+            match Sched.read_timeout (ssched sp) iv ~timeout:dt with
             | Some ok -> ok
             | None -> raise (Timeout "dirty call"))
       in
@@ -665,7 +714,7 @@ let collect sp =
      recovered dirty entries and pins are conservative (their clients may
      be about to re-assert), so reclaiming against them would break the
      no-premature-collection guarantee the window exists to keep. *)
-  if (not sp.crashed) && Sched.now sp.rt.sched >= sp.recover_until then begin
+  if (not sp.crashed) && Sched.now (ssched sp) >= sp.recover_until then begin
     (* Wall-clock pause time goes only into the metrics histogram, never
        into the trace: trace timestamps must stay deterministic. *)
     let t0 = if Obs.on () then Sys.time () else 0.0 in
@@ -777,7 +826,7 @@ let begin_clean sp wr =
 let cleaning_demon_batched sp window () =
   let rec loop () =
     let wr0 = Sched.Mailbox.recv sp.clean_mb in
-    Sched.sleep sp.rt.sched window;
+    Sched.sleep (ssched sp) window;
     let rec drain acc =
       match Sched.Mailbox.try_recv sp.clean_mb with
       | Some wr -> drain (wr :: acc)
@@ -828,8 +877,8 @@ let schedule_clean_retry sp cl wr =
       let rec arm attempt =
         cl.retry_cancel <-
           Some
-            (Sched.timer_cancel sp.rt.sched
-               (retry_delay sp.rt ~attempt ~base)
+            (Sched.timer_cancel (ssched sp)
+               (retry_delay sp ~attempt ~base)
                (fun () ->
                  if not sp.crashed then
                    match Wirerep.Tbl.find_opt sp.table wr with
@@ -1094,7 +1143,7 @@ let grace_mark sp pairs =
   if pairs <> [] then begin
     List.iter (fun key -> Hashtbl.replace sp.unconfirmed key ()) pairs;
     let gen = sp.epoch in
-    Sched.timer sp.rt.sched
+    Sched.timer (ssched sp)
       ~name:(Printf.sprintf "grace-%d" sp.id)
       sp.rt.config.recover_grace
       (fun () ->
@@ -1193,9 +1242,9 @@ let schedule_reassert sp peer =
     let gen = sp.epoch in
     let rec arm attempt =
       let cancel =
-        Sched.timer_cancel sp.rt.sched
+        Sched.timer_cancel (ssched sp)
           ~name:(Printf.sprintf "reassert-%d" sp.id)
-          (retry_delay sp.rt ~attempt ~base)
+          (retry_delay sp ~attempt ~base)
           (fun () ->
             if
               (not sp.crashed) && sp.epoch = gen
@@ -1419,7 +1468,7 @@ let handle_packet sp ~src (p : Proto.packet) =
 let ping_demon sp gen period () =
   let misses = sp.ping_misses in
   let rec loop nonce =
-    Sched.sleep sp.rt.sched period;
+    Sched.sleep (ssched sp) period;
     if (not sp.crashed) && sp.epoch = gen then begin
       let grace = sp.rt.config.lease_grace in
       let clients = clients_with_surrogates sp in
@@ -1434,7 +1483,7 @@ let ping_demon sp gen period () =
             &&
             if grace <= 0.0 then true
             else begin
-              let now = Sched.now sp.rt.sched in
+              let now = Sched.now (ssched sp) in
               match Hashtbl.find_opt sp.suspect_since cl with
               | None ->
                   Hashtbl.replace sp.suspect_since cl now;
@@ -1470,7 +1519,7 @@ let ping_demon sp gen period () =
 
 let gc_demon sp gen period () =
   let rec loop () =
-    Sched.sleep sp.rt.sched period;
+    Sched.sleep (ssched sp) period;
     if (not sp.crashed) && sp.epoch = gen then begin
       collect sp;
       loop ()
@@ -1605,7 +1654,7 @@ let invoke_raw sp h ~meth:meth_name ~encode ~decode =
         match sp.rt.config.call_timeout with
         | None -> Sched.Ivar.read iv
         | Some dt -> (
-            match Sched.read_timeout sp.rt.sched iv ~timeout:dt with
+            match Sched.read_timeout (ssched sp) iv ~timeout:dt with
             | Some r -> r
             | None ->
                 Hashtbl.remove sp.pending_calls call_id;
@@ -1742,7 +1791,7 @@ let import_wr sp wr =
           match sp.rt.config.dirty_timeout with
           | None -> Sched.Ivar.read iv
           | Some dt -> (
-              match Sched.read_timeout sp.rt.sched iv ~timeout:dt with
+              match Sched.read_timeout (ssched sp) iv ~timeout:dt with
               | Some ok -> ok
               | None ->
                   unpin sp wr;
@@ -1789,7 +1838,7 @@ let lookup sp ~at name =
 let crash rt i =
   let sp = space rt i in
   sp.crashed <- true;
-  Transport.crash rt.tr i
+  Transport.crash (stransport sp) i
 
 (* --- durable snapshots -------------------------------------------------
 
@@ -1849,7 +1898,7 @@ let take_snapshot sp =
 
 let spawn_periodic_demons sp =
   let gen = sp.epoch in
-  let sched = sp.rt.sched in
+  let sched = (ssched sp) in
   (match (sp.rt.config.snapshot_period, sp.store) with
   | Some p, Some _ ->
       Sched.spawn sched
@@ -1878,9 +1927,11 @@ let spawn_periodic_demons sp =
   | None -> ()
 
 let make_space rt id =
+  let shard = Engine.shard_of_space rt.engine id in
   {
     id;
     rt;
+    shard;
     table = Wirerep.Tbl.create 64;
     next_index = 0;
     next_msg = 0;
@@ -1900,7 +1951,8 @@ let make_space rt id =
     store =
       (if rt.config.durable then
          Some
-           (Store.create ~sched:rt.sched ~fsync_delay:rt.config.fsync_delay
+           (Store.create ~sched:shard.Engine.s_sched
+              ~fsync_delay:rt.config.fsync_delay
               ~id ())
        else None);
     unconfirmed = Hashtbl.create 8;
@@ -1918,31 +1970,38 @@ let make_space rt id =
     s_retries = 0;
   }
 
-let create config =
-  let sched = Sched.create ~policy:config.policy () in
-  (* Trace timestamps follow the virtual clock from here on (enable
-     observability *before* creating the runtime so nothing is emitted
-     against the default event-counter clock). *)
-  Obs.set_clock (fun () -> Sched.now sched);
-  let network = Net.create ~sched ~seed:config.seed () in
-  Net.set_all_edges network config.edge;
-  (* The simulated network is always created (the model checker's
-     delivery-choice hook and edge shaping live there); a custom
-     transport simply routes traffic elsewhere and leaves it idle. *)
-  let tr =
-    match config.transport with
-    | Some f -> f sched network
-    | None -> Transport_sim.of_net network
+let create (config : config) =
+  let engine_mod =
+    match config.engine with
+    | Some m -> m
+    | None -> (module Engine_sim : Engine.S)
   in
+  let engine =
+    Engine.make engine_mod
+      {
+        Engine.p_seed = config.seed;
+        p_nspaces = config.nspaces;
+        p_policy = config.policy;
+        p_edge = config.edge;
+        p_domains = config.domains;
+        p_mk_transport = config.transport;
+      }
+  in
+  let shards = Engine.shards engine in
   let rt =
     {
       config;
-      sched;
-      network;
-      tr;
-      (* Distinct stream from the network's: retries must not perturb
-         the latency/loss draws of runs that never retry. *)
-      retry_rng = Rng.create (Int64.logxor config.seed 0x9E3779B97F4A7C15L);
+      engine;
+      shards;
+      (* Distinct streams from the networks': retries must not perturb
+         the latency/loss draws of runs that never retry.  Shard 0 keeps
+         the historical derivation so recorded schedules replay. *)
+      retry_rngs =
+        Array.init (Array.length shards) (fun k ->
+            Rng.create
+              (Int64.add
+                 (Int64.logxor config.seed 0x9E3779B97F4A7C15L)
+                 (Int64.of_int k)));
       space_arr = [||];
       factories = Hashtbl.create 4;
     }
@@ -1959,7 +2018,8 @@ let create config =
           ~meths:[ agent_publish_meth; agent_lookup_meth ]
       in
       assert (agent.wr.Wirerep.index = 0);
-      Transport.set_handler tr sp.id (fun ~src ~kind:_ ~payload ~off ~len ->
+      Transport.set_handler (stransport sp) sp.id
+        (fun ~src ~kind:_ ~payload ~off ~len ->
           match Pickle.decode_slice Proto.packet_codec payload ~off ~len with
           | p -> handle_packet sp ~src p
           | exception e ->
@@ -1968,11 +2028,11 @@ let create config =
                     (Printexc.to_string e)));
       (match config.clean_batch with
       | Some window ->
-          Sched.spawn sched
+          Sched.spawn (ssched sp)
             ~name:(Printf.sprintf "clean-demon-%d" sp.id)
             (cleaning_demon_batched sp window)
       | None ->
-          Sched.spawn sched
+          Sched.spawn (ssched sp)
             ~name:(Printf.sprintf "clean-demon-%d" sp.id)
             (cleaning_demon sp));
       spawn_periodic_demons sp)
@@ -2052,7 +2112,7 @@ let restart rt i =
       Store.sync st
   | None -> ());
   sp.crashed <- false;
-  Transport.restore rt.tr i;
+  Transport.restore (stransport sp) i;
   let agent =
     allocate sp ~tag:"agent" ~meths:[ agent_publish_meth; agent_lookup_meth ]
   in
@@ -2301,7 +2361,7 @@ let recover rt i =
   sp.next_msg <- sp.next_msg + 1024;
   sp.next_call <- sp.next_call + 1024;
   sp.crashed <- false;
-  Transport.restore rt.tr i;
+  Transport.restore (stransport sp) i;
   (* An empty (or wiped) image still needs the well-known agent. *)
   let agent_wr = Wirerep.v ~space:sp.id ~index:0 in
   if not (Wirerep.Tbl.mem sp.table agent_wr) then begin
@@ -2320,7 +2380,7 @@ let recover rt i =
   (* Grace window: the collector stands down and every recovered dirty
      entry is conservatively retained until its client re-confirms. *)
   let grace = rt.config.recover_grace in
-  sp.recover_until <- Sched.now rt.sched +. grace;
+  sp.recover_until <- Sched.now (ssched sp) +. grace;
   let pairs =
     Wirerep.Tbl.fold
       (fun wr e acc ->
@@ -2342,7 +2402,7 @@ let recover rt i =
   let pinned_msgs = Hashtbl.fold (fun m _ acc -> m :: acc) sp.tdirty [] in
   List.iter
     (fun msg_id ->
-      Sched.timer rt.sched release_after (fun () ->
+      Sched.timer (ssched sp) release_after (fun () ->
           if (not sp.crashed) && sp.epoch = gen then
             release_pins_for sp msg_id))
     pinned_msgs;
@@ -2382,7 +2442,7 @@ let recover rt i =
   announce 0;
   List.iter
     (fun (frac, nonce) ->
-      Sched.timer rt.sched (grace *. frac) (fun () ->
+      Sched.timer (ssched sp) (grace *. frac) (fun () ->
           if (not sp.crashed) && sp.epoch = gen then announce nonce))
     [ (0.34, 1); (0.67, 2) ];
   if Obs.on () then begin
@@ -2657,5 +2717,5 @@ let state_fingerprint rt =
         (Sched.Mailbox.length sp.clean_mb)
         (Hashtbl.length sp.bindings))
     rt.space_arr;
-  add "~%d" (Sched.pending_fingerprint rt.sched);
+  add "~%d" (Sched.pending_fingerprint (sched rt));
   Hashtbl.hash (Buffer.contents buf)

@@ -21,6 +21,7 @@
 
 module Sched = Netobj_sched.Sched
 module Net = Netobj_net.Net
+module Engine = Netobj_engine.Engine
 module Wire = Netobj_pickle.Wire
 module Pickle = Netobj_pickle.Pickle
 
@@ -42,8 +43,8 @@ exception Timeout of string
 (** Runtime configuration.  The type is abstract: build one with the
     {!config} constructor (defaults are the fault-free baseline —
     reliable reordering network, no demons, no timeouts) and derive
-    variants with the [with_*] accessors.  New knobs can then be added
-    without breaking any call site. *)
+    variants with {!override}.  New knobs can then be added without
+    breaking any call site. *)
 type config
 
 (** [config ~nspaces ()] with every knob optional:
@@ -89,12 +90,19 @@ type config
     - [recover_grace] (default 2.0) is the post-recovery window during
       which the collector stands down and recovered dirty entries are
       conservatively retained while clients re-assert them;
-    - [transport] swaps the message transport: given the runtime's
-      scheduler and its simulated network, it returns the
-      {!Netobj_transport.Transport.t} all protocol traffic rides
-      (default: {!Netobj_transport.Transport_sim.of_net} over the
-      simulated network).  Real backends need their I/O pumped — see
-      {!transport} and {!Netobj_transport.Tcp}. *)
+    - [transport] swaps the message transport: given a shard's
+      scheduler and its simulated network (invoked once per shard), it
+      returns the {!Netobj_transport.Transport.t} that shard's protocol
+      traffic rides (default: each engine's native backend —
+      {!Netobj_transport.Transport_sim.of_net} on the sim engine, the
+      inter-domain hub on the domains engine).  Real backends need
+      their I/O pumped — see {!transport} and {!Netobj_transport.Tcp};
+    - [engine] swaps the execution engine, exactly as [transport] swaps
+      the wire: {!Netobj_engine.Engine_sim} (default) is the
+      deterministic single-domain world, {!Netobj_engine.Engine_domains}
+      shards spaces across up to [domains] (default 4) OCaml domains —
+      see {!Netobj_engine.Engine} for the affinity discipline
+      ({!spawn_at}) that multi-shard execution requires. *)
 val config :
   ?seed:int64 ->
   ?policy:Sched.policy ->
@@ -120,17 +128,37 @@ val config :
   ?snapshot_period:float ->
   ?recover_grace:float ->
   ?transport:(Sched.t -> Net.t -> Netobj_transport.Transport.t) ->
+  ?engine:(module Engine.S) ->
+  ?domains:int ->
   nspaces:int ->
   unit ->
   config
 
+(** Derive a config overriding any subset of the rebindable knobs — the
+    single builder for config variants ([override ~seed:7L cfg],
+    [override ~policy:(Sched.Random s) ~coalesce:true cfg], ...). *)
+val override :
+  ?seed:int64 ->
+  ?policy:Sched.policy ->
+  ?edge:Net.edge_config ->
+  ?coalesce:bool ->
+  ?transport:(Sched.t -> Net.t -> Netobj_transport.Transport.t) ->
+  ?engine:(module Engine.S) ->
+  ?domains:int ->
+  config ->
+  config
+
 val with_seed : config -> int64 -> config
+[@@ocaml.deprecated "use Runtime.override ~seed"]
 
 val with_policy : config -> Sched.policy -> config
+[@@ocaml.deprecated "use Runtime.override ~policy"]
 
 val with_edge : config -> Net.edge_config -> config
+[@@ocaml.deprecated "use Runtime.override ~edge"]
 
 val with_coalesce : config -> bool -> config
+[@@ocaml.deprecated "use Runtime.override ~coalesce"]
 
 val config_nspaces : config -> int
 
@@ -138,15 +166,27 @@ val config_seed : config -> int64
 
 val create : config -> t
 
+(** Shard 0's scheduler: with the sim engine, {e the} scheduler; with a
+    multi-shard engine, only the first shard's (use {!spawn_at} to
+    reach the others). *)
 val sched : t -> Sched.t
 
+(** Shard 0's simulated network (the mc/chaos fault surface — sim
+    engine only). *)
 val net : t -> Net.t
 
-(** The transport protocol traffic rides.  Harness fault operations
-    ({!crash} and friends) go through its fault hooks, so a real
-    backend must be wrapped in {!Netobj_transport.Faulty} before the
-    chaos machinery can drive it. *)
+(** Shard 0's transport.  Harness fault operations ({!crash} and
+    friends) go through each shard's fault hooks, so a real backend
+    must be wrapped in {!Netobj_transport.Faulty} before the chaos
+    machinery can drive it. *)
 val transport : t -> Netobj_transport.Transport.t
+
+(** The engine's identifier: ["sim"], ["domains"], ... *)
+val engine_name : t -> string
+
+(** How many shards the engine created (1 on sim; [min nspaces domains]
+    on the domains engine). *)
+val nshards : t -> int
 
 val space : t -> int -> space
 
@@ -154,12 +194,21 @@ val space_id : space -> int
 
 val spaces : t -> space list
 
-(** Drive the system (see {!Sched.run}). *)
+(** Drive the system (see {!Engine.S.run}: on the sim engine exactly
+    {!Sched.run}; on the domains engine one parallel episode to
+    quiescence at [until], which is then required). *)
 val run : ?max_steps:int -> ?until:float -> t -> int
 
-(** Spawn a fiber (application code) — blocking calls are only legal
-    inside one. *)
+(** Spawn a fiber (application code) on shard 0 — blocking calls are
+    only legal inside a fiber. *)
 val spawn : t -> ?name:string -> (unit -> unit) -> unit
+
+(** Spawn a fiber on the shard owning [space].  Under a multi-shard
+    engine every fiber that blocks as a space (calls, lookups, sleeps)
+    must run on that space's shard; [spawn_at] is how application
+    workloads satisfy that.  Equivalent to {!spawn} on the sim
+    engine. *)
+val spawn_at : t -> space:int -> ?name:string -> (unit -> unit) -> unit
 
 (** {1 Objects and the local heap} *)
 

@@ -1,0 +1,48 @@
+(** The domain-parallel engine: spaces sharded across OCaml 5 domains.
+
+    [min nspaces p_domains] shards are created, spaces block-partitioned
+    across them (space [i] owned by shard [i * nshards / nspaces]):
+    contiguous spaces share a shard, so workloads with neighbour
+    locality keep most traffic off the inter-domain hub.  Each shard is
+    a complete cooperative world — its own scheduler, virtual clock and
+    transport endpoint — and shards exchange messages through the
+    {!Engine_hub} mailboxes (or through a per-shard custom transport
+    when the config supplies one).
+
+    Shards are driven by a {e worker pool}: sharding (ownership — which
+    space's state may touch which domain) is decoupled from OS
+    parallelism.  By default the pool holds
+    [min nshards (Domain.recommended_domain_count ())] worker domains,
+    each driving a contiguous block of shards, so an oversubscribed
+    host multiplexes shards on fewer domains instead of thrashing
+    context switches; the [NETOBJ_DOMAINS_POOL] environment variable
+    overrides the cap (the test suites force a real multi-domain pool
+    with it so the cross-domain protocol is exercised even on small
+    machines).
+
+    {!Engine.S.run} requires [~until]: it spawns the pool, drives every
+    shard to quiescence at that virtual time — no ready fiber, no timer
+    due at or before [until], no undelivered message anywhere — and
+    joins the domains before returning, so everything outside [run] is
+    plain sequential code with full happens-before.  Virtual clocks are
+    per-shard and advance independently inside an episode; they all
+    reach [until] by its end, which is what the protocol's timers
+    (retries, leases, call timeouts) need — none of them compares
+    instants across spaces.
+
+    Idle workers park on per-worker monitors and senders wake them in
+    batches (see {!Engine_hub} on deferred wakes).  Global quiescence on
+    the hub path: when the last worker parks with all of its mailboxes
+    verified empty, worker 0 runs one final sweep of its own shards,
+    and stops the episode only if that sweep did nothing and every
+    worker is still parked — at that point no message can exist
+    anywhere.  Custom transports fall back to a polling double-collect
+    over a global activity counter, since the engine cannot observe
+    their deliveries.
+
+    Not deterministic: cross-shard message arrival order depends on real
+    scheduling.  The mc/chaos/replay harnesses reject this engine; the
+    safety arguments here are the ownership discipline (see {!Engine})
+    plus the conformance and storm suites. *)
+
+include Engine.S

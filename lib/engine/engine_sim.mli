@@ -1,0 +1,8 @@
+(** The deterministic single-domain engine: one shard whose scheduler,
+    simulated network and transport are exactly the pre-engine runtime's
+    world.  Everything replays from the seed — this is the substrate the
+    model checker, the chaos harness and counterexample replay run on,
+    and its construction order and RNG streams are frozen so recorded
+    schedules and traces stay byte-identical across refactors. *)
+
+include Engine.S

@@ -386,7 +386,7 @@ let setup x cfg nemesis =
     let k = match kind with Sched.Fiber -> "fiber" | Sched.Timer -> "timer" in
     decide x ~kind:k labels
   in
-  let cfg = R.with_policy cfg (Sched.Controlled chooser) in
+  let cfg = R.override ~policy:(Sched.Controlled chooser) cfg in
   let rt = R.create cfg in
   x.rt <- Some rt;
   if x.b.slots > 1 then

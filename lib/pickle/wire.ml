@@ -15,16 +15,26 @@ module Writer = struct
 
   let length = Buffer.length
 
-  let contents = Buffer.contents
-
   let to_bytes = Buffer.to_bytes
 
-  (* Module-level pool of writers.  Checkout reuses a previously returned
+  (* Per-domain pool of writers.  Checkout reuses a previously returned
      buffer (its capacity already grown by earlier encodes), so steady-state
      encoding stops allocating fresh backing stores.  The pool is bounded and
      drops oversized buffers on return to keep the retained footprint
-     predictable. *)
-  let pool : Buffer.t Stack.t = Stack.create ()
+     predictable.  Domain-local state (not a shared pool behind a lock):
+     each domain encodes on its own buffers, so a multi-domain engine never
+     contends — or races — here.  Stats are likewise per-domain; callers
+     report the stats of the domain they run on (the sim engine's single
+     domain sees everything). *)
+  type pool_state = {
+    stack : Buffer.t Stack.t;
+    mutable hits : int;
+    mutable misses : int;
+  }
+
+  let pool_key : pool_state Domain.DLS.key =
+    Domain.DLS.new_key (fun () ->
+        { stack = Stack.create (); hits = 0; misses = 0 })
 
   let pool_capacity = 64
 
@@ -32,36 +42,37 @@ module Writer = struct
      encode should not pin megabytes for the rest of the run. *)
   let max_retained_size = 1 lsl 16
 
-  let pool_hits = ref 0
-
-  let pool_misses = ref 0
-
   let checkout () =
-    match Stack.pop_opt pool with
+    let p = Domain.DLS.get pool_key in
+    match Stack.pop_opt p.stack with
     | Some b ->
-        incr pool_hits;
+        p.hits <- p.hits + 1;
         b
     | None ->
-        incr pool_misses;
+        p.misses <- p.misses + 1;
         Buffer.create 256
 
   let return b =
-    if Stack.length pool < pool_capacity
+    let p = Domain.DLS.get pool_key in
+    if Stack.length p.stack < pool_capacity
        && Buffer.length b <= max_retained_size
     then begin
       Buffer.clear b;
-      Stack.push b pool
+      Stack.push b p.stack
     end
 
   let with_pooled f =
     let b = checkout () in
     Fun.protect ~finally:(fun () -> return b) (fun () -> f b)
 
-  let pool_stats () = (!pool_hits, !pool_misses)
+  let pool_stats () =
+    let p = Domain.DLS.get pool_key in
+    (p.hits, p.misses)
 
   let reset_pool_stats () =
-    pool_hits := 0;
-    pool_misses := 0
+    let p = Domain.DLS.get pool_key in
+    p.hits <- 0;
+    p.misses <- 0
 
   let byte w n = Buffer.add_char w (Char.chr (n land 0xff))
 
@@ -94,19 +105,25 @@ module Writer = struct
     let n64 = Int64.of_int n in
     uvarint64 w Int64.(logxor (shift_left n64 1) (shift_right n64 63))
 
-  let scratch = Bytes.create 8
+  (* Fixed-width scratch is per-domain: a module-level [Bytes.t] would be
+     a write-write race when two domains encode concurrently. *)
+  let scratch_key : Bytes.t Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> Bytes.create 8)
 
   let int32 w n =
+    let scratch = Domain.DLS.get scratch_key in
     Bytes.set_int32_le scratch 0 n;
     Buffer.add_subbytes w scratch 0 4
 
   let int64 w n =
+    let scratch = Domain.DLS.get scratch_key in
     Bytes.set_int64_le scratch 0 n;
     Buffer.add_subbytes w scratch 0 8
 
   let u32_be w n =
     if n < 0 || n > 0xffffffff then
       invalid_arg "Wire.Writer.u32_be: out of range";
+    let scratch = Domain.DLS.get scratch_key in
     Bytes.set_int32_be scratch 0 (Int32.of_int n);
     Buffer.add_subbytes w scratch 0 4
 

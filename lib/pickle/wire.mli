@@ -23,18 +23,18 @@ module Writer : sig
   (** Bytes written so far. *)
   val length : t -> int
 
-  val contents : t -> string
-  [@@ocaml.deprecated "copies the buffer; use Wire.Writer.to_bytes instead"]
-
   (** Snapshot of the bytes written so far.  The writer stays usable; the
       returned bytes are a fresh copy owned by the caller. *)
   val to_bytes : t -> bytes
 
   (** {2 Pooling}
 
-      [checkout]/[return] recycle writers through a bounded module-level
-      pool.  A returned writer is cleared; oversized buffers are dropped
-      rather than retained.  Never use a writer after returning it. *)
+      [checkout]/[return] recycle writers through a bounded {e
+      per-domain} pool (domain-local storage, so concurrent engines
+      neither contend nor race).  A returned writer is cleared;
+      oversized buffers are dropped rather than retained.  Never use a
+      writer after returning it, and never return it on a different
+      domain than the one that checked it out. *)
 
   val checkout : unit -> t
 
@@ -44,8 +44,9 @@ module Writer : sig
       to the pool even if [f] raises. *)
   val with_pooled : (t -> 'a) -> 'a
 
-  (** [(hits, misses)] since start (or the last {!reset_pool_stats}):
-      checkouts served from the pool vs. fresh allocations. *)
+  (** [(hits, misses)] on the calling domain since start (or its last
+      {!reset_pool_stats}): checkouts served from the pool vs. fresh
+      allocations. *)
   val pool_stats : unit -> int * int
 
   val reset_pool_stats : unit -> unit

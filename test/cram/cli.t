@@ -24,3 +24,35 @@ The naive race is found (exit code 1), Birrell's algorithm is clean:
   [1]
   $ netobj_sim run -a birrell -w figure1 -n 100
   birrell on figure1 (3 procs, 100 seeds): premature=0 leaked=0 ctrl-msgs/copy=5.00
+
+Every runtime subcommand shares one --engine/--backend flag pair, and
+unsupported values are rejected uniformly (the abstract machine and the
+checkers are sim-only; serve/connect are tcp-only):
+
+  $ netobj_sim run -a birrell -w figure1 -n 1 --engine domains
+  run: --engine domains is not supported here (supported: sim)
+  [2]
+  $ netobj_sim mc --scenario lookup --max-schedules 1 --backend tcp
+  mc: --backend tcp is not supported here (supported: sim)
+  [2]
+  $ netobj_sim connect --backend sim
+  connect: --backend sim is not supported here (supported: tcp)
+  [2]
+
+The par storm runs the multi-space invoke workload across OCaml domains
+under the safety oracle (counters account for every call, the paper's
+invariants hold at quiescence, dirty sets drain):
+
+  $ netobj_sim par --seed 7 --spaces 8 --domains 4 --calls 200
+  par: engine=domains spaces=8 shards=4 calls/space=200
+  par: 1406 calls accounted for
+  par: dirty sets drained, invariants ok
+  result: SURVIVED
+
+The same storm composes with the deterministic sim engine:
+
+  $ netobj_sim par --engine sim --seed 7 --spaces 4 --calls 50
+  par: engine=sim spaces=4 shards=1 calls/space=50
+  par: 142 calls accounted for
+  par: dirty sets drained, invariants ok
+  result: SURVIVED

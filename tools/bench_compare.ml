@@ -57,7 +57,7 @@ let () =
      [--ignore NAMES]"
   in
   let threshold = ref 20.0 in
-  let ignored = ref [ "chaos"; "mc"; "recover"; "transport" ] in
+  let ignored = ref [ "chaos"; "mc"; "recover"; "transport"; "par" ] in
   let files = ref [] in
   let rec parse = function
     | [] -> ()
