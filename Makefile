@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-json bench-compare chaos-smoke mc-smoke recover-smoke transport-smoke par-smoke verify examples check clean doc
+.PHONY: all build test bench bench-json bench-compare chaos-smoke mc-smoke recover-smoke transport-smoke par-smoke cycles-smoke verify examples check clean doc
 
 all: build
 
@@ -59,6 +59,18 @@ transport-smoke:
 	dune exec test/test_transport_conformance.exe
 	dune exec bin/netobj_sim.exe -- transport-demo --seed 7
 
+# Cycle-collection smoke: the deterministic three-space ring narrative
+# (leak under the listing collector, reclaim under trial deletion), a
+# seeded chaos run with the cycle workload and detector demon armed,
+# and the model checker over the probe-vs-transfer race: the confirm
+# round must keep it clean and dropping it (skip-confirm bug) must be
+# caught.  test/cram/cycles.t pins the narrative under dune runtest.
+cycles-smoke:
+	dune exec bin/netobj_sim.exe -- cycles
+	dune exec bin/netobj_sim.exe -- chaos --seed 11 --cycles 4
+	dune exec bin/netobj_sim.exe -- mc --scenario dgc-cycle --max-schedules 1200
+	! dune exec bin/netobj_sim.exe -- mc --scenario dgc-cycle-broken
+
 # Domain-parallel smoke: the multi-space invoke storm across a forced
 # 4-domain pool (the default pool adapts to the host's core count and
 # would collapse to one domain on small machines), checked by the
@@ -68,8 +80,8 @@ par-smoke:
 	NETOBJ_DOMAINS_POOL=4 dune exec bin/netobj_sim.exe -- par --seed 7 --spaces 8 --domains 4 --calls 200
 
 # The full local gate: build everything, run the test suite (unit,
-# property, cram), then the five smoke targets.
-verify: build test chaos-smoke mc-smoke recover-smoke transport-smoke par-smoke
+# property, cram), then the six smoke targets.
+verify: build test chaos-smoke mc-smoke recover-smoke transport-smoke par-smoke cycles-smoke
 
 examples:
 	dune exec examples/quickstart.exe

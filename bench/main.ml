@@ -17,7 +17,7 @@
      E11 transmit    transmission race windows under adversarial schedules
      E12 churn       cleaning-demon traffic under surrogate churn
      E13 ablation    the Note 4 clean-cancellation optimisation
-     E14 cycles      distributed cycles: the leak and the hybrid fix
+     E14 cycleleak   distributed cycles: the leak and the hybrid fix
      E15 scale       per-client GC cost vs system size
      E16 pool        writer pool + slice decode on the marshalling path
      E17 coalesce    per-destination message coalescing vs single sends
@@ -28,6 +28,10 @@
                      cost vs live-state size
      E21 transport   loopback TCP vs the simulated network: calls/sec,
                      p50/p99 latency, framing overhead vs payload size
+     E22 par         engine scaling: multi-space invoke storm, sim vs
+                     domains at 1/2/4 shards
+     E23 cycles      cycle-heavy churn: trial-deletion reclamation rate
+                     and residual leak vs the no-detector baseline
 
    Run all:       dune exec bench/main.exe
    Run a subset:  dune exec bench/main.exe -- race family fifo *)
@@ -1456,6 +1460,120 @@ let e22_par () =
   row "@.domains-4 vs sim baseline: %.2fx (domains-1 %.2fx, domains-2 %.2fx)@."
     speedup (d1 /. base) (d2 /. base)
 
+(* ------------------------------------------------------------------ E23 *)
+
+(* Cycle-heavy churn: mint [k] two-node cross-space cycles (a@s <-> b@s+1),
+   drop every root, and drive reclamation — once with the trial-deletion
+   detector run to quiescence, once with the listing collector alone,
+   the no-detector baseline that provably cannot reclaim any of them.
+   Headline: cycles reclaimed per wall second and the residual leak
+   (objects and reachable heap bytes) each configuration leaves
+   behind. *)
+let e23_cycle_churn () =
+  section
+    "E23: cycle-heavy churn — detector reclamation vs no-detector baseline";
+  let module Mx = Netobj_obs.Metrics in
+  let spaces = 4 and k = 96 in
+  let word_bytes = Sys.word_size / 8 in
+  let run ~detector =
+    let rt = R.create (R.config ~seed:23L ~nspaces:spaces ()) in
+    let wra = Array.make k None and wrb = Array.make k None in
+    let sidx i = i mod spaces and tidx i = (i + 1) mod spaces in
+    for i = 0 to k - 1 do
+      let spa = R.space rt (sidx i) in
+      let a = node_obj spa in
+      wra.(i) <- Some (spa, R.wirerep a, a);
+      R.publish spa (Printf.sprintf "e23-%d" i) a
+    done;
+    for i = 0 to k - 1 do
+      let spb = R.space rt (tidx i) in
+      R.spawn rt (fun () ->
+          let b = node_obj spb in
+          wrb.(i) <- Some (spb, R.wirerep b);
+          let h = R.lookup spb ~at:(sidx i) (Printf.sprintf "e23-%d" i) in
+          (* b -> a locally, a -> b through the wire *)
+          R.link spb ~parent:b ~child:h;
+          Stub.call spb h m_set_peer b;
+          R.release spb h;
+          R.release spb b)
+    done;
+    ignore (R.run rt);
+    (* drop the owner roots: every cycle is now garbage *)
+    Array.iteri
+      (fun i entry ->
+        match entry with
+        | Some (spa, _, a) ->
+            R.unpublish spa (Printf.sprintf "e23-%d" i);
+            R.release spa a
+        | None -> ())
+      wra;
+    let settle () =
+      for _ = 1 to 5 do
+        R.collect_all rt;
+        ignore (R.run rt)
+      done
+    in
+    settle ();
+    let leaked () =
+      let c = ref 0 in
+      Array.iter
+        (function
+          | Some (sp, wr, _) -> if R.resident sp wr then incr c | None -> ())
+        wra;
+      Array.iter
+        (function
+          | Some (sp, wr) -> if R.resident sp wr then incr c | None -> ())
+        wrb;
+      !c
+    in
+    let before = leaked () in
+    let t0 = Unix.gettimeofday () in
+    if detector then begin
+      let rounds = ref 8 in
+      while leaked () > 0 && !rounds > 0 do
+        decr rounds;
+        for s = 0 to spaces - 1 do
+          R.spawn rt (fun () -> ignore (R.cycle_collect (R.space rt s)))
+        done;
+        ignore (R.run rt);
+        settle ()
+      done
+    end
+    else settle ();
+    let wall = Unix.gettimeofday () -. t0 in
+    let after = leaked () in
+    let reclaimed = (before - after) / 2 in
+    let bytes = Obj.reachable_words (Obj.repr rt) * word_bytes in
+    (before / 2, reclaimed, after, wall, bytes)
+  in
+  row "%-12s %8s %12s %14s %14s@." "config" "cycles" "reclaimed/s"
+    "residual objs" "heap bytes";
+  let report label (minted, reclaimed, residual, wall, bytes) =
+    let rate = if wall > 0.0 then float_of_int reclaimed /. wall else 0.0 in
+    Mx.set_gauge (Mx.gauge Mx.global ("cycles.reclaimed_per_s." ^ label)) rate;
+    Mx.set_gauge
+      (Mx.gauge Mx.global ("cycles.residual_objects." ^ label))
+      (float_of_int residual);
+    Mx.set_gauge
+      (Mx.gauge Mx.global ("cycles.heap_bytes." ^ label))
+      (float_of_int bytes);
+    row "%-12s %8d %12.0f %14d %14d@." label minted rate residual bytes;
+    (reclaimed, residual, bytes)
+  in
+  let _, base_residual, base_bytes = report "baseline" (run ~detector:false) in
+  let det_reclaimed, det_residual, det_bytes =
+    report "detector" (run ~detector:true)
+  in
+  if det_residual > 0 then
+    Fmt.failwith "E23: detector left %d nodes resident" det_residual;
+  if base_residual <> 2 * k then
+    Fmt.failwith "E23: baseline expected to leak all %d nodes, kept %d"
+      (2 * k) base_residual;
+  row "@.detector reclaimed all %d cycles; baseline leaked %d objects@."
+    det_reclaimed base_residual;
+  row "(residual heap delta: baseline holds %d bytes the detector frees)@."
+    (base_bytes - det_bytes)
+
 (* ------------------------------------------------------------------ main *)
 
 let experiments =
@@ -1473,7 +1591,7 @@ let experiments =
     ("transmit", e11_transmit);
     ("churn", e12_churn);
     ("ablation", e13_ablation);
-    ("cycles", e14_cycles);
+    ("cycleleak", e14_cycles);
     ("scale", e15_scale);
     ("pool", e16_pool);
     ("coalesce", e17_coalesce);
@@ -1482,6 +1600,7 @@ let experiments =
     ("recover", e20_recover);
     ("transport", e21_transport);
     ("par", e22_par);
+    ("cycles", e23_cycle_churn);
   ]
 
 (* --json PATH: machine-readable results.  Each experiment runs with the

@@ -346,9 +346,9 @@ let trace_cmd =
 
 module Chaos = Netobj_chaos.Chaos
 
-let chaos engine backend seed spaces duration objects events partitions crashes
-    crash_recovers disk_faults loss_bursts dup_bursts spikes drain_limit
-    backoff trace_out metrics_out =
+let chaos engine backend seed spaces duration objects events cycles partitions
+    crashes crash_recovers disk_faults loss_bursts dup_bursts spikes
+    drain_limit backoff trace_out metrics_out =
   require_engine ~cmd:"chaos" ~allowed:[ Engine_sim_c ] engine;
   require_backend ~cmd:"chaos" ~allowed:[ Backend_sim ] backend;
   with_obs ~trace_out ~metrics_out @@ fun () ->
@@ -360,6 +360,7 @@ let chaos engine backend seed spaces duration objects events partitions crashes
       duration;
       objects;
       events;
+      cycles;
       mix =
         {
           partitions;
@@ -399,6 +400,15 @@ let events_arg =
     value & opt int 40
     & info [ "events" ] ~docv:"N" ~doc:"Churn operations per mutator.")
 
+let cycles_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "cycles" ] ~docv:"N"
+        ~doc:
+          "Cross-space reference cycles minted per space (0 = none).  \
+           Arms the cycle-detector demon and adds the cycle workload's \
+           ground-truth reclamation oracle.")
+
 let mix_arg name default doc =
   Arg.(value & opt int default & info [ name ] ~docv:"N" ~doc)
 
@@ -423,7 +433,7 @@ let chaos_cmd =
           run survived.")
     Term.(
       const chaos $ engine_arg $ backend_arg $ seed_arg $ chaos_spaces_arg
-      $ duration_arg $ objects_arg $ events_arg
+      $ duration_arg $ objects_arg $ events_arg $ cycles_arg
       $ mix_arg "partitions" 3 "Partitions (healed) in the schedule."
       $ mix_arg "crashes" 2 "Crash+restart faults in the schedule."
       $ mix_arg "crash-recovers" 0
@@ -576,6 +586,128 @@ let recover_cmd =
     Term.(
       const recover_run $ engine_arg $ backend_arg $ seed_arg $ disk_fault_arg
       $ trace_out_arg $ metrics_out_arg)
+
+(* --- cycles -------------------------------------------------------------------- *)
+
+(* A deterministic narrative of the distributed cycle detector: three
+   spaces build a cross-space reference ring, a detector pass while the
+   ring is rooted must keep it, the listing collector is shown to leak
+   it once the roots drop, and the trial-deletion detector reclaims
+   it. *)
+let cycles_run engine backend seed trace_out metrics_out =
+  require_engine ~cmd:"cycles" ~allowed:[ Engine_sim_c ] engine;
+  require_backend ~cmd:"cycles" ~allowed:[ Backend_sim ] backend;
+  with_obs ~trace_out ~metrics_out @@ fun () ->
+  let n = 3 in
+  let cfg =
+    R.config ~seed:(Int64.of_int seed) ~nspaces:n
+      ~edge:(Netobj_net.Net.bag_edge ~lo:0.005 ~hi:0.005 ())
+      ~gc_period:0.1 ~clean_retry:0.05 ~dirty_retry:0.05 ()
+  in
+  let rt = R.create cfg in
+  let failed = ref false in
+  let fail fmt =
+    Fmt.kpf (fun _ -> failed := true) Fmt.stdout ("FAIL: " ^^ fmt ^^ "@.")
+  in
+  let sp i = R.space rt i in
+  let nodes = Array.init n (fun i -> R.allocate ~tag:"node" (sp i) ~meths:[]) in
+  let wrs = Array.map R.wirerep nodes in
+  Array.iteri
+    (fun i h -> R.publish (sp i) (Printf.sprintf "node%d" i) h)
+    nodes;
+  let resident () =
+    let c = ref 0 in
+    Array.iteri (fun i wr -> if R.resident (sp i) wr then incr c) wrs;
+    !c
+  in
+  let settle () =
+    for _ = 1 to 5 do
+      R.collect_all rt;
+      ignore (R.run ~until:(Netobj_sched.Sched.now (R.sched rt) +. 2.0) rt)
+    done
+  in
+  let detector_pass () =
+    let committed = ref 0 in
+    for i = 0 to n - 1 do
+      R.spawn rt
+        ~name:(Printf.sprintf "detector-%d" i)
+        (fun () -> committed := !committed + R.cycle_collect (sp i))
+    done;
+    ignore (R.run ~until:(Netobj_sched.Sched.now (R.sched rt) +. 5.0) rt);
+    !committed
+  in
+  Fmt.pr "built: %d spaces, one published node each@." n;
+  for i = 0 to n - 1 do
+    R.spawn rt
+      ~name:(Printf.sprintf "linker-%d" i)
+      (fun () ->
+        let t = (i + 1) mod n in
+        match R.lookup (sp i) ~at:t (Printf.sprintf "node%d" t) with
+        | h ->
+            R.link (sp i) ~parent:nodes.(i) ~child:h;
+            R.release (sp i) h
+        | exception (R.Timeout _ | R.Remote_error _) ->
+            fail "linker %d: lookup failed" i)
+  done;
+  ignore (R.run ~until:1.0 rt);
+  Fmt.pr "linked: node0 -> node1 -> node2 -> node0 across the wire@.";
+  (* a trial on the rooted ring must abort: the probes find the roots *)
+  let c = detector_pass () in
+  settle ();
+  if c <> 0 then fail "detector reclaimed a rooted ring (committed %d)" c;
+  Fmt.pr "detector pass with live roots: committed %d, resident %d/%d (kept)@."
+    c (resident ()) n;
+  (* drop every root: the ring is now garbage only a cycle detector can
+     see — each node is held alive by the next space's dirty entry *)
+  Array.iteri
+    (fun i h ->
+      R.unpublish (sp i) (Printf.sprintf "node%d" i);
+      R.release (sp i) h)
+    nodes;
+  settle ();
+  Fmt.pr "roots dropped: listing collector leaves resident %d/%d (leaked)@."
+    (resident ()) n;
+  if resident () <> n then fail "expected the listing collector to leak the ring";
+  let c = detector_pass () in
+  settle ();
+  Fmt.pr "detector pass: committed %d, resident %d/%d@." c (resident ()) n;
+  if resident () <> 0 then
+    fail "cycle not reclaimed (resident %d)" (resident ());
+  let trials, aborts, collected =
+    List.fold_left
+      (fun (t, a, c) sp ->
+        let st = R.cycle_stats sp in
+        (t + st.R.trials, a + st.R.aborts, c + st.R.collected))
+      (0, 0, 0) (R.spaces rt)
+  in
+  Fmt.pr "stats: trials=%d aborts=%d collected=%d@." trials aborts collected;
+  if collected < n then fail "expected at least %d collected, got %d" n collected;
+  let surrogates =
+    List.fold_left (fun acc sp -> acc + R.surrogate_count sp) 0 (R.spaces rt)
+  in
+  if surrogates > 0 then fail "%d surrogates failed to drain" surrogates;
+  (match R.check_consistency rt with
+  | [] -> ()
+  | ps -> List.iter (fun p -> fail "consistency: %s" p) ps);
+  (match R.check_safety rt with
+  | [] -> ()
+  | ps -> List.iter (fun p -> fail "safety: %s" p) ps);
+  Fmt.pr "drained: surrogates=0, consistency ok, safety ok@.";
+  Fmt.pr "result: %s@." (if !failed then "FAILED" else "SURVIVED");
+  if !failed then 1 else 0
+
+let cycles_cmd =
+  Cmd.v
+    (Cmd.info "cycles"
+       ~doc:
+         "Run a deterministic cycle-collection narrative: three spaces \
+          build a cross-space reference ring, a detector pass keeps it \
+          while rooted, the listing collector leaks it once the roots \
+          drop, and the trial-deletion detector reclaims it.  Exits 0 iff \
+          every step held.")
+    Term.(
+      const cycles_run $ engine_arg $ backend_arg $ seed_arg $ trace_out_arg
+      $ metrics_out_arg)
 
 (* --- serve / connect / transport-demo ----------------------------------------- *)
 
@@ -1252,7 +1384,9 @@ let scenario_arg =
   Arg.(
     value & opt string "dgc2"
     & info [ "scenario" ] ~docv:"NAME"
-        ~doc:"Scenario: dgc2, dgc3, lookup, recover.")
+        ~doc:
+          "Scenario: dgc2, dgc3, lookup, recover, dgc-cycle \
+           (dgc-cycle-broken enables the skip-confirm detector bug).")
 
 let mode_arg =
   Arg.(
@@ -1336,6 +1470,7 @@ let () =
             trace_cmd;
             chaos_cmd;
             recover_cmd;
+            cycles_cmd;
             serve_cmd;
             connect_cmd;
             transport_demo_cmd;

@@ -230,13 +230,13 @@ let recovery_mix =
    legitimately evict it, so the schedule generator keeps each pair's
    fault windows shorter than that and separated by a cooldown. *)
 let runtime_config ?(backoff = 2.0) ?(backoff_cap = 2.0)
-    ?(backoff_jitter = 0.2) ?(durable = false) ~seed ~spaces () =
+    ?(backoff_jitter = 0.2) ?(durable = false) ?cycle_period ~seed ~spaces () =
   R.config ~seed
     ~edge:(Net.bag_edge ~lo:0.01 ~hi:0.05 ())
     ~gc_period:0.4 ~ping_period:0.5 ~lease_misses:3 ~lease_grace:2.0
     ~call_timeout:3.0 ~dirty_timeout:3.0 ~clean_retry:0.3 ~dirty_retry:0.3
     ~backoff ~backoff_cap ~backoff_jitter ~pin_timeout:12.0 ~durable
-    ~fsync_delay:0.02 ~snapshot_period:5.0 ~recover_grace:2.0
+    ~fsync_delay:0.02 ~snapshot_period:5.0 ~recover_grace:2.0 ?cycle_period
     ~nspaces:spaces ()
 
 let max_fault_duration = 2.5
@@ -385,6 +385,7 @@ type cfg = {
   duration : float;
   objects : int;  (** published counters per space *)
   events : int;  (** churn operations per mutator *)
+  cycles : int;  (** cross-space reference cycles minted per space *)
   mix : mix;
   drain_limit : float;
   backoff : float;
@@ -399,6 +400,7 @@ let default =
     duration = 20.0;
     objects = 2;
     events = 40;
+    cycles = 0;
     mix = default_mix;
     drain_limit = 60.0;
     backoff = 2.0;
@@ -526,6 +528,49 @@ let counter_name s i = Printf.sprintf "c%d.%d" s i
 
 let factory_name s = Printf.sprintf "f%d" s
 
+(* --- cycle workload ----------------------------------------------------------- *)
+
+(* Nodes are linkable objects for the cycle-churn workload: [set_peer]
+   stores the argument in a slot of the node itself, so two nodes on
+   different spaces that point at each other form exactly the
+   cross-space cycle the listing collector leaks and the trial-deletion
+   detector exists to reclaim. *)
+let m_set_peer = Stub.declare "set_peer" R.handle_codec P.unit
+
+let m_make_node = Stub.declare "make_node" P.unit R.handle_codec
+
+let node_make sp =
+  let rec node =
+    lazy
+      (R.allocate ~tag:"node" sp
+         ~meths:
+           [
+             Stub.implement m_set_peer (fun sp' h ->
+                 R.link sp' ~parent:(Lazy.force node) ~child:h);
+           ])
+  in
+  Lazy.force node
+
+(* Behaviour re-attached to nodes that crossed a durable recovery: the
+   self-handle cannot be recovered into the closure, so [set_peer]
+   degrades to releasing the argument — the node's {e existing} links
+   were already restored from the WAL, which is what the cycle workload
+   relies on. *)
+let recovered_node_meths () =
+  [ Stub.implement m_set_peer (fun sp h -> R.release sp h) ]
+
+(* Like the orphan factory: the mint's own root is released before the
+   reply is encoded, so the transfer rides the transient pin alone. *)
+let node_factory_meths () =
+  [
+    Stub.implement m_make_node (fun sp () ->
+        let h = node_make sp in
+        R.release sp h;
+        h);
+  ]
+
+let node_factory_name s = Printf.sprintf "nf%d" s
+
 (* Allocations are tagged with their method-suite factory so a durable
    recovery can re-attach behaviour to the recovered table entries; the
    counters' payload (the int) restarts at zero, which the harness never
@@ -541,7 +586,19 @@ let setup ctx =
     done;
     R.publish sp (factory_name s)
       (R.allocate ~tag:"chaos-factory" sp ~meths:(factory_meths ()))
-  done
+  done;
+  (* The cycle workload is strictly additive: with [cycles = 0] no node
+     factory exists, no cycler runs and no extra rng is drawn, so legacy
+     seeds replay byte-identically. *)
+  if ctx.cfg.cycles > 0 then begin
+    R.register_factory ctx.rt "node" recovered_node_meths;
+    R.register_factory ctx.rt "chaos-node-factory" node_factory_meths;
+    for s = 0 to ctx.cfg.spaces - 1 do
+      let sp = R.space ctx.rt s in
+      R.publish sp (node_factory_name s)
+        (R.allocate ~tag:"chaos-node-factory" sp ~meths:(node_factory_meths ()))
+    done
+  end
 
 (* --- nemesis ----------------------------------------------------------------- *)
 
@@ -840,6 +897,102 @@ let mutator ctx s ops () =
   held := [];
   ctx.mutators_done <- ctx.mutators_done + 1
 
+(* --- cycle churn --------------------------------------------------------------- *)
+
+(* One cycler per space: mint [cfg.cycles] two-node cross-space cycles
+   over the chaos window, dropping half of them immediately (garbage the
+   moment the roots go — the detector demon must reclaim them {e during}
+   the faults) and holding the rest until teardown (the continuous
+   safety checker must see them survive every trial while rooted).  Both
+   halves are recorded as ground-truth orphans, so the drain oracle's
+   "unreachable but not reclaimed" clause demands that every isolated
+   cycle is eventually reclaimed — the liveness half of the detector's
+   contract. *)
+let cycler ctx s n () =
+  let sp = R.space ctx.rt s in
+  let rng =
+    Rng.create (Int64.add ctx.cfg.seed (Int64.of_int ((s * 613) + 0x2c97)))
+  in
+  let held = ref [] in
+  let my_epoch = ref (R.epoch sp) in
+  let sync_epoch () =
+    let e = R.epoch sp in
+    if e <> !my_epoch then begin
+      if R.cont sp > !my_epoch then begin
+        List.iter (fun it -> remove_holder it s) !held;
+        held := []
+      end;
+      my_epoch := e
+    end
+  in
+  let release_item it =
+    remove_holder it s;
+    try R.release sp it.ih with _ -> ()
+  in
+  let record h owner mint_epoch =
+    ctx.orphans_minted <- ctx.orphans_minted + 1;
+    let o =
+      {
+        o_wr = R.wirerep h;
+        o_owner = owner;
+        o_mint_epoch = mint_epoch;
+        o_holders = [ (s, !my_epoch) ];
+        o_flagged = false;
+      }
+    in
+    ctx.orphans <- o :: ctx.orphans;
+    { ih = h; iowner = owner; imint = mint_epoch; ihold = !my_epoch;
+      irec = Some o }
+  in
+  let mint () =
+    let t =
+      let r = Rng.int rng (ctx.cfg.spaces - 1) in
+      if r >= s then r + 1 else r
+    in
+    if not (Transport.is_crashed ctx.tr t) then begin
+      let osp = R.space ctx.rt t in
+      let t_epoch = R.epoch osp in
+      let acquire () =
+        let f = R.lookup sp ~at:t (node_factory_name t) in
+        let res = try Ok (Stub.call sp f m_make_node ()) with e -> Error e in
+        (try R.release sp f with _ -> ());
+        match res with Ok h -> h | Error e -> raise e
+      in
+      match acquire () with
+      | nr ->
+          if R.epoch osp = t_epoch && R.resident sp (R.wirerep nr) then begin
+            let nl = node_make sp in
+            let items = [ record nl s !my_epoch; record nr t t_epoch ] in
+            (* forward edge locally, back edge through the wire *)
+            R.link sp ~parent:nl ~child:nr;
+            (try Stub.call sp nr m_set_peer nl
+             with R.Timeout _ | R.Remote_error _ -> ());
+            bump ctx "cycles";
+            sync_epoch ();
+            if Rng.int rng 2 = 0 then
+              (* instant garbage: only the detector can reclaim it *)
+              List.iter release_item items
+            else held := items @ !held
+          end
+          else (try R.release sp nr with _ -> ())
+      | exception R.Timeout _ -> ()
+      | exception R.Remote_error _ -> ()
+    end
+  in
+  let gap = ctx.cfg.duration /. float_of_int (max 1 n) in
+  for _ = 1 to n do
+    if not !(ctx.stop) then begin
+      sync_epoch ();
+      if not (Transport.is_crashed ctx.tr s) then mint ();
+      Sched.sleep ctx.sched gap
+    end
+  done;
+  sync_epoch ();
+  if not (Transport.is_crashed ctx.tr s) then
+    List.iter (fun it -> try release_item it with _ -> ()) !held;
+  held := [];
+  ctx.mutators_done <- ctx.mutators_done + 1
+
 (* --- safety checker ----------------------------------------------------------- *)
 
 (* The direct safety oracle: while an object's owner carries the state
@@ -928,8 +1081,9 @@ let run ?schedule cfg =
   in
   let rcfg =
     runtime_config ~backoff:cfg.backoff ~backoff_cap:cfg.backoff_cap
-      ~backoff_jitter:cfg.backoff_jitter ~durable ~seed:cfg.seed
-      ~spaces:cfg.spaces ()
+      ~backoff_jitter:cfg.backoff_jitter ~durable
+      ?cycle_period:(if cfg.cycles > 0 then Some 0.7 else None)
+      ~seed:cfg.seed ~spaces:cfg.spaces ()
   in
   let rt = R.create rcfg in
   let ctx =
@@ -966,6 +1120,12 @@ let run ?schedule cfg =
     in
     R.spawn rt ~name:(Printf.sprintf "mutator-%d" s) (mutator ctx s ops)
   done;
+  if cfg.cycles > 0 then
+    for s = 0 to cfg.spaces - 1 do
+      R.spawn rt
+        ~name:(Printf.sprintf "cycler-%d" s)
+        (cycler ctx s cfg.cycles)
+    done;
   R.spawn rt ~name:"nemesis" (nemesis ctx schedule);
   R.spawn rt ~name:"checker" (checker ctx);
   (* Chaos phase: mutators churn references while the nemesis injects
@@ -989,14 +1149,17 @@ let run ?schedule cfg =
   done;
   let quiesce_start = Sched.now ctx.sched in
   let mutator_deadline = quiesce_start +. 15.0 in
+  let workers =
+    if cfg.cycles > 0 then 2 * cfg.spaces else cfg.spaces
+  in
   while
-    ctx.mutators_done < cfg.spaces && Sched.now ctx.sched < mutator_deadline
+    ctx.mutators_done < workers && Sched.now ctx.sched < mutator_deadline
   do
     ignore (R.run ~until:(Sched.now ctx.sched +. 1.0) rt)
   done;
-  if ctx.mutators_done < cfg.spaces then
+  if ctx.mutators_done < workers then
     violate ctx "%d mutators wedged after quiesce"
-      (cfg.spaces - ctx.mutators_done);
+      (workers - ctx.mutators_done);
   (* Drain: drive the clock until cleans, retries, pings and epoch
      discovery settle the whole system back to ground truth.  Drain time
      is measured from the heal, so it includes the release traffic of the
@@ -1038,6 +1201,7 @@ let run ?schedule cfg =
         "loss_bursts";
         "dup_bursts";
         "latency_spikes";
+        "cycles";
       ]
   in
   {

@@ -118,6 +118,15 @@ type cfg = {
   duration : float;  (** chaos phase length, virtual seconds *)
   objects : int;  (** published counters per space *)
   events : int;  (** churn operations per mutator *)
+  cycles : int;
+      (** cross-space reference cycles minted per space (0 = none).  When
+          positive, a per-space cycler churns two-node cross-space cycles
+          through the node factories, the runtime's cycle detector demon
+          is armed ([cycle_period]), the cycles become ground-truth
+          orphans for the drain oracle (every isolated cycle must be
+          reclaimed) and mint counts appear under the ["cycles"] fault
+          key.  Strictly additive: at 0, runs replay byte-identically to
+          builds without the cycle workload. *)
   mix : mix;
   drain_limit : float;  (** post-heal convergence budget *)
   backoff : float;  (** retry backoff multiplier (≥ 1) *)

@@ -10,6 +10,41 @@ let msg_id_codec =
 
 let pp_msg_id ppf { origin; seq } = Fmt.pf ppf "#%d.%d" origin seq
 
+(* One space's answer about one cycle-trial target: live (reachable
+   here, or in a transient state, or the space is inside its recovery
+   moratorium), gone (no table entry), or quiet — unreachable, with the
+   target's local touch counter, the owner-side dirty set and the
+   locally-unreachable concretes that still hold a slot path to it. *)
+type cycle_report =
+  | Cr_live
+  | Cr_gone
+  | Cr_quiet of { touch : int; dirty : int list; ancestors : Wirerep.t list }
+
+let cycle_report_codec =
+  P.sum "cycle_report"
+    [
+      P.case 0 "live" P.unit
+        (fun () -> Cr_live)
+        (function Cr_live -> Some () | _ -> None);
+      P.case 1 "gone" P.unit
+        (fun () -> Cr_gone)
+        (function Cr_gone -> Some () | _ -> None);
+      P.case 2 "quiet"
+        (P.triple P.int (P.list P.int) (P.list Wirerep.codec))
+        (fun (touch, dirty, ancestors) -> Cr_quiet { touch; dirty; ancestors })
+        (function
+          | Cr_quiet { touch; dirty; ancestors } ->
+              Some (touch, dirty, ancestors)
+          | _ -> None);
+    ]
+
+let pp_cycle_report ppf = function
+  | Cr_live -> Fmt.string ppf "live"
+  | Cr_gone -> Fmt.string ppf "gone"
+  | Cr_quiet { touch; dirty; ancestors } ->
+      Fmt.pf ppf "quiet(touch=%d dirty=%d anc=%d)" touch (List.length dirty)
+        (List.length ancestors)
+
 type envelope =
   | Call of {
       call_id : int;
@@ -38,6 +73,13 @@ type envelope =
   | Recover of { nonce : int }
   | Reassert of { items : (Wirerep.t * int) list }
   | Reassert_ack of { ok : Wirerep.t list; gone : Wirerep.t list }
+  | Cycle_probe of { probe_id : int; confirm : bool; targets : Wirerep.t list }
+  | Cycle_reply of {
+      probe_id : int;
+      epoch : int;
+      reports : (Wirerep.t * cycle_report) list;
+    }
+  | Cycle_commit of { wrs : Wirerep.t list }
 
 let codec =
   P.sum "envelope"
@@ -105,6 +147,26 @@ let codec =
         (P.pair (P.list Wirerep.codec) (P.list Wirerep.codec))
         (fun (ok, gone) -> Reassert_ack { ok; gone })
         (function Reassert_ack { ok; gone } -> Some (ok, gone) | _ -> None);
+      P.case 14 "cycle_probe"
+        (P.triple P.int P.bool (P.list Wirerep.codec))
+        (fun (probe_id, confirm, targets) ->
+          Cycle_probe { probe_id; confirm; targets })
+        (function
+          | Cycle_probe { probe_id; confirm; targets } ->
+              Some (probe_id, confirm, targets)
+          | _ -> None);
+      P.case 15 "cycle_reply"
+        (P.triple P.int P.int
+           (P.list (P.pair Wirerep.codec cycle_report_codec)))
+        (fun (probe_id, epoch, reports) ->
+          Cycle_reply { probe_id; epoch; reports })
+        (function
+          | Cycle_reply { probe_id; epoch; reports } ->
+              Some (probe_id, epoch, reports)
+          | _ -> None);
+      P.case 16 "cycle_commit" (P.list Wirerep.codec)
+        (fun wrs -> Cycle_commit { wrs })
+        (function Cycle_commit { wrs } -> Some wrs | _ -> None);
     ]
 
 (* Every envelope travels wrapped in a packet stamped with the sender's
@@ -143,6 +205,9 @@ let kind = function
   | Recover _ -> "recover"
   | Reassert _ -> "reassert"
   | Reassert_ack _ -> "reassert_ack"
+  | Cycle_probe _ -> "cycle_probe"
+  | Cycle_reply _ -> "cycle_reply"
+  | Cycle_commit _ -> "cycle_commit"
 
 let pp ppf = function
   | Call { call_id; target; meth; _ } ->
@@ -166,3 +231,12 @@ let pp ppf = function
   | Reassert_ack { ok; gone } ->
       Fmt.pf ppf "reassert_ack ok=%d gone=%d" (List.length ok)
         (List.length gone)
+  | Cycle_probe { probe_id; confirm; targets } ->
+      Fmt.pf ppf "cycle_probe#%d %s(%d)" probe_id
+        (if confirm then "confirm" else "probe")
+        (List.length targets)
+  | Cycle_reply { probe_id; epoch; reports } ->
+      Fmt.pf ppf "cycle_reply#%d epoch=%d %a" probe_id epoch
+        Fmt.(list ~sep:sp (pair ~sep:(any "=") Wirerep.pp pp_cycle_report))
+        reports
+  | Cycle_commit { wrs } -> Fmt.pf ppf "cycle_commit(%d)" (List.length wrs)

@@ -17,6 +17,24 @@
     a per-space sequence number. *)
 type msg_id = { origin : int; seq : int }
 
+(** One space's answer about one cycle-trial target (see
+    [Dgc.Cycles]): [Cr_live] — reachable here from roots/pins, or in a
+    transient surrogate state, or the space is inside its recovery
+    moratorium; [Cr_gone] — no table entry; [Cr_quiet] — unreachable,
+    carrying the target's local {e touch counter} (bumped on every
+    root/pin/dirty/table mutation, so the confirm round can detect any
+    movement), the owner-side dirty set (sorted, empty in surrogate
+    reports) and the locally-unreachable concretes with a slot path to
+    the target (they join the trial's closure). *)
+type cycle_report =
+  | Cr_live
+  | Cr_gone
+  | Cr_quiet of { touch : int; dirty : int list; ancestors : Wirerep.t list }
+
+val cycle_report_codec : cycle_report Netobj_pickle.Pickle.t
+
+val pp_cycle_report : cycle_report Fmt.t
+
 val msg_id_codec : msg_id Netobj_pickle.Pickle.t
 
 val pp_msg_id : msg_id Fmt.t
@@ -66,6 +84,22 @@ type envelope =
           the re-asserted dirty entries; [gone] did not (their records
           were lost with the unsynced log tail) and the client must
           drop the surrogates *)
+  | Cycle_probe of { probe_id : int; confirm : bool; targets : Wirerep.t list }
+      (** ask a space to report on each target (owner or surrogate
+          side); [confirm] marks the second, must-match round.  The
+          responder is stateless — all trial state lives at the
+          coordinator *)
+  | Cycle_reply of {
+      probe_id : int;
+      epoch : int;
+      reports : (Wirerep.t * cycle_report) list;
+    }
+      (** the responder's answers, stamped with its incarnation epoch so
+          the coordinator can abort a trial that spans a recovery *)
+  | Cycle_commit of { wrs : Wirerep.t list }
+      (** fire-and-forget: reclaim these confirmed-garbage concretes.
+          The owner rechecks locally before acting, so a stale commit
+          (late, duplicated, or crossing an epoch bump) is harmless *)
 
 val codec : envelope Netobj_pickle.Pickle.t
 

@@ -49,6 +49,13 @@ let m_recover = Metrics.counter Metrics.global "runtime.recoveries"
 
 let m_reassert = Metrics.counter Metrics.global "runtime.reasserts"
 
+let m_cycle_trials = Metrics.counter Metrics.global "runtime.cycle_trials"
+
+let m_cycle_aborts = Metrics.counter Metrics.global "runtime.cycle_aborts"
+
+let m_cycle_collected =
+  Metrics.counter Metrics.global "runtime.cycle_collected"
+
 let h_recover_us = Metrics.histogram Metrics.global "runtime.recover_us"
 
 (* Track the global dirty-entry population as a delta at each mutation
@@ -114,6 +121,9 @@ type config = {
   fsync_delay : float;
   snapshot_period : float option;
   recover_grace : float;
+  cycle_period : float option;
+  cycle_age : float;
+  bug_skip_confirm : bool;
   transport : (Sched.t -> Net.t -> Transport.t) option;
   engine : (module Engine.S) option;
   domains : int;
@@ -125,7 +135,8 @@ let config ?(seed = 1L) ?(policy = Sched.Fifo) ?(edge = Net.bag_edge ())
     ?(backoff_jitter = 0.0) ?(lease_grace = 0.0) ?pin_timeout ?clean_batch
     ?(piggyback_acks = false) ?(coalesce = false) ?(bug_lookup_leak = false)
     ?(durable = false) ?(fsync_delay = 0.02) ?snapshot_period
-    ?(recover_grace = 2.0) ?transport ?engine ?(domains = 4) ~nspaces () =
+    ?(recover_grace = 2.0) ?cycle_period ?(cycle_age = 0.75)
+    ?(bug_skip_confirm = false) ?transport ?engine ?(domains = 4) ~nspaces () =
   if backoff < 1.0 then invalid_arg "Runtime.config: backoff must be >= 1";
   if backoff_jitter < 0.0 || backoff_jitter >= 1.0 then
     invalid_arg "Runtime.config: backoff_jitter must be in [0, 1)";
@@ -133,6 +144,7 @@ let config ?(seed = 1L) ?(policy = Sched.Fifo) ?(edge = Net.bag_edge ())
     invalid_arg "Runtime.config: fsync_delay must be >= 0";
   if recover_grace < 0.0 then
     invalid_arg "Runtime.config: recover_grace must be >= 0";
+  if cycle_age < 0.0 then invalid_arg "Runtime.config: cycle_age must be >= 0";
   if domains < 1 then invalid_arg "Runtime.config: domains must be >= 1";
   {
     nspaces;
@@ -159,6 +171,9 @@ let config ?(seed = 1L) ?(policy = Sched.Fifo) ?(edge = Net.bag_edge ())
     fsync_delay;
     snapshot_period;
     recover_grace;
+    cycle_period;
+    cycle_age;
+    bug_skip_confirm;
     transport;
     engine;
     domains;
@@ -201,6 +216,8 @@ type gc_stats = {
   epoch_rejections : int;
   retries : int;
 }
+
+type cycle_stats = { trials : int; aborts : int; collected : int }
 
 (* Surrogate life cycle, mirroring the formal rec_T states:
    absent = ⊥, Creating = nil, Usable = OK, Cleaning with [resurrect =
@@ -285,6 +302,24 @@ and space = {
   mutable s_evict : int;
   mutable s_epoch_rejected : int;
   mutable s_retries : int;
+  (* --- cycle detector (soft state: never persisted, rebuilt at will) ---
+     [touch] is the per-wireRep mutation counter the confirm phase
+     compares: bumped on every root/pin/dirty/table change, never reset
+     within an incarnation (reuse would re-open the ABA window a moved
+     reference needs to dodge both probe rounds), cleared only by
+     restart/recover where the epoch bump aborts in-flight trials. *)
+  touch : int Wirerep.Tbl.t;
+  (* suspect -> virtual time it was first seen dirty-kept-but-unreachable;
+     trials start only after [cycle_age] seconds of continuous suspicion *)
+  cycle_suspect_since : float Wirerep.Tbl.t;
+  (* probe_id -> ivar filled by the matching Cycle_reply *)
+  pending_cycles :
+    (int, (int * (Wirerep.t * Proto.cycle_report) list) Sched.Ivar.var)
+    Hashtbl.t;
+  mutable next_probe : int;
+  mutable s_cycle_trials : int;
+  mutable s_cycle_aborts : int;
+  mutable s_cycle_collected : int;
 }
 
 and t = {
@@ -354,15 +389,31 @@ let wal sp r =
   | None -> ()
   | Some st -> Store.append st (Pickle.encode Wal.record_codec r)
 
-let pin sp wr = bump sp.pins wr
+(* Bump the wireRep's local mutation counter (see the [touch] field).
+   Entries are never removed within an incarnation: a remove/re-add
+   would restart the count and re-open the ABA window the cycle
+   detector's confirm phase closes. *)
+let bump_touch sp wr =
+  let v =
+    match Wirerep.Tbl.find_opt sp.touch wr with Some v -> v | None -> 0
+  in
+  Wirerep.Tbl.replace sp.touch wr (v + 1)
 
-let unpin sp wr = unbump sp.pins wr
+let pin sp wr =
+  bump_touch sp wr;
+  bump sp.pins wr
+
+let unpin sp wr =
+  bump_touch sp wr;
+  unbump sp.pins wr
 
 let root sp wr =
+  bump_touch sp wr;
   bump sp.roots wr;
   wal sp (Wal.Root { wr; delta = 1 })
 
 let unroot sp wr =
+  bump_touch sp wr;
   unbump sp.roots wr;
   wal sp (Wal.Root { wr; delta = -1 })
 
@@ -709,6 +760,24 @@ let mark_from sp =
     sp.table;
   marked
 
+(* Local reachability WITHOUT the dirty-keeps-alive clause: what the
+   cycle detector means by "live here".  A concrete kept only by its
+   dirty set is exactly a cycle suspect, not evidence of life — remote
+   interest is established by probing the dirty-set members instead. *)
+let mark_local sp =
+  let marked = Wirerep.Tbl.create 64 in
+  let rec visit wr =
+    if not (Wirerep.Tbl.mem marked wr) then begin
+      Wirerep.Tbl.add marked wr ();
+      match Wirerep.Tbl.find_opt sp.table wr with
+      | Some (Concrete c) -> List.iter visit c.c_slots
+      | Some (Surrogate _) | None -> ()
+    end
+  in
+  Hashtbl.iter (fun wr _ -> visit wr) sp.roots;
+  Hashtbl.iter (fun wr _ -> visit wr) sp.pins;
+  marked
+
 let collect sp =
   (* During the post-recovery grace window the collector must not run:
      recovered dirty entries and pins are conservative (their clients may
@@ -742,6 +811,7 @@ let collect sp =
     List.iter
       (fun wr ->
         Wirerep.Tbl.remove sp.table wr;
+        bump_touch sp wr;
         wal sp (Wal.Reclaim wr);
         sp.n_reclaimed <- sp.n_reclaimed + 1;
         Log.debug (fun m -> m "space %d reclaimed %a" sp.id Wirerep.pp wr))
@@ -1016,6 +1086,7 @@ let handle_dirty sp ~src ~wr ~seq =
         if not (Hashtbl.mem c.c_dirty src) then
           obs_gauge_add g_dirty_entries 1.0;
         Hashtbl.replace c.c_dirty src ();
+        bump_touch sp wr;
         wal sp (Wal.Dirty { wr; client = src; seq; add = true })
       end;
       (* Any current-or-fresh dirty call proves the client still holds
@@ -1035,6 +1106,7 @@ let apply_clean sp ~src ~wr ~seq =
         Hashtbl.replace c.c_last_seq src seq;
         if Hashtbl.mem c.c_dirty src then obs_gauge_add g_dirty_entries (-1.0);
         Hashtbl.remove c.c_dirty src;
+        bump_touch sp wr;
         wal sp (Wal.Dirty { wr; client = src; seq; add = false })
       end
 
@@ -1057,7 +1129,10 @@ let handle_dirty_ack sp ~wr ~ok =
             st := Usable { clean_scheduled = false };
             wal sp (Wal.Surrogate { wr; add = true })
           end
-          else Wirerep.Tbl.remove sp.table wr;
+          else begin
+            Wirerep.Tbl.remove sp.table wr;
+            bump_touch sp wr
+          end;
           Sched.Ivar.fill iv ok
       | Usable _ | Cleaning _ -> () (* stale (e.g. duplicated) ack *))
   | Some (Concrete _) | None -> ()
@@ -1077,6 +1152,7 @@ let handle_clean_ack sp ~wr =
           (match cl.retry_cancel with Some c -> c () | None -> ());
           obs_end_clean sp wr ~resurrected:false;
           Wirerep.Tbl.remove sp.table wr;
+          bump_touch sp wr;
           wal sp (Wal.Surrogate { wr; add = false })
       | Cleaning ({ resurrect = Some iv; _ } as cl) ->
           (match cl.retry_cancel with Some c -> c () | None -> ());
@@ -1123,6 +1199,7 @@ let grace_drop sp pairs =
         match find_concrete sp wr with
         | Some c when Hashtbl.mem c.c_dirty client ->
             Hashtbl.remove c.c_dirty client;
+            bump_touch sp wr;
             sp.s_evict <- sp.s_evict + 1;
             let last =
               Option.value ~default:0 (Hashtbl.find_opt c.c_last_seq client)
@@ -1169,6 +1246,7 @@ let handle_reassert sp ~src ~items =
             obs_gauge_add g_dirty_entries 1.0;
             Hashtbl.replace c.c_dirty src ()
           end;
+          bump_touch sp wr;
           wal sp (Wal.Dirty { wr; client = src; seq = max seq last; add = true });
           Hashtbl.remove sp.unconfirmed (wr, src);
           ok := wr :: !ok)
@@ -1203,6 +1281,7 @@ let handle_reassert_ack sp ~src ~ok ~gone =
           match !st with
           | Usable _ ->
               Wirerep.Tbl.remove sp.table wr;
+              bump_touch sp wr;
               wal sp (Wal.Surrogate { wr; add = false });
               Hashtbl.remove sp.roots wr;
               Hashtbl.remove sp.pins wr;
@@ -1283,6 +1362,154 @@ let note_peer_recovered sp peer =
       ~args:[ ("peer", Trace.I peer); ("entries", Trace.I (List.length pairs)) ]
       "peer_recovered"
 
+(* --- distributed cycle detection -------------------------------------------
+
+   The reference-listing collector cannot reclaim an isolated
+   cross-space cycle: every member's dirty set names the next member,
+   so each keeps the others alive forever ([mark_from]'s dirty clause).
+   The detector closes that gap asynchronously with trial deletion
+   (see [Dgc.Cycles] for the state machine and the safety argument):
+
+   - a background fiber nominates {e suspects} — concretes that have
+     been dirty-kept-but-locally-unreachable for [cycle_age] seconds;
+   - a {e trial} computes the backward closure of a suspect by querying
+     owners and dirty-set members ([Cycle_probe]/[Cycle_reply]); every
+     responder is stateless and answers from [mark_local] plus the
+     target's local touch counter;
+   - when the closure is closed and all-quiet, the {e confirm} round
+     re-asks everything and demands identical answers (same touch
+     counters, same dirty sets, same ancestors, same epochs);
+   - only then does the coordinator send fire-and-forget
+     [Cycle_commit]s, and each owner still rechecks locally (resident,
+     concrete, unreachable, not in its recovery grace window) before
+     reclaiming — so a stale, duplicated or misdirected commit is
+     harmless, and [handle_packet]'s epoch stamps already drop commits
+     that cross a restart or recovery. *)
+
+let node_of_wr (wr : Wirerep.t) =
+  { Netobj_dgc.Cycles.nspace = wr.Wirerep.space; nindex = wr.Wirerep.index }
+
+let wr_of_node (n : Netobj_dgc.Cycles.node) =
+  Wirerep.v ~space:n.Netobj_dgc.Cycles.nspace ~index:n.Netobj_dgc.Cycles.nindex
+
+(* One space's answers about a batch of trial targets, computed against
+   a single [mark_local] pass.  Inside the recovery grace window
+   everything reports live: recovered state is conservative and
+   reasserts are still in flight, so no verdict derived from it can be
+   trusted. *)
+let cycle_reports sp targets =
+  let in_grace = Sched.now (ssched sp) < sp.recover_until in
+  let marked = mark_local sp in
+  let touch_of wr =
+    Option.value ~default:0 (Wirerep.Tbl.find_opt sp.touch wr)
+  in
+  (* Does a locally-unreachable, dirty-kept concrete have a slot path to
+     [target]?  Those are the target's local retainers: they join the
+     trial's closure as new targets. *)
+  let reaches src target =
+    let seen = Wirerep.Tbl.create 8 in
+    let rec go wr =
+      Wirerep.equal wr target
+      || (not (Wirerep.Tbl.mem seen wr))
+         && begin
+              Wirerep.Tbl.add seen wr ();
+              match Wirerep.Tbl.find_opt sp.table wr with
+              | Some (Concrete c) -> List.exists go c.c_slots
+              | Some (Surrogate _) | None -> false
+            end
+    in
+    go src
+  in
+  let ancestors_of target =
+    Wirerep.Tbl.fold
+      (fun wr entry acc ->
+        match entry with
+        | Concrete c
+          when (not (Wirerep.equal wr target))
+               && (not (Wirerep.Tbl.mem marked wr))
+               && Hashtbl.length c.c_dirty > 0
+               && reaches wr target ->
+            node_of_wr wr :: acc
+        | Concrete _ | Surrogate _ -> acc)
+      sp.table []
+    |> List.sort Netobj_dgc.Cycles.compare_node
+  in
+  List.map
+    (fun (wr : Wirerep.t) ->
+      let rep =
+        if in_grace then Proto.Cr_live
+        else
+          match Wirerep.Tbl.find_opt sp.table wr with
+          | None -> Proto.Cr_gone
+          | Some _ when Wirerep.Tbl.mem marked wr -> Proto.Cr_live
+          | Some (Surrogate st) -> (
+              match !st with
+              (* Transient states are in the middle of a protocol
+                 exchange; treat as live and let the trial retry. *)
+              | Creating _ | Cleaning _ -> Proto.Cr_live
+              | Usable _ ->
+                  Proto.Cr_quiet
+                    {
+                      touch = touch_of wr;
+                      dirty = [];
+                      ancestors = List.map wr_of_node (ancestors_of wr);
+                    })
+          | Some (Concrete c) ->
+              let dirty =
+                Hashtbl.fold (fun cl () acc -> cl :: acc) c.c_dirty []
+                |> List.sort compare
+              in
+              Proto.Cr_quiet
+                {
+                  touch = touch_of wr;
+                  dirty;
+                  ancestors = List.map wr_of_node (ancestors_of wr);
+                }
+      in
+      (wr, rep))
+    targets
+
+let handle_cycle_probe sp ~src ~probe_id ~confirm ~targets =
+  ignore confirm;
+  let reports = cycle_reports sp targets in
+  send_env sp ~dst:src
+    (Proto.Cycle_reply { probe_id; epoch = sp.epoch; reports })
+
+let handle_cycle_reply sp ~probe_id ~epoch ~reports =
+  match Hashtbl.find_opt sp.pending_cycles probe_id with
+  | Some iv ->
+      Hashtbl.remove sp.pending_cycles probe_id;
+      if not (Sched.Ivar.is_filled iv) then Sched.Ivar.fill iv (epoch, reports)
+  | None -> () (* duplicated or post-abort reply *)
+
+(* Owner side of a commit: trust nothing.  The coordinator proved the
+   closure garbage at confirm time, but this message may be late — so
+   reclaim only what is still a locally-unreachable resident concrete,
+   and never inside the grace window. *)
+let handle_cycle_commit sp ~wrs =
+  if Sched.now (ssched sp) >= sp.recover_until then begin
+    let marked = mark_local sp in
+    List.iter
+      (fun (wr : Wirerep.t) ->
+        match Wirerep.Tbl.find_opt sp.table wr with
+        | Some (Concrete _) when not (Wirerep.Tbl.mem marked wr) ->
+            Wirerep.Tbl.remove sp.table wr;
+            bump_touch sp wr;
+            Wirerep.Tbl.remove sp.cycle_suspect_since wr;
+            wal sp (Wal.Reclaim wr);
+            sp.n_reclaimed <- sp.n_reclaimed + 1;
+            sp.s_cycle_collected <- sp.s_cycle_collected + 1;
+            if Obs.on () then begin
+              Metrics.incr m_cycle_collected;
+              Trace.instant (Obs.trace ()) ~cat:"gc" ~space:sp.id
+                ~args:(obs_wr_args wr) "cycle_reclaim"
+            end;
+            Log.debug (fun m ->
+                m "space %d cycle-reclaimed %a" sp.id Wirerep.pp wr)
+        | Some _ | None -> ())
+      wrs
+  end
+
 let handle_envelope sp ~src env =
   if not sp.crashed then
     match env with
@@ -1319,6 +1546,11 @@ let handle_envelope sp ~src env =
         ()
     | Proto.Reassert { items } -> handle_reassert sp ~src ~items
     | Proto.Reassert_ack { ok; gone } -> handle_reassert_ack sp ~src ~ok ~gone
+    | Proto.Cycle_probe { probe_id; confirm; targets } ->
+        handle_cycle_probe sp ~src ~probe_id ~confirm ~targets
+    | Proto.Cycle_reply { probe_id; epoch; reports } ->
+        handle_cycle_reply sp ~probe_id ~epoch ~reports
+    | Proto.Cycle_commit { wrs } -> handle_cycle_commit sp ~wrs
 
 let clients_with_surrogates sp =
   let clients = Hashtbl.create 8 in
@@ -1339,6 +1571,7 @@ let evict_client sp client =
           Hashtbl.remove sp.unconfirmed (wr, client);
           if Hashtbl.mem c.c_dirty client then begin
             Hashtbl.remove c.c_dirty client;
+            bump_touch sp wr;
             sp.s_evict <- sp.s_evict + 1;
             incr removed
           end
@@ -1396,6 +1629,7 @@ let forget_peer_state sp peer =
   List.iter
     (fun wr ->
       Wirerep.Tbl.remove sp.table wr;
+      bump_touch sp wr;
       wal sp (Wal.Surrogate { wr; add = false });
       (* Drop root/pin counts with the entry: the restarted peer reuses
          wirerep indices, so a stale count would pin its {e next} object
@@ -1454,6 +1688,179 @@ let handle_packet sp ~src (p : Proto.packet) =
       else handle_envelope sp ~src p.Proto.env
     end
   end
+
+(* --- cycle-trial coordinator ---------------------------------------------- *)
+
+let report_of_proto = function
+  | Proto.Cr_live -> Netobj_dgc.Cycles.Cr_live
+  | Proto.Cr_gone -> Netobj_dgc.Cycles.Cr_gone
+  | Proto.Cr_quiet { touch; dirty; ancestors } ->
+      Netobj_dgc.Cycles.Cr_quiet
+        { touch; dirty; ancestors = List.map node_of_wr ancestors }
+
+(* Drive one trial to completion from a fiber of [sp].  Queries to [sp]
+   itself are answered in place; remote ones ride [Cycle_probe] and park
+   on a [pending_cycles] ivar, bounded by [call_timeout] when one is
+   configured.  The trial aborts if this space's own epoch moves
+   mid-flight (crash, restart, recover) — the coordinator is subject to
+   the same moratorium it imposes on responders.  Returns the number of
+   objects committed for reclamation (0 on abort). *)
+let run_trial sp suspect =
+  let module C = Netobj_dgc.Cycles in
+  let epoch0 = sp.epoch in
+  sp.s_cycle_trials <- sp.s_cycle_trials + 1;
+  if Obs.on () then begin
+    Metrics.incr m_cycle_trials;
+    Trace.instant (Obs.trace ()) ~cat:"gc" ~space:sp.id
+      ~args:(obs_wr_args suspect) "cycle_trial"
+  end;
+  let trial, initial = C.start (node_of_wr suspect) in
+  let exec_query (q : C.query) =
+    let targets = List.map wr_of_node q.C.q_targets in
+    if q.C.q_space = sp.id then
+      let reports = cycle_reports sp targets in
+      C.deliver trial ~space:sp.id ~epoch:sp.epoch
+        (List.map (fun (wr, r) -> (node_of_wr wr, report_of_proto r)) reports)
+    else begin
+      let probe_id = sp.next_probe in
+      sp.next_probe <- sp.next_probe + 1;
+      let iv = Sched.Ivar.create () in
+      Hashtbl.replace sp.pending_cycles probe_id iv;
+      send_env sp ~dst:q.C.q_space
+        (Proto.Cycle_probe
+           { probe_id; confirm = C.phase trial = C.Confirming; targets });
+      let reply =
+        match sp.rt.config.call_timeout with
+        | None -> Some (Sched.Ivar.read iv)
+        | Some dt -> Sched.read_timeout (ssched sp) iv ~timeout:dt
+      in
+      Hashtbl.remove sp.pending_cycles probe_id;
+      match reply with
+      | None ->
+          C.abort trial (Fmt.str "space %d probe timed out" q.C.q_space);
+          []
+      | Some (epoch, reports) ->
+          C.deliver trial ~space:q.C.q_space ~epoch
+            (List.map
+               (fun (wr, r) -> (node_of_wr wr, report_of_proto r))
+               reports)
+    end
+  in
+  let rec drive queue =
+    match queue with
+    | [] -> ()
+    | _ when sp.crashed || sp.epoch <> epoch0 ->
+        C.abort trial "coordinator epoch moved"
+    | _ when sp.rt.config.bug_skip_confirm && C.phase trial = C.Confirming ->
+        (* The deliberately-broken variant for the model checker: stop
+           here and commit the unconfirmed closure below. *)
+        ()
+    | q :: rest -> drive (rest @ exec_query q)
+  in
+  drive initial;
+  let committed =
+    if sp.crashed || sp.epoch <> epoch0 then []
+    else if
+      sp.rt.config.bug_skip_confirm
+      && C.outcome trial = C.Pending
+      && C.phase trial = C.Confirming
+    then C.members trial
+    else match C.outcome trial with C.Garbage ns -> ns | _ -> []
+  in
+  match committed with
+  | [] ->
+      (match C.outcome trial with
+      | C.Aborted reason ->
+          sp.s_cycle_aborts <- sp.s_cycle_aborts + 1;
+          if Obs.on () then begin
+            Metrics.incr m_cycle_aborts;
+            Trace.instant (Obs.trace ()) ~cat:"gc" ~space:sp.id
+              ~args:[ ("reason", Trace.S reason) ]
+              "cycle_abort"
+          end;
+          Log.debug (fun m ->
+              m "space %d cycle trial aborted: %s" sp.id reason)
+      | C.Pending | C.Garbage _ -> ());
+      0
+  | ns ->
+      List.iter
+        (fun (owner, nodes) ->
+          let wrs = List.map wr_of_node nodes in
+          if owner = sp.id then handle_cycle_commit sp ~wrs
+          else send_env sp ~dst:owner (Proto.Cycle_commit { wrs }))
+        (C.group_by_space ns);
+      List.length ns
+
+(* Suspects: concretes that are locally unreachable yet dirty-kept.
+   [cycle_suspect_since] ages them across passes so the demon only
+   opens trials for suspects stable for [cycle_age] — young suspects
+   are usually just references in transit. *)
+let nominate_suspects sp =
+  let marked = mark_local sp in
+  let now = Sched.now (ssched sp) in
+  let current =
+    Wirerep.Tbl.fold
+      (fun wr entry acc ->
+        match entry with
+        | Concrete c
+          when (not (Wirerep.Tbl.mem marked wr))
+               && Hashtbl.length c.c_dirty > 0 ->
+            wr :: acc
+        | Concrete _ | Surrogate _ -> acc)
+      sp.table []
+    |> List.sort Wirerep.compare
+  in
+  let stale =
+    Wirerep.Tbl.fold
+      (fun wr _ acc ->
+        if List.exists (Wirerep.equal wr) current then acc else wr :: acc)
+      sp.cycle_suspect_since []
+  in
+  List.iter (Wirerep.Tbl.remove sp.cycle_suspect_since) stale;
+  List.iter
+    (fun wr ->
+      if not (Wirerep.Tbl.mem sp.cycle_suspect_since wr) then
+        Wirerep.Tbl.replace sp.cycle_suspect_since wr now)
+    current;
+  current
+
+let aged_suspects sp =
+  let now = Sched.now (ssched sp) in
+  let age = sp.rt.config.cycle_age in
+  List.filter
+    (fun wr ->
+      match Wirerep.Tbl.find_opt sp.cycle_suspect_since wr with
+      | Some t0 -> now -. t0 >= age
+      | None -> false)
+    (nominate_suspects sp)
+
+(* One synchronous detector pass: open a trial for every current
+   suspect (no ageing — this is the driver for tests and the model
+   checker, where periodic demons would never quiesce).  Must run
+   inside a fiber. *)
+let cycle_collect sp =
+  if sp.crashed || Sched.now (ssched sp) < sp.recover_until then 0
+  else
+    List.fold_left
+      (fun acc wr ->
+        (* an earlier trial in this pass may have committed it already *)
+        if Wirerep.Tbl.mem sp.table wr then acc + run_trial sp wr else acc)
+      0 (nominate_suspects sp)
+
+let cycle_demon sp gen period () =
+  let rec loop () =
+    Sched.sleep (ssched sp) period;
+    if (not sp.crashed) && sp.epoch = gen then begin
+      if Sched.now (ssched sp) >= sp.recover_until then
+        List.iter
+          (fun wr ->
+            if (not sp.crashed) && sp.epoch = gen && Wirerep.Tbl.mem sp.table wr
+            then ignore (run_trial sp wr : int))
+          (aged_suspects sp);
+      loop ()
+    end
+  in
+  loop ()
 
 (* Demons carry the epoch they were spawned for and exit as soon as the
    space's epoch moves on: [restart] spawns a fresh set, and without the
@@ -1919,6 +2326,12 @@ let spawn_periodic_demons sp =
         ~name:(Printf.sprintf "gc-demon-%d.%d" sp.id gen)
         (gc_demon sp gen p)
   | None -> ());
+  (match sp.rt.config.cycle_period with
+  | Some p ->
+      Sched.spawn sched
+        ~name:(Printf.sprintf "cycle-demon-%d.%d" sp.id gen)
+        (cycle_demon sp gen p)
+  | None -> ());
   match sp.rt.config.ping_period with
   | Some p ->
       Sched.spawn sched
@@ -1968,6 +2381,13 @@ let make_space rt id =
     s_evict = 0;
     s_epoch_rejected = 0;
     s_retries = 0;
+    touch = Wirerep.Tbl.create 64;
+    cycle_suspect_since = Wirerep.Tbl.create 16;
+    pending_cycles = Hashtbl.create 8;
+    next_probe = 0;
+    s_cycle_trials = 0;
+    s_cycle_aborts = 0;
+    s_cycle_collected = 0;
   }
 
 let create (config : config) =
@@ -2089,6 +2509,16 @@ let restart rt i =
     sp.pending_reassert;
   Hashtbl.reset sp.pending_reassert;
   Hashtbl.reset sp.unconfirmed;
+  (* Detector state is soft and epoch-scoped: the new incarnation's
+     counters may start from zero because every in-flight trial that
+     heard from the old one aborts on the epoch bump. *)
+  Wirerep.Tbl.reset sp.touch;
+  Wirerep.Tbl.reset sp.cycle_suspect_since;
+  Hashtbl.iter
+    (fun _ iv ->
+      if not (Sched.Ivar.is_filled iv) then Sched.Ivar.fill iv (sp.epoch, []))
+    sp.pending_cycles;
+  Hashtbl.reset sp.pending_cycles;
   sp.recover_until <- 0.0;
   let rec drain_mb () =
     match Sched.Mailbox.try_recv sp.clean_mb with
@@ -2325,6 +2755,16 @@ let recover rt i =
   Hashtbl.reset sp.peer_epoch;
   Hashtbl.reset sp.pending_reassert;
   Hashtbl.reset sp.unconfirmed;
+  (* Detector state is soft: touch counters and suspicion ages restart
+     from zero — safe because the epoch bump aborts every in-flight
+     trial that ever heard from the previous incarnation. *)
+  Wirerep.Tbl.reset sp.touch;
+  Wirerep.Tbl.reset sp.cycle_suspect_since;
+  Hashtbl.iter
+    (fun _ iv ->
+      if not (Sched.Ivar.is_filled iv) then Sched.Ivar.fill iv (sp.epoch, []))
+    sp.pending_cycles;
+  Hashtbl.reset sp.pending_cycles;
   let rec drain_mb () =
     match Sched.Mailbox.try_recv sp.clean_mb with
     | Some _ -> drain_mb ()
@@ -2516,6 +2956,13 @@ let gc_stats sp =
     retries = sp.s_retries;
   }
 
+let cycle_stats sp =
+  {
+    trials = sp.s_cycle_trials;
+    aborts = sp.s_cycle_aborts;
+    collected = sp.s_cycle_collected;
+  }
+
 let epoch sp = sp.epoch
 
 let cont sp = sp.cont
@@ -2619,7 +3066,13 @@ let check_safety rt =
   let report fmt = Fmt.kstr (fun s -> problems := s :: !problems) fmt in
   Array.iter
     (fun sp ->
-      if not sp.crashed then
+      if not sp.crashed then begin
+        (* Computed only if this space holds a usable surrogate whose
+           owner-side entry vanished: a {e locally unreachable} such
+           surrogate is the legitimate wake of a cycle commit (the
+           cleaning demon is about to drain it), while a reachable one
+           means a live object was reclaimed — the violation. *)
+        let marked = lazy (mark_local sp) in
         Wirerep.Tbl.iter
           (fun wr entry ->
             match entry with
@@ -2643,12 +3096,14 @@ let check_safety rt =
                                owner's dirty set"
                               sp.id Wirerep.pp wr
                       | Some (Surrogate _) | None ->
-                          report
-                            "space %d: usable surrogate %a but owner %d \
-                             collected the object"
-                            sp.id Wirerep.pp wr wr.Wirerep.space
+                          if Wirerep.Tbl.mem (Lazy.force marked) wr then
+                            report
+                              "space %d: usable surrogate %a but owner %d \
+                               collected the object"
+                              sp.id Wirerep.pp wr wr.Wirerep.space
                     end))
-          sp.table)
+          sp.table
+      end)
     rt.space_arr;
   List.rev !problems
 

@@ -90,6 +90,13 @@ type config
     - [recover_grace] (default 2.0) is the post-recovery window during
       which the collector stands down and recovered dirty entries are
       conservatively retained while clients re-assert them;
+    - [cycle_period] runs each space's distributed cycle detector
+      periodically (default off): suspects that stayed
+      dirty-kept-but-unreachable for [cycle_age] seconds (default 0.75)
+      get a trial deletion — see {!cycle_collect} for the protocol;
+    - [bug_skip_confirm] deliberately breaks the detector by committing
+      trial closures without the confirm round, as a known-bug target
+      for the model checker.  Never set it outside that scenario;
     - [transport] swaps the message transport: given a shard's
       scheduler and its simulated network (invoked once per shard), it
       returns the {!Netobj_transport.Transport.t} that shard's protocol
@@ -127,6 +134,9 @@ val config :
   ?fsync_delay:float ->
   ?snapshot_period:float ->
   ?recover_grace:float ->
+  ?cycle_period:float ->
+  ?cycle_age:float ->
+  ?bug_skip_confirm:bool ->
   ?transport:(Sched.t -> Net.t -> Netobj_transport.Transport.t) ->
   ?engine:(module Engine.S) ->
   ?domains:int ->
@@ -291,6 +301,23 @@ val collect_all : t -> unit
     tracing phase. *)
 val global_collect : t -> int
 
+(** One synchronous pass of the distributed cycle detector at this
+    space, driven to completion: every concrete that is currently
+    dirty-kept-but-locally-unreachable (no ageing) gets a {e trial
+    deletion}.  A trial computes the backward closure of the suspect by
+    probing owners and dirty-set members (stateless responders answer
+    from local reachability plus per-wireRep {e touch counters}), then
+    re-probes everything and commits only on byte-identical reports
+    under unchanged epochs — any live report, vanished entry, counter
+    movement or epoch bump aborts conservatively.  Commits are
+    fire-and-forget and defensively rechecked by each owner, so late or
+    duplicated commits are harmless.  Returns the number of objects
+    committed for reclamation.  Must run inside a fiber (it blocks on
+    probe replies); the [cycle_period] knob runs the same logic as a
+    background demon.  Detector state is soft: it survives nothing and
+    trusts nothing across an epoch bump. *)
+val cycle_collect : space -> int
+
 (** Does this space's table still hold an entry for the wireRep? *)
 val resident : space -> Wirerep.t -> bool
 
@@ -404,6 +431,13 @@ type gc_stats = {
 }
 
 val gc_stats : space -> gc_stats
+
+(** Cycle-detector counters for this space: trials opened as
+    coordinator, conservative aborts, and objects reclaimed {e here} by
+    cycle commits (counted at the owner). *)
+type cycle_stats = { trials : int; aborts : int; collected : int }
+
+val cycle_stats : space -> cycle_stats
 
 (** Cross-validation against the formal specification: on a {e quiescent}
     system (no messages in flight, no fibers mid-call) check the runtime

@@ -1,0 +1,196 @@
+type node = { nspace : int; nindex : int }
+
+let pp_node ppf n = Fmt.pf ppf "%d.%d" n.nspace n.nindex
+
+let compare_node a b =
+  match compare a.nspace b.nspace with
+  | 0 -> compare a.nindex b.nindex
+  | c -> c
+
+type report =
+  | Cr_live
+  | Cr_gone
+  | Cr_quiet of { touch : int; dirty : int list; ancestors : node list }
+
+let pp_report ppf = function
+  | Cr_live -> Fmt.string ppf "live"
+  | Cr_gone -> Fmt.string ppf "gone"
+  | Cr_quiet { touch; dirty; ancestors } ->
+      Fmt.pf ppf "quiet(touch=%d dirty=%a anc=%a)" touch
+        Fmt.(list ~sep:comma int)
+        dirty
+        Fmt.(list ~sep:comma pp_node)
+        ancestors
+
+let equal_report (a : report) (b : report) = a = b
+
+type query = { q_space : int; q_targets : node list }
+
+type phase = Probing | Confirming
+
+type outcome = Pending | Garbage of node list | Aborted of string
+
+(* A query key: (responding space, target).  The owner's report on a
+   target and a dirty-set member's report on its surrogate are distinct
+   keys for the same node. *)
+type key = int * node
+
+let compare_key ((sa, na) : key) ((sb, nb) : key) =
+  match compare sa sb with 0 -> compare_node na nb | c -> c
+
+type trial = {
+  cap : int;
+  mutable t_phase : phase;
+  mutable t_outcome : outcome;
+  mutable closure : node list;  (* sorted, deduped *)
+  queried : (key, unit) Hashtbl.t;
+  mutable t_pending : key list;
+  reports : (key, report) Hashtbl.t;  (* probing-round answers *)
+  epochs : (int, int) Hashtbl.t;  (* responder -> first-seen epoch *)
+}
+
+let outcome t = t.t_outcome
+
+let phase t = t.t_phase
+
+let members t = t.closure
+
+let pending t = List.length t.t_pending
+
+let abort t reason =
+  match t.t_outcome with
+  | Pending ->
+      t.t_outcome <- Aborted reason;
+      t.t_pending <- []
+  | Garbage _ | Aborted _ -> ()
+
+let group_by_space nodes =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun n ->
+      let prev = try Hashtbl.find tbl n.nspace with Not_found -> [] in
+      Hashtbl.replace tbl n.nspace (n :: prev))
+    nodes;
+  Hashtbl.fold
+    (fun sp ns acc -> (sp, List.sort compare_node ns) :: acc)
+    tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+(* Turn a set of keys into per-space query batches, deterministically
+   ordered (spaces ascending, targets sorted within each). *)
+let queries_of_keys keys =
+  let keys = List.sort_uniq compare_key keys in
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (sp, n) ->
+      let prev = try Hashtbl.find tbl sp with Not_found -> [] in
+      Hashtbl.replace tbl sp (n :: prev))
+    keys;
+  Hashtbl.fold
+    (fun sp ns acc ->
+      { q_space = sp; q_targets = List.sort compare_node ns } :: acc)
+    tbl []
+  |> List.sort (fun a b -> compare a.q_space b.q_space)
+
+(* Issue the keys not yet queried this trial: mark them queried and
+   pending, and return the wire batches. *)
+let issue t keys =
+  let fresh =
+    List.filter (fun k -> not (Hashtbl.mem t.queried k)) keys
+    |> List.sort_uniq compare_key
+  in
+  List.iter (fun k -> Hashtbl.replace t.queried k ()) fresh;
+  t.t_pending <- fresh @ t.t_pending;
+  queries_of_keys fresh
+
+let start ?(cap = 64) suspect =
+  let t =
+    {
+      cap;
+      t_phase = Probing;
+      t_outcome = Pending;
+      closure = [ suspect ];
+      queried = Hashtbl.create 32;
+      t_pending = [];
+      reports = Hashtbl.create 32;
+      epochs = Hashtbl.create 8;
+    }
+  in
+  let qs = issue t [ (suspect.nspace, suspect) ] in
+  (t, qs)
+
+let add_member t n =
+  if List.exists (fun m -> compare_node m n = 0) t.closure then false
+  else begin
+    t.closure <- List.sort compare_node (n :: t.closure);
+    if List.length t.closure > t.cap then
+      abort t (Fmt.str "closure exceeds cap %d" t.cap);
+    true
+  end
+
+(* One probing-round report: record it and compute the keys it opens
+   (dirty-set members asked about this target; ancestors asked about at
+   their own space). *)
+let probe_report t key (node : node) rep =
+  Hashtbl.replace t.reports key rep;
+  match rep with
+  | Cr_live -> abort t (Fmt.str "%a live" pp_node node); []
+  | Cr_gone -> abort t (Fmt.str "%a gone" pp_node node); []
+  | Cr_quiet { dirty; ancestors; _ } ->
+      let dirty_keys = List.map (fun sp -> (sp, node)) dirty in
+      let anc_keys =
+        List.filter_map
+          (fun a ->
+            ignore (add_member t a : bool);
+            if t.t_outcome = Pending then Some (a.nspace, a) else None)
+          ancestors
+      in
+      dirty_keys @ anc_keys
+
+let confirm_report t key (node : node) rep =
+  match Hashtbl.find_opt t.reports key with
+  | Some first when equal_report first rep -> ()
+  | Some _ -> abort t (Fmt.str "%a report changed between rounds" pp_node node)
+  | None -> abort t (Fmt.str "%a unexpected confirm report" pp_node node)
+
+let deliver t ~space ~epoch reps =
+  if t.t_outcome <> Pending then []
+  else begin
+    (match Hashtbl.find_opt t.epochs space with
+    | None -> Hashtbl.replace t.epochs space epoch
+    | Some e when e = epoch -> ()
+    | Some e ->
+        abort t (Fmt.str "space %d epoch moved %d -> %d" space e epoch));
+    let opened = ref [] in
+    List.iter
+      (fun (node, rep) ->
+        if t.t_outcome = Pending then begin
+          let key = (space, node) in
+          if List.exists (fun k -> compare_key k key = 0) t.t_pending then begin
+            t.t_pending <-
+              List.filter (fun k -> compare_key k key <> 0) t.t_pending;
+            match t.t_phase with
+            | Probing -> opened := probe_report t key node rep @ !opened
+            | Confirming -> confirm_report t key node rep
+          end
+        end)
+      reps;
+    if t.t_outcome <> Pending then []
+    else begin
+      let qs = issue t !opened in
+      if t.t_pending <> [] then qs
+      else
+        match t.t_phase with
+        | Probing ->
+            (* Closure complete and every report quiet: re-ask everyone
+               everything and demand byte-identical answers. *)
+            t.t_phase <- Confirming;
+            let all = Hashtbl.fold (fun k () acc -> k :: acc) t.queried [] in
+            let all = List.sort compare_key all in
+            t.t_pending <- all;
+            queries_of_keys all
+        | Confirming ->
+            t.t_outcome <- Garbage t.closure;
+            []
+    end
+  end

@@ -1,0 +1,108 @@
+(** Pure trial-deletion engine for distributed cycle collection.
+
+    The runtime leaks isolated {e cross-space cycles}: an object is
+    reclaimed only when its dirty set drains, and in a cycle every
+    member keeps a dirty entry alive at the next, so none ever drains
+    ([Runtime.global_collect] is the stop-the-world workaround).  This
+    module is the asynchronous alternative: a {e trial deletion} over a
+    suspected subgraph, phrased as a pure state machine so it can be
+    unit-tested and model-checked without a runtime.
+
+    A {e trial} starts from one suspect node and computes the backward
+    closure of everything that could be keeping it alive through dirty
+    sets: each {!Cr_quiet} report names the dirty-set members (who are
+    then asked about their surrogate) and the local {e ancestors}
+    (unreachable local concretes with a slot path to the target, who
+    become targets themselves).  When the closure stops growing and
+    every report is quiet, the trial re-issues {e every} query — the
+    confirm phase — and commits only if all second-round reports are
+    byte-identical to the first and no responder changed epoch.
+
+    Safety rests on the {e touch counter} carried in each quiet report:
+    a per-wirerep monotone counter the runtime bumps on every root,
+    pin, dirty or table mutation.  A reference that migrates between
+    two probed spaces in the window between their queries cannot dodge
+    both rounds without bumping a counter at whichever space held it
+    when that space was queried, so "identical reports" really does
+    mean "nothing moved".  Counters are never reset within an epoch
+    (reusing a value would re-open the ABA window) and are {e not}
+    persisted: an epoch bump aborts in-flight trials, which is the
+    moratorium the WAL story needs.
+
+    The engine is conservative everywhere: any {!Cr_live} or
+    {!Cr_gone} report, epoch change, report mismatch or oversized
+    closure aborts the trial.  Aborts are cheap — detector state is
+    soft and the suspect will be re-nominated later. *)
+
+(** A node is a wireRep seen from nowhere in particular: the owning
+    space and the object's index there.  (This library cannot depend on
+    [Netobj_core.Wirerep]; the runtime converts at the boundary.) *)
+type node = { nspace : int; nindex : int }
+
+val pp_node : node Fmt.t
+
+val compare_node : node -> node -> int
+
+(** What a space answers about one target:
+    - [Cr_live]: locally reachable from roots/pins (without the
+      dirty-keeps-alive clause), or in a transient surrogate state, or
+      the space is inside its recovery moratorium — the trial must
+      abort;
+    - [Cr_gone]: no table entry — someone already collected it; abort;
+    - [Cr_quiet]: unreachable here. [touch] is the target's mutation
+      counter at this space, [dirty] the dirty-set members (owner side
+      only, sorted), [ancestors] the locally-unreachable concretes with
+      a slot path to the target (sorted) — they join the closure. *)
+type report =
+  | Cr_live
+  | Cr_gone
+  | Cr_quiet of { touch : int; dirty : int list; ancestors : node list }
+
+val pp_report : report Fmt.t
+
+val equal_report : report -> report -> bool
+
+(** A batch of targets to ask one space about.  The runtime turns this
+    into a [Cycle_probe] envelope (or answers locally for its own
+    space). *)
+type query = { q_space : int; q_targets : node list }
+
+type phase = Probing | Confirming
+
+type outcome =
+  | Pending  (** queries outstanding *)
+  | Garbage of node list
+      (** confirm passed: the whole closure is garbage; commit it *)
+  | Aborted of string  (** conservative abort; reason for diagnostics *)
+
+type trial
+
+(** [start ?cap suspect] begins a trial.  [cap] (default 64) bounds the
+    closure size; larger suspected subgraphs abort rather than flood
+    the network.  Returns the initial query (the suspect's owner). *)
+val start : ?cap:int -> node -> trial * query list
+
+(** Feed one space's reply into the trial: the responder, its current
+    incarnation epoch, and a report per queried target.  Returns
+    follow-up queries (closure growth, or the full confirm round when
+    probing completes).  Idle after the trial resolves. *)
+val deliver :
+  trial -> space:int -> epoch:int -> (node * report) list -> query list
+
+val outcome : trial -> outcome
+
+val phase : trial -> phase
+
+(** Every node in the closure so far (sorted). *)
+val members : trial -> node list
+
+(** Outstanding (space, target) queries — exposed so a driver can abort
+    trials whose replies will never come. *)
+val pending : trial -> int
+
+(** Force an abort from outside (epoch bump observed, timeout, peer
+    crash).  Idle if the trial already resolved. *)
+val abort : trial -> string -> unit
+
+(** Group a garbage closure by owning space, for commit messages. *)
+val group_by_space : node list -> (int * node list) list

@@ -614,7 +614,104 @@ let scenario_recover () =
   in
   { sc_name = "recover"; sc_spaces = 2; sc_nemesis = nemesis; sc_run = run }
 
-let scenario_names = [ "dgc2"; "dgc3"; "lookup"; "recover" ]
+let scenario_cycle ~broken () =
+  (* A two-space reference cycle (a@0 <-> b@1) that the listing
+     collector leaks, a live sink object at space 1, and a third party
+     at space 2 that hands its rooted reference to the cycle over to the
+     sink WHILE a detector trial is probing.  On some schedules the
+     trial's probe of space 1 observes the cycle quiet before the
+     transfer lands and its probe of space 2 after the client released —
+     every report quiet, yet the cycle is live via the sink.  Only the
+     confirm round (identical reports, unmoved touch counters, unmoved
+     epochs) notices the movement.  With [broken]
+     ([R.config ~bug_skip_confirm:true]) the coordinator commits on the
+     probe round alone and reclaims the live cycle, stranding the sink's
+     rooted surrogate — which the per-step safety oracle catches and the
+     recorded schedule replays.  With the confirm round in place the
+     same schedules abort the trial; after the sink is torn down a final
+     pass reclaims the by-then genuinely dead cycle, so the drain oracle
+     ends clean. *)
+  let run x =
+    let cfg =
+      R.config ~nspaces:3 ~edge:(controlled_edge ()) ~bug_skip_confirm:broken
+        ()
+    in
+    let rt = setup x cfg [] in
+    let sp0 = R.space rt 0 and sp1 = R.space rt 1 and sp2 = R.space rt 2 in
+    let a = R.allocate sp0 ~meths:[] in
+    let b = R.allocate sp1 ~meths:[] in
+    R.publish sp0 "a" a;
+    R.publish sp1 "b" b;
+    let rec sink =
+      lazy
+        (R.allocate sp1
+           ~meths:
+             [
+               R.meth "put" (fun sp r ->
+                   let h = P.read R.handle_codec r in
+                   fun () ->
+                     R.link sp ~parent:(Lazy.force sink) ~child:h;
+                     R.release sp h;
+                     fun _w -> ());
+             ])
+    in
+    let sink = Lazy.force sink in
+    R.publish sp1 "sink" sink;
+    R.spawn rt ~name:"linker-0" (fun () ->
+        let hb = R.lookup sp0 ~at:1 "b" in
+        R.link sp0 ~parent:a ~child:hb;
+        R.release sp0 hb);
+    R.spawn rt ~name:"linker-1" (fun () ->
+        let ha = R.lookup sp1 ~at:0 "a" in
+        R.link sp1 ~parent:b ~child:ha;
+        R.release sp1 ha);
+    let held = ref None in
+    R.spawn rt ~name:"client-2" (fun () ->
+        let h_sink = R.lookup sp2 ~at:1 "sink" in
+        let h_a = R.lookup sp2 ~at:0 "a" in
+        held := Some (h_sink, h_a));
+    drain rt;
+    (* the cycle loses its roots; the client's reference keeps it live *)
+    R.unpublish sp0 "a";
+    R.release sp0 a;
+    R.unpublish sp1 "b";
+    R.release sp1 b;
+    drain rt;
+    (* race: a detector trial vs the third-party transfer into the sink *)
+    (match !held with
+    | None -> ()
+    | Some (h_sink, h_a) ->
+        R.spawn rt ~name:"detector-0" (fun () -> ignore (R.cycle_collect sp0));
+        R.spawn rt ~name:"client-2" (fun () ->
+            Sched.sleep (R.sched rt) 0.002;
+            (try
+               R.invoke_raw sp2 h_sink ~meth:"put"
+                 ~encode:(fun w -> P.write R.handle_codec w h_a)
+                 ~decode:(fun _ -> ())
+             with R.Remote_error _ | R.Timeout _ -> ());
+            R.release sp2 h_a;
+            R.release sp2 h_sink));
+    drain rt;
+    (* teardown: the sink goes, then the detector finishes the job *)
+    R.unpublish sp1 "sink";
+    R.release sp1 sink;
+    drain rt;
+    List.iter
+      (fun sp ->
+        R.spawn rt ~name:"detector-final" (fun () ->
+            ignore (R.cycle_collect sp));
+        drain rt)
+      [ sp0; sp1 ];
+    drain_problems rt
+  in
+  {
+    sc_name = (if broken then "dgc-cycle-broken" else "dgc-cycle");
+    sc_spaces = 3;
+    sc_nemesis = [];
+    sc_run = run;
+  }
+
+let scenario_names = [ "dgc2"; "dgc3"; "lookup"; "recover"; "dgc-cycle" ]
 
 let find_scenario name ~leak =
   match name with
@@ -622,6 +719,8 @@ let find_scenario name ~leak =
   | "dgc3" -> Some (scenario_dgc3 ())
   | "lookup" | "lookup-leak" -> Some (scenario_lookup ~leak ())
   | "recover" -> Some (scenario_recover ())
+  | "dgc-cycle" -> Some (scenario_cycle ~broken:false ())
+  | "dgc-cycle-broken" -> Some (scenario_cycle ~broken:true ())
   | _ -> None
 
 (* ------------------------------------------------------------------ *)

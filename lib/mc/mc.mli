@@ -171,10 +171,27 @@ val scenario_lookup : leak:bool -> unit -> scenario
     must still drain to ground truth. *)
 val scenario_recover : unit -> scenario
 
+(** Three spaces: a cross-space reference cycle (a@0 <-> b@1) that the
+    listing collector leaks, a live sink at space 1, and a third party
+    at space 2 that transfers its rooted reference to the cycle into
+    the sink {e while} a detector trial is probing.  Schedules exist on
+    which every probe-round report is quiet even though the cycle is
+    live via the sink; only the confirm round (identical reports,
+    unmoved touch counters and epochs) catches the movement.  With
+    [broken] ({!Runtime.config}[ ~bug_skip_confirm:true], scenario name
+    ["dgc-cycle-broken"]) the coordinator commits on the probe round
+    alone and reclaims the live cycle — the stranded rooted surrogate
+    trips the per-step safety oracle, with a replayable schedule.  With
+    the confirm round intact the same schedules abort the trial, a
+    final pass after teardown reclaims the then-dead cycle, and the
+    drain oracle ends clean. *)
+val scenario_cycle : broken:bool -> unit -> scenario
+
 (** Names accepted by {!find_scenario}. *)
 val scenario_names : string list
 
-(** [find_scenario name ~leak] — [leak] only affects ["lookup"]. *)
+(** [find_scenario name ~leak] — [leak] only affects ["lookup"];
+    ["dgc-cycle-broken"] selects {!scenario_cycle}[ ~broken:true]. *)
 val find_scenario : string -> leak:bool -> scenario option
 
 (** {1 Running} *)

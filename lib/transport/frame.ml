@@ -28,7 +28,9 @@ exception Corrupt of string
 let () =
   Printexc.register_printer (function
     | Unsupported_mode m ->
-        Some (Fmt.str "Frame.Unsupported_mode(%a)" pp_mode m)
+        Some
+          (Fmt.str "Frame.Unsupported_mode(%a, flag byte 0x%02x)" pp_mode m
+             (mode_to_byte m))
     | Corrupt msg -> Some (Printf.sprintf "Frame.Corrupt(%s)" msg)
     | _ -> None)
 

@@ -35,7 +35,12 @@ val mode_of_byte : int -> mode option
 
 val pp_mode : mode Fmt.t
 
-(** Raised by {!encode} for a reserved (non-[Raw]) mode. *)
+(** Raised by {!encode} for a reserved (non-[Raw]) mode, and by a
+    conforming endpoint on receiving one.  The registered printer names
+    both the mode and its flag byte (e.g.
+    ["Frame.Unsupported_mode(compressed, flag byte 0x01)"]), so a
+    rejection log line identifies exactly which reserved flag was
+    seen. *)
 exception Unsupported_mode of mode
 
 (** Raised by decoding on a flag byte outside the defined modes, or a

@@ -1,0 +1,23 @@
+The deterministic cycle-collection narrative: three spaces build a
+cross-space reference ring, a detector pass while the ring is rooted
+must keep it (the trial's probes find the roots and abort), the listing
+collector leaks the ring once every root drops — each node is held
+alive only by the next space's dirty entry — and the trial-deletion
+detector reclaims it, drains the surrogates and leaves the consistency
+and safety oracles clean (exit 0):
+
+  $ netobj_sim cycles
+  built: 3 spaces, one published node each
+  linked: node0 -> node1 -> node2 -> node0 across the wire
+  detector pass with live roots: committed 0, resident 3/3 (kept)
+  roots dropped: listing collector leaves resident 3/3 (leaked)
+  detector pass: committed 9, resident 0/3
+  stats: trials=3 aborts=0 collected=3
+  drained: surrogates=0, consistency ok, safety ok
+  result: SURVIVED
+
+The narrative is a fixed-seed run of the real runtime; a second
+invocation is byte-identical:
+
+  $ netobj_sim cycles > first.out && netobj_sim cycles > second.out
+  $ diff first.out second.out

@@ -28,8 +28,11 @@ let no_failures rt =
 
 (* Build a ring of [k] nodes spread round-robin over [n] spaces; return
    the runtime and the (space, handle) list. *)
-let build_ring ~n ~k =
-  let rt = R.create (R.config ~seed:5L ~nspaces:n ()) in
+let build_ring ?cfg ~n ~k () =
+  let rt =
+    R.create
+      (match cfg with Some c -> c | None -> R.config ~seed:5L ~nspaces:n ())
+  in
   let nodes =
     List.init k (fun i ->
         let sp = R.space rt (i mod n) in
@@ -65,10 +68,206 @@ let resident_count nodes =
   List.length
     (List.filter (fun (sp, node) -> R.resident sp (R.wirerep node)) nodes)
 
+(* ------------------------------------------------------------------ *)
+(* The asynchronous cycle detector: trial deletion driven one-shot via
+   [R.cycle_collect], with the god-view tracer as the oracle. *)
+
+module Transport = Netobj_transport.Transport
+module Transport_sim = Netobj_transport.Transport_sim
+module Faulty = Netobj_transport.Faulty
+
+(* One detector pass: a one-shot [cycle_collect] fiber per space, run
+   to quiescence.  Returns the number of members committed. *)
+let detector_pass rt =
+  let total = ref 0 in
+  List.iter
+    (fun sp -> R.spawn rt (fun () -> total := !total + R.cycle_collect sp))
+    (R.spaces rt);
+  ignore (R.run rt);
+  no_failures rt;
+  !total
+
+let drain rt =
+  for _ = 1 to 5 do
+    R.collect_all rt;
+    ignore (R.run rt)
+  done
+
+(* Run passes interleaved with drains until a pass commits nothing (or
+   the round budget runs out): a committed cycle can expose new
+   suspects, and the drains clean up the surrogates a reclaimed cycle
+   strands. *)
+let detector_fixpoint ?(rounds = 8) rt =
+  let rec go n =
+    let committed = detector_pass rt in
+    drain rt;
+    if committed > 0 && n > 1 then go (n - 1)
+  in
+  go rounds
+
+let assert_clean rt =
+  (match R.check_safety rt with
+  | [] -> ()
+  | p :: _ -> Alcotest.failf "safety violation: %s" p);
+  match R.check_consistency rt with
+  | [] -> ()
+  | p :: _ -> Alcotest.failf "consistency violation: %s" p
+
+(* A [config] that routes protocol traffic through the [Faulty]
+   decorator over the simulated network — the detector must behave over
+   a decorated transport exactly as over the bare one. *)
+let faulty_cfg ?call_timeout ~seed n =
+  R.config ~seed:5L ~nspaces:n ?call_timeout
+    ~transport:(fun sched net ->
+      Faulty.wrap ~sched ~seed (Transport_sim.of_net net))
+    ()
+
+(* Cross-space cycles that the listing collector leaks are reclaimed by
+   the detector alone: a 2-space self-cycle, a 3-space ring and a
+   6-node ring over 3 spaces. *)
+let test_detector_reclaims ?cfg ~name () =
+  List.iter
+    (fun (n, k) ->
+      let cfg = Option.map (fun f -> f n) cfg in
+      let rt, nodes = build_ring ?cfg ~n ~k () in
+      drop_all_roots rt nodes;
+      Alcotest.(check int)
+        (Printf.sprintf "%s: ring %d/%d leaks under listing" name k n)
+        k (resident_count nodes);
+      detector_fixpoint rt;
+      Alcotest.(check int)
+        (Printf.sprintf "%s: ring %d/%d reclaimed by detector" name k n)
+        0 (resident_count nodes);
+      assert_clean rt;
+      Alcotest.(check int)
+        (Printf.sprintf "%s: ring %d/%d leaves nothing for the god view" name
+           k n)
+        0 (R.global_collect rt))
+    [ (2, 2); (3, 3); (3, 6) ]
+
+(* A cycle pinned by an external root — a third party's looked-up
+   handle — must NOT be collected; dropping that root releases it. *)
+let test_detector_external_root () =
+  let rt, nodes = build_ring ~n:3 ~k:3 () in
+  let sp0 = R.space rt 0 in
+  let ext = ref None in
+  R.spawn rt (fun () -> ext := Some (R.lookup sp0 ~at:1 "node1"));
+  ignore (R.run rt);
+  no_failures rt;
+  let ext =
+    match !ext with Some h -> h | None -> Alcotest.fail "lookup failed"
+  in
+  drop_all_roots rt nodes;
+  detector_fixpoint rt;
+  Alcotest.(check int) "externally rooted cycle kept" 3 (resident_count nodes);
+  assert_clean rt;
+  R.release sp0 ext;
+  drain rt;
+  detector_fixpoint rt;
+  Alcotest.(check int) "reclaimed once the external root goes" 0
+    (resident_count nodes);
+  assert_clean rt
+
+(* Mid-trial faults: with the spaces partitioned, probes time out and
+   every trial aborts (safety: nothing may be committed on partial
+   evidence); after healing, the next passes reclaim the cycle. *)
+let test_detector_partition () =
+  let tr = ref None in
+  let cfg =
+    R.config ~seed:5L ~nspaces:2 ~call_timeout:2.0
+      ~transport:(fun sched net ->
+        let t = Faulty.wrap ~sched ~seed:23L (Transport_sim.of_net net) in
+        tr := Some t;
+        t)
+      ()
+  in
+  let rt, nodes = build_ring ~cfg ~n:2 ~k:2 () in
+  drop_all_roots rt nodes;
+  Alcotest.(check int) "leaks under listing" 2 (resident_count nodes);
+  let t = match !tr with Some t -> t | None -> Alcotest.fail "no transport" in
+  Transport.set_partitioned t 0 1 true;
+  let committed = detector_pass rt in
+  Alcotest.(check int) "nothing committed across the partition" 0 committed;
+  Alcotest.(check int) "cycle survives the partition" 2 (resident_count nodes);
+  let aborts =
+    List.fold_left
+      (fun acc sp -> acc + (R.cycle_stats sp).R.aborts)
+      0 (R.spaces rt)
+  in
+  Alcotest.(check bool) "trials aborted on timeout" true (aborts > 0);
+  assert_clean rt;
+  Transport.heal_all t;
+  detector_fixpoint rt;
+  Alcotest.(check int) "reclaimed after heal" 0 (resident_count nodes);
+  assert_clean rt
+
+(* Random mutation sequences on a cycle-heavy graph: after the detector
+   reaches a fixpoint, the god-view tracer must find nothing left, the
+   safety/consistency checkers must be clean, and every still-rooted
+   node must have survived.  An op [(i, -1)] drops node i's roots; an
+   op [(i, j)] with [j >= 0] relinks node i's slot to node j. *)
+let prop_detector_vs_tracer =
+  let n = 3 and k = 6 in
+  let gen =
+    QCheck.Gen.(
+      list_size (int_range 4 24) (pair (int_bound (k - 1)) (int_range (-1) (k - 1))))
+  in
+  let print = QCheck.Print.(list (pair int int)) in
+  QCheck.Test.make ~name:"detector agrees with the god-view tracer" ~count:40
+    (QCheck.make gen ~print)
+    (fun ops ->
+      let rt, nodes = build_ring ~n ~k () in
+      let arr = Array.of_list nodes in
+      let rooted = Array.make k true in
+      List.iter
+        (fun (i, j) ->
+          if j < 0 then begin
+            if rooted.(i) then begin
+              let sp, node = arr.(i) in
+              R.unpublish sp (Printf.sprintf "node%d" i);
+              R.release sp node;
+              rooted.(i) <- false
+            end
+          end
+          else if rooted.(i) && rooted.(j) then begin
+            let sp, node = arr.(i) in
+            R.spawn rt (fun () ->
+                let peer =
+                  R.lookup sp ~at:(j mod n) (Printf.sprintf "node%d" j)
+                in
+                Stub.call sp node m_set_peer peer;
+                R.release sp peer);
+            ignore (R.run rt);
+            no_failures rt
+          end)
+        ops;
+      ignore (R.run rt);
+      drain rt;
+      detector_fixpoint rt;
+      Array.iteri
+        (fun i r ->
+          if r then begin
+            let sp, node = arr.(i) in
+            if not (R.resident sp (R.wirerep node)) then
+              QCheck.Test.fail_reportf "rooted node%d was reclaimed" i
+          end)
+        rooted;
+      (match R.check_safety rt with
+      | [] -> ()
+      | p :: _ -> QCheck.Test.fail_reportf "safety: %s" p);
+      (match R.check_consistency rt with
+      | [] -> ()
+      | p :: _ -> QCheck.Test.fail_reportf "consistency: %s" p);
+      let leftover = R.global_collect rt in
+      if leftover <> 0 then
+        QCheck.Test.fail_reportf "tracer reclaimed %d the detector missed"
+          leftover;
+      true)
+
 let test_cycle_leaks_then_reclaimed () =
   List.iter
     (fun (n, k) ->
-      let rt, nodes = build_ring ~n ~k in
+      let rt, nodes = build_ring ~n ~k () in
       drop_all_roots rt nodes;
       Alcotest.(check int)
         (Printf.sprintf "ring %d/%d leaks under listing" k n)
@@ -82,7 +281,7 @@ let test_cycle_leaks_then_reclaimed () =
 
 (* A cycle with one surviving application root must NOT be collected. *)
 let test_live_cycle_kept () =
-  let rt, nodes = build_ring ~n:3 ~k:3 in
+  let rt, nodes = build_ring ~n:3 ~k:3 () in
   (* Drop all roots except node0's app root. *)
   List.iteri
     (fun i (sp, node) ->
@@ -116,7 +315,7 @@ let test_global_subsumes_acyclic () =
 
 (* The agent and published objects survive a global collection. *)
 let test_global_keeps_published () =
-  let rt, nodes = build_ring ~n:2 ~k:2 in
+  let rt, nodes = build_ring ~n:2 ~k:2 () in
   (* roots and publications intact: nothing to reclaim *)
   Alcotest.(check int) "nothing reclaimed" 0 (R.global_collect rt);
   Alcotest.(check int) "all resident" 2 (resident_count nodes);
@@ -141,5 +340,20 @@ let () =
             test_global_subsumes_acyclic;
           Alcotest.test_case "keeps published" `Quick
             test_global_keeps_published;
+        ] );
+      ( "detector",
+        [
+          Alcotest.test_case "reclaims cross-space cycles (sim)" `Quick
+            (fun () -> test_detector_reclaims ~name:"sim" ());
+          Alcotest.test_case "reclaims cross-space cycles (faulty)" `Quick
+            (fun () ->
+              test_detector_reclaims
+                ~cfg:(fun n -> faulty_cfg ~seed:11L n)
+                ~name:"faulty" ());
+          Alcotest.test_case "keeps an externally rooted cycle" `Quick
+            test_detector_external_root;
+          Alcotest.test_case "aborts under partition, reclaims after heal"
+            `Quick test_detector_partition;
+          QCheck_alcotest.to_alcotest prop_detector_vs_tracer;
         ] );
     ]

@@ -29,6 +29,51 @@ let test_frame_exact () =
   Alcotest.(check string) "wire bytes" "\x00\x00\x00\x06\x00hello"
     (Frame.encode "hello")
 
+let contains ~sub s =
+  let n = String.length sub in
+  let rec at i = i + n <= String.length s && (String.sub s i n = sub || at (i + 1)) in
+  at 0
+
+(* Each reserved mode: [encode] refuses it with the flag byte in the
+   message, while the decoder carries the frame through intact (the
+   endpoint, not the framing, rejects reserved modes — see tcp.ml's
+   drain_decoder). *)
+let test_frame_reserved_flags () =
+  List.iter
+    (fun (mode, byte) ->
+      (match Frame.encode ~mode "x" with
+      | _ -> Alcotest.failf "flag 0x%02x: expected Unsupported_mode" byte
+      | exception (Frame.Unsupported_mode m as e) ->
+          Alcotest.(check bool) "mode carried" true (m = mode);
+          Alcotest.(check bool)
+            (Printf.sprintf "message names flag byte 0x%02x" byte)
+            true
+            (contains ~sub:(Printf.sprintf "0x%02x" byte)
+               (Printexc.to_string e)));
+      (* decode side: a hand-built frame with the reserved flag byte
+         decodes to that mode with the body intact *)
+      let wire =
+        Wire.Writer.with_pooled (fun w ->
+            Wire.Writer.u32_be w 5;
+            Wire.Writer.byte w byte;
+            Wire.Writer.raw w "body";
+            Bytes.unsafe_to_string (Wire.Writer.to_bytes w))
+      in
+      let d = Frame.decoder () in
+      Frame.feed d wire;
+      (match Frame.next d with
+      | Some (m, body) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "flag 0x%02x decodes to its mode" byte)
+            true (m = mode);
+          Alcotest.(check string) "reserved body intact" "body" body
+      | None -> Alcotest.failf "flag 0x%02x: frame not decoded" byte);
+      Alcotest.(check int) "nothing pending" 0 (Frame.pending d);
+      let m, body = Frame.decode_exact wire in
+      Alcotest.(check bool) "decode_exact agrees" true (m = mode);
+      Alcotest.(check string) "decode_exact body" "body" body)
+    [ (Frame.Compressed, 1); (Frame.Signed, 2); (Frame.Encrypted, 3) ]
+
 let test_frame_corrupt () =
   let expect_corrupt name s =
     let d = Frame.decoder () in
@@ -466,6 +511,7 @@ let () =
         [
           Alcotest.test_case "exact codec" `Quick test_frame_exact;
           Alcotest.test_case "corrupt inputs" `Quick test_frame_corrupt;
+          Alcotest.test_case "reserved flags" `Quick test_frame_reserved_flags;
           Alcotest.test_case "one-byte feed" `Quick test_frame_one_byte_feed;
         ] );
       ("frame props", List.map QCheck_alcotest.to_alcotest frame_props);

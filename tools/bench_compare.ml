@@ -11,9 +11,10 @@
    are too close to scheduler jitter to be meaningful.
 
    [--ignore] takes a comma-separated list of experiment names to skip
-   entirely.  The default is "chaos,mc,recover,transport": those
-   experiments measure survival, schedule counts, recovery replay and
-   real-socket wall-clock rather than CPU throughput — their times are
+   entirely.  The default is "chaos,mc,recover,transport,par,cycles":
+   those experiments measure survival, schedule counts, recovery
+   replay, real-socket wall-clock, engine handoffs and detector
+   round-trip counts rather than CPU throughput — their times are
    dominated by how much fault handling or exploration the seeds
    provoke (or by kernel I/O scheduling, for transport) and are not a
    meaningful regression signal.  Passing [--ignore] replaces the
@@ -57,7 +58,7 @@ let () =
      [--ignore NAMES]"
   in
   let threshold = ref 20.0 in
-  let ignored = ref [ "chaos"; "mc"; "recover"; "transport"; "par" ] in
+  let ignored = ref [ "chaos"; "mc"; "recover"; "transport"; "par"; "cycles" ] in
   let files = ref [] in
   let rec parse = function
     | [] -> ()
