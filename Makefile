@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-json bench-compare chaos-smoke mc-smoke recover-smoke transport-smoke par-smoke cycles-smoke verify examples check clean doc
+.PHONY: all build test bench bench-json bench-compare chaos-smoke mc-smoke recover-smoke transport-smoke par-smoke cycles-smoke scale-smoke verify examples check clean doc
 
 all: build
 
@@ -71,6 +71,16 @@ cycles-smoke:
 	dune exec bin/netobj_sim.exe -- mc --scenario dgc-cycle --max-schedules 1200
 	! dune exec bin/netobj_sim.exe -- mc --scenario dgc-cycle-broken
 
+# Lease-plane-at-scale smoke: the deterministic aggregated-lease
+# narrative (incremental aggregates vs a from-scratch table fold,
+# per-pair heartbeats over thousands of entries, whole-aggregate
+# eviction on a crashed client, sharded agent homes) plus the
+# dedicated unit/property suite for the same machinery.
+# test/cram/scale.t pins the narrative under dune runtest.
+scale-smoke:
+	dune exec bin/netobj_sim.exe -- scale
+	dune exec test/test_scale.exe
+
 # Domain-parallel smoke: the multi-space invoke storm across a forced
 # 4-domain pool (the default pool adapts to the host's core count and
 # would collapse to one domain on small machines), checked by the
@@ -80,8 +90,8 @@ par-smoke:
 	NETOBJ_DOMAINS_POOL=4 dune exec bin/netobj_sim.exe -- par --seed 7 --spaces 8 --domains 4 --calls 200
 
 # The full local gate: build everything, run the test suite (unit,
-# property, cram), then the six smoke targets.
-verify: build test chaos-smoke mc-smoke recover-smoke transport-smoke par-smoke cycles-smoke
+# property, cram), then the seven smoke targets.
+verify: build test chaos-smoke mc-smoke recover-smoke transport-smoke par-smoke cycles-smoke scale-smoke
 
 examples:
 	dune exec examples/quickstart.exe

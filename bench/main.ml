@@ -15,7 +15,7 @@
      E9  rpc         null-invocation latency (Bechamel)
      E10 marshal     pickle costs by argument type (Bechamel)
      E11 transmit    transmission race windows under adversarial schedules
-     E12 churn       cleaning-demon traffic under surrogate churn
+     E12 cleanchurn  cleaning-demon traffic under surrogate churn
      E13 ablation    the Note 4 clean-cancellation optimisation
      E14 cycleleak   distributed cycles: the leak and the hybrid fix
      E15 scale       per-client GC cost vs system size
@@ -32,6 +32,9 @@
                      domains at 1/2/4 shards
      E23 cycles      cycle-heavy churn: trial-deletion reclamation rate
                      and residual leak vs the no-detector baseline
+     E24 churn       churn at scale: aggregated leases over compact
+                     tables — memory/handle, heartbeats/handle/s,
+                     lease-tick cost vs table size, p99 pause
 
    Run all:       dune exec bench/main.exe
    Run a subset:  dune exec bench/main.exe -- race family fifo *)
@@ -1574,6 +1577,165 @@ let e23_cycle_churn () =
   row "(residual heap delta: baseline holds %d bytes the detector frees)@."
     (base_bytes - det_bytes)
 
+(* ------------------------------------------------------------------ E24 *)
+
+let m_range = Stub.declare "range" (P.pair P.int P.int) (P.list R.handle_codec)
+
+(* Churn at scale: the aggregated lease plane over the compact int-keyed
+   tables.  One owner, four clients, 10k and 100k live handles; measured:
+   bytes of bookkeeping per handle, heartbeat messages per handle per
+   second (one ping per (client, owner) pair per tick, so the aggregation
+   gain is handles/clients), the wall cost of a lease tick (independent
+   of table size), and the p99 run-slice pause through a churn phase and
+   a whole-aggregate eviction. *)
+let e24_scale_churn () =
+  section "E24: churn at scale — aggregated leases over compact tables";
+  let module Mx = Netobj_obs.Metrics in
+  let word_bytes = Sys.word_size / 8 in
+  let clients = 4 in
+  row "%-10s %13s %14s %17s %10s %12s@." "handles" "bytes/handle"
+    "pings (6 ticks)" "beats/handle/s" "agg gain" "p99 pause";
+  let tick_walls =
+    List.map
+      (fun size ->
+        (* No background GC: the tick-cost window must contain lease
+           traffic only.  Cleans are driven by explicit collects in the
+           churn phase instead. *)
+        let cfg =
+          R.config ~seed:24L ~nspaces:(clients + 1) ~ping_period:1.0
+            ~lease_misses:3 ~clean_batch:0.05 ()
+        in
+        let rt = R.create cfg in
+        let owner = R.space rt 0 in
+        let objs = Array.init size (fun _ -> R.allocate owner ~meths:[]) in
+        let reg =
+          R.allocate owner
+            ~meths:
+              [
+                Stub.implement m_range (fun _ (off, len) ->
+                    Array.to_list (Array.sub objs off len));
+              ]
+        in
+        R.publish owner "reg" reg;
+        let mem0 = Obj.reachable_words (Obj.repr rt) in
+        let slice = size / clients in
+        let held = Array.make (clients + 1) [] in
+        let import c =
+          let sp = R.space rt c in
+          let s = R.lookup sp ~at:0 "reg" in
+          held.(c) <- held.(c) @ Stub.call sp s m_range ((c - 1) * slice, slice);
+          R.release sp s
+        in
+        for c = 1 to clients do
+          R.spawn rt (fun () -> import c)
+        done;
+        ignore (R.run ~until:0.3 rt);
+        let covered =
+          List.init clients (fun c -> R.lease_entries owner (c + 1))
+          |> List.fold_left ( + ) 0
+        in
+        (* slice entries + the agent and registry surrogates each
+           client still holds (no GC ran to clean them yet) *)
+        if covered <> size + (2 * clients) then
+          Fmt.failwith "E24: %d handles, leases cover %d entries" size covered;
+        (match R.lease_check owner with
+        | [] -> ()
+        | p :: _ -> Fmt.failwith "E24: aggregates diverged: %s" p);
+        let bytes_per_handle =
+          (Obj.reachable_words (Obj.repr rt) - mem0) * word_bytes / size
+        in
+        (* six lease ticks, nothing else running *)
+        let p0 = (R.gc_stats owner).R.pings in
+        let t0 = Unix.gettimeofday () in
+        ignore (R.run ~until:6.3 rt);
+        let tick_wall = (Unix.gettimeofday () -. t0) /. 6.0 in
+        let pings = (R.gc_stats owner).R.pings - p0 in
+        if pings <> clients * 6 then
+          Fmt.failwith "E24: %d handles but %d pings in 6 ticks (want %d)"
+            size pings (clients * 6);
+        let beats =
+          float_of_int pings /. 6.0 /. float_of_int size
+        in
+        (* vs the per-entry scheme: one ping per handle per tick *)
+        let gain = float_of_int size /. float_of_int clients in
+        if gain < 10.0 then
+          Fmt.failwith "E24: aggregation gain %.0fx below 10x" gain;
+        (* churn: every client drops and re-imports the head of its
+           slice; the last client then dies and one lease expiry drops
+           its whole aggregate.  Run-slice pauses are sampled
+           throughout. *)
+        for c = 1 to clients do
+          R.spawn_at rt ~space:c (fun () ->
+              let sp = R.space rt c in
+              let drop = min 1000 (slice / 2) in
+              List.iteri
+                (fun i h -> if i < drop then R.release sp h)
+                held.(c);
+              R.collect sp;
+              held.(c) <- [];
+              import c)
+        done;
+        let pauses = ref [] in
+        let now = ref 6.3 in
+        let t_evict = ref 0.0 in
+        while !now < 12.0 do
+          now := !now +. 0.25;
+          let t = Unix.gettimeofday () in
+          ignore (R.run ~until:!now rt);
+          pauses := (Unix.gettimeofday () -. t) :: !pauses;
+          if !now >= 8.0 && !t_evict = 0.0 then begin
+            t_evict := !now;
+            R.crash rt clients
+          end
+        done;
+        if (R.gc_stats owner).R.evictions < slice then
+          Fmt.failwith "E24: expected the dead client's %d entries dropped"
+            slice;
+        if R.lease_entries owner clients <> 0 then
+          Fmt.failwith "E24: dead client still under lease";
+        (match R.lease_check owner with
+        | [] -> ()
+        | p :: _ -> Fmt.failwith "E24: aggregates diverged after churn: %s" p);
+        let p99 =
+          let a = Array.of_list !pauses in
+          Array.sort compare a;
+          a.(min (Array.length a - 1) (Array.length a * 99 / 100))
+        in
+        let label = string_of_int size in
+        Mx.set_gauge
+          (Mx.gauge Mx.global ("churn.bytes_per_handle." ^ label))
+          (float_of_int bytes_per_handle);
+        Mx.set_gauge
+          (Mx.gauge Mx.global ("churn.heartbeats_per_handle_s." ^ label))
+          beats;
+        Mx.set_gauge
+          (Mx.gauge Mx.global ("churn.aggregation_gain." ^ label))
+          gain;
+        Mx.set_gauge
+          (Mx.gauge Mx.global ("churn.tick_wall_ms." ^ label))
+          (tick_wall *. 1e3);
+        Mx.set_gauge
+          (Mx.gauge Mx.global ("churn.p99_pause_ms." ^ label))
+          (p99 *. 1e3);
+        row "%-10d %13d %15d %17.6f %9.0fx %10.2fms@." size bytes_per_handle
+          pings beats gain (p99 *. 1e3);
+        tick_wall)
+      [ 10_000; 100_000 ]
+  in
+  (match tick_walls with
+  | [ small; big ] ->
+      row
+        "@.lease tick wall: %.3fms at 10k vs %.3fms at 100k handles \
+         (per-pair pings, not per-entry)@."
+        (small *. 1e3) (big *. 1e3);
+      (* a per-entry scheme would be ~25000x the small cost; allow wide
+         noise while still catching any O(handles) regression *)
+      if big > (10.0 *. small) +. 0.05 then
+        Fmt.failwith
+          "E24: lease tick cost grew with table size (%.4fs vs %.4fs)" big
+          small
+  | _ -> assert false)
+
 (* ------------------------------------------------------------------ main *)
 
 let experiments =
@@ -1589,7 +1751,7 @@ let experiments =
     ("rpc", e9_rpc);
     ("marshal", e10_marshal);
     ("transmit", e11_transmit);
-    ("churn", e12_churn);
+    ("cleanchurn", e12_churn);
     ("ablation", e13_ablation);
     ("cycleleak", e14_cycles);
     ("scale", e15_scale);
@@ -1601,6 +1763,7 @@ let experiments =
     ("transport", e21_transport);
     ("par", e22_par);
     ("cycles", e23_cycle_churn);
+    ("churn", e24_scale_churn);
   ]
 
 (* --json PATH: machine-readable results.  Each experiment runs with the

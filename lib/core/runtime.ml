@@ -6,6 +6,7 @@ module Engine_sim = Netobj_engine.Engine_sim
 module Wire = Netobj_pickle.Wire
 module Pickle = Netobj_pickle.Pickle
 module Rng = Netobj_util.Rng
+module Itbl = Netobj_util.Itbl
 module Obs = Netobj_obs.Obs
 module Trace = Netobj_obs.Trace
 module Metrics = Netobj_obs.Metrics
@@ -117,6 +118,7 @@ type config = {
   piggyback_acks : bool;
   coalesce : bool;
   bug_lookup_leak : bool;
+  bug_ping_ack_replay : bool;
   durable : bool;
   fsync_delay : float;
   snapshot_period : float option;
@@ -134,7 +136,8 @@ let config ?(seed = 1L) ?(policy = Sched.Fifo) ?(edge = Net.bag_edge ())
     ?clean_retry ?dirty_retry ?(backoff = 1.0) ?(backoff_cap = infinity)
     ?(backoff_jitter = 0.0) ?(lease_grace = 0.0) ?pin_timeout ?clean_batch
     ?(piggyback_acks = false) ?(coalesce = false) ?(bug_lookup_leak = false)
-    ?(durable = false) ?(fsync_delay = 0.02) ?snapshot_period
+    ?(bug_ping_ack_replay = false) ?(durable = false) ?(fsync_delay = 0.02)
+    ?snapshot_period
     ?(recover_grace = 2.0) ?cycle_period ?(cycle_age = 0.75)
     ?(bug_skip_confirm = false) ?transport ?engine ?(domains = 4) ~nspaces () =
   if backoff < 1.0 then invalid_arg "Runtime.config: backoff must be >= 1";
@@ -167,6 +170,7 @@ let config ?(seed = 1L) ?(policy = Sched.Fifo) ?(edge = Net.bag_edge ())
     piggyback_acks;
     coalesce;
     bug_lookup_leak;
+    bug_ping_ack_replay;
     durable;
     fsync_delay;
     snapshot_period;
@@ -215,6 +219,7 @@ type gc_stats = {
   evictions : int;
   epoch_rejections : int;
   retries : int;
+  stale_acks : int;
 }
 
 type cycle_stats = { trials : int; aborts : int; collected : int }
@@ -247,11 +252,19 @@ and cobj = {
   c_tag : string;  (* method-suite factory key for durable recovery *)
   c_meths : (string * meth) list;
   mutable c_slots : Wirerep.t list;  (* heap edges for the local GC *)
-  c_dirty : (int, unit) Hashtbl.t;  (* the dirty set: client spaces *)
-  c_last_seq : (int, int) Hashtbl.t;  (* per-client op sequence numbers *)
+  c_dirty : Itbl.t;  (* the dirty set: client space -> 1 *)
+  c_last_seq : Itbl.t;  (* per-client op sequence numbers *)
 }
 
 and entry = Concrete of cobj | Surrogate of sentry ref
+
+(* Aggregated lease state for one client at this owner.  [l_sent] /
+   [l_acked] are the last ping nonce sent to and acknowledged by the
+   client (epoch folded into the high bits, see [lease_nonce]);
+   [l_objs] is the set of own-object indexes whose dirty set contains
+   the client, so eviction and diagnostics are O(entries held by this
+   client), not O(table). *)
+and lease = { mutable l_sent : int; mutable l_acked : int; l_objs : Itbl.t }
 
 and space = {
   id : int;
@@ -261,8 +274,8 @@ and space = {
   mutable next_index : int;
   mutable next_msg : int;
   mutable next_call : int;
-  roots : (Wirerep.t, int ref) Hashtbl.t;
-  pins : (Wirerep.t, int ref) Hashtbl.t;
+  roots : Itbl.t;  (* Wirerep.key -> root count *)
+  pins : Itbl.t;  (* Wirerep.key -> pin count *)
   (* outgoing messages whose embedded references are transiently pinned
      until the receiver's copy_ack *)
   tdirty : (Proto.msg_id, Wirerep.t list) Hashtbl.t;
@@ -270,9 +283,17 @@ and space = {
     (int, (Proto.msg_id * bool * (string, string) result) Sched.Ivar.var)
     Hashtbl.t;
   clean_mb : Wirerep.t Sched.Mailbox.mb;
-  seqno : int Wirerep.Tbl.t;  (* client-side dirty/clean sequence numbers *)
+  seqno : Itbl.t;  (* Wirerep.key -> client-side dirty/clean sequence number *)
   bindings : (string, Wirerep.t) Hashtbl.t;  (* agent name table *)
-  ping_misses : (int, int) Hashtbl.t;  (* client -> consecutive missed pings *)
+  (* per-client lease aggregate (TR 116): one heartbeat per (client,
+     owner) pair renews every entry the client holds here, and eviction
+     walks only the client's own entries.  Maintained incrementally at
+     dirty/clean/evict time — never by scanning the object table. *)
+  lease : (int, lease) Hashtbl.t;  (* client space -> aggregate *)
+  (* own-concrete indexes whose dirty set is nonempty: the incremental
+     feed for GC marking and cycle-suspect nomination *)
+  dirty_kept : Itbl.t;
+  mutable next_ping : int;  (* ping sequence, monotone within an epoch *)
   (* client -> virtual time its lease first expired; eviction waits a
      further [lease_grace] seconds so a healed partition keeps the lease *)
   suspect_since : (int, float) Hashtbl.t;
@@ -302,13 +323,14 @@ and space = {
   mutable s_evict : int;
   mutable s_epoch_rejected : int;
   mutable s_retries : int;
+  mutable s_stale_acks : int;
   (* --- cycle detector (soft state: never persisted, rebuilt at will) ---
      [touch] is the per-wireRep mutation counter the confirm phase
      compares: bumped on every root/pin/dirty/table change, never reset
      within an incarnation (reuse would re-open the ABA window a moved
      reference needs to dodge both probe rounds), cleared only by
      restart/recover where the epoch bump aborts in-flight trials. *)
-  touch : int Wirerep.Tbl.t;
+  touch : Itbl.t;  (* Wirerep.key -> mutation counter *)
   (* suspect -> virtual time it was first seen dirty-kept-but-unreachable;
      trials start only after [cycle_age] seconds of continuous suspicion *)
   cycle_suspect_since : float Wirerep.Tbl.t;
@@ -369,16 +391,13 @@ let with_ctx c f =
 (* --- pin / root bookkeeping --------------------------------------------- *)
 
 let bump tbl wr =
-  match Hashtbl.find_opt tbl wr with
-  | Some r -> incr r
-  | None -> Hashtbl.add tbl wr (ref 1)
+  let k = Wirerep.key wr in
+  Itbl.replace tbl k (Itbl.find tbl k ~default:0 + 1)
 
 let unbump tbl wr =
-  match Hashtbl.find_opt tbl wr with
-  | Some r ->
-      decr r;
-      if !r <= 0 then Hashtbl.remove tbl wr
-  | None -> ()
+  let k = Wirerep.key wr in
+  let n = Itbl.find tbl k ~default:0 - 1 in
+  if n <= 0 then Itbl.remove tbl k else Itbl.replace tbl k n
 
 (* Append one WAL record when the space is durable.  Records land in
    the store's volatile write cache; [send_env] barriers the few
@@ -394,10 +413,73 @@ let wal sp r =
    would restart the count and re-open the ABA window the cycle
    detector's confirm phase closes. *)
 let bump_touch sp wr =
-  let v =
-    match Wirerep.Tbl.find_opt sp.touch wr with Some v -> v | None -> 0
-  in
-  Wirerep.Tbl.replace sp.touch wr (v + 1)
+  let k = Wirerep.key wr in
+  Itbl.replace sp.touch k (Itbl.find sp.touch k ~default:0 + 1)
+
+(* --- lease / dirty-set aggregates ---------------------------------------
+
+   Ping nonces are [epoch lsl 32 lor seq] with [seq] drawn from the
+   space-wide [next_ping] counter (starting at 1, so the nonce-0
+   epoch-teach ping from [handle_packet] can never match a lease).
+   Folding the epoch in means an ack minted before a restart can never
+   renew a post-restart lease even though the restarted owner's seq
+   counter begins again at 1. *)
+
+let nonce_seq n = n land 0xFFFF_FFFF
+
+let nonce_epoch n = n lsr 32
+
+let lease_nonce sp seq = (sp.epoch lsl 32) lor seq
+
+let lease_of sp client =
+  match Hashtbl.find_opt sp.lease client with
+  | Some l -> l
+  | None ->
+      let n = lease_nonce sp (sp.next_ping - 1) in
+      let l = { l_sent = n; l_acked = n; l_objs = Itbl.create () } in
+      Hashtbl.add sp.lease client l;
+      l
+
+(* Add [client] to concrete [c]'s dirty set, incrementally maintaining
+   the per-client lease aggregate and the [dirty_kept] feed.  Returns
+   [true] when the entry is new (caller owns gauges / WAL). *)
+let dirty_add sp c client =
+  if Itbl.mem c.c_dirty client then false
+  else begin
+    Itbl.replace c.c_dirty client 1;
+    if Itbl.length c.c_dirty = 1 then
+      Itbl.replace sp.dirty_kept c.c_wr.Wirerep.index 1;
+    Itbl.replace (lease_of sp client).l_objs c.c_wr.Wirerep.index 1;
+    true
+  end
+
+let dirty_remove sp c client =
+  if not (Itbl.mem c.c_dirty client) then false
+  else begin
+    Itbl.remove c.c_dirty client;
+    if Itbl.length c.c_dirty = 0 then
+      Itbl.remove sp.dirty_kept c.c_wr.Wirerep.index;
+    (match Hashtbl.find_opt sp.lease client with
+    | Some l ->
+        Itbl.remove l.l_objs c.c_wr.Wirerep.index;
+        if Itbl.length l.l_objs = 0 then Hashtbl.remove sp.lease client
+    | None -> ());
+    true
+  end
+
+(* Deduct every aggregate contribution of [c] before its table entry is
+   dropped or overwritten (global collect, cycle commit, log replay). *)
+let forget_concrete_dirty sp c =
+  Itbl.iter
+    (fun client _ ->
+      match Hashtbl.find_opt sp.lease client with
+      | Some l ->
+          Itbl.remove l.l_objs c.c_wr.Wirerep.index;
+          if Itbl.length l.l_objs = 0 then Hashtbl.remove sp.lease client
+      | None -> ())
+    c.c_dirty;
+  if Itbl.length c.c_dirty > 0 then
+    Itbl.remove sp.dirty_kept c.c_wr.Wirerep.index
 
 let pin sp wr =
   bump_touch sp wr;
@@ -469,8 +551,9 @@ let fresh_msg_id sp =
   { Proto.origin = sp.id; seq }
 
 let next_seqno sp wr =
-  let n = (try Wirerep.Tbl.find sp.seqno wr with Not_found -> 0) + 1 in
-  Wirerep.Tbl.replace sp.seqno wr n;
+  let k = Wirerep.key wr in
+  let n = Itbl.find sp.seqno k ~default:0 + 1 in
+  Itbl.replace sp.seqno k n;
   wal sp (Wal.Seqno { wr; n });
   n
 
@@ -577,7 +660,10 @@ let send_dirty_retrying sp wr iv =
                         count_retry sp "dirty_retry" wr;
                         send_env sp ~dst:wr.Wirerep.space
                           (Proto.Dirty
-                             { wr; seq = Wirerep.Tbl.find sp.seqno wr });
+                             {
+                               wr;
+                               seq = Itbl.find sp.seqno (Wirerep.key wr) ~default:0;
+                             });
                         arm (attempt + 1)
                     | Creating _ | Usable _ | Cleaning _ -> ())
                 | Some (Concrete _) | None -> ())
@@ -738,26 +824,25 @@ let await_registrations sp pending =
 (* --- local GC ------------------------------------------------------------ *)
 
 let mark_from sp =
-  let marked = Wirerep.Tbl.create 64 in
+  let marked = Itbl.create ~size:64 () in
   let rec visit wr =
-    if not (Wirerep.Tbl.mem marked wr) then begin
-      Wirerep.Tbl.add marked wr ();
+    let k = Wirerep.key wr in
+    if not (Itbl.mem marked k) then begin
+      Itbl.replace marked k 1;
       match Wirerep.Tbl.find_opt sp.table wr with
       | Some (Concrete c) -> List.iter visit c.c_slots
       | Some (Surrogate _) | None -> ()
     end
   in
-  Hashtbl.iter (fun wr _ -> visit wr) sp.roots;
-  Hashtbl.iter (fun wr _ -> visit wr) sp.pins;
+  Itbl.iter (fun k _ -> visit (Wirerep.of_key k)) sp.roots;
+  Itbl.iter (fun k _ -> visit (Wirerep.of_key k)) sp.pins;
   (* Concrete objects held remotely are roots: their dirty set or a
      transient pin elsewhere keeps them and everything they reference
-     alive. *)
-  Wirerep.Tbl.iter
-    (fun wr entry ->
-      match entry with
-      | Concrete c -> if Hashtbl.length c.c_dirty > 0 then visit wr
-      | Surrogate _ -> ())
-    sp.table;
+     alive.  Fed by the incrementally maintained [dirty_kept] aggregate,
+     not a table scan. *)
+  Itbl.iter
+    (fun index _ -> visit (Wirerep.v ~space:sp.id ~index))
+    sp.dirty_kept;
   marked
 
 (* Local reachability WITHOUT the dirty-keeps-alive clause: what the
@@ -765,17 +850,18 @@ let mark_from sp =
    dirty set is exactly a cycle suspect, not evidence of life — remote
    interest is established by probing the dirty-set members instead. *)
 let mark_local sp =
-  let marked = Wirerep.Tbl.create 64 in
+  let marked = Itbl.create ~size:64 () in
   let rec visit wr =
-    if not (Wirerep.Tbl.mem marked wr) then begin
-      Wirerep.Tbl.add marked wr ();
+    let k = Wirerep.key wr in
+    if not (Itbl.mem marked k) then begin
+      Itbl.replace marked k 1;
       match Wirerep.Tbl.find_opt sp.table wr with
       | Some (Concrete c) -> List.iter visit c.c_slots
       | Some (Surrogate _) | None -> ()
     end
   in
-  Hashtbl.iter (fun wr _ -> visit wr) sp.roots;
-  Hashtbl.iter (fun wr _ -> visit wr) sp.pins;
+  Itbl.iter (fun k _ -> visit (Wirerep.of_key k)) sp.roots;
+  Itbl.iter (fun k _ -> visit (Wirerep.of_key k)) sp.pins;
   marked
 
 let collect sp =
@@ -792,10 +878,10 @@ let collect sp =
     let dead_concrete = ref [] in
     Wirerep.Tbl.iter
       (fun wr entry ->
-        let live = Wirerep.Tbl.mem marked wr in
+        let live = Itbl.mem marked (Wirerep.key wr) in
         match entry with
         | Concrete c ->
-            if (not live) && Hashtbl.length c.c_dirty = 0 then
+            if (not live) && Itbl.length c.c_dirty = 0 then
               dead_concrete := wr :: !dead_concrete
         | Surrogate st -> (
             match !st with
@@ -835,10 +921,11 @@ let collect_all rt = Array.iter collect rt.space_arr
    roots — remote reachability is established by actually following the
    inter-space edges, so an isolated distributed cycle is not retained. *)
 let global_collect rt =
-  let marked = Wirerep.Tbl.create 256 in
+  let marked = Itbl.create ~size:256 () in
   let rec visit wr =
-    if not (Wirerep.Tbl.mem marked wr) then begin
-      Wirerep.Tbl.add marked wr ();
+    let k = Wirerep.key wr in
+    if not (Itbl.mem marked k) then begin
+      Itbl.replace marked k 1;
       (* Follow heap edges at the owner. *)
       let owner_sp = rt.space_arr.(wr.Wirerep.space) in
       match Wirerep.Tbl.find_opt owner_sp.table wr with
@@ -849,8 +936,8 @@ let global_collect rt =
   Array.iter
     (fun sp ->
       if not sp.crashed then begin
-        Hashtbl.iter (fun wr _ -> visit wr) sp.roots;
-        Hashtbl.iter (fun wr _ -> visit wr) sp.pins
+        Itbl.iter (fun k _ -> visit (Wirerep.of_key k)) sp.roots;
+        Itbl.iter (fun k _ -> visit (Wirerep.of_key k)) sp.pins
       end)
     rt.space_arr;
   (* Sweep: remove unreached concretes, and every table entry (surrogate
@@ -861,10 +948,11 @@ let global_collect rt =
       let dead = ref [] in
       Wirerep.Tbl.iter
         (fun wr entry ->
-          if not (Wirerep.Tbl.mem marked wr) then
+          if not (Itbl.mem marked (Wirerep.key wr)) then
             match entry with
-            | Concrete _ ->
+            | Concrete c ->
                 incr reclaimed;
+                forget_concrete_dirty sp c;
                 dead := wr :: !dead
             | Surrogate _ -> dead := wr :: !dead)
         sp.table;
@@ -962,7 +1050,9 @@ let schedule_clean_retry sp cl wr =
                              (Proto.Clean
                                 {
                                   wr;
-                                  seq = Wirerep.Tbl.find sp.seqno wr;
+                                  seq =
+                                    Itbl.find sp.seqno (Wirerep.key wr)
+                                      ~default:0;
                                   strong = false;
                                 });
                            arm (attempt + 1)
@@ -1080,12 +1170,10 @@ let handle_dirty sp ~src ~wr ~seq =
   | None ->
       send_env sp ~dst:src (Proto.Dirty_ack { wr; ok = false })
   | Some c ->
-      let last = Option.value ~default:0 (Hashtbl.find_opt c.c_last_seq src) in
+      let last = Itbl.find c.c_last_seq src ~default:0 in
       if seq > last then begin
-        Hashtbl.replace c.c_last_seq src seq;
-        if not (Hashtbl.mem c.c_dirty src) then
-          obs_gauge_add g_dirty_entries 1.0;
-        Hashtbl.replace c.c_dirty src ();
+        Itbl.replace c.c_last_seq src seq;
+        if dirty_add sp c src then obs_gauge_add g_dirty_entries 1.0;
         bump_touch sp wr;
         wal sp (Wal.Dirty { wr; client = src; seq; add = true })
       end;
@@ -1101,11 +1189,10 @@ let apply_clean sp ~src ~wr ~seq =
   match find_concrete sp wr with
   | None -> ()
   | Some c ->
-      let last = Option.value ~default:0 (Hashtbl.find_opt c.c_last_seq src) in
+      let last = Itbl.find c.c_last_seq src ~default:0 in
       if seq > last then begin
-        Hashtbl.replace c.c_last_seq src seq;
-        if Hashtbl.mem c.c_dirty src then obs_gauge_add g_dirty_entries (-1.0);
-        Hashtbl.remove c.c_dirty src;
+        Itbl.replace c.c_last_seq src seq;
+        if dirty_remove sp c src then obs_gauge_add g_dirty_entries (-1.0);
         bump_touch sp wr;
         wal sp (Wal.Dirty { wr; client = src; seq; add = false })
       end
@@ -1173,14 +1260,35 @@ let handle_reply sp ~call_id ~msg_id ~needs_ack ~ack ~result =
       Hashtbl.remove sp.pending_calls call_id;
       Sched.Ivar.fill iv (msg_id, needs_ack, result)
 
+(* An ack renews the lease only if it answers a ping this incarnation
+   actually has outstanding: the epoch must match and the nonce must lie
+   in (l_acked, l_sent].  Anything else — a duplicate from a chaos dup
+   burst, a delayed ack surfacing after partition/restart, an ack minted
+   against a pre-crash epoch — is dropped, so replayed traffic can no
+   longer keep a dead client's lease alive.  [bug_ping_ack_replay]
+   resurrects the historical accept-anything behaviour for regression
+   demonstrations. *)
 let handle_ping_ack sp ~src ~nonce =
-  ignore nonce;
   if Obs.on () then
     Trace.instant (Obs.trace ()) ~cat:"gc" ~space:sp.id
       ~args:[ ("client", Trace.I src) ]
       "ping_ack";
-  Hashtbl.replace sp.ping_misses src 0;
-  Hashtbl.remove sp.suspect_since src
+  match Hashtbl.find_opt sp.lease src with
+  | None -> ()
+  | Some l ->
+      if sp.rt.config.bug_ping_ack_replay then begin
+        l.l_acked <- l.l_sent;
+        Hashtbl.remove sp.suspect_since src
+      end
+      else if
+        nonce_epoch nonce = sp.epoch
+        && nonce > l.l_acked
+        && nonce <= l.l_sent
+      then begin
+        l.l_acked <- nonce;
+        if l.l_acked = l.l_sent then Hashtbl.remove sp.suspect_since src
+      end
+      else sp.s_stale_acks <- sp.s_stale_acks + 1
 
 (* --- recovery reconciliation ---------------------------------------------
 
@@ -1197,13 +1305,11 @@ let grace_drop sp pairs =
       if Hashtbl.mem sp.unconfirmed key then begin
         Hashtbl.remove sp.unconfirmed key;
         match find_concrete sp wr with
-        | Some c when Hashtbl.mem c.c_dirty client ->
-            Hashtbl.remove c.c_dirty client;
+        | Some c when Itbl.mem c.c_dirty client ->
+            ignore (dirty_remove sp c client : bool);
             bump_touch sp wr;
             sp.s_evict <- sp.s_evict + 1;
-            let last =
-              Option.value ~default:0 (Hashtbl.find_opt c.c_last_seq client)
-            in
+            let last = Itbl.find c.c_last_seq client ~default:0 in
             wal sp (Wal.Dirty { wr; client; seq = last; add = false });
             if Obs.on () then begin
               Metrics.incr m_evict;
@@ -1238,14 +1344,9 @@ let handle_reassert sp ~src ~items =
       match find_concrete sp wr with
       | None -> gone := wr :: !gone
       | Some c ->
-          let last =
-            Option.value ~default:0 (Hashtbl.find_opt c.c_last_seq src)
-          in
-          if seq > last then Hashtbl.replace c.c_last_seq src seq;
-          if not (Hashtbl.mem c.c_dirty src) then begin
-            obs_gauge_add g_dirty_entries 1.0;
-            Hashtbl.replace c.c_dirty src ()
-          end;
+          let last = Itbl.find c.c_last_seq src ~default:0 in
+          if seq > last then Itbl.replace c.c_last_seq src seq;
+          if dirty_add sp c src then obs_gauge_add g_dirty_entries 1.0;
           bump_touch sp wr;
           wal sp (Wal.Dirty { wr; client = src; seq = max seq last; add = true });
           Hashtbl.remove sp.unconfirmed (wr, src);
@@ -1283,8 +1384,8 @@ let handle_reassert_ack sp ~src ~ok ~gone =
               Wirerep.Tbl.remove sp.table wr;
               bump_touch sp wr;
               wal sp (Wal.Surrogate { wr; add = false });
-              Hashtbl.remove sp.roots wr;
-              Hashtbl.remove sp.pins wr;
+              Itbl.remove sp.roots (Wirerep.key wr);
+              Itbl.remove sp.pins (Wirerep.key wr);
               if Obs.on () then
                 Trace.instant (Obs.trace ()) ~cat:"gc" ~space:sp.id
                   ~args:(obs_wr_args wr) "reassert_gone"
@@ -1345,15 +1446,17 @@ let schedule_reassert sp peer =
    surrogate records may have been lost with the unsynced tail), and
    re-assert dirty for the surrogates we hold *from* it. *)
 let note_peer_recovered sp peer =
-  Hashtbl.remove sp.ping_misses peer;
   Hashtbl.remove sp.suspect_since peer;
+  (* The peer just proved liveness: treat every outstanding ping as
+     answered (the aggregate equivalent of zeroing a miss counter). *)
   let pairs =
-    Wirerep.Tbl.fold
-      (fun wr entry acc ->
-        match entry with
-        | Concrete c when Hashtbl.mem c.c_dirty peer -> (wr, peer) :: acc
-        | Concrete _ | Surrogate _ -> acc)
-      sp.table []
+    match Hashtbl.find_opt sp.lease peer with
+    | None -> []
+    | Some l ->
+        l.l_acked <- l.l_sent;
+        Itbl.fold
+          (fun index _ acc -> (Wirerep.v ~space:sp.id ~index, peer) :: acc)
+          l.l_objs []
   in
   grace_mark sp pairs;
   schedule_reassert sp peer;
@@ -1400,9 +1503,7 @@ let wr_of_node (n : Netobj_dgc.Cycles.node) =
 let cycle_reports sp targets =
   let in_grace = Sched.now (ssched sp) < sp.recover_until in
   let marked = mark_local sp in
-  let touch_of wr =
-    Option.value ~default:0 (Wirerep.Tbl.find_opt sp.touch wr)
-  in
+  let touch_of wr = Itbl.find sp.touch (Wirerep.key wr) ~default:0 in
   (* Does a locally-unreachable, dirty-kept concrete have a slot path to
      [target]?  Those are the target's local retainers: they join the
      trial's closure as new targets. *)
@@ -1426,8 +1527,8 @@ let cycle_reports sp targets =
         match entry with
         | Concrete c
           when (not (Wirerep.equal wr target))
-               && (not (Wirerep.Tbl.mem marked wr))
-               && Hashtbl.length c.c_dirty > 0
+               && (not (Itbl.mem marked (Wirerep.key wr)))
+               && Itbl.length c.c_dirty > 0
                && reaches wr target ->
             node_of_wr wr :: acc
         | Concrete _ | Surrogate _ -> acc)
@@ -1441,7 +1542,7 @@ let cycle_reports sp targets =
         else
           match Wirerep.Tbl.find_opt sp.table wr with
           | None -> Proto.Cr_gone
-          | Some _ when Wirerep.Tbl.mem marked wr -> Proto.Cr_live
+          | Some _ when Itbl.mem marked (Wirerep.key wr) -> Proto.Cr_live
           | Some (Surrogate st) -> (
               match !st with
               (* Transient states are in the middle of a protocol
@@ -1456,7 +1557,7 @@ let cycle_reports sp targets =
                     })
           | Some (Concrete c) ->
               let dirty =
-                Hashtbl.fold (fun cl () acc -> cl :: acc) c.c_dirty []
+                Itbl.fold (fun cl _ acc -> cl :: acc) c.c_dirty []
                 |> List.sort compare
               in
               Proto.Cr_quiet
@@ -1492,7 +1593,8 @@ let handle_cycle_commit sp ~wrs =
     List.iter
       (fun (wr : Wirerep.t) ->
         match Wirerep.Tbl.find_opt sp.table wr with
-        | Some (Concrete _) when not (Wirerep.Tbl.mem marked wr) ->
+        | Some (Concrete c) when not (Itbl.mem marked (Wirerep.key wr)) ->
+            forget_concrete_dirty sp c;
             Wirerep.Tbl.remove sp.table wr;
             bump_touch sp wr;
             Wirerep.Tbl.remove sp.cycle_suspect_since wr;
@@ -1552,31 +1654,41 @@ let handle_envelope sp ~src env =
         handle_cycle_reply sp ~probe_id ~epoch ~reports
     | Proto.Cycle_commit { wrs } -> handle_cycle_commit sp ~wrs
 
+(* O(clients), not O(table): the lease aggregates are exactly the set
+   of clients with a nonempty dirty footprint here.  The result is
+   re-buffered through a fresh table, mirroring the shape (and fold
+   order) of the historical table-scan implementation. *)
 let clients_with_surrogates sp =
   let clients = Hashtbl.create 8 in
-  Wirerep.Tbl.iter
-    (fun _ entry ->
-      match entry with
-      | Concrete c -> Hashtbl.iter (fun cl () -> Hashtbl.replace clients cl ()) c.c_dirty
-      | Surrogate _ -> ())
-    sp.table;
+  Hashtbl.iter
+    (fun cl l -> if Itbl.length l.l_objs > 0 then Hashtbl.replace clients cl ())
+    sp.lease;
   Hashtbl.fold (fun cl () acc -> cl :: acc) clients []
 
+(* O(entries held by [client]): walk its lease aggregate rather than
+   the whole object table. *)
 let evict_client sp client =
   let removed = ref 0 in
-  Wirerep.Tbl.iter
-    (fun wr entry ->
-      match entry with
-      | Concrete c ->
+  (match Hashtbl.find_opt sp.lease client with
+  | None -> ()
+  | Some l ->
+      (* Snapshot the indexes: [dirty_remove] mutates [l_objs] (and may
+         drop the lease record itself) as we go. *)
+      let indexes = Itbl.fold (fun index _ acc -> index :: acc) l.l_objs [] in
+      List.iter
+        (fun index ->
+          let wr = Wirerep.v ~space:sp.id ~index in
           Hashtbl.remove sp.unconfirmed (wr, client);
-          if Hashtbl.mem c.c_dirty client then begin
-            Hashtbl.remove c.c_dirty client;
-            bump_touch sp wr;
-            sp.s_evict <- sp.s_evict + 1;
-            incr removed
-          end
-      | Surrogate _ -> ())
-    sp.table;
+          match find_concrete sp wr with
+          | Some c ->
+              if dirty_remove sp c client then begin
+                bump_touch sp wr;
+                sp.s_evict <- sp.s_evict + 1;
+                incr removed
+              end
+          | None -> Itbl.remove l.l_objs index)
+        indexes;
+      if Itbl.length l.l_objs = 0 then Hashtbl.remove sp.lease client);
   if !removed > 0 then wal sp (Wal.Evict client);
   if Obs.on () && !removed > 0 then begin
     Metrics.add m_evict !removed;
@@ -1603,10 +1715,10 @@ let forget_peer_state sp peer =
   Wirerep.Tbl.iter
     (fun _ entry ->
       match entry with
-      | Concrete c -> Hashtbl.remove c.c_last_seq peer
+      | Concrete c -> Itbl.remove c.c_last_seq peer
       | Surrogate _ -> ())
     sp.table;
-  Hashtbl.remove sp.ping_misses peer;
+  Hashtbl.remove sp.lease peer;
   Hashtbl.remove sp.suspect_since peer;
   let stale = ref [] in
   Wirerep.Tbl.iter
@@ -1635,8 +1747,8 @@ let forget_peer_state sp peer =
          wirerep indices, so a stale count would pin its {e next} object
          under the same wirerep.  Holders still call [release]/[unpin]
          later; both are no-ops on a missing entry. *)
-      Hashtbl.remove sp.roots wr;
-      Hashtbl.remove sp.pins wr)
+      Itbl.remove sp.roots (Wirerep.key wr);
+      Itbl.remove sp.pins (Wirerep.key wr))
     !stale;
   if Obs.on () then
     Trace.instant (Obs.trace ()) ~cat:"gc" ~space:sp.id
@@ -1755,6 +1867,19 @@ let run_trial sp suspect =
         (* The deliberately-broken variant for the model checker: stop
            here and commit the unconfirmed closure below. *)
         ()
+    | _
+      when C.phase trial = C.Confirming
+           && List.exists (fun n -> n.C.nspace < sp.id) (C.members trial) ->
+        (* Lowest-space-id claim: once the probe phase has mapped the
+           closure, only the member space with the smallest id confirms
+           and commits it.  Concurrent coordinators elsewhere cede here,
+           so a cross-space cycle is reclaimed exactly once instead of
+           once per member. *)
+        C.abort trial
+          (Fmt.str "ceded to lower-id coordinator (space %d)"
+             (List.fold_left
+                (fun a n -> min a n.C.nspace)
+                sp.id (C.members trial)))
     | q :: rest -> drive (rest @ exec_query q)
   in
   drive initial;
@@ -1798,22 +1923,22 @@ let run_trial sp suspect =
 let nominate_suspects sp =
   let marked = mark_local sp in
   let now = Sched.now (ssched sp) in
+  (* Fed by the incremental [dirty_kept] aggregate: O(dirty-kept
+     concretes), not a scan of the whole object table. *)
   let current =
-    Wirerep.Tbl.fold
-      (fun wr entry acc ->
-        match entry with
-        | Concrete c
-          when (not (Wirerep.Tbl.mem marked wr))
-               && Hashtbl.length c.c_dirty > 0 ->
-            wr :: acc
-        | Concrete _ | Surrogate _ -> acc)
-      sp.table []
+    Itbl.fold
+      (fun index _ acc ->
+        let wr = Wirerep.v ~space:sp.id ~index in
+        if Itbl.mem marked (Wirerep.key wr) then acc else wr :: acc)
+      sp.dirty_kept []
     |> List.sort Wirerep.compare
   in
+  let current_keys = Itbl.create () in
+  List.iter (fun wr -> Itbl.replace current_keys (Wirerep.key wr) 1) current;
   let stale =
     Wirerep.Tbl.fold
       (fun wr _ acc ->
-        if List.exists (Wirerep.equal wr) current then acc else wr :: acc)
+        if Itbl.mem current_keys (Wirerep.key wr) then acc else wr :: acc)
       sp.cycle_suspect_since []
   in
   List.iter (Wirerep.Tbl.remove sp.cycle_suspect_since) stale;
@@ -1848,19 +1973,33 @@ let cycle_collect sp =
       0 (nominate_suspects sp)
 
 let cycle_demon sp gen period () =
-  let rec loop () =
-    Sched.sleep (ssched sp) period;
+  (* Backpressure: open at most [batch] trials per pass, and when a
+     backlog remains come back at a quarter of the configured cadence —
+     a deep suspect queue drains without one pass monopolising the
+     space, and an idle detector stays at its configured period. *)
+  let batch = 32 in
+  let rec loop delay =
+    Sched.sleep (ssched sp) delay;
     if (not sp.crashed) && sp.epoch = gen then begin
-      if Sched.now (ssched sp) >= sp.recover_until then
-        List.iter
-          (fun wr ->
-            if (not sp.crashed) && sp.epoch = gen && Wirerep.Tbl.mem sp.table wr
-            then ignore (run_trial sp wr : int))
-          (aged_suspects sp);
-      loop ()
+      let backlog =
+        Sched.now (ssched sp) >= sp.recover_until
+        &&
+        let rec work n = function
+          | [] -> false
+          | _ :: _ when n = 0 -> true
+          | wr :: rest ->
+              if
+                (not sp.crashed) && sp.epoch = gen
+                && Wirerep.Tbl.mem sp.table wr
+              then ignore (run_trial sp wr : int);
+              work (n - 1) rest
+        in
+        work batch (aged_suspects sp)
+      in
+      loop (if backlog then Float.max (period /. 4.0) 0.01 else period)
     end
   in
-  loop ()
+  loop period
 
 (* Demons carry the epoch they were spawned for and exit as soon as the
    space's epoch moves on: [restart] spawns a fresh set, and without the
@@ -1873,18 +2012,25 @@ let cycle_demon sp gen period () =
    transient partition keeps the lease (TR §2.4's tradeoff between
    promptness and tolerance). *)
 let ping_demon sp gen period () =
-  let misses = sp.ping_misses in
-  let rec loop nonce =
+  let rec loop () =
     Sched.sleep (ssched sp) period;
     if (not sp.crashed) && sp.epoch = gen then begin
       let grace = sp.rt.config.lease_grace in
+      (* One nonce per tick, shared by every (client, owner) heartbeat:
+         the epoch rides the high bits so acks from a previous
+         incarnation can never match (the sequence restarts at 1 after
+         a restart, but under a fresh epoch). *)
+      let seq = sp.next_ping in
+      sp.next_ping <- seq + 1;
+      let nonce = lease_nonce sp seq in
       let clients = clients_with_surrogates sp in
       List.iter
         (fun cl ->
-          let missed =
-            Option.value ~default:0 (Hashtbl.find_opt misses cl) + 1
-          in
-          Hashtbl.replace misses cl missed;
+          let l = lease_of sp cl in
+          (* Outstanding unanswered pings, derived from the aggregate:
+             equals the historical per-tick miss counter whenever acks
+             return within a period. *)
+          let missed = nonce_seq l.l_sent - nonce_seq l.l_acked + 1 in
           let expired =
             missed > sp.rt.config.lease_misses
             &&
@@ -1905,7 +2051,6 @@ let ping_demon sp gen period () =
           if expired then begin
             Log.info (fun m -> m "space %d: evicting client %d" sp.id cl);
             evict_client sp cl;
-            Hashtbl.remove misses cl;
             Hashtbl.remove sp.suspect_since cl
           end
           else begin
@@ -1916,13 +2061,14 @@ let ping_demon sp gen period () =
                 ~args:[ ("client", Trace.I cl); ("missed", Trace.I missed) ]
                 "ping"
             end;
+            l.l_sent <- nonce;
             send_env sp ~dst:cl (Proto.Ping { nonce })
           end)
         clients;
-      loop (nonce + 1)
+      loop ()
     end
   in
-  loop 0
+  loop ()
 
 let gc_demon sp gen period () =
   let rec loop () =
@@ -1946,8 +2092,8 @@ let allocate ?(tag = "") sp ~meths =
       c_tag = tag;
       c_meths = List.map (fun m -> (m.m_name, m)) meths;
       c_slots = [];
-      c_dirty = Hashtbl.create 4;
-      c_last_seq = Hashtbl.create 4;
+      c_dirty = Itbl.create ();
+      c_last_seq = Itbl.create ();
     }
   in
   Wirerep.Tbl.add sp.table wr (Concrete c);
@@ -2240,6 +2386,34 @@ let lookup sp ~at name =
   | Some h -> h
   | None -> raise (Remote_error (Printf.sprintf "lookup: no binding for %s" name))
 
+(* --- sharded agent ---------------------------------------------------------
+
+   Every space already runs a well-known agent at index 0; sharding
+   statically partitions the namespace across all of them by name hash.
+   The home of a name is a pure function of the name and the space
+   count, so any space routes publishes and lookups without
+   coordination and a lookup storm spreads over every owner instead of
+   serialising on one. *)
+
+let agent_home rt name = Hashtbl.hash name mod Array.length rt.space_arr
+
+let publish_sharded sp name h =
+  let home = agent_home sp.rt name in
+  if home = sp.id then publish sp name h
+  else begin
+    let agent = import_wr sp (Wirerep.v ~space:home ~index:0) in
+    Fun.protect
+      ~finally:(fun () -> release sp agent)
+      (fun () ->
+        invoke_raw sp agent ~meth:"publish"
+          ~encode:(fun w ->
+            Pickle.write Pickle.string w name;
+            Pickle.write handle_codec w h)
+          ~decode:(fun _ -> ()))
+  end
+
+let lookup_sharded sp name = lookup sp ~at:(agent_home sp.rt name) name
+
 (* --- system construction ---------------------------------------------------- *)
 
 let crash rt i =
@@ -2263,12 +2437,9 @@ let build_snapshot sp =
       match entry with
       | Concrete c ->
           let c_dirty =
-            Hashtbl.fold
-              (fun client () acc ->
-                ( client,
-                  Option.value ~default:0
-                    (Hashtbl.find_opt c.c_last_seq client) )
-                :: acc)
+            Itbl.fold
+              (fun client _ acc ->
+                (client, Itbl.find c.c_last_seq client ~default:0) :: acc)
               c.c_dirty []
           in
           concretes :=
@@ -2288,12 +2459,14 @@ let build_snapshot sp =
     s_peers = Hashtbl.fold (fun p e acc -> (p, e) :: acc) sp.peer_epoch [];
     s_concretes = !concretes;
     s_surrogates = !surrogates;
-    s_roots = Hashtbl.fold (fun wr r acc -> (wr, !r) :: acc) sp.roots [];
+    s_roots =
+      Itbl.fold (fun k r acc -> (Wirerep.of_key k, r) :: acc) sp.roots [];
     s_pins =
       Hashtbl.fold
         (fun (m : Proto.msg_id) wrs acc -> (m.Proto.seq, wrs) :: acc)
         sp.tdirty [];
-    s_seqno = Wirerep.Tbl.fold (fun wr n acc -> (wr, n) :: acc) sp.seqno [];
+    s_seqno =
+      Itbl.fold (fun k n acc -> (Wirerep.of_key k, n) :: acc) sp.seqno [];
     s_bindings = Hashtbl.fold (fun k v acc -> (k, v) :: acc) sp.bindings [];
   }
 
@@ -2349,14 +2522,16 @@ let make_space rt id =
     next_index = 0;
     next_msg = 0;
     next_call = 0;
-    roots = Hashtbl.create 16;
-    pins = Hashtbl.create 16;
+    roots = Itbl.create ~size:16 ();
+    pins = Itbl.create ~size:16 ();
     tdirty = Hashtbl.create 16;
     pending_calls = Hashtbl.create 16;
     clean_mb = Sched.Mailbox.create ();
-    seqno = Wirerep.Tbl.create 16;
+    seqno = Itbl.create ~size:16 ();
     bindings = Hashtbl.create 8;
-    ping_misses = Hashtbl.create 8;
+    lease = Hashtbl.create 8;
+    dirty_kept = Itbl.create ~size:16 ();
+    next_ping = 1;
     suspect_since = Hashtbl.create 8;
     epoch = 0;
     cont = 0;
@@ -2381,7 +2556,8 @@ let make_space rt id =
     s_evict = 0;
     s_epoch_rejected = 0;
     s_retries = 0;
-    touch = Wirerep.Tbl.create 64;
+    s_stale_acks = 0;
+    touch = Itbl.create ~size:64 ();
     cycle_suspect_since = Wirerep.Tbl.create 16;
     pending_cycles = Hashtbl.create 8;
     next_probe = 0;
@@ -2493,13 +2669,15 @@ let restart rt i =
       | Concrete _ -> ())
     sp.table;
   Wirerep.Tbl.reset sp.table;
-  Hashtbl.reset sp.roots;
-  Hashtbl.reset sp.pins;
+  Itbl.reset sp.roots;
+  Itbl.reset sp.pins;
   Hashtbl.reset sp.tdirty;
   Hashtbl.reset sp.pending_calls;
-  Wirerep.Tbl.reset sp.seqno;
+  Itbl.reset sp.seqno;
   Hashtbl.reset sp.bindings;
-  Hashtbl.reset sp.ping_misses;
+  Hashtbl.reset sp.lease;
+  Itbl.reset sp.dirty_kept;
+  sp.next_ping <- 1;
   Hashtbl.reset sp.suspect_since;
   (* A rebooted process has no memory of its peers' incarnations either;
      forgetting is safe because there is no state left to protect. *)
@@ -2512,7 +2690,7 @@ let restart rt i =
   (* Detector state is soft and epoch-scoped: the new incarnation's
      counters may start from zero because every in-flight trial that
      heard from the old one aborts on the epoch bump. *)
-  Wirerep.Tbl.reset sp.touch;
+  Itbl.reset sp.touch;
   Wirerep.Tbl.reset sp.cycle_suspect_since;
   Hashtbl.iter
     (fun _ iv ->
@@ -2581,6 +2759,11 @@ let replay_record sp r =
         | Some f -> f ()
         | None -> []
       in
+      (* An overwritten concrete's dirty set leaves the aggregates with
+         its table entry. *)
+      (match find_concrete sp wr with
+      | Some old -> forget_concrete_dirty sp old
+      | None -> ());
       Wirerep.Tbl.replace sp.table wr
         (Concrete
            {
@@ -2588,12 +2771,16 @@ let replay_record sp r =
              c_tag = tag;
              c_meths = List.map (fun m -> (m.m_name, m)) meths;
              c_slots = [];
-             c_dirty = Hashtbl.create 4;
-             c_last_seq = Hashtbl.create 4;
+             c_dirty = Itbl.create ();
+             c_last_seq = Itbl.create ();
            });
       if wr.Wirerep.index >= sp.next_index then
         sp.next_index <- wr.Wirerep.index + 1
-  | Wal.Reclaim wr -> Wirerep.Tbl.remove sp.table wr
+  | Wal.Reclaim wr ->
+      (match find_concrete sp wr with
+      | Some old -> forget_concrete_dirty sp old
+      | None -> ());
+      Wirerep.Tbl.remove sp.table wr
   | Wal.Root { wr; delta } ->
       if delta > 0 then bump sp.roots wr else unbump sp.roots wr
   | Wal.Link { parent; child; add } -> (
@@ -2607,29 +2794,33 @@ let replay_record sp r =
   | Wal.Dirty { wr; client; seq; add } -> (
       match find_concrete sp wr with
       | Some c ->
-          let last =
-            Option.value ~default:0 (Hashtbl.find_opt c.c_last_seq client)
-          in
-          if seq > last then Hashtbl.replace c.c_last_seq client seq;
-          if add then Hashtbl.replace c.c_dirty client ()
-          else Hashtbl.remove c.c_dirty client
+          if seq > Itbl.find c.c_last_seq client ~default:0 then
+            Itbl.replace c.c_last_seq client seq;
+          if add then ignore (dirty_add sp c client : bool)
+          else ignore (dirty_remove sp c client : bool)
       | None -> ())
-  | Wal.Evict client ->
-      Wirerep.Tbl.iter
-        (fun _ e ->
-          match e with
-          | Concrete c -> Hashtbl.remove c.c_dirty client
-          | Surrogate _ -> ())
-        sp.table
+  | Wal.Evict client -> (
+      match Hashtbl.find_opt sp.lease client with
+      | None -> ()
+      | Some l ->
+          let indexes = Itbl.fold (fun i _ acc -> i :: acc) l.l_objs [] in
+          List.iter
+            (fun index ->
+              match find_concrete sp (Wirerep.v ~space:sp.id ~index) with
+              | Some c -> ignore (dirty_remove sp c client : bool)
+              | None -> Itbl.remove l.l_objs index)
+            indexes;
+          if Itbl.length l.l_objs = 0 then Hashtbl.remove sp.lease client)
   | Wal.Forget client ->
       Wirerep.Tbl.iter
         (fun _ e ->
           match e with
           | Concrete c ->
-              Hashtbl.remove c.c_dirty client;
-              Hashtbl.remove c.c_last_seq client
+              ignore (dirty_remove sp c client : bool);
+              Itbl.remove c.c_last_seq client
           | Surrogate _ -> ())
-        sp.table
+        sp.table;
+      Hashtbl.remove sp.lease client
   | Wal.Surrogate { wr; add } ->
       if add then
         Wirerep.Tbl.replace sp.table wr
@@ -2638,12 +2829,12 @@ let replay_record sp r =
         Wirerep.Tbl.remove sp.table wr;
         (* mirrors the live forget/reassert-gone paths, which drop the
            counts wholesale rather than via Root deltas *)
-        Hashtbl.remove sp.roots wr;
-        Hashtbl.remove sp.pins wr
+        Itbl.remove sp.roots (Wirerep.key wr);
+        Itbl.remove sp.pins (Wirerep.key wr)
       end
   | Wal.Seqno { wr; n } ->
-      let cur = try Wirerep.Tbl.find sp.seqno wr with Not_found -> 0 in
-      if n > cur then Wirerep.Tbl.replace sp.seqno wr n
+      let k = Wirerep.key wr in
+      if n > Itbl.find sp.seqno k ~default:0 then Itbl.replace sp.seqno k n
   | Wal.Pins { msg; wrs } ->
       Hashtbl.replace sp.tdirty { Proto.origin = sp.id; seq = msg } wrs;
       List.iter (fun wr -> bump sp.pins wr) wrs;
@@ -2673,22 +2864,22 @@ let apply_snapshot sp (s : Wal.snapshot) =
         | Some f -> f ()
         | None -> []
       in
-      let dirty = Hashtbl.create 4 and last = Hashtbl.create 4 in
+      let cobj =
+        {
+          c_wr = c.Wal.c_wr;
+          c_tag = c.Wal.c_tag;
+          c_meths = List.map (fun m -> (m.m_name, m)) meths;
+          c_slots = c.Wal.c_slots;
+          c_dirty = Itbl.create ();
+          c_last_seq = Itbl.create ();
+        }
+      in
       List.iter
         (fun (client, seq) ->
-          Hashtbl.replace dirty client ();
-          Hashtbl.replace last client seq)
+          Itbl.replace cobj.c_last_seq client seq;
+          ignore (dirty_add sp cobj client : bool))
         c.Wal.c_dirty;
-      Wirerep.Tbl.replace sp.table c.Wal.c_wr
-        (Concrete
-           {
-             c_wr = c.Wal.c_wr;
-             c_tag = c.Wal.c_tag;
-             c_meths = List.map (fun m -> (m.m_name, m)) meths;
-             c_slots = c.Wal.c_slots;
-             c_dirty = dirty;
-             c_last_seq = last;
-           }))
+      Wirerep.Tbl.replace sp.table c.Wal.c_wr (Concrete cobj))
     s.Wal.s_concretes;
   List.iter
     (fun wr ->
@@ -2696,14 +2887,16 @@ let apply_snapshot sp (s : Wal.snapshot) =
         (Surrogate (ref (Usable { clean_scheduled = false }))))
     s.Wal.s_surrogates;
   List.iter
-    (fun (wr, n) -> if n > 0 then Hashtbl.replace sp.roots wr (ref n))
+    (fun (wr, n) -> if n > 0 then Itbl.replace sp.roots (Wirerep.key wr) n)
     s.Wal.s_roots;
   List.iter
     (fun (msg, wrs) ->
       Hashtbl.replace sp.tdirty { Proto.origin = sp.id; seq = msg } wrs;
       List.iter (fun wr -> bump sp.pins wr) wrs)
     s.Wal.s_pins;
-  List.iter (fun (wr, n) -> Wirerep.Tbl.replace sp.seqno wr n) s.Wal.s_seqno;
+  List.iter
+    (fun (wr, n) -> Itbl.replace sp.seqno (Wirerep.key wr) n)
+    s.Wal.s_seqno;
   List.iter
     (fun (name, wr) -> Hashtbl.replace sp.bindings name wr)
     s.Wal.s_bindings
@@ -2744,13 +2937,15 @@ let recover rt i =
     (fun _ iv -> if not (Sched.Ivar.is_filled iv) then Sched.Ivar.fill iv ())
     sp.pending_reassert;
   Wirerep.Tbl.reset sp.table;
-  Hashtbl.reset sp.roots;
-  Hashtbl.reset sp.pins;
+  Itbl.reset sp.roots;
+  Itbl.reset sp.pins;
   Hashtbl.reset sp.tdirty;
   Hashtbl.reset sp.pending_calls;
-  Wirerep.Tbl.reset sp.seqno;
+  Itbl.reset sp.seqno;
   Hashtbl.reset sp.bindings;
-  Hashtbl.reset sp.ping_misses;
+  Hashtbl.reset sp.lease;
+  Itbl.reset sp.dirty_kept;
+  sp.next_ping <- 1;
   Hashtbl.reset sp.suspect_since;
   Hashtbl.reset sp.peer_epoch;
   Hashtbl.reset sp.pending_reassert;
@@ -2758,7 +2953,7 @@ let recover rt i =
   (* Detector state is soft: touch counters and suspicion ages restart
      from zero — safe because the epoch bump aborts every in-flight
      trial that ever heard from the previous incarnation. *)
-  Wirerep.Tbl.reset sp.touch;
+  Itbl.reset sp.touch;
   Wirerep.Tbl.reset sp.cycle_suspect_since;
   Hashtbl.iter
     (fun _ iv ->
@@ -2796,8 +2991,8 @@ let recover rt i =
   (* Watermark slack: seqnos, message ids and call ids minted after the
      last durable record were lost with the unsynced tail; jump past
      anything that could collide with a late ack or reply. *)
-  let seqs = Wirerep.Tbl.fold (fun wr n acc -> (wr, n) :: acc) sp.seqno [] in
-  List.iter (fun (wr, n) -> Wirerep.Tbl.replace sp.seqno wr (n + 64)) seqs;
+  let seqs = Itbl.fold (fun k n acc -> (k, n) :: acc) sp.seqno [] in
+  List.iter (fun (k, n) -> Itbl.replace sp.seqno k (n + 64)) seqs;
   sp.next_msg <- sp.next_msg + 1024;
   sp.next_call <- sp.next_call + 1024;
   sp.crashed <- false;
@@ -2826,8 +3021,7 @@ let recover rt i =
       (fun wr e acc ->
         match e with
         | Concrete c ->
-            Hashtbl.fold (fun client () acc -> (wr, client) :: acc) c.c_dirty
-              acc
+            Itbl.fold (fun client _ acc -> (wr, client) :: acc) c.c_dirty acc
         | Surrogate _ -> acc)
       sp.table []
   in
@@ -2862,9 +3056,8 @@ let recover rt i =
           | Usable _ -> Hashtbl.replace owners wr.Wirerep.space ()
           | Creating _ | Cleaning _ -> ())
       | Concrete c ->
-          Hashtbl.iter
-            (fun cl () ->
-              if cl <> sp.id then Hashtbl.replace targets cl ())
+          Itbl.iter
+            (fun cl _ -> if cl <> sp.id then Hashtbl.replace targets cl ())
             c.c_dirty)
     sp.table;
   Hashtbl.iter
@@ -2909,7 +3102,7 @@ let resident sp wr = Wirerep.Tbl.mem sp.table wr
 let dirty_set sp h =
   match Wirerep.Tbl.find_opt sp.table h.wr with
   | Some (Concrete c) ->
-      Hashtbl.fold (fun cl () acc -> cl :: acc) c.c_dirty [] |> List.sort compare
+      Itbl.fold (fun cl _ acc -> cl :: acc) c.c_dirty [] |> List.sort compare
   | Some (Surrogate _) | None ->
       invalid_arg "Runtime.dirty_set: not a resident concrete object"
 
@@ -2933,9 +3126,8 @@ let surrogate_summary sp =
                 Printf.sprintf "Cleaning{retry=%b}"
                   (Option.is_some cl.retry_cancel)
           in
-          let deref o = match o with Some r -> !r | None -> 0 in
-          let roots = deref (Hashtbl.find_opt sp.roots wr) in
-          let pins = deref (Hashtbl.find_opt sp.pins wr) in
+          let roots = Itbl.find sp.roots (Wirerep.key wr) ~default:0 in
+          let pins = Itbl.find sp.pins (Wirerep.key wr) ~default:0 in
           Printf.sprintf "wr=%d.%d state=%s roots=%d pins=%d" wr.Wirerep.space
             wr.Wirerep.index state roots pins
           :: acc)
@@ -2954,6 +3146,7 @@ let gc_stats sp =
     evictions = sp.s_evict;
     epoch_rejections = sp.s_epoch_rejected;
     retries = sp.s_retries;
+    stale_acks = sp.s_stale_acks;
   }
 
 let cycle_stats sp =
@@ -2984,6 +3177,79 @@ let force_snapshot sp = take_snapshot sp
 
 let unconfirmed_count sp = Hashtbl.length sp.unconfirmed
 
+let lease_entries sp client =
+  match Hashtbl.find_opt sp.lease client with
+  | None -> 0
+  | Some l -> Itbl.length l.l_objs
+
+(* Cross-check the incrementally maintained lease / dirty-kept
+   aggregates against a from-scratch fold over the object table — the
+   central invariant of the aggregated-lease design.  Wired into
+   [check_consistency] so chaos and the model checker verify it
+   continuously; also driven directly by the property tests. *)
+let lease_check sp =
+  let problems = ref [] in
+  let report fmt = Fmt.kstr (fun s -> problems := s :: !problems) fmt in
+  let ref_clients = Hashtbl.create 8 in
+  let ref_kept = Hashtbl.create 8 in
+  Wirerep.Tbl.iter
+    (fun (wr : Wirerep.t) e ->
+      match e with
+      | Concrete c ->
+          if Itbl.length c.c_dirty > 0 then
+            Hashtbl.replace ref_kept wr.Wirerep.index ();
+          Itbl.iter
+            (fun client _ ->
+              let s =
+                match Hashtbl.find_opt ref_clients client with
+                | Some s -> s
+                | None ->
+                    let s = Hashtbl.create 8 in
+                    Hashtbl.add ref_clients client s;
+                    s
+              in
+              Hashtbl.replace s wr.Wirerep.index ())
+            c.c_dirty
+      | Surrogate _ -> ())
+    sp.table;
+  Itbl.iter
+    (fun index _ ->
+      if not (Hashtbl.mem ref_kept index) then
+        report "space %d: dirty_kept has stale index %d" sp.id index)
+    sp.dirty_kept;
+  Hashtbl.iter
+    (fun index () ->
+      if not (Itbl.mem sp.dirty_kept index) then
+        report "space %d: dirty_kept missing index %d" sp.id index)
+    ref_kept;
+  Hashtbl.iter
+    (fun client l ->
+      match Hashtbl.find_opt ref_clients client with
+      | None ->
+          if Itbl.length l.l_objs > 0 then
+            report "space %d: lease for client %d with no dirty entries" sp.id
+              client
+      | Some s ->
+          Itbl.iter
+            (fun index _ ->
+              if not (Hashtbl.mem s index) then
+                report "space %d: lease(client %d) stale index %d" sp.id
+                  client index)
+            l.l_objs;
+          Hashtbl.iter
+            (fun index () ->
+              if not (Itbl.mem l.l_objs index) then
+                report "space %d: lease(client %d) missing index %d" sp.id
+                  client index)
+            s)
+    sp.lease;
+  Hashtbl.iter
+    (fun client _ ->
+      if not (Hashtbl.mem sp.lease client) then
+        report "space %d: no lease aggregate for dirty client %d" sp.id client)
+    ref_clients;
+  List.rev !problems
+
 let check_consistency rt =
   let problems = ref [] in
   let report fmt = Fmt.kstr (fun s -> problems := s :: !problems) fmt in
@@ -3003,6 +3269,7 @@ let check_consistency rt =
         if Hashtbl.length sp.pending_calls > 0 then
           report "space %d: %d calls still pending at quiescence" sp.id
             (Hashtbl.length sp.pending_calls);
+        List.iter (fun s -> problems := s :: !problems) (lease_check sp);
         Wirerep.Tbl.iter
           (fun wr entry ->
             match entry with
@@ -3017,7 +3284,7 @@ let check_consistency rt =
                     (* Lemma 9: usable implies registered. *)
                     match c with
                     | Some c ->
-                        if not (Hashtbl.mem c.c_dirty sp.id) then
+                        if not (Itbl.mem c.c_dirty sp.id) then
                           report
                             "space %d: usable surrogate %a absent from dirty set"
                             sp.id Wirerep.pp wr
@@ -3031,8 +3298,8 @@ let check_consistency rt =
             | Concrete c ->
                 (* Liveness at quiescence: every dirty entry has a
                    matching surrogate at the (live) client. *)
-                Hashtbl.iter
-                  (fun client () ->
+                Itbl.iter
+                  (fun client _ ->
                     let csp = rt.space_arr.(client) in
                     if not csp.crashed then
                       match Wirerep.Tbl.find_opt csp.table wr with
@@ -3090,13 +3357,13 @@ let check_safety rt =
                     then begin
                       match Wirerep.Tbl.find_opt osp.table wr with
                       | Some (Concrete c) ->
-                          if not (Hashtbl.mem c.c_dirty sp.id) then
+                          if not (Itbl.mem c.c_dirty sp.id) then
                             report
                               "space %d: usable surrogate %a absent from \
                                owner's dirty set"
                               sp.id Wirerep.pp wr
                       | Some (Surrogate _) | None ->
-                          if Wirerep.Tbl.mem (Lazy.force marked) wr then
+                          if Itbl.mem (Lazy.force marked) (Wirerep.key wr) then
                             report
                               "space %d: usable surrogate %a but owner %d \
                                collected the object"
@@ -3130,7 +3397,7 @@ let state_fingerprint rt =
           match e with
           | Concrete c ->
               let dirty =
-                Hashtbl.fold (fun k () acc -> k :: acc) c.c_dirty []
+                Itbl.fold (fun k _ acc -> k :: acc) c.c_dirty []
                 |> List.sort compare
               in
               let slots =
@@ -3153,9 +3420,10 @@ let state_fingerprint rt =
         entries;
       let counts name tbl =
         let xs =
-          Hashtbl.fold
-            (fun (wr : Wirerep.t) r acc ->
-              ((wr.Wirerep.space, wr.Wirerep.index), !r) :: acc)
+          Itbl.fold
+            (fun k n acc ->
+              let wr = Wirerep.of_key k in
+              ((wr.Wirerep.space, wr.Wirerep.index), n) :: acc)
             tbl []
           |> List.sort compare
         in

@@ -81,6 +81,10 @@ type config
       strands the agent surrogate and its dirty entry forever) as a
       known-bug target for the model checker's schedules-to-first-bug
       benchmark.  Never set it outside that benchmark;
+    - [bug_ping_ack_replay] reintroduces the historical ping-ack bug
+      (acks matched neither nonce nor epoch, so a duplicated or delayed
+      ack kept renewing a partitioned client's lease) as a regression
+      target.  Never set it outside those tests;
     - [durable] attaches a {!Netobj_store.Store} to every space: each
       logs its GC-relevant transitions (exports, dirty-set changes,
       roots, leases) write-ahead, making {!recover} available after a
@@ -130,6 +134,7 @@ val config :
   ?piggyback_acks:bool ->
   ?coalesce:bool ->
   ?bug_lookup_leak:bool ->
+  ?bug_ping_ack_replay:bool ->
   ?durable:bool ->
   ?fsync_delay:float ->
   ?snapshot_period:float ->
@@ -354,6 +359,23 @@ val unpublish : space -> string -> unit
     Raises [Not_found] (as [Remote_error]) if the name is unknown. *)
 val lookup : space -> at:int -> string -> handle
 
+(** {2 Sharded namespace}
+
+    Every space runs a well-known agent; sharding statically partitions
+    the namespace across all of them by name hash, so publish/lookup
+    storms spread over every owner instead of serialising on one. *)
+
+(** The home space of a name: a pure function of the name and the space
+    count, identical at every space. *)
+val agent_home : t -> string -> int
+
+(** Publish under the name's home agent (local fast path when this
+    space is the home). *)
+val publish_sharded : space -> string -> handle -> unit
+
+(** [lookup_sharded sp name] is [lookup sp ~at:(agent_home rt name) name]. *)
+val lookup_sharded : space -> string -> handle
+
 (** {1 Failure injection} *)
 
 (** Crash a space: it stops sending, receiving and running demons. *)
@@ -428,9 +450,23 @@ type gc_stats = {
   epoch_rejections : int;
       (** packets dropped for carrying a stale incarnation epoch *)
   retries : int;  (** dirty/clean calls re-sent after an unacked wait *)
+  stale_acks : int;
+      (** ping acks dropped for failing the nonce/epoch match: duplicated,
+          delayed past their window, or minted against a dead epoch *)
 }
 
 val gc_stats : space -> gc_stats
+
+(** Entries (own concretes with this client in their dirty set) covered
+    by the client's aggregated lease here — exactly what one
+    ping/ping_ack pair renews, and what an eviction walks. *)
+val lease_entries : space -> int -> int
+
+(** Cross-check the incrementally maintained per-client lease and
+    dirty-kept aggregates against a from-scratch fold over the object
+    table; returns discrepancies.  Also wired into
+    {!check_consistency}. *)
+val lease_check : space -> string list
 
 (** Cycle-detector counters for this space: trials opened as
     coordinator, conservative aborts, and objects reclaimed {e here} by

@@ -13,6 +13,17 @@ let compare a b =
 
 let hash a = (a.space * 1_000_003) + a.index
 
+(* Packed int key for the flat int-keyed tables (Netobj_util.Itbl):
+   40 bits of index, the rest space id.  Both components are
+   non-negative and well within range (the index allocator counts up
+   from 0; space ids are small), so the packing is a bijection. *)
+let index_bits = 40
+
+let key t = (t.space lsl index_bits) lor t.index
+
+let of_key k =
+  { space = k lsr index_bits; index = k land ((1 lsl index_bits) - 1) }
+
 let codec =
   Pickle.map ~name:"wirerep"
     (fun (space, index) -> { space; index })

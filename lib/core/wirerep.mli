@@ -13,6 +13,13 @@ val compare : t -> t -> int
 
 val hash : t -> int
 
+val key : t -> int
+(** [key t] packs [t] into a single non-negative int (40 bits of
+    index, the rest space id) — the key form used by the flat
+    int-keyed bookkeeping tables.  Inverse: {!of_key}. *)
+
+val of_key : int -> t
+
 val codec : t Netobj_pickle.Pickle.t
 
 val pp : t Fmt.t

@@ -1,0 +1,156 @@
+(* Open-addressing int -> int hash table.
+
+   The runtime keeps one bookkeeping entry per live network-object
+   handle (dirty-set members, root/pin counts, touch counters, lease
+   aggregates), so at the million-handle scale these tables ARE the
+   heap.  [Hashtbl] costs ~5 words per binding in bucket cons cells
+   plus boxed key/value headers and churns the minor collector on
+   every update; this table is two unboxed int arrays with linear
+   probing — ~2 words per slot at a 50-75% load factor and zero
+   allocation on the read and update paths.
+
+   Keys may be any int except the two reserved sentinels ([min_int]
+   and [min_int + 1]).  At most one binding per key ([replace]
+   semantics).  Iteration order is unspecified but deterministic for a
+   deterministic sequence of operations — the property the simulation
+   substrate needs. *)
+
+type t = {
+  mutable keys : int array;
+  mutable vals : int array;
+  mutable size : int;  (* live bindings *)
+  mutable used : int;  (* live bindings + tombstones *)
+}
+
+let empty_key = min_int
+
+let tomb_key = min_int + 1
+
+let min_capacity = 8
+
+(* Fibonacci hashing: a fixed odd multiplier spreads consecutive keys
+   (object indices, client ids) across the table; the top bits feed the
+   mask, so dense key ranges do not cluster. *)
+let hash k cap_mask =
+  let h = k * 0x2545F4914F6CDD1D in
+  (h lxor (h lsr 29)) land cap_mask
+
+let create ?(size = min_capacity) () =
+  let cap = ref min_capacity in
+  while !cap < size do
+    cap := !cap * 2
+  done;
+  {
+    keys = Array.make !cap empty_key;
+    vals = Array.make !cap 0;
+    size = 0;
+    used = 0;
+  }
+
+let length t = t.size
+
+let check_key k =
+  if k = empty_key || k = tomb_key then
+    invalid_arg "Itbl: key collides with a reserved sentinel"
+
+(* Returns the slot holding [k], or [-1]. *)
+let find_slot t k =
+  let mask = Array.length t.keys - 1 in
+  let rec probe i =
+    let kk = Array.unsafe_get t.keys i in
+    if kk = k then i
+    else if kk = empty_key then -1
+    else probe ((i + 1) land mask)
+  in
+  probe (hash k mask)
+
+let mem t k =
+  check_key k;
+  find_slot t k >= 0
+
+let find_opt t k =
+  check_key k;
+  let i = find_slot t k in
+  if i >= 0 then Some (Array.unsafe_get t.vals i) else None
+
+let find t k ~default =
+  check_key k;
+  let i = find_slot t k in
+  if i >= 0 then Array.unsafe_get t.vals i else default
+
+let rec insert t k v =
+  let mask = Array.length t.keys - 1 in
+  (* First pass: replace an existing binding in place; remember the
+     first tombstone so a fresh insert reuses it. *)
+  let rec probe i tomb =
+    let kk = Array.unsafe_get t.keys i in
+    if kk = k then Array.unsafe_set t.vals i v
+    else if kk = empty_key then begin
+      let slot = if tomb >= 0 then tomb else i in
+      Array.unsafe_set t.keys slot k;
+      Array.unsafe_set t.vals slot v;
+      t.size <- t.size + 1;
+      if tomb < 0 then begin
+        t.used <- t.used + 1;
+        (* Grow (or compact tombstones) past 7/8 occupancy.  Sizing by
+           [size] doubles when genuinely full and merely rehashes when
+           tombstones dominate. *)
+        if t.used * 8 > Array.length t.keys * 7 then grow t
+      end
+    end
+    else if kk = tomb_key then probe ((i + 1) land mask) (if tomb >= 0 then tomb else i)
+    else probe ((i + 1) land mask) tomb
+  in
+  probe (hash k mask) (-1)
+
+and grow t =
+  (* Rehash into <= 50% load: doubles when genuinely full, merely
+     clears tombstones when deletions dominated. *)
+  let old_keys = t.keys and old_vals = t.vals in
+  let cap = ref min_capacity in
+  while !cap < t.size * 2 do
+    cap := !cap * 2
+  done;
+  t.keys <- Array.make !cap empty_key;
+  t.vals <- Array.make !cap 0;
+  t.size <- 0;
+  t.used <- 0;
+  Array.iteri
+    (fun i kk ->
+      if kk <> empty_key && kk <> tomb_key then
+        insert t kk (Array.unsafe_get old_vals i))
+    old_keys
+
+let replace t k v =
+  check_key k;
+  insert t k v
+
+let remove t k =
+  check_key k;
+  let i = find_slot t k in
+  if i >= 0 then begin
+    Array.unsafe_set t.keys i tomb_key;
+    Array.unsafe_set t.vals i 0;
+    t.size <- t.size - 1
+  end
+
+let iter f t =
+  Array.iteri
+    (fun i kk ->
+      if kk <> empty_key && kk <> tomb_key then f kk (Array.unsafe_get t.vals i))
+    t.keys
+
+let fold f t init =
+  let acc = ref init in
+  Array.iteri
+    (fun i kk ->
+      if kk <> empty_key && kk <> tomb_key then
+        acc := f kk (Array.unsafe_get t.vals i) !acc)
+    t.keys;
+  !acc
+
+let reset t =
+  t.keys <- Array.make min_capacity empty_key;
+  t.vals <- Array.make min_capacity 0;
+  t.size <- 0;
+  t.used <- 0

@@ -1,0 +1,39 @@
+(** Open-addressing int -> int hash table: two unboxed arrays, linear
+    probing, no per-binding allocation.  The compact backbone for the
+    runtime's per-handle bookkeeping (dirty sets, root/pin counts,
+    touch counters, per-client lease aggregates) at million-handle
+    scale, where [Hashtbl]'s boxed buckets dominate memory.
+
+    Keys may be any int except [min_int] and [min_int + 1] (reserved
+    sentinels; passing one raises [Invalid_argument]).  One binding
+    per key.  Iteration order is unspecified but deterministic for a
+    deterministic operation sequence. *)
+
+type t
+
+val create : ?size:int -> unit -> t
+(** [create ?size ()] allocates a table pre-sized for [size] bindings
+    (default small). *)
+
+val length : t -> int
+(** Number of live bindings. *)
+
+val mem : t -> int -> bool
+
+val find_opt : t -> int -> int option
+
+val find : t -> int -> default:int -> int
+(** [find t k ~default] is [find_opt] without the option allocation. *)
+
+val replace : t -> int -> int -> unit
+(** Insert or overwrite the binding for a key. *)
+
+val remove : t -> int -> unit
+(** Remove the binding, if any. *)
+
+val iter : (int -> int -> unit) -> t -> unit
+
+val fold : (int -> int -> 'a -> 'a) -> t -> 'a -> 'a
+
+val reset : t -> unit
+(** Drop every binding and shrink back to the minimum capacity. *)

@@ -11,8 +11,8 @@ and safety oracles clean (exit 0):
   linked: node0 -> node1 -> node2 -> node0 across the wire
   detector pass with live roots: committed 0, resident 3/3 (kept)
   roots dropped: listing collector leaves resident 3/3 (leaked)
-  detector pass: committed 9, resident 0/3
-  stats: trials=3 aborts=0 collected=3
+  detector pass: committed 3, resident 0/3
+  stats: trials=3 aborts=2 collected=3
   drained: surrogates=0, consistency ok, safety ok
   result: SURVIVED
 

@@ -1,0 +1,25 @@
+The deterministic lease-plane-at-scale narrative: one owner publishes a
+registry of a thousand objects and three clients import all of them.
+The incrementally maintained per-client lease aggregates must agree
+with a from-scratch fold over the object table, heartbeat traffic must
+be one ping per (client, owner) pair per tick — 18 pings renew 3000
+entries — a crashed client's whole aggregate must fall to a single
+lease expiry, and the sharded name service must spread bindings across
+agent homes (exit 0):
+
+  $ netobj_sim scale
+  built: 1 owner, 3 clients, 1000 objects behind a registry
+  imported: leases cover 1000+1000+1000 entries across 3 clients
+  aggregates: incremental = from-scratch table fold (ok)
+  heartbeats: 18 pings over 6 ticks renew 3000 entries
+  crash: client 3 dead, one lease expiry dropped 1000 entries
+  aggregates: still exact after the eviction (ok)
+  sharded agent: svc0 svc1 svc2 svc4 svc5 homed at 2 0 0 1 1
+  checked: safety ok, lease aggregates ok
+  result: SURVIVED
+
+The narrative is a fixed-seed run of the real runtime; a second
+invocation is byte-identical:
+
+  $ netobj_sim scale > first.out && netobj_sim scale > second.out
+  $ diff first.out second.out

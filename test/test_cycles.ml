@@ -145,6 +145,28 @@ let test_detector_reclaims ?cfg ~name () =
         0 (R.global_collect rt))
     [ (2, 2); (3, 3); (3, 6) ]
 
+(* Concurrent coordinators over the same closure: every space runs a
+   trial for its own member, but only the lowest-space-id coordinator
+   may commit — the others cede during confirm.  Exactly one commit
+   per closure, the rest are aborts. *)
+let test_detector_single_commit () =
+  let rt, nodes = build_ring ~n:3 ~k:3 () in
+  drop_all_roots rt nodes;
+  let committed = detector_pass rt in
+  Alcotest.(check int) "exactly one coordinator commits the ring" 3 committed;
+  Alcotest.(check int) "none resident" 0 (resident_count nodes);
+  let trials, aborts =
+    List.fold_left
+      (fun (t, a) sp ->
+        let s = R.cycle_stats sp in
+        (t + s.R.trials, a + s.R.aborts))
+      (0, 0) (R.spaces rt)
+  in
+  Alcotest.(check int) "every space ran its trial" 3 trials;
+  Alcotest.(check int) "the other coordinators ceded" 2 aborts;
+  drain rt;
+  assert_clean rt
+
 (* A cycle pinned by an external root — a third party's looked-up
    handle — must NOT be collected; dropping that root releases it. *)
 let test_detector_external_root () =
@@ -352,6 +374,8 @@ let () =
                 ~name:"faulty" ());
           Alcotest.test_case "keeps an externally rooted cycle" `Quick
             test_detector_external_root;
+          Alcotest.test_case "single commit under concurrent coordinators"
+            `Quick test_detector_single_commit;
           Alcotest.test_case "aborts under partition, reclaims after heal"
             `Quick test_detector_partition;
           QCheck_alcotest.to_alcotest prop_detector_vs_tracer;

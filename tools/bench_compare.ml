@@ -11,14 +11,15 @@
    are too close to scheduler jitter to be meaningful.
 
    [--ignore] takes a comma-separated list of experiment names to skip
-   entirely.  The default is "chaos,mc,recover,transport,par,cycles":
-   those experiments measure survival, schedule counts, recovery
-   replay, real-socket wall-clock, engine handoffs and detector
-   round-trip counts rather than CPU throughput — their times are
-   dominated by how much fault handling or exploration the seeds
-   provoke (or by kernel I/O scheduling, for transport) and are not a
-   meaningful regression signal.  Passing [--ignore] replaces the
-   default list. *)
+   entirely.  The default is "chaos,mc,recover,transport,par,cycles,
+   churn": those experiments measure survival, schedule counts,
+   recovery replay, real-socket wall-clock, engine handoffs, detector
+   round-trip counts and churn-phase pause samples rather than CPU
+   throughput — their times are dominated by how much fault handling
+   or exploration the seeds provoke (or by kernel I/O scheduling, for
+   transport; or by allocator behaviour at the 100k-handle scale, for
+   churn) and are not a meaningful regression signal.  Passing
+   [--ignore] replaces the default list. *)
 
 module Json = Netobj_obs.Json
 
@@ -58,7 +59,9 @@ let () =
      [--ignore NAMES]"
   in
   let threshold = ref 20.0 in
-  let ignored = ref [ "chaos"; "mc"; "recover"; "transport"; "par"; "cycles" ] in
+  let ignored =
+    ref [ "chaos"; "mc"; "recover"; "transport"; "par"; "cycles"; "churn" ]
+  in
   let files = ref [] in
   let rec parse = function
     | [] -> ()
