@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-json bench-compare chaos-smoke mc-smoke recover-smoke transport-smoke par-smoke cycles-smoke scale-smoke verify examples check clean doc
+.PHONY: all build test bench bench-json bench-compare chaos-smoke mc-smoke recover-smoke transport-smoke par-smoke cycles-smoke scale-smoke reliability-smoke verify examples check clean doc
 
 all: build
 
@@ -89,9 +89,22 @@ scale-smoke:
 par-smoke:
 	NETOBJ_DOMAINS_POOL=4 dune exec bin/netobj_sim.exe -- par --seed 7 --spaces 8 --domains 4 --calls 200
 
+# Call-reliability smoke: the deterministic narrative (retry after a
+# lost call, dedup after a lost reply, shedding under a herd, cancel
+# releasing reply pins), the model checker over the retry/dedup race —
+# the default config must exhaust clean and re-enabling the historical
+# retry-without-dedup bug must find the double execution — and a
+# seeded chaos run with call storms arming the plane.
+# test/cram/reliability.t pins the narrative under dune runtest.
+reliability-smoke:
+	dune exec bin/netobj_sim.exe -- reliability
+	dune exec bin/netobj_sim.exe -- mc --scenario call-retry
+	! dune exec bin/netobj_sim.exe -- mc --scenario call-retry-no-dedup
+	dune exec bin/netobj_sim.exe -- chaos --seed 3 --storms 2
+
 # The full local gate: build everything, run the test suite (unit,
-# property, cram), then the seven smoke targets.
-verify: build test chaos-smoke mc-smoke recover-smoke transport-smoke par-smoke cycles-smoke scale-smoke
+# property, cram), then the eight smoke targets.
+verify: build test chaos-smoke mc-smoke recover-smoke transport-smoke par-smoke cycles-smoke scale-smoke reliability-smoke
 
 examples:
 	dune exec examples/quickstart.exe

@@ -35,6 +35,11 @@
      E24 churn       churn at scale: aggregated leases over compact
                      tables — memory/handle, heartbeats/handle/s,
                      lease-tick cost vs table size, p99 pause
+     E25 reliability end-to-end call reliability: chained-call goodput
+                     under 10% loss with retries+dedup vs bare calls
+                     (at-most-once verified by a server-side execution
+                     counter), and overload shedding latency under a
+                     bounded inflight gate
 
    Run all:       dune exec bench/main.exe
    Run a subset:  dune exec bench/main.exe -- race family fifo *)
@@ -1736,6 +1741,171 @@ let e24_scale_churn () =
           small
   | _ -> assert false)
 
+(* ------------------------------------------------------------------ E25 *)
+
+let m_step = Stub.declare "step" P.int P.int
+
+(* End-to-end call reliability.  Part 1: chains of dependent calls (each
+   link feeds the next) over a 10% lossy edge, bare vs with the
+   reliability plane (retries + owner-side reply cache); the server's
+   own execution counter is the at-most-once witness — with dedup armed
+   it must never exceed the number of distinct calls the client issued,
+   no matter how many retransmits the loss forced.  Part 2: a 64-caller
+   herd against an owner whose method parks its serve fiber, with a
+   4-slot inflight gate; shed calls must be rejected in O(RTT) — the
+   gate runs before the target is even decoded — while admitted calls
+   keep a bounded p99. *)
+let e25_reliability () =
+  section "E25: call reliability — retries under loss, shedding under overload";
+  let module Mx = Netobj_obs.Metrics in
+  let chains = 40 and links = 10 in
+  let lookup_retry sp ~at name =
+    let rec go n =
+      match R.lookup sp ~at name with
+      | h -> h
+      | exception (R.Timeout _ | R.Remote_error _) when n < 20 -> go (n + 1)
+    in
+    go 0
+  in
+  let run_lossy ~retries =
+    let cfg =
+      R.config ~seed:25L
+        ~edge:{ (Net.bag_edge ~lo:0.01 ~hi:0.05 ()) with Net.loss = 0.10 }
+        ~call_timeout:0.2 ~call_retries:retries ~pin_timeout:30.0 ~nspaces:2
+        ()
+    in
+    let rt = R.create cfg in
+    let owner = R.space rt 0 in
+    let execs = ref 0 in
+    let obj =
+      R.allocate owner
+        ~meths:
+          [
+            Stub.implement m_step (fun _ n ->
+                incr execs;
+                n + 1);
+          ]
+    in
+    R.publish owner "step" obj;
+    let sp = R.space rt 1 in
+    let completed = ref 0 and distinct = ref 0 in
+    R.spawn rt (fun () ->
+        let h = lookup_retry sp ~at:0 "step" in
+        for _ = 1 to chains do
+          try
+            let v = ref 0 in
+            for _ = 1 to links do
+              incr distinct;
+              v := Stub.call sp h m_step !v
+            done;
+            incr completed
+          with R.Timeout _ | R.Remote_error _ -> ()
+        done;
+        R.release sp h);
+    ignore (R.run rt);
+    (* retries count at the client space, dedup hits at the owner *)
+    ( !completed,
+      !distinct,
+      !execs,
+      (R.call_stats sp).R.c_retried,
+      (R.call_stats owner).R.c_deduped )
+  in
+  let base_done, base_distinct, base_execs, _, _ = run_lossy ~retries:0 in
+  let rel_done, rel_distinct, rel_execs, retried, deduped =
+    run_lossy ~retries:3
+  in
+  row "%-22s %10s %10s %10s %10s@." "10% loss, 40 chains" "complete"
+    "calls" "execs" "dups";
+  row "%-22s %10d %10d %10d %10d@." "bare (no retries)" base_done
+    base_distinct base_execs
+    (max 0 (base_execs - base_distinct));
+  row "%-22s %10d %10d %10d %10d@." "retries=3 + dedup" rel_done rel_distinct
+    rel_execs
+    (max 0 (rel_execs - rel_distinct));
+  row "client retries=%d, owner deduped=%d@." retried deduped;
+  let gain = float_of_int rel_done /. float_of_int (max 1 base_done) in
+  row "goodput gain: %.1fx@." gain;
+  if gain < 5.0 then
+    Fmt.failwith "E25: goodput gain %.1fx below 5x (bare %d, reliable %d)"
+      gain base_done rel_done;
+  if rel_execs > rel_distinct then
+    Fmt.failwith "E25: duplicate executions: %d execs for %d distinct calls"
+      rel_execs rel_distinct;
+  if retried = 0 || deduped = 0 then
+    Fmt.failwith "E25: loss run exercised no retransmit (%d) or dedup (%d)"
+      retried deduped;
+  (* Part 2: overload shedding. *)
+  let cfg =
+    R.config ~seed:26L
+      ~edge:(Net.bag_edge ~lo:0.01 ~hi:0.02 ())
+      ~call_timeout:5.0 ~max_inflight:4 ~nspaces:2 ()
+  in
+  let rt = R.create cfg in
+  let owner = R.space rt 0 in
+  let sched = R.sched rt in
+  let obj =
+    R.allocate owner
+      ~meths:
+        [
+          Stub.implement m_step (fun _ n ->
+              Sched.sleep sched 0.05;
+              n + 1);
+        ]
+  in
+  R.publish owner "busy" obj;
+  let sp = R.space rt 1 in
+  let ok_lat = ref [] and shed_lat = ref [] in
+  R.spawn rt (fun () ->
+      let h = lookup_retry sp ~at:0 "busy" in
+      let herd = 64 in
+      let left = ref herd in
+      for _ = 1 to herd do
+        R.spawn rt (fun () ->
+            let t0 = Sched.now sched in
+            (match Stub.call sp h m_step 0 with
+            | _ -> ok_lat := (Sched.now sched -. t0) :: !ok_lat
+            | exception R.Remote_error _ ->
+                shed_lat := (Sched.now sched -. t0) :: !shed_lat
+            | exception R.Timeout _ -> ());
+            decr left;
+            if !left = 0 then R.release sp h)
+      done);
+  ignore (R.run rt);
+  let st = R.call_stats owner in
+  let p99 l =
+    let a = Array.of_list l in
+    Array.sort compare a;
+    if Array.length a = 0 then 0.0
+    else a.(min (Array.length a - 1) (Array.length a * 99 / 100))
+  in
+  let shed_p99 = p99 !shed_lat and ok_p99 = p99 !ok_lat in
+  row
+    "overload: herd=64 gate=4 — admitted=%d (p99 %.0fms) shed=%d (p99 \
+     %.0fms)@."
+    (List.length !ok_lat) (ok_p99 *. 1e3) st.R.c_shed (shed_p99 *. 1e3);
+  if st.R.c_shed = 0 then Fmt.failwith "E25: inflight gate never shed";
+  if List.length !shed_lat = 0 then
+    Fmt.failwith "E25: no caller observed a shed";
+  (* a shed is one round trip: the gate runs before the call is decoded *)
+  if shed_p99 > 0.1 then
+    Fmt.failwith "E25: shed rejection p99 %.3fs not O(RTT)" shed_p99;
+  if ok_p99 > 0.5 then
+    Fmt.failwith "E25: admitted p99 %.3fs unbounded under the gate" ok_p99;
+  Mx.set_gauge (Mx.gauge Mx.global "reliability.goodput_bare")
+    (float_of_int base_done);
+  Mx.set_gauge
+    (Mx.gauge Mx.global "reliability.goodput_retries")
+    (float_of_int rel_done);
+  Mx.set_gauge (Mx.gauge Mx.global "reliability.goodput_gain") gain;
+  Mx.set_gauge
+    (Mx.gauge Mx.global "reliability.duplicate_execs")
+    (float_of_int (max 0 (rel_execs - rel_distinct)));
+  Mx.set_gauge (Mx.gauge Mx.global "reliability.shed")
+    (float_of_int st.R.c_shed);
+  Mx.set_gauge (Mx.gauge Mx.global "reliability.shed_p99_ms") (shed_p99 *. 1e3);
+  Mx.set_gauge (Mx.gauge Mx.global "reliability.admitted_p99_ms")
+    (ok_p99 *. 1e3)
+
 (* ------------------------------------------------------------------ main *)
 
 let experiments =
@@ -1764,6 +1934,7 @@ let experiments =
     ("par", e22_par);
     ("cycles", e23_cycle_churn);
     ("churn", e24_scale_churn);
+    ("reliability", e25_reliability);
   ]
 
 (* --json PATH: machine-readable results.  Each experiment runs with the

@@ -347,7 +347,7 @@ let trace_cmd =
 module Chaos = Netobj_chaos.Chaos
 
 let chaos engine backend seed spaces duration objects events cycles partitions
-    crashes crash_recovers disk_faults loss_bursts dup_bursts spikes
+    crashes crash_recovers disk_faults loss_bursts dup_bursts spikes storms
     drain_limit backoff trace_out metrics_out =
   require_engine ~cmd:"chaos" ~allowed:[ Engine_sim_c ] engine;
   require_backend ~cmd:"chaos" ~allowed:[ Backend_sim ] backend;
@@ -370,6 +370,7 @@ let chaos engine backend seed spaces duration objects events cycles partitions
           loss_bursts;
           dup_bursts;
           spikes;
+          storms;
         };
       drain_limit;
       backoff;
@@ -443,6 +444,9 @@ let chaos_cmd =
       $ mix_arg "loss-bursts" 3 "Packet-loss bursts in the schedule."
       $ mix_arg "dup-bursts" 2 "Duplication bursts in the schedule."
       $ mix_arg "spikes" 2 "Latency spikes in the schedule."
+      $ mix_arg "storms" 0
+          "Call storms in the schedule (arms the reliability plane: \
+           inflight shedding plus retries)."
       $ drain_limit_arg $ backoff_arg $ trace_out_arg $ metrics_out_arg)
 
 (* --- recover ------------------------------------------------------------------- *)
@@ -839,6 +843,204 @@ let scale_cmd =
     Term.(
       const scale_run $ engine_arg $ backend_arg $ seed_arg $ trace_out_arg
       $ metrics_out_arg)
+
+(* --- reliability --------------------------------------------------------------- *)
+
+(* A deterministic narrative of the call-reliability plane: a lost call
+   is retransmitted and succeeds, a lost reply is retransmitted and hits
+   the owner's reply cache instead of re-executing (at-most-once), a
+   herd over the bounded inflight gate is shed with Busy and recovers
+   through backoff, and an abandoned call's Cancel releases the reply's
+   transient pin long before the pin timeout would. *)
+let reliability_run engine backend seed trace_out metrics_out =
+  require_engine ~cmd:"reliability" ~allowed:[ Engine_sim_c ] engine;
+  require_backend ~cmd:"reliability" ~allowed:[ Backend_sim ] backend;
+  with_obs ~trace_out ~metrics_out @@ fun () ->
+  let module Sched = Netobj_sched.Sched in
+  let module Transport = Netobj_transport.Transport in
+  let module Stub = Netobj_core.Stub in
+  let module P = Netobj_pickle.Pickle in
+  let m_echo = Stub.declare "echo" P.int P.int in
+  let m_slow = Stub.declare "slow" P.int P.int in
+  let m_mint = Stub.declare "mint" P.unit R.handle_codec in
+  let cfg =
+    R.config ~seed:(Int64.of_int seed) ~nspaces:2
+      ~edge:(Netobj_net.Net.bag_edge ~lo:0.005 ~hi:0.005 ())
+      ~call_timeout:0.05 ~call_retries:2 ~max_inflight:4 ~pin_timeout:30.0
+      ~gc_period:0.1 ~clean_retry:0.05 ~dirty_retry:0.05 ()
+  in
+  let rt = R.create cfg in
+  let sched = R.sched rt in
+  let tr = R.transport rt in
+  let failed = ref false in
+  let fail fmt =
+    Fmt.kpf (fun _ -> failed := true) Fmt.stdout ("FAIL: " ^^ fmt ^^ "@.")
+  in
+  let owner = R.space rt 0 and client = R.space rt 1 in
+  let execs = ref 0 in
+  let echo =
+    R.allocate owner
+      ~meths:
+        [
+          Stub.implement m_echo (fun _ n ->
+              incr execs;
+              n + 1);
+        ]
+  in
+  let slow =
+    R.allocate owner
+      ~meths:
+        [
+          Stub.implement m_slow (fun _ n ->
+              Sched.sleep sched 0.02;
+              n);
+        ]
+  in
+  let minted = ref None in
+  let mint =
+    R.allocate owner
+      ~meths:
+        [
+          Stub.implement m_mint (fun sp () ->
+              let h = R.allocate sp ~meths:[] in
+              minted := Some (R.wirerep h);
+              R.release sp h;
+              h);
+        ]
+  in
+  R.publish owner "echo" echo;
+  R.publish owner "slow" slow;
+  R.publish owner "mint" mint;
+  Fmt.pr
+    "built: 2 spaces, call_timeout=50ms retries=2 inflight gate=4 \
+     pin_timeout=30s@.";
+  let retried () = (R.call_stats client).R.c_retried in
+  let ost () = R.call_stats owner in
+  R.spawn rt ~name:"client" (fun () ->
+      let he = R.lookup client ~at:0 "echo" in
+      let hs = R.lookup client ~at:0 "slow" in
+      let hm = R.lookup client ~at:0 "mint" in
+      let r0 = retried () in
+      (* act 1: the first attempt's Call is swallowed by the network *)
+      Transport.set_burst tr ~src:1 ~dst:0 ~loss:1.0
+        ~until:(Sched.now sched +. 0.02)
+        ();
+      (match Stub.call client he m_echo 41 with
+      | v ->
+          Fmt.pr
+            "lost call: echo(41)=%d after %d retransmit(s), owner executed \
+             %d@."
+            v
+            (retried () - r0)
+            !execs
+      | exception e ->
+          fail "lost call: %s" (Printexc.to_string e));
+      if !execs <> 1 then fail "lost call: owner executed %d times" !execs;
+      (* act 2: the Reply is swallowed; the retransmit must hit the
+         owner's reply cache, not the method *)
+      let r1 = retried () and d1 = (ost ()).R.c_deduped in
+      Transport.set_burst tr ~src:0 ~dst:1 ~loss:1.0
+        ~until:(Sched.now sched +. 0.02)
+        ();
+      (match Stub.call client he m_echo 98 with
+      | v ->
+          Fmt.pr
+            "lost reply: echo(98)=%d after %d retransmit(s), deduped %d, \
+             owner executed %d (not re-executed)@."
+            v
+            (retried () - r1)
+            ((ost ()).R.c_deduped - d1)
+            !execs
+      | exception e ->
+          fail "lost reply: %s" (Printexc.to_string e));
+      if !execs <> 2 then
+        fail "lost reply: owner executed %d times (at-most-once broken)"
+          !execs;
+      (* act 3: a herd of 12 against the 4-slot gate; shed calls back
+         off and drain through in waves *)
+      let herd = 12 and done_ok = ref 0 and done_err = ref 0 in
+      let left = ref 12 in
+      for i = 1 to herd do
+        R.spawn rt
+          ~name:(Printf.sprintf "herd-%d" i)
+          (fun () ->
+            (match Stub.call client hs m_slow i with
+            | _ -> incr done_ok
+            | exception (R.Timeout _ | R.Remote_error _) -> incr done_err);
+            decr left)
+      done;
+      while !left > 0 do
+        Sched.sleep sched 0.05
+      done;
+      Fmt.pr "storm: herd=%d gate=4 — completed=%d failed=%d, owner shed %d \
+              Busy@."
+        herd !done_ok !done_err (ost ()).R.c_shed;
+      if (ost ()).R.c_shed = 0 then fail "storm: the gate never shed";
+      if !done_ok <> herd then
+        fail "storm: %d of %d herd calls failed" !done_err herd;
+      (* act 4: every Reply is lost; the caller exhausts its attempts,
+         abandons, and its Cancel must release the minted object's
+         reply pin instead of waiting out the 30s pin timeout *)
+      Transport.set_burst tr ~src:0 ~dst:1 ~loss:1.0
+        ~until:(Sched.now sched +. 1.0)
+        ();
+      (match Stub.call client hm m_mint () with
+      | _ -> fail "cancel: call succeeded with every reply lost"
+      | exception R.Timeout msg -> Fmt.pr "cancel: caller abandoned: %s@." msg);
+      Transport.set_burst tr ~src:0 ~dst:1 ~loss:0.0 ~until:(Sched.now sched) ();
+      R.release client he;
+      R.release client hs;
+      R.release client hm);
+  ignore (R.run ~until:5.0 rt);
+  (* drain: cleans + the cancelled call's released pin *)
+  let rounds = ref 8 in
+  let surrogates () =
+    List.fold_left (fun acc sp -> acc + R.surrogate_count sp) 0 (R.spaces rt)
+  in
+  while surrogates () > 0 && !rounds > 0 do
+    decr rounds;
+    R.collect_all rt;
+    ignore (R.run ~until:(Sched.now sched +. 2.0) rt)
+  done;
+  let t_drain = Sched.now sched in
+  (match !minted with
+  | None -> fail "cancel: the mint method never ran"
+  | Some wr ->
+      if R.resident owner wr then
+        fail "cancel: minted object still pinned at the owner"
+      else
+        Fmt.pr
+          "cancel: minted object reclaimed at t=%.2fs — the Cancel released \
+           the pin, not the 30s timeout@."
+          t_drain);
+  let st = ost () in
+  Fmt.pr "stats: client retried=%d; owner deduped=%d shed=%d cancelled=%d@."
+    (retried ()) st.R.c_deduped st.R.c_shed st.R.c_cancelled;
+  if st.R.c_cancelled = 0 then fail "owner never processed the Cancel";
+  if surrogates () > 0 then fail "%d surrogates failed to drain" (surrogates ());
+  (match R.check_consistency rt with
+  | [] -> ()
+  | ps -> List.iter (fun p -> fail "consistency: %s" p) ps);
+  (match R.check_safety rt with
+  | [] -> ()
+  | ps -> List.iter (fun p -> fail "safety: %s" p) ps);
+  Fmt.pr "drained: surrogates=0, consistency ok, safety ok@.";
+  Fmt.pr "result: %s@." (if !failed then "FAILED" else "SURVIVED");
+  if !failed then 1 else 0
+
+let reliability_cmd =
+  Cmd.v
+    (Cmd.info "reliability"
+       ~doc:
+         "Run a deterministic narrative of the call-reliability plane: a \
+          lost call is retransmitted, a lost reply hits the owner's reply \
+          cache instead of re-executing (at-most-once), a herd over the \
+          bounded inflight gate is shed with Busy and drains through \
+          backoff, and an abandoned call's Cancel releases the reply's \
+          transient pin immediately.  Exits 0 iff every step held.")
+    Term.(
+      const reliability_run $ engine_arg $ backend_arg $ seed_arg
+      $ trace_out_arg $ metrics_out_arg)
 
 (* --- serve / connect / transport-demo ----------------------------------------- *)
 
@@ -1516,8 +1718,9 @@ let scenario_arg =
     value & opt string "dgc2"
     & info [ "scenario" ] ~docv:"NAME"
         ~doc:
-          "Scenario: dgc2, dgc3, lookup, recover, dgc-cycle \
-           (dgc-cycle-broken enables the skip-confirm detector bug).")
+          "Scenario: dgc2, dgc3, lookup, recover, dgc-cycle, call-retry \
+           (dgc-cycle-broken enables the skip-confirm detector bug; \
+           call-retry-no-dedup disables the at-most-once reply cache).")
 
 let mode_arg =
   Arg.(
@@ -1603,6 +1806,7 @@ let () =
             recover_cmd;
             cycles_cmd;
             scale_cmd;
+            reliability_cmd;
             serve_cmd;
             connect_cmd;
             transport_demo_cmd;

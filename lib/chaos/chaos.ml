@@ -22,6 +22,7 @@ type fault =
   | Loss_burst of { src : int; dst : int; loss : float; duration : float }
   | Dup_burst of { src : int; dst : int; dup : float; duration : float }
   | Latency_spike of { src : int; dst : int; factor : float; duration : float }
+  | Call_storm of { victim : int; callers : int; duration : float }
 
 type event = { at : float; fault : fault }
 
@@ -45,6 +46,8 @@ let pp_fault ppf = function
       Fmt.pf ppf "dup %d->%d p=%.2f for %.2fs" src dst dup duration
   | Latency_spike { src; dst; factor; duration } ->
       Fmt.pf ppf "spike %d->%d x%.1f for %.2fs" src dst factor duration
+  | Call_storm { victim; callers; duration } ->
+      Fmt.pf ppf "storm ->%d callers=%d for %.2fs" victim callers duration
 
 let pp_event ppf e = Fmt.pf ppf "@%.2f %a" e.at pp_fault e.fault
 
@@ -114,6 +117,14 @@ let fault_to_json = function
           ("factor", Json.Float factor);
           ("duration", Json.Float duration);
         ]
+  | Call_storm { victim; callers; duration } ->
+      Json.Obj
+        [
+          ("kind", Json.Str "call_storm");
+          ("victim", Json.Int victim);
+          ("callers", Json.Int callers);
+          ("duration", Json.Float duration);
+        ]
 
 let event_to_json ev =
   Json.Obj [ ("at", Json.Float ev.at); ("fault", fault_to_json ev.fault) ]
@@ -173,6 +184,11 @@ let events_of_json j =
         let* factor = num "factor" o in
         let* duration = num "duration" o in
         Ok (Latency_spike { src; dst; factor; duration })
+    | Some (Json.Str "call_storm") ->
+        let* victim = int "victim" o in
+        let* callers = int "callers" o in
+        let* duration = num "duration" o in
+        Ok (Call_storm { victim; callers; duration })
     | _ -> Error "unknown fault kind"
   in
   let rec go acc = function
@@ -196,6 +212,7 @@ type mix = {
   loss_bursts : int;
   dup_bursts : int;
   spikes : int;
+  storms : int;
 }
 
 let default_mix =
@@ -207,6 +224,7 @@ let default_mix =
     loss_bursts = 3;
     dup_bursts = 2;
     spikes = 2;
+    storms = 0;
   }
 
 (* The default mix with recovery faults in: crash+recover replaces one
@@ -221,6 +239,7 @@ let recovery_mix =
     loss_bursts = 2;
     dup_bursts = 1;
     spikes = 1;
+    storms = 0;
   }
 
 (* The runtime configuration the harness hardens against faults.  The
@@ -230,14 +249,15 @@ let recovery_mix =
    legitimately evict it, so the schedule generator keeps each pair's
    fault windows shorter than that and separated by a cooldown. *)
 let runtime_config ?(backoff = 2.0) ?(backoff_cap = 2.0)
-    ?(backoff_jitter = 0.2) ?(durable = false) ?cycle_period ~seed ~spaces () =
+    ?(backoff_jitter = 0.2) ?(durable = false) ?cycle_period ?call_retries
+    ?max_inflight ~seed ~spaces () =
   R.config ~seed
     ~edge:(Net.bag_edge ~lo:0.01 ~hi:0.05 ())
     ~gc_period:0.4 ~ping_period:0.5 ~lease_misses:3 ~lease_grace:2.0
     ~call_timeout:3.0 ~dirty_timeout:3.0 ~clean_retry:0.3 ~dirty_retry:0.3
     ~backoff ~backoff_cap ~backoff_jitter ~pin_timeout:12.0 ~durable
     ~fsync_delay:0.02 ~snapshot_period:5.0 ~recover_grace:2.0 ?cycle_period
-    ~nspaces:spaces ()
+    ?call_retries ?max_inflight ~nspaces:spaces ()
 
 let max_fault_duration = 2.5
 
@@ -257,6 +277,7 @@ let random_schedule ~seed ~spaces ~duration mix =
            them draw the same shuffled bag as before. *)
         List.init mix.crash_recovers (fun _ -> `R);
         List.init mix.disk_faults (fun _ -> `F);
+        List.init mix.storms (fun _ -> `O);
       ]
   in
   let bag = Array.of_list bag in
@@ -373,7 +394,15 @@ let random_schedule ~seed ~spaces ~duration mix =
           let src, dst = directed (Rng.pick rng all_pairs) in
           let factor = 2.0 +. (Rng.float rng *. 6.0) in
           events :=
-            { at; fault = Latency_spike { src; dst; factor; duration = d } } :: !events)
+            { at; fault = Latency_spike { src; dst; factor; duration = d } } :: !events
+      | `O ->
+          (* A storm threatens nobody's reachability — the victim stays
+             up, just busy shedding — so no pair/space claims. *)
+          let victim = Rng.int rng spaces in
+          let callers = 8 + Rng.int rng 25 in
+          events :=
+            { at; fault = Call_storm { victim; callers; duration = d } }
+            :: !events)
     bag;
   List.sort (fun e1 e2 -> compare e1.at e2.at) !events
 
@@ -468,6 +497,7 @@ type ctx = {
   tr : Transport.t;
   sched : Sched.t;
   cfg : cfg;
+  storms_armed : bool;
   stop : bool ref;
   mutable mutators_done : int;
   mutable ops_ok : int;
@@ -528,6 +558,22 @@ let counter_name s i = Printf.sprintf "c%d.%d" s i
 
 let factory_name s = Printf.sprintf "f%d" s
 
+(* The storm target: a method that holds its serve fiber for a while, so
+   a herd of concurrent callers genuinely overlaps at the owner and the
+   inflight admission gate has something to shed.  An instant method
+   would finish each serve before the next delivery fiber runs and never
+   overlap. *)
+let m_slow = Stub.declare "slow" P.int P.int
+
+let slow_meths sched () =
+  [
+    Stub.implement m_slow (fun _ n ->
+        Sched.sleep sched 0.05;
+        n);
+  ]
+
+let slow_name s = Printf.sprintf "slow%d" s
+
 (* --- cycle workload ----------------------------------------------------------- *)
 
 (* Nodes are linkable objects for the cycle-churn workload: [set_peer]
@@ -587,6 +633,17 @@ let setup ctx =
     R.publish sp (factory_name s)
       (R.allocate ~tag:"chaos-factory" sp ~meths:(factory_meths ()))
   done;
+  (* Storm targets are strictly additive: without storms in the mix (or
+     a scripted schedule) nothing extra is published and legacy seeds
+     replay byte-identically. *)
+  if ctx.storms_armed then begin
+    R.register_factory ctx.rt "chaos-slow" (slow_meths ctx.sched);
+    for s = 0 to ctx.cfg.spaces - 1 do
+      let sp = R.space ctx.rt s in
+      R.publish sp (slow_name s)
+        (R.allocate ~tag:"chaos-slow" sp ~meths:(slow_meths ctx.sched ()))
+    done
+  end;
   (* The cycle workload is strictly additive: with [cycles = 0] no node
      factory exists, no cycler runs and no extra rng is drawn, so legacy
      seeds replay byte-identically. *)
@@ -696,6 +753,43 @@ let apply_fault ctx ev =
       Transport.set_latency_spike ctx.tr ~src ~dst ~factor
         ~until:(Sched.now sched +. duration);
       bump ctx "latency_spikes"
+  | Call_storm { victim; callers; duration } ->
+      (* Overload, not connectivity: a herd of short-lived callers hammers
+         one of the victim's published counters in a tight loop, driving
+         its inflight gate into [Busy] shedding while the ordinary
+         mutators keep running.  Callers originate round-robin at the
+         other spaces, tolerate every failure, and release what they
+         looked up when the window closes. *)
+      if not (Transport.is_crashed ctx.tr victim) then begin
+        bump ctx "storms";
+        let until = Sched.now sched +. duration in
+        for i = 0 to callers - 1 do
+          let s =
+            (victim + 1 + (i mod (ctx.cfg.spaces - 1))) mod ctx.cfg.spaces
+          in
+          R.spawn ctx.rt
+            ~name:(Printf.sprintf "storm-%d-%d" victim i)
+            (fun () ->
+              let sp = R.space ctx.rt s in
+              if not (Transport.is_crashed ctx.tr s) then
+                match R.lookup sp ~at:victim (slow_name victim) with
+                | h ->
+                    let rec hammer () =
+                      if
+                        (not !(ctx.stop))
+                        && Sched.now sched < until
+                        && not (Transport.is_crashed ctx.tr s)
+                      then begin
+                        (try ignore (Stub.call sp h m_slow 1) with
+                        | R.Timeout _ | R.Remote_error _ -> ());
+                        hammer ()
+                      end
+                    in
+                    hammer ();
+                    (try R.release sp h with _ -> ())
+                | exception (R.Timeout _ | R.Remote_error _) -> ())
+        done
+      end
 
 let nemesis ctx schedule () =
   List.iter
@@ -728,13 +822,26 @@ let remove_holder it s =
       in
       o.o_holders <- rm o.o_holders
 
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
 (* Classify a failed operation on a held reference.  Timeouts are always
-   legitimate (crash, partition, loss).  A [Remote_error] is legitimate
+   legitimate (crash, partition, loss).  An overload shed ([Busy] after
+   retry exhaustion) says nothing about the object's existence — the
+   owner rejected the call before even decoding the target — so it
+   counts with the timeouts.  Any other [Remote_error] is legitimate
    only if one of the incarnations involved moved: if both the caller and
    the owner are up and in the same epochs as when the reference was
    acquired, the object cannot have disappeared — that is the safety
    property under test. *)
 let classify_error ctx s it msg =
+  if contains_sub msg "shed by busy owner" then begin
+    ctx.ops_timeout <- ctx.ops_timeout + 1;
+    bump ctx "sheds"
+  end
+  else begin
   ctx.ops_error <- ctx.ops_error + 1;
   bump ctx "ops_error";
   match it with
@@ -753,6 +860,7 @@ let classify_error ctx s it msg =
           "space %d: held object %d.%d vanished with owner %d alive (epoch \
            %d): %s"
           s wr.Wirerep.space wr.Wirerep.index it.iowner it.imint msg
+  end
 
 let mutator ctx s ops () =
   let sp = R.space ctx.rt s in
@@ -1079,10 +1187,27 @@ let run ?schedule cfg =
             | _ -> false)
           s
   in
+  (* With storms in play the run arms the call-reliability plane — a
+     bounded inflight gate small enough for a herd to saturate, and
+     retries so the shed mutator traffic recovers.  Strictly additive:
+     at [storms = 0] the config is identical to builds without the
+     storm fault and legacy seeds replay byte-identically. *)
+  let storms_armed =
+    cfg.mix.storms > 0
+    ||
+    match schedule with
+    | None -> false
+    | Some s ->
+        List.exists
+          (fun ev -> match ev.fault with Call_storm _ -> true | _ -> false)
+          s
+  in
   let rcfg =
     runtime_config ~backoff:cfg.backoff ~backoff_cap:cfg.backoff_cap
       ~backoff_jitter:cfg.backoff_jitter ~durable
       ?cycle_period:(if cfg.cycles > 0 then Some 0.7 else None)
+      ?call_retries:(if storms_armed then Some 2 else None)
+      ?max_inflight:(if storms_armed then Some 8 else None)
       ~seed:cfg.seed ~spaces:cfg.spaces ()
   in
   let rt = R.create rcfg in
@@ -1092,6 +1217,7 @@ let run ?schedule cfg =
       tr = R.transport rt;
       sched = R.sched rt;
       cfg;
+      storms_armed;
       stop = ref false;
       mutators_done = 0;
       ops_ok = 0;
@@ -1201,6 +1327,8 @@ let run ?schedule cfg =
         "loss_bursts";
         "dup_bursts";
         "latency_spikes";
+        "storms";
+        "sheds";
         "cycles";
       ]
   in

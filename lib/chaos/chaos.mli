@@ -69,6 +69,16 @@ type fault =
   | Loss_burst of { src : int; dst : int; loss : float; duration : float }
   | Dup_burst of { src : int; dst : int; dup : float; duration : float }
   | Latency_spike of { src : int; dst : int; factor : float; duration : float }
+  | Call_storm of { victim : int; callers : int; duration : float }
+      (** overload, not connectivity: [callers] extra fibers hammer one
+          of the victim's published counters in a tight loop for
+          [duration], driving its inflight admission gate
+          ([max_inflight]) into [Busy] shedding while the ordinary
+          mutators keep running.  When a run's mix or scripted schedule
+          contains storms the harness arms the call-reliability plane
+          (bounded inflight gate, retries); shed operations count under
+          the ["sheds"] fault key and are never safety violations —
+          the owner rejects them before decoding the target *)
 
 type event = { at : float; fault : fault }
 
@@ -96,6 +106,7 @@ type mix = {
   loss_bursts : int;
   dup_bursts : int;
   spikes : int;
+  storms : int;  (** call storms; nonzero arms the reliability plane *)
 }
 
 val default_mix : mix

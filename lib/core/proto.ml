@@ -53,6 +53,10 @@ type envelope =
       target : Wirerep.t;
       meth : string;
       args : string;
+      deadline : float;
+          (** remaining budget in seconds at send time; [0.] = none.
+              Relative rather than absolute so it stays meaningful
+              between processes with independent clocks. *)
     }
   | Reply of {
       call_id : int;
@@ -80,6 +84,19 @@ type envelope =
       reports : (Wirerep.t * cycle_report) list;
     }
   | Cycle_commit of { wrs : Wirerep.t list }
+  (* Call-reliability plane (deadlines / at-most-once retries /
+     cancellation / overload shedding): *)
+  | Cancel of { call_id : int; msg_id : msg_id }
+      (** caller abandoned call [call_id] (timeout, deadline, fiber
+          death); [msg_id] is the original call message, so the callee
+          can drop its reply state and release the reply's transient
+          pins immediately instead of waiting for the pin timeout *)
+  | Busy of { call_id : int }
+      (** owner shed the call at the admission gate — retryable after
+          backoff; nothing was decoded or executed *)
+  | Expired of { call_id : int }
+      (** the call's deadline budget ran out server-side before the
+          method body ran — not retryable; nothing was executed *)
 
 let codec =
   P.sum "envelope"
@@ -87,12 +104,13 @@ let codec =
       P.case 0 "call"
         (P.quad P.int msg_id_codec
            (P.pair P.bool Wirerep.codec)
-           (P.pair P.string P.string))
-        (fun (call_id, msg_id, (needs_ack, target), (meth, args)) ->
-          Call { call_id; msg_id; needs_ack; target; meth; args })
+           (P.triple P.string P.string P.float))
+        (fun (call_id, msg_id, (needs_ack, target), (meth, args, deadline)) ->
+          Call { call_id; msg_id; needs_ack; target; meth; args; deadline })
         (function
-          | Call { call_id; msg_id; needs_ack; target; meth; args } ->
-              Some (call_id, msg_id, (needs_ack, target), (meth, args))
+          | Call { call_id; msg_id; needs_ack; target; meth; args; deadline }
+            ->
+              Some (call_id, msg_id, (needs_ack, target), (meth, args, deadline))
           | _ -> None);
       P.case 1 "reply"
         (P.quad P.int msg_id_codec
@@ -167,6 +185,17 @@ let codec =
       P.case 16 "cycle_commit" (P.list Wirerep.codec)
         (fun wrs -> Cycle_commit { wrs })
         (function Cycle_commit { wrs } -> Some wrs | _ -> None);
+      P.case 17 "cancel"
+        (P.pair P.int msg_id_codec)
+        (fun (call_id, msg_id) -> Cancel { call_id; msg_id })
+        (function
+          | Cancel { call_id; msg_id } -> Some (call_id, msg_id) | _ -> None);
+      P.case 18 "busy" P.int
+        (fun call_id -> Busy { call_id })
+        (function Busy { call_id } -> Some call_id | _ -> None);
+      P.case 19 "expired" P.int
+        (fun call_id -> Expired { call_id })
+        (function Expired { call_id } -> Some call_id | _ -> None);
     ]
 
 (* Every envelope travels wrapped in a packet stamped with the sender's
@@ -208,10 +237,14 @@ let kind = function
   | Cycle_probe _ -> "cycle_probe"
   | Cycle_reply _ -> "cycle_reply"
   | Cycle_commit _ -> "cycle_commit"
+  | Cancel _ -> "cancel"
+  | Busy _ -> "busy"
+  | Expired _ -> "expired"
 
 let pp ppf = function
-  | Call { call_id; target; meth; _ } ->
-      Fmt.pf ppf "call#%d %a.%s" call_id Wirerep.pp target meth
+  | Call { call_id; target; meth; deadline; _ } ->
+      Fmt.pf ppf "call#%d %a.%s" call_id Wirerep.pp target meth;
+      if deadline > 0. then Fmt.pf ppf " dl=%.3fs" deadline
   | Reply { call_id; result; _ } ->
       Fmt.pf ppf "reply#%d %s" call_id
         (match result with Ok _ -> "ok" | Error e -> "error: " ^ e)
@@ -240,3 +273,7 @@ let pp ppf = function
         Fmt.(list ~sep:sp (pair ~sep:(any "=") Wirerep.pp pp_cycle_report))
         reports
   | Cycle_commit { wrs } -> Fmt.pf ppf "cycle_commit(%d)" (List.length wrs)
+  | Cancel { call_id; msg_id } ->
+      Fmt.pf ppf "cancel#%d %a" call_id pp_msg_id msg_id
+  | Busy { call_id } -> Fmt.pf ppf "busy#%d" call_id
+  | Expired { call_id } -> Fmt.pf ppf "expired#%d" call_id

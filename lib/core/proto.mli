@@ -49,6 +49,14 @@ type envelope =
       target : Wirerep.t;
       meth : string;
       args : string;  (** pickled under the caller's marshal context *)
+      deadline : float;
+          (** remaining deadline budget in seconds at send time; [0.]
+              means none.  Carried as a relative duration, not an
+              absolute time, so it stays meaningful between processes
+              with independent clocks; the callee clamps its own remote
+              work (nested calls) to this budget and rejects the call
+              with {!Expired} if the budget runs out before the method
+              body runs *)
     }
   | Reply of {
       call_id : int;
@@ -100,6 +108,23 @@ type envelope =
       (** fire-and-forget: reclaim these confirmed-garbage concretes.
           The owner rechecks locally before acting, so a stale commit
           (late, duplicated, or crossing an epoch bump) is harmless *)
+  | Cancel of { call_id : int; msg_id : msg_id }
+      (** the caller abandoned call [call_id] (attempt timeout with no
+          retries left, deadline exhausted).  [msg_id] identifies the
+          original call message.  The callee drops any reply-cache
+          entry, suppresses an in-flight execution's reply, and
+          releases the reply's transient pins immediately instead of
+          waiting for the pin timeout.  Fire-and-forget and idempotent:
+          a late or duplicated cancel finds nothing to do *)
+  | Busy of { call_id : int }
+      (** the owner shed the call at its inflight admission gate
+          ([max_inflight]) without decoding or executing anything.
+          Callers treat it as retryable-with-backoff *)
+  | Expired of { call_id : int }
+      (** the call's deadline budget ran out at the callee before the
+          method body ran (e.g. while awaiting the arguments' dirty
+          registrations); nothing was executed and the caller must not
+          retry *)
 
 val codec : envelope Netobj_pickle.Pickle.t
 

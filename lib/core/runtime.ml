@@ -59,6 +59,21 @@ let m_cycle_collected =
 
 let h_recover_us = Metrics.histogram Metrics.global "runtime.recover_us"
 
+(* Call reliability plane (deadlines / at-most-once retries /
+   cancellation / shedding).  Counter names are part of the public
+   observability surface — see the "Call semantics" section of the
+   README. *)
+let m_call_retried = Metrics.counter Metrics.global "calls.retried"
+
+let m_call_deduped = Metrics.counter Metrics.global "calls.deduped"
+
+let m_call_shed = Metrics.counter Metrics.global "calls.shed"
+
+let m_call_cancelled = Metrics.counter Metrics.global "calls.cancelled"
+
+let m_deadline_expired =
+  Metrics.counter Metrics.global "deadline.expired_server_side"
+
 (* Track the global dirty-entry population as a delta at each mutation
    site; meaningful for runs where observability was enabled throughout
    (Obs.enable zeroes the gauge). *)
@@ -97,6 +112,14 @@ let () =
 
 type handle = { wr : Wirerep.t }
 
+(* Remaining-deadline propagation: the fiber-local binding holds the
+   absolute instant (virtual clock) past which this fiber's call chain
+   must stop doing remote work.  A serve fiber is given the incoming
+   call's budget here, so any nested or third-party call the method
+   body makes clamps to it without threading an argument through every
+   signature. *)
+let deadline_key : float Sched.Fls.key = Sched.Fls.key ()
+
 type config = {
   nspaces : int;
   seed : int64;
@@ -106,6 +129,9 @@ type config = {
   ping_period : float option;
   lease_misses : int;
   call_timeout : float option;
+  call_retries : int;
+  deadline : float option;
+  max_inflight : int option;
   dirty_timeout : float option;
   clean_retry : float option;
   dirty_retry : float option;
@@ -119,6 +145,7 @@ type config = {
   coalesce : bool;
   bug_lookup_leak : bool;
   bug_ping_ack_replay : bool;
+  bug_no_dedup : bool;
   durable : bool;
   fsync_delay : float;
   snapshot_period : float option;
@@ -132,15 +159,26 @@ type config = {
 }
 
 let config ?(seed = 1L) ?(policy = Sched.Fifo) ?(edge = Net.bag_edge ())
-    ?gc_period ?ping_period ?(lease_misses = 3) ?call_timeout ?dirty_timeout
+    ?gc_period ?ping_period ?(lease_misses = 3) ?call_timeout
+    ?(call_retries = 0) ?deadline ?max_inflight ?dirty_timeout
     ?clean_retry ?dirty_retry ?(backoff = 1.0) ?(backoff_cap = infinity)
     ?(backoff_jitter = 0.0) ?(lease_grace = 0.0) ?pin_timeout ?clean_batch
     ?(piggyback_acks = false) ?(coalesce = false) ?(bug_lookup_leak = false)
-    ?(bug_ping_ack_replay = false) ?(durable = false) ?(fsync_delay = 0.02)
+    ?(bug_ping_ack_replay = false) ?(bug_no_dedup = false)
+    ?(durable = false) ?(fsync_delay = 0.02)
     ?snapshot_period
     ?(recover_grace = 2.0) ?cycle_period ?(cycle_age = 0.75)
     ?(bug_skip_confirm = false) ?transport ?engine ?(domains = 4) ~nspaces () =
   if backoff < 1.0 then invalid_arg "Runtime.config: backoff must be >= 1";
+  if call_retries < 0 then
+    invalid_arg "Runtime.config: call_retries must be >= 0";
+  (match deadline with
+  | Some d when d <= 0.0 ->
+      invalid_arg "Runtime.config: deadline must be > 0"
+  | Some _ | None -> ());
+  (match max_inflight with
+  | Some n when n < 1 -> invalid_arg "Runtime.config: max_inflight must be >= 1"
+  | Some _ | None -> ());
   if backoff_jitter < 0.0 || backoff_jitter >= 1.0 then
     invalid_arg "Runtime.config: backoff_jitter must be in [0, 1)";
   if fsync_delay < 0.0 then
@@ -158,6 +196,9 @@ let config ?(seed = 1L) ?(policy = Sched.Fifo) ?(edge = Net.bag_edge ())
     ping_period;
     lease_misses;
     call_timeout;
+    call_retries;
+    deadline;
+    max_inflight;
     dirty_timeout;
     clean_retry;
     dirty_retry;
@@ -171,6 +212,7 @@ let config ?(seed = 1L) ?(policy = Sched.Fifo) ?(edge = Net.bag_edge ())
     coalesce;
     bug_lookup_leak;
     bug_ping_ack_replay;
+    bug_no_dedup;
     durable;
     fsync_delay;
     snapshot_period;
@@ -211,6 +253,41 @@ let config_nspaces cfg = cfg.nspaces
 
 let config_seed cfg = cfg.seed
 
+(* Cross-knob sanity checks that are advisory rather than hard errors.
+   The central one makes explicit the constraint [encode_with_pins]
+   states in prose: the conservative transient-pin timeout must exceed
+   any window during which the copy_ack may legitimately still be in
+   flight — one-way latency plus the whole call timeout/retry schedule —
+   or a merely-late ack races the release. *)
+let config_warnings (cfg : config) =
+  let warnings = ref [] in
+  (match (cfg.pin_timeout, cfg.call_timeout) with
+  | Some pt, Some ct ->
+      let lat =
+        match cfg.edge.Net.latency with
+        | Net.Constant d -> d
+        | Net.Uniform (_, hi) -> hi
+      in
+      (* Upper bound of the in-flight window: every attempt's timeout
+         (jitter at its worst) summed over the retry schedule. *)
+      let window = ref 0.0 in
+      for k = 0 to cfg.call_retries do
+        let d =
+          Float.min (ct *. (cfg.backoff ** float_of_int k)) cfg.backoff_cap
+        in
+        window := !window +. (d *. (1.0 +. (cfg.backoff_jitter /. 2.0)))
+      done;
+      if pt <= lat +. !window then
+        warnings :=
+          Printf.sprintf
+            "pin_timeout %.3fs does not exceed the in-flight window \
+             (latency %.3fs + call timeout/retry window %.3fs): a \
+             merely-late copy_ack can race the conservative pin release"
+            pt lat !window
+          :: !warnings
+  | (Some _ | None), _ -> ());
+  List.rev !warnings
+
 type gc_stats = {
   dirty_calls : int;
   clean_calls : int;
@@ -223,6 +300,42 @@ type gc_stats = {
 }
 
 type cycle_stats = { trials : int; aborts : int; collected : int }
+
+type call_stats = {
+  c_retried : int;  (* client side: attempts beyond the first *)
+  c_deduped : int;  (* owner side: retransmissions answered from state *)
+  c_shed : int;  (* owner side: calls rejected at the admission gate *)
+  c_cancelled : int;  (* owner side: calls settled by a [Cancel] *)
+  c_expired : int;  (* owner side: deadline ran out before the body *)
+  c_executed : int;  (* owner side: method bodies actually run *)
+}
+
+(* One remote call's settlement, as observed by the caller's parked
+   fiber: the reply itself, or one of the explicit rejections the
+   reliability plane introduces. *)
+type call_outcome =
+  | O_reply of Proto.msg_id * bool * (string, string) result
+  | O_busy  (* shed at the owner's admission gate: retryable *)
+  | O_expired  (* rejected server-side: deadline budget exhausted *)
+
+(* Owner-side at-most-once state for one client.  A settled call keeps
+   its full reply envelope so a retransmission is answered by replaying
+   the identical message (same reply msg_id — the client's duplicate
+   copy_acks are idempotent) instead of re-executing the method.
+   Bounded FIFO: beyond [reply_cache_cap] settled calls the oldest
+   entry is dropped — by then the caller's retry window is long over.
+   Soft state, dropped wholesale with the client's lease aggregate. *)
+type reply_cache = {
+  rc_replies : (int, Proto.envelope) Hashtbl.t;  (* call_id -> Reply *)
+  rc_order : int Queue.t;  (* insertion order, for FIFO eviction *)
+}
+
+let reply_cache_cap = 128
+
+(* A call currently executing at the owner; [if_cancelled] set by an
+   incoming [Cancel] makes the eventual completion release its pins
+   and swallow the reply. *)
+type inflight = { mutable if_cancelled : bool }
 
 (* Surrogate life cycle, mirroring the formal rec_T states:
    absent = ⊥, Creating = nil, Usable = OK, Cleaning with [resurrect =
@@ -279,9 +392,7 @@ and space = {
   (* outgoing messages whose embedded references are transiently pinned
      until the receiver's copy_ack *)
   tdirty : (Proto.msg_id, Wirerep.t list) Hashtbl.t;
-  pending_calls :
-    (int, (Proto.msg_id * bool * (string, string) result) Sched.Ivar.var)
-    Hashtbl.t;
+  pending_calls : (int, call_outcome Sched.Ivar.var) Hashtbl.t;
   clean_mb : Wirerep.t Sched.Mailbox.mb;
   seqno : Itbl.t;  (* Wirerep.key -> client-side dirty/clean sequence number *)
   bindings : (string, Wirerep.t) Hashtbl.t;  (* agent name table *)
@@ -324,6 +435,19 @@ and space = {
   mutable s_epoch_rejected : int;
   mutable s_retries : int;
   mutable s_stale_acks : int;
+  (* --- call reliability plane (soft state, armed only when any of
+     call_retries / deadline / max_inflight is configured; with none
+     set, none of this is ever touched and the call path is
+     byte-identical to the classic one) --- *)
+  reply_cache : (int, reply_cache) Hashtbl.t;  (* client -> its cache *)
+  inflight : (int * int, inflight) Hashtbl.t;  (* (client, call_id) *)
+  mutable inflight_count : int;
+  mutable s_call_retried : int;
+  mutable s_call_deduped : int;
+  mutable s_call_shed : int;
+  mutable s_call_cancelled : int;
+  mutable s_call_expired : int;
+  mutable s_call_executed : int;
   (* --- cycle detector (soft state: never persisted, rebuilt at will) ---
      [touch] is the per-wireRep mutation counter the confirm phase
      compares: bumped on every root/pin/dirty/table change, never reset
@@ -364,6 +488,17 @@ let ssched sp = sp.shard.Engine.s_sched
 let stransport sp = sp.shard.Engine.s_transport
 
 let sretry_rng sp = sp.rt.retry_rngs.(sp.shard.Engine.s_id)
+
+(* Any of the plane's knobs arms it; default configurations keep the
+   classic wire behaviour exactly (no cancel traffic, no reply caching,
+   no admission bookkeeping) so pinned traces stay stable. *)
+let reliability_on sp =
+  let c = sp.rt.config in
+  c.call_retries > 0 || c.deadline <> None || c.max_inflight <> None
+
+let count_call_retry sp =
+  sp.s_call_retried <- sp.s_call_retried + 1;
+  if Obs.on () then Metrics.incr m_call_retried
 
 (* --- marshal contexts ---------------------------------------------------
 
@@ -1102,7 +1237,31 @@ let find_concrete sp wr =
      little longer — safe);
    - elision: calls flagged [needs_ack:false] carried no references and
      are not acknowledged at all. *)
-let serve_call sp ~src ~call_id ~msg_id ~needs_ack ~target ~meth_name ~args =
+(* Record a settled call in [client]'s bounded reply cache. *)
+let cache_reply sp ~client ~call_id env =
+  let rc =
+    match Hashtbl.find_opt sp.reply_cache client with
+    | Some rc -> rc
+    | None ->
+        let rc =
+          { rc_replies = Hashtbl.create 16; rc_order = Queue.create () }
+        in
+        Hashtbl.add sp.reply_cache client rc;
+        rc
+  in
+  if not (Hashtbl.mem rc.rc_replies call_id) then begin
+    Hashtbl.replace rc.rc_replies call_id env;
+    Queue.push call_id rc.rc_order;
+    (* FIFO eviction; ids already removed by a cancel leave stale queue
+       entries behind, skipped here because removing them is a no-op. *)
+    while Hashtbl.length rc.rc_replies > reply_cache_cap do
+      Hashtbl.remove rc.rc_replies (Queue.pop rc.rc_order)
+    done
+  end
+
+let serve_call sp ~src ~call_id ~msg_id ~needs_ack ~target ~meth_name ~args
+    ~deadline =
+  let ron = reliability_on sp in
   let piggyback = sp.rt.config.piggyback_acks in
   (* immediate, standalone acknowledgement (base mode) *)
   let ack_now () =
@@ -1118,52 +1277,142 @@ let serve_call sp ~src ~call_id ~msg_id ~needs_ack ~target ~meth_name ~args =
     end
   in
   let piggy_ack = if needs_ack && piggyback then Some msg_id else None in
-  let reply result =
-    let rmsg_id, rneeds_ack, payload_or_err =
-      match result with
-      | Ok fill ->
-          let id, has_refs, s = encode_with_pins sp fill in
-          (id, has_refs, Ok s)
-      | Error e -> (fresh_msg_id sp, false, Error e)
-    in
-    send_env sp ~dst:src
-      (Proto.Reply
-         {
-           call_id;
-           msg_id = rmsg_id;
-           needs_ack = rneeds_ack;
-           ack = piggy_ack;
-           result = payload_or_err;
-         })
+  (* At-most-once: a retransmission of a settled call replays the cached
+     reply verbatim (and re-acks the copy — the original ack may have
+     been lost along with the reply); one of a still-executing call is
+     dropped outright, its reply already owed. *)
+  let cached =
+    (* [bug_no_dedup] reintroduces retry-without-at-most-once — every
+       retransmission re-executes — as a known-bug target for the model
+       checker's call-retry scenario.  Never set it outside that. *)
+    if (not ron) || sp.rt.config.bug_no_dedup then None
+    else
+      match Hashtbl.find_opt sp.reply_cache src with
+      | None -> None
+      | Some rc -> Hashtbl.find_opt rc.rc_replies call_id
   in
-  match find_concrete sp target with
-  | None ->
+  match cached with
+  | Some env ->
+      sp.s_call_deduped <- sp.s_call_deduped + 1;
+      if Obs.on () then Metrics.incr m_call_deduped;
       ack_now ();
-      reply (Error (Fmt.str "no such object %a" Wirerep.pp target))
-  | Some c -> (
-      match
-        let m = lookup_meth c meth_name in
-        decode_with_acquire sp args (fun r -> m.m_run sp r)
-      with
-      | exception e ->
-          ack_now ();
-          reply (Error (Printexc.to_string e))
-      | compute, acquired, pending -> (
-          match await_registrations sp pending with
-          | exception e ->
-              List.iter (unpin sp) acquired;
-              ack_now ();
-              reply (Error (Printexc.to_string e))
-          | () -> (
-              ack_now ();
-              (* Phase 2: run the implementation (it may itself block). *)
-              match compute () with
-              | fill ->
-                  reply (Ok fill);
-                  List.iter (unpin sp) acquired
-              | exception e ->
-                  reply (Error (Printexc.to_string e));
-                  List.iter (unpin sp) acquired)))
+      send_env sp ~dst:src env
+  | None
+    when ron
+         && (not sp.rt.config.bug_no_dedup)
+         && Hashtbl.mem sp.inflight (src, call_id) ->
+      sp.s_call_deduped <- sp.s_call_deduped + 1;
+      if Obs.on () then Metrics.incr m_call_deduped
+  | None -> (
+      match sp.rt.config.max_inflight with
+      | Some cap when sp.inflight_count >= cap ->
+          (* O(1) shed: nothing decoded, nothing pinned, no state. *)
+          sp.s_call_shed <- sp.s_call_shed + 1;
+          if Obs.on () then Metrics.incr m_call_shed;
+          send_env sp ~dst:src (Proto.Busy { call_id })
+      | Some _ | None ->
+          let sched = ssched sp in
+          let ic = { if_cancelled = false } in
+          if ron then begin
+            Hashtbl.replace sp.inflight (src, call_id) ic;
+            sp.inflight_count <- sp.inflight_count + 1
+          end;
+          (* The serve fiber inherits the call's remaining budget:
+             nested and third-party calls made by the method body clamp
+             to it through the fiber-local binding. *)
+          let until =
+            if deadline > 0. then Some (Sched.now sched +. deadline) else None
+          in
+          Sched.Fls.set sched deadline_key until;
+          let reply result =
+            let rmsg_id, rneeds_ack, payload_or_err =
+              match result with
+              | Ok fill ->
+                  let id, has_refs, s = encode_with_pins sp fill in
+                  (id, has_refs, Ok s)
+              | Error e -> (fresh_msg_id sp, false, Error e)
+            in
+            let env =
+              Proto.Reply
+                {
+                  call_id;
+                  msg_id = rmsg_id;
+                  needs_ack = rneeds_ack;
+                  ack = piggy_ack;
+                  result = payload_or_err;
+                }
+            in
+            if ic.if_cancelled then begin
+              (* The caller abandoned this call: swallow the reply and
+                 release its transient pins now, not at [pin_timeout]. *)
+              if rneeds_ack then release_pins_for sp rmsg_id;
+              sp.s_call_cancelled <- sp.s_call_cancelled + 1;
+              if Obs.on () then Metrics.incr m_call_cancelled
+            end
+            else begin
+              if ron then cache_reply sp ~client:src ~call_id env;
+              send_env sp ~dst:src env
+            end
+          in
+          let serve () =
+            match find_concrete sp target with
+            | None ->
+                ack_now ();
+                reply (Error (Fmt.str "no such object %a" Wirerep.pp target))
+            | Some c -> (
+                match
+                  let m = lookup_meth c meth_name in
+                  decode_with_acquire sp args (fun r -> m.m_run sp r)
+                with
+                | exception e ->
+                    ack_now ();
+                    reply (Error (Printexc.to_string e))
+                | compute, acquired, pending -> (
+                    match await_registrations sp pending with
+                    | exception e ->
+                        List.iter (unpin sp) acquired;
+                        ack_now ();
+                        reply (Error (Printexc.to_string e))
+                    | () -> (
+                        ack_now ();
+                        match until with
+                        | Some u when Sched.now sched > u ->
+                            (* The budget ran out while the arguments'
+                               registrations were in flight: reject
+                               without burning the method body. *)
+                            List.iter (unpin sp) acquired;
+                            sp.s_call_expired <- sp.s_call_expired + 1;
+                            if Obs.on () then Metrics.incr m_deadline_expired;
+                            send_env sp ~dst:src (Proto.Expired { call_id })
+                        | Some _ | None -> (
+                            sp.s_call_executed <- sp.s_call_executed + 1;
+                            (* Phase 2: run the implementation (it may
+                               itself block). *)
+                            match compute () with
+                            | fill ->
+                                reply (Ok fill);
+                                List.iter (unpin sp) acquired
+                            | exception e ->
+                                reply (Error (Printexc.to_string e));
+                                List.iter (unpin sp) acquired))))
+          in
+          if ron then begin
+            let gen = sp.epoch in
+            Fun.protect serve ~finally:(fun () ->
+                (* Epoch guard: a restart mid-serve resets the admission
+                   state; this completion must not debit the new
+                   incarnation's gate.  The identity check keeps a
+                   clobbered table entry (double execution under
+                   [bug_no_dedup]) owned by its live serve. *)
+                if sp.epoch = gen then begin
+                  sp.inflight_count <- sp.inflight_count - 1;
+                  match Hashtbl.find_opt sp.inflight (src, call_id) with
+                  | Some ic' when ic' == ic ->
+                      Hashtbl.remove sp.inflight (src, call_id)
+                  | Some _ | None -> ()
+                end)
+          end
+          else serve ())
 
 let handle_dirty sp ~src ~wr ~seq =
   match find_concrete sp wr with
@@ -1251,14 +1500,40 @@ let handle_clean_ack sp ~wr =
       | Creating _ | Usable _ -> () (* stale ack *))
   | Some (Concrete _) | None -> ()
 
+let settle_call sp ~call_id outcome =
+  match Hashtbl.find_opt sp.pending_calls call_id with
+  | None -> () (* timed out and forgotten, or a stale earlier attempt *)
+  | Some iv ->
+      Hashtbl.remove sp.pending_calls call_id;
+      Sched.Ivar.fill iv outcome
+
 let handle_reply sp ~call_id ~msg_id ~needs_ack ~ack ~result =
   (* A piggybacked ack releases the call's transient pins right away. *)
   (match ack with Some id -> release_pins_for sp id | None -> ());
-  match Hashtbl.find_opt sp.pending_calls call_id with
-  | None -> () (* timed out and forgotten *)
-  | Some iv ->
-      Hashtbl.remove sp.pending_calls call_id;
-      Sched.Ivar.fill iv (msg_id, needs_ack, result)
+  settle_call sp ~call_id (O_reply (msg_id, needs_ack, result))
+
+(* The caller abandoned [call_id]: drop its cached reply (releasing the
+   reply's transient pins) or flag the still-executing instance so its
+   completion swallows the reply.  Idempotent; a late or duplicated
+   cancel finds nothing to do. *)
+let handle_cancel sp ~src ~call_id ~msg_id:_ =
+  if reliability_on sp then begin
+    (match Hashtbl.find_opt sp.reply_cache src with
+    | None -> ()
+    | Some rc -> (
+        match Hashtbl.find_opt rc.rc_replies call_id with
+        | Some (Proto.Reply { msg_id = rmsg; needs_ack; _ }) ->
+            Hashtbl.remove rc.rc_replies call_id;
+            if needs_ack then release_pins_for sp rmsg;
+            sp.s_call_cancelled <- sp.s_call_cancelled + 1;
+            if Obs.on () then Metrics.incr m_call_cancelled
+        | Some _ | None -> ()));
+    match Hashtbl.find_opt sp.inflight (src, call_id) with
+    | Some ic ->
+        (* counted when the suppressed completion actually happens *)
+        ic.if_cancelled <- true
+    | None -> ()
+  end
 
 (* An ack renews the lease only if it answers a ping this incarnation
    actually has outstanding: the epoch must match and the nonce must lie
@@ -1615,14 +1890,15 @@ let handle_cycle_commit sp ~wrs =
 let handle_envelope sp ~src env =
   if not sp.crashed then
     match env with
-    | Proto.Call { call_id; msg_id; needs_ack; target; meth; args } ->
+    | Proto.Call { call_id; msg_id; needs_ack; target; meth; args; deadline }
+      ->
         let obs_id = obs_call_span_id ~client:src call_id in
         if Obs.on () then
           Trace.async_begin (Obs.trace ()) ~cat:"rpc" ~space:sp.id ~id:obs_id
             ~args:[ ("meth", Trace.S meth); ("client", Trace.I src) ]
             "serve";
         serve_call sp ~src ~call_id ~msg_id ~needs_ack ~target
-          ~meth_name:meth ~args;
+          ~meth_name:meth ~args ~deadline;
         if Obs.on () then
           Trace.async_end (Obs.trace ()) ~cat:"rpc" ~space:sp.id ~id:obs_id
             "serve"
@@ -1653,6 +1929,9 @@ let handle_envelope sp ~src env =
     | Proto.Cycle_reply { probe_id; epoch; reports } ->
         handle_cycle_reply sp ~probe_id ~epoch ~reports
     | Proto.Cycle_commit { wrs } -> handle_cycle_commit sp ~wrs
+    | Proto.Cancel { call_id; msg_id } -> handle_cancel sp ~src ~call_id ~msg_id
+    | Proto.Busy { call_id } -> settle_call sp ~call_id O_busy
+    | Proto.Expired { call_id } -> settle_call sp ~call_id O_expired
 
 (* O(clients), not O(table): the lease aggregates are exactly the set
    of clients with a nonempty dirty footprint here.  The result is
@@ -1668,6 +1947,10 @@ let clients_with_surrogates sp =
 (* O(entries held by [client]): walk its lease aggregate rather than
    the whole object table. *)
 let evict_client sp client =
+  (* The at-most-once reply cache shares the lease aggregate's fate: a
+     client evicted here is presumed dead, and its retransmissions —
+     should it return — arrive under a fresh epoch anyway. *)
+  Hashtbl.remove sp.reply_cache client;
   let removed = ref 0 in
   (match Hashtbl.find_opt sp.lease client with
   | None -> ()
@@ -2190,34 +2473,166 @@ let invoke_raw sp h ~meth:meth_name ~encode ~decode =
                ])
           "call"
       end;
-      let iv = Sched.Ivar.create () in
-      Hashtbl.add sp.pending_calls call_id iv;
+      let cfg = sp.rt.config in
+      let sched = ssched sp in
+      let owner = h.wr.Wirerep.space in
+      (* Effective deadline: the tighter of the budget inherited from
+         the call this fiber is itself serving (fiber-local binding set
+         by [serve_call]) and this space's configured per-call
+         deadline. *)
+      let until =
+        let inherited = Sched.Fls.get sched deadline_key in
+        let configured =
+          match cfg.deadline with
+          | Some d -> Some (Sched.now sched +. d)
+          | None -> None
+        in
+        match (inherited, configured) with
+        | Some a, Some b -> Some (Float.min a b)
+        | (Some _ as s), None | None, (Some _ as s) -> s
+        | None, None -> None
+      in
+      let t0 = Sched.now sched in
+      let retries = cfg.call_retries in
+      let timeout_exn ~attempts ~server_side =
+        let elapsed = Sched.now sched -. t0 in
+        Timeout
+          (Printf.sprintf
+             "call %s: %s after %d attempt%s, %.3fs elapsed (timeout %s, \
+              deadline %s)"
+             meth_name
+             (if server_side then "deadline expired at owner" else "no reply")
+             attempts
+             (if attempts = 1 then "" else "s")
+             elapsed
+             (match cfg.call_timeout with
+             | Some d -> Printf.sprintf "%.3fs" d
+             | None -> "none")
+             (match until with
+             | Some u -> Printf.sprintf "%.3fs" (u -. t0)
+             | None -> "none"))
+      in
       let msg_id, has_refs, args = encode_with_pins sp encode in
-      send_env sp ~dst:h.wr.Wirerep.space
-        (Proto.Call
-           {
-             call_id;
-             msg_id;
-             needs_ack = has_refs;
-             target = h.wr;
-             meth = meth_name;
-             args;
-           });
-      let rmsg_id, rneeds_ack, result =
-        match sp.rt.config.call_timeout with
-        | None -> Sched.Ivar.read iv
-        | Some dt -> (
-            match Sched.read_timeout (ssched sp) iv ~timeout:dt with
-            | Some r -> r
-            | None ->
-                Hashtbl.remove sp.pending_calls call_id;
+      let send_attempt () =
+        (* The envelope carries the remaining budget as a relative
+           duration (meaningful between processes with independent
+           clocks); 0. means no deadline. *)
+        let budget =
+          match until with
+          | Some u -> Float.max 1e-9 (u -. Sched.now sched)
+          | None -> 0.
+        in
+        send_env sp ~dst:owner
+          (Proto.Call
+             {
+               call_id;
+               msg_id;
+               needs_ack = has_refs;
+               target = h.wr;
+               meth = meth_name;
+               args;
+               deadline = budget;
+             })
+      in
+      let abandon ~attempts ~server_side =
+        Hashtbl.remove sp.pending_calls call_id;
+        (* Tell the owner to settle the abandoned call: drop its cached
+           reply or suppress the in-flight one, releasing the reply's
+           transient pins now rather than at [pin_timeout].  Only when
+           the plane is armed — the classic configuration must stay
+           byte-identical on the wire. *)
+        if reliability_on sp && attempts > 0 then
+          send_env sp ~dst:owner (Proto.Cancel { call_id; msg_id });
+        if Obs.on () then
+          Trace.async_end (Obs.trace ()) ~cat:"rpc" ~space:sp.id ~id:obs_id
+            ~args:[ ("timeout", Trace.I 1) ]
+            "call";
+        raise (timeout_exn ~attempts ~server_side)
+      in
+      let budget_left () =
+        match until with Some u -> Sched.now sched < u | None -> true
+      in
+      let rec attempt k =
+        if not (budget_left ()) then abandon ~attempts:k ~server_side:false
+        else begin
+          (* Fresh ivar per attempt; a straggling settlement for a
+             removed ivar is dropped by [settle_call].  Retransmissions
+             reuse the call_id, msg_id and encoded args — the owner's
+             dedup keys on them. *)
+          let iv = Sched.Ivar.create () in
+          Hashtbl.replace sp.pending_calls call_id iv;
+          send_attempt ();
+          let dt =
+            let per_attempt =
+              match cfg.call_timeout with
+              | None -> None
+              | Some b ->
+                  (* Attempt [k]'s window doubles as the retransmission
+                     timer, following the capped/jittered backoff
+                     schedule.  With retries off it is exactly the
+                     classic [call_timeout] — and draws no jitter, so
+                     runs that never retry replay unperturbed. *)
+                  Some
+                    (if retries = 0 then b
+                     else retry_delay sp ~attempt:k ~base:b)
+            in
+            match (per_attempt, until) with
+            | None, None -> None
+            | Some d, None -> Some d
+            | None, Some u -> Some (u -. Sched.now sched)
+            | Some d, Some u -> Some (Float.min d (u -. Sched.now sched))
+          in
+          let outcome =
+            match dt with
+            | None -> Some (Sched.Ivar.read iv)
+            | Some d when d <= 0. -> None
+            | Some d -> Sched.read_timeout sched iv ~timeout:d
+          in
+          match outcome with
+          | Some (O_reply (rmsg_id, rneeds_ack, result)) ->
+              (rmsg_id, rneeds_ack, result)
+          | Some O_expired ->
+              (* Server-side rejection: the budget is gone, retrying
+                 cannot help. *)
+              abandon ~attempts:(k + 1) ~server_side:true
+          | Some O_busy ->
+              Hashtbl.remove sp.pending_calls call_id;
+              if k < retries && budget_left () then begin
+                (* Retryable-with-backoff: wait out the owner's burst
+                   before the next attempt. *)
+                count_call_retry sp;
+                let base = Option.value cfg.call_timeout ~default:0.01 in
+                let pause =
+                  let d = retry_delay sp ~attempt:k ~base in
+                  match until with
+                  | Some u -> Float.min d (u -. Sched.now sched)
+                  | None -> d
+                in
+                if pause > 0. then Sched.sleep sched pause;
+                attempt (k + 1)
+              end
+              else begin
                 if Obs.on () then
                   Trace.async_end (Obs.trace ()) ~cat:"rpc" ~space:sp.id
                     ~id:obs_id
-                    ~args:[ ("timeout", Trace.I 1) ]
+                    ~args:[ ("busy", Trace.I 1) ]
                     "call";
-                raise (Timeout (Printf.sprintf "call %s" meth_name)))
+                raise
+                  (Remote_error
+                     (Printf.sprintf
+                        "call %s: shed by busy owner %d (%d attempt%s)"
+                        meth_name owner (k + 1)
+                        (if k = 0 then "" else "s")))
+              end
+          | None ->
+              if k < retries && budget_left () then begin
+                count_call_retry sp;
+                attempt (k + 1)
+              end
+              else abandon ~attempts:(k + 1) ~server_side:false
+        end
       in
+      let rmsg_id, rneeds_ack, result = attempt 0 in
       if Obs.on () then
         Trace.async_end (Obs.trace ()) ~cat:"rpc" ~space:sp.id ~id:obs_id
           ~args:
@@ -2557,6 +2972,15 @@ let make_space rt id =
     s_epoch_rejected = 0;
     s_retries = 0;
     s_stale_acks = 0;
+    reply_cache = Hashtbl.create 8;
+    inflight = Hashtbl.create 16;
+    inflight_count = 0;
+    s_call_retried = 0;
+    s_call_deduped = 0;
+    s_call_shed = 0;
+    s_call_cancelled = 0;
+    s_call_expired = 0;
+    s_call_executed = 0;
     touch = Itbl.create ~size:64 ();
     cycle_suspect_since = Wirerep.Tbl.create 16;
     pending_cycles = Hashtbl.create 8;
@@ -2650,7 +3074,8 @@ let restart rt i =
     (fun _ iv ->
       if not (Sched.Ivar.is_filled iv) then
         Sched.Ivar.fill iv
-          ({ Proto.origin = sp.id; seq = 0 }, false, Error "space restarted"))
+          (O_reply
+             ({ Proto.origin = sp.id; seq = 0 }, false, Error "space restarted")))
     sp.pending_calls;
   Wirerep.Tbl.iter
     (fun _ entry ->
@@ -2673,6 +3098,9 @@ let restart rt i =
   Itbl.reset sp.pins;
   Hashtbl.reset sp.tdirty;
   Hashtbl.reset sp.pending_calls;
+  Hashtbl.reset sp.reply_cache;
+  Hashtbl.reset sp.inflight;
+  sp.inflight_count <- 0;
   Itbl.reset sp.seqno;
   Hashtbl.reset sp.bindings;
   Hashtbl.reset sp.lease;
@@ -2915,7 +3343,8 @@ let recover rt i =
     (fun _ iv ->
       if not (Sched.Ivar.is_filled iv) then
         Sched.Ivar.fill iv
-          ({ Proto.origin = sp.id; seq = 0 }, false, Error "space recovering"))
+          (O_reply
+             ({ Proto.origin = sp.id; seq = 0 }, false, Error "space recovering")))
     sp.pending_calls;
   Wirerep.Tbl.iter
     (fun _ entry ->
@@ -2941,6 +3370,9 @@ let recover rt i =
   Itbl.reset sp.pins;
   Hashtbl.reset sp.tdirty;
   Hashtbl.reset sp.pending_calls;
+  Hashtbl.reset sp.reply_cache;
+  Hashtbl.reset sp.inflight;
+  sp.inflight_count <- 0;
   Itbl.reset sp.seqno;
   Hashtbl.reset sp.bindings;
   Hashtbl.reset sp.lease;
@@ -3156,6 +3588,16 @@ let cycle_stats sp =
     collected = sp.s_cycle_collected;
   }
 
+let call_stats sp =
+  {
+    c_retried = sp.s_call_retried;
+    c_deduped = sp.s_call_deduped;
+    c_shed = sp.s_call_shed;
+    c_cancelled = sp.s_call_cancelled;
+    c_expired = sp.s_call_expired;
+    c_executed = sp.s_call_executed;
+  }
+
 let epoch sp = sp.epoch
 
 let cont sp = sp.cont
@@ -3269,6 +3711,9 @@ let check_consistency rt =
         if Hashtbl.length sp.pending_calls > 0 then
           report "space %d: %d calls still pending at quiescence" sp.id
             (Hashtbl.length sp.pending_calls);
+        if sp.inflight_count > 0 || Hashtbl.length sp.inflight > 0 then
+          report "space %d: %d calls still executing at quiescence" sp.id
+            (Hashtbl.length sp.inflight);
         List.iter (fun s -> problems := s :: !problems) (lease_check sp);
         Wirerep.Tbl.iter
           (fun wr entry ->
@@ -3435,10 +3880,14 @@ let state_fingerprint rt =
       in
       counts "r" sp.roots;
       counts "p" sp.pins;
-      add "td%d pc%d mb%d b%d|" (Hashtbl.length sp.tdirty)
+      add "td%d pc%d mb%d b%d if%d rc%d|" (Hashtbl.length sp.tdirty)
         (Hashtbl.length sp.pending_calls)
         (Sched.Mailbox.length sp.clean_mb)
-        (Hashtbl.length sp.bindings))
+        (Hashtbl.length sp.bindings)
+        (Hashtbl.length sp.inflight)
+        (Hashtbl.fold
+           (fun _ rc acc -> acc + Hashtbl.length rc.rc_replies)
+           sp.reply_cache 0))
     rt.space_arr;
   add "~%d" (Sched.pending_fingerprint (sched rt));
   Hashtbl.hash (Buffer.contents buf)

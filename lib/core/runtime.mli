@@ -58,6 +58,23 @@ type config
       creation; [clean_retry] re-sends unacknowledged clean calls and
       [dirty_retry] does the same for unacknowledged dirty calls (both
       idempotent thanks to sequence numbers);
+    - [call_retries] (default 0) arms automatic retransmission of
+      remote calls: each attempt's [call_timeout] window doubles as the
+      retransmission timer (growing with the [backoff] schedule below),
+      and owners keep a bounded per-client reply cache so a
+      retransmitted call replays the recorded reply instead of
+      re-executing — at-most-once execution under retries;
+    - [deadline] bounds every call end-to-end: the remaining budget
+      travels in the call envelope, nested and third-party calls made
+      while serving clamp to it, and an owner whose budget runs out
+      before the method body runs rejects with an explicit expiry
+      instead of burning work (surfaced as {!Timeout} at the caller);
+    - [max_inflight] bounds concurrently executing calls per space: an
+      owner at the gate sheds new calls O(1) with an explicit busy
+      reply, which callers treat as retryable-with-backoff.  Setting
+      any of these three also makes an abandoning caller send a cancel
+      so the owner releases the reply's transient pins immediately;
+      see {!call_stats} and [README § Call semantics];
     - [backoff] (≥ 1, default 1 = fixed interval) grows each retry
       interval geometrically, capped at [backoff_cap] seconds, and
       [backoff_jitter] (in [\[0,1)]) scales each delay by a random factor
@@ -85,6 +102,11 @@ type config
       (acks matched neither nonce nor epoch, so a duplicated or delayed
       ack kept renewing a partitioned client's lease) as a regression
       target.  Never set it outside those tests;
+    - [bug_no_dedup] disables the at-most-once reply cache while
+      leaving retries armed — every retransmission re-executes the
+      method, the exact bug the cache exists to prevent — as a
+      known-bug target for the model checker's call-retry scenario.
+      Never set it outside that scenario;
     - [durable] attaches a {!Netobj_store.Store} to every space: each
       logs its GC-relevant transitions (exports, dirty-set changes,
       roots, leases) write-ahead, making {!recover} available after a
@@ -122,6 +144,9 @@ val config :
   ?ping_period:float ->
   ?lease_misses:int ->
   ?call_timeout:float ->
+  ?call_retries:int ->
+  ?deadline:float ->
+  ?max_inflight:int ->
   ?dirty_timeout:float ->
   ?clean_retry:float ->
   ?dirty_retry:float ->
@@ -135,6 +160,7 @@ val config :
   ?coalesce:bool ->
   ?bug_lookup_leak:bool ->
   ?bug_ping_ack_replay:bool ->
+  ?bug_no_dedup:bool ->
   ?durable:bool ->
   ?fsync_delay:float ->
   ?snapshot_period:float ->
@@ -178,6 +204,14 @@ val with_coalesce : config -> bool -> config
 val config_nspaces : config -> int
 
 val config_seed : config -> int64
+
+(** Advisory cross-knob sanity checks, as human-readable warnings.
+    Today's single check makes the transient-pin constraint explicit:
+    [pin_timeout] must exceed one-way latency plus the whole
+    [call_timeout]/retry window, or a merely-late copy_ack races the
+    conservative pin release.  Empty when nothing is suspect (or the
+    relevant knobs are unset). *)
+val config_warnings : config -> string list
 
 val create : config -> t
 
@@ -474,6 +508,26 @@ val lease_check : space -> string list
 type cycle_stats = { trials : int; aborts : int; collected : int }
 
 val cycle_stats : space -> cycle_stats
+
+(** Call-reliability counters for this space.  Client side: [c_retried]
+    attempts beyond each call's first.  Owner side: [c_deduped]
+    retransmissions answered from the reply cache (or dropped against a
+    still-executing call) instead of re-executed, [c_shed] calls
+    rejected O(1) at the [max_inflight] admission gate, [c_cancelled]
+    calls settled by a caller's cancel, [c_expired] calls whose
+    deadline ran out before the method body, and [c_executed] method
+    bodies actually run — the at-most-once witness: under retries,
+    [c_executed] never exceeds the number of distinct calls sent. *)
+type call_stats = {
+  c_retried : int;
+  c_deduped : int;
+  c_shed : int;
+  c_cancelled : int;
+  c_expired : int;
+  c_executed : int;
+}
+
+val call_stats : space -> call_stats
 
 (** Cross-validation against the formal specification: on a {e quiescent}
     system (no messages in flight, no fibers mid-call) check the runtime

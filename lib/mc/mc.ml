@@ -380,6 +380,11 @@ let apply_fault rt (fault : Chaos.fault) =
       Net.set_burst net ~src ~dst ~dup ~until:(now +. duration) ()
   | Chaos.Latency_spike { src; dst; factor; duration } ->
       Net.set_latency_spike net ~src ~dst ~factor ~until:(now +. duration)
+  | Chaos.Call_storm _ ->
+      (* A storm is extra workload, not an environment fault; under mc
+         the workload is the scenario itself, so a scripted storm in a
+         replayed chaos schedule has nothing to drive here. *)
+      ()
 
 let setup x cfg nemesis =
   let chooser ~kind labels =
@@ -711,7 +716,68 @@ let scenario_cycle ~broken () =
     sc_run = run;
   }
 
-let scenario_names = [ "dgc2"; "dgc3"; "lookup"; "recover"; "dgc-cycle" ]
+let scenario_call_retry ~bug () =
+  (* The retransmit-vs-reply race of at-most-once delivery.  As in the
+     lookup scenario, call_timeout sits between the slot-0 and slot-1
+     reply arrival times, so a delivery-slot choice decides whether the
+     client's first attempt sees its reply or times out and retransmits
+     — with retries armed, the same call_id goes back on the wire while
+     the original reply (and the owner's completed execution) may still
+     be in flight.  The owner's reply cache must recognise the
+     retransmit and replay the cached reply; with [bug]
+     ([R.config ~bug_no_dedup:true]) the cache and the in-flight drop
+     are disabled and the retransmit re-executes the non-idempotent
+     increment, which the end-of-run oracle reports as a double
+     execution with a replayable schedule. *)
+  let run x =
+    let cfg =
+      R.config ~nspaces:2 ~edge:(controlled_edge ()) ~call_timeout:0.012
+        ~pin_timeout:3.0 ~call_retries:1 ~bug_no_dedup:bug ()
+    in
+    let rt = setup x cfg [] in
+    let sp0 = R.space rt 0 and sp1 = R.space rt 1 in
+    let count = ref 0 in
+    let counter =
+      R.allocate sp0
+        ~meths:
+          [
+            R.meth "incr" (fun _sp _r () ->
+                incr count;
+                fun _w -> ());
+          ]
+    in
+    R.publish sp0 "counter" counter;
+    R.spawn rt ~name:"client-1" (fun () ->
+        match R.lookup sp1 ~at:0 "counter" with
+        | h ->
+            (try
+               R.invoke_raw sp1 h ~meth:"incr"
+                 ~encode:(fun _ -> ())
+                 ~decode:(fun _ -> ())
+             with R.Timeout _ | R.Remote_error _ -> ());
+            R.release sp1 h
+        | exception (R.Timeout _ | R.Remote_error _) -> ());
+    drain rt;
+    let dups =
+      if !count <= 1 then []
+      else
+        [
+          Printf.sprintf
+            "double execution: non-idempotent incr ran %d times for one call"
+            !count;
+        ]
+    in
+    dups @ drain_problems rt
+  in
+  {
+    sc_name = (if bug then "call-retry-no-dedup" else "call-retry");
+    sc_spaces = 2;
+    sc_nemesis = [];
+    sc_run = run;
+  }
+
+let scenario_names =
+  [ "dgc2"; "dgc3"; "lookup"; "recover"; "dgc-cycle"; "call-retry" ]
 
 let find_scenario name ~leak =
   match name with
@@ -721,6 +787,8 @@ let find_scenario name ~leak =
   | "recover" -> Some (scenario_recover ())
   | "dgc-cycle" -> Some (scenario_cycle ~broken:false ())
   | "dgc-cycle-broken" -> Some (scenario_cycle ~broken:true ())
+  | "call-retry" -> Some (scenario_call_retry ~bug:false ())
+  | "call-retry-no-dedup" -> Some (scenario_call_retry ~bug:true ())
   | _ -> None
 
 (* ------------------------------------------------------------------ *)

@@ -187,11 +187,25 @@ val scenario_recover : unit -> scenario
     drain oracle ends clean. *)
 val scenario_cycle : broken:bool -> unit -> scenario
 
+(** Two spaces, a call timeout wedged between the slot-0 and slot-1
+    reply arrival times, and automatic retries armed
+    ({!Runtime.config}[ ~call_retries:1]): on schedules where the reply
+    is slot-delayed the client retransmits the same [call_id] while the
+    original reply — and the owner's completed execution — is still in
+    flight.  The owner's reply cache must replay rather than re-execute.
+    With [bug] ({!Runtime.config}[ ~bug_no_dedup:true], scenario name
+    ["call-retry-no-dedup"]) dedup is disabled and the retransmit runs
+    the non-idempotent increment again; the end-of-run oracle reports
+    the double execution with a replayable schedule.  With dedup intact
+    the same schedules stay at-most-once. *)
+val scenario_call_retry : bug:bool -> unit -> scenario
+
 (** Names accepted by {!find_scenario}. *)
 val scenario_names : string list
 
 (** [find_scenario name ~leak] — [leak] only affects ["lookup"];
-    ["dgc-cycle-broken"] selects {!scenario_cycle}[ ~broken:true]. *)
+    ["dgc-cycle-broken"] selects {!scenario_cycle}[ ~broken:true];
+    ["call-retry-no-dedup"] selects {!scenario_call_retry}[ ~bug:true]. *)
 val find_scenario : string -> leak:bool -> scenario option
 
 (** {1 Running} *)

@@ -98,7 +98,17 @@ end
    block in {!pending_fingerprint} (the protocol state can be identical
    while the continuations differ), without polluting the label shown at
    choice points. *)
-type task = { label : string; phase : int; thunk : unit -> unit }
+(* Fiber-local storage: one binding list per fiber, created at [spawn],
+   carried across every resumption of that fiber, and dropped with it.
+   The runtime uses it to propagate per-call context (the deadline
+   budget of the call a fiber is serving) through the blocking extent of
+   a method body without threading it through every signature.  Values
+   are embedded in [exn] — the standard universal type without [Obj]. *)
+type fls_binding = { f_uid : int; f_val : exn }
+
+type fls = fls_binding list ref
+
+type task = { label : string; phase : int; fls : fls; thunk : unit -> unit }
 
 type t = {
   mutable ready : task list;  (* reversed enqueue order *)
@@ -116,9 +126,14 @@ type t = {
       (* label of the fiber being executed; names [sleep] timers so
          pending-work fingerprints and timer choice points identify the
          sleeper instead of an anonymous "sleep" *)
+  root_fls : fls;
+      (* the store seen outside any fiber (timer callbacks, main): always
+         empty in practice, but keeps [cur_fls] total *)
+  mutable cur_fls : fls;
 }
 
 let create ?(policy = Fifo) () =
+  let root_fls = ref [] in
   {
     ready = [];
     ready_front = [];
@@ -130,10 +145,13 @@ let create ?(policy = Fifo) () =
     policy;
     choices = 0;
     current = "main";
+    root_fls;
+    cur_fls = root_fls;
   }
 
-let enqueue t ?(phase = 0) label thunk =
-  t.ready <- { label; phase; thunk } :: t.ready
+let enqueue t ?(phase = 0) ?fls label thunk =
+  let fls = match fls with Some f -> f | None -> ref [] in
+  t.ready <- { label; phase; fls; thunk } :: t.ready
 
 let ready_count t = List.length t.ready + List.length t.ready_front
 
@@ -217,7 +235,7 @@ let obs_fiber event name =
       ~args:[ ("fiber", Trace.S name) ]
       event
 
-let exec t name f =
+let exec t ~fls name f =
   let resumes = ref 0 in
   match_with f ()
     {
@@ -240,7 +258,7 @@ let exec t name f =
                   register (fun () ->
                       obs_fiber "resume" name;
                       incr resumes;
-                      enqueue t ~phase:!resumes name (fun () ->
+                      enqueue t ~phase:!resumes ~fls name (fun () ->
                           continue k ())))
           | _ -> None);
     }
@@ -248,7 +266,8 @@ let exec t name f =
 let spawn t ?(name = "fiber") f =
   t.alive <- t.alive + 1;
   obs_fiber "spawn" name;
-  enqueue t name (fun () -> exec t name f)
+  let fls = ref [] in
+  enqueue t ~fls name (fun () -> exec t ~fls name f)
 
 let suspend register = perform (Suspend register)
 
@@ -274,10 +293,14 @@ let run ?(max_steps = max_int) ?(until = infinity) t =
     | Some task ->
         incr steps;
         t.current <- task.label;
+        t.cur_fls <- task.fls;
         task.thunk ()
     | None -> (
         match Timerq.peek t.timers with
         | Some e when e.deadline <= until ->
+            (* Timer callbacks run outside any fiber; give them the root
+               store so they never read a stale fiber's locals. *)
+            t.cur_fls <- t.root_fls;
             t.clock <- Float.max t.clock e.deadline;
             if Obs.on () then
               Trace.instant (Obs.trace ()) ~cat:"sched" ~space:(-1)
@@ -376,6 +399,38 @@ let stalled t =
   t.alive - ready_count t
 
 let failures t = t.failures
+
+module Fls = struct
+  type 'a key = { uid : int; inj : 'a -> exn; prj : exn -> 'a option }
+
+  (* Keys are minted at module-initialisation time (one per context kind),
+     before any domain forks, so a plain counter suffices. *)
+  let next_uid = ref 0
+
+  let key (type a) () =
+    let module M = struct
+      exception V of a
+    end in
+    incr next_uid;
+    {
+      uid = !next_uid;
+      inj = (fun x -> M.V x);
+      prj = (function M.V x -> Some x | _ -> None);
+    }
+
+  let get t k =
+    let rec find = function
+      | [] -> None
+      | b :: rest -> if b.f_uid = k.uid then k.prj b.f_val else find rest
+    in
+    find !(t.cur_fls)
+
+  let set t k v =
+    let rest = List.filter (fun b -> b.f_uid <> k.uid) !(t.cur_fls) in
+    match v with
+    | None -> t.cur_fls := rest
+    | Some x -> t.cur_fls := { f_uid = k.uid; f_val = k.inj x } :: rest
+end
 
 module Ivar = struct
   type 'a var = { mutable value : 'a option; mutable waiters : (unit -> unit) list }

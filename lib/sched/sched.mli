@@ -97,6 +97,30 @@ val stalled : t -> int
 (** Uncaught exceptions from fibers, most recent first, with fiber name. *)
 val failures : t -> (string * exn) list
 
+(** Fiber-local storage.
+
+    Each fiber owns a small store created at {!spawn}, carried across
+    every suspension/resumption of that fiber, and discarded with it.
+    Reads and writes address the {e currently running} fiber's store;
+    outside any fiber (timer callbacks, before {!run}) they address a
+    root store that fibers never see.  The runtime uses this to
+    propagate per-call context — the remaining deadline budget of the
+    call a fiber is serving — into nested blocking calls without
+    threading it through every signature. *)
+module Fls : sig
+  type 'a key
+
+  (** Mint a fresh typed key.  Keys are intended to be created once at
+      module initialisation. *)
+  val key : unit -> 'a key
+
+  (** The current fiber's binding for [key], if any. *)
+  val get : t -> 'a key -> 'a option
+
+  (** Set ([Some]) or clear ([None]) the current fiber's binding. *)
+  val set : t -> 'a key -> 'a option -> unit
+end
+
 (** Write-once synchronisation cell. *)
 module Ivar : sig
   type 'a var

@@ -13,7 +13,7 @@ Every protocol rule fired shows up as a counter (golden: exact firing
 counts for this seed range):
 
   $ cat m1.json
-  {"machine.allocate":{"type":"counter","value":5},"machine.collect":{"type":"counter","value":5},"machine.do_clean_ack":{"type":"counter","value":10},"machine.do_clean_call":{"type":"counter","value":10},"machine.do_copy_ack":{"type":"counter","value":10},"machine.do_dirty_ack":{"type":"counter","value":10},"machine.do_dirty_call":{"type":"counter","value":10},"machine.drop_root":{"type":"counter","value":15},"machine.finalize":{"type":"counter","value":10},"machine.make_copy":{"type":"counter","value":10},"machine.receive_clean":{"type":"counter","value":10},"machine.receive_clean_ack":{"type":"counter","value":10},"machine.receive_copy":{"type":"counter","value":10},"machine.receive_copy_ack":{"type":"counter","value":10},"machine.receive_dirty":{"type":"counter","value":10},"machine.receive_dirty_ack":{"type":"counter","value":10},"net.bytes":{"type":"counter","value":0},"net.coalesced":{"type":"counter","value":0},"net.delivered":{"type":"counter","value":0},"net.dropped":{"type":"counter","value":0},"net.dropped.dst_crashed":{"type":"counter","value":0},"net.dropped.src_crashed":{"type":"counter","value":0},"net.duplicated":{"type":"counter","value":0},"net.frames":{"type":"counter","value":0},"net.sent":{"type":"counter","value":0},"pickle.pool_hits":{"type":"gauge","value":0},"pickle.pool_misses":{"type":"gauge","value":0},"runtime.calls":{"type":"counter","value":0},"runtime.clean":{"type":"counter","value":0},"runtime.collections":{"type":"counter","value":0},"runtime.copy_ack":{"type":"counter","value":0},"runtime.cycle_aborts":{"type":"counter","value":0},"runtime.cycle_collected":{"type":"counter","value":0},"runtime.cycle_trials":{"type":"counter","value":0},"runtime.dirty":{"type":"counter","value":0},"runtime.dirty_entries":{"type":"gauge","value":0},"runtime.epoch_rejected":{"type":"counter","value":0},"runtime.evict":{"type":"counter","value":0},"runtime.gc_pause_us":{"type":"histogram","count":0,"sum":0,"min":0,"max":0,"p50":0,"p90":0,"p99":0,"buckets":[]},"runtime.gc_reclaimed":{"type":"histogram","count":0,"sum":0,"min":0,"max":0,"p50":0,"p90":0,"p99":0,"buckets":[]},"runtime.ping":{"type":"counter","value":0},"runtime.reasserts":{"type":"counter","value":0},"runtime.reclaimed":{"type":"counter","value":0},"runtime.recover_us":{"type":"histogram","count":0,"sum":0,"min":0,"max":0,"p50":0,"p90":0,"p99":0,"buckets":[]},"runtime.recoveries":{"type":"counter","value":0},"runtime.restarts":{"type":"counter","value":0},"runtime.retries":{"type":"counter","value":0},"store.fsyncs":{"type":"counter","value":0},"store.log_bytes":{"type":"counter","value":0},"store.records_replayed":{"type":"counter","value":0},"store.snapshots":{"type":"counter","value":0},"store.torn_records":{"type":"counter","value":0},"transport.tcp.bytes":{"type":"counter","value":0},"transport.tcp.delivered":{"type":"counter","value":0},"transport.tcp.dropped":{"type":"counter","value":0},"transport.tcp.reconnects":{"type":"counter","value":0},"transport.tcp.sent":{"type":"counter","value":0}}
+  {"calls.cancelled":{"type":"counter","value":0},"calls.deduped":{"type":"counter","value":0},"calls.retried":{"type":"counter","value":0},"calls.shed":{"type":"counter","value":0},"deadline.expired_server_side":{"type":"counter","value":0},"machine.allocate":{"type":"counter","value":5},"machine.collect":{"type":"counter","value":5},"machine.do_clean_ack":{"type":"counter","value":10},"machine.do_clean_call":{"type":"counter","value":10},"machine.do_copy_ack":{"type":"counter","value":10},"machine.do_dirty_ack":{"type":"counter","value":10},"machine.do_dirty_call":{"type":"counter","value":10},"machine.drop_root":{"type":"counter","value":15},"machine.finalize":{"type":"counter","value":10},"machine.make_copy":{"type":"counter","value":10},"machine.receive_clean":{"type":"counter","value":10},"machine.receive_clean_ack":{"type":"counter","value":10},"machine.receive_copy":{"type":"counter","value":10},"machine.receive_copy_ack":{"type":"counter","value":10},"machine.receive_dirty":{"type":"counter","value":10},"machine.receive_dirty_ack":{"type":"counter","value":10},"net.bytes":{"type":"counter","value":0},"net.coalesced":{"type":"counter","value":0},"net.delivered":{"type":"counter","value":0},"net.dropped":{"type":"counter","value":0},"net.dropped.dst_crashed":{"type":"counter","value":0},"net.dropped.src_crashed":{"type":"counter","value":0},"net.duplicated":{"type":"counter","value":0},"net.frames":{"type":"counter","value":0},"net.sent":{"type":"counter","value":0},"pickle.pool_hits":{"type":"gauge","value":0},"pickle.pool_misses":{"type":"gauge","value":0},"runtime.calls":{"type":"counter","value":0},"runtime.clean":{"type":"counter","value":0},"runtime.collections":{"type":"counter","value":0},"runtime.copy_ack":{"type":"counter","value":0},"runtime.cycle_aborts":{"type":"counter","value":0},"runtime.cycle_collected":{"type":"counter","value":0},"runtime.cycle_trials":{"type":"counter","value":0},"runtime.dirty":{"type":"counter","value":0},"runtime.dirty_entries":{"type":"gauge","value":0},"runtime.epoch_rejected":{"type":"counter","value":0},"runtime.evict":{"type":"counter","value":0},"runtime.gc_pause_us":{"type":"histogram","count":0,"sum":0,"min":0,"max":0,"p50":0,"p90":0,"p99":0,"buckets":[]},"runtime.gc_reclaimed":{"type":"histogram","count":0,"sum":0,"min":0,"max":0,"p50":0,"p90":0,"p99":0,"buckets":[]},"runtime.ping":{"type":"counter","value":0},"runtime.reasserts":{"type":"counter","value":0},"runtime.reclaimed":{"type":"counter","value":0},"runtime.recover_us":{"type":"histogram","count":0,"sum":0,"min":0,"max":0,"p50":0,"p90":0,"p99":0,"buckets":[]},"runtime.recoveries":{"type":"counter","value":0},"runtime.restarts":{"type":"counter","value":0},"runtime.retries":{"type":"counter","value":0},"store.fsyncs":{"type":"counter","value":0},"store.log_bytes":{"type":"counter","value":0},"store.records_replayed":{"type":"counter","value":0},"store.snapshots":{"type":"counter","value":0},"store.torn_records":{"type":"counter","value":0},"transport.tcp.bytes":{"type":"counter","value":0},"transport.tcp.delivered":{"type":"counter","value":0},"transport.tcp.dropped":{"type":"counter","value":0},"transport.tcp.reconnects":{"type":"counter","value":0},"transport.tcp.sent":{"type":"counter","value":0}}
 
 Same seed, same bytes — the determinism oracle:
 

@@ -1,0 +1,26 @@
+The deterministic call-reliability narrative: a lost call is
+retransmitted once and the owner executes it exactly once; a lost reply
+is retransmitted and settled from the owner's reply cache — the method
+does not run again (at-most-once); a herd of twelve callers against a
+four-slot inflight gate is shed with Busy and drains through backoff
+with every call eventually completing; and a call whose replies are all
+lost is abandoned by the caller, whose Cancel releases the minted
+reply's transient pin at the owner immediately instead of waiting out
+the 30s pin timeout (exit 0):
+
+  $ netobj_sim reliability
+  built: 2 spaces, call_timeout=50ms retries=2 inflight gate=4 pin_timeout=30s
+  lost call: echo(41)=42 after 1 retransmit(s), owner executed 1
+  lost reply: echo(98)=99 after 1 retransmit(s), deduped 1, owner executed 2 (not re-executed)
+  storm: herd=12 gate=4 — completed=12 failed=0, owner shed 12 Busy
+  cancel: caller abandoned: call mint: no reply after 3 attempts, 0.150s elapsed (timeout 0.050s, deadline none)
+  cancel: minted object reclaimed at t=5.00s — the Cancel released the pin, not the 30s timeout
+  stats: client retried=16; owner deduped=3 shed=12 cancelled=1
+  drained: surrogates=0, consistency ok, safety ok
+  result: SURVIVED
+
+The narrative is a fixed-seed run of the real runtime; a second
+invocation is byte-identical:
+
+  $ netobj_sim reliability > first.out && netobj_sim reliability > second.out
+  $ diff first.out second.out

@@ -22,7 +22,10 @@ let mid : Proto.msg_id = { origin = 2; seq = 99 }
 let test_envelopes () =
   check_env "call"
     (Proto.Call
-       { call_id = 7; msg_id = mid; needs_ack = true; target = wr; meth = "incr"; args = "\x00\xffpayload" });
+       { call_id = 7; msg_id = mid; needs_ack = true; target = wr; meth = "incr"; args = "\x00\xffpayload"; deadline = 0. });
+  check_env "call with deadline"
+    (Proto.Call
+       { call_id = 8; msg_id = mid; needs_ack = false; target = wr; meth = "incr"; args = ""; deadline = 0.25 });
   check_env "reply ok"
     (Proto.Reply { call_id = 7; msg_id = mid; needs_ack = true; ack = Some mid; result = Ok "result-bytes" });
   check_env "reply error"
@@ -33,12 +36,15 @@ let test_envelopes () =
   check_env "clean" (Proto.Clean { wr; seq = 13; strong = true });
   check_env "clean_ack" (Proto.Clean_ack { wr });
   check_env "ping" (Proto.Ping { nonce = 5 });
-  check_env "ping_ack" (Proto.Ping_ack { nonce = 5 })
+  check_env "ping_ack" (Proto.Ping_ack { nonce = 5 });
+  check_env "cancel" (Proto.Cancel { call_id = 7; msg_id = mid });
+  check_env "busy" (Proto.Busy { call_id = 7 });
+  check_env "expired" (Proto.Expired { call_id = 7 })
 
 let test_kinds_distinct () =
   let envs =
     [
-      Proto.Call { call_id = 0; msg_id = mid; needs_ack = false; target = wr; meth = "m"; args = "" };
+      Proto.Call { call_id = 0; msg_id = mid; needs_ack = false; target = wr; meth = "m"; args = ""; deadline = 0. };
       Proto.Reply { call_id = 0; msg_id = mid; needs_ack = false; ack = None; result = Ok "" };
       Proto.Copy_ack { msg_id = mid };
       Proto.Dirty { wr; seq = 0 };
@@ -47,6 +53,9 @@ let test_kinds_distinct () =
       Proto.Clean_ack { wr };
       Proto.Ping { nonce = 0 };
       Proto.Ping_ack { nonce = 0 };
+      Proto.Cancel { call_id = 0; msg_id = mid };
+      Proto.Busy { call_id = 0 };
+      Proto.Expired { call_id = 0 };
     ]
   in
   let kinds = List.map Proto.kind envs in
@@ -74,8 +83,14 @@ let env_gen =
               target = w;
               meth = n;
               args = a;
+              deadline = (if c mod 3 = 0 then 0. else float_of_int (c mod 7) /. 4.);
             })
         (tup4 nat mid_gen wr_gen (tup2 string_small string_small));
+      map
+        (fun (c, m) -> Proto.Cancel { call_id = c; msg_id = m })
+        (tup2 nat mid_gen);
+      map (fun c -> Proto.Busy { call_id = c }) nat;
+      map (fun c -> Proto.Expired { call_id = c }) nat;
       map
         (fun (c, m, ack, r) ->
           Proto.Reply

@@ -1,0 +1,403 @@
+(* Reliability-plane suite: the config sanity warnings, the enriched
+   Timeout payload, at-most-once retries (lost call and lost reply),
+   overload shedding at the admission gate, server-side deadline
+   expiry, cancel-on-abandon releasing reply pins, and the regression
+   that a timed-out lookup releases the agent root — under both the
+   simulated network and real TCP loopback. *)
+
+module R = Netobj_core.Runtime
+module Stub = Netobj_core.Stub
+module Net = Netobj_net.Net
+module Sched = Netobj_sched.Sched
+module Transport = Netobj_transport.Transport
+module Tcp = Netobj_transport.Tcp
+module Faulty = Netobj_transport.Faulty
+module P = Netobj_pickle.Pickle
+
+let m_incr = Stub.declare "incr" P.int P.int
+
+let m_slow = Stub.declare "slow" P.int P.int
+
+let m_mint = Stub.declare "mint" P.unit R.handle_codec
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let in_fiber rt f =
+  let result = ref None in
+  R.spawn rt (fun () -> result := Some (f ()));
+  ignore (R.run rt);
+  (match Sched.failures (R.sched rt) with
+  | [] -> ()
+  | (n, e) :: _ -> Alcotest.failf "fiber %s raised %s" n (Printexc.to_string e));
+  match !result with
+  | Some v -> v
+  | None -> Alcotest.fail "fiber did not complete"
+
+let drain rt =
+  for _ = 1 to 6 do
+    R.collect_all rt;
+    ignore (R.run rt)
+  done
+
+let edge () = Net.bag_edge ~lo:0.005 ~hi:0.005 ()
+
+(* --- config warnings ------------------------------------------------------ *)
+
+let test_config_warnings () =
+  (* three retried 3s attempts dwarf a 5s pin timeout *)
+  let risky =
+    R.config ~nspaces:2
+      ~edge:(Net.bag_edge ~lo:0.01 ~hi:0.05 ())
+      ~call_timeout:3.0 ~call_retries:2 ~pin_timeout:5.0 ()
+  in
+  (match R.config_warnings risky with
+  | [ w ] ->
+      Alcotest.(check bool) "names the knob" true (contains w "pin_timeout");
+      Alcotest.(check bool) "names the race" true (contains w "copy_ack")
+  | ws -> Alcotest.failf "expected one warning, got %d" (List.length ws));
+  let safe =
+    R.config ~nspaces:2
+      ~edge:(Net.bag_edge ~lo:0.01 ~hi:0.05 ())
+      ~call_timeout:3.0 ~call_retries:2 ~pin_timeout:12.0 ()
+  in
+  Alcotest.(check (list string)) "ample margin" [] (R.config_warnings safe);
+  let unset = R.config ~nspaces:2 ~call_timeout:3.0 () in
+  Alcotest.(check (list string)) "no pin timeout" [] (R.config_warnings unset)
+
+(* --- enriched Timeout payload --------------------------------------------- *)
+
+let test_timeout_payload () =
+  let rt =
+    R.create
+      (R.config ~seed:7L ~nspaces:2 ~edge:(edge ()) ~call_timeout:0.05
+         ~call_retries:2 ())
+  in
+  let owner = R.space rt 0 and client = R.space rt 1 in
+  R.publish owner "c"
+    (R.allocate owner ~meths:[ Stub.implement m_incr (fun _ n -> n + 1) ]);
+  let tr = R.transport rt in
+  let sched = R.sched rt in
+  let msg =
+    in_fiber rt (fun () ->
+        let h = R.lookup client ~at:0 "c" in
+        (* every attempt's Call is swallowed *)
+        Transport.set_burst tr ~src:1 ~dst:0 ~loss:1.0
+          ~until:(Sched.now sched +. 0.5)
+          ();
+        let msg =
+          match Stub.call client h m_incr 1 with
+          | _ -> Alcotest.fail "call succeeded with every attempt lost"
+          | exception R.Timeout msg -> msg
+        in
+        Transport.set_burst tr ~src:1 ~dst:0 ~loss:0.0
+          ~until:(Sched.now sched) ();
+        R.release client h;
+        msg)
+  in
+  List.iter
+    (fun sub ->
+      Alcotest.(check bool) (Printf.sprintf "mentions %S" sub) true
+        (contains msg sub))
+    [ "incr"; "3 attempts"; "timeout 0.050s"; "deadline none" ]
+
+(* --- at-most-once: lost call, lost reply ---------------------------------- *)
+
+let test_retry_and_dedup () =
+  let rt =
+    R.create
+      (R.config ~seed:9L ~nspaces:2 ~edge:(edge ()) ~call_timeout:0.05
+         ~call_retries:2 ())
+  in
+  let owner = R.space rt 0 and client = R.space rt 1 in
+  let execs = ref 0 in
+  R.publish owner "c"
+    (R.allocate owner
+       ~meths:
+         [
+           Stub.implement m_incr (fun _ n ->
+               incr execs;
+               n + 1);
+         ]);
+  let tr = R.transport rt in
+  let sched = R.sched rt in
+  in_fiber rt (fun () ->
+      let h = R.lookup client ~at:0 "c" in
+      (* the first attempt's Call is lost; the retransmit executes *)
+      Transport.set_burst tr ~src:1 ~dst:0 ~loss:1.0
+        ~until:(Sched.now sched +. 0.02)
+        ();
+      Alcotest.(check int) "lost call answered" 42 (Stub.call client h m_incr 41);
+      Alcotest.(check int) "executed once" 1 !execs;
+      Alcotest.(check int) "one retransmit" 1 (R.call_stats client).R.c_retried;
+      (* the Reply is lost; the retransmit must hit the reply cache *)
+      Transport.set_burst tr ~src:0 ~dst:1 ~loss:1.0
+        ~until:(Sched.now sched +. 0.02)
+        ();
+      Alcotest.(check int) "lost reply answered" 99 (Stub.call client h m_incr 98);
+      Alcotest.(check int) "not re-executed" 2 !execs;
+      Alcotest.(check int) "replayed from cache" 1
+        (R.call_stats owner).R.c_deduped;
+      R.release client h);
+  drain rt;
+  Alcotest.(check int) "surrogates drained" 0 (R.surrogate_count client)
+
+(* --- overload shedding ----------------------------------------------------- *)
+
+let test_shed_busy () =
+  let rt =
+    R.create
+      (R.config ~seed:3L ~nspaces:2 ~edge:(edge ()) ~call_timeout:1.0
+         ~max_inflight:1 ())
+  in
+  let owner = R.space rt 0 and client = R.space rt 1 in
+  let sched = R.sched rt in
+  R.publish owner "s"
+    (R.allocate owner
+       ~meths:
+         [
+           Stub.implement m_slow (fun _ n ->
+               Sched.sleep sched 0.05;
+               n);
+         ]);
+  let ok = ref 0 and shed_msg = ref None in
+  let h = in_fiber rt (fun () -> R.lookup client ~at:0 "s") in
+  for i = 1 to 2 do
+    R.spawn rt (fun () ->
+        match Stub.call client h m_slow i with
+        | _ -> incr ok
+        | exception R.Remote_error msg -> shed_msg := Some msg)
+  done;
+  ignore (R.run rt);
+  Alcotest.(check int) "one admitted" 1 !ok;
+  (match !shed_msg with
+  | Some msg ->
+      Alcotest.(check bool) "shed is explicit" true
+        (contains msg "shed by busy owner")
+  | None -> Alcotest.fail "second caller was not shed");
+  Alcotest.(check int) "owner counted the shed" 1 (R.call_stats owner).R.c_shed;
+  in_fiber rt (fun () -> R.release client h);
+  drain rt
+
+(* --- server-side deadline expiry ------------------------------------------- *)
+
+let m_put = Stub.declare "put" R.handle_codec P.unit
+
+let test_deadline_expired () =
+  let rt =
+    R.create
+      (R.config ~seed:5L ~nspaces:3 ~edge:(edge ()) ~deadline:0.15
+         ~dirty_retry:0.05 ())
+  in
+  let owner = R.space rt 0 and client = R.space rt 1 and third = R.space rt 2 in
+  let execs = ref 0 in
+  R.publish owner "sink"
+    (R.allocate owner ~meths:[ Stub.implement m_put (fun _ _h -> incr execs) ]);
+  R.publish third "x" (R.allocate third ~meths:[]);
+  let tr = R.transport rt in
+  let sched = R.sched rt in
+  in_fiber rt (fun () ->
+      let sink = R.lookup client ~at:0 "sink" in
+      let x = R.lookup client ~at:2 "x" in
+      (* decoding [x] at the owner needs a dirty registration at space
+         2; losing that edge past the whole 0.15s budget means the
+         registration lands after the deadline, and the owner must
+         reject without running the method body *)
+      Transport.set_burst tr ~src:0 ~dst:2 ~loss:1.0
+        ~until:(Sched.now sched +. 0.25)
+        ();
+      (match Stub.call client sink m_put x with
+      | () -> Alcotest.fail "call beat an exhausted deadline"
+      | exception R.Timeout msg ->
+          Alcotest.(check bool) "payload names the deadline" true
+            (contains msg "deadline 0.150s"));
+      R.release client x;
+      R.release client sink);
+  Alcotest.(check int) "method never ran" 0 !execs;
+  Alcotest.(check int) "owner counted the expiry" 1
+    (R.call_stats owner).R.c_expired;
+  drain rt
+
+(* --- cancel releases the reply's pins -------------------------------------- *)
+
+let test_cancel_releases_pins () =
+  let rt =
+    R.create
+      (R.config ~seed:21L ~nspaces:2 ~edge:(edge ()) ~call_timeout:0.05
+         ~call_retries:1 ~pin_timeout:30.0 ())
+  in
+  let owner = R.space rt 0 and client = R.space rt 1 in
+  let minted = ref None in
+  R.publish owner "mint"
+    (R.allocate owner
+       ~meths:
+         [
+           Stub.implement m_mint (fun sp () ->
+               let h = R.allocate sp ~meths:[] in
+               minted := Some (R.wirerep h);
+               R.release sp h;
+               h);
+         ]);
+  let tr = R.transport rt in
+  let sched = R.sched rt in
+  (* bounded virtual-time slices throughout: an unbounded run would
+     also fire the 30s pin timers and mask a broken cancel path *)
+  let finished = ref false in
+  R.spawn rt (fun () ->
+      let h = R.lookup client ~at:0 "mint" in
+      (* every Reply is lost: the caller abandons, and its Cancel must
+         release the minted object's reply pin at the owner *)
+      Transport.set_burst tr ~src:0 ~dst:1 ~loss:1.0
+        ~until:(Sched.now sched +. 1.0)
+        ();
+      (match Stub.call client h m_mint () with
+      | _ -> Alcotest.fail "call succeeded with every reply lost"
+      | exception R.Timeout _ -> ());
+      Transport.set_burst tr ~src:0 ~dst:1 ~loss:0.0 ~until:(Sched.now sched) ();
+      R.release client h;
+      finished := true);
+  let rounds = ref 0 in
+  while (not !finished) && !rounds < 10 do
+    incr rounds;
+    ignore (R.run ~until:(Sched.now sched +. 0.5) rt)
+  done;
+  (match Sched.failures sched with
+  | [] -> ()
+  | (n, e) :: _ -> Alcotest.failf "fiber %s raised %s" n (Printexc.to_string e));
+  Alcotest.(check bool) "caller finished" true !finished;
+  for _ = 1 to 6 do
+    R.collect_all rt;
+    ignore (R.run ~until:(Sched.now sched +. 0.5) rt)
+  done;
+  (match !minted with
+  | None -> Alcotest.fail "mint never ran"
+  | Some wr ->
+      Alcotest.(check bool) "minted object reclaimed" false (R.resident owner wr));
+  Alcotest.(check int) "owner processed the cancel" 1
+    (R.call_stats owner).R.c_cancelled;
+  (* the reclaim came from the Cancel, not from waiting out the pin *)
+  Alcotest.(check bool) "well before the 30s pin timeout" true
+    (Sched.now sched < 5.0);
+  Alcotest.(check int) "surrogates drained" 0 (R.surrogate_count client)
+
+(* --- lookup timeout releases the agent root (sim and TCP) ------------------ *)
+
+(* PR-3's historical bug: [lookup] released the agent root only on the
+   success path, so a Timeout stranded the agent surrogate and its
+   dirty entry forever.  The script times a lookup out by losing every
+   reply, then checks the client's table drains completely once the
+   network heals. *)
+let lookup_timeout_script rt slice =
+  let owner = R.space rt 0 and client = R.space rt 1 in
+  let obj = R.allocate owner ~meths:[] in
+  R.publish owner "x" obj;
+  let tr = R.transport rt in
+  let sched = R.sched rt in
+  let outcome = ref `Pending in
+  R.spawn rt (fun () ->
+      (* drop only the lookup's Reply: the agent registration's
+         dirty_ack must still get through, or the client never reaches
+         the call (and its timeout) at all *)
+      Transport.set_filter tr
+        (Some (fun ~src ~dst ~kind -> not (src = 0 && dst = 1 && kind = "reply")));
+      (match R.lookup client ~at:0 "x" with
+      | h ->
+          R.release client h;
+          outcome := `Succeeded
+      | exception (R.Timeout _ | R.Remote_error _) -> outcome := `Timed_out);
+      Transport.set_filter tr None);
+  let rounds = ref 0 in
+  while !outcome = `Pending && !rounds < 20 do
+    incr rounds;
+    slice ()
+  done;
+  (match Sched.failures sched with
+  | [] -> ()
+  | (n, e) :: _ -> Alcotest.failf "fiber %s raised %s" n (Printexc.to_string e));
+  (match !outcome with
+  | `Timed_out -> ()
+  | `Succeeded -> Alcotest.fail "lookup succeeded despite lost replies"
+  | `Pending -> Alcotest.failf "lookup still pending at t=%.3f" (Sched.now sched));
+  let rounds = ref 0 in
+  while R.surrogate_count client > 0 && !rounds < 10 do
+    incr rounds;
+    R.collect_all rt;
+    slice ()
+  done;
+  Alcotest.(check int) "agent root released, client table drained" 0
+    (R.surrogate_count client);
+  Alcotest.(check bool) "published object survives" true
+    (R.resident owner (R.wirerep obj))
+
+let test_lookup_release_sim () =
+  let rt =
+    R.create
+      (R.config ~seed:17L ~nspaces:2 ~edge:(edge ()) ~call_timeout:0.05
+         ~call_retries:2 ~pin_timeout:0.3 ())
+  in
+  let sched = R.sched rt in
+  lookup_timeout_script rt (fun () ->
+      ignore (R.run ~until:(Sched.now sched +. 1.0) rt))
+
+let test_lookup_release_tcp () =
+  let endpoints =
+    [
+      (0, { Tcp.host = "127.0.0.1"; port = 0 });
+      (1, { Tcp.host = "127.0.0.1"; port = 0 });
+    ]
+  in
+  let cfg =
+    R.config ~seed:11L ~nspaces:2 ~call_timeout:0.05 ~call_retries:2
+      ~pin_timeout:0.3
+      ~transport:(fun sched _net ->
+        let tcp = Tcp.create ~sched ~serving:[ 0; 1 ] ~endpoints () in
+        Faulty.wrap ~sched ~seed:11L (Tcp.transport tcp))
+      ()
+  in
+  match R.create cfg with
+  | exception Unix.Unix_error (e, _, _) ->
+      Printf.printf "skipping tcp side: loopback unavailable (%s)\n%!"
+        (Unix.error_message e)
+  | rt ->
+      let tr = R.transport rt in
+      let sched = R.sched rt in
+      (* interleave short virtual-time slices with socket pumping; the
+         virtual clock only moves to timer deadlines, so nudge it when
+         both clocks stall (same drive as the conformance suite) *)
+      let slice () =
+        let stop = Sched.now sched +. 1.0 in
+        let t0 = Unix.gettimeofday () in
+        while Sched.now sched < stop && Unix.gettimeofday () -. t0 < 10.0 do
+          let before = Sched.now sched in
+          ignore (R.run ~until:(before +. 0.05) rt);
+          let n = Transport.pump tr ~timeout:0.002 in
+          if n = 0 && Sched.now sched = before then
+            Sched.timer sched ~name:"drive-tick" 0.05 (fun () -> ())
+        done
+      in
+      Fun.protect
+        ~finally:(fun () -> Transport.close tr)
+        (fun () -> lookup_timeout_script rt slice)
+
+let () =
+  Alcotest.run "reliability"
+    [
+      ( "config",
+        [ Alcotest.test_case "warnings" `Quick test_config_warnings ] );
+      ( "calls",
+        [
+          Alcotest.test_case "timeout payload" `Quick test_timeout_payload;
+          Alcotest.test_case "retry and dedup" `Quick test_retry_and_dedup;
+          Alcotest.test_case "shed busy" `Quick test_shed_busy;
+          Alcotest.test_case "deadline expired" `Quick test_deadline_expired;
+          Alcotest.test_case "cancel releases pins" `Quick
+            test_cancel_releases_pins;
+        ] );
+      ( "lookup-release",
+        [
+          Alcotest.test_case "sim" `Quick test_lookup_release_sim;
+          Alcotest.test_case "tcp" `Quick test_lookup_release_tcp;
+        ] );
+    ]

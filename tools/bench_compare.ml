@@ -12,14 +12,16 @@
 
    [--ignore] takes a comma-separated list of experiment names to skip
    entirely.  The default is "chaos,mc,recover,transport,par,cycles,
-   churn": those experiments measure survival, schedule counts,
-   recovery replay, real-socket wall-clock, engine handoffs, detector
-   round-trip counts and churn-phase pause samples rather than CPU
-   throughput — their times are dominated by how much fault handling
-   or exploration the seeds provoke (or by kernel I/O scheduling, for
-   transport; or by allocator behaviour at the 100k-handle scale, for
-   churn) and are not a meaningful regression signal.  Passing
-   [--ignore] replaces the default list. *)
+   churn,reliability": those experiments measure survival, schedule
+   counts, recovery replay, real-socket wall-clock, engine handoffs,
+   detector round-trip counts, churn-phase pause samples and
+   loss-driven goodput/shed counts rather than CPU throughput — their
+   times are dominated by how much fault handling or exploration the
+   seeds provoke (or by kernel I/O scheduling, for transport; or by
+   allocator behaviour at the 100k-handle scale, for churn; or by how
+   many retransmit timeouts the loss draws force, for reliability) and
+   are not a meaningful regression signal.  Passing [--ignore]
+   replaces the default list. *)
 
 module Json = Netobj_obs.Json
 
@@ -60,7 +62,11 @@ let () =
   in
   let threshold = ref 20.0 in
   let ignored =
-    ref [ "chaos"; "mc"; "recover"; "transport"; "par"; "cycles"; "churn" ]
+    ref
+      [
+        "chaos"; "mc"; "recover"; "transport"; "par"; "cycles"; "churn";
+        "reliability";
+      ]
   in
   let files = ref [] in
   let rec parse = function
